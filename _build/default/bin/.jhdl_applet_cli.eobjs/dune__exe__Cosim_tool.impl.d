@@ -1,0 +1,1 @@
+bin/cosim_tool.ml: Applet Arg Bits Catalog Cmd Cmdliner Cosim Endpoint Jhdl License List Network Option Printf Result String Term Verilog_tb

@@ -1,0 +1,1 @@
+bin/cosim_tool.mli:

@@ -1,0 +1,1 @@
+bin/ip_server_cli.ml: Applet Arg Catalog Cmd Cmdliner Download Feature Ip_module Jar Jhdl License List Printf Secure_channel Server String Term

@@ -1,0 +1,1 @@
+bin/ip_server_cli.mli:

@@ -1,0 +1,1 @@
+bin/jhdl_applet_cli.ml: Applet Arg Catalog Cmd Cmdliner Ip_module Jhdl License List Option Printf String Term

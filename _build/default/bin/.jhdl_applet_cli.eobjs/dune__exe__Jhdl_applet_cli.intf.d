@@ -1,0 +1,1 @@
+bin/jhdl_applet_cli.mli:

@@ -1,0 +1,1 @@
+bin/netlist_tool.ml: Arg Catalog Cmd Cmdliner Format_kind Ip_module Jhdl List Model Printf Result String Term Watermark

@@ -1,0 +1,1 @@
+bin/netlist_tool.mli:

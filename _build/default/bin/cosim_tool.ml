@@ -1,0 +1,150 @@
+(* Run a customer Verilog testbench against a catalog IP through the
+   PLI wrapper — the Section 4.2 flow as a command-line tool.
+
+   Usage:
+     cosim_tool --ip VirtexKCMMultiplier -p constant=-56 -p product_width=19 \
+       --bind x=multiplicand --bind p=product --tb bench.v [--network dsl]
+
+   The testbench subset is documented in lib/netproto/verilog_tb.mli. *)
+
+open Jhdl
+open Cmdliner
+
+let network_of = function
+  | "loopback" -> Some Network.loopback
+  | "lan" -> Some Network.lan
+  | "campus" -> Some Network.campus
+  | "dsl" -> Some Network.dsl
+  | "modem" -> Some Network.modem
+  | _ -> None
+
+let split_eq what s =
+  match String.index_opt s '=' with
+  | Some i ->
+    Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> Error (Printf.sprintf "%s expects name=value, got %s" what s)
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+    (match f x with
+     | Error _ as e -> e
+     | Ok v -> Result.map (fun vs -> v :: vs) (collect f rest))
+
+let build_applet ip params =
+  let applet =
+    Applet.create ~ip ~license:(License.of_tier License.Evaluator)
+      ~user:"cosim-tool" ()
+  in
+  let rec apply = function
+    | [] -> Ok ()
+    | (name, text) :: rest ->
+      (match Applet.exec applet (Applet.Set_param (name, text)) with
+       | Ok _ -> apply rest
+       | Error m -> Error m)
+  in
+  match apply params with
+  | Error _ as e -> Result.map (fun () -> applet) e
+  | Ok () ->
+    (match Applet.exec applet Applet.Build with
+     | Ok _ -> Ok applet
+     | Error m -> Error m)
+
+let run ip_name params binds tb_path network_name =
+  let ( let* ) = Result.bind in
+  let result =
+    let* ip =
+      Option.to_result ~none:(Printf.sprintf "unknown IP %s" ip_name)
+        (Catalog.find ip_name)
+    in
+    let* network =
+      Option.to_result
+        ~none:"networks: loopback, lan, campus, dsl, modem"
+        (network_of network_name)
+    in
+    let* params = collect (split_eq "--param") params in
+    let* binds = collect (split_eq "--bind") binds in
+    let bindings =
+      List.map
+        (fun (signal, port) -> { Verilog_tb.signal; box = "dut"; port })
+        binds
+    in
+    let* source =
+      try
+        let ic = open_in tb_path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok s
+      with Sys_error m -> Error m
+    in
+    let* program = Verilog_tb.parse source in
+    let* applet = build_applet ip params in
+    let* endpoint =
+      Option.to_result ~none:"applet has no simulator"
+        (Endpoint.of_applet ~name:"dut" applet)
+    in
+    let cosim = Cosim.create () in
+    Cosim.attach cosim endpoint network;
+    let result = Verilog_tb.run program ~cosim ~bindings in
+    List.iter print_endline result.Verilog_tb.transcript;
+    let passed =
+      List.filter (fun c -> c.Verilog_tb.passed) result.Verilog_tb.checks
+    in
+    List.iter
+      (fun c ->
+         if not c.Verilog_tb.passed then
+           Printf.printf "FAIL $check %s: expected %s, got %s\n"
+             c.Verilog_tb.check_signal
+             (Bits.to_string c.Verilog_tb.expected)
+             (Bits.to_string c.Verilog_tb.actual))
+      result.Verilog_tb.checks;
+    Printf.printf
+      "%d/%d checks passed, %d cycles, %d protocol messages (%d bytes)\n"
+      (List.length passed)
+      (List.length result.Verilog_tb.checks)
+      result.Verilog_tb.cycles_run
+      (Cosim.total_messages cosim) (Cosim.total_bytes cosim);
+    Ok (List.length passed = List.length result.Verilog_tb.checks)
+  in
+  match result with
+  | Ok true -> 0
+  | Ok false -> 1
+  | Error message ->
+    Printf.eprintf "cosim_tool: %s\n" message;
+    2
+
+let ip_arg =
+  Arg.(
+    value
+    & opt string "VirtexKCMMultiplier"
+    & info [ "ip" ] ~doc:"Catalog IP to evaluate.")
+
+let param_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "param"; "p" ] ~doc:"Generator parameter as name=value.")
+
+let bind_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "bind" ] ~doc:"Testbench signal binding as signal=port.")
+
+let tb_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "tb" ] ~doc:"Verilog testbench file.")
+
+let network_arg =
+  Arg.(
+    value & opt string "lan"
+    & info [ "network" ] ~doc:"Channel model: loopback, lan, campus, dsl, modem.")
+
+let cmd =
+  let doc = "drive a black-box IP with a Verilog testbench (PLI wrapper)" in
+  Cmd.v
+    (Cmd.info "cosim_tool" ~doc)
+    Term.(const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg)
+
+let () = exit (Cmd.eval' cmd)

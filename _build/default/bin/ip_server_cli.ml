@@ -1,0 +1,130 @@
+(* Interactive vendor server console: publish IP, register users, serve
+   applet pages and inspect the access log — the vendor-side half of the
+   paper's delivery story, driven from a prompt.
+
+   Usage: ip_server_cli [--vendor NAME]
+   Commands:
+     catalog                        list published IP and versions
+     publish <ip>                   publish or bump a catalog IP
+     register <user> <tier>         create/update an account
+     token <user>                   show a user's license token
+     get <user> <ip> [link]         serve the IP page (link: modem|isdn|dsl|lan10|lan100)
+     secure <user> <ip>             serve with encrypted jars
+     log                            access log
+     quit                                                            *)
+
+open Jhdl
+
+let link_of = function
+  | "modem" -> Some Download.modem_56k
+  | "isdn" -> Some Download.isdn_128k
+  | "dsl" | "" -> Some Download.dsl_1m
+  | "lan10" -> Some Download.lan_10m
+  | "lan100" -> Some Download.lan_100m
+  | _ -> None
+
+let tier_of = function
+  | "passive" -> Some License.Passive
+  | "evaluator" -> Some License.Evaluator
+  | "licensed" -> Some License.Licensed
+  | "vendor" -> Some License.Vendor
+  | _ -> None
+
+let show_session (session : Server.session) =
+  Printf.printf "served v%d; tools: %s\n" session.Server.version
+    (String.concat ", "
+       (List.map Feature.name (Applet.features session.Server.applet)));
+  Printf.printf "fetched %d jar(s) in %.2f s: %s\n"
+    (List.length session.Server.fetched)
+    session.Server.download_seconds
+    (String.concat ", "
+       (List.map (fun j -> j.Jar.jar_name) session.Server.fetched))
+
+let handle server line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> ()
+  | [ "catalog" ] ->
+    List.iter
+      (fun (name, version) -> Printf.printf "  %s (v%d)\n" name version)
+      (Server.catalog server)
+  | [ "publish"; ip_name ] ->
+    (match Catalog.find ip_name with
+     | Some ip ->
+       Printf.printf "published %s as v%d\n" ip.Ip_module.ip_name
+         (Server.publish server ip)
+     | None ->
+       Printf.printf "unknown IP %s; choices: %s\n" ip_name
+         (String.concat ", "
+            (List.map (fun ip -> ip.Ip_module.ip_name) Catalog.all)))
+  | [ "register"; user; tier_name ] ->
+    (match tier_of tier_name with
+     | Some tier ->
+       Server.register_user server ~user ~tier;
+       Printf.printf "registered %s as %s\n" user tier_name
+     | None -> print_endline "tiers: passive, evaluator, licensed, vendor")
+  | [ "token"; user ] ->
+    (match Server.user_token server ~user with
+     | Some token -> print_endline token
+     | None -> Printf.printf "unknown user %s\n" user)
+  | "get" :: user :: ip_name :: rest ->
+    let link_name = match rest with [ l ] -> l | _ -> "" in
+    (match link_of link_name with
+     | None -> print_endline "links: modem, isdn, dsl, lan10, lan100"
+     | Some link ->
+       (match Server.request server ~user ~ip_name ~link () with
+        | Ok session -> show_session session
+        | Error message -> print_endline ("ERROR: " ^ message)))
+  | [ "secure"; user; ip_name ] ->
+    (match
+       Server.secure_request server ~user ~ip_name ~link:Download.dsl_1m ()
+     with
+     | Ok (session, sealed) ->
+       show_session session;
+       List.iter
+         (fun s ->
+            Printf.printf "  sealed %s (%d bytes, digest %s)\n"
+              s.Secure_channel.jar_name
+              (String.length s.Secure_channel.ciphertext)
+              s.Secure_channel.digest)
+         sealed
+     | Error message -> print_endline ("ERROR: " ^ message))
+  | [ "log" ] ->
+    List.iter (fun l -> print_endline ("  " ^ l)) (Server.access_log server)
+  | [ "help" ] ->
+    print_endline
+      "commands: catalog, publish <ip>, register <user> <tier>, token <user>,\n\
+      \          get <user> <ip> [link], secure <user> <ip>, log, quit"
+  | _ -> print_endline "unrecognized command (try `help`)"
+
+open Cmdliner
+
+let vendor_arg =
+  Arg.(
+    value
+    & opt string "BYU Configurable Computing Lab"
+    & info [ "vendor" ] ~doc:"Vendor name for the server.")
+
+let run vendor =
+  let server = Server.create ~vendor () in
+  List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
+  Printf.printf "IP delivery server for %s (type `help`)\n" vendor;
+  let rec loop () =
+    print_string "server> ";
+    match read_line () with
+    | exception End_of_file -> 0
+    | "quit" | "exit" -> 0
+    | line ->
+      handle server line;
+      loop ()
+  in
+  loop ()
+
+let cmd =
+  let doc = "run the vendor's IP delivery web server console" in
+  Cmd.v (Cmd.info "ip_server_cli" ~doc) Term.(const run $ vendor_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/blackbox_cosim.ml: Applet Bits Catalog Cosim Endpoint Fir Jhdl License List Network Option Printf

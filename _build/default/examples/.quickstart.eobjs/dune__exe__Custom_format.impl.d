@@ -1,0 +1,1 @@
+examples/custom_format.ml: Array Buffer Cell Design Edif Jhdl Kcm List Model Printf String Types Verilog Vhdl Wire Xnf

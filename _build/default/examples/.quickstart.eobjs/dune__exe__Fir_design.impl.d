@@ -1,0 +1,1 @@
+examples/fir_design.ml: Bits Cell Counter Design Fir Jhdl List Option Printf Simulator String Types Vhdl Watermark Wire

@@ -1,0 +1,1 @@
+examples/kcm_evaluation.ml: Applet Catalog Jhdl License List Printf String

@@ -1,0 +1,1 @@
+examples/kcm_evaluation.mli:

@@ -1,0 +1,1 @@
+examples/physical_flow.ml: Cell Design Equiv Estimate Floorplan Format Jbits Jhdl Kcm List Placer Printf Router String Types Wire

@@ -1,0 +1,1 @@
+examples/physical_flow.mli:

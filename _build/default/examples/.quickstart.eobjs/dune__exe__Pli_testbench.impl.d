@@ -1,0 +1,1 @@
+examples/pli_testbench.ml: Applet Bits Catalog Cosim Endpoint Jhdl License List Network Printf Verilog_tb

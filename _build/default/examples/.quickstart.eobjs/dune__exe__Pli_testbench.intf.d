@@ -1,0 +1,1 @@
+examples/pli_testbench.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bits Cell Design Edif Estimate Hierarchy Jhdl List Printf Simulator String Types Virtex Wire

@@ -1,0 +1,1 @@
+examples/vendor_server.ml: Applet Catalog Download Feature Jar Jhdl License List Printf Server String

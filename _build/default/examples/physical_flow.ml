@@ -1,0 +1,72 @@
+(* The physical half of the module-generator story: generate a KCM,
+   compare the generator's hand placement against the automatic placer,
+   route both, view the floorplan, verify structural equivalence of
+   delivery forms, and configure the winner into a bitstream.
+
+   Run with: dune exec examples/physical_flow.exe *)
+
+open Jhdl
+
+let kcm_design () =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"multiplicand" 8 in
+  let p = Wire.create top ~name:"product" 15 in
+  let _ =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "multiplicand" Types.Input m;
+  Design.add_port d "product" Types.Output p;
+  d
+
+let () =
+  print_endline "== generate ==";
+  let hand = kcm_design () in
+  let stats = Design.stats hand in
+  Printf.printf "KCM (-56, 8x8 -> top 15): %d primitives, %d nets\n"
+    stats.Design.primitive_instances stats.Design.nets;
+
+  print_endline "\n== place: generator RLOCs vs auto placer vs random ==";
+  let auto = kcm_design () in
+  let auto_result = Placer.auto_place auto ~rows:16 ~cols:16 in
+  let random = kcm_design () in
+  let random_result = Placer.random_place random ~rows:16 ~cols:16 ~seed:3 in
+  let timing d =
+    (Estimate.timing_of_design ~use_placement:true d).Estimate.critical_path_ps
+  in
+  Printf.printf "%-18s %12s %14s\n" "placement" "wirelength" "critical path";
+  Printf.printf "%-18s %12s %11d ps\n" "generator"
+    (match Placer.wirelength hand with
+     | Some wl -> string_of_int wl
+     | None -> "-")
+    (timing hand);
+  Printf.printf "%-18s %12d %11d ps\n" "auto placer"
+    auto_result.Placer.wirelength (timing auto);
+  Printf.printf "%-18s %12d %11d ps\n" "random"
+    random_result.Placer.wirelength (timing random);
+
+  print_endline "\n== route (channel capacity 8) ==";
+  List.iter
+    (fun (label, d) ->
+       let report = Router.route d ~rows:16 ~cols:16 ~capacity:8 in
+       Format.printf "%-18s %a@." label Router.pp_report report)
+    [ ("generator", hand); ("auto placer", auto); ("random", random) ];
+
+  print_endline "\n== floorplan of the generator placement ==";
+  print_string (Floorplan.render (Design.root hand));
+  let svg = Floorplan.to_svg (Design.root hand) in
+  Printf.printf "(SVG floorplan: %d bytes; write it to a file to view)\n"
+    (String.length svg);
+
+  print_endline "\n== the hand- and auto-placed netlists are the same circuit ==";
+  Format.printf "equivalence: %a@." Equiv.pp_result (Equiv.check hand auto);
+
+  print_endline "\n== configure into a 32x16 device ==";
+  let package = Jbits.package ~device_rows:32 ~device_cols:16 hand in
+  Printf.printf
+    "partial bitstream: %d frames, %d bytes, %d slice resources configured\n"
+    (List.length package.Jbits.frames)
+    package.Jbits.payload_bytes package.Jbits.slices_used

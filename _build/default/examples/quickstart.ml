@@ -1,0 +1,77 @@
+(* Quickstart: the paper's Section 2 walkthrough.
+
+   Builds the FullAdder from the paper's Java fragment, simulates its
+   truth table with the built-in simulator, views its structure, and
+   exports an EDIF netlist — create, simulate, view, netlist, end to
+   end. Run with: dune exec examples/quickstart.exe *)
+
+open Jhdl
+
+(* The paper's FullAdder constructor, transliterated from Java:
+
+     public FullAdder(Node parent, Wire a, Wire b,
+                      Wire ci, Wire s, Wire co) {
+       Wire t1 = new Xwire(this,1); ...
+       new and2(this,a,b,t1); ... }                                   *)
+let full_adder parent ~a ~b ~ci ~s ~co =
+  let fa =
+    Cell.composite parent ~name:"fulladder" ~type_name:"FullAdder"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("ci", Types.Input, ci); ("s", Types.Output, s);
+          ("co", Types.Output, co) ]
+      ()
+  in
+  let t1 = Wire.create fa ~name:"t1" 1 in
+  let t2 = Wire.create fa ~name:"t2" 1 in
+  let t3 = Wire.create fa ~name:"t3" 1 in
+  let _ = Virtex.and2 fa a b t1 in
+  let _ = Virtex.and2 fa a ci t2 in
+  let _ = Virtex.and2 fa b ci t3 in
+  let _ = Virtex.or3 fa t1 t2 t3 co in
+  let _ = Virtex.xor3 fa a b ci s in
+  fa
+
+let () =
+  (* construct: a root system plus the full adder and its wires *)
+  let top = Cell.root ~name:"quickstart" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let b = Wire.create top ~name:"b" 1 in
+  let ci = Wire.create top ~name:"ci" 1 in
+  let s = Wire.create top ~name:"s" 1 in
+  let co = Wire.create top ~name:"co" 1 in
+  let _ = full_adder top ~a ~b ~ci ~s ~co in
+  let design = Design.create top in
+  Design.add_port design "a" Types.Input a;
+  Design.add_port design "b" Types.Input b;
+  Design.add_port design "ci" Types.Input ci;
+  Design.add_port design "s" Types.Output s;
+  Design.add_port design "co" Types.Output co;
+
+  print_endline "== structure ==";
+  print_string (Hierarchy.render_design design);
+
+  print_endline "\n== simulation: full truth table ==";
+  let sim = Simulator.create design in
+  print_endline " a b ci | s co";
+  for input = 0 to 7 do
+    let bit n = Bits.of_int ~width:1 ((input lsr n) land 1) in
+    Simulator.set_input sim "a" (bit 2);
+    Simulator.set_input sim "b" (bit 1);
+    Simulator.set_input sim "ci" (bit 0);
+    Printf.printf " %d %d %d  | %s %s\n" ((input lsr 2) land 1)
+      ((input lsr 1) land 1) (input land 1)
+      (Bits.to_string (Simulator.get_port sim "s"))
+      (Bits.to_string (Simulator.get_port sim "co"))
+  done;
+
+  print_endline "\n== area and timing estimate ==";
+  print_endline (Estimate.to_string (Estimate.of_design design));
+
+  print_endline "\n== EDIF netlist (first 25 lines) ==";
+  let edif = Edif.of_design design in
+  String.split_on_char '\n' edif
+  |> List.filteri (fun i _ -> i < 25)
+  |> List.iter print_endline;
+  Printf.printf "... (%d lines total)\n"
+    (List.length (String.split_on_char '\n' edif))

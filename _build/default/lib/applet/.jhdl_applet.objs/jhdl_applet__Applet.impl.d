@@ -1,0 +1,1 @@
+lib/applet/applet.ml: Buffer Feature Format Ip_module Jhdl_circuit Jhdl_estimate Jhdl_logic Jhdl_netlist Jhdl_security Jhdl_sim Jhdl_viewer License List Option Printf String

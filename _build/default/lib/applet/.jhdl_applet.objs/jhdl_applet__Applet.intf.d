@@ -1,0 +1,1 @@
+lib/applet/applet.mli: Feature Ip_module Jhdl_bundle Jhdl_circuit Jhdl_security Jhdl_sim License

@@ -1,0 +1,1 @@
+lib/applet/catalog.ml: Ip_module Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_sim List Printf String

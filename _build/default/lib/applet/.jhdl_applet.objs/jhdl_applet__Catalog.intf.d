@@ -1,0 +1,1 @@
+lib/applet/catalog.mli: Ip_module

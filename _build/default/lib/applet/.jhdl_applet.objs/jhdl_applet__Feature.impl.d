@@ -1,0 +1,1 @@
+lib/applet/feature.ml: Jhdl_bundle List

@@ -1,0 +1,1 @@
+lib/applet/feature.mli: Jhdl_bundle

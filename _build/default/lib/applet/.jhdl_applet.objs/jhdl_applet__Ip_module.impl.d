@@ -1,0 +1,1 @@
+lib/applet/ip_module.ml: Buffer Jhdl_circuit Jhdl_logic Jhdl_sim List Printf String

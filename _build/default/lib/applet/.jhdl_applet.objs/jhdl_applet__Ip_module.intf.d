@@ -1,0 +1,1 @@
+lib/applet/ip_module.mli: Jhdl_circuit Jhdl_logic Jhdl_sim

@@ -1,0 +1,1 @@
+lib/applet/license.ml: Buffer Feature Jhdl_netlist Jhdl_security List Printf String

@@ -1,0 +1,1 @@
+lib/applet/license.mli: Feature Jhdl_netlist Jhdl_security

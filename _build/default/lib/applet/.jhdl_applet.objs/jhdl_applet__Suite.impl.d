@@ -1,0 +1,1 @@
+lib/applet/suite.ml: Applet Buffer Ip_module Jhdl_security License List Option Printf String

@@ -1,0 +1,1 @@
+lib/applet/suite.mli: Applet Ip_module License

@@ -1,0 +1,300 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Bits = Jhdl_logic.Bits
+module Kcm = Jhdl_modgen.Kcm
+module Fir = Jhdl_modgen.Fir
+module Counter = Jhdl_modgen.Counter
+module Cordic = Jhdl_modgen.Cordic
+module Testbench = Jhdl_sim.Testbench
+
+let vendor = "BYU Configurable Computing Lab"
+
+let kcm_build assignment =
+  let n = Ip_module.int_param assignment "multiplicand_width" in
+  let pw = Ip_module.int_param assignment "product_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let pipelined_mode = Ip_module.bool_param assignment "pipelined" in
+  let constant = Ip_module.int_param assignment "constant" in
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let multiplicand = Wire.create top ~name:"multiplicand" n in
+  let product = Wire.create top ~name:"product" pw in
+  let kcm =
+    Kcm.create top ~clk ~multiplicand ~product ~signed_mode ~pipelined_mode
+      ~constant ()
+  in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  Design.add_port design "multiplicand" Types.Input multiplicand;
+  Design.add_port design "product" Types.Output product;
+  { Ip_module.design;
+    clock_port = Some "clk";
+    latency = kcm.Kcm.latency;
+    notes =
+      [ Printf.sprintf "full product width %d, %d partial-product table(s)"
+          kcm.Kcm.full_width kcm.Kcm.table_count ] }
+
+let kcm_reference assignment inputs =
+  let n = Ip_module.int_param assignment "multiplicand_width" in
+  let pw = Ip_module.int_param assignment "product_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let constant = Ip_module.int_param assignment "constant" in
+  let kw = Jhdl_modgen.Util.bits_for_constant constant in
+  List.map
+    (fun x ->
+       Kcm.expected_product ~signed_mode ~constant ~full_width:(n + kw)
+         ~product_width:pw x)
+    inputs
+
+(* vendor-shipped validation bench: drive a spread of multiplicands,
+   expect the golden products, honouring the pipeline latency *)
+let kcm_bench assignment (built : Ip_module.built) =
+  let n = Ip_module.int_param assignment "multiplicand_width" in
+  let pw = Ip_module.int_param assignment "product_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let constant = Ip_module.int_param assignment "constant" in
+  let kw = Jhdl_modgen.Util.bits_for_constant constant in
+  let latency = built.Ip_module.latency in
+  let sample i = (i * 37) land ((1 lsl n) - 1) in
+  List.concat_map
+    (fun i ->
+       let x = Bits.of_int ~width:n (sample i) in
+       let expected =
+         Kcm.expected_product ~signed_mode ~constant ~full_width:(n + kw)
+           ~product_width:pw x
+       in
+       [ Testbench.Drive ("multiplicand", x) ]
+       @ (if latency = 0 then [ Testbench.Settle ]
+          else [ Testbench.Step latency ])
+       @ [ Testbench.Expect ("product", expected) ])
+    (List.init 12 (fun i -> i))
+
+let kcm =
+  { Ip_module.ip_name = "VirtexKCMMultiplier";
+    vendor;
+    description =
+      "Optimized constant coefficient multiplier using partial-product \
+       look-up tables (Virtex, pre-placed)";
+    params =
+      [ ("multiplicand_width",
+         Ip_module.Int_param { min_value = 2; max_value = 16; default = 8 });
+        ("product_width",
+         Ip_module.Int_param { min_value = 2; max_value = 32; default = 12 });
+        ("signed", Ip_module.Bool_param { default = true });
+        ("pipelined", Ip_module.Bool_param { default = true });
+        ("constant",
+         Ip_module.Int_param
+           { min_value = -32768; max_value = 32767; default = -56 }) ];
+    build = kcm_build;
+    reference = Some kcm_reference;
+    shipped_bench = Some kcm_bench }
+
+let fir_coefficient_sets =
+  [ ("lowpass5", [ 1; 4; 6; 4; 1 ]);
+    ("highpass5", [ -1; -2; 6; -2; -1 ]);
+    ("edge3", [ -1; 2; -1 ]);
+    ("boxcar4", [ 1; 1; 1; 1 ]) ]
+
+let fir_build assignment =
+  let xw = Ip_module.int_param assignment "input_width" in
+  let yw = Ip_module.int_param assignment "output_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let set_name = Ip_module.choice_param assignment "taps" in
+  let coefficients = List.assoc set_name fir_coefficient_sets in
+  if (not signed_mode) && List.exists (fun c -> c < 0) coefficients then
+    invalid_arg
+      (Printf.sprintf "coefficient set %s needs signed mode" set_name);
+  let top = Cell.root ~name:"fir_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" xw in
+  let y = Wire.create top ~name:"y" yw in
+  let fir = Fir.create top ~clk ~x ~y ~signed_mode ~coefficients () in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  Design.add_port design "x" Types.Input x;
+  Design.add_port design "y" Types.Output y;
+  { Ip_module.design;
+    clock_port = Some "clk";
+    latency = 0;
+    notes =
+      [ Printf.sprintf "%d taps (%s), accumulation width %d" fir.Fir.taps
+          set_name fir.Fir.full_width ] }
+
+let fir_reference assignment inputs =
+  let xw = Ip_module.int_param assignment "input_width" in
+  let yw = Ip_module.int_param assignment "output_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let set_name = Ip_module.choice_param assignment "taps" in
+  let coefficients = List.assoc set_name fir_coefficient_sets in
+  let full_width = Fir.accumulation_width ~x_width:xw ~coefficients in
+  let samples =
+    List.map
+      (fun v ->
+         match
+           if signed_mode then Bits.to_signed_int v else Bits.to_int v
+         with
+         | Some n -> n
+         | None -> 0)
+      inputs
+  in
+  Fir.expected_response ~signed_mode ~coefficients ~full_width ~out_width:yw
+    samples
+
+let fir_bench assignment (_ : Ip_module.built) =
+  let xw = Ip_module.int_param assignment "input_width" in
+  let yw = Ip_module.int_param assignment "output_width" in
+  let signed_mode = Ip_module.bool_param assignment "signed" in
+  let set_name = Ip_module.choice_param assignment "taps" in
+  let coefficients = List.assoc set_name fir_coefficient_sets in
+  let full_width = Fir.accumulation_width ~x_width:xw ~coefficients in
+  let limit = 1 lsl (xw - 1) in
+  let samples = List.init 10 (fun i -> ((i * 23) mod (2 * limit)) - limit) in
+  let samples =
+    if signed_mode then samples else List.map (fun s -> abs s) samples
+  in
+  let expected =
+    Fir.expected_response ~signed_mode ~coefficients ~full_width
+      ~out_width:yw samples
+  in
+  List.concat
+    (List.map2
+       (fun x e ->
+          (* y(n) is combinational in x(n): check before the edge *)
+          [ Testbench.Drive ("x", Bits.of_int ~width:xw x);
+            Testbench.Settle;
+            Testbench.Expect ("y", e);
+            Testbench.Step 1 ])
+       samples expected)
+
+let fir =
+  { Ip_module.ip_name = "FirFilter";
+    vendor;
+    description =
+      "Transposed-form constant-coefficient FIR filter built from KCM \
+       multipliers";
+    params =
+      [ ("input_width",
+         Ip_module.Int_param { min_value = 2; max_value = 12; default = 8 });
+        ("output_width",
+         Ip_module.Int_param { min_value = 4; max_value = 40; default = 20 });
+        ("signed", Ip_module.Bool_param { default = true });
+        ("taps",
+         Ip_module.Choice_param
+           { choices = List.map fst fir_coefficient_sets;
+             default = "lowpass5" }) ];
+    build = fir_build;
+    reference = Some fir_reference;
+    shipped_bench = Some fir_bench }
+
+let counter_build assignment =
+  let width = Ip_module.int_param assignment "width" in
+  let has_enable = Ip_module.bool_param assignment "has_enable" in
+  let top = Cell.root ~name:"counter_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" width in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  if has_enable then begin
+    let ce = Wire.create top ~name:"ce" 1 in
+    let _ = Counter.up_counter top ~clk ~ce ~q () in
+    Design.add_port design "ce" Types.Input ce
+  end
+  else begin
+    let _ = Counter.up_counter top ~clk ~q () in
+    ()
+  end;
+  Design.add_port design "q" Types.Output q;
+  { Ip_module.design; clock_port = Some "clk"; latency = 1; notes = [] }
+
+let counter_bench assignment (_ : Ip_module.built) =
+  let width = Ip_module.int_param assignment "width" in
+  let has_enable = Ip_module.bool_param assignment "has_enable" in
+  let wrap = 1 lsl width in
+  (if has_enable then [ Testbench.Drive ("ce", Bits.of_int ~width:1 1) ]
+   else [])
+  @ [ Testbench.Expect ("q", Bits.zero width);
+      Testbench.Step 5;
+      Testbench.Expect ("q", Bits.of_int ~width (5 mod wrap));
+      Testbench.Step wrap;
+      Testbench.Expect ("q", Bits.of_int ~width (5 mod wrap)) ]
+  @
+  if has_enable then
+    [ Testbench.Drive ("ce", Bits.of_int ~width:1 0);
+      Testbench.Step 3;
+      Testbench.Expect ("q", Bits.of_int ~width (5 mod wrap)) ]
+  else []
+
+let counter =
+  { Ip_module.ip_name = "UpCounter";
+    vendor;
+    description = "Carry-chain binary up-counter";
+    params =
+      [ ("width",
+         Ip_module.Int_param { min_value = 1; max_value = 16; default = 8 });
+        ("has_enable", Ip_module.Bool_param { default = false }) ];
+    build = counter_build;
+    reference = None;
+    shipped_bench = Some counter_bench }
+
+let cordic_build assignment =
+  let width = Ip_module.int_param assignment "width" in
+  let iterations = Ip_module.int_param assignment "iterations" in
+  let pipelined = Ip_module.bool_param assignment "pipelined" in
+  let top = Cell.root ~name:"cordic_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let angle = Wire.create top ~name:"angle" width in
+  let cos_out = Wire.create top ~name:"cos" width in
+  let sin_out = Wire.create top ~name:"sin" width in
+  let cordic =
+    Cordic.create top ~clk ~angle ~cos_out ~sin_out ~iterations ~pipelined ()
+  in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  Design.add_port design "angle" Types.Input angle;
+  Design.add_port design "cos" Types.Output cos_out;
+  Design.add_port design "sin" Types.Output sin_out;
+  { Ip_module.design;
+    clock_port = Some "clk";
+    latency = cordic.Cordic.latency;
+    notes =
+      [ Printf.sprintf "%d unrolled iterations; outputs scaled by 2^%d"
+          cordic.Cordic.iterations (width - 2) ] }
+
+let cordic_bench assignment (built : Ip_module.built) =
+  let width = Ip_module.int_param assignment "width" in
+  let iterations = Ip_module.int_param assignment "iterations" in
+  let latency = built.Ip_module.latency in
+  let quarter = 1 lsl (width - 2) in
+  List.concat_map
+    (fun angle ->
+       let cos_ref, sin_ref = Cordic.reference ~width ~iterations angle in
+       [ Testbench.Drive ("angle", Bits.of_int ~width angle) ]
+       @ (if latency = 0 then [ Testbench.Settle ]
+          else [ Testbench.Step latency ])
+       @ [ Testbench.Expect ("cos", Bits.of_int ~width cos_ref);
+           Testbench.Expect ("sin", Bits.of_int ~width sin_ref) ])
+    [ 0; quarter / 2; -quarter / 2; quarter; -quarter; 1; -1 ]
+
+let cordic =
+  { Ip_module.ip_name = "CordicRotator";
+    vendor;
+    description = "Fixed-point CORDIC sine/cosine rotator (unrolled)";
+    params =
+      [ ("width",
+         Ip_module.Int_param { min_value = 6; max_value = 32; default = 12 });
+        ("iterations",
+         Ip_module.Int_param { min_value = 1; max_value = 32; default = 10 });
+        ("pipelined", Ip_module.Bool_param { default = false }) ];
+    build = cordic_build;
+    reference = None;
+    shipped_bench = Some cordic_bench }
+
+let all = [ kcm; fir; counter; cordic ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt
+    (fun ip -> String.lowercase_ascii ip.Ip_module.ip_name = lower)
+    all

@@ -1,0 +1,32 @@
+(** The vendor's IP catalog: module generators packaged as deliverable
+    {!Ip_module.t} values. [kcm] is the paper's constant coefficient
+    multiplier applet (Figures 1 and 3); [fir] is the "more complicated
+    IP" of the future-work section and the second black box in the
+    Figure 4 scenario; [counter] is a small logic module rounding out the
+    catalog. *)
+
+(** Parameters: [multiplicand_width] (2..16), [product_width] (2..32),
+    [signed], [pipelined], [constant] (-32768..32767). Ports:
+    [multiplicand], [product], [clk]. *)
+val kcm : Ip_module.t
+
+(** Parameters: [input_width] (2..12), [output_width] (4..40), [signed],
+    [taps] as a choice of preset coefficient sets. Ports: [x], [y],
+    [clk]. *)
+val fir : Ip_module.t
+
+(** Parameters: [width] (1..16), [has_enable]. Ports: [q], [clk],
+    optionally [ce]. *)
+val counter : Ip_module.t
+
+(** Parameters: [width] (6..32), [iterations] (1..32), [pipelined].
+    Ports: [angle], [cos], [sin], [clk]. *)
+val cordic : Ip_module.t
+
+val all : Ip_module.t list
+
+(** [find name] — case-insensitive catalog lookup. *)
+val find : string -> Ip_module.t option
+
+(** [fir_coefficient_sets] — the named presets the [taps] choice offers. *)
+val fir_coefficient_sets : (string * int list) list

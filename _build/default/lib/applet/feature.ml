@@ -1,0 +1,36 @@
+type t =
+  | Generator_interface
+  | Estimator
+  | Schematic_viewer
+  | Layout_viewer
+  | Simulator_tool
+  | Waveform_viewer
+  | Netlister
+
+let all =
+  [ Generator_interface; Estimator; Schematic_viewer; Layout_viewer;
+    Simulator_tool; Waveform_viewer; Netlister ]
+
+let name = function
+  | Generator_interface -> "generator interface"
+  | Estimator -> "circuit estimator"
+  | Schematic_viewer -> "schematic viewer"
+  | Layout_viewer -> "layout viewer"
+  | Simulator_tool -> "simulator"
+  | Waveform_viewer -> "waveform viewer"
+  | Netlister -> "netlister"
+
+let equal (a : t) b = a = b
+
+let components features =
+  let needs_viewer =
+    List.exists
+      (fun f ->
+         match f with
+         | Schematic_viewer | Layout_viewer | Waveform_viewer -> true
+         | Generator_interface | Estimator | Simulator_tool | Netlister ->
+           false)
+      features
+  in
+  Jhdl_bundle.Partition.(
+    [ Base; Virtex ] @ (if needs_viewer then [ Viewer ] else []) @ [ Applet ])

@@ -1,0 +1,24 @@
+(** The IP-evaluation tools an executable may contain (Section 3.2's
+    list: structural circuit viewer, executable simulation model,
+    programmatic circuit generator interface, layout view, circuit
+    netlisting — plus the estimator every configuration carries in
+    Figure 2). *)
+
+type t =
+  | Generator_interface  (** parameter form + Build button *)
+  | Estimator  (** area/timing estimates *)
+  | Schematic_viewer  (** structure + hierarchy browsing *)
+  | Layout_viewer  (** RLOC floorplan view *)
+  | Simulator_tool  (** Cycle/Reset simulation *)
+  | Waveform_viewer  (** recorded history display *)
+  | Netlister  (** netlist export (formats set by the license) *)
+
+val all : t list
+val name : t -> string
+val equal : t -> t -> bool
+
+(** [components features] — the jar components an applet built from
+    [features] must download ({!Jhdl_bundle.Partition}); every applet
+    needs the base classes, the technology library and the applet glue,
+    viewers add the viewer jar. *)
+val components : t list -> Jhdl_bundle.Partition.component list

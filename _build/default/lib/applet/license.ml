@@ -1,0 +1,85 @@
+module Metering = Jhdl_security.Metering
+module Format_kind = Jhdl_netlist.Format_kind
+
+type tier =
+  | Passive
+  | Evaluator
+  | Licensed
+  | Vendor
+
+type t = {
+  tier : tier;
+  features : Feature.t list;
+  formats : Format_kind.t list;
+  limits : (Metering.action * int) list;
+  watermark : bool;
+}
+
+let tier_name = function
+  | Passive -> "passive"
+  | Evaluator -> "evaluator"
+  | Licensed -> "licensed"
+  | Vendor -> "vendor"
+
+let all_tiers = [ Passive; Evaluator; Licensed; Vendor ]
+
+let of_tier tier =
+  match tier with
+  | Passive ->
+    { tier;
+      features = [ Feature.Generator_interface; Feature.Estimator ];
+      formats = [];
+      limits = [ (Metering.Build, 20) ];
+      watermark = false }
+  | Evaluator ->
+    { tier;
+      features =
+        [ Feature.Generator_interface; Feature.Estimator;
+          Feature.Schematic_viewer; Feature.Simulator_tool;
+          Feature.Waveform_viewer ];
+      formats = [];
+      limits = [ (Metering.Build, 100); (Metering.Simulate, 1000) ];
+      watermark = false }
+  | Licensed ->
+    { tier;
+      features =
+        [ Feature.Generator_interface; Feature.Estimator;
+          Feature.Schematic_viewer; Feature.Layout_viewer;
+          Feature.Simulator_tool; Feature.Waveform_viewer; Feature.Netlister ];
+      formats = Format_kind.all;
+      limits = [ (Metering.Netlist_export, 50) ];
+      watermark = true }
+  | Vendor ->
+    { tier;
+      features = Feature.all;
+      formats = Format_kind.all;
+      limits = [];
+      watermark = false }
+
+let grants t f = List.exists (Feature.equal f) t.features
+
+let feature_matrix () =
+  let buffer = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  add "%-22s" "feature";
+  List.iter (fun tier -> add " %-10s" (tier_name tier)) all_tiers;
+  add "\n";
+  List.iter
+    (fun f ->
+       add "%-22s" (Feature.name f);
+       List.iter
+         (fun tier ->
+            add " %-10s" (if grants (of_tier tier) f then "yes" else "-"))
+         all_tiers;
+       add "\n")
+    Feature.all;
+  add "%-22s" "netlist formats";
+  List.iter
+    (fun tier ->
+       let formats = (of_tier tier).formats in
+       add " %-10s"
+         (if formats = [] then "-"
+          else String.concat "/" (List.map Format_kind.to_string formats)))
+    all_tiers;
+  add "\n";
+  Buffer.contents buffer

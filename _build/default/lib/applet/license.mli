@@ -1,0 +1,32 @@
+(** License tiers: which tools a customer's applet carries.
+
+    "Based on the user's license, a custom applet is presented that
+    offers the appropriate IP evaluation and delivery functionality"
+    (Section 1.1). [Passive] and [Licensed] are the two configurations of
+    Figure 2; [Evaluator] is the transparent applet of Figure 3 without
+    netlist export; [Vendor] is unrestricted. *)
+
+type tier =
+  | Passive  (** generator interface + estimator only (Figure 2, left) *)
+  | Evaluator
+      (** adds viewers, simulator and waveforms; metered builds; no
+          netlists *)
+  | Licensed  (** full Figure 2 right configuration, netlist export *)
+  | Vendor  (** everything, unmetered *)
+
+type t = {
+  tier : tier;
+  features : Feature.t list;
+  formats : Jhdl_netlist.Format_kind.t list;  (** exportable formats *)
+  limits : (Jhdl_security.Metering.action * int) list;
+  watermark : bool;  (** watermark exported netlists *)
+}
+
+val of_tier : tier -> t
+val tier_name : tier -> string
+val all_tiers : tier list
+val grants : t -> Feature.t -> bool
+
+(** [feature_matrix ()] renders tiers x features as a table (the Figure 2
+    comparison, generalized). *)
+val feature_matrix : unit -> string

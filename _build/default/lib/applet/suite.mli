@@ -1,0 +1,30 @@
+(** Multi-IP delivery applet.
+
+    The paper's future work names "developing applets that deliver more
+    than one IP module". A suite wraps one applet per catalog entry
+    behind a single executable with an IP selector; the license (and its
+    meters) is shared across the suite, so an evaluation cap applies to
+    the customer, not per module. *)
+
+type t
+
+type command =
+  | List_ips  (** show the catalog slice this suite carries *)
+  | Select of string  (** switch the active IP by name *)
+  | Ip_command of Applet.command  (** forwarded to the active IP's applet *)
+
+val command_to_string : command -> string
+
+(** [create ~ips ~license ~user ()] — one shared license and meter; the
+    first IP is initially selected. [ips] must be non-empty. *)
+val create :
+  ips:Ip_module.t list -> license:License.t -> user:string -> unit -> t
+
+val selected : t -> Ip_module.t
+
+(** [applet_of t name] — the per-IP applet, for tools layered on top;
+    [None] for names outside the suite. *)
+val applet_of : t -> string -> Applet.t option
+
+val exec : t -> command -> (string, string) result
+val run_script : t -> command list -> string

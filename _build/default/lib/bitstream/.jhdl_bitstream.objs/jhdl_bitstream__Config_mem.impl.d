@@ -1,0 +1,1 @@
+lib/bitstream/config_mem.ml: Array Bytes Char Hashtbl Int Jhdl_circuit Jhdl_logic List

@@ -1,0 +1,1 @@
+lib/bitstream/config_mem.mli: Jhdl_circuit Jhdl_logic

@@ -1,0 +1,1 @@
+lib/bitstream/jbits.ml: Bytes Config_mem Format List

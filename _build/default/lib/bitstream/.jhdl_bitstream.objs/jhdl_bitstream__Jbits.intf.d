@@ -1,0 +1,1 @@
+lib/bitstream/jbits.mli: Config_mem Format Jhdl_circuit

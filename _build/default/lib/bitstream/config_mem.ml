@@ -1,0 +1,279 @@
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Lut_init = Jhdl_logic.Lut_init
+module Bit = Jhdl_logic.Bit
+open Jhdl_circuit.Types
+
+(* per-slice configuration: 2 LUT sites, 2 FFs, 2 carry pairs, routing *)
+type slice = {
+  lut_inits : int array; (* 2 x 16-bit *)
+  lut_used : bool array;
+  ff_used : bool array;
+  ff_init : bool array;
+  carry_used : bool array;
+  routing : int array; (* 4 x 16-bit words *)
+}
+
+let blank_slice () =
+  { lut_inits = Array.make 2 0;
+    lut_used = Array.make 2 false;
+    ff_used = Array.make 2 false;
+    ff_init = Array.make 2 false;
+    carry_used = Array.make 2 false;
+    routing = Array.make 4 0 }
+
+type t = {
+  grid_rows : int;
+  grid_cols : int;
+  grid : slice array array; (* [row].[col] *)
+}
+
+type frame = {
+  frame_col : int;
+  frame_data : bytes;
+}
+
+let create ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Config_mem.create: bad geometry";
+  { grid_rows = rows;
+    grid_cols = cols;
+    grid = Array.init rows (fun _ -> Array.init cols (fun _ -> blank_slice ())) }
+
+let rows t = t.grid_rows
+let cols t = t.grid_cols
+
+let slice_bytes = 13 (* 2x2 INIT + 1 flag byte + 4x2 routing *)
+
+let frame_bytes t = t.grid_rows * slice_bytes
+
+(* widen a k-input INIT to the 16-bit LUT4 table by repeating it over the
+   unused (tied-off) address bits *)
+let widen_init init =
+  let k = Lut_init.inputs init in
+  if k >= 4 then Lut_init.to_int init land 0xFFFF
+  else begin
+    let table = ref 0 in
+    for addr = 0 to 15 do
+      if Lut_init.eval_int init (addr land ((1 lsl k) - 1)) then
+        table := !table lor (1 lsl addr)
+    done;
+    !table
+  end
+
+let fnv ints =
+  let h = ref 0x811c9dc5 in
+  List.iter
+    (fun v ->
+       let rec mix v k =
+         if k = 0 then ()
+         else begin
+           h := !h lxor (v land 0xFF);
+           h := !h * 0x01000193 land 0x3FFFFFFF;
+           mix (v lsr 8) (k - 1)
+         end
+       in
+       mix v 4)
+    ints;
+  !h
+
+(* signatures use design-local net indices so that rebuilding the same
+   design yields identical bits regardless of global id counters *)
+let routing_signature ~net_index inst =
+  let nets =
+    List.concat_map
+      (fun b ->
+         Array.to_list b.actual.nets
+         |> List.filter_map (fun n -> Hashtbl.find_opt net_index n.net_id))
+      inst.port_bindings
+    |> List.sort Int.compare
+  in
+  fnv nets
+
+(* resource slots *)
+type resource =
+  | Lut_site
+  | Ff_site
+  | Carry_site
+
+let slot_free slice resource index =
+  match resource with
+  | Lut_site -> not slice.lut_used.(index)
+  | Ff_site -> not slice.ff_used.(index)
+  | Carry_site -> not slice.carry_used.(index)
+
+let place_in t ~row ~col resource =
+  (* probe the requested site first, then scan row-major from there *)
+  let try_site r c =
+    if r >= 0 && r < t.grid_rows && c >= 0 && c < t.grid_cols then begin
+      let slice = t.grid.(r).(c) in
+      let rec probe index =
+        if index >= 2 then None
+        else if slot_free slice resource index then Some (r, c, index)
+        else probe (index + 1)
+      in
+      probe 0
+    end
+    else None
+  in
+  let rec scan offset =
+    if offset >= t.grid_rows * t.grid_cols then None
+    else begin
+      let linear = ((row * t.grid_cols) + col + offset) mod (t.grid_rows * t.grid_cols) in
+      let r = linear / t.grid_cols and c = linear mod t.grid_cols in
+      match try_site r c with
+      | Some site -> Some site
+      | None -> scan (offset + 1)
+    end
+  in
+  scan 0
+
+let configure t design =
+  let occupied = ref 0 in
+  let net_index = Hashtbl.create 256 in
+  List.iteri
+    (fun i n -> Hashtbl.replace net_index n.net_id i)
+    (Design.all_nets design);
+  (* accumulated RLOC positions, as in the floorplan viewer *)
+  let placements = ref [] in
+  let rec walk ~row ~col ~placed c =
+    let row, col, placed =
+      match Cell.rloc c with
+      | Some (r, k) -> (row + r, col + k, true)
+      | None -> (row, col, placed)
+    in
+    match Cell.prim_of c with
+    | Some prim -> placements := (c, prim, row, col, placed) :: !placements
+    | None -> List.iter (walk ~row ~col ~placed) (Cell.children c)
+  in
+  walk ~row:0 ~col:0 ~placed:false (Design.root design);
+  let place_prim (inst, prim, row, col, _placed) =
+    let burn resource fill =
+      match place_in t ~row ~col resource with
+      | None -> invalid_arg "Config_mem.configure: design does not fit"
+      | Some (r, c, index) ->
+        let slice = t.grid.(r).(c) in
+        fill slice index;
+        let signature = routing_signature ~net_index inst in
+        slice.routing.(index) <- slice.routing.(index) lxor (signature land 0xFFFF);
+        slice.routing.(index + 2) <-
+          slice.routing.(index + 2) lxor ((signature lsr 16) land 0xFFFF);
+        incr occupied
+    in
+    match prim with
+    | Prim.Lut init ->
+      burn Lut_site (fun slice index ->
+        slice.lut_used.(index) <- true;
+        slice.lut_inits.(index) <- widen_init init)
+    | Prim.Srl16 { init } | Prim.Ram16x1 { init } ->
+      burn Lut_site (fun slice index ->
+        slice.lut_used.(index) <- true;
+        slice.lut_inits.(index) <- init land 0xFFFF)
+    | Prim.Ff { init; _ } ->
+      burn Ff_site (fun slice index ->
+        slice.ff_used.(index) <- true;
+        slice.ff_init.(index) <- Bit.equal init Bit.One)
+    | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and ->
+      burn Carry_site (fun slice index -> slice.carry_used.(index) <- true)
+    | Prim.Inv ->
+      burn Lut_site (fun slice index ->
+        slice.lut_used.(index) <- true;
+        slice.lut_inits.(index) <- widen_init (Lut_init.of_int ~inputs:1 0b01))
+    | Prim.Buf | Prim.Gnd | Prim.Vcc | Prim.Black_box _ -> ()
+  in
+  List.iter place_prim (List.rev !placements);
+  !occupied
+
+let encode_slice slice buffer offset =
+  let put16 k v =
+    Bytes.set buffer (offset + k) (Char.chr (v land 0xFF));
+    Bytes.set buffer (offset + k + 1) (Char.chr ((v lsr 8) land 0xFF))
+  in
+  put16 0 slice.lut_inits.(0);
+  put16 2 slice.lut_inits.(1);
+  let flags =
+    (if slice.lut_used.(0) then 1 else 0)
+    lor (if slice.lut_used.(1) then 2 else 0)
+    lor (if slice.ff_used.(0) then 4 else 0)
+    lor (if slice.ff_used.(1) then 8 else 0)
+    lor (if slice.ff_init.(0) then 16 else 0)
+    lor (if slice.ff_init.(1) then 32 else 0)
+    lor (if slice.carry_used.(0) then 64 else 0)
+    lor if slice.carry_used.(1) then 128 else 0
+  in
+  Bytes.set buffer (offset + 4) (Char.chr flags);
+  Array.iteri (fun i w -> put16 (5 + (2 * i)) (w land 0xFFFF)) slice.routing
+
+let decode_slice buffer offset =
+  let get16 k =
+    Char.code (Bytes.get buffer (offset + k))
+    lor (Char.code (Bytes.get buffer (offset + k + 1)) lsl 8)
+  in
+  let flags = Char.code (Bytes.get buffer (offset + 4)) in
+  { lut_inits = [| get16 0; get16 2 |];
+    lut_used = [| flags land 1 <> 0; flags land 2 <> 0 |];
+    ff_used = [| flags land 4 <> 0; flags land 8 <> 0 |];
+    ff_init = [| flags land 16 <> 0; flags land 32 <> 0 |];
+    carry_used = [| flags land 64 <> 0; flags land 128 <> 0 |];
+    routing = Array.init 4 (fun i -> get16 (5 + (2 * i))) }
+
+let frame_of_col t col =
+  let buffer = Bytes.create (frame_bytes t) in
+  for row = 0 to t.grid_rows - 1 do
+    encode_slice t.grid.(row).(col) buffer (row * slice_bytes)
+  done;
+  { frame_col = col; frame_data = buffer }
+
+let frames t = List.init t.grid_cols (frame_of_col t)
+
+let header_bytes = 64 (* sync word, device id, CRC fields *)
+
+let total_bytes t = header_bytes + (t.grid_cols * frame_bytes t)
+
+let diff ~base ~target =
+  if rows base <> rows target || cols base <> cols target then
+    invalid_arg "Config_mem.diff: geometry mismatch";
+  List.filter
+    (fun frame ->
+       let base_frame = frame_of_col base frame.frame_col in
+       not (Bytes.equal base_frame.frame_data frame.frame_data))
+    (frames target)
+
+let apply t frame_list =
+  List.iter
+    (fun frame ->
+       if frame.frame_col < 0 || frame.frame_col >= t.grid_cols then
+         invalid_arg "Config_mem.apply: frame column out of range";
+       if Bytes.length frame.frame_data <> frame_bytes t then
+         invalid_arg "Config_mem.apply: frame size mismatch";
+       for row = 0 to t.grid_rows - 1 do
+         t.grid.(row).(frame.frame_col) <-
+           decode_slice frame.frame_data (row * slice_bytes)
+       done)
+    frame_list
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && List.for_all2
+       (fun fa fb -> Bytes.equal fa.frame_data fb.frame_data)
+       (frames a) (frames b)
+
+let readback_luts t =
+  let acc = ref [] in
+  for row = t.grid_rows - 1 downto 0 do
+    for col = t.grid_cols - 1 downto 0 do
+      let slice = t.grid.(row).(col) in
+      for site = 1 downto 0 do
+        if slice.lut_used.(site) then
+          acc :=
+            (row, col, site, Lut_init.of_int ~inputs:4 slice.lut_inits.(site))
+            :: !acc
+      done
+    done
+  done;
+  !acc
+
+let copy t =
+  let fresh = create ~rows:t.grid_rows ~cols:t.grid_cols in
+  apply fresh (frames t);
+  fresh

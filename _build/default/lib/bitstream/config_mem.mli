@@ -1,0 +1,64 @@
+(** Configuration-memory model of a Virtex-like device.
+
+    The substrate behind the JBits comparison (paper Section 1.2.3):
+    JBits delivers pre-placed IP "by modifying the configuration
+    bitstream of the user", so the IP's structure is hidden — the
+    customer receives opaque frames, not a netlist. This module models
+    enough of a configuration memory to make that delivery style real:
+    a grid of slices, each slice holding two LUT INITs, two flip-flop
+    configuration bits, carry-cell usage and a block of routing bits
+    derived deterministically from the net connectivity.
+
+    Coordinates follow the RLOC convention used by the module
+    generators: a slice at (row, col) packs the placed primitives whose
+    accumulated RLOC lands there (two LUTs / two FFs / two carry pairs
+    per site, overflow packs into the next free column slot). Unplaced
+    primitives are packed left-to-right after the placed ones. *)
+
+type t
+
+type frame = {
+  frame_col : int;
+  frame_data : bytes;  (** one column of configuration, top row first *)
+}
+
+(** [create ~rows ~cols] — a blank (all-zero) configuration. *)
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** [configure t design] — burn [design] into the configuration.
+    Raises [Invalid_argument] if the design does not fit. Returns the
+    number of slices occupied. *)
+val configure : t -> Jhdl_circuit.Design.t -> int
+
+(** [frames t] — the full bitstream, one frame per column. *)
+val frames : t -> frame list
+
+(** [frame_bytes] — size of one column frame in bytes. *)
+val frame_bytes : t -> int
+
+(** [total_bytes t] — full-bitstream size (frames plus a fixed header). *)
+val total_bytes : t -> int
+
+(** [diff ~base ~target] — partial reconfiguration: the frames of
+    [target] that differ from [base]. *)
+val diff : base:t -> target:t -> frame list
+
+(** [apply t frames] — write frames into [t] (partial reconfiguration).
+    Raises [Invalid_argument] on geometry mismatch. *)
+val apply : t -> frame list -> unit
+
+(** [equal a b] — same geometry and identical configuration bits. *)
+val equal : t -> t -> bool
+
+(** [readback_luts t] — what an attacker (or verifier) can recover from
+    the bitstream alone: the list of non-empty LUT INITs with their
+    (row, col, site) coordinates — contents without names, hierarchy or
+    connectivity, which is exactly the visibility JBits-style delivery
+    offers. *)
+val readback_luts : t -> (int * int * int * Jhdl_logic.Lut_init.t) list
+
+(** [copy t] — deep copy, for building base/target pairs. *)
+val copy : t -> t

@@ -1,0 +1,73 @@
+type package = {
+  device_rows : int;
+  device_cols : int;
+  frames : Config_mem.frame list;
+  payload_bytes : int;
+  slices_used : int;
+}
+
+let package ~device_rows ~device_cols design =
+  let blank = Config_mem.create ~rows:device_rows ~cols:device_cols in
+  let target = Config_mem.create ~rows:device_rows ~cols:device_cols in
+  let slices_used = Config_mem.configure target design in
+  let frames = Config_mem.diff ~base:blank ~target in
+  let payload_bytes =
+    List.fold_left
+      (fun acc f -> acc + Bytes.length f.Config_mem.frame_data + 8)
+      64 frames
+  in
+  { device_rows; device_cols; frames; payload_bytes; slices_used }
+
+let install ~into p =
+  if Config_mem.rows into <> p.device_rows || Config_mem.cols into <> p.device_cols
+  then invalid_arg "Jbits.install: device geometry mismatch";
+  Config_mem.apply into p.frames
+
+type visibility = {
+  form : string;
+  bytes : int;
+  instance_names : bool;
+  hierarchy : bool;
+  connectivity : bool;
+  lut_contents : bool;
+  simulatable : bool;
+}
+
+let visibility_of_package p =
+  { form = "JBits bitstream frames";
+    bytes = p.payload_bytes;
+    instance_names = false;
+    hierarchy = false;
+    connectivity = false (* routing words are opaque signatures *);
+    lut_contents = true (* readback recovers INITs *);
+    simulatable = false }
+
+let visibility_of_netlist ~bytes =
+  { form = "structural netlist (EDIF)";
+    bytes;
+    instance_names = true;
+    hierarchy = true;
+    connectivity = true;
+    lut_contents = true;
+    simulatable = true }
+
+let visibility_of_applet ~bytes =
+  { form = "black-box applet";
+    bytes;
+    instance_names = false;
+    hierarchy = false;
+    connectivity = false;
+    lut_contents = false;
+    simulatable = true }
+
+let pp_visibility_table fmt rows =
+  let yes_no b = if b then "yes" else "-" in
+  Format.fprintf fmt "%-26s %9s %6s %6s %6s %6s %6s@."
+    "delivery form" "bytes" "names" "hier" "conn" "INITs" "sim";
+  List.iter
+    (fun v ->
+       Format.fprintf fmt "%-26s %9d %6s %6s %6s %6s %6s@." v.form v.bytes
+         (yes_no v.instance_names) (yes_no v.hierarchy)
+         (yes_no v.connectivity) (yes_no v.lut_contents)
+         (yes_no v.simulatable))
+    rows

@@ -1,0 +1,48 @@
+(** JBits-style IP delivery: pre-placed cores as bitstream modifications.
+
+    The delivery alternative the paper contrasts with (Section 1.2.3):
+    "This tool delivers pre-placed IP cores by modifying the
+    configuration bitstream of the user. Because the IP is delivered in
+    the form of changes to a proprietary configuration bitstream, the
+    structure of the IP is hidden from the user."
+
+    A vendor {!package}s a generated design into partial-reconfiguration
+    frames against a blank device; a customer {!install}s those frames
+    into their own configuration. {!visibility} quantifies what each
+    delivery form exposes, feeding the A3 bench. *)
+
+type package = {
+  device_rows : int;
+  device_cols : int;
+  frames : Config_mem.frame list;  (** only the columns the IP touches *)
+  payload_bytes : int;
+  slices_used : int;
+}
+
+(** [package ~device_rows ~device_cols design] — configure [design] into
+    a blank device of the given geometry and keep the touched frames. *)
+val package :
+  device_rows:int -> device_cols:int -> Jhdl_circuit.Design.t -> package
+
+(** [install ~into p] — apply the package's frames to a customer
+    configuration. Raises [Invalid_argument] on geometry mismatch. *)
+val install : into:Config_mem.t -> package -> unit
+
+(** What a customer can recover from a delivery artifact. *)
+type visibility = {
+  form : string;
+  bytes : int;
+  instance_names : bool;
+  hierarchy : bool;
+  connectivity : bool;
+  lut_contents : bool;
+  simulatable : bool;
+}
+
+(** [visibility_of_package p] and [visibility_of_netlist ~bytes] /
+    [visibility_of_applet ~bytes] — the comparison rows. *)
+val visibility_of_package : package -> visibility
+
+val visibility_of_netlist : bytes:int -> visibility
+val visibility_of_applet : bytes:int -> visibility
+val pp_visibility_table : Format.formatter -> visibility list -> unit

@@ -1,0 +1,1 @@
+lib/bundle/class_file.mli:

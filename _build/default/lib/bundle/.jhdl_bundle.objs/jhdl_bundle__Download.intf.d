@@ -1,0 +1,1 @@
+lib/bundle/download.mli: Jar

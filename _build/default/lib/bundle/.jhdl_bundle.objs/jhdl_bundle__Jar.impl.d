@@ -1,0 +1,1 @@
+lib/bundle/jar.ml: Class_file Format Hashtbl List

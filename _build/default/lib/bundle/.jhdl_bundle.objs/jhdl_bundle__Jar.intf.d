@@ -1,0 +1,1 @@
+lib/bundle/jar.mli: Class_file Format

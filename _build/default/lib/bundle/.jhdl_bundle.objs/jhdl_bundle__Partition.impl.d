@@ -1,0 +1,1 @@
+lib/bundle/partition.ml: Buffer Class_file Format Hashtbl Jar List Printf

@@ -1,0 +1,1 @@
+lib/bundle/partition.mli: Jar

@@ -1,0 +1,48 @@
+type t = {
+  fqcn : string;
+  structural_bytes : int;
+  symbol_bytes : int;
+}
+
+let size c = c.structural_bytes + c.symbol_bytes
+
+(* Deterministic small hash (FNV-1a) so synthesized sizes are stable. *)
+let hash name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch ->
+       h := !h lxor Char.code ch;
+       h := !h * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h
+
+(* Synthetic reference count: how many symbol-table entries mention the
+   class's own names; scales the obfuscation opportunity. *)
+let reference_count fqcn = 18 + (hash (fqcn ^ "#refs") mod 30)
+
+let symbol_bytes_for ~fqcn =
+  String.length fqcn * reference_count fqcn / 3
+
+let synthesize ~fqcn ~weight =
+  (* average ~2.2 kB structural at weight 1.0, spread x0.5..x1.5 *)
+  let spread = 0.5 +. (float_of_int (hash fqcn mod 1000) /. 1000.0) in
+  let structural_bytes =
+    int_of_float (2200.0 *. weight *. spread)
+  in
+  { fqcn; structural_bytes; symbol_bytes = symbol_bytes_for ~fqcn }
+
+let rename c ~fqcn =
+  (* keep the reference count of the original class: the same number of
+     constant-pool slots now hold the shorter name *)
+  let refs = reference_count c.fqcn in
+  { c with fqcn; symbol_bytes = String.length fqcn * refs / 3 }
+
+let package c =
+  match String.rindex_opt c.fqcn '.' with
+  | None -> ""
+  | Some i -> String.sub c.fqcn 0 i
+
+let simple_name c =
+  match String.rindex_opt c.fqcn '.' with
+  | None -> c.fqcn
+  | Some i -> String.sub c.fqcn (i + 1) (String.length c.fqcn - i - 1)

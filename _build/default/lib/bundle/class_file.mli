@@ -1,0 +1,37 @@
+(** Model of a compiled Java class file.
+
+    The paper delivers IP executables as jar archives of class files
+    (Table 1); since no JVM exists here, class files are modeled: a class
+    has a fully-qualified name and a byte size split into a {e structural}
+    part (bytecode, constant-pool scaffolding) and a {e symbol} part
+    (names in the constant pool — what an obfuscator shrinks and what
+    grows with descriptive identifiers).
+
+    Sizes come from a deterministic cost model seeded by the class name,
+    so bundles are reproducible; the per-package totals are calibrated
+    against the paper's Table 1 (see DESIGN.md). *)
+
+type t = {
+  fqcn : string;  (** fully-qualified class name, e.g. ["byucc.jhdl.base.Wire"] *)
+  structural_bytes : int;
+  symbol_bytes : int;
+}
+
+(** [size c] is the uncompressed size in bytes. *)
+val size : t -> int
+
+(** [synthesize ~fqcn ~weight] builds a class whose structural size is
+    drawn deterministically from the name hash, scaled by [weight]
+    (1.0 = an average ~2.8 kB class). Symbol bytes grow with the name
+    length and the class's synthetic reference count. *)
+val synthesize : fqcn:string -> weight:float -> t
+
+(** [rename c ~fqcn] renames the class and recomputes symbol bytes for
+    the new (typically much shorter) name — the obfuscator's primitive. *)
+val rename : t -> fqcn:string -> t
+
+(** [package c] is the package prefix of [fqcn] ("" when none). *)
+val package : t -> string
+
+(** [simple_name c] is the last component of [fqcn]. *)
+val simple_name : t -> string

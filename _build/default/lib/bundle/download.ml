@@ -1,0 +1,27 @@
+type link = {
+  bandwidth_bits_per_s : float;
+  latency_s : float;
+}
+
+let modem_56k = { bandwidth_bits_per_s = 56_000.0; latency_s = 0.150 }
+let isdn_128k = { bandwidth_bits_per_s = 128_000.0; latency_s = 0.060 }
+let dsl_1m = { bandwidth_bits_per_s = 1_000_000.0; latency_s = 0.030 }
+let lan_10m = { bandwidth_bits_per_s = 10_000_000.0; latency_s = 0.005 }
+let lan_100m = { bandwidth_bits_per_s = 100_000_000.0; latency_s = 0.001 }
+
+let link_name link =
+  if link.bandwidth_bits_per_s < 100_000.0 then "56k modem"
+  else if link.bandwidth_bits_per_s < 500_000.0 then "128k ISDN"
+  else if link.bandwidth_bits_per_s < 5_000_000.0 then "1M DSL"
+  else if link.bandwidth_bits_per_s < 50_000_000.0 then "10M LAN"
+  else "100M LAN"
+
+let jar_seconds link jar =
+  let bytes = float_of_int (Jar.compressed_size jar) in
+  (* connection setup + request/response: two round trips *)
+  (4.0 *. link.latency_s) +. (bytes *. 8.0 /. link.bandwidth_bits_per_s)
+
+let jars_seconds link jars =
+  List.fold_left (fun acc j -> acc +. jar_seconds link j) 0.0 jars
+
+let update_seconds link ~changed () = jars_seconds link changed

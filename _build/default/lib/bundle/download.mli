@@ -1,0 +1,35 @@
+(** Applet download-time model.
+
+    "Since the binaries are loaded by the browser the first time the web
+    page is accessed, large binaries may require an unreasonable amount of
+    time and network bandwidth" (Section 4.4). Time to fetch a jar set
+    over HTTP/1.0-style transfers: one round trip of latency per file
+    plus payload over bandwidth. *)
+
+type link = {
+  bandwidth_bits_per_s : float;
+  latency_s : float;  (** one-way propagation *)
+}
+
+(** Named link presets used by the benches. *)
+val modem_56k : link
+
+val isdn_128k : link
+val dsl_1m : link
+val lan_10m : link
+val lan_100m : link
+
+val link_name : link -> string
+
+(** [jar_seconds link jar] — time for one jar: TCP-ish setup (2 RTTs)
+    plus compressed payload over bandwidth. *)
+val jar_seconds : link -> Jar.t -> float
+
+(** [jars_seconds link jars] — sequential HTTP/1.0 fetches. *)
+val jars_seconds : link -> Jar.t list -> float
+
+(** [update_seconds link ~changed ()] — bytes actually transferred on a
+    revisit after a vendor update: the browser cache keeps unchanged
+    jars, so only [changed] is re-fetched (the paper's "customers always
+    access the latest revisions" advantage, priced). *)
+val update_seconds : link -> changed:Jar.t list -> unit -> float

@@ -1,0 +1,48 @@
+type t = {
+  jar_name : string;
+  description : string;
+  entries : Class_file.t list;
+}
+
+let create ~name ~description entries =
+  { jar_name = name; description; entries }
+
+let entry_count jar = List.length jar.entries
+
+let uncompressed_size jar =
+  List.fold_left (fun acc c -> acc + Class_file.size c) 0 jar.entries
+
+let per_entry_overhead = 110
+let per_archive_overhead = 300
+let structural_ratio = 0.52
+let symbol_ratio = 0.38
+
+let compressed_size jar =
+  let payload =
+    List.fold_left
+      (fun acc c ->
+         acc
+         + int_of_float
+             (float_of_int c.Class_file.structural_bytes *. structural_ratio)
+         + int_of_float (float_of_int c.Class_file.symbol_bytes *. symbol_ratio))
+      0 jar.entries
+  in
+  payload + (per_entry_overhead * entry_count jar) + per_archive_overhead
+
+let merge ~name ~description jars =
+  let seen = Hashtbl.create 256 in
+  let entries =
+    List.concat_map (fun j -> j.entries) jars
+    |> List.filter (fun c ->
+      if Hashtbl.mem seen c.Class_file.fqcn then false
+      else begin
+        Hashtbl.replace seen c.Class_file.fqcn ();
+        true
+      end)
+  in
+  { jar_name = name; description; entries }
+
+let map_entries f jar = { jar with entries = List.map f jar.entries }
+
+let pp_size_kb fmt bytes =
+  Format.fprintf fmt "%d kB" ((bytes + 512) / 1024)

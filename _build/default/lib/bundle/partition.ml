@@ -1,0 +1,160 @@
+type component =
+  | Base
+  | Virtex
+  | Viewer
+  | Applet
+
+let all_components = [ Base; Virtex; Viewer; Applet ]
+
+let component_name = function
+  | Base -> "JHDLBase.jar"
+  | Virtex -> "Virtex.jar"
+  | Viewer -> "Viewer.jar"
+  | Applet -> "Applet.jar"
+
+let component_description = function
+  | Base -> "JHDL Classes & Simulator"
+  | Virtex -> "Xilinx Virtex Library"
+  | Viewer -> "Schematic Viewers"
+  | Applet -> "Module Generator & Applet"
+
+(* Module inventories mirror this repository's libraries: every root class
+   matches an OCaml module (or primitive cell) that actually exists here;
+   [companions] models the inner/support classes javac would emit.
+   [weight] scales the structural size (1.0 ~ 2.2 kB average). *)
+
+type spec = {
+  root : string;
+  weight : float;
+  companions : int;
+}
+
+let s root weight companions = { root; weight; companions }
+
+let base_specs =
+  [ s "Bit" 0.6 1; s "BitVector" 1.4 3; s "LutInit" 0.9 1;
+    s "Wire" 1.8 5; s "Net" 0.8 2; s "Cell" 2.2 6; s "Node" 1.2 3;
+    s "CellInterface" 0.7 1; s "Port" 0.7 1; s "PortRecord" 0.6 1;
+    s "Property" 0.5 1; s "PlacementInfo" 0.7 1; s "NameManager" 0.6 1;
+    s "HWSystem" 2.6 7; s "Design" 1.3 3; s "DesignRuleCheck" 1.5 4;
+    s "Simulator" 3.0 9; s "SimulationNode" 1.2 3; s "Levelizer" 1.4 3;
+    s "ClockDriver" 0.8 2; s "SimulatorCallback" 0.5 1;
+    s "WatchManager" 0.9 2; s "HistoryRecorder" 0.9 2;
+    s "BehavioralModel" 1.0 2; s "TestBench" 1.3 3;
+    s "NetlistModel" 1.6 4; s "Netlister" 1.0 2; s "EdifNetlister" 2.2 5;
+    s "VhdlNetlister" 2.0 5; s "VerilogNetlister" 1.8 4;
+    s "IdentifierLegalizer" 0.9 2; s "InterchangeFormat" 0.6 1;
+    s "AreaEstimator" 1.1 2; s "TimingEstimator" 1.7 4;
+    s "DelayModel" 0.8 1; s "ResourceReport" 0.7 1;
+    s "CircuitIterator" 0.7 2; s "HierarchyVisitor" 0.7 2;
+    s "Configuration" 0.6 1; s "Version" 0.3 0; s "Util" 0.9 2 ]
+
+let virtex_specs =
+  [ s "VirtexLibrary" 1.8 4; s "VirtexCell" 1.0 2;
+    s "lut1" 0.7 1; s "lut2" 0.7 1; s "lut3" 0.7 1; s "lut4" 0.9 1;
+    s "fd" 0.7 1; s "fde" 0.7 1; s "fdce" 0.8 1; s "fdre" 0.8 1;
+    s "muxcy" 0.6 1; s "xorcy" 0.6 1; s "mult_and" 0.6 1;
+    s "srl16e" 1.0 2; s "ram16x1s" 1.0 2; s "bufg" 0.5 1;
+    s "gnd" 0.4 0; s "vcc" 0.4 0; s "inv" 0.5 1; s "buf" 0.5 1;
+    s "VirtexSimModels" 2.4 6; s "VirtexDelayModel" 1.2 2;
+    s "VirtexAreaModel" 1.0 2; s "SlicePacker" 1.3 3;
+    s "VirtexPlacement" 1.2 3; s "RlocGrid" 0.9 2;
+    s "VirtexKCMMultiplier" 2.6 6; s "KCMTableBuilder" 1.4 3;
+    s "ConstantTable" 0.9 2; s "CarryChainAdder" 1.3 3;
+    s "RippleCarryAdder" 0.9 2; s "Subtractor" 0.8 1; s "AddSub" 0.8 1;
+    s "Accumulator" 0.8 1; s "UpCounter" 0.9 2; s "Comparator" 0.9 2;
+    s "EqualConst" 0.7 1; s "MuxN" 0.9 2; s "Parity" 0.7 1;
+    s "DelayLine" 0.8 1; s "RegisterFile" 1.1 2;
+    s "ShiftAddMultiplier" 1.1 2; s "ArrayMultiplier" 1.2 2;
+    s "FirFilter" 1.6 4; s "CsdRecoder" 0.7 1;
+    s "TechnologyMapper" 1.8 4; s "VirtexNetlistHints" 0.8 1 ]
+
+let viewer_specs =
+  [ s "SchematicViewer" 2.8 8; s "SchematicCanvas" 2.2 6;
+    s "SymbolLibrary" 1.4 3; s "NetRouter" 1.6 4;
+    s "HierarchyBrowser" 1.6 4; s "TreePanel" 1.0 2;
+    s "WaveformViewer" 2.4 6; s "WaveformCanvas" 1.6 4;
+    s "SignalFormatter" 0.8 1; s "VcdWriter" 0.9 2;
+    s "FloorplanViewer" 1.5 3; s "LayoutGrid" 0.9 2;
+    s "ZoomControl" 0.6 1; s "ViewerUtil" 0.8 2 ]
+
+let applet_specs =
+  [ s "KCMApplet" 1.2 2; s "ParameterPanel" 0.8 1;
+    s "BuildButtonHandler" 0.5 0; s "NetlistWindow" 0.6 1;
+    s "AppletLicense" 0.4 0 ]
+
+let package_of = function
+  | Base -> "byucc.jhdl.base"
+  | Virtex -> "byucc.jhdl.Xilinx.Virtex"
+  | Viewer -> "byucc.jhdl.apps.Viewers"
+  | Applet -> "byucc.jhdl.apps.applets"
+
+let specs_of = function
+  | Base -> base_specs
+  | Virtex -> virtex_specs
+  | Viewer -> viewer_specs
+  | Applet -> applet_specs
+
+(* Per-component structural scale calibrated against Table 1 (see the
+   bench `table1_jar_sizes` and DESIGN.md Section 4). *)
+let scale_of = function
+  | Base -> 3.50
+  | Virtex -> 2.88
+  | Viewer -> 3.04
+  | Applet -> 2.20
+
+let classes_of component =
+  let package = package_of component in
+  let scale = scale_of component in
+  List.concat_map
+    (fun spec ->
+       let fqcn = package ^ "." ^ spec.root in
+       let main = Class_file.synthesize ~fqcn ~weight:(spec.weight *. scale) in
+       let inner =
+         List.init spec.companions (fun i ->
+           Class_file.synthesize
+             ~fqcn:(Printf.sprintf "%s$%d" fqcn (i + 1))
+             ~weight:(0.35 *. scale))
+       in
+       main :: inner)
+    (specs_of component)
+
+let jar_cache : (component, Jar.t) Hashtbl.t = Hashtbl.create 4
+
+let jar_of component =
+  match Hashtbl.find_opt jar_cache component with
+  | Some jar -> jar
+  | None ->
+    let jar =
+      Jar.create
+        ~name:(component_name component)
+        ~description:(component_description component)
+        (classes_of component)
+    in
+    Hashtbl.replace jar_cache component jar;
+    jar
+
+let jars_for components =
+  List.filter (fun c -> List.mem c components) all_components
+  |> List.map jar_of
+
+let monolithic () =
+  Jar.merge ~name:"JHDLAll.jar" ~description:"Complete JHDL distribution"
+    (List.map jar_of all_components)
+
+let total_compressed jars =
+  List.fold_left (fun acc j -> acc + Jar.compressed_size j) 0 jars
+
+let table jars =
+  let buffer = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  add "%-14s %-8s %s\n" "File" "Size" "Description";
+  List.iter
+    (fun j ->
+       add "%-14s %-8s %s\n" j.Jar.jar_name
+         (Format.asprintf "%a" Jar.pp_size_kb (Jar.compressed_size j))
+         j.Jar.description)
+    jars;
+  add "%-14s %-8s\n" "Total"
+    (Format.asprintf "%a" Jar.pp_size_kb (total_compressed jars));
+  Buffer.contents buffer

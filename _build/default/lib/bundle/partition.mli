@@ -1,0 +1,37 @@
+(** The standard partitioning of the JHDL binaries into jar archives.
+
+    "The binaries associated with the JHDL design tool are partitioned
+    into a number of smaller, more specific Jar archive files. This
+    allows a given applet to require only those Jar files required by the
+    applet code" (Section 4.4). The four components here are the ones
+    Table 1 lists for the constant-multiplier applet; their class
+    inventories mirror this repository's module inventory and their
+    sizes are calibrated to the paper's figures. *)
+
+type component =
+  | Base  (** JHDLBase.jar — core classes & simulator *)
+  | Virtex  (** Virtex.jar — technology library & module generators *)
+  | Viewer  (** Viewer.jar — schematic/waveform/layout viewers *)
+  | Applet  (** Applet.jar — module generator applet glue *)
+
+val all_components : component list
+val component_name : component -> string
+
+(** [jar_of c] builds the component's jar (memoized; inventories are
+    deterministic). *)
+val jar_of : component -> Jar.t
+
+(** [jars_for components] returns the jar set for an applet needing
+    [components], deduplicated, in canonical order. *)
+val jars_for : component list -> Jar.t list
+
+(** [monolithic ()] merges every component into one archive — the
+    "deliver everything" baseline of experiment C2. *)
+val monolithic : unit -> Jar.t
+
+(** [total_compressed jars] sums compressed sizes. *)
+val total_compressed : Jar.t list -> int
+
+(** [table ~jars] renders rows shaped like the paper's Table 1:
+    file, size, description, and a total line. *)
+val table : Jar.t list -> string

@@ -1,0 +1,1 @@
+lib/circuit/cell.ml: Array Format Hashtbl List Option Prim Printf String Types

@@ -1,0 +1,1 @@
+lib/circuit/cell.mli: Format Prim Types Wire

@@ -1,0 +1,1 @@
+lib/circuit/design.ml: Array Cell Format Hashtbl List Option Prim Printf String Types Wire

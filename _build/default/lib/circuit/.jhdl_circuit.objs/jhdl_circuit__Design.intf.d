@@ -1,0 +1,1 @@
+lib/circuit/design.mli: Cell Format Types Wire

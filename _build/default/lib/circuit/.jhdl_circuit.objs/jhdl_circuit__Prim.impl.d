@@ -1,0 +1,1 @@
+lib/circuit/prim.ml: Format Jhdl_logic List Printf

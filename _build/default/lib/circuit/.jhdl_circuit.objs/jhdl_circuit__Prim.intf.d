@@ -1,0 +1,1 @@
+lib/circuit/prim.mli: Format Jhdl_logic

@@ -1,0 +1,1 @@
+lib/circuit/types.ml: Hashtbl Prim Printf

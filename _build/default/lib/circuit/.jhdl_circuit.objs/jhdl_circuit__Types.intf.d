@@ -1,0 +1,1 @@
+lib/circuit/types.mli: Hashtbl Prim

@@ -1,0 +1,1 @@
+lib/circuit/wire.ml: Array Format Printf Types

@@ -1,0 +1,1 @@
+lib/circuit/wire.mli: Format Types

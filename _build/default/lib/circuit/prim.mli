@@ -1,0 +1,66 @@
+(** Primitive (leaf) cell descriptors.
+
+    A primitive instance carries one of these descriptors. The technology
+    library ([Jhdl_virtex]) provides constructors that build primitive
+    instances with the right ports; the simulator interprets the
+    descriptor; the estimators map it to area and delay. [Black_box]
+    carries a user-supplied behavioural model, the mechanism the paper
+    uses both for non-FPGA circuitry and for protected black-box IP. *)
+
+(** Behavioural model for [Black_box] primitives. [comb] maps the current
+    input port values to output port values; it is called whenever an input
+    changes. [clock_edge], if present, is called at each rising clock edge
+    {e before} outputs are re-evaluated and may update internal state. *)
+type behavior = {
+  comb : read:(string -> Jhdl_logic.Bits.t) -> (string * Jhdl_logic.Bits.t) list;
+  clock_edge : (read:(string -> Jhdl_logic.Bits.t) -> unit) option;
+  state_reset : (unit -> unit) option;
+      (** invoked by the simulator's reset; restores initial state *)
+}
+
+type t =
+  | Lut of Jhdl_logic.Lut_init.t
+      (** k-input LUT; ports I0..I{k-1}, O *)
+  | Ff of {
+      clock_enable : bool;  (** CE port present (FDCE/FDE) *)
+      async_clear : bool;  (** CLR port present (FDCE/FDC) *)
+      sync_reset : bool;  (** R port present (FDRE/FDR) *)
+      init : Jhdl_logic.Bit.t;  (** power-on / GSR value *)
+    }  (** D flip-flop; ports C, D, Q and optionally CE, CLR, R *)
+  | Muxcy  (** carry-chain mux; ports S, DI, CI, O *)
+  | Xorcy  (** carry-chain xor; ports LI, CI, O *)
+  | Mult_and  (** carry-chain AND for multipliers; ports I0, I1, LO *)
+  | Srl16 of { init : int }
+      (** 16-bit shift register LUT; ports D, CE, CLK, A0..A3, Q *)
+  | Ram16x1 of { init : int }
+      (** 16x1 synchronous-write RAM; ports D, WE, WCLK, A0..A3, O *)
+  | Buf  (** ports I, O *)
+  | Inv  (** ports I, O *)
+  | Gnd  (** port G *)
+  | Vcc  (** port P *)
+  | Black_box of {
+      model_name : string;
+      make_behavior : unit -> behavior;
+          (** each simulator instance gets fresh state *)
+    }
+
+(** [name t] is the library cell name used in netlists (e.g. ["LUT4"],
+    ["FDCE"], ["MUXCY"]). *)
+val name : t -> string
+
+(** [port_names t] lists (port, direction is input unless listed in
+    [output_ports]). For [Black_box] the ports are taken from the instance,
+    not the descriptor, so this returns []. *)
+val port_names : t -> string list
+
+(** [output_ports t] is the subset of [port_names] that are outputs. *)
+val output_ports : t -> string list
+
+(** [is_sequential t] is true when the primitive holds state that updates on
+    a clock edge. *)
+val is_sequential : t -> bool
+
+(** [clock_port t] is the clock input name for sequential primitives. *)
+val clock_port : t -> string option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type dir =
+  | Input
+  | Output
+
+type net = {
+  net_id : int;
+  mutable driver : terminal option;
+  mutable sinks : terminal list;
+  mutable source_wire : wire option;
+  mutable source_bit : int;
+}
+
+and terminal = {
+  term_cell : cell;
+  term_port : string;
+  term_bit : int;
+}
+
+and wire = {
+  wire_id : int;
+  wire_name : string;
+  wire_owner : cell;
+  nets : net array;
+  wire_is_view : bool;
+}
+
+and cell = {
+  cell_id : int;
+  cell_name : string;
+  kind : kind;
+  parent : cell option;
+  mutable children : cell list;
+  mutable port_bindings : port_binding list;
+  mutable owned_wires : wire list;
+  mutable properties : (string * string) list;
+  mutable rloc : (int * int) option;
+  names : (string, int) Hashtbl.t;
+}
+
+and kind =
+  | Composite of { mutable type_name : string }
+  | Primitive of Prim.t
+
+and port_binding = {
+  formal : string;
+  dir : dir;
+  actual : wire;
+}
+
+let counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let next_net_id = counter ()
+let next_wire_id = counter ()
+let next_cell_id = counter ()
+
+let unique_name cell base =
+  match Hashtbl.find_opt cell.names base with
+  | None ->
+    Hashtbl.replace cell.names base 0;
+    base
+  | Some n ->
+    let rec pick k =
+      let candidate = Printf.sprintf "%s_%d" base k in
+      if Hashtbl.mem cell.names candidate then pick (k + 1)
+      else begin
+        Hashtbl.replace cell.names base k;
+        Hashtbl.replace cell.names candidate 0;
+        candidate
+      end
+    in
+    pick (n + 1)

@@ -1,0 +1,78 @@
+(** Shared structural types of the circuit data structure.
+
+    These types are mutually recursive, so they live together here; the
+    {!Wire}, {!Cell} and {!Design} modules provide the operations. The
+    representation is deliberately transparent — the paper's central point
+    is an {e open API} to the circuit structure, on which viewers,
+    netlisters, estimators and other application-specific tools are built.
+
+    A {e net} is an atomic electrical node (one bit). A {e wire} is a named
+    vector of nets created within a cell scope, as in JHDL's
+    [new Wire(this, width)]. A {e cell} is a node of the design hierarchy:
+    either a composite cell containing children, or a primitive instance
+    described by {!Prim.t}. Primitive port connections register
+    driver/sink terminals on nets; composite cells bind formal ports to
+    wires of their parent scope without creating terminals, since JHDL
+    wires connect straight through levels of hierarchy. *)
+
+type dir =
+  | Input
+  | Output
+
+type net = {
+  net_id : int;
+  mutable driver : terminal option;
+  mutable sinks : terminal list;
+  mutable source_wire : wire option;
+      (** wire that created this net, for naming; set at wire creation *)
+  mutable source_bit : int;
+}
+
+and terminal = {
+  term_cell : cell;  (** always a primitive instance *)
+  term_port : string;
+  term_bit : int;  (** bit index within the port *)
+}
+
+and wire = {
+  wire_id : int;
+  wire_name : string;
+  wire_owner : cell;
+  nets : net array;  (** index 0 = LSB *)
+  wire_is_view : bool;  (** true for slices/concats; not a declared signal *)
+}
+
+and cell = {
+  cell_id : int;
+  cell_name : string;  (** unique among siblings *)
+  kind : kind;
+  parent : cell option;
+  mutable children : cell list;  (** reverse creation order *)
+  mutable port_bindings : port_binding list;  (** reverse creation order *)
+  mutable owned_wires : wire list;  (** reverse creation order *)
+  mutable properties : (string * string) list;
+  mutable rloc : (int * int) option;  (** relative placement (row, col) *)
+  names : (string, int) Hashtbl.t;  (** name manager for this scope *)
+}
+
+and kind =
+  | Composite of { mutable type_name : string }
+      (** [type_name] groups instances sharing one definition in
+          hierarchical netlists *)
+  | Primitive of Prim.t
+
+and port_binding = {
+  formal : string;
+  dir : dir;
+  actual : wire;
+}
+
+(** Fresh unique ids for nets, wires and cells. *)
+val next_net_id : unit -> int
+
+val next_wire_id : unit -> int
+val next_cell_id : unit -> int
+
+(** [unique_name cell base] returns [base] if unused in [cell]'s scope,
+    otherwise [base_1], [base_2], ... and records the result. *)
+val unique_name : cell -> string -> string

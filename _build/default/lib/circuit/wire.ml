@@ -1,0 +1,76 @@
+open Types
+
+type t = wire
+
+let create owner ?(name = "w") width =
+  if width < 1 then invalid_arg "Wire.create: width must be >= 1";
+  (match owner.kind with
+   | Composite _ -> ()
+   | Primitive _ -> invalid_arg "Wire.create: owner is a primitive instance");
+  let wire_name = unique_name owner name in
+  let nets =
+    Array.init width (fun i ->
+      { net_id = next_net_id ();
+        driver = None;
+        sinks = [];
+        source_wire = None;
+        source_bit = i })
+  in
+  let w =
+    { wire_id = next_wire_id (); wire_name; wire_owner = owner; nets;
+      wire_is_view = false }
+  in
+  Array.iter (fun n -> n.source_wire <- Some w) nets;
+  owner.owned_wires <- w :: owner.owned_wires;
+  w
+
+let name w = w.wire_name
+let owner w = w.wire_owner
+let width w = Array.length w.nets
+
+let rec cell_path c =
+  match c.parent with
+  | None -> c.cell_name
+  | Some p -> cell_path p ^ "/" ^ c.cell_name
+
+let full_name w = cell_path w.wire_owner ^ "/" ^ w.wire_name
+
+let net w i =
+  if i < 0 || i >= Array.length w.nets then
+    invalid_arg
+      (Printf.sprintf "Wire.net: bit %d of %d-bit wire %s" i
+         (Array.length w.nets) w.wire_name);
+  w.nets.(i)
+
+let nets w = w.nets
+
+let view ~owner ~name nets =
+  { wire_id = next_wire_id ();
+    wire_name = name;
+    wire_owner = owner;
+    nets;
+    wire_is_view = true }
+
+let bit w i =
+  let n = net w i in
+  view ~owner:w.wire_owner
+    ~name:(Printf.sprintf "%s[%d]" w.wire_name i)
+    [| n |]
+
+let slice w ~lo ~hi =
+  if lo < 0 || hi >= Array.length w.nets || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Wire.slice: [%d:%d] of %d-bit wire %s" hi lo
+         (Array.length w.nets) w.wire_name);
+  view ~owner:w.wire_owner
+    ~name:(Printf.sprintf "%s[%d:%d]" w.wire_name hi lo)
+    (Array.sub w.nets lo (hi - lo + 1))
+
+let concat hi lo =
+  view ~owner:lo.wire_owner
+    ~name:(Printf.sprintf "{%s,%s}" hi.wire_name lo.wire_name)
+    (Array.append lo.nets hi.nets)
+
+let is_view w = w.wire_is_view
+let equal a b = a.wire_id = b.wire_id
+let pp fmt w = Format.fprintf fmt "%s<%d>" w.wire_name (width w)

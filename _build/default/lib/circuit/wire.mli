@@ -1,0 +1,44 @@
+(** Wires: named vectors of nets created within a cell scope.
+
+    This mirrors JHDL's wire API: a wire is created inside a cell
+    ([new Wire(this, width)]), may be sliced and concatenated, and connects
+    through hierarchy levels when passed to child-cell constructors. *)
+
+type t = Types.wire
+
+(** [create owner ?name width] declares a fresh [width]-bit wire in
+    [owner]'s scope. The name defaults to ["w"]; it is made unique within
+    the scope. Raises [Invalid_argument] if [width < 1] or [owner] is a
+    primitive instance. *)
+val create : Types.cell -> ?name:string -> int -> t
+
+val name : t -> string
+val owner : t -> Types.cell
+val width : t -> int
+
+(** [full_name w] is the hierarchical path of the owner plus the wire name,
+    e.g. ["top/mult/pp0"]. *)
+val full_name : t -> string
+
+(** [net w i] is the net of bit [i]. *)
+val net : t -> int -> Types.net
+
+val nets : t -> Types.net array
+
+(** [bit w i] is a 1-bit view of bit [i] of [w]. *)
+val bit : t -> int -> t
+
+(** [slice w ~lo ~hi] is a view of bits [lo..hi] (inclusive); the view
+    shares nets with [w]. *)
+val slice : t -> lo:int -> hi:int -> t
+
+(** [concat hi lo] is a view with [lo] in the low bits; the view is
+    owned by [lo]'s owner scope. *)
+val concat : t -> t -> t
+
+(** [is_view w] is true for slices and concats, which are not declared
+    signals of their own in netlists. *)
+val is_view : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(** Facade: one [open Jhdl] exposes the whole system under short names.
+
+    Layering, bottom up:
+    - {!Bit}, {!Bits}, {!Lut_init}: four-valued logic values.
+    - {!Wire}, {!Cell}, {!Design}, {!Prim}, {!Types}: the circuit data
+      structure (structural netlists built JHDL-style, by construction).
+    - {!Virtex}: the technology library (primitives, area/delay models).
+    - {!Simulator}: cycle-based simulation.
+    - {!Model}, {!Edif}, {!Vhdl}, {!Verilog}, {!Format_kind}, {!Ident}:
+      netlist interchange.
+    - {!Estimate}: area and static-timing estimation.
+    - {!Adders}, {!Kcm}, {!Fir}, {!Counter}, {!Datapath}, {!Multiplier},
+      {!Modgen_util}: module generators.
+    - {!Hierarchy}, {!Schematic}, {!Floorplan}, {!Waveform}, {!Vcd}:
+      viewers.
+    - {!Class_file}, {!Jar}, {!Partition}, {!Download}: delivery bundles.
+    - {!Obfuscator}, {!Crypto}, {!Watermark}, {!Metering}: IP protection.
+    - {!Feature}, {!License}, {!Ip_module}, {!Applet}, {!Catalog}: the IP
+      delivery applets.
+    - {!Server}: the vendor web server.
+    - {!Network}, {!Protocol}, {!Endpoint}, {!Cosim}: black-box
+      co-simulation. *)
+
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+module Lut_init = Jhdl_logic.Lut_init
+module Types = Jhdl_circuit.Types
+module Prim = Jhdl_circuit.Prim
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Virtex = Jhdl_virtex.Virtex
+module Simulator = Jhdl_sim.Simulator
+module Testbench = Jhdl_sim.Testbench
+module Model = Jhdl_netlist.Model
+module Ident = Jhdl_netlist.Ident
+module Edif = Jhdl_netlist.Edif
+module Vhdl = Jhdl_netlist.Vhdl
+module Verilog = Jhdl_netlist.Verilog
+module Format_kind = Jhdl_netlist.Format_kind
+module Xnf = Jhdl_netlist.Xnf
+module Edif_reader = Jhdl_netlist.Edif_reader
+module Estimate = Jhdl_estimate.Estimate
+module Adders = Jhdl_modgen.Adders
+module Kcm = Jhdl_modgen.Kcm
+module Fir = Jhdl_modgen.Fir
+module Dafir = Jhdl_modgen.Dafir
+module Cordic = Jhdl_modgen.Cordic
+module Counter = Jhdl_modgen.Counter
+module Datapath = Jhdl_modgen.Datapath
+module Multiplier = Jhdl_modgen.Multiplier
+module Misc_logic = Jhdl_modgen.Misc_logic
+module Modgen_util = Jhdl_modgen.Util
+module Hierarchy = Jhdl_viewer.Hierarchy
+module Schematic = Jhdl_viewer.Schematic
+module Floorplan = Jhdl_viewer.Floorplan
+module Waveform = Jhdl_viewer.Waveform
+module Vcd = Jhdl_viewer.Vcd
+module Class_file = Jhdl_bundle.Class_file
+module Jar = Jhdl_bundle.Jar
+module Partition = Jhdl_bundle.Partition
+module Download = Jhdl_bundle.Download
+module Placer = Jhdl_place.Placer
+module Equiv = Jhdl_verify.Equiv
+module Router = Jhdl_place.Router
+module Config_mem = Jhdl_bitstream.Config_mem
+module Jbits = Jhdl_bitstream.Jbits
+module Obfuscator = Jhdl_security.Obfuscator
+module Crypto = Jhdl_security.Crypto
+module Watermark = Jhdl_security.Watermark
+module Metering = Jhdl_security.Metering
+module Feature = Jhdl_applet.Feature
+module License = Jhdl_applet.License
+module Ip_module = Jhdl_applet.Ip_module
+module Applet = Jhdl_applet.Applet
+module Catalog = Jhdl_applet.Catalog
+module Suite = Jhdl_applet.Suite
+module Server = Jhdl_webserver.Server
+module Secure_channel = Jhdl_webserver.Secure_channel
+module Network = Jhdl_netproto.Network
+module Protocol = Jhdl_netproto.Protocol
+module Endpoint = Jhdl_netproto.Endpoint
+module Cosim = Jhdl_netproto.Cosim
+module Verilog_tb = Jhdl_netproto.Verilog_tb

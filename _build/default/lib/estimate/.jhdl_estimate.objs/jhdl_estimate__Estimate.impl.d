@@ -1,0 +1,1 @@
+lib/estimate/estimate.ml: Array Format Hashtbl Jhdl_circuit Jhdl_logic Jhdl_virtex List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/estimate/estimate.mli: Format Jhdl_circuit Jhdl_virtex

@@ -1,0 +1,353 @@
+open Jhdl_circuit.Types
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Virtex = Jhdl_virtex.Virtex
+
+type area_report = {
+  area : Virtex.area;
+  slices : int;
+  prims_by_type : (string * int) list;
+  black_boxes : int;
+}
+
+let area_of_cell c =
+  let area = ref Virtex.area_zero in
+  let by_type = Hashtbl.create 16 in
+  let black_boxes = ref 0 in
+  let count prim =
+    area := Virtex.area_add !area (Virtex.prim_area prim);
+    (match prim with
+     | Prim.Black_box _ -> incr black_boxes
+     | Prim.Lut _ | Prim.Ff _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and
+     | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Buf | Prim.Inv | Prim.Gnd
+     | Prim.Vcc -> ());
+    let key = Prim.name prim in
+    Hashtbl.replace by_type key
+      (1 + Option.value (Hashtbl.find_opt by_type key) ~default:0)
+  in
+  Cell.iter_rec
+    (fun c -> match Cell.prim_of c with Some p -> count p | None -> ())
+    c;
+  { area = !area;
+    slices = Virtex.slices !area;
+    prims_by_type =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    black_boxes = !black_boxes }
+
+let area_of_design d = area_of_cell (Design.root d)
+
+let pp_area_report fmt r =
+  Format.fprintf fmt "@[<v>area: %a@,by type:@,%a@]" Virtex.pp_area r.area
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt (t, n) ->
+       Format.fprintf fmt "  %-10s %4d" t n))
+    r.prims_by_type;
+  if r.black_boxes > 0 then
+    Format.fprintf fmt "@,(%d behavioural black box(es) not counted)"
+      r.black_boxes
+
+type path_end =
+  | At_register of string
+  | At_output of string
+
+type timing_report = {
+  critical_path_ps : int;
+  max_frequency_mhz : float;
+  logic_levels : int;
+  path : string list;
+  path_end : path_end;
+}
+
+exception Combinational_cycle_timing of string list
+
+(* Static timing by longest-path over the combinational graph. Arrival
+   times start at 0 for top inputs and clk->Q for register outputs; a
+   path's cost accumulates net delay (fanout-loaded) plus the sink
+   primitive's propagation delay. Register D pins add setup. *)
+
+type tnode = {
+  inst : cell;
+  prim : Prim.t;
+  t_in : (string * net array) list;
+  t_out : (string * net array) list;
+  mutable arrival : int;
+  mutable levels : int;
+  mutable pred : tnode option;
+}
+
+let comb_inputs prim t_in =
+  match prim with
+  | Prim.Black_box _ -> List.map fst t_in
+  | Prim.Lut init ->
+    List.init (Jhdl_logic.Lut_init.inputs init) (Printf.sprintf "I%d")
+  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
+  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
+  | Prim.Xorcy -> [ "LI"; "CI" ]
+  | Prim.Mult_and -> [ "I0"; "I1" ]
+  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Buf | Prim.Inv -> [ "I" ]
+  | Prim.Gnd | Prim.Vcc -> []
+
+let is_register prim =
+  match prim with
+  | Prim.Ff _ | Prim.Srl16 _ -> true
+  | Prim.Ram16x1 _ | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and
+  | Prim.Buf | Prim.Inv | Prim.Gnd | Prim.Vcc | Prim.Black_box _ -> false
+
+let counts_as_level prim =
+  match prim with
+  | Prim.Lut _ | Prim.Ram16x1 _ | Prim.Buf | Prim.Inv | Prim.Black_box _ ->
+    true
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> false (* carry chain *)
+  | Prim.Ff _ | Prim.Srl16 _ | Prim.Gnd | Prim.Vcc -> false
+
+let placed_net_delay_ps ~distance ~fanout =
+  120 + (55 * distance) + (90 * max 0 (fanout - 1))
+
+(* accumulated-RLOC placements of placed primitives (as in the floorplan
+   viewer); unplaced primitives are absent *)
+let placements_of d =
+  let table = Hashtbl.create 256 in
+  let rec walk ~row ~col ~placed c =
+    let row, col, placed =
+      match Cell.rloc c with
+      | Some (r, k) -> (row + r, col + k, true)
+      | None -> (row, col, placed)
+    in
+    match c.kind with
+    | Primitive _ -> if placed then Hashtbl.replace table c.cell_id (row, col)
+    | Composite _ -> List.iter (walk ~row ~col ~placed) (Cell.children c)
+  in
+  walk ~row:0 ~col:0 ~placed:false (Design.root d);
+  table
+
+let timing_of_design ?(use_placement = false) d =
+  let placements = if use_placement then placements_of d else Hashtbl.create 0 in
+  let net_cost ~producer ~consumer ~fanout =
+    if use_placement then
+      match
+        ( Hashtbl.find_opt placements producer.inst.cell_id,
+          Hashtbl.find_opt placements consumer.inst.cell_id )
+      with
+      | Some (r1, c1), Some (r2, c2) ->
+        placed_net_delay_ps ~distance:(abs (r1 - r2) + abs (c1 - c2)) ~fanout
+      | (Some _ | None), (Some _ | None) -> Virtex.net_delay_ps ~fanout
+    else Virtex.net_delay_ps ~fanout
+  in
+  let prims = Design.all_prims d in
+  let nodes =
+    List.filter_map
+      (fun c ->
+         match Cell.prim_of c with
+         | None -> None
+         | Some prim ->
+           let ins = ref [] and outs = ref [] in
+           List.iter
+             (fun b ->
+                match b.dir with
+                | Input -> ins := (b.formal, b.actual.nets) :: !ins
+                | Output -> outs := (b.formal, b.actual.nets) :: !outs)
+             c.port_bindings;
+           Some
+             { inst = c; prim; t_in = !ins; t_out = !outs;
+               arrival = 0; levels = 0; pred = None })
+      prims
+  in
+  let by_cell = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace by_cell n.inst.cell_id n) nodes;
+  let driver_of_net = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+       List.iter
+         (fun (_, nets) ->
+            Array.iter (fun net -> Hashtbl.replace driver_of_net net.net_id n) nets)
+         n.t_out)
+    nodes;
+  (* topological order over combinational edges (Kahn) *)
+  let in_degree = Hashtbl.create 256 in
+  let succs = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace in_degree n.inst.cell_id 0) nodes;
+  List.iter
+    (fun n ->
+       List.iter
+         (fun port ->
+            match List.assoc_opt port n.t_in with
+            | None -> ()
+            | Some nets ->
+              Array.iter
+                (fun net ->
+                   match Hashtbl.find_opt driver_of_net net.net_id with
+                   | None -> ()
+                   | Some producer ->
+                     Hashtbl.replace in_degree n.inst.cell_id
+                       (Hashtbl.find in_degree n.inst.cell_id + 1);
+                     Hashtbl.replace succs producer.inst.cell_id
+                       ((n, net)
+                        :: Option.value
+                          (Hashtbl.find_opt succs producer.inst.cell_id)
+                          ~default:[]))
+                nets)
+         (comb_inputs n.prim n.t_in))
+    nodes;
+  let queue = Queue.create () in
+  List.iter
+    (fun n ->
+       if Hashtbl.find in_degree n.inst.cell_id = 0 then begin
+         n.arrival <- (if is_register n.prim then Virtex.clk_to_q_ps else 0);
+         Queue.add n queue
+       end)
+    nodes;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr processed;
+    let out_arrival = n.arrival + Virtex.prim_delay_ps n.prim in
+    (* constants are configuration, not timing paths: GND/VCC arcs carry
+       no arrival *)
+    let is_constant =
+      match n.prim with
+      | Prim.Gnd | Prim.Vcc -> true
+      | Prim.Lut _ | Prim.Ff _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and
+      | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Buf | Prim.Inv
+      | Prim.Black_box _ -> false
+    in
+    List.iter
+      (fun (succ, net) ->
+         let fanout = List.length net.sinks in
+         let arr =
+           if is_constant then 0
+           else out_arrival + net_cost ~producer:n ~consumer:succ ~fanout
+         in
+         if arr > succ.arrival then begin
+           succ.arrival <- arr;
+           succ.levels <- n.levels + (if counts_as_level n.prim then 1 else 0);
+           succ.pred <- Some n
+         end;
+         let deg = Hashtbl.find in_degree succ.inst.cell_id - 1 in
+         Hashtbl.replace in_degree succ.inst.cell_id deg;
+         if deg = 0 then Queue.add succ queue)
+      (Option.value (Hashtbl.find_opt succs n.inst.cell_id) ~default:[])
+  done;
+  if !processed <> List.length nodes then
+    raise
+      (Combinational_cycle_timing
+         (List.filter_map
+            (fun n ->
+               if Hashtbl.find in_degree n.inst.cell_id > 0 then
+                 Some (Cell.path n.inst)
+               else None)
+            nodes));
+  (* worst endpoint: register D pins (+setup) and top output nets *)
+  let best = ref 0 and best_node = ref None and best_end = ref (At_output "-") in
+  List.iter
+    (fun n ->
+       if is_register n.prim then begin
+         (* the path into this register: arrival at its D pin *)
+         let d_arrival =
+           List.fold_left
+             (fun acc (port, nets) ->
+                if List.mem port [ "D"; "CE"; "R" ] then
+                  Array.fold_left
+                    (fun acc net ->
+                       match Hashtbl.find_opt driver_of_net net.net_id with
+                       | None -> acc
+                       | Some producer ->
+                         let fanout = List.length net.sinks in
+                         max acc
+                           (producer.arrival
+                            + Virtex.prim_delay_ps producer.prim
+                            + Virtex.net_delay_ps ~fanout)
+                    )
+                    acc nets
+                else acc)
+             0 n.t_in
+         in
+         let total = d_arrival + Virtex.setup_ps in
+         if total > !best then begin
+           best := total;
+           best_end := At_register (Cell.path n.inst);
+           best_node :=
+             List.fold_left
+               (fun acc (port, nets) ->
+                  if List.mem port [ "D"; "CE"; "R" ] then
+                    Array.fold_left
+                      (fun acc net ->
+                         match Hashtbl.find_opt driver_of_net net.net_id with
+                         | None -> acc
+                         | Some p ->
+                           (match acc with
+                            | Some q when q.arrival >= p.arrival -> acc
+                            | Some _ | None -> Some p))
+                      acc nets
+                  else acc)
+               None n.t_in
+         end
+       end)
+    nodes;
+  List.iter
+    (fun p ->
+       Array.iter
+         (fun net ->
+            match Hashtbl.find_opt driver_of_net net.net_id with
+            | None -> ()
+            | Some producer ->
+              let fanout = max 1 (List.length net.sinks) in
+              let total =
+                producer.arrival
+                + Virtex.prim_delay_ps producer.prim
+                + Virtex.net_delay_ps ~fanout
+              in
+              if total > !best then begin
+                best := total;
+                best_end := At_output p.Design.port_name;
+                best_node := Some producer
+              end)
+         (Jhdl_circuit.Wire.nets p.Design.port_wire))
+    (Design.outputs d);
+  let rec trace acc = function
+    | None -> acc
+    | Some n -> trace (Cell.path n.inst :: acc) n.pred
+  in
+  let path = trace [] !best_node in
+  let levels =
+    match !best_node with
+    | None -> 0
+    | Some n -> n.levels + (if counts_as_level n.prim then 1 else 0)
+  in
+  let critical = max !best 1 in
+  { critical_path_ps = critical;
+    max_frequency_mhz = 1_000_000.0 /. float_of_int critical;
+    logic_levels = levels;
+    path;
+    path_end = !best_end }
+
+let pp_timing_report fmt r =
+  Format.fprintf fmt
+    "@[<v>critical path: %d ps (%.1f MHz max)@,logic levels: %d@,ends at: %s@]"
+    r.critical_path_ps r.max_frequency_mhz r.logic_levels
+    (match r.path_end with
+     | At_register s -> "register " ^ s
+     | At_output s -> "output " ^ s)
+
+type t = {
+  area_report : area_report;
+  timing_report : timing_report option;
+}
+
+let of_design ?(use_placement = false) d =
+  let area_report = area_of_design d in
+  let timing_report =
+    if area_report.prims_by_type = [] then None
+    else Some (timing_of_design ~use_placement d)
+  in
+  { area_report; timing_report }
+
+let pp fmt t =
+  pp_area_report fmt t.area_report;
+  match t.timing_report with
+  | None -> ()
+  | Some timing -> Format.fprintf fmt "@,%a" pp_timing_report timing
+
+let to_string t = Format.asprintf "@[<v>%a@]" pp t

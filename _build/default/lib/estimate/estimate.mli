@@ -1,0 +1,73 @@
+(** Circuit estimators: area and timing.
+
+    The "circuit estimator" tool of the paper's IP executables (Figures 1
+    and 2): given a generated circuit it reports the FPGA resources used
+    and a static timing estimate, without needing simulation or netlist
+    export — the minimum-visibility evaluation a passive customer gets. *)
+
+(** {1 Area} *)
+
+type area_report = {
+  area : Jhdl_virtex.Virtex.area;
+  slices : int;
+  prims_by_type : (string * int) list;
+  black_boxes : int;
+      (** behavioural models excluded from the resource count *)
+}
+
+val area_of_design : Jhdl_circuit.Design.t -> area_report
+
+(** [area_of_cell c] restricts the estimate to one subtree, so an applet
+    can report the cost of the generated macro alone. *)
+val area_of_cell : Jhdl_circuit.Cell.t -> area_report
+
+val pp_area_report : Format.formatter -> area_report -> unit
+
+(** {1 Static timing} *)
+
+type path_end =
+  | At_register of string  (** path ends at a flip-flop data pin *)
+  | At_output of string  (** path ends at a top-level output port net *)
+
+type timing_report = {
+  critical_path_ps : int;
+  max_frequency_mhz : float;
+  logic_levels : int;  (** LUT/carry levels on the critical path *)
+  path : string list;  (** instance paths, source to sink *)
+  path_end : path_end;
+}
+
+exception Combinational_cycle_timing of string list
+
+(** [timing_of_design ?use_placement d] computes worst arrival over all
+    input-to-register, register-to-register and register/input-to-output
+    paths, using the {!Jhdl_virtex.Virtex} delay model plus a
+    fanout-loaded net delay.
+
+    With [use_placement:true] (default false), a net between two placed
+    primitives is charged by Manhattan distance instead of the generic
+    loaded-net estimate — pre-placed macros with tight RLOCs then time
+    faster than unplaced ones, the Section 2.1 motivation for relative
+    placement. Registered outputs include clock-to-out; register
+    destinations include setup. *)
+val timing_of_design :
+  ?use_placement:bool -> Jhdl_circuit.Design.t -> timing_report
+
+(** [placed_net_delay_ps ~distance ~fanout] — the placement-aware net
+    cost: short hops between adjacent slices beat the generic estimate,
+    long hops cost more. Exposed for the placement ablation. *)
+val placed_net_delay_ps : distance:int -> fanout:int -> int
+
+val pp_timing_report : Format.formatter -> timing_report -> unit
+
+(** {1 Combined report} *)
+
+type t = {
+  area_report : area_report;
+  timing_report : timing_report option;
+      (** [None] for designs with no primitives *)
+}
+
+val of_design : ?use_placement:bool -> Jhdl_circuit.Design.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

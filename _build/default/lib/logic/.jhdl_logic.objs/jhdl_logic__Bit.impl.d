@@ -1,0 +1,1 @@
+lib/logic/bit.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/logic/bit.mli: Format

@@ -1,0 +1,1 @@
+lib/logic/bits.ml: Array Bit Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/logic/bits.mli: Bit Format

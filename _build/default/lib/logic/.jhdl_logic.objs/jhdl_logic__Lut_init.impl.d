@@ -1,0 +1,1 @@
+lib/logic/lut_init.ml: Array Bit Format List Printf

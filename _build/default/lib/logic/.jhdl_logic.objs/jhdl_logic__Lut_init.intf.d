@@ -1,0 +1,1 @@
+lib/logic/lut_init.mli: Bit Format

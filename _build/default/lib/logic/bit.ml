@@ -1,0 +1,71 @@
+type t =
+  | Zero
+  | One
+  | X
+  | Z
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | X, X | Z, Z -> true
+  | Zero, (One | X | Z)
+  | One, (Zero | X | Z)
+  | X, (Zero | One | Z)
+  | Z, (Zero | One | X) -> false
+
+let rank = function Zero -> 0 | One -> 1 | X -> 2 | Z -> 3
+let compare a b = Int.compare (rank a) (rank b)
+
+let of_bool b = if b then One else Zero
+
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | X | Z -> None
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | 'x' | 'X' -> X
+  | 'z' | 'Z' -> Z
+  | c -> invalid_arg (Printf.sprintf "Bit.of_char: %C" c)
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x' | Z -> 'z'
+
+let is_defined = function Zero | One -> true | X | Z -> false
+
+let not_ = function Zero -> One | One -> Zero | X | Z -> X
+
+let and_ a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | X | Z), (X | Z) | (X | Z), One -> X
+
+let or_ a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | X | Z), (X | Z) | (X | Z), Zero -> X
+
+let xor a b =
+  match a, b with
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+  | (X | Z), (Zero | One | X | Z) | (Zero | One), (X | Z) -> X
+
+let nand a b = not_ (and_ a b)
+let nor a b = not_ (or_ a b)
+let xnor a b = not_ (xor a b)
+
+let mux ~sel a b =
+  match sel with
+  | Zero -> a
+  | One -> b
+  | X | Z -> if equal a b && is_defined a then a else X
+
+let resolve a b =
+  match a, b with
+  | Z, v | v, Z -> v
+  | v, w -> if equal v w then v else X
+
+let pp fmt b = Format.pp_print_char fmt (to_char b)

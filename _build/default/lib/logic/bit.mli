@@ -1,0 +1,54 @@
+(** Four-valued logic bit, in the tradition of hardware simulators.
+
+    [Zero] and [One] are the two defined logic levels. [X] is an unknown or
+    uninitialized value; any operation whose result cannot be determined from
+    its defined operands yields [X]. [Z] is high impedance (an undriven net);
+    when used as an operand of a logic gate it behaves like [X]. *)
+
+type t =
+  | Zero
+  | One
+  | X
+  | Z
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [of_bool b] is [One] if [b], else [Zero]. *)
+val of_bool : bool -> t
+
+(** [to_bool b] is [Some true] / [Some false] for defined bits, [None] for
+    [X] and [Z]. *)
+val to_bool : t -> bool option
+
+(** [of_char c] parses ['0'], ['1'], ['x'], ['X'], ['z'], ['Z']. Raises
+    [Invalid_argument] on any other character. *)
+val of_char : char -> t
+
+val to_char : t -> char
+
+(** [is_defined b] is true for [Zero] and [One] only. *)
+val is_defined : t -> bool
+
+(** Logic operations use pessimistic X-propagation with the usual dominance
+    rules: [and_ Zero _ = Zero], [or_ One _ = One]; otherwise any undefined
+    operand makes the result [X]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+val nand : t -> t -> t
+val nor : t -> t -> t
+val xnor : t -> t -> t
+
+(** [mux ~sel a b] is [a] when [sel] is [Zero], [b] when [sel] is [One].
+    When [sel] is undefined the result is [X] unless [a] and [b] agree on a
+    defined value. *)
+val mux : sel:t -> t -> t -> t
+
+(** [resolve a b] is the resolution of two drivers on one net: [Z] yields to
+    the other value; conflicting defined values resolve to [X]. *)
+val resolve : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

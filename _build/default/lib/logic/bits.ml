@@ -1,0 +1,195 @@
+(* Bit 0 of the array is the LSB. *)
+type t = Bit.t array
+
+let width = Array.length
+
+let create n b =
+  if n < 0 then invalid_arg "Bits.create: negative width";
+  Array.make n b
+
+let zero n = create n Bit.Zero
+let ones n = create n Bit.One
+let undefined n = create n Bit.X
+
+let init n f =
+  if n < 0 then invalid_arg "Bits.init: negative width";
+  Array.init n f
+
+let get v i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg (Printf.sprintf "Bits.get: index %d out of [0,%d)" i (Array.length v));
+  v.(i)
+
+let set v i b =
+  if i < 0 || i >= Array.length v then
+    invalid_arg (Printf.sprintf "Bits.set: index %d out of [0,%d)" i (Array.length v));
+  let v' = Array.copy v in
+  v'.(i) <- b;
+  v'
+
+let of_list bits = Array.of_list bits
+let to_list v = Array.to_list v
+
+let of_int ~width:n k =
+  init n (fun i -> Bit.of_bool ((k lsr i) land 1 = 1))
+
+let to_int v =
+  let n = Array.length v in
+  let rec loop acc i =
+    if i < 0 then Some acc
+    else
+      match Bit.to_bool v.(i) with
+      | None -> None
+      | Some b ->
+        if acc > (max_int - (if b then 1 else 0)) / 2 then None
+        else loop ((acc * 2) + if b then 1 else 0) (i - 1)
+  in
+  if n = 0 then Some 0 else loop 0 (n - 1)
+
+let to_signed_int v =
+  let n = Array.length v in
+  if n = 0 then Some 0
+  else
+    match to_int v with
+    | None -> None
+    | Some u ->
+      (match Bit.to_bool v.(n - 1) with
+       | None -> None
+       | Some true when n <= 62 -> Some (u - (1 lsl n))
+       | Some _ -> Some u)
+
+let of_string s =
+  let s =
+    if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'b' || s.[1] = 'B')
+    then String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let chars =
+    String.fold_left (fun acc c -> if c = '_' then acc else c :: acc) [] s
+  in
+  (* fold_left reversed the string, which conveniently puts the LSB first *)
+  of_list (List.map Bit.of_char chars)
+
+let to_string v =
+  String.init (Array.length v) (fun i -> Bit.to_char v.(Array.length v - 1 - i))
+
+let equal a b =
+  Array.length a = Array.length b
+  && (let rec loop i = i < 0 || (Bit.equal a.(i) b.(i) && loop (i - 1)) in
+      loop (Array.length a - 1))
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else
+        let c = Bit.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i - 1)
+    in
+    loop (Array.length a - 1)
+
+let is_fully_defined v = Array.for_all Bit.is_defined v
+
+let slice v ~lo ~hi =
+  if lo < 0 || hi >= Array.length v || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Bits.slice: [%d,%d] out of width %d" lo hi (Array.length v));
+  Array.sub v lo (hi - lo + 1)
+
+let concat hi lo = Array.append lo hi
+
+let extend fill v n =
+  let w = Array.length v in
+  if n <= w then Array.sub v 0 n
+  else init n (fun i -> if i < w then v.(i) else fill v)
+
+let zero_extend v n = extend (fun _ -> Bit.Zero) v n
+
+let sign_extend v n =
+  extend (fun v -> if Array.length v = 0 then Bit.Zero else v.(Array.length v - 1)) v n
+
+let map = Array.map
+
+let map2 f a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Bits.map2: width mismatch";
+  Array.map2 f a b
+
+let lognot = map Bit.not_
+let logand = map2 Bit.and_
+let logor = map2 Bit.or_
+let logxor = map2 Bit.xor
+
+let reduce f v =
+  if Array.length v = 0 then invalid_arg "Bits.reduce: empty vector"
+  else Array.fold_left f v.(0) (Array.sub v 1 (Array.length v - 1))
+
+let reduce_and = reduce Bit.and_
+let reduce_or = reduce Bit.or_
+let reduce_xor = reduce Bit.xor
+
+let add_carry a b ~cin =
+  if Array.length a <> Array.length b then
+    invalid_arg "Bits.add_carry: width mismatch";
+  let n = Array.length a in
+  let out = Array.make n Bit.X in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let x = a.(i) and y = b.(i) and c = !carry in
+    out.(i) <- Bit.xor (Bit.xor x y) c;
+    carry := Bit.or_ (Bit.and_ x y) (Bit.and_ c (Bit.xor x y))
+  done;
+  out, !carry
+
+let add a b = fst (add_carry a b ~cin:Bit.Zero)
+let sub a b = fst (add_carry a (lognot b) ~cin:Bit.One)
+let neg v = fst (add_carry (lognot v) (zero (Array.length v)) ~cin:Bit.One)
+
+(* Shift-add over partial products; any X operand poisons the product. *)
+let mul_general ~extend_a a b =
+  let wa = Array.length a and wb = Array.length b in
+  let w = wa + wb in
+  if not (is_fully_defined a && is_fully_defined b) then undefined w
+  else
+    let aw = extend_a a w in
+    let acc = ref (zero w) in
+    for i = 0 to wb - 1 do
+      match Bit.to_bool b.(i) with
+      | Some true ->
+        let shifted = Array.init w (fun j -> if j < i then Bit.Zero else aw.(j - i)) in
+        acc := add !acc shifted
+      | Some false | None -> ()
+    done;
+    !acc
+
+let mul a b = mul_general ~extend_a:zero_extend a b
+
+(* Sign-extend both operands to the full product width and multiply modulo
+   2^w; two's-complement products are exact under that truncation, including
+   for the most negative inputs. *)
+let mul_signed a b =
+  let w = Array.length a + Array.length b in
+  if not (is_fully_defined a && is_fully_defined b) then undefined w
+  else
+    let aw = sign_extend a w and bw = sign_extend b w in
+    let acc = ref (zero w) in
+    for i = 0 to w - 1 do
+      match Bit.to_bool bw.(i) with
+      | Some true ->
+        let shifted = Array.init w (fun j -> if j < i then Bit.Zero else aw.(j - i)) in
+        acc := add !acc shifted
+      | Some false | None -> ()
+    done;
+    !acc
+
+let shift_left v k =
+  let n = Array.length v in
+  init n (fun i -> if i < k then Bit.Zero else v.(i - k))
+
+let shift_right v k =
+  let n = Array.length v in
+  init n (fun i -> if i + k < n then v.(i + k) else Bit.Zero)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

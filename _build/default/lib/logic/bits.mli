@@ -1,0 +1,105 @@
+(** Fixed-width vectors of four-valued bits.
+
+    Bit 0 is the least-significant bit. Vectors are immutable values; all
+    operations return fresh vectors. Arithmetic is two's-complement and
+    truncates to the width of the result (the wider operand unless stated
+    otherwise). Any arithmetic involving an undefined bit produces an
+    all-[X] result of the appropriate width, matching the pessimistic model
+    used by the simulator. *)
+
+type t
+
+val width : t -> int
+
+(** [create n b] is an [n]-wide vector with every bit equal to [b]. *)
+val create : int -> Bit.t -> t
+
+(** [zero n], [ones n], [undefined n] are the all-0, all-1, all-X vectors. *)
+val zero : int -> t
+val ones : int -> t
+val undefined : int -> t
+
+(** [init n f] builds a vector whose bit [i] is [f i], for [0 <= i < n]. *)
+val init : int -> (int -> Bit.t) -> t
+
+(** [get v i] is bit [i]; raises [Invalid_argument] when out of range. *)
+val get : t -> int -> Bit.t
+
+(** [set v i b] is [v] with bit [i] replaced by [b]. *)
+val set : t -> int -> Bit.t -> t
+
+val of_list : Bit.t list -> t
+
+(** [to_list v] lists bits LSB first. *)
+val to_list : t -> Bit.t list
+
+(** [of_int ~width n] encodes the low [width] bits of [n] (two's
+    complement, so negative [n] works). *)
+val of_int : width:int -> int -> t
+
+(** [to_int v] decodes an unsigned integer; [None] if any bit is
+    undefined or the value exceeds [max_int]. *)
+val to_int : t -> int option
+
+(** [to_signed_int v] decodes a two's-complement integer; [None] if any
+    bit is undefined. *)
+val to_signed_int : t -> int option
+
+(** [of_string s] parses a binary string, MSB first, e.g. ["1010"], with
+    optional ["0b"] prefix; characters follow {!Bit.of_char}. Underscores
+    are ignored. *)
+val of_string : string -> t
+
+(** [to_string v] prints MSB first. *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_fully_defined : t -> bool
+
+(** [slice v ~lo ~hi] is bits [lo..hi] inclusive, LSB at [lo]. *)
+val slice : t -> lo:int -> hi:int -> t
+
+(** [concat hi lo] places [lo] in the low bits and [hi] above it. *)
+val concat : t -> t -> t
+
+(** [zero_extend v n] / [sign_extend v n] widen [v] to [n] bits; if [n] is
+    not larger than the current width the vector is truncated to [n]. *)
+val zero_extend : t -> int -> t
+val sign_extend : t -> int -> t
+
+val map : (Bit.t -> Bit.t) -> t -> t
+val map2 : (Bit.t -> Bit.t -> Bit.t) -> t -> t -> t
+
+(** Bitwise operations; operands must have equal widths. *)
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** Reductions over all bits. *)
+val reduce_and : t -> Bit.t
+val reduce_or : t -> Bit.t
+val reduce_xor : t -> Bit.t
+
+(** [add a b] / [sub a b]: operands must have equal widths; result has the
+    same width (carry-out discarded). *)
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [add_carry a b ~cin] returns the sum and the carry-out. *)
+val add_carry : t -> t -> cin:Bit.t -> t * Bit.t
+
+val neg : t -> t
+
+(** [mul a b] is the full-width product, [width a + width b] bits wide.
+    [mul_signed] treats both operands as two's complement. *)
+val mul : t -> t -> t
+val mul_signed : t -> t -> t
+
+(** Logical shifts by a constant amount. *)
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

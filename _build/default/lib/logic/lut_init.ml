@@ -1,0 +1,97 @@
+type t = {
+  inputs : int;
+  table : int; (* bit i = output for input address i *)
+}
+
+let check_inputs k =
+  if k < 1 || k > 6 then
+    invalid_arg (Printf.sprintf "Lut_init: %d inputs not in 1..6" k)
+
+let inputs t = t.inputs
+
+let of_function ~inputs f =
+  check_inputs inputs;
+  let n = 1 lsl inputs in
+  let table = ref 0 in
+  for addr = 0 to n - 1 do
+    if f addr then table := !table lor (1 lsl addr)
+  done;
+  { inputs; table = !table }
+
+let of_int ~inputs init =
+  check_inputs inputs;
+  let mask = (1 lsl (1 lsl inputs)) - 1 in
+  { inputs; table = init land mask }
+
+let to_int t = t.table
+
+let hex_digits t = max 1 ((1 lsl t.inputs) / 4)
+
+let of_hex ~inputs s =
+  check_inputs inputs;
+  let init = int_of_string ("0x" ^ s) in
+  of_int ~inputs init
+
+let to_hex t = Printf.sprintf "%0*X" (hex_digits t) t.table
+
+let eval_int t addr =
+  if addr < 0 || addr >= 1 lsl t.inputs then
+    invalid_arg (Printf.sprintf "Lut_init.eval_int: address %d" addr);
+  (t.table lsr addr) land 1 = 1
+
+(* With undefined inputs, enumerate every consistent address; if all agree
+   the output is still defined, otherwise X. *)
+let eval t addr_bits =
+  if Array.length addr_bits <> t.inputs then
+    invalid_arg
+      (Printf.sprintf "Lut_init.eval: %d address bits for a LUT%d"
+         (Array.length addr_bits) t.inputs);
+  let unknown = ref [] in
+  let base = ref 0 in
+  Array.iteri
+    (fun i b ->
+       match Bit.to_bool b with
+       | Some true -> base := !base lor (1 lsl i)
+       | Some false -> ()
+       | None -> unknown := i :: !unknown)
+    addr_bits;
+  match !unknown with
+  | [] -> Bit.of_bool (eval_int t !base)
+  | unknown_bits ->
+    let rec all_agree value = function
+      | [] -> Some value
+      | addr :: rest ->
+        if eval_int t addr = value then all_agree value rest else None
+    in
+    let addresses =
+      List.fold_left
+        (fun addrs i -> List.concat_map (fun a -> [ a; a lor (1 lsl i) ]) addrs)
+        [ !base ] unknown_bits
+    in
+    (match addresses with
+     | [] -> Bit.X
+     | first :: rest ->
+       (match all_agree (eval_int t first) rest with
+        | Some v -> Bit.of_bool v
+        | None -> Bit.X))
+
+let equal a b = a.inputs = b.inputs && a.table = b.table
+
+let const_false ~inputs = of_function ~inputs (fun _ -> false)
+let const_true ~inputs = of_function ~inputs (fun _ -> true)
+
+let and_all ~inputs =
+  of_function ~inputs (fun addr -> addr = (1 lsl inputs) - 1)
+
+let or_all ~inputs = of_function ~inputs (fun addr -> addr <> 0)
+
+let xor_all ~inputs =
+  let rec popcount n = if n = 0 then 0 else (n land 1) + popcount (n lsr 1) in
+  of_function ~inputs (fun addr -> popcount addr land 1 = 1)
+
+let passthrough ~inputs ~input =
+  if input < 0 || input >= inputs then
+    invalid_arg "Lut_init.passthrough: input out of range";
+  of_function ~inputs (fun addr -> (addr lsr input) land 1 = 1)
+
+let pp fmt t = Format.fprintf fmt "LUT%d:%s" t.inputs (to_hex t)

@@ -1,0 +1,52 @@
+(** Truth tables (INIT values) for k-input look-up tables.
+
+    A k-input LUT is configured by a 2{^k}-entry truth table. Entry [i]
+    gives the output when the inputs, read as an unsigned integer with
+    input 0 as the LSB, equal [i]. This matches the Xilinx INIT
+    convention. Supported sizes are 1 to 6 inputs. *)
+
+type t
+
+(** [inputs t] is k, the number of LUT inputs. *)
+val inputs : t -> int
+
+(** [of_function ~inputs f] tabulates [f] over all 2{^inputs} addresses. *)
+val of_function : inputs:int -> (int -> bool) -> t
+
+(** [of_int ~inputs init] takes the truth table as the low 2{^inputs} bits
+    of [init], entry 0 in bit 0. Raises [Invalid_argument] if [inputs] is
+    outside 1..6. *)
+val of_int : inputs:int -> int -> t
+
+val to_int : t -> int
+
+(** [of_hex ~inputs s] parses an INIT string such as ["CAFE"] (MSB first,
+    as printed in netlists). *)
+val of_hex : inputs:int -> string -> t
+
+(** [to_hex t] prints the INIT in the width netlists expect: 2{^k}/4 hex
+    digits, e.g. 4 digits for a LUT4. *)
+val to_hex : t -> string
+
+(** [eval t addr_bits] looks up the entry selected by the input bits (LSB =
+    input 0). If any input is undefined the result is [X] unless every
+    reachable entry agrees. [addr_bits] must have exactly [inputs t]
+    elements. *)
+val eval : t -> Bit.t array -> Bit.t
+
+(** [eval_int t addr] looks up entry [addr] directly. *)
+val eval_int : t -> int -> bool
+
+val equal : t -> t -> bool
+
+(** Common tables. *)
+val const_false : inputs:int -> t
+val const_true : inputs:int -> t
+val and_all : inputs:int -> t
+val or_all : inputs:int -> t
+val xor_all : inputs:int -> t
+
+(** [passthrough ~inputs ~input] copies the given input to the output. *)
+val passthrough : inputs:int -> input:int -> t
+
+val pp : Format.formatter -> t -> unit

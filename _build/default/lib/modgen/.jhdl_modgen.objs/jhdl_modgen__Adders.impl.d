@@ -1,0 +1,1 @@
+lib/modgen/adders.ml: Jhdl_circuit Jhdl_virtex Printf Util

@@ -1,0 +1,1 @@
+lib/modgen/adders.mli: Jhdl_circuit

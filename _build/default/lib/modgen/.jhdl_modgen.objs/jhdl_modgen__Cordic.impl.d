@@ -1,0 +1,1 @@
+lib/modgen/cordic.ml: Adders Float Jhdl_circuit Jhdl_logic Jhdl_virtex Printf Util

@@ -1,0 +1,1 @@
+lib/modgen/cordic.mli: Jhdl_circuit

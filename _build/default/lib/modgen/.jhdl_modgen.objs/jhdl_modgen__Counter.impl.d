@@ -1,0 +1,1 @@
+lib/modgen/counter.ml: Adders Jhdl_circuit Jhdl_virtex List Printf Util

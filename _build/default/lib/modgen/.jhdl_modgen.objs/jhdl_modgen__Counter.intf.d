@@ -1,0 +1,1 @@
+lib/modgen/counter.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/modgen/dafir.ml: Adders Jhdl_circuit Jhdl_virtex List Printf String Util

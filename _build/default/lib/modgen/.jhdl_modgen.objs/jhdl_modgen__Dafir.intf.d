@@ -1,0 +1,1 @@
+lib/modgen/dafir.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/modgen/datapath.ml: Jhdl_circuit Jhdl_logic Jhdl_virtex List Printf Util

@@ -1,0 +1,1 @@
+lib/modgen/datapath.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/modgen/fir.ml: Adders Array Jhdl_circuit Jhdl_logic Jhdl_virtex Kcm List Printf String Util

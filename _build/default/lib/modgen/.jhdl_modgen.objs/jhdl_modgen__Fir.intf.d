@@ -1,0 +1,1 @@
+lib/modgen/fir.mli: Jhdl_circuit Jhdl_logic

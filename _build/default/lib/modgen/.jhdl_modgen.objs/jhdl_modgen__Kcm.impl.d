@@ -1,0 +1,1 @@
+lib/modgen/kcm.ml: Adders Jhdl_circuit Jhdl_logic Jhdl_virtex Lazy List Printf Util

@@ -1,0 +1,1 @@
+lib/modgen/kcm.mli: Jhdl_circuit Jhdl_logic

@@ -1,0 +1,1 @@
+lib/modgen/misc_logic.ml: Counter Datapath Int Jhdl_circuit Jhdl_logic Jhdl_virtex List Printf String Util

@@ -1,0 +1,1 @@
+lib/modgen/misc_logic.mli: Jhdl_circuit

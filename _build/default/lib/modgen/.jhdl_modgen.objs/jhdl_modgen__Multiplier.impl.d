@@ -1,0 +1,1 @@
+lib/modgen/multiplier.ml: Adders Jhdl_circuit Jhdl_virtex List Printf Util

@@ -1,0 +1,1 @@
+lib/modgen/multiplier.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/modgen/util.ml: Jhdl_circuit Jhdl_logic Jhdl_virtex List Printf

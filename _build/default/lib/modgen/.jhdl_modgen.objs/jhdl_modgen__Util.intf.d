@@ -1,0 +1,1 @@
+lib/modgen/util.mli: Jhdl_circuit Jhdl_logic

@@ -1,0 +1,171 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+let full_adder parent ?(name = "fulladder") ~a ~b ~ci ~s ~co () =
+  let fa =
+    Cell.composite parent ~name ~type_name:"FullAdder"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b); ("ci", Types.Input, ci);
+          ("s", Types.Output, s); ("co", Types.Output, co) ]
+      ()
+  in
+  let t1 = Wire.create fa ~name:"t1" 1 in
+  let t2 = Wire.create fa ~name:"t2" 1 in
+  let t3 = Wire.create fa ~name:"t3" 1 in
+  let _ = Virtex.and2 fa a b t1 in
+  let _ = Virtex.and2 fa a ci t2 in
+  let _ = Virtex.and2 fa b ci t3 in
+  let _ = Virtex.or3 fa t1 t2 t3 co in
+  let _ = Virtex.xor3 fa a b ci s in
+  fa
+
+let check_widths what a b sum =
+  let wa = Wire.width a and wb = Wire.width b and ws = Wire.width sum in
+  if wa <> wb || wa <> ws then
+    invalid_arg
+      (Printf.sprintf "Adders.%s: width mismatch a=%d b=%d sum=%d" what wa wb ws)
+
+let ripple_carry parent ?(name = "rca") ~a ~b ~sum ?cin ?cout () =
+  check_widths "ripple_carry" a b sum;
+  let width = Wire.width a in
+  let cell =
+    Cell.composite parent ~name ~type_name:"RippleCarryAdder"
+      ~ports:
+        ([ ("a", Types.Input, a); ("b", Types.Input, b);
+           ("sum", Types.Output, sum) ]
+         @ (match cin with Some w -> [ ("cin", Types.Input, w) ] | None -> [])
+         @ (match cout with Some w -> [ ("cout", Types.Output, w) ] | None -> []))
+      ()
+  in
+  let carry = Wire.create cell ~name:"carry" (width + 1) in
+  (match cin with
+   | Some w -> Util.buffer cell ~name:"cin_buf" ~from:w ~into:(Wire.bit carry 0) ()
+   | None ->
+     let gnd = Virtex.gnd cell in
+     Util.buffer cell ~name:"cin_buf" ~from:gnd ~into:(Wire.bit carry 0) ());
+  for i = 0 to width - 1 do
+    let _ =
+      full_adder cell
+        ~name:(Printf.sprintf "fa%d" i)
+        ~a:(Wire.bit a i) ~b:(Wire.bit b i) ~ci:(Wire.bit carry i)
+        ~s:(Wire.bit sum i)
+        ~co:(Wire.bit carry (i + 1))
+        ()
+    in
+    ()
+  done;
+  (match cout with
+   | Some w ->
+     Util.buffer cell ~name:"cout_buf" ~from:(Wire.bit carry width) ~into:w ()
+   | None -> ());
+  cell
+
+(* One slice row per bit: LUT2 computes the propagate (a xor b), MUXCY
+   forwards the carry, XORCY forms the sum. This is the standard Virtex
+   mapping the optimized module generators use. *)
+let carry_chain parent ?(name = "adder") ~a ~b ~sum ?cin ?cout () =
+  check_widths "carry_chain" a b sum;
+  let width = Wire.width a in
+  let cell =
+    Cell.composite parent ~name ~type_name:"CarryChainAdder"
+      ~ports:
+        ([ ("a", Types.Input, a); ("b", Types.Input, b);
+           ("sum", Types.Output, sum) ]
+         @ (match cin with Some w -> [ ("cin", Types.Input, w) ] | None -> [])
+         @ (match cout with Some w -> [ ("cout", Types.Output, w) ] | None -> []))
+      ()
+  in
+  let carry = Wire.create cell ~name:"carry" (width + 1) in
+  (match cin with
+   | Some w -> Util.buffer cell ~name:"cin_buf" ~from:w ~into:(Wire.bit carry 0) ()
+   | None ->
+     let gnd = Virtex.gnd cell in
+     Util.buffer cell ~name:"cin_buf" ~from:gnd ~into:(Wire.bit carry 0) ());
+  for i = 0 to width - 1 do
+    let prop = Wire.create cell ~name:(Printf.sprintf "p%d" i) 1 in
+    let lut = Virtex.xor2 cell ~name:(Printf.sprintf "prop%d" i) (Wire.bit a i) (Wire.bit b i) prop in
+    let mux =
+      Virtex.muxcy cell
+        ~name:(Printf.sprintf "cy%d" i)
+        ~s:prop ~di:(Wire.bit a i) ~ci:(Wire.bit carry i)
+        ~o:(Wire.bit carry (i + 1))
+        ()
+    in
+    let xor =
+      Virtex.xorcy cell
+        ~name:(Printf.sprintf "sum%d" i)
+        ~li:prop ~ci:(Wire.bit carry i) ~o:(Wire.bit sum i) ()
+    in
+    (* relative placement: two bits per slice, one slice per row *)
+    let row = i / 2 in
+    Cell.set_rloc lut ~row ~col:0;
+    Cell.set_rloc mux ~row ~col:0;
+    Cell.set_rloc xor ~row ~col:0
+  done;
+  (match cout with
+   | Some w ->
+     Util.buffer cell ~name:"cout_buf" ~from:(Wire.bit carry width) ~into:w ()
+   | None -> ());
+  cell
+
+let subtractor parent ?(name = "sub") ~a ~b ~diff () =
+  check_widths "subtractor" a b diff;
+  let width = Wire.width a in
+  let cell =
+    Cell.composite parent ~name ~type_name:"Subtractor"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("diff", Types.Output, diff) ]
+      ()
+  in
+  let b_inv = Wire.create cell ~name:"b_inv" width in
+  for i = 0 to width - 1 do
+    let _ =
+      Virtex.inv cell ~name:(Printf.sprintf "inv%d" i) (Wire.bit b i)
+        (Wire.bit b_inv i)
+    in
+    ()
+  done;
+  let one = Virtex.vcc cell in
+  let _ = carry_chain cell ~name:"core" ~a ~b:b_inv ~sum:diff ~cin:one () in
+  cell
+
+let add_sub parent ?(name = "addsub") ~sub ~a ~b ~result () =
+  check_widths "add_sub" a b result;
+  let width = Wire.width a in
+  let cell =
+    Cell.composite parent ~name ~type_name:"AddSub"
+      ~ports:
+        [ ("sub", Types.Input, sub); ("a", Types.Input, a);
+          ("b", Types.Input, b); ("result", Types.Output, result) ]
+      ()
+  in
+  let b_cond = Wire.create cell ~name:"b_cond" width in
+  for i = 0 to width - 1 do
+    let _ =
+      Virtex.xor2 cell ~name:(Printf.sprintf "bx%d" i) (Wire.bit b i) sub
+        (Wire.bit b_cond i)
+    in
+    ()
+  done;
+  let _ = carry_chain cell ~name:"core" ~a ~b:b_cond ~sum:result ~cin:sub () in
+  cell
+
+let accumulator parent ?(name = "accum") ~clk ?ce ~x ~acc () =
+  if Wire.width x <> Wire.width acc then
+    invalid_arg "Adders.accumulator: width mismatch";
+  let cell =
+    Cell.composite parent ~name ~type_name:"Accumulator"
+      ~ports:
+        ([ ("clk", Types.Input, clk); ("x", Types.Input, x);
+           ("acc", Types.Output, acc) ]
+         @ (match ce with Some w -> [ ("ce", Types.Input, w) ] | None -> []))
+      ()
+  in
+  let next = Wire.create cell ~name:"next" (Wire.width x) in
+  let _ = carry_chain cell ~name:"add" ~a:acc ~b:x ~sum:next () in
+  Util.register_vector cell ~name:"acc_reg" ~clk ?ce ~d:next ~q:acc ();
+  cell
+

@@ -1,0 +1,48 @@
+(** Adder module generators.
+
+    [full_adder] is the paper's Section 2 example, transliterated from its
+    Java fragment. [ripple_carry] composes full adders gate-by-gate.
+    [carry_chain] is the Virtex-mapped adder (LUT2 propagate + MUXCY/XORCY
+    per bit) that the optimized module generators use; it is both smaller
+    and faster under the delay model, since carry hops cost far less than
+    LUT levels. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** [full_adder parent ~a ~b ~ci ~s ~co] builds the 1-bit full adder:
+    [co = a&b | a&ci | b&ci], [s = a ^ b ^ ci]. *)
+val full_adder :
+  Cell.t -> ?name:string ->
+  a:Wire.t -> b:Wire.t -> ci:Wire.t -> s:Wire.t -> co:Wire.t -> unit -> Cell.t
+
+(** [ripple_carry parent ~a ~b ~sum ?cin ?cout ()] — widths of [a], [b],
+    [sum] must be equal. [cin] defaults to constant 0. *)
+val ripple_carry :
+  Cell.t -> ?name:string ->
+  a:Wire.t -> b:Wire.t -> sum:Wire.t -> ?cin:Wire.t -> ?cout:Wire.t -> unit ->
+  Cell.t
+
+(** [carry_chain parent ~a ~b ~sum ?cin ?cout ()] — the carry-chain adder,
+    with relative placement attributes assigning each bit to a row. *)
+val carry_chain :
+  Cell.t -> ?name:string ->
+  a:Wire.t -> b:Wire.t -> sum:Wire.t -> ?cin:Wire.t -> ?cout:Wire.t -> unit ->
+  Cell.t
+
+(** [subtractor parent ~a ~b ~diff ()] computes [a - b] on the carry
+    chain (b inverted, carry-in 1). *)
+val subtractor :
+  Cell.t -> ?name:string -> a:Wire.t -> b:Wire.t -> diff:Wire.t -> unit -> Cell.t
+
+(** [add_sub parent ~sub ~a ~b ~result ()] adds when [sub]=0, subtracts
+    when [sub]=1 (xor-conditioned b, [sub] as carry-in). *)
+val add_sub :
+  Cell.t -> ?name:string ->
+  sub:Wire.t -> a:Wire.t -> b:Wire.t -> result:Wire.t -> unit -> Cell.t
+
+(** [accumulator parent ~clk ?ce ~x ~acc ()] registers [acc <= acc + x]
+    every (enabled) cycle; [acc] is also the registered output. *)
+val accumulator :
+  Cell.t -> ?name:string ->
+  clk:Wire.t -> ?ce:Wire.t -> x:Wire.t -> acc:Wire.t -> unit -> Cell.t

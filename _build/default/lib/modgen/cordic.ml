@@ -1,0 +1,140 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Bits = Jhdl_logic.Bits
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  iterations : int;
+}
+
+(* angle scale: pi/2 = 2^(w-2) *)
+let scale ~width = float_of_int (1 lsl (width - 2)) /. (Float.pi /. 2.0)
+
+let atan_fixed ~width i =
+  int_of_float (Float.round (Float.atan (Float.ldexp 1.0 (-i)) *. scale ~width))
+
+(* gain-corrected x seed: (1/K) * 2^(w-2), K = prod sqrt(1 + 2^-2i) *)
+let x_seed ~width ~iterations =
+  let k = ref 1.0 in
+  for i = 0 to iterations - 1 do
+    k := !k *. Float.sqrt (1.0 +. Float.ldexp 1.0 (-2 * i))
+  done;
+  int_of_float (Float.round (float_of_int (1 lsl (width - 2)) /. !k))
+
+let reference ~width ~iterations angle_fixed =
+  let x = ref (x_seed ~width ~iterations) in
+  let y = ref 0 in
+  let z = ref angle_fixed in
+  for i = 0 to iterations - 1 do
+    let xs = !x asr i and ys = !y asr i in
+    if !z >= 0 then begin
+      let x' = !x - ys and y' = !y + xs in
+      z := !z - atan_fixed ~width i;
+      x := x';
+      y := y'
+    end
+    else begin
+      let x' = !x + ys and y' = !y - xs in
+      z := !z + atan_fixed ~width i;
+      x := x';
+      y := y'
+    end
+  done;
+  (!x, !y)
+
+let float_reference ~width angle_fixed =
+  let theta = float_of_int angle_fixed /. scale ~width in
+  let amplitude = float_of_int (1 lsl (width - 2)) in
+  (amplitude *. Float.cos theta, amplitude *. Float.sin theta)
+
+(* arithmetic shift right as a free wire view *)
+let asr_view cell w i =
+  let width = Wire.width w in
+  if i = 0 then w
+  else if i >= width then
+    Util.fanout_bit (Wire.bit w (width - 1)) ~width
+  else begin
+    ignore cell;
+    Wire.concat
+      (Util.fanout_bit (Wire.bit w (width - 1)) ~width:i)
+      (Wire.slice w ~lo:i ~hi:(width - 1))
+  end
+
+let create parent ?(name = "cordic") ?clk ~angle ~cos_out ~sin_out ~iterations
+    ~pipelined () =
+  let width = Wire.width angle in
+  if width < 6 || width > 32 then
+    invalid_arg "Cordic.create: width must be in 6..32";
+  if Wire.width cos_out <> width || Wire.width sin_out <> width then
+    invalid_arg "Cordic.create: angle/cos/sin widths must match";
+  if iterations < 1 || iterations > width then
+    invalid_arg "Cordic.create: iterations must be in 1..width";
+  let clk =
+    match clk, pipelined with
+    | Some c, _ -> Some c
+    | None, false -> None
+    | None, true -> invalid_arg "Cordic.create: pipelined mode requires a clock"
+  in
+  let cell =
+    Cell.composite parent ~name ~type_name:"CordicRotator"
+      ~ports:
+        ([ ("angle", Types.Input, angle); ("cos", Types.Output, cos_out);
+           ("sin", Types.Output, sin_out) ]
+         @ (match clk with Some c -> [ ("clk", Types.Input, c) ] | None -> []))
+      ()
+  in
+  Cell.set_property cell "ITERATIONS" (string_of_int iterations);
+  let x0 =
+    Util.constant cell ~name:"x0"
+      ~value:(Bits.of_int ~width (x_seed ~width ~iterations))
+      ()
+  in
+  let y0 = Util.constant cell ~name:"y0" ~value:(Bits.zero width) () in
+  let stage i (x, y, z) =
+    let d = Wire.bit z (width - 1) in
+    let nd = Wire.create cell ~name:(Printf.sprintf "nd%d" i) 1 in
+    let _ = Virtex.inv cell ~name:(Printf.sprintf "sign%d" i) d nd in
+    let xs = asr_view cell x i and ys = asr_view cell y i in
+    let x' = Wire.create cell ~name:(Printf.sprintf "x%d" (i + 1)) width in
+    let y' = Wire.create cell ~name:(Printf.sprintf "y%d" (i + 1)) width in
+    let z' = Wire.create cell ~name:(Printf.sprintf "z%d" (i + 1)) width in
+    let atan_w =
+      Util.constant cell
+        ~name:(Printf.sprintf "atan%d" i)
+        ~value:(Bits.of_int ~width (atan_fixed ~width i))
+        ()
+    in
+    let _ =
+      Adders.add_sub cell ~name:(Printf.sprintf "xrot%d" i) ~sub:nd ~a:x ~b:ys
+        ~result:x' ()
+    in
+    let _ =
+      Adders.add_sub cell ~name:(Printf.sprintf "yrot%d" i) ~sub:d ~a:y ~b:xs
+        ~result:y' ()
+    in
+    let _ =
+      Adders.add_sub cell ~name:(Printf.sprintf "zacc%d" i) ~sub:nd ~a:z
+        ~b:atan_w ~result:z' ()
+    in
+    match clk with
+    | Some clk when pipelined ->
+      let reg w label =
+        let out = Wire.create cell ~name:(Printf.sprintf "%s%d_r" label i) width in
+        Util.register_vector cell
+          ~name:(Printf.sprintf "%s%d_reg" label i)
+          ~clk ~d:w ~q:out ();
+        out
+      in
+      (reg x' "x", reg y' "y", reg z' "z")
+    | Some _ | None -> (x', y', z')
+  in
+  let rec run i state =
+    if i = iterations then state else run (i + 1) (stage i state)
+  in
+  let xf, yf, _ = run 0 (x0, y0, angle) in
+  Util.buffer cell ~name:"cos_buf" ~from:xf ~into:cos_out ();
+  Util.buffer cell ~name:"sin_buf" ~from:yf ~into:sin_out ();
+  { cell; latency = (if pipelined then iterations else 0); iterations }

@@ -1,0 +1,52 @@
+(** CORDIC rotator module generator (sine/cosine).
+
+    A fully-unrolled fixed-point CORDIC in rotation mode, the kind of
+    signal-processing macro the paper's module-generator catalog
+    advertises next to the KCM. Each stage is two add/sub datapaths for
+    the (x, y) rotation — the shifts are free wire views — plus a
+    constant-arctangent add/sub for the angle accumulator; the rotation
+    direction is the accumulator's sign bit.
+
+    Fixed-point conventions, for data width [w]:
+    - the input angle [z] is scaled so that pi/2 = 2{^w-2} (so the full
+      input range [-2{^w-2} .. 2{^w-2}] covers [-pi/2, pi/2]);
+    - outputs are scaled by 2{^w-2}: [cos_out ~ 2^(w-2) * cos(theta)],
+      [sin_out ~ 2^(w-2) * sin(theta)]. The CORDIC gain is pre-corrected
+      in the x seed.
+
+    In pipelined mode a register plane follows every stage (latency =
+    [iterations] cycles, one result per cycle). *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  iterations : int;
+}
+
+(** [create parent ~clk ~angle ~cos_out ~sin_out ~iterations ~pipelined ()].
+    [angle], [cos_out] and [sin_out] must share one width [w] with
+    [6 <= w <= 32]; [1 <= iterations <= w]. [clk] required when
+    pipelined. *)
+val create :
+  Cell.t ->
+  ?name:string ->
+  ?clk:Wire.t ->
+  angle:Wire.t ->
+  cos_out:Wire.t ->
+  sin_out:Wire.t ->
+  iterations:int ->
+  pipelined:bool ->
+  unit ->
+  t
+
+(** [reference ~width ~iterations angle_fixed] — bit-accurate golden
+    model of the generated circuit (same quantized arctangents, seeds and
+    truncations), returning [(cos_fixed, sin_fixed)]. *)
+val reference : width:int -> iterations:int -> int -> int * int
+
+(** [float_reference ~width angle_fixed] — the ideal real-valued answer
+    [(2^(w-2) cos, 2^(w-2) sin)], for accuracy reporting. *)
+val float_reference : width:int -> int -> float * float

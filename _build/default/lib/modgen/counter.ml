@@ -1,0 +1,139 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+let up_counter parent ?(name = "counter") ~clk ?ce ?sclr ~q () =
+  let width = Wire.width q in
+  let cell =
+    Cell.composite parent ~name ~type_name:"UpCounter"
+      ~ports:
+        ([ ("clk", Types.Input, clk); ("q", Types.Output, q) ]
+         @ (match ce with Some w -> [ ("ce", Types.Input, w) ] | None -> [])
+         @ (match sclr with Some w -> [ ("sclr", Types.Input, w) ] | None -> []))
+      ()
+  in
+  let inc = Wire.create cell ~name:"inc" width in
+  let vcc = Virtex.vcc cell in
+  let one_vec =
+    if width = 1 then vcc
+    else begin
+      let gnd = Virtex.gnd cell in
+      Wire.concat (Util.fanout_bit gnd ~width:(width - 1)) vcc
+    end
+  in
+  let _ = Adders.carry_chain cell ~name:"inc_add" ~a:q ~b:one_vec ~sum:inc () in
+  let next =
+    match sclr with
+    | None -> inc
+    | Some sclr ->
+      let nclr = Wire.create cell ~name:"nclr" 1 in
+      let _ = Virtex.inv cell ~name:"nclr_inv" sclr nclr in
+      let cleared = Wire.create cell ~name:"cleared" width in
+      for i = 0 to width - 1 do
+        let _ =
+          Virtex.and2 cell
+            ~name:(Printf.sprintf "clr_gate%d" i)
+            (Wire.bit inc i) nclr (Wire.bit cleared i)
+        in
+        ()
+      done;
+      cleared
+  in
+  Util.register_vector cell ~name:"count_reg" ~clk ?ce ~d:next ~q ();
+  cell
+
+(* AND-reduce a list of 1-bit wires with a LUT tree. *)
+let rec and_reduce cell ~name ~into wires =
+  match wires with
+  | [] -> invalid_arg "Counter.and_reduce: no inputs"
+  | [ w ] ->
+    let _ = Virtex.buf cell ~name:(name ^ "_buf") w into in
+    ()
+  | [ a; b ] ->
+    let _ = Virtex.and2 cell ~name:(name ^ "_and2") a b into in
+    ()
+  | [ a; b; c ] ->
+    let _ = Virtex.and3 cell ~name:(name ^ "_and3") a b c into in
+    ()
+  | [ a; b; c; d ] ->
+    let _ = Virtex.and4 cell ~name:(name ^ "_and4") a b c d into in
+    ()
+  | many ->
+    (* group by four, reduce each group, recurse on the group outputs *)
+    let rec groups acc current count = function
+      | [] ->
+        let acc = if current = [] then acc else List.rev current :: acc in
+        List.rev acc
+      | w :: rest ->
+        if count = 4 then groups (List.rev current :: acc) [ w ] 1 rest
+        else groups acc (w :: current) (count + 1) rest
+    in
+    let gs = groups [] [] 0 many in
+    let outs =
+      List.mapi
+        (fun i g ->
+           let o = Wire.create cell ~name:(Printf.sprintf "%s_g%d" name i) 1 in
+           and_reduce cell ~name:(Printf.sprintf "%s_l%d" name i) ~into:o g;
+           o)
+        gs
+    in
+    and_reduce cell ~name:(name ^ "_t") ~into outs
+
+let equal_const parent ?(name = "eqconst") ~x ~value ~eq () =
+  let width = Wire.width x in
+  if value < 0 || (width < 62 && value >= 1 lsl width) then
+    invalid_arg "Counter.equal_const: value out of range for the wire width";
+  let cell =
+    Cell.composite parent ~name ~type_name:"EqualConst"
+      ~ports:[ ("x", Types.Input, x); ("eq", Types.Output, eq) ]
+      ()
+  in
+  Cell.set_property cell "VALUE" (string_of_int value);
+  (* one LUT per 4-bit chunk deciding whether the chunk matches *)
+  let chunk_outputs =
+    List.mapi
+      (fun i (lo, hi) ->
+         let expected = (value lsr lo) land ((1 lsl (hi - lo + 1)) - 1) in
+         let o = Wire.create cell ~name:(Printf.sprintf "m%d" i) 1 in
+         let inputs = List.init (hi - lo + 1) (fun j -> Wire.bit x (lo + j)) in
+         let _ =
+           Virtex.lut_of_function cell
+             ~name:(Printf.sprintf "match%d" i)
+             inputs o
+             ~f:(fun addr -> addr = expected)
+         in
+         o)
+      (Util.digit_split ~width ~digit_bits:4)
+  in
+  and_reduce cell ~name:"all" ~into:eq chunk_outputs;
+  cell
+
+let less_than parent ?(name = "lessthan") ~a ~b ~lt () =
+  if Wire.width a <> Wire.width b then
+    invalid_arg "Counter.less_than: width mismatch";
+  let width = Wire.width a in
+  let cell =
+    Cell.composite parent ~name ~type_name:"LessThan"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("lt", Types.Output, lt) ]
+      ()
+  in
+  (* a < b  <=>  no carry out of a + ~b + 1 *)
+  let b_inv = Wire.create cell ~name:"b_inv" width in
+  for i = 0 to width - 1 do
+    let _ =
+      Virtex.inv cell ~name:(Printf.sprintf "inv%d" i) (Wire.bit b i)
+        (Wire.bit b_inv i)
+    in
+    ()
+  done;
+  let vcc = Virtex.vcc cell in
+  let diff = Wire.create cell ~name:"diff" width in
+  let cout = Wire.create cell ~name:"cout" 1 in
+  let _ =
+    Adders.carry_chain cell ~name:"cmp" ~a ~b:b_inv ~sum:diff ~cin:vcc ~cout ()
+  in
+  let _ = Virtex.inv cell ~name:"borrow" cout lt in
+  cell

@@ -1,0 +1,21 @@
+(** Counter and comparator module generators. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** [up_counter parent ~clk ?ce ?sclr ~q ()] — a carry-chain incrementer
+    feeding a register bank; [q] holds the count. [sclr], when given,
+    synchronously clears. *)
+val up_counter :
+  Cell.t -> ?name:string ->
+  clk:Wire.t -> ?ce:Wire.t -> ?sclr:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [equal_const parent ~x ~value ~eq ()] — [eq = (x = value)] via a LUT
+    reduction tree. *)
+val equal_const :
+  Cell.t -> ?name:string -> x:Wire.t -> value:int -> eq:Wire.t -> unit -> Cell.t
+
+(** [less_than parent ~a ~b ~lt ()] — unsigned [a < b] on the carry chain
+    (computes a - b and takes the borrow). *)
+val less_than :
+  Cell.t -> ?name:string -> a:Wire.t -> b:Wire.t -> lt:Wire.t -> unit -> Cell.t

@@ -1,0 +1,138 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+type t = {
+  cell : Cell.t;
+  full_width : int;
+  taps : int;
+  table_entries : int;
+}
+
+(* inner-product table: F(addr) = sum of coefficients whose address bit
+   is set *)
+let table_value coefficients addr =
+  List.fold_left
+    (fun (acc, k) c ->
+       ((if addr land (1 lsl k) <> 0 then acc + c else acc), k + 1))
+    (0, 0) coefficients
+  |> fst
+
+let table_width coefficients =
+  let taps = List.length coefficients in
+  let worst = ref 1 in
+  for addr = 0 to (1 lsl taps) - 1 do
+    worst := max !worst (Util.bits_for_constant (table_value coefficients addr))
+  done;
+  !worst
+
+let create parent ?(name = "dafir") ~clk ~x ~y ~signed_mode ~coefficients () =
+  let taps = List.length coefficients in
+  if taps < 1 || taps > 4 then
+    invalid_arg "Dafir.create: 1 to 4 taps supported (one LUT4 address each)";
+  if (not signed_mode) && List.exists (fun c -> c < 0) coefficients then
+    invalid_arg "Dafir.create: negative coefficients require signed mode";
+  let b_width = Wire.width x in
+  let wf = table_width coefficients in
+  let full_width = b_width + wf in
+  let cell =
+    Cell.composite parent ~name ~type_name:"DaFirFilter"
+      ~ports:
+        [ ("clk", Types.Input, clk); ("x", Types.Input, x);
+          ("y", Types.Output, y) ]
+      ()
+  in
+  Cell.set_property cell "TAPS" (string_of_int taps);
+  Cell.set_property cell "COEFFICIENTS"
+    (String.concat "," (List.map string_of_int coefficients));
+  (* sample history: x_0 = current sample, x_k = k-cycle delay *)
+  let samples =
+    let rec build k prev acc =
+      if k = taps then List.rev acc
+      else begin
+        let delayed =
+          if k = 0 then prev
+          else begin
+            let next =
+              Wire.create cell ~name:(Printf.sprintf "xd%d" k) b_width
+            in
+            Util.register_vector cell
+              ~name:(Printf.sprintf "hist%d" k)
+              ~clk ~d:prev ~q:next ();
+            next
+          end
+        in
+        build (k + 1) delayed (delayed :: acc)
+      end
+    in
+    build 0 x []
+  in
+  (* one table bank per input bit position *)
+  let bank b =
+    let out = Wire.create cell ~name:(Printf.sprintf "f%d" b) wf in
+    let inputs = List.map (fun s -> Wire.bit s b) samples in
+    for j = 0 to wf - 1 do
+      let lut =
+        Virtex.lut_of_function cell
+          ~name:(Printf.sprintf "da%d_%d" b j)
+          inputs (Wire.bit out j)
+          ~f:(fun addr -> (table_value coefficients addr asr j) land 1 = 1)
+      in
+      Cell.set_rloc lut ~row:(j / 2) ~col:b
+    done;
+    out
+  in
+  let sign_extend_view pp target =
+    let tw = Wire.width pp in
+    if target = tw then pp
+    else
+      Wire.concat
+        (Util.fanout_bit (Wire.bit pp (tw - 1)) ~width:(target - tw))
+        pp
+  in
+  (* accumulate shifted table outputs; the sign position subtracts *)
+  let acc0 = sign_extend_view (bank 0) full_width in
+  let final =
+    List.fold_left
+      (fun acc b ->
+         let is_sign = signed_mode && b = b_width - 1 in
+         let addend = sign_extend_view (bank b) (full_width - b) in
+         let high =
+           Wire.create cell ~name:(Printf.sprintf "acc%d" b) (full_width - b)
+         in
+         let high_in = Wire.slice acc ~lo:b ~hi:(full_width - 1) in
+         (if is_sign then
+            let _ =
+              Adders.subtractor cell
+                ~name:(Printf.sprintf "sub%d" b)
+                ~a:high_in ~b:addend ~diff:high ()
+            in
+            ()
+          else
+            let _ =
+              Adders.carry_chain cell
+                ~name:(Printf.sprintf "add%d" b)
+                ~a:high_in ~b:addend ~sum:high ()
+            in
+            ());
+         Wire.concat high (Wire.slice acc ~lo:0 ~hi:(b - 1)))
+      acc0
+      (List.init (b_width - 1) (fun b -> b + 1))
+  in
+  let out_width = Wire.width y in
+  let delivered =
+    if out_width <= full_width then
+      Wire.slice final ~lo:(full_width - out_width) ~hi:(full_width - 1)
+    else if signed_mode then
+      Wire.concat
+        (Util.fanout_bit (Wire.bit final (full_width - 1))
+           ~width:(out_width - full_width))
+        final
+    else begin
+      let gnd = Virtex.gnd cell in
+      Wire.concat (Util.fanout_bit gnd ~width:(out_width - full_width)) final
+    end
+  in
+  Util.buffer cell ~name:"y_buf" ~from:delivered ~into:y ();
+  { cell; full_width; taps; table_entries = 1 lsl taps }

@@ -1,0 +1,42 @@
+(** Distributed-arithmetic FIR filter generator.
+
+    The other classic Virtex filter structure, included as an ablation
+    partner for the KCM-based {!Fir}: instead of one multiplier per tap,
+    distributed arithmetic precomputes the inner product's partial sums
+    in a look-up table addressed by one bit of {e each} delayed sample,
+    then accumulates the table outputs across bit positions:
+
+    [y = sum_b 2^b * F(x_0[b], ..., x_{T-1}[b])], with the sign position
+    subtracted in signed mode, where [F(a) = sum_k a_k * coeff_k] is a
+    2{^T}-entry table — LUT4s when [T <= 4].
+
+    Fully parallel form: one table bank per input bit position and an
+    adder per bank, plus the sample delay line. Area therefore scales
+    with the {e input width}, where the KCM filter's scales with the
+    coefficient widths — the trade the ablation bench (A1b) measures. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  full_width : int;  (** accumulation width *)
+  taps : int;
+  table_entries : int;  (** 2^taps *)
+}
+
+(** [create parent ~clk ~x ~y ~signed_mode ~coefficients ()]. At most 4
+    taps (one LUT4 address per tap). Output delivery follows the
+    {!Fir} convention (top bits when [y] is narrower than [full_width]).
+    The response matches {!Fir.expected_response} for the same
+    coefficients — both compute the same inner product. *)
+val create :
+  Cell.t ->
+  ?name:string ->
+  clk:Wire.t ->
+  x:Wire.t ->
+  y:Wire.t ->
+  signed_mode:bool ->
+  coefficients:int list ->
+  unit ->
+  t

@@ -1,0 +1,175 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+let rec log2_ceil n = if n <= 1 then 0 else 1 + log2_ceil ((n + 1) / 2)
+
+let mux_n parent ?(name = "muxn") ~sel ~inputs ~out () =
+  let width = Wire.width out in
+  (match inputs with
+   | [] -> invalid_arg "Datapath.mux_n: no inputs"
+   | ins ->
+     List.iter
+       (fun w ->
+          if Wire.width w <> width then
+            invalid_arg "Datapath.mux_n: input width mismatch")
+       ins);
+  let needed = log2_ceil (List.length inputs) in
+  if Wire.width sel < needed then
+    invalid_arg
+      (Printf.sprintf "Datapath.mux_n: %d select bits for %d inputs"
+         (Wire.width sel) (List.length inputs));
+  let cell =
+    Cell.composite parent ~name ~type_name:"MuxN"
+      ~ports:
+        (("sel", Types.Input, sel) :: ("out", Types.Output, out)
+         :: List.mapi (fun i w -> (Printf.sprintf "in%d" i, Types.Input, w)) inputs)
+      ()
+  in
+  (* reduce pairwise with 2:1 muxes, one select bit per level *)
+  let rec reduce level wires =
+    match wires with
+    | [] -> assert false
+    | [ last ] -> last
+    | many ->
+      let sel_bit = Wire.bit sel level in
+      let rec pair acc idx = function
+        | [] -> List.rev acc
+        | [ odd ] -> List.rev (odd :: acc)
+        | a :: b :: rest ->
+          let o =
+            Wire.create cell ~name:(Printf.sprintf "l%d_%d" level idx) width
+          in
+          for j = 0 to width - 1 do
+            let _ =
+              Virtex.mux2 cell
+                ~name:(Printf.sprintf "mx%d_%d_%d" level idx j)
+                ~sel:sel_bit (Wire.bit a j) (Wire.bit b j) (Wire.bit o j)
+            in
+            ()
+          done;
+          pair (o :: acc) (idx + 1) rest
+      in
+      reduce (level + 1) (pair [] 0 many)
+  in
+  let result = reduce 0 inputs in
+  Util.buffer cell ~name:"out_buf" ~from:result ~into:out ();
+  cell
+
+let parity parent ?(name = "parity") ~x ~p () =
+  if Wire.width p <> 1 then invalid_arg "Datapath.parity: p must be 1 bit";
+  let cell =
+    Cell.composite parent ~name ~type_name:"Parity"
+      ~ports:[ ("x", Types.Input, x); ("p", Types.Output, p) ]
+      ()
+  in
+  let rec reduce level wires =
+    match wires with
+    | [] -> invalid_arg "Datapath.parity: empty input"
+    | [ last ] -> last
+    | many ->
+      (* xor-reduce in groups of up to 4 with single LUTs *)
+      let rec group acc idx = function
+        | [] -> List.rev acc
+        | chunk ->
+          let take = min 4 (List.length chunk) in
+          let rec split n xs =
+            if n = 0 then ([], xs)
+            else
+              match xs with
+              | [] -> ([], [])
+              | x :: rest ->
+                let taken, left = split (n - 1) rest in
+                (x :: taken, left)
+          in
+          let taken, rest = split take chunk in
+          (match taken with
+           | [ one ] -> group (one :: acc) (idx + 1) rest
+           | multiple ->
+             let o =
+               Wire.create cell ~name:(Printf.sprintf "x%d_%d" level idx) 1
+             in
+             let k = List.length multiple in
+             let _ =
+               Virtex.lut_of_function cell
+                 ~name:(Printf.sprintf "xr%d_%d" level idx)
+                 multiple o
+                 ~f:(fun addr ->
+                   let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+                   pop (addr land ((1 lsl k) - 1)) land 1 = 1)
+             in
+             group (o :: acc) (idx + 1) rest)
+      in
+      reduce (level + 1) (group [] 0 many)
+  in
+  let bits = List.init (Wire.width x) (fun i -> Wire.bit x i) in
+  let result = reduce 0 bits in
+  Util.buffer cell ~name:"p_buf" ~from:result ~into:p ();
+  cell
+
+let delay_line parent ?(name = "delayline") ~clk ~ce ~depth ~d ~q () =
+  if depth < 1 || depth > 16 then
+    invalid_arg "Datapath.delay_line: depth must be in 1..16";
+  if Wire.width d <> Wire.width q then
+    invalid_arg "Datapath.delay_line: width mismatch";
+  let cell =
+    Cell.composite parent ~name ~type_name:"DelayLine"
+      ~ports:
+        [ ("clk", Types.Input, clk); ("ce", Types.Input, ce);
+          ("d", Types.Input, d); ("q", Types.Output, q) ]
+      ()
+  in
+  Cell.set_property cell "DEPTH" (string_of_int depth);
+  let addr =
+    Util.constant cell ~name:"tap"
+      ~value:(Jhdl_logic.Bits.of_int ~width:4 (depth - 1))
+      ()
+  in
+  for i = 0 to Wire.width d - 1 do
+    let srl =
+      Virtex.srl16e cell
+        ~name:(Printf.sprintf "srl%d" i)
+        ~clk ~ce ~d:(Wire.bit d i) ~a:addr ~q:(Wire.bit q i) ()
+    in
+    Cell.set_rloc srl ~row:(i / 2) ~col:0
+  done;
+  cell
+
+let register_file parent ?(name = "regfile") ~clk ~we ~waddr ~raddr ~d ~q () =
+  let abits = Wire.width waddr in
+  if Wire.width raddr <> abits then
+    invalid_arg "Datapath.register_file: address width mismatch";
+  if abits < 1 || abits > 4 then
+    invalid_arg "Datapath.register_file: address must be 1..4 bits";
+  if Wire.width d <> Wire.width q then
+    invalid_arg "Datapath.register_file: data width mismatch";
+  let entries = 1 lsl abits in
+  let width = Wire.width d in
+  let cell =
+    Cell.composite parent ~name ~type_name:"RegisterFile"
+      ~ports:
+        [ ("clk", Types.Input, clk); ("we", Types.Input, we);
+          ("waddr", Types.Input, waddr); ("raddr", Types.Input, raddr);
+          ("d", Types.Input, d); ("q", Types.Output, q) ]
+      ()
+  in
+  let rows =
+    List.init entries (fun e ->
+      (* write-enable decode: we & (waddr = e) *)
+      let en = Wire.create cell ~name:(Printf.sprintf "en%d" e) 1 in
+      let inputs = we :: List.init abits (fun i -> Wire.bit waddr i) in
+      let _ =
+        Virtex.lut_of_function cell
+          ~name:(Printf.sprintf "dec%d" e)
+          inputs en
+          ~f:(fun addr -> addr land 1 = 1 && addr lsr 1 = e)
+      in
+      let row = Wire.create cell ~name:(Printf.sprintf "r%d" e) width in
+      Util.register_vector cell
+        ~name:(Printf.sprintf "row%d" e)
+        ~clk ~ce:en ~d ~q:row ();
+      row)
+  in
+  let _ = mux_n cell ~name:"read_mux" ~sel:raddr ~inputs:rows ~out:q () in
+  cell

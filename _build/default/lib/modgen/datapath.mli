@@ -1,0 +1,34 @@
+(** Miscellaneous datapath generators: mux trees, parity, delay lines and
+    register files — the "variety of arithmetic, signal processing, logic,
+    and memory modules" of Section 3. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** [mux_n parent ~sel ~inputs ~out ()] — an n-way multiplexer tree of
+    2:1 LUT muxes. [inputs] must be non-empty, all the width of [out];
+    [sel] must have at least ceil(log2 n) bits. Selections beyond the
+    input count return the last input. *)
+val mux_n :
+  Cell.t -> ?name:string ->
+  sel:Wire.t -> inputs:Wire.t list -> out:Wire.t -> unit -> Cell.t
+
+(** [parity parent ~x ~p ()] — xor-reduction tree of [x] into the 1-bit
+    [p]. *)
+val parity : Cell.t -> ?name:string -> x:Wire.t -> p:Wire.t -> unit -> Cell.t
+
+(** [delay_line parent ~clk ~ce ~depth ~d ~q ()] — an SRL16E-based fixed
+    delay of [depth] cycles (1..16) on every bit of [d]. *)
+val delay_line :
+  Cell.t -> ?name:string ->
+  clk:Wire.t -> ce:Wire.t -> depth:int -> d:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [register_file parent ~clk ~we ~waddr ~raddr ~d ~q ()] — a register
+    file of [2^width waddr] entries built from clock-enabled registers
+    with a one-hot write decoder and a LUT-mux read tree. Writes land on
+    the clock edge; reads are asynchronous. [waddr] and [raddr] must have
+    the same width (at most 4). *)
+val register_file :
+  Cell.t -> ?name:string ->
+  clk:Wire.t -> we:Wire.t -> waddr:Wire.t -> raddr:Wire.t -> d:Wire.t ->
+  q:Wire.t -> unit -> Cell.t

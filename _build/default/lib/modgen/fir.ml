@@ -1,0 +1,106 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Bits = Jhdl_logic.Bits
+
+type t = {
+  cell : Cell.t;
+  full_width : int;
+  taps : int;
+}
+
+let rec log2_ceil n = if n <= 1 then 0 else 1 + log2_ceil ((n + 1) / 2)
+
+let accumulation_width ~x_width ~coefficients =
+  let kw =
+    List.fold_left (fun acc c -> max acc (Util.bits_for_constant c)) 1
+      coefficients
+  in
+  x_width + kw + log2_ceil (List.length coefficients)
+
+let create parent ?(name = "fir") ~clk ~x ~y ~signed_mode ~coefficients () =
+  (match coefficients with
+   | [] -> invalid_arg "Fir.create: no coefficients"
+   | _ :: _ -> ());
+  if (not signed_mode) && List.exists (fun c -> c < 0) coefficients then
+    invalid_arg "Fir.create: negative coefficients require signed mode";
+  let taps = List.length coefficients in
+  let full_width = accumulation_width ~x_width:(Wire.width x) ~coefficients in
+  let cell =
+    Cell.composite parent ~name ~type_name:"FirFilter"
+      ~ports:
+        [ ("clk", Types.Input, clk); ("x", Types.Input, x);
+          ("y", Types.Output, y) ]
+      ()
+  in
+  Cell.set_property cell "TAPS" (string_of_int taps);
+  Cell.set_property cell "COEFFICIENTS"
+    (String.concat "," (List.map string_of_int coefficients));
+  (* one KCM per tap, all fed by the current sample, products at full
+     accumulation width *)
+  let products =
+    List.mapi
+      (fun k c ->
+         let p = Wire.create cell ~name:(Printf.sprintf "p%d" k) full_width in
+         let _ =
+           Kcm.create cell
+             ~name:(Printf.sprintf "kcm%d" k)
+             ~multiplicand:x ~product:p ~signed_mode ~pipelined_mode:false
+             ~constant:c ()
+         in
+         p)
+      coefficients
+  in
+  (* transposed accumulation chain: y = p0 + reg(p1 + reg(p2 + ...)) *)
+  let rec chain = function
+    | [] -> assert false
+    | [ last ] -> last
+    | p :: rest ->
+      let deeper = chain rest in
+      let delayed =
+        Wire.create cell ~name:(Printf.sprintf "z%d" (List.length rest)) full_width
+      in
+      Util.register_vector cell
+        ~name:(Printf.sprintf "zreg%d" (List.length rest))
+        ~clk ~d:deeper ~q:delayed ();
+      let sum =
+        Wire.create cell ~name:(Printf.sprintf "s%d" (List.length rest)) full_width
+      in
+      let _ =
+        Adders.carry_chain cell
+          ~name:(Printf.sprintf "acc%d" (List.length rest))
+          ~a:p ~b:delayed ~sum ()
+      in
+      sum
+  in
+  let result = chain products in
+  let out_width = Wire.width y in
+  let delivered =
+    if out_width <= full_width then
+      Wire.slice result ~lo:(full_width - out_width) ~hi:(full_width - 1)
+    else if signed_mode then
+      Wire.concat
+        (Util.fanout_bit (Wire.bit result (full_width - 1))
+           ~width:(out_width - full_width))
+        result
+    else begin
+      let gnd = Jhdl_virtex.Virtex.gnd cell in
+      Wire.concat (Util.fanout_bit gnd ~width:(out_width - full_width)) result
+    end
+  in
+  Util.buffer cell ~name:"y_buf" ~from:delivered ~into:y ();
+  { cell; full_width; taps }
+
+let expected_response ~signed_mode ~coefficients ~full_width ~out_width xs =
+  let coeffs = Array.of_list coefficients in
+  let samples = Array.of_list xs in
+  List.init (Array.length samples) (fun n ->
+    let acc = ref 0 in
+    Array.iteri
+      (fun k c -> if n - k >= 0 then acc := !acc + (c * samples.(n - k)))
+      coeffs;
+    let full = Bits.of_int ~width:full_width !acc in
+    if out_width <= full_width then
+      Bits.slice full ~lo:(full_width - out_width) ~hi:(full_width - 1)
+    else if signed_mode then Bits.sign_extend full out_width
+    else Bits.zero_extend full out_width)

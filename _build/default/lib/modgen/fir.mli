@@ -1,0 +1,50 @@
+(** Constant-coefficient FIR filter generator — a signal-processing module
+    of the kind the paper's module-generator catalog advertises, and the
+    second IP used in the black-box co-simulation experiment (Figure 4).
+
+    Transposed direct form: every tap is a {!Kcm} constant multiplier fed
+    by the current sample; the products enter a register-separated adder
+    chain, so [y(n) = sum_k coeff(k) * x(n-k)] with no explicit input
+    delay line and an output that settles [taps - 1] cycles after the
+    first sample. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  full_width : int;  (** internal accumulation width *)
+  taps : int;
+}
+
+(** [accumulation_width ~x_width ~coefficients] — the internal width the
+    generator will use: input width + widest coefficient + tree guard
+    bits. *)
+val accumulation_width : x_width:int -> coefficients:int list -> int
+
+(** [create parent ~clk ~x ~y ~signed_mode ~coefficients ()]. The output
+    delivers the top bits of the accumulation when [y] is narrower than
+    [full_width] (KCM convention), the extended value when wider.
+    Unsigned mode requires non-negative coefficients. *)
+val create :
+  Cell.t ->
+  ?name:string ->
+  clk:Wire.t ->
+  x:Wire.t ->
+  y:Wire.t ->
+  signed_mode:bool ->
+  coefficients:int list ->
+  unit ->
+  t
+
+(** [expected_response ~signed_mode ~coefficients ~full_width ~out_width
+    xs] is the reference output sequence for input samples [xs]
+    (integers), matching the hardware's delivery convention. Element [n]
+    is [y(n)]. *)
+val expected_response :
+  signed_mode:bool ->
+  coefficients:int list ->
+  full_width:int ->
+  out_width:int ->
+  int list ->
+  Jhdl_logic.Bits.t list

@@ -1,0 +1,71 @@
+(** The Virtex constant-coefficient multiplier (KCM) module generator —
+    the paper's running example (Section 3.1, from Wirthlin & McMurtrey,
+    FPL 2001).
+
+    The multiplicand is split into 4-bit digits; each digit addresses a
+    bank of LUT4s tabulating [constant * digit] (a partial-product
+    look-up table); the shifted partial products are summed on
+    carry-chain adders. In signed mode the most-significant digit is
+    tabulated with the digit read as two's complement, and partial
+    products are sign-extended into the accumulation. In pipelined mode a
+    register stage follows every adder and the digit inputs are
+    delay-balanced, giving one result per cycle after [latency] cycles.
+
+    Following the paper's interface: the multiplicand and product widths
+    are taken from the wires; when the product wire is narrower than the
+    full product, the {e top} product bits are delivered (an "8-bit
+    multiplicand, 8-bit constant and 12-bit product" yields the top 12
+    bits); when wider, the result is sign- or zero-extended. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  latency : int;  (** cycles from multiplicand to product (0 unpipelined) *)
+  full_width : int;  (** width of the untruncated product *)
+  table_count : int;  (** number of partial-product tables *)
+}
+
+(** Partial-product accumulation structure. [`Chain] (the default) adds
+    each table into a running sum with low-bit passthrough — minimal
+    area, depth linear in the digit count. [`Tree] reduces the
+    sign-extended addends pairwise at full width — logarithmic depth at
+    the cost of wider adders, the choice for wide unpipelined
+    multiplicands. Ablation A5 in the bench measures the trade. *)
+type adder_structure =
+  [ `Chain
+  | `Tree ]
+
+(** [create parent ~multiplicand ~product ~signed_mode ~pipelined_mode
+    ~constant ()] — the [VirtexKCMMultiplier] constructor of the paper.
+    [clk] is required when [pipelined_mode] is set. [adder_structure]
+    defaults to [`Chain]; pipelining currently applies to the chain
+    structure only (a pipelined [`Tree] raises [Invalid_argument]).
+
+    Raises [Invalid_argument] when [constant] is negative in unsigned
+    mode, or when [pipelined_mode] is set without [clk]. *)
+val create :
+  Cell.t ->
+  ?name:string ->
+  ?clk:Wire.t ->
+  ?adder_structure:adder_structure ->
+  multiplicand:Wire.t ->
+  product:Wire.t ->
+  signed_mode:bool ->
+  pipelined_mode:bool ->
+  constant:int ->
+  unit ->
+  t
+
+(** [expected_product ~signed_mode ~constant ~multiplicand ~product_width
+    ~full_width x_bits] is the reference result the hardware must match:
+    the top/extended slice of [constant * x] delivered on a
+    [product_width] wire. Used by tests and the applet's self-check. *)
+val expected_product :
+  signed_mode:bool ->
+  constant:int ->
+  full_width:int ->
+  product_width:int ->
+  Jhdl_logic.Bits.t ->
+  Jhdl_logic.Bits.t

@@ -1,0 +1,225 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Bit = Jhdl_logic.Bit
+
+(* OR-reduce a list of 1-bit wires with a LUT tree. *)
+let rec or_reduce cell ~name ~into wires =
+  match wires with
+  | [] -> invalid_arg "Misc_logic.or_reduce: no inputs"
+  | [ w ] ->
+    let _ = Virtex.buf cell ~name:(name ^ "_buf") w into in
+    ()
+  | _ :: _ :: _ when List.length wires <= 4 ->
+    let _ =
+      Virtex.lut_of_function cell ~name:(name ^ "_or") wires into
+        ~f:(fun addr -> addr <> 0)
+    in
+    ()
+  | many ->
+    let rec groups acc current count = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | w :: rest ->
+        if count = 4 then groups (List.rev current :: acc) [ w ] 1 rest
+        else groups acc (w :: current) (count + 1) rest
+    in
+    let outs =
+      List.mapi
+        (fun i group ->
+           let o = Wire.create cell ~name:(Printf.sprintf "%s_g%d" name i) 1 in
+           or_reduce cell ~name:(Printf.sprintf "%s_l%d" name i) ~into:o group;
+           o)
+        (groups [] [] 0 many)
+    in
+    or_reduce cell ~name:(name ^ "_t") ~into outs
+
+let lfsr parent ?(name = "lfsr") ~clk ?ce ~taps ~q () =
+  let width = Wire.width q in
+  if taps = [] then invalid_arg "Misc_logic.lfsr: empty tap list";
+  if List.exists (fun t -> t < 1 || t > width) taps then
+    invalid_arg "Misc_logic.lfsr: taps must be in 1..width";
+  let cell =
+    Cell.composite parent ~name ~type_name:"Lfsr"
+      ~ports:
+        ([ ("clk", Types.Input, clk); ("q", Types.Output, q) ]
+         @ (match ce with Some w -> [ ("ce", Types.Input, w) ] | None -> []))
+      ()
+  in
+  Cell.set_property cell "TAPS"
+    (String.concat "," (List.map string_of_int taps));
+  let feedback = Wire.create cell ~name:"feedback" 1 in
+  (* xor of the tapped state bits *)
+  let tapped = List.map (fun t -> Wire.bit q (t - 1)) (List.sort_uniq Int.compare taps) in
+  (match tapped with
+   | [ one ] ->
+     let _ = Virtex.buf cell ~name:"fb_buf" one feedback in
+     ()
+   | several ->
+     let view =
+       match several with
+       | first :: rest ->
+         List.fold_left (fun acc w -> Wire.concat w acc) first rest
+       | [] -> assert false
+     in
+     let _ = Datapath.parity cell ~name:"fb_parity" ~x:view ~p:feedback () in
+     ());
+  (* state'[0] = feedback, state'[i] = state[i-1]; INIT=1 avoids lockup *)
+  for i = 0 to width - 1 do
+    let d = if i = 0 then feedback else Wire.bit q (i - 1) in
+    let bit_name = Printf.sprintf "s%d" i in
+    match ce with
+    | None ->
+      let _ =
+        Virtex.fd cell ~name:bit_name ~init:Bit.One ~c:clk ~d ~q:(Wire.bit q i) ()
+      in
+      ()
+    | Some ce ->
+      let _ =
+        Virtex.fde cell ~name:bit_name ~init:Bit.One ~c:clk ~ce ~d
+          ~q:(Wire.bit q i) ()
+      in
+      ()
+  done;
+  cell
+
+let lfsr_reference ~width ~taps ~cycles =
+  let mask = (1 lsl width) - 1 in
+  let state = ref mask in
+  List.init cycles (fun _ ->
+    let fb =
+      List.fold_left
+        (fun acc t -> acc lxor ((!state lsr (t - 1)) land 1))
+        0
+        (List.sort_uniq Int.compare taps)
+    in
+    state := ((!state lsl 1) lor fb) land mask;
+    !state)
+
+let barrel_shift_left parent ?(name = "barrel") ~x ~amount ~y () =
+  let width = Wire.width x in
+  if Wire.width y <> width then
+    invalid_arg "Misc_logic.barrel_shift_left: x/y width mismatch";
+  let cell =
+    Cell.composite parent ~name ~type_name:"BarrelShifter"
+      ~ports:
+        [ ("x", Types.Input, x); ("amount", Types.Input, amount);
+          ("y", Types.Output, y) ]
+      ()
+  in
+  let gnd = Virtex.gnd cell in
+  let stage j current =
+    let shift = 1 lsl j in
+    let sel = Wire.bit amount j in
+    let out = Wire.create cell ~name:(Printf.sprintf "st%d" j) width in
+    for i = 0 to width - 1 do
+      let shifted = if i >= shift then Wire.bit current (i - shift) else gnd in
+      let _ =
+        Virtex.mux2 cell
+          ~name:(Printf.sprintf "m%d_%d" j i)
+          ~sel (Wire.bit current i) shifted (Wire.bit out i)
+      in
+      ()
+    done;
+    out
+  in
+  let final =
+    List.fold_left
+      (fun current j -> stage j current)
+      x
+      (List.init (Wire.width amount) (fun j -> j))
+  in
+  Util.buffer cell ~name:"y_buf" ~from:final ~into:y ();
+  cell
+
+let priority_encoder parent ?(name = "prienc") ~x ~index ~valid () =
+  let width = Wire.width x in
+  let rec log2_ceil n = if n <= 1 then 0 else 1 + log2_ceil ((n + 1) / 2) in
+  let index_bits = max 1 (log2_ceil width) in
+  if Wire.width index < index_bits then
+    invalid_arg "Misc_logic.priority_encoder: index wire too narrow";
+  let cell =
+    Cell.composite parent ~name ~type_name:"PriorityEncoder"
+      ~ports:
+        [ ("x", Types.Input, x); ("index", Types.Output, index);
+          ("valid", Types.Output, valid) ]
+      ()
+  in
+  (* higher[i] = any of x[i+1 .. width-1]; select[i] = x[i] & ~higher[i] *)
+  let higher = Wire.create cell ~name:"higher" width in
+  let gnd = Virtex.gnd cell in
+  let _ = Virtex.buf cell ~name:"h_top" gnd (Wire.bit higher (width - 1)) in
+  for i = width - 2 downto 0 do
+    let _ =
+      Virtex.or2 cell
+        ~name:(Printf.sprintf "h%d" i)
+        (Wire.bit higher (i + 1))
+        (Wire.bit x (i + 1))
+        (Wire.bit higher i)
+    in
+    ()
+  done;
+  let selects =
+    List.init width (fun i ->
+      let s = Wire.create cell ~name:(Printf.sprintf "sel%d" i) 1 in
+      let _ =
+        Virtex.lut_of_function cell
+          ~name:(Printf.sprintf "pick%d" i)
+          [ Wire.bit x i; Wire.bit higher i ]
+          s
+          ~f:(fun addr -> addr land 1 = 1 && addr land 2 = 0)
+      in
+      s)
+  in
+  (* index bit k = OR of selects at positions with bit k set *)
+  for k = 0 to Wire.width index - 1 do
+    let contributors =
+      List.filteri (fun i _ -> (i lsr k) land 1 = 1) selects
+    in
+    match contributors with
+    | [] ->
+      let _ =
+        Virtex.buf cell ~name:(Printf.sprintf "idx%d_buf" k) gnd
+          (Wire.bit index k)
+      in
+      ()
+    | wires ->
+      or_reduce cell ~name:(Printf.sprintf "idx%d" k) ~into:(Wire.bit index k)
+        wires
+  done;
+  or_reduce cell ~name:"valid" ~into:valid
+    (List.init width (fun i -> Wire.bit x i));
+  cell
+
+let gray_counter parent ?(name = "gray") ~clk ?ce ~q () =
+  let width = Wire.width q in
+  let cell =
+    Cell.composite parent ~name ~type_name:"GrayCounter"
+      ~ports:
+        ([ ("clk", Types.Input, clk); ("q", Types.Output, q) ]
+         @ (match ce with Some w -> [ ("ce", Types.Input, w) ] | None -> []))
+      ()
+  in
+  let binary = Wire.create cell ~name:"binary" width in
+  let _ = Counter.up_counter cell ~name:"bin" ~clk ?ce ~q:binary () in
+  for i = 0 to width - 1 do
+    if i = width - 1 then begin
+      let _ =
+        Virtex.buf cell
+          ~name:(Printf.sprintf "g%d" i)
+          (Wire.bit binary i) (Wire.bit q i)
+      in
+      ()
+    end
+    else begin
+      let _ =
+        Virtex.xor2 cell
+          ~name:(Printf.sprintf "g%d" i)
+          (Wire.bit binary i)
+          (Wire.bit binary (i + 1))
+          (Wire.bit q i)
+      in
+      ()
+    end
+  done;
+  cell

@@ -1,0 +1,39 @@
+(** Additional logic module generators: LFSR, barrel shifter, priority
+    encoder and Gray-code counter — rounding out the "variety of
+    arithmetic, signal processing, logic, and memory modules" the paper
+    attributes to the JHDL generator catalog (Section 3). *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** [lfsr parent ~clk ?ce ~taps ~q ()] — Fibonacci LFSR over [q]'s
+    width: feedback is the XOR of the 1-based tap positions; state
+    initializes to all-ones (a LFSR must avoid the all-zero state, so
+    registers carry INIT=1). Raises [Invalid_argument] for empty taps or
+    taps out of 1..width. *)
+val lfsr :
+  Cell.t -> ?name:string ->
+  clk:Wire.t -> ?ce:Wire.t -> taps:int list -> q:Wire.t -> unit -> Cell.t
+
+(** [lfsr_reference ~width ~taps ~cycles] — golden state sequence, one
+    entry per cycle after initialization (all-ones start). *)
+val lfsr_reference : width:int -> taps:int list -> cycles:int -> int list
+
+(** [barrel_shift_left parent ~x ~amount ~y ()] — logical left shifter:
+    [y = x << amount], built as log2 stages of 2:1 muxes, one stage per
+    amount bit. [x] and [y] share a width; [amount] may be any width
+    (amounts >= width shift in zeros). *)
+val barrel_shift_left :
+  Cell.t -> ?name:string -> x:Wire.t -> amount:Wire.t -> y:Wire.t -> unit -> Cell.t
+
+(** [priority_encoder parent ~x ~index ~valid ()] — index of the
+    highest set bit of [x] ([valid] = 0 when [x] is all zero). [index]
+    must hold ceil(log2 (width x)) bits. *)
+val priority_encoder :
+  Cell.t -> ?name:string -> x:Wire.t -> index:Wire.t -> valid:Wire.t -> unit -> Cell.t
+
+(** [gray_counter parent ~clk ?ce ~q ()] — counter whose output is the
+    Gray code of an internal binary counter (adjacent outputs differ in
+    one bit). *)
+val gray_counter :
+  Cell.t -> ?name:string -> clk:Wire.t -> ?ce:Wire.t -> q:Wire.t -> unit -> Cell.t

@@ -1,0 +1,237 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  full_width : int;
+}
+
+(* Canonical signed digit recoding: digits in {-1,0,1}, no two adjacent
+   non-zeros; returned LSB first. *)
+let csd_digits k =
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else if k land 1 = 0 then go (k asr 1) (0 :: acc)
+    else
+      let digit = if k land 3 = 3 then -1 else 1 in
+      go ((k - digit) asr 1) (digit :: acc)
+  in
+  go k []
+
+let adder_count_for ~constant =
+  if constant < 0 then invalid_arg "Multiplier.adder_count_for: negative constant";
+  let nonzero = List.length (List.filter (fun d -> d <> 0) (csd_digits constant)) in
+  max 0 (nonzero - 1)
+
+(* Zero-extended, shifted view of [x] at [width] bits: x << shift. *)
+let shifted_view ~zero x ~shift ~width =
+  let n = Wire.width x in
+  let low = if shift = 0 then x else Wire.concat x (Util.fanout_bit zero ~width:shift) in
+  let used = shift + n in
+  if used > width then
+    Wire.slice low ~lo:0 ~hi:(width - 1)
+  else if used = width then low
+  else Wire.concat (Util.fanout_bit zero ~width:(width - used)) low
+
+let deliver cell ~signed_msb ~full ~product =
+  let full_width = Wire.width full in
+  let pw = Wire.width product in
+  let view =
+    if pw <= full_width then
+      Wire.slice full ~lo:(full_width - pw) ~hi:(full_width - 1)
+    else
+      let ext =
+        match signed_msb with
+        | Some msb -> Util.fanout_bit msb ~width:(pw - full_width)
+        | None ->
+          let gnd = Virtex.gnd cell in
+          Util.fanout_bit gnd ~width:(pw - full_width)
+      in
+      Wire.concat ext full
+  in
+  Util.buffer cell ~name:"prod" ~from:view ~into:product ()
+
+let shift_add_constant parent ?(name = "shiftadd") ~multiplicand ~product
+    ~constant () =
+  if constant < 0 then
+    invalid_arg "Multiplier.shift_add_constant: negative constant unsupported";
+  let n = Wire.width multiplicand in
+  let kw = Util.bits_for_constant constant in
+  let full_width = n + kw in
+  let cell =
+    Cell.composite parent ~name ~type_name:"ShiftAddConstantMultiplier"
+      ~ports:
+        [ ("multiplicand", Types.Input, multiplicand);
+          ("product", Types.Output, product) ]
+      ()
+  in
+  Cell.set_property cell "CONSTANT" (string_of_int constant);
+  let zero = Virtex.gnd cell in
+  if constant = 0 then begin
+    let view = Util.fanout_bit zero ~width:(Wire.width product) in
+    Util.buffer cell ~name:"prod" ~from:view ~into:product ();
+    { cell; latency = 0; full_width }
+  end
+  else begin
+    (* highest CSD digit of a positive constant is +1: start there and
+       add/subtract the lower terms *)
+    let digits =
+      List.mapi (fun i d -> (i, d)) (csd_digits constant)
+      |> List.filter (fun (_, d) -> d <> 0)
+      |> List.rev
+    in
+    let acc, rest =
+      match digits with
+      | (top_shift, 1) :: rest ->
+        (shifted_view ~zero multiplicand ~shift:top_shift ~width:full_width, rest)
+      | _ -> assert false
+    in
+    let final, stages =
+      List.fold_left
+        (fun (acc, stage) (shift, digit) ->
+           let term =
+             shifted_view ~zero multiplicand ~shift ~width:full_width
+           in
+           let next =
+             Wire.create cell ~name:(Printf.sprintf "acc%d" stage) full_width
+           in
+           (if digit = 1 then
+              let _ =
+                Adders.carry_chain cell
+                  ~name:(Printf.sprintf "add%d" stage)
+                  ~a:acc ~b:term ~sum:next ()
+              in
+              ()
+            else
+              let _ =
+                Adders.subtractor cell
+                  ~name:(Printf.sprintf "sub%d" stage)
+                  ~a:acc ~b:term ~diff:next ()
+              in
+              ());
+           (next, stage + 1))
+        (acc, 0) rest
+    in
+    ignore stages;
+    deliver cell ~signed_msb:None ~full:final ~product;
+    { cell; latency = 0; full_width }
+  end
+
+let array_mult parent ?(name = "arraymult") ~a ~b ~product () =
+  let wa = Wire.width a and wb = Wire.width b in
+  let full_width = wa + wb in
+  let cell =
+    Cell.composite parent ~name ~type_name:"ArrayMultiplier"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("product", Types.Output, product) ]
+      ()
+  in
+  let zero = Virtex.gnd cell in
+  let masked_row j =
+    let row = Wire.create cell ~name:(Printf.sprintf "row%d" j) wa in
+    for i = 0 to wa - 1 do
+      let _ =
+        Virtex.and2 cell
+          ~name:(Printf.sprintf "pp%d_%d" j i)
+          (Wire.bit a i) (Wire.bit b j) (Wire.bit row i)
+      in
+      ()
+    done;
+    row
+  in
+  let acc0 = shifted_view ~zero (masked_row 0) ~shift:0 ~width:full_width in
+  let final =
+    List.fold_left
+      (fun acc j ->
+         let term = shifted_view ~zero (masked_row j) ~shift:j ~width:full_width in
+         let next =
+           Wire.create cell ~name:(Printf.sprintf "acc%d" j) full_width
+         in
+         let _ =
+           Adders.carry_chain cell
+             ~name:(Printf.sprintf "add%d" j)
+             ~a:acc ~b:term ~sum:next ()
+         in
+         next)
+      acc0
+      (List.init (wb - 1) (fun j -> j + 1))
+  in
+  deliver cell ~signed_msb:None ~full:final ~product;
+  { cell; latency = 0; full_width }
+
+(* sign-extended view of [w] at [width] bits *)
+let sign_extended_view w ~width =
+  let n = Wire.width w in
+  if width = n then w
+  else
+    Wire.concat
+      (Util.fanout_bit (Wire.bit w (n - 1)) ~width:(width - n))
+      w
+
+let signed_mult parent ?(name = "signedmult") ~a ~b ~product () =
+  let wa = Wire.width a and wb = Wire.width b in
+  let full_width = wa + wb in
+  let cell =
+    Cell.composite parent ~name ~type_name:"SignedMultiplier"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("product", Types.Output, product) ]
+      ()
+  in
+  let a_ext = sign_extended_view a ~width:full_width in
+  let b_ext = sign_extended_view b ~width:full_width in
+  (* row j: a_ext masked by b_ext[j], shifted left j; only bits [j, W)
+     matter, so each row is W - j wide *)
+  let masked_row j =
+    let row_width = full_width - j in
+    let row = Wire.create cell ~name:(Printf.sprintf "srow%d" j) row_width in
+    for i = 0 to row_width - 1 do
+      let _ =
+        Virtex.and2 cell
+          ~name:(Printf.sprintf "spp%d_%d" j i)
+          (Wire.bit a_ext i) (Wire.bit b_ext j) (Wire.bit row i)
+      in
+      ()
+    done;
+    row
+  in
+  (* accumulate with the low-bit passthrough trick: row j only touches
+     bits [j, W) *)
+  let zero = Virtex.gnd cell in
+  let acc0 =
+    let row = masked_row 0 in
+    if Wire.width row = full_width then row
+    else Wire.concat (Util.fanout_bit zero ~width:(full_width - Wire.width row)) row
+  in
+  let final =
+    List.fold_left
+      (fun acc j ->
+         let row = masked_row j in
+         let high =
+           Wire.create cell ~name:(Printf.sprintf "sacc%d" j) (full_width - j)
+         in
+         let _ =
+           Adders.carry_chain cell
+             ~name:(Printf.sprintf "sadd%d" j)
+             ~a:(Wire.slice acc ~lo:j ~hi:(full_width - 1))
+             ~b:row ~sum:high ()
+         in
+         Wire.concat high (Wire.slice acc ~lo:0 ~hi:(j - 1)))
+      acc0
+      (List.init (full_width - 1) (fun j -> j + 1))
+  in
+  let pw = Wire.width product in
+  let delivered =
+    if pw <= full_width then Wire.slice final ~lo:0 ~hi:(pw - 1)
+    else
+      Wire.concat
+        (Util.fanout_bit (Wire.bit final (full_width - 1))
+           ~width:(pw - full_width))
+        final
+  in
+  Util.buffer cell ~name:"prod" ~from:delivered ~into:product ();
+  { cell; latency = 0; full_width }

@@ -1,0 +1,51 @@
+(** Baseline multipliers the KCM is evaluated against.
+
+    [shift_add_constant] is the conventional constant multiplier: one
+    carry-chain adder per set bit (CSD-recoded: add/subtract per non-zero
+    CSD digit) of the constant. Its area and depth grow with the
+    constant's density, where the KCM's depend only on widths — the
+    ablation benchmark (A1) measures exactly this contrast.
+
+    [array_mult] is a variable-by-variable array multiplier built from
+    MULT_AND partial products and carry-chain adder rows. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  full_width : int;
+}
+
+(** Same delivery semantics as {!Kcm.create}: top bits of the full
+    product when the product wire is narrower. Unsigned only in this
+    baseline generator; negative constants raise [Invalid_argument]. *)
+val shift_add_constant :
+  Cell.t ->
+  ?name:string ->
+  multiplicand:Wire.t ->
+  product:Wire.t ->
+  constant:int ->
+  unit ->
+  t
+
+(** [adder_count_for ~constant] is the number of adders/subtractors the
+    shift-add generator will instance (CSD non-zero digits minus one, at
+    least zero). Exposed for the ablation bench. *)
+val adder_count_for : constant:int -> int
+
+(** [array_mult parent ~a ~b ~product ()] — unsigned full product of two
+    variable inputs, truncated/extended to the product wire like the
+    KCM. *)
+val array_mult :
+  Cell.t -> ?name:string -> a:Wire.t -> b:Wire.t -> product:Wire.t -> unit -> t
+
+(** [signed_mult parent ~a ~b ~product ()] — two's-complement product:
+    both operands are sign-extended (free MSB-replication views) to the
+    full product width and the array accumulates modulo 2{^wa+wb}, which
+    is exact for signed multiplication. The product wire is truncated to
+    the {e low} bits when narrower (signed products are conventionally
+    consumed low-first), sign-extended when wider. *)
+val signed_mult :
+  Cell.t -> ?name:string -> a:Wire.t -> b:Wire.t -> product:Wire.t -> unit -> t

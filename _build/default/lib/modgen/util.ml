@@ -1,0 +1,93 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Prim = Jhdl_circuit.Prim
+module Virtex = Jhdl_virtex.Virtex
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+
+let constant parent ?(name = "const") ~value () =
+  let width = Bits.width value in
+  let w = Wire.create parent ~name width in
+  for i = 0 to width - 1 do
+    match Bits.get value i with
+    | Bit.Zero ->
+      let _ = Cell.prim parent Prim.Gnd ~conns:[ ("G", Wire.bit w i) ] in
+      ()
+    | Bit.One ->
+      let _ = Cell.prim parent Prim.Vcc ~conns:[ ("P", Wire.bit w i) ] in
+      ()
+    | Bit.X | Bit.Z ->
+      invalid_arg "Util.constant: value must be fully defined"
+  done;
+  w
+
+let register_vector parent ?(name = "reg") ~clk ?ce ~d ~q () =
+  if Wire.width d <> Wire.width q then
+    invalid_arg "Util.register_vector: width mismatch";
+  for i = 0 to Wire.width d - 1 do
+    let bit_name = Printf.sprintf "%s_%d" name i in
+    match ce with
+    | None ->
+      let _ =
+        Virtex.fd parent ~name:bit_name ~c:clk ~d:(Wire.bit d i)
+          ~q:(Wire.bit q i) ()
+      in
+      ()
+    | Some ce ->
+      let _ =
+        Virtex.fde parent ~name:bit_name ~c:clk ~ce ~d:(Wire.bit d i)
+          ~q:(Wire.bit q i) ()
+      in
+      ()
+  done
+
+let delay parent ?(name = "dly") ~clk ~cycles w =
+  if cycles < 0 then invalid_arg "Util.delay: negative cycle count";
+  let rec go stage current =
+    if stage = cycles then current
+    else begin
+      let next =
+        Wire.create parent ~name:(Printf.sprintf "%s_%d" name stage)
+          (Wire.width w)
+      in
+      register_vector parent ~name:(Printf.sprintf "%s_ff%d" name stage) ~clk
+        ~d:current ~q:next ();
+      go (stage + 1) next
+    end
+  in
+  go 0 w
+
+let buffer parent ?(name = "buf") ~from ~into () =
+  if Wire.width from <> Wire.width into then
+    invalid_arg "Util.buffer: width mismatch";
+  for i = 0 to Wire.width from - 1 do
+    let _ =
+      Virtex.buf parent
+        ~name:(Printf.sprintf "%s_%d" name i)
+        (Wire.bit from i) (Wire.bit into i)
+    in
+    ()
+  done
+
+let fanout_bit w ~width =
+  if Wire.width w <> 1 then invalid_arg "Util.fanout_bit: wire must be 1 bit";
+  let rec build acc k = if k = 0 then acc else build (Wire.concat w acc) (k - 1) in
+  if width < 1 then invalid_arg "Util.fanout_bit: width must be >= 1"
+  else build w (width - 1)
+
+let digit_split ~width ~digit_bits =
+  if width < 1 || digit_bits < 1 then
+    invalid_arg "Util.digit_split: widths must be >= 1";
+  let rec go lo acc =
+    if lo >= width then List.rev acc
+    else
+      let hi = min (lo + digit_bits - 1) (width - 1) in
+      go (hi + 1) ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let bits_for_constant k =
+  let rec go w =
+    if k >= -(1 lsl (w - 1)) && k <= (1 lsl (w - 1)) - 1 then w else go (w + 1)
+  in
+  go 1

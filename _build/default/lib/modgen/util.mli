@@ -1,0 +1,37 @@
+(** Shared building blocks for module generators. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** [constant parent ~value] is a wire of [Bits.width value] bits driven
+    by GND/VCC primitives according to [value] (defined bits only; [X]/[Z]
+    raise [Invalid_argument]). *)
+val constant : Cell.t -> ?name:string -> value:Jhdl_logic.Bits.t -> unit -> Wire.t
+
+(** [register_vector parent ~clk ?ce ~d ~q ()] puts one FD (or FDE when
+    [ce] is given) per bit between [d] and [q]; widths must match. *)
+val register_vector :
+  Cell.t -> ?name:string -> clk:Wire.t -> ?ce:Wire.t -> d:Wire.t -> q:Wire.t ->
+  unit -> unit
+
+(** [delay parent ~clk ~cycles w] is [w] delayed by [cycles] register
+    stages ([w] itself when [cycles = 0]). *)
+val delay : Cell.t -> ?name:string -> clk:Wire.t -> cycles:int -> Wire.t -> Wire.t
+
+(** [buffer parent ~from ~into] drives every bit of [into] from the
+    corresponding bit of [from] through BUF primitives; widths must
+    match. Used to hand internal results to caller-owned wires. *)
+val buffer : Cell.t -> ?name:string -> from:Wire.t -> into:Wire.t -> unit -> unit
+
+(** [fanout_bit parent w ~width] is a [width]-bit view replicating the
+    1-bit wire [w] on every bit (shared nets, no logic). *)
+val fanout_bit : Wire.t -> width:int -> Wire.t
+
+(** [digit_split ~width ~digit_bits] is the list of [(lo, hi)] bit ranges
+    covering [0 .. width-1] in groups of [digit_bits], low digit first;
+    the last range may be narrower. *)
+val digit_split : width:int -> digit_bits:int -> (int * int) list
+
+(** [bits_for_constant k] is the minimal two's-complement width holding
+    [k] ([1] for 0 and -1). *)
+val bits_for_constant : int -> int

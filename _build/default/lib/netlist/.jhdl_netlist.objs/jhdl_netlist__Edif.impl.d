@@ -1,0 +1,1 @@
+lib/netlist/edif.ml: Array Buffer Ident Jhdl_circuit List Model Printf String

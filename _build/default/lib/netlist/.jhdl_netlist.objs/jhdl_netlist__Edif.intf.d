@@ -1,0 +1,1 @@
+lib/netlist/edif.mli: Jhdl_circuit Model

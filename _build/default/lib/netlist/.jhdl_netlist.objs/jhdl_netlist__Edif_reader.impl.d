@@ -1,0 +1,1 @@
+lib/netlist/edif_reader.ml: List Printf Result String

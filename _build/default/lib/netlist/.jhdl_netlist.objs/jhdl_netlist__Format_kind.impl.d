@@ -1,0 +1,1 @@
+lib/netlist/format_kind.ml: Edif Format String Verilog Vhdl

@@ -1,0 +1,1 @@
+lib/netlist/format_kind.mli: Format Model

@@ -1,0 +1,1 @@
+lib/netlist/ident.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/model.ml: Array Hashtbl Jhdl_circuit Jhdl_logic List Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/model.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Ident Jhdl_circuit List Model Printf String

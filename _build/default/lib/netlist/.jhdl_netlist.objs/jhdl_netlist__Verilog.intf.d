@@ -1,0 +1,1 @@
+lib/netlist/verilog.mli: Jhdl_circuit Model

@@ -1,0 +1,1 @@
+lib/netlist/vhdl.ml: Array Buffer Ident Jhdl_circuit List Model Printf String

@@ -1,0 +1,1 @@
+lib/netlist/vhdl.mli: Jhdl_circuit Model

@@ -1,0 +1,1 @@
+lib/netlist/xnf.mli: Jhdl_circuit Model

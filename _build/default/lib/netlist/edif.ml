@@ -1,0 +1,142 @@
+open Jhdl_circuit.Types
+
+let header_libraries = "VIRTEX"
+
+(* One buffer-based emitter with explicit indentation; EDIF is an
+   s-expression format so nesting discipline is the whole game. *)
+type emitter = {
+  buffer : Buffer.t;
+  mutable indent : int;
+}
+
+let line e fmt =
+  Printf.ksprintf
+    (fun s ->
+       Buffer.add_string e.buffer (String.make (2 * e.indent) ' ');
+       Buffer.add_string e.buffer s;
+       Buffer.add_char e.buffer '\n')
+    fmt
+
+let enter e fmt =
+  Printf.ksprintf
+    (fun s ->
+       line e "%s" s;
+       e.indent <- e.indent + 1)
+    fmt
+
+let leave e =
+  e.indent <- e.indent - 1;
+  line e ")"
+
+let dir_keyword = function Input -> "INPUT" | Output -> "OUTPUT"
+
+let to_string (m : Model.t) =
+  let e = { buffer = Buffer.create 4096; indent = 0 } in
+  let ids = Ident.create Ident.Edif in
+  let id s = Ident.legalize ids s in
+  let design_id = id m.Model.design_name in
+  enter e "(edif %s" design_id;
+  line e "(edifVersion 2 0 0)";
+  line e "(edifLevel 0)";
+  line e "(keywordMap (keywordLevel 0))";
+  enter e "(status (written (timeStamp 2002 6 10 0 0 0)";
+  line e "(program \"JHDL-OCaml\" (version \"1.0\"))))";
+  e.indent <- e.indent - 1;
+  (* library of technology cells *)
+  enter e "(library %s" header_libraries;
+  line e "(edifLevel 0)";
+  line e "(technology (numberDefinition))";
+  List.iter
+    (fun (cell_name, ports) ->
+       enter e "(cell %s (cellType GENERIC)" (id cell_name);
+       enter e "(view view_1 (viewType NETLIST)";
+       enter e "(interface";
+       List.iter
+         (fun (port, dir) ->
+            line e "(port %s (direction %s))" (id port) (dir_keyword dir))
+         ports;
+       leave e;
+       leave e;
+       leave e)
+    (Model.lib_cells m);
+  leave e;
+  (* the design library holding the single flattened cell *)
+  enter e "(library work";
+  line e "(edifLevel 0)";
+  line e "(technology (numberDefinition))";
+  enter e "(cell %s (cellType GENERIC)" design_id;
+  enter e "(view view_1 (viewType NETLIST)";
+  enter e "(interface";
+  List.iter
+    (fun p ->
+       if p.Model.p_width = 1 then
+         line e "(port %s (direction %s))" (id p.Model.p_name)
+           (dir_keyword p.Model.p_dir)
+       else
+         line e "(port (array %s %d) (direction %s))" (id p.Model.p_name)
+           p.Model.p_width (dir_keyword p.Model.p_dir))
+    m.Model.ports;
+  leave e;
+  enter e "(contents";
+  Array.iter
+    (fun inst ->
+       enter e "(instance %s" (id ("i/" ^ inst.Model.inst_name));
+       line e "(viewRef view_1 (cellRef %s (libraryRef %s)))"
+         (id inst.Model.inst_lib_cell) header_libraries;
+       List.iter
+         (fun a ->
+            line e "(property %s (string \"%s\"))" a.Model.attr_name
+              a.Model.attr_value)
+         inst.Model.inst_attrs;
+       leave e)
+    m.Model.instances;
+  (* nets: port refs to instances plus, where applicable, the external
+     interface ports *)
+  let port_refs_of_net = Array.make (Array.length m.Model.nets) [] in
+  Array.iteri
+    (fun inst_idx inst ->
+       List.iter
+         (fun c ->
+            port_refs_of_net.(c.Model.conn_net) <-
+              (inst_idx, c.Model.conn_port) :: port_refs_of_net.(c.Model.conn_net))
+         inst.Model.inst_conns)
+    m.Model.instances;
+  let external_refs = Array.make (Array.length m.Model.nets) [] in
+  List.iter
+    (fun p ->
+       Array.iteri
+         (fun bit net ->
+            external_refs.(net) <-
+              (p.Model.p_name, p.Model.p_width, bit) :: external_refs.(net))
+         p.Model.p_nets)
+    m.Model.ports;
+  Array.iter
+    (fun n ->
+       let idx = n.Model.net_index in
+       if port_refs_of_net.(idx) <> [] || external_refs.(idx) <> [] then begin
+         enter e "(net %s" (id ("n/" ^ n.Model.net_name));
+         enter e "(joined";
+         List.iter
+           (fun (inst_idx, port) ->
+              let inst = m.Model.instances.(inst_idx) in
+              line e "(portRef %s (instanceRef %s))" (id port)
+                (id ("i/" ^ inst.Model.inst_name)))
+           (List.rev port_refs_of_net.(idx));
+         List.iter
+           (fun (pname, pwidth, bit) ->
+              if pwidth = 1 then line e "(portRef %s)" (id pname)
+              else line e "(portRef (member %s %d))" (id pname) (pwidth - 1 - bit))
+           (List.rev external_refs.(idx));
+         leave e;
+         leave e
+       end)
+    m.Model.nets;
+  leave e;
+  leave e;
+  leave e;
+  leave e;
+  line e "(design %s (cellRef %s (libraryRef work)))" design_id design_id;
+  leave e;
+  Buffer.contents e.buffer
+
+let of_design d = to_string (Model.of_design d)

@@ -1,0 +1,12 @@
+(** EDIF 2.0.0 netlist writer.
+
+    Produces the flat EDIF netlist the paper's applet displays behind its
+    Netlist button: one cell per design, external ports, library-cell
+    declarations for the Virtex primitives used, instances carrying INIT
+    and RLOC properties, and nets with their port references. *)
+
+(** [to_string model] renders the whole netlist. *)
+val to_string : Model.t -> string
+
+(** [of_design d] is [to_string (Model.of_design d)]. *)
+val of_design : Jhdl_circuit.Design.t -> string

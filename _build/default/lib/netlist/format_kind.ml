@@ -1,0 +1,31 @@
+type t =
+  | Edif
+  | Vhdl
+  | Verilog
+
+let all = [ Edif; Vhdl; Verilog ]
+
+let to_string = function
+  | Edif -> "EDIF"
+  | Vhdl -> "VHDL"
+  | Verilog -> "Verilog"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "edif" | "edn" -> Some Edif
+  | "vhdl" | "vhd" -> Some Vhdl
+  | "verilog" | "v" -> Some Verilog
+  | _ -> None
+
+let file_extension = function
+  | Edif -> "edn"
+  | Vhdl -> "vhd"
+  | Verilog -> "v"
+
+let write fmt model =
+  match fmt with
+  | Edif -> Edif.to_string model
+  | Vhdl -> Vhdl.to_string model
+  | Verilog -> Verilog.to_string model
+
+let pp fmt_ t = Format.pp_print_string fmt_ (to_string t)

@@ -1,0 +1,22 @@
+(** The interchange formats JHDL supports, as a first-class choice for
+    applet configuration (the vendor picks which formats a licensed
+    customer may export). *)
+
+type t =
+  | Edif
+  | Vhdl
+  | Verilog
+
+val all : t list
+val to_string : t -> string
+
+(** [of_string s] accepts case-insensitive names and common file
+    extensions ("edif"/"edn", "vhdl"/"vhd", "verilog"/"v"). *)
+val of_string : string -> t option
+
+val file_extension : t -> string
+
+(** [write fmt model] renders [model] in the chosen format. *)
+val write : t -> Model.t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+type style =
+  | Edif
+  | Vhdl
+  | Verilog
+
+type t = {
+  style : style;
+  forward : (string, string) Hashtbl.t;
+  taken : (string, unit) Hashtbl.t;
+  mutable order : (string * string) list; (* reverse first-use order *)
+}
+
+let create style =
+  { style; forward = Hashtbl.create 64; taken = Hashtbl.create 64; order = [] }
+
+let vhdl_reserved =
+  [ "abs"; "access"; "after"; "alias"; "all"; "and"; "architecture"; "array";
+    "assert"; "attribute"; "begin"; "block"; "body"; "buffer"; "bus"; "case";
+    "component"; "configuration"; "constant"; "disconnect"; "downto"; "else";
+    "elsif"; "end"; "entity"; "exit"; "file"; "for"; "function"; "generate";
+    "generic"; "group"; "guarded"; "if"; "impure"; "in"; "inertial"; "inout";
+    "is"; "label"; "library"; "linkage"; "literal"; "loop"; "map"; "mod";
+    "nand"; "new"; "next"; "nor"; "not"; "null"; "of"; "on"; "open"; "or";
+    "others"; "out"; "package"; "port"; "postponed"; "procedure"; "process";
+    "pure"; "range"; "record"; "register"; "reject"; "rem"; "report";
+    "return"; "rol"; "ror"; "select"; "severity"; "signal"; "shared"; "sla";
+    "sll"; "sra"; "srl"; "subtype"; "then"; "to"; "transport"; "type";
+    "unaffected"; "units"; "until"; "use"; "variable"; "wait"; "when";
+    "while"; "with"; "xnor"; "xor" ]
+
+let verilog_reserved =
+  [ "always"; "and"; "assign"; "begin"; "buf"; "bufif0"; "bufif1"; "case";
+    "casex"; "casez"; "cmos"; "deassign"; "default"; "defparam"; "disable";
+    "edge"; "else"; "end"; "endcase"; "endfunction"; "endmodule";
+    "endprimitive"; "endspecify"; "endtable"; "endtask"; "event"; "for";
+    "force"; "forever"; "fork"; "function"; "highz0"; "highz1"; "if";
+    "ifnone"; "initial"; "inout"; "input"; "integer"; "join"; "large";
+    "macromodule"; "medium"; "module"; "nand"; "negedge"; "nmos"; "nor";
+    "not"; "notif0"; "notif1"; "or"; "output"; "parameter"; "pmos";
+    "posedge"; "primitive"; "pull0"; "pull1"; "pulldown"; "pullup";
+    "rcmos"; "real"; "realtime"; "reg"; "release"; "repeat"; "rnmos";
+    "rpmos"; "rtran"; "rtranif0"; "rtranif1"; "scalared"; "small";
+    "specify"; "specparam"; "strong0"; "strong1"; "supply0"; "supply1";
+    "table"; "task"; "time"; "tran"; "tranif0"; "tranif1"; "tri"; "tri0";
+    "tri1"; "triand"; "trior"; "trireg"; "vectored"; "wait"; "wand";
+    "weak0"; "weak1"; "while"; "wire"; "wor"; "xnor"; "xor" ]
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let sanitize style name =
+  let buffer = Buffer.create (String.length name) in
+  String.iter
+    (fun c -> Buffer.add_char buffer (if is_word_char c then c else '_'))
+    name;
+  let s = Buffer.contents buffer in
+  let s = if s = "" then "n" else s in
+  let s =
+    if (s.[0] >= '0' && s.[0] <= '9') || s.[0] = '_' then "n" ^ s else s
+  in
+  (* VHDL forbids double and trailing underscores *)
+  let s =
+    match style with
+    | Vhdl ->
+      let b = Buffer.create (String.length s) in
+      let last_underscore = ref false in
+      String.iter
+        (fun c ->
+           if c = '_' then begin
+             if not !last_underscore then Buffer.add_char b c;
+             last_underscore := true
+           end
+           else begin
+             Buffer.add_char b c;
+             last_underscore := false
+           end)
+        s;
+      let s = Buffer.contents b in
+      if String.length s > 0 && s.[String.length s - 1] = '_' then s ^ "n"
+      else s
+    | Edif | Verilog -> s
+  in
+  let reserved =
+    match style with
+    | Vhdl -> vhdl_reserved
+    | Verilog -> verilog_reserved
+    | Edif -> []
+  in
+  if List.mem (String.lowercase_ascii s) reserved then s ^ "_id" else s
+
+let legalize t name =
+  match Hashtbl.find_opt t.forward name with
+  | Some s -> s
+  | None ->
+    let base = sanitize t.style name in
+    let key s =
+      (* VHDL identifiers are case-insensitive *)
+      match t.style with
+      | Vhdl -> String.lowercase_ascii s
+      | Edif | Verilog -> s
+    in
+    let chosen =
+      if not (Hashtbl.mem t.taken (key base)) then base
+      else
+        let rec pick k =
+          let candidate = Printf.sprintf "%s_%d" base k in
+          if Hashtbl.mem t.taken (key candidate) then pick (k + 1) else candidate
+        in
+        pick 1
+    in
+    Hashtbl.replace t.taken (key chosen) ();
+    Hashtbl.replace t.forward name chosen;
+    t.order <- (name, chosen) :: t.order;
+    chosen
+
+let mapping t = List.rev t.order

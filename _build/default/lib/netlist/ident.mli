@@ -1,0 +1,24 @@
+(** Identifier legalization for netlist formats.
+
+    Flattened names contain ['/'], ['['], [']'] and may collide after
+    sanitizing; a legalizer rewrites them into the target format's
+    identifier syntax and keeps the mapping stable and collision-free
+    within one netlist. *)
+
+type t
+
+(** Which syntax to legalize for. *)
+type style =
+  | Edif  (** letters, digits, underscore; must start with a letter *)
+  | Vhdl  (** VHDL-93 basic identifiers; reserved words avoided *)
+  | Verilog  (** Verilog simple identifiers; reserved words avoided *)
+
+val create : style -> t
+
+(** [legalize t name] returns the legal identifier for [name], allocating
+    one on first use; the same input always maps to the same output and
+    distinct inputs never collide. *)
+val legalize : t -> string -> string
+
+(** [mapping t] lists [(original, legalized)] pairs in first-use order. *)
+val mapping : t -> (string * string) list

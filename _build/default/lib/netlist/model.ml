@@ -1,0 +1,178 @@
+open Jhdl_circuit.Types
+module Cell = Jhdl_circuit.Cell
+module Wire = Jhdl_circuit.Wire
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Lut_init = Jhdl_logic.Lut_init
+module Bit = Jhdl_logic.Bit
+
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type connection = {
+  conn_port : string;
+  conn_dir : dir;
+  conn_net : int;
+}
+
+type instance = {
+  inst_name : string;
+  inst_lib_cell : string;
+  inst_prim : Prim.t;
+  inst_conns : connection list;
+  inst_attrs : attribute list;
+}
+
+type net_info = {
+  net_name : string;
+  net_index : int;
+  driver_instance : int option;
+  sink_count : int;
+}
+
+type port_info = {
+  p_name : string;
+  p_dir : dir;
+  p_width : int;
+  p_nets : int array;
+}
+
+type t = {
+  design_name : string;
+  ports : port_info list;
+  nets : net_info array;
+  instances : instance array;
+}
+
+(* Path of a cell relative to the design root ("" for the root itself). *)
+let relative_path root c =
+  let full = Cell.path c and root_name = Cell.name root in
+  if String.equal full root_name then ""
+  else String.sub full (String.length root_name + 1)
+         (String.length full - String.length root_name - 1)
+
+let net_base_name root n =
+  match n.source_wire with
+  | None -> Printf.sprintf "net%d" n.net_id
+  | Some w ->
+    let owner_path = relative_path root w.wire_owner in
+    let base =
+      if owner_path = "" then w.wire_name else owner_path ^ "/" ^ w.wire_name
+    in
+    if Array.length w.nets = 1 then base
+    else Printf.sprintf "%s[%d]" base n.source_bit
+
+let prim_attributes prim =
+  match prim with
+  | Prim.Lut init -> [ { attr_name = "INIT"; attr_value = Lut_init.to_hex init } ]
+  | Prim.Srl16 { init } | Prim.Ram16x1 { init } ->
+    [ { attr_name = "INIT"; attr_value = Printf.sprintf "%04X" init } ]
+  | Prim.Ff { init; _ } ->
+    [ { attr_name = "INIT";
+        attr_value = (match init with Bit.One -> "1" | Bit.Zero | Bit.X | Bit.Z -> "0") } ]
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf | Prim.Inv | Prim.Gnd
+  | Prim.Vcc | Prim.Black_box _ -> []
+
+let of_design d =
+  let root = Design.root d in
+  (* keep nets that touch a primitive or a top-level port *)
+  let port_net_ids = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+       Array.iter
+         (fun n -> Hashtbl.replace port_net_ids n.net_id ())
+         (Wire.nets p.Design.port_wire))
+    (Design.ports d);
+  let keep n =
+    n.driver <> None || n.sinks <> [] || Hashtbl.mem port_net_ids n.net_id
+  in
+  let kept_nets = List.filter keep (Design.all_nets d) in
+  let net_index = Hashtbl.create 256 in
+  List.iteri (fun i n -> Hashtbl.replace net_index n.net_id i) kept_nets;
+  let prims = Design.all_prims d in
+  let inst_index = Hashtbl.create 256 in
+  List.iteri (fun i c -> Hashtbl.replace inst_index c.cell_id i) prims;
+  let instance_of c =
+    match Cell.prim_of c with
+    | None -> assert false
+    | Some prim ->
+      let conns =
+        List.concat_map
+          (fun b ->
+             let w = b.actual in
+             let wide = Array.length w.nets > 1 in
+             Array.to_list w.nets
+             |> List.mapi (fun i n ->
+               { conn_port =
+                   (if wide then Printf.sprintf "%s[%d]" b.formal i else b.formal);
+                 conn_dir = b.dir;
+                 conn_net = Hashtbl.find net_index n.net_id }))
+          (Cell.port_bindings c)
+      in
+      { inst_name = relative_path root c;
+        inst_lib_cell = Prim.name prim;
+        inst_prim = prim;
+        inst_conns = conns;
+        inst_attrs =
+          prim_attributes prim
+          @ (match Cell.rloc c with
+             | Some (r, col) ->
+               [ { attr_name = "RLOC"; attr_value = Printf.sprintf "R%dC%d" r col } ]
+             | None -> [])
+          @ List.map
+              (fun (k, v) -> { attr_name = k; attr_value = v })
+              (Cell.properties c) }
+  in
+  let instances = Array.of_list (List.map instance_of prims) in
+  let nets =
+    Array.of_list
+      (List.mapi
+         (fun i n ->
+            { net_name = net_base_name root n;
+              net_index = i;
+              driver_instance =
+                Option.bind n.driver (fun t ->
+                  Hashtbl.find_opt inst_index t.term_cell.cell_id);
+              sink_count = List.length n.sinks })
+         kept_nets)
+  in
+  let ports =
+    List.map
+      (fun p ->
+         { p_name = p.Design.port_name;
+           p_dir = p.Design.port_dir;
+           p_width = Wire.width p.Design.port_wire;
+           p_nets =
+             Array.map
+               (fun n -> Hashtbl.find net_index n.net_id)
+               (Wire.nets p.Design.port_wire) })
+      (Design.ports d)
+  in
+  { design_name = Cell.name root; ports; nets; instances }
+
+let lib_cells m =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun inst ->
+       if not (Hashtbl.mem table inst.inst_lib_cell) then begin
+         let ports =
+           match inst.inst_prim with
+           | Prim.Black_box _ ->
+             List.map (fun c -> (c.conn_port, c.conn_dir)) inst.inst_conns
+           | p ->
+             let outs = Prim.output_ports p in
+             List.map
+               (fun name ->
+                  (name, if List.mem name outs then Output else Input))
+               (Prim.port_names p)
+         in
+         Hashtbl.replace table inst.inst_lib_cell ports
+       end)
+    m.instances;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let instance_count m = Array.length m.instances
+let net_count m = Array.length m.nets

@@ -1,0 +1,64 @@
+(** Flattened netlist model: the data interchange API.
+
+    This is the paper's "open API for converting a JHDL circuit object into
+    a user-defined data interchange format" (Section 2.2). A design is
+    flattened to primitive instances with hierarchical names; each writer
+    (EDIF, VHDL, Verilog — or a user-defined format) renders this model.
+    Placement attributes and LUT INITs are carried as instance
+    attributes. *)
+
+type attribute = {
+  attr_name : string;  (** e.g. ["INIT"], ["RLOC"] *)
+  attr_value : string;
+}
+
+type connection = {
+  conn_port : string;  (** formal port on the library cell *)
+  conn_dir : Jhdl_circuit.Types.dir;
+  conn_net : int;  (** index into the model's net array *)
+}
+
+type instance = {
+  inst_name : string;  (** flattened hierarchical name *)
+  inst_lib_cell : string;  (** library cell, e.g. ["LUT4"], ["FDCE"] *)
+  inst_prim : Jhdl_circuit.Prim.t;
+  inst_conns : connection list;
+  inst_attrs : attribute list;
+}
+
+type net_info = {
+  net_name : string;
+  net_index : int;
+  driver_instance : int option;  (** index into instances *)
+  sink_count : int;
+}
+
+type port_info = {
+  p_name : string;
+  p_dir : Jhdl_circuit.Types.dir;
+  p_width : int;
+  p_nets : int array;  (** net index per bit, LSB first *)
+}
+
+type t = {
+  design_name : string;
+  ports : port_info list;
+  nets : net_info array;
+  instances : instance array;
+}
+
+(** [of_design d] flattens [d]. Nets with neither terminals nor a port
+    binding are dropped. Names are hierarchical paths joined with ['/'];
+    writers legalize them per output format. *)
+val of_design : Jhdl_circuit.Design.t -> t
+
+(** [lib_cells m] is the sorted list of distinct library cells used, with
+    their port lists [(name, dir)] — what a writer needs to emit component
+    or cell declarations. Black-box ports are taken from the first
+    instance encountered. *)
+val lib_cells : t -> (string * (string * Jhdl_circuit.Types.dir) list) list
+
+(** [instance_count m] and [net_count m]. *)
+val instance_count : t -> int
+
+val net_count : t -> int

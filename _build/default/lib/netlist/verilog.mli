@@ -1,0 +1,9 @@
+(** Structural Verilog-2001 netlist writer.
+
+    The third interchange format the paper lists ("effort is being made to
+    support other netlist formats such as Verilog"). One module per
+    design, wire declarations per net, primitive instantiations with
+    INIT/RLOC as attribute comments and defparams. *)
+
+val to_string : Model.t -> string
+val of_design : Jhdl_circuit.Design.t -> string

@@ -1,0 +1,10 @@
+(** Structural VHDL-93 netlist writer.
+
+    Emits an entity for the design, component declarations for each
+    library cell used, one signal per internal net, and one instantiation
+    per primitive with INIT/RLOC rendered as instance attributes, the
+    style JHDL's VHDL netlister produced for import into conventional
+    synthesis flows. *)
+
+val to_string : Model.t -> string
+val of_design : Jhdl_circuit.Design.t -> string

@@ -1,0 +1,58 @@
+open Jhdl_circuit.Types
+
+(* XNF is line-oriented:
+     LCANET, 6
+     PROG, writer, version
+     SYM, <instance>, <libcell>, <params>
+     PIN, <port>, <I|O>, <net>
+     END
+     EXT, <net>, <I|O>        -- external pads
+     EOF                                                        *)
+
+let to_string (m : Model.t) =
+  let b = Buffer.create 4096 in
+  let ids = Ident.create Ident.Edif in
+  let id s = Ident.legalize ids s in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  add "LCANET, 6\n";
+  add "PROG, JHDL-OCaml, 1.0, \"%s\"\n" m.Model.design_name;
+  add "PART, XCV300-4-BG432\n";
+  Array.iter
+    (fun inst ->
+       let params =
+         List.map
+           (fun a -> Printf.sprintf "%s=%s" a.Model.attr_name a.Model.attr_value)
+           inst.Model.inst_attrs
+       in
+       add "SYM, %s, %s%s\n"
+         (id ("i/" ^ inst.Model.inst_name))
+         inst.Model.inst_lib_cell
+         (match params with
+          | [] -> ""
+          | ps -> ", " ^ String.concat ", " ps);
+       List.iter
+         (fun c ->
+            add "    PIN, %s, %s, %s\n" c.Model.conn_port
+              (match c.Model.conn_dir with Input -> "I" | Output -> "O")
+              (id ("n/" ^ m.Model.nets.(c.Model.conn_net).Model.net_name)))
+         inst.Model.inst_conns;
+       add "END\n")
+    m.Model.instances;
+  List.iter
+    (fun p ->
+       Array.iteri
+         (fun bit net ->
+            let pad_name =
+              if p.Model.p_width = 1 then p.Model.p_name
+              else Printf.sprintf "%s<%d>" p.Model.p_name bit
+            in
+            add "EXT, %s, %s, , %s\n"
+              (id ("n/" ^ m.Model.nets.(net).Model.net_name))
+              (match p.Model.p_dir with Input -> "I" | Output -> "O")
+              pad_name)
+         p.Model.p_nets)
+    m.Model.ports;
+  add "EOF\n";
+  Buffer.contents b
+
+let of_design d = to_string (Model.of_design d)

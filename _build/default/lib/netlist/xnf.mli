@@ -1,0 +1,11 @@
+(** Xilinx Netlist Format (XNF) writer.
+
+    The paper notes that "user-defined textual or binary interchange
+    formats can be created by exploiting this API" (Section 2.2). XNF —
+    the line-oriented pre-EDIF Xilinx format every 2002-era flow still
+    accepted — is implemented here as exactly such a user-defined writer:
+    ~80 lines over {!Model}, with no access to anything the EDIF/VHDL
+    writers don't also use. *)
+
+val to_string : Model.t -> string
+val of_design : Jhdl_circuit.Design.t -> string

@@ -1,0 +1,1 @@
+lib/netproto/cosim.ml: Endpoint Jhdl_logic List Network Printf Protocol

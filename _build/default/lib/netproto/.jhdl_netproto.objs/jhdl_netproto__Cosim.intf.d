@@ -1,0 +1,1 @@
+lib/netproto/cosim.mli: Endpoint Jhdl_logic Network

@@ -1,0 +1,1 @@
+lib/netproto/endpoint.ml: Jhdl_applet Jhdl_circuit Jhdl_sim List Option Protocol

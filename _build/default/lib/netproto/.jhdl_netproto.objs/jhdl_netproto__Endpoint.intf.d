@@ -1,0 +1,1 @@
+lib/netproto/endpoint.mli: Jhdl_applet Jhdl_sim Protocol

@@ -1,0 +1,1 @@
+lib/netproto/network.mli:

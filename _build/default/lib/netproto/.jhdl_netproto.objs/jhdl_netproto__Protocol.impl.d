@@ -1,0 +1,1 @@
+lib/netproto/protocol.ml: Buffer Char Format Jhdl_logic List Printf String

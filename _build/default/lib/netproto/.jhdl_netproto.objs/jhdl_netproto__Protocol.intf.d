@@ -1,0 +1,1 @@
+lib/netproto/protocol.mli: Format Jhdl_logic

@@ -1,0 +1,1 @@
+lib/netproto/verilog_tb.ml: Cosim Hashtbl Jhdl_logic List Option Printf String

@@ -1,0 +1,1 @@
+lib/netproto/verilog_tb.mli: Cosim Jhdl_logic

@@ -1,0 +1,139 @@
+module Bits = Jhdl_logic.Bits
+
+type link = {
+  endpoint : Endpoint.t;
+  channel : Network.t;
+}
+
+type t = {
+  mutable links : link list; (* attach order *)
+}
+
+let create () = { links = [] }
+
+let attach t endpoint params =
+  let name = Endpoint.name endpoint in
+  if List.exists (fun l -> Endpoint.name l.endpoint = name) t.links then
+    invalid_arg (Printf.sprintf "Cosim.attach: duplicate endpoint %s" name);
+  t.links <- t.links @ [ { endpoint; channel = Network.create params } ]
+
+let find t box =
+  match List.find_opt (fun l -> Endpoint.name l.endpoint = box) t.links with
+  | Some link -> link
+  | None -> invalid_arg (Printf.sprintf "Cosim: no black box named %s" box)
+
+(* One request/reply exchange: both directions cross the channel with
+   their real encoded sizes. *)
+let exchange link message =
+  Network.send link.channel ~bytes:(Protocol.size message);
+  let reply = Endpoint.handle link.endpoint message in
+  Network.send link.channel ~bytes:(Protocol.size reply);
+  match reply with
+  | Protocol.Protocol_error reason ->
+    invalid_arg (Printf.sprintf "Cosim: %s: %s" (Endpoint.name link.endpoint) reason)
+  | other -> other
+
+let set_inputs t ~box pairs =
+  let link = find t box in
+  match exchange link (Protocol.Set_inputs pairs) with
+  | Protocol.Ack -> ()
+  | _ -> invalid_arg "Cosim.set_inputs: unexpected reply"
+
+let cycle t =
+  List.iter
+    (fun link ->
+       Network.add_compute link.channel
+         (Endpoint.compute_seconds_per_cycle link.endpoint);
+       match exchange link (Protocol.Cycle 1) with
+       | Protocol.Ack -> ()
+       | _ -> invalid_arg "Cosim.cycle: unexpected reply")
+    t.links
+
+let reset t =
+  List.iter
+    (fun link ->
+       match exchange link Protocol.Reset with
+       | Protocol.Ack -> ()
+       | _ -> invalid_arg "Cosim.reset: unexpected reply")
+    t.links
+
+let get_output t ~box port =
+  let link = find t box in
+  match exchange link (Protocol.Get_outputs [ port ]) with
+  | Protocol.Outputs_are [ (_, v) ] -> v
+  | _ -> invalid_arg "Cosim.get_output: unexpected reply"
+
+let elapsed_seconds t =
+  List.fold_left (fun acc l -> acc +. Network.elapsed_seconds l.channel) 0.0 t.links
+
+let total_messages t =
+  List.fold_left (fun acc l -> acc + Network.messages l.channel) 0 t.links
+
+let total_bytes t =
+  List.fold_left (fun acc l -> acc + Network.bytes_transferred l.channel) 0 t.links
+
+type architecture =
+  | Local_applet
+  | Webcad
+  | Javacad
+
+let architecture_name = function
+  | Local_applet -> "JHDL applet (local)"
+  | Webcad -> "Web-CAD (remote server)"
+  | Javacad -> "JavaCAD (RMI)"
+
+(* RMI serialization: object headers, class descriptors, stubs. *)
+let rmi_overhead_bytes = 420
+
+type session_cost = {
+  wall_seconds : float;
+  network_seconds : float;
+  compute_seconds : float;
+  message_count : int;
+  byte_count : int;
+}
+
+let simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe
+    ?on_outputs () =
+  let channel_params =
+    match arch with
+    | Local_applet -> Network.loopback
+    | Webcad -> network
+    | Javacad ->
+      { network with
+        Network.per_message_overhead_bytes =
+          network.Network.per_message_overhead_bytes + rmi_overhead_bytes }
+  in
+  let channel = Network.create channel_params in
+  let compute = ref 0.0 in
+  let exchange message =
+    Network.send channel ~bytes:(Protocol.size message);
+    let reply = Endpoint.handle endpoint message in
+    Network.send channel ~bytes:(Protocol.size reply);
+    reply
+  in
+  for i = 0 to cycles - 1 do
+    (match drive i with
+     | [] -> ()
+     | pairs ->
+       (match exchange (Protocol.Set_inputs pairs) with
+        | Protocol.Ack -> ()
+        | _ -> invalid_arg "simulation_cost: set_inputs failed"));
+    compute := !compute +. Endpoint.compute_seconds_per_cycle endpoint;
+    (match exchange (Protocol.Cycle 1) with
+     | Protocol.Ack -> ()
+     | _ -> invalid_arg "simulation_cost: cycle failed");
+    match observe with
+    | [] -> ()
+    | ports ->
+      (match exchange (Protocol.Get_outputs ports) with
+       | Protocol.Outputs_are pairs ->
+         (match on_outputs with Some f -> f i pairs | None -> ())
+       | _ -> invalid_arg "simulation_cost: get_outputs failed")
+  done;
+  let network_seconds = Network.elapsed_seconds channel in
+  { wall_seconds = network_seconds +. !compute;
+    network_seconds;
+    compute_seconds = !compute;
+    message_count = Network.messages channel;
+    byte_count = Network.bytes_transferred channel }

@@ -1,0 +1,78 @@
+(** System co-simulation (Figure 4) and the delivery-architecture cost
+    comparison (the paper's speed claim against Web-CAD and JavaCAD).
+
+    A co-simulation connects a user's system simulator to one or more
+    black-box endpoints through protocol channels. Every exchange sends
+    genuinely-encoded messages through the channel, so the elapsed-time
+    and traffic numbers come from real message sizes, and the functional
+    results come from the real simulators behind the endpoints. *)
+
+type t
+
+val create : unit -> t
+
+(** [attach t endpoint params] — connect a black box over a channel with
+    the given network parameters. Endpoint names must be unique. *)
+val attach : t -> Endpoint.t -> Network.params -> unit
+
+(** [set_inputs t ~box pairs] — drive input ports of one black box. *)
+val set_inputs : t -> box:string -> (string * Jhdl_logic.Bits.t) list -> unit
+
+(** [cycle t] — clock every attached black box once (inputs are expected
+    to have been driven first). *)
+val cycle : t -> unit
+
+(** [reset t] — reset every black box. *)
+val reset : t -> unit
+
+(** [get_output t ~box port] — read one output port. Raises
+    [Invalid_argument] on protocol errors or unknown boxes. *)
+val get_output : t -> box:string -> string -> Jhdl_logic.Bits.t
+
+(** Accumulated simulated wall time across all channels, plus compute. *)
+val elapsed_seconds : t -> float
+
+val total_messages : t -> int
+val total_bytes : t -> int
+
+(** {1 Delivery-architecture comparison (claim C1)} *)
+
+type architecture =
+  | Local_applet
+      (** the paper's approach: the model was downloaded once and runs in
+          the user's browser; events cross a loopback *)
+  | Webcad
+      (** Fin & Fummi (DAC 2000): the model stays at the vendor server;
+          every event crosses the network *)
+  | Javacad
+      (** Dalpasso, Bogliolo & Benini (DAC 1999): remote method
+          invocation per event, with RMI marshalling overhead *)
+
+val architecture_name : architecture -> string
+
+type session_cost = {
+  wall_seconds : float;
+  network_seconds : float;
+  compute_seconds : float;
+  message_count : int;
+  byte_count : int;
+}
+
+(** [simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe] —
+    run [cycles] clock cycles against [endpoint] under the given
+    architecture over [network]: each cycle drives [drive cycle_index]
+    into the box, clocks it and reads [observe]. Returns the accumulated
+    cost; functional outputs are written to [on_outputs] when given.
+    [Local_applet] replaces the channel with a loopback (the network is
+    only traversed for the initial download, which is priced separately
+    in the benches via {!Jhdl_bundle.Download}). *)
+val simulation_cost :
+  arch:architecture ->
+  network:Network.params ->
+  endpoint:Endpoint.t ->
+  cycles:int ->
+  drive:(int -> (string * Jhdl_logic.Bits.t) list) ->
+  observe:string list ->
+  ?on_outputs:(int -> (string * Jhdl_logic.Bits.t) list -> unit) ->
+  unit ->
+  session_cost

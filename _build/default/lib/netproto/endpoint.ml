@@ -1,0 +1,46 @@
+module Simulator = Jhdl_sim.Simulator
+module Design = Jhdl_circuit.Design
+
+(* Modeled cost of one evaluation pass in the client JVM. *)
+let seconds_per_prim = 40.0e-9
+
+type t = {
+  endpoint_name : string;
+  sim : Simulator.t;
+  compute : float;
+}
+
+let of_simulator ~name sim =
+  { endpoint_name = name;
+    sim;
+    compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim }
+
+let of_applet ~name applet =
+  Option.map (of_simulator ~name) (Jhdl_applet.Applet.simulator applet)
+
+let name t = t.endpoint_name
+let compute_seconds_per_cycle t = t.compute
+
+let handle t message =
+  match message with
+  | Protocol.Set_inputs pairs ->
+    (match
+       List.iter (fun (port, v) -> Simulator.set_input t.sim port v) pairs
+     with
+     | () -> Protocol.Ack
+     | exception Invalid_argument reason -> Protocol.Protocol_error reason)
+  | Protocol.Cycle n ->
+    Simulator.cycle ~n t.sim;
+    Protocol.Ack
+  | Protocol.Reset ->
+    Simulator.reset t.sim;
+    Protocol.Ack
+  | Protocol.Get_outputs names ->
+    (match
+       List.map (fun port -> (port, Simulator.get_port t.sim port)) names
+     with
+     | pairs -> Protocol.Outputs_are pairs
+     | exception Invalid_argument reason -> Protocol.Protocol_error reason)
+  | Protocol.Outputs_are _ | Protocol.Ack ->
+    Protocol.Protocol_error "unexpected reply message"
+  | Protocol.Protocol_error _ as e -> e

@@ -1,0 +1,29 @@
+(** Black-box simulation endpoint.
+
+    The protected side of Figure 4: wraps a live simulator (typically one
+    inside a served applet) behind the wire protocol. The peer sees only
+    port names and simulation values — no structure, no netlist —
+    exactly the visibility contract of the black-box applet (Section
+    4.2). *)
+
+type t
+
+(** [of_simulator ~name sim] — expose [sim]'s top-level ports. The
+    per-cycle compute cost the endpoint charges to a channel is derived
+    from the design's primitive count. *)
+val of_simulator : name:string -> Jhdl_sim.Simulator.t -> t
+
+(** [of_applet ~name applet] — wrap a built applet's simulator; [None]
+    when the applet has no simulator linked or nothing built. *)
+val of_applet : name:string -> Jhdl_applet.Applet.t -> t option
+
+val name : t -> string
+
+(** [compute_seconds_per_cycle t] — modeled evaluation cost of one clock
+    cycle (primitive count x per-primitive JVM evaluation cost). *)
+val compute_seconds_per_cycle : t -> float
+
+(** [handle t message] — process one protocol message and produce the
+    reply ([Ack] for writes, [Outputs_are] for reads, [Protocol_error]
+    for unknown ports). *)
+val handle : t -> Protocol.message -> Protocol.message

@@ -1,0 +1,57 @@
+type params = {
+  one_way_latency_s : float;
+  bandwidth_bits_per_s : float;
+  per_message_overhead_bytes : int;
+}
+
+let loopback =
+  { one_way_latency_s = 0.000_000_5;
+    bandwidth_bits_per_s = 8.0e9;
+    per_message_overhead_bytes = 0 }
+
+let lan =
+  { one_way_latency_s = 0.000_25;
+    bandwidth_bits_per_s = 100.0e6;
+    per_message_overhead_bytes = 66 }
+
+let campus =
+  { one_way_latency_s = 0.002;
+    bandwidth_bits_per_s = 10.0e6;
+    per_message_overhead_bytes = 66 }
+
+let dsl =
+  { one_way_latency_s = 0.015;
+    bandwidth_bits_per_s = 1.0e6;
+    per_message_overhead_bytes = 66 }
+
+let modem =
+  { one_way_latency_s = 0.075;
+    bandwidth_bits_per_s = 56.0e3;
+    per_message_overhead_bytes = 66 }
+
+let with_rtt params seconds = { params with one_way_latency_s = seconds /. 2.0 }
+let rtt params = params.one_way_latency_s *. 2.0
+
+type t = {
+  net_params : params;
+  mutable clock_s : float;
+  mutable message_count : int;
+  mutable byte_count : int;
+}
+
+let create net_params = { net_params; clock_s = 0.0; message_count = 0; byte_count = 0 }
+let params t = t.net_params
+
+let send t ~bytes =
+  let total = bytes + t.net_params.per_message_overhead_bytes in
+  t.clock_s <-
+    t.clock_s
+    +. t.net_params.one_way_latency_s
+    +. (float_of_int total *. 8.0 /. t.net_params.bandwidth_bits_per_s);
+  t.message_count <- t.message_count + 1;
+  t.byte_count <- t.byte_count + total
+
+let elapsed_seconds t = t.clock_s
+let messages t = t.message_count
+let bytes_transferred t = t.byte_count
+let add_compute t seconds = t.clock_s <- t.clock_s +. seconds

@@ -1,0 +1,46 @@
+(** Simulated network channel with a time budget.
+
+    Carries the wire-level cost model for Figure 4 (black-box
+    co-simulation over sockets) and for the Web-CAD / JavaCAD baselines:
+    each send pays one-way latency plus serialized payload over
+    bandwidth; the channel accumulates simulated seconds and traffic
+    counters. Deterministic — no wall clock involved. *)
+
+type params = {
+  one_way_latency_s : float;
+  bandwidth_bits_per_s : float;
+  per_message_overhead_bytes : int;
+      (** framing/headers (TCP+protocol, or RMI serialization) *)
+}
+
+(** In-process "loopback": the local applet case — a method call, not a
+    socket. *)
+val loopback : params
+
+(** [lan], [campus], [dsl], [modem] presets; [with_rtt params seconds]
+    overrides the round-trip time (both directions split evenly). *)
+val lan : params
+
+val campus : params
+val dsl : params
+val modem : params
+val with_rtt : params -> float -> params
+val rtt : params -> float
+
+type t
+
+val create : params -> t
+val params : t -> params
+
+(** [send t ~bytes] — account one message of [bytes] payload. *)
+val send : t -> bytes:int -> unit
+
+(** [elapsed_seconds t], [messages t], [bytes_transferred t] — counters. *)
+val elapsed_seconds : t -> float
+
+val messages : t -> int
+val bytes_transferred : t -> int
+
+(** [add_compute t seconds] — charge non-network time (model evaluation)
+    to the same clock. *)
+val add_compute : t -> float -> unit

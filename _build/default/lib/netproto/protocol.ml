@@ -1,0 +1,133 @@
+module Bits = Jhdl_logic.Bits
+
+type message =
+  | Set_inputs of (string * Bits.t) list
+  | Cycle of int
+  | Reset
+  | Get_outputs of string list
+  | Outputs_are of (string * Bits.t) list
+  | Ack
+  | Protocol_error of string
+
+(* Wire format: 1 tag byte, then tag-specific payload. Strings are
+   2-byte big-endian length + bytes; counts are 2 bytes; Cycle carries a
+   4-byte big-endian count. Values travel as bit characters (MSB first),
+   preserving X/Z. *)
+
+let add_u16 buffer n =
+  Buffer.add_char buffer (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buffer (Char.chr (n land 0xFF))
+
+let add_u32 buffer n =
+  add_u16 buffer ((n lsr 16) land 0xFFFF);
+  add_u16 buffer (n land 0xFFFF)
+
+let add_string buffer s =
+  add_u16 buffer (String.length s);
+  Buffer.add_string buffer s
+
+let add_pairs buffer pairs =
+  add_u16 buffer (List.length pairs);
+  List.iter
+    (fun (name, value) ->
+       add_string buffer name;
+       add_string buffer (Bits.to_string value))
+    pairs
+
+let encode message =
+  let buffer = Buffer.create 64 in
+  (match message with
+   | Set_inputs pairs ->
+     Buffer.add_char buffer 'I';
+     add_pairs buffer pairs
+   | Cycle n ->
+     Buffer.add_char buffer 'C';
+     add_u32 buffer n
+   | Reset -> Buffer.add_char buffer 'R'
+   | Get_outputs names ->
+     Buffer.add_char buffer 'G';
+     add_u16 buffer (List.length names);
+     List.iter (add_string buffer) names
+   | Outputs_are pairs ->
+     Buffer.add_char buffer 'O';
+     add_pairs buffer pairs
+   | Ack -> Buffer.add_char buffer 'A'
+   | Protocol_error text ->
+     Buffer.add_char buffer 'E';
+     add_string buffer text);
+  Buffer.contents buffer
+
+let size message = String.length (encode message)
+
+exception Malformed of string
+
+let decode s =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then raise (Malformed "truncated");
+    let c = s.[!pos] in
+    incr pos;
+    Char.code c
+  in
+  let u16 () =
+    let hi = byte () in
+    (hi lsl 8) lor byte ()
+  in
+  let u32 () =
+    let hi = u16 () in
+    (hi lsl 16) lor u16 ()
+  in
+  let str () =
+    let len = u16 () in
+    if !pos + len > String.length s then raise (Malformed "truncated string");
+    let r = String.sub s !pos len in
+    pos := !pos + len;
+    r
+  in
+  let bits () =
+    let text = str () in
+    match Bits.of_string text with
+    | v -> v
+    | exception Invalid_argument _ -> raise (Malformed "bad bit string")
+  in
+  let pairs () =
+    let n = u16 () in
+    List.init n (fun _ ->
+      let name = str () in
+      let value = bits () in
+      (name, value))
+  in
+  match
+    let tag = byte () in
+    let message =
+      match Char.chr tag with
+      | 'I' -> Set_inputs (pairs ())
+      | 'C' -> Cycle (u32 ())
+      | 'R' -> Reset
+      | 'G' ->
+        let n = u16 () in
+        Get_outputs (List.init n (fun _ -> str ()))
+      | 'O' -> Outputs_are (pairs ())
+      | 'A' -> Ack
+      | 'E' -> Protocol_error (str ())
+      | c -> raise (Malformed (Printf.sprintf "unknown tag %C" c))
+    in
+    if !pos <> String.length s then raise (Malformed "trailing bytes");
+    message
+  with
+  | message -> Ok message
+  | exception Malformed reason -> Error reason
+
+let pp fmt message =
+  let pair (n, v) = Printf.sprintf "%s=%s" n (Bits.to_string v) in
+  match message with
+  | Set_inputs pairs ->
+    Format.fprintf fmt "SetInputs{%s}" (String.concat "," (List.map pair pairs))
+  | Cycle n -> Format.fprintf fmt "Cycle(%d)" n
+  | Reset -> Format.fprintf fmt "Reset"
+  | Get_outputs names ->
+    Format.fprintf fmt "GetOutputs{%s}" (String.concat "," names)
+  | Outputs_are pairs ->
+    Format.fprintf fmt "Outputs{%s}" (String.concat "," (List.map pair pairs))
+  | Ack -> Format.fprintf fmt "Ack"
+  | Protocol_error text -> Format.fprintf fmt "Error(%s)" text

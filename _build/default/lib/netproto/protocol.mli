@@ -1,0 +1,26 @@
+(** Simulation-event wire protocol.
+
+    "Simulation events are exchanged over network sockets and a custom
+    communication protocol" (Section 4.2). Messages carry port/value
+    pairs as four-valued bit strings; the encoding is a real byte format
+    (length-prefixed fields), so channel accounting uses genuine message
+    sizes and the decoder round-trips everything the encoder emits. *)
+
+type message =
+  | Set_inputs of (string * Jhdl_logic.Bits.t) list
+  | Cycle of int
+  | Reset
+  | Get_outputs of string list
+  | Outputs_are of (string * Jhdl_logic.Bits.t) list
+  | Ack
+  | Protocol_error of string
+
+val encode : message -> string
+
+(** [decode s] — [Error _] on malformed input. *)
+val decode : string -> (message, string) result
+
+(** [size message] — encoded byte length. *)
+val size : message -> int
+
+val pp : Format.formatter -> message -> unit

@@ -1,0 +1,420 @@
+module Bits = Jhdl_logic.Bits
+
+
+type binding = {
+  signal : string;
+  box : string;
+  port : string;
+}
+
+type check_result = {
+  check_signal : string;
+  expected : Bits.t;
+  actual : Bits.t;
+  passed : bool;
+}
+
+type run_result = {
+  transcript : string list;
+  checks : check_result list;
+  cycles_run : int;
+  finished : bool;
+}
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | Tid of string
+  | Tnum of int
+  | Tsized of Bits.t
+  | Tstring of string
+  | Tsys of string (* $display, $check, $finish *)
+  | Tpunct of char
+
+exception Tb_error of string
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Tb_error (Printf.sprintf "line %d: %s" line message))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+(* sized literal body: base char + digits (underscores allowed) *)
+let sized_literal ~line ~width ~base digits =
+  let digits =
+    String.concat "" (String.split_on_char '_' digits)
+  in
+  if digits = "" then error line "empty literal";
+  match base with
+  | 'd' | 'D' ->
+    (match int_of_string_opt digits with
+     | Some v -> Bits.of_int ~width v
+     | None -> error line "bad decimal literal %s" digits)
+  | 'h' | 'H' ->
+    (match int_of_string_opt ("0x" ^ digits) with
+     | Some v -> Bits.of_int ~width v
+     | None -> error line "bad hex literal %s" digits)
+  | 'b' | 'B' ->
+    let v = Bits.of_string digits in
+    if Bits.width v > width then error line "binary literal wider than %d" width
+    else Bits.zero_extend v width
+  | c -> error line "unsupported literal base %c" c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !pos < n do
+    let c = source.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && !pos + 1 < n && source.[!pos + 1] = '/' then begin
+      while !pos < n && source.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '"' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && source.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then error !line "unterminated string";
+      push (Tstring (String.sub source start (!pos - start)));
+      incr pos
+    end
+    else if c = '$' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_ident_char source.[!pos] do
+        incr pos
+      done;
+      push (Tsys (String.sub source start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && (is_digit source.[!pos] || source.[!pos] = '_') do
+        incr pos
+      done;
+      let number_text =
+        String.concat ""
+          (String.split_on_char '_' (String.sub source start (!pos - start)))
+      in
+      let value =
+        match int_of_string_opt number_text with
+        | Some v -> v
+        | None -> error !line "bad number %s" number_text
+      in
+      if !pos < n && source.[!pos] = '\'' then begin
+        incr pos;
+        (* optional signed marker 's' is accepted and ignored *)
+        if !pos < n && (source.[!pos] = 's' || source.[!pos] = 'S') then incr pos;
+        if !pos >= n then error !line "truncated sized literal";
+        let base = source.[!pos] in
+        incr pos;
+        let dstart = !pos in
+        while
+          !pos < n
+          && (is_ident_char source.[!pos])
+        do
+          incr pos
+        done;
+        push
+          (Tsized
+             (sized_literal ~line:!line ~width:value ~base
+                (String.sub source dstart (!pos - dstart))))
+      end
+      else push (Tnum value)
+    end
+    else if is_ident_char c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char source.[!pos] do
+        incr pos
+      done;
+      push (Tid (String.sub source start (!pos - start)))
+    end
+    else begin
+      push (Tpunct c);
+      incr pos
+    end
+  done;
+  List.rev !tokens
+
+(* ---------------- parser ---------------- *)
+
+type rvalue =
+  | Sized of Bits.t
+  | Bare of int
+
+type stmt =
+  | Assign of string * rvalue
+  | Delay of int
+  | Display of string * string list
+  | Check of string * rvalue
+  | Finish
+
+type decl = {
+  decl_name : string;
+  decl_width : int;
+  is_reg : bool;
+}
+
+type program = {
+  tb_name : string;
+  decls : decl list;
+  stmts : stmt list;
+}
+
+type parser_state = {
+  mutable tokens : (token * int) list;
+}
+
+let peek st =
+  match st.tokens with
+  | [] -> (None, 0)
+  | (t, line) :: _ -> (Some t, line)
+
+let next st =
+  match st.tokens with
+  | [] -> raise (Tb_error "unexpected end of input")
+  | (t, line) :: rest ->
+    st.tokens <- rest;
+    (t, line)
+
+let expect_punct st c =
+  match next st with
+  | Tpunct p, _ when p = c -> ()
+  | _, line -> error line "expected %c" c
+
+let expect_ident st =
+  match next st with
+  | Tid name, _ -> name
+  | _, line -> error line "expected identifier"
+
+let expect_keyword st keyword =
+  match next st with
+  | Tid k, _ when k = keyword -> ()
+  | _, line -> error line "expected %s" keyword
+
+let parse_width st =
+  match peek st with
+  | Some (Tpunct '['), _ ->
+    let _ = next st in
+    let msb =
+      match next st with
+      | Tnum v, _ -> v
+      | _, line -> error line "expected msb"
+    in
+    expect_punct st ':';
+    (match next st with
+     | Tnum 0, _ -> ()
+     | _, line -> error line "lsb must be 0");
+    expect_punct st ']';
+    msb + 1
+  | _ -> 1
+
+let parse_rvalue st =
+  match next st with
+  | Tsized v, _ -> Sized v
+  | Tnum v, _ -> Bare v
+  | Tpunct '-', _ ->
+    (match next st with
+     | Tnum v, _ -> Bare (-v)
+     | Tsized v, _ -> Sized (Bits.neg v)
+     | _, line -> error line "expected literal after -")
+  | _, line -> error line "expected literal"
+
+let rec parse_stmts st acc =
+  match peek st with
+  | Some (Tid "end"), _ ->
+    let _ = next st in
+    List.rev acc
+  | Some (Tpunct '#'), _ ->
+    let _ = next st in
+    let cycles =
+      match next st with
+      | Tnum v, _ -> v
+      | _, line -> error line "expected delay count"
+    in
+    expect_punct st ';';
+    parse_stmts st (Delay cycles :: acc)
+  | Some (Tsys "finish"), _ ->
+    let _ = next st in
+    expect_punct st ';';
+    parse_stmts st (Finish :: acc)
+  | Some (Tsys "display"), _ ->
+    let _ = next st in
+    expect_punct st '(';
+    let text =
+      match next st with
+      | Tstring s, _ -> s
+      | _, line -> error line "$display needs a string first"
+    in
+    let rec args acc =
+      match next st with
+      | Tpunct ')', _ -> List.rev acc
+      | Tpunct ',', _ -> args (expect_ident st :: acc)
+      | _, line -> error line "expected , or ) in $display"
+    in
+    let names = args [] in
+    expect_punct st ';';
+    parse_stmts st (Display (text, names) :: acc)
+  | Some (Tsys "check"), _ ->
+    let _ = next st in
+    expect_punct st '(';
+    let name = expect_ident st in
+    expect_punct st ',';
+    let value = parse_rvalue st in
+    expect_punct st ')';
+    expect_punct st ';';
+    parse_stmts st (Check (name, value) :: acc)
+  | Some (Tid name), _ ->
+    let _ = next st in
+    expect_punct st '=';
+    let value = parse_rvalue st in
+    expect_punct st ';';
+    parse_stmts st (Assign (name, value) :: acc)
+  | Some (Tsys other), line -> error line "unsupported system task $%s" other
+  | Some _, line -> error line "unsupported statement"
+  | None, _ -> raise (Tb_error "missing end")
+
+let parse_program st =
+  expect_keyword st "module";
+  let tb_name = expect_ident st in
+  expect_punct st ';';
+  let rec decls acc =
+    match peek st with
+    | Some (Tid ("reg" | "wire")), _ ->
+      let is_reg =
+        match next st with
+        | Tid "reg", _ -> true
+        | Tid "wire", _ -> false
+        | _, line -> error line "expected reg or wire"
+      in
+      let width = parse_width st in
+      let name = expect_ident st in
+      expect_punct st ';';
+      decls ({ decl_name = name; decl_width = width; is_reg } :: acc)
+    | _ -> List.rev acc
+  in
+  let decls = decls [] in
+  expect_keyword st "initial";
+  expect_keyword st "begin";
+  let stmts = parse_stmts st [] in
+  expect_keyword st "endmodule";
+  (match peek st with
+   | None, _ -> ()
+   | Some _, line -> error line "content after endmodule");
+  { tb_name; decls; stmts }
+
+let parse source =
+  match parse_program { tokens = tokenize source } with
+  | program -> Ok program
+  | exception Tb_error message -> Error message
+
+let signals program =
+  List.map (fun d -> (d.decl_name, d.decl_width, d.is_reg)) program.decls
+
+(* ---------------- interpreter ---------------- *)
+
+let resolve_rvalue ~width ~signal = function
+  | Sized v ->
+    if Bits.width v <> width then
+      invalid_arg
+        (Printf.sprintf "Verilog_tb: %d-bit literal for %d-bit signal %s"
+           (Bits.width v) width signal)
+    else v
+  | Bare v -> Bits.of_int ~width v
+
+let run program ~cosim ~bindings =
+  let decl_of name =
+    match List.find_opt (fun d -> d.decl_name = name) program.decls with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Verilog_tb: undeclared signal %s" name)
+  in
+  let binding_of name =
+    match List.find_opt (fun b -> b.signal = name) bindings with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Verilog_tb: unbound signal %s" name)
+  in
+  List.iter (fun d -> ignore (binding_of d.decl_name)) program.decls;
+  (* current reg values and inputs not yet flushed to the boxes *)
+  let reg_values : (string, Bits.t) Hashtbl.t = Hashtbl.create 8 in
+  let pending : (string, (string * Bits.t) list) Hashtbl.t = Hashtbl.create 4 in
+  let flush () =
+    Hashtbl.iter (fun box pairs -> Cosim.set_inputs cosim ~box pairs) pending;
+    Hashtbl.reset pending
+  in
+  let read_signal name =
+    let d = decl_of name in
+    if d.is_reg then
+      Option.value (Hashtbl.find_opt reg_values name)
+        ~default:(Bits.undefined d.decl_width)
+    else begin
+      flush ();
+      let b = binding_of name in
+      Cosim.get_output cosim ~box:b.box b.port
+    end
+  in
+  let transcript = ref [] in
+  let checks = ref [] in
+  let cycles = ref 0 in
+  let finished = ref false in
+  let rec exec = function
+    | [] -> ()
+    | stmt :: rest ->
+      (match stmt with
+       | Assign (name, rvalue) ->
+         let d = decl_of name in
+         if not d.is_reg then
+           invalid_arg (Printf.sprintf "Verilog_tb: cannot assign wire %s" name);
+         let value = resolve_rvalue ~width:d.decl_width ~signal:name rvalue in
+         Hashtbl.replace reg_values name value;
+         let b = binding_of name in
+         Hashtbl.replace pending b.box
+           ((b.port, value)
+            :: List.remove_assoc b.port
+                 (Option.value (Hashtbl.find_opt pending b.box) ~default:[]))
+       | Delay n ->
+         flush ();
+         for _ = 1 to n do
+           Cosim.cycle cosim;
+           incr cycles
+         done
+       | Display (text, names) ->
+         let values =
+           List.map
+             (fun name ->
+                let v = read_signal name in
+                Printf.sprintf "%s=%s" name
+                  (match Bits.to_signed_int v with
+                   | Some k -> string_of_int k
+                   | None -> Bits.to_string v))
+             names
+         in
+         transcript := String.concat " " (text :: values) :: !transcript
+       | Check (name, rvalue) ->
+         let d = decl_of name in
+         let expected = resolve_rvalue ~width:d.decl_width ~signal:name rvalue in
+         let actual = read_signal name in
+         checks :=
+           { check_signal = name;
+             expected;
+             actual;
+             passed = Bits.equal expected actual }
+           :: !checks
+       | Finish -> finished := true);
+      if !finished then () else exec rest
+  in
+  exec program.stmts;
+  { transcript = List.rev !transcript;
+    checks = List.rev !checks;
+    cycles_run = !cycles;
+    finished = !finished }

@@ -1,0 +1,60 @@
+(** Verilog-testbench PLI wrapper.
+
+    "A simulation wrapper was created to interface the JHDL black-box
+    simulator with a Verilog simulation using PLI. Simulation events are
+    exchanged over network sockets and a custom communication protocol"
+    (Section 4.2). No commercial Verilog simulator exists here, so this
+    module implements the customer side itself: a small Verilog-testbench
+    interpreter whose value changes become protocol messages to the
+    black-box endpoints, exactly the role the PLI glue played.
+
+    Supported subset (one [module]/[endmodule] with one
+    [initial begin ... end] block):
+    - [reg [msb:0] name;] — a testbench-driven value, bound to a black
+      box input port of the same width;
+    - [wire [msb:0] name;] — bound to a black box output port;
+    - [name = <literal>;] — blocking assignment; literals are Verilog
+      sized constants ([8'd42], [8'hFF], [8'b1010_0101], [-8'd3]) or
+      bare decimals;
+    - [#<n>;] — advance [n] clock cycles (inputs are flushed to the
+      boxes first);
+    - [$display("text", name, ...);] — append to the transcript;
+    - [$check(name, <literal>);] — record a pass/fail comparison;
+    - [$finish;] — stop.
+
+    Line comments ([// ...]) are ignored. *)
+
+type binding = {
+  signal : string;  (** testbench reg/wire name *)
+  box : string;  (** black box (endpoint) name *)
+  port : string;  (** port on that box *)
+}
+
+type check_result = {
+  check_signal : string;
+  expected : Jhdl_logic.Bits.t;
+  actual : Jhdl_logic.Bits.t;
+  passed : bool;
+}
+
+type run_result = {
+  transcript : string list;  (** $display output, in order *)
+  checks : check_result list;  (** in order *)
+  cycles_run : int;
+  finished : bool;  (** reached $finish *)
+}
+
+type program
+
+(** [parse source] — [Error message] (with line number) on anything
+    outside the subset. *)
+val parse : string -> (program, string) result
+
+(** [signals program] — declared [(name, width, is_reg)] triples. *)
+val signals : program -> (string * int * bool) list
+
+(** [run program ~cosim ~bindings] — execute against black boxes already
+    attached to [cosim]. Every reg must be bound to an input port, every
+    wire to an output port; widths are checked against the declaration.
+    Raises [Invalid_argument] on binding errors. *)
+val run : program -> cosim:Cosim.t -> bindings:binding list -> run_result

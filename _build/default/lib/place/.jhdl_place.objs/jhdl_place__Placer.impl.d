@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Hashtbl Jhdl_circuit List Option Queue

@@ -1,0 +1,1 @@
+lib/place/placer.mli: Jhdl_circuit

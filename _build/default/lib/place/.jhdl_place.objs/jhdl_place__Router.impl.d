@@ -1,0 +1,1 @@
+lib/place/router.ml: Format Hashtbl Jhdl_circuit List Option Queue

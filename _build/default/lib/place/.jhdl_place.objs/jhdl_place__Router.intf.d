@@ -1,0 +1,1 @@
+lib/place/router.mli: Format Jhdl_circuit

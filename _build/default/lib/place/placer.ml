@@ -1,0 +1,243 @@
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+open Jhdl_circuit.Types
+
+type result = {
+  placed : int;
+  skipped : int;
+  wirelength : int;
+  rows : int;
+  cols : int;
+}
+
+type resource =
+  | Lut_site
+  | Ff_site
+  | Carry_site
+
+let resource_of prim =
+  match prim with
+  | Prim.Lut _ | Prim.Inv | Prim.Srl16 _ | Prim.Ram16x1 _ -> Some Lut_site
+  | Prim.Ff _ -> Some Ff_site
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> Some Carry_site
+  | Prim.Buf | Prim.Gnd | Prim.Vcc | Prim.Black_box _ -> None
+
+(* accumulated-RLOC position of every placed primitive *)
+let positions_of design =
+  let table = Hashtbl.create 256 in
+  let rec walk ~row ~col ~placed c =
+    let row, col, placed =
+      match Cell.rloc c with
+      | Some (r, k) -> (row + r, col + k, true)
+      | None -> (row, col, placed)
+    in
+    match c.kind with
+    | Primitive _ -> if placed then Hashtbl.replace table c.cell_id (row, col)
+    | Composite _ -> List.iter (walk ~row ~col ~placed) (Cell.children c)
+  in
+  walk ~row:0 ~col:0 ~placed:false (Design.root design);
+  table
+
+(* half-perimeter bounding box over each net's placed terminals *)
+let wirelength_with positions design =
+  let total = ref 0 in
+  let measured = ref false in
+  List.iter
+    (fun n ->
+       let terminals =
+         (match n.driver with Some t -> [ t ] | None -> []) @ n.sinks
+       in
+       let placed =
+         List.filter_map
+           (fun t -> Hashtbl.find_opt positions t.term_cell.cell_id)
+           terminals
+       in
+       match placed with
+       | [] | [ _ ] -> ()
+       | (r0, c0) :: rest ->
+         measured := true;
+         let min_r, max_r, min_c, max_c =
+           List.fold_left
+             (fun (a, b, c, d) (r, k) ->
+                (min a r, max b r, min c k, max d k))
+             (r0, r0, c0, c0) rest
+         in
+         total := !total + (max_r - min_r) + (max_c - min_c))
+    (Design.all_nets design);
+  if !measured then Some !total else None
+
+let wirelength design = wirelength_with (positions_of design) design
+
+(* primitives in BFS order from the top-level ports, so neighbours tend
+   to be placed before the nodes that reference them *)
+let bfs_order design =
+  let prims = Design.all_prims design in
+  let adjacency = Hashtbl.create 256 in
+  let add a b =
+    Hashtbl.replace adjacency a.cell_id
+      (b :: Option.value (Hashtbl.find_opt adjacency a.cell_id) ~default:[])
+  in
+  List.iter
+    (fun n ->
+       let terminals =
+         (match n.driver with Some t -> [ t ] | None -> []) @ n.sinks
+       in
+       List.iter
+         (fun t1 ->
+            List.iter
+              (fun t2 ->
+                 if t1.term_cell.cell_id <> t2.term_cell.cell_id then
+                   add t1.term_cell t2.term_cell)
+              terminals)
+         terminals)
+    (Design.all_nets design);
+  (* seeds: primitives touching port nets *)
+  let port_net_ids = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+       Array.iter
+         (fun n -> Hashtbl.replace port_net_ids n.net_id ())
+         p.Design.port_wire.nets)
+    (Design.ports design);
+  let seeds =
+    List.filter
+      (fun c ->
+         List.exists
+           (fun b ->
+              Array.exists
+                (fun n -> Hashtbl.mem port_net_ids n.net_id)
+                b.actual.nets)
+           c.port_bindings)
+      prims
+  in
+  let visited = Hashtbl.create 256 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let enqueue c =
+    if not (Hashtbl.mem visited c.cell_id) then begin
+      Hashtbl.replace visited c.cell_id ();
+      Queue.add c queue
+    end
+  in
+  List.iter enqueue seeds;
+  List.iter enqueue prims;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    order := c :: !order;
+    List.iter enqueue
+      (Option.value (Hashtbl.find_opt adjacency c.cell_id) ~default:[])
+  done;
+  List.rev !order
+
+type grid = {
+  g_rows : int;
+  g_cols : int;
+  free : (resource * int * int, int) Hashtbl.t;
+      (** remaining capacity per (resource, row, col) *)
+}
+
+let fresh_grid ~rows ~cols =
+  let free = Hashtbl.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      List.iter
+        (fun resource -> Hashtbl.replace free (resource, r, c) 2)
+        [ Lut_site; Ff_site; Carry_site ]
+    done
+  done;
+  { g_rows = rows; g_cols = cols; free }
+
+let take grid resource ~row ~col =
+  let key = (resource, row, col) in
+  match Hashtbl.find_opt grid.free key with
+  | Some n when n > 0 ->
+    Hashtbl.replace grid.free key (n - 1);
+    true
+  | Some _ | None -> false
+
+(* nearest free slot to (row, col) by growing Manhattan rings *)
+let nearest_free grid resource ~row ~col =
+  let in_bounds r c = r >= 0 && r < grid.g_rows && c >= 0 && c < grid.g_cols in
+  let has_free r c =
+    in_bounds r c
+    && Option.value (Hashtbl.find_opt grid.free (resource, r, c)) ~default:0 > 0
+  in
+  let rec ring radius =
+    if radius > grid.g_rows + grid.g_cols then None
+    else begin
+      let candidates = ref [] in
+      for dr = -radius to radius do
+        let dc = radius - abs dr in
+        List.iter
+          (fun dc ->
+             let r = row + dr and c = col + dc in
+             if has_free r c then candidates := (r, c) :: !candidates)
+          (if dc = 0 then [ 0 ] else [ dc; -dc ])
+      done;
+      match !candidates with
+      | [] -> ring (radius + 1)
+      | (r, c) :: _ -> Some (r, c)
+    end
+  in
+  ring 0
+
+let strip design = Cell.iter_rec Cell.clear_rloc (Design.root design)
+
+let place_with design ~rows ~cols ~pick =
+  strip design;
+  let grid = fresh_grid ~rows ~cols in
+  let located = Hashtbl.create 256 in
+  let placed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun c ->
+       match Option.bind (Cell.prim_of c) resource_of with
+       | None -> incr skipped
+       | Some resource ->
+         let row, col = pick ~located c in
+         (match nearest_free grid resource ~row ~col with
+          | None -> invalid_arg "Placer: design does not fit the grid"
+          | Some (r, k) ->
+            let ok = take grid resource ~row:r ~col:k in
+            assert ok;
+            Cell.set_rloc c ~row:r ~col:k;
+            Hashtbl.replace located c.cell_id (r, k);
+            incr placed))
+    (bfs_order design);
+  let wl = Option.value (wirelength design) ~default:0 in
+  { placed = !placed; skipped = !skipped; wirelength = wl; rows; cols }
+
+(* neighbours of a primitive through its nets *)
+let neighbour_positions ~located c =
+  List.concat_map
+    (fun b ->
+       Array.to_list b.actual.nets
+       |> List.concat_map (fun n ->
+         let terminals =
+           (match n.driver with Some t -> [ t ] | None -> []) @ n.sinks
+         in
+         List.filter_map
+           (fun t ->
+              if t.term_cell.cell_id = c.cell_id then None
+              else Hashtbl.find_opt located t.term_cell.cell_id)
+           terminals))
+    c.port_bindings
+
+let auto_place design ~rows ~cols =
+  place_with design ~rows ~cols ~pick:(fun ~located c ->
+    match neighbour_positions ~located c with
+    | [] -> (rows / 2, cols / 2)
+    | neighbours ->
+      let n = List.length neighbours in
+      let sr = List.fold_left (fun acc (r, _) -> acc + r) 0 neighbours in
+      let sc = List.fold_left (fun acc (_, k) -> acc + k) 0 neighbours in
+      (sr / n, sc / n))
+
+let random_place design ~rows ~cols ~seed =
+  let state = ref (seed lor 1) in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  place_with design ~rows ~cols ~pick:(fun ~located:_ _ ->
+    (rand rows, rand cols))

@@ -1,0 +1,37 @@
+(** Automatic placement for unplaced designs.
+
+    The paper's module generators carry hand-crafted relative placement;
+    this placer provides the other path: given any design, assign RLOCs
+    over a slice grid (two LUT sites, two flip-flops and two carry cells
+    per slice, matching the {!Jhdl_bitstream} and {!Jhdl_virtex} models).
+    A greedy constructive heuristic walks the netlist breadth-first from
+    the ports and puts each primitive on the free site nearest the
+    centroid of its already-placed neighbours.
+
+    Together with {!Jhdl_estimate.Estimate.timing_of_design}'s
+    placement-aware mode this closes the loop the paper motivates in
+    Section 2.1: placement quality is measurable, and hand-placed macros
+    can be compared against auto- and randomly-placed versions of the
+    same netlist (bench A4). *)
+
+type result = {
+  placed : int;  (** primitives that received a location *)
+  skipped : int;  (** zero-area primitives (BUF/GND/VCC/black boxes) *)
+  wirelength : int;  (** half-perimeter total after placement *)
+  rows : int;
+  cols : int;
+}
+
+(** [wirelength d] — half-perimeter wirelength over nets whose driver
+    and sinks are all placed; [None] when nothing is placed. *)
+val wirelength : Jhdl_circuit.Design.t -> int option
+
+(** [auto_place d ~rows ~cols] — strip existing RLOCs and place every
+    area-consuming primitive. Raises [Invalid_argument] when the design
+    does not fit the grid. *)
+val auto_place : Jhdl_circuit.Design.t -> rows:int -> cols:int -> result
+
+(** [random_place d ~rows ~cols ~seed] — the baseline: same legality
+    rules, positions drawn from a deterministic PRNG. *)
+val random_place :
+  Jhdl_circuit.Design.t -> rows:int -> cols:int -> seed:int -> result

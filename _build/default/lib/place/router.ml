@@ -1,0 +1,184 @@
+module Design = Jhdl_circuit.Design
+open Jhdl_circuit.Types
+
+type report = {
+  routed : int;
+  failed : int;
+  total_segments : int;
+  max_utilization : float;
+  mean_detour : float;
+}
+
+(* channel segments connect orthogonally adjacent sites; identified by
+   the lower/left endpoint and an axis *)
+type segment = {
+  seg_row : int;
+  seg_col : int;
+  horizontal : bool;
+}
+
+let segment_between (r1, c1) (r2, c2) =
+  if r1 = r2 && abs (c1 - c2) = 1 then
+    Some { seg_row = r1; seg_col = min c1 c2; horizontal = true }
+  else if c1 = c2 && abs (r1 - r2) = 1 then
+    Some { seg_row = min r1 r2; seg_col = c1; horizontal = false }
+  else None
+
+let neighbours ~rows ~cols (r, c) =
+  List.filter
+    (fun (nr, nc) -> nr >= 0 && nr < rows && nc >= 0 && nc < cols)
+    [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+
+(* BFS from a set of tree sites to the target through segments with
+   remaining capacity; returns the new path's sites (target side first,
+   excluding the tree site it connected to) and the segments claimed *)
+let bfs_connect ~rows ~cols ~available tree target =
+  let visited = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.iter
+    (fun site () ->
+       Hashtbl.replace visited site ();
+       Queue.add site queue)
+    tree;
+  let found = ref (Hashtbl.mem tree target) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let site = Queue.pop queue in
+    List.iter
+      (fun next ->
+         if (not (Hashtbl.mem visited next)) && not !found then begin
+           match segment_between site next with
+           | Some seg when available seg ->
+             Hashtbl.replace visited next ();
+             Hashtbl.replace parent next site;
+             if next = target then found := true else Queue.add next queue
+           | Some _ | None -> ()
+         end)
+      (neighbours ~rows ~cols site)
+  done;
+  if not !found then None
+  else begin
+    (* walk back from the target to the tree *)
+    let rec back site acc_sites acc_segs =
+      if Hashtbl.mem tree site then (acc_sites, acc_segs)
+      else
+        match Hashtbl.find_opt parent site with
+        | None -> (acc_sites, acc_segs) (* target was already in the tree *)
+        | Some prev ->
+          let seg =
+            match segment_between site prev with
+            | Some seg -> seg
+            | None -> assert false
+          in
+          back prev (site :: acc_sites) (seg :: acc_segs)
+    in
+    Some (back target [] [])
+  end
+
+let route design ~rows ~cols ~capacity =
+  if capacity < 1 then invalid_arg "Router.route: capacity must be >= 1";
+  (* placed positions, accumulated RLOCs clamped into the grid *)
+  let positions = Hashtbl.create 256 in
+  let rec walk ~row ~col ~placed c =
+    let row, col, placed =
+      match c.rloc with
+      | Some (r, k) -> (row + r, col + k, true)
+      | None -> (row, col, placed)
+    in
+    match c.kind with
+    | Primitive _ ->
+      if placed then
+        Hashtbl.replace positions c.cell_id
+          (min (max row 0) (rows - 1), min (max col 0) (cols - 1))
+    | Composite _ ->
+      List.iter (walk ~row ~col ~placed) (List.rev c.children)
+  in
+  walk ~row:0 ~col:0 ~placed:false (Design.root design);
+  (* nets as site sets *)
+  let nets =
+    Design.all_nets design
+    |> List.filter_map (fun n ->
+      let terminals =
+        (match n.driver with Some t -> [ t ] | None -> []) @ n.sinks
+      in
+      let sites =
+        List.filter_map
+          (fun t -> Hashtbl.find_opt positions t.term_cell.cell_id)
+          terminals
+        |> List.sort_uniq compare
+      in
+      match sites with
+      | [] | [ _ ] -> None
+      | sites ->
+        let (r0, c0) = List.hd sites in
+        let min_r, max_r, min_c, max_c =
+          List.fold_left
+            (fun (a, b, c, d) (r, k) -> (min a r, max b r, min c k, max d k))
+            (r0, r0, c0, c0) sites
+        in
+        let hpwl = (max_r - min_r) + (max_c - min_c) in
+        Some (hpwl, sites))
+  in
+  (* small nets first: they have the least routing freedom *)
+  let nets = List.sort compare nets in
+  let usage : (segment, int) Hashtbl.t = Hashtbl.create 512 in
+  let available seg =
+    Option.value (Hashtbl.find_opt usage seg) ~default:0 < capacity
+  in
+  let claim seg =
+    Hashtbl.replace usage seg
+      (1 + Option.value (Hashtbl.find_opt usage seg) ~default:0)
+  in
+  let routed = ref 0 and failed = ref 0 in
+  let total_segments = ref 0 in
+  let detours = ref [] in
+  List.iter
+    (fun (hpwl, sites) ->
+       match sites with
+       | [] -> ()
+       | first :: rest ->
+         let tree = Hashtbl.create 16 in
+         Hashtbl.replace tree first ();
+         let net_segments = ref 0 in
+         let ok =
+           List.for_all
+             (fun target ->
+                match bfs_connect ~rows ~cols ~available tree target with
+                | None -> false
+                | Some (new_sites, segments) ->
+                  List.iter claim segments;
+                  net_segments := !net_segments + List.length segments;
+                  List.iter (fun s -> Hashtbl.replace tree s ()) new_sites;
+                  Hashtbl.replace tree target ();
+                  true)
+             rest
+         in
+         if ok then begin
+           incr routed;
+           total_segments := !total_segments + !net_segments;
+           if hpwl > 0 then
+             detours := (float_of_int !net_segments /. float_of_int hpwl) :: !detours
+         end
+         else incr failed)
+    nets;
+  let max_utilization =
+    Hashtbl.fold
+      (fun _ n acc -> max acc (float_of_int n /. float_of_int capacity))
+      usage 0.0
+  in
+  let mean_detour =
+    match !detours with
+    | [] -> 1.0
+    | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+  in
+  { routed = !routed;
+    failed = !failed;
+    total_segments = !total_segments;
+    max_utilization;
+    mean_detour }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%d routed, %d failed; %d segments, peak channel %.0f%%, mean detour %.2fx"
+    r.routed r.failed r.total_segments (100.0 *. r.max_utilization)
+    r.mean_detour

@@ -1,0 +1,25 @@
+(** Global routing over the placed slice grid.
+
+    Completes the physical half of the flow the paper's pre-placed
+    macros live in: after placement (hand RLOCs or {!Placer}), nets are
+    routed through inter-slice channel segments of finite capacity with
+    a breadth-first maze search, netlist-order with smallest bounding
+    boxes first. The report carries the figures a 2002-era designer read
+    off the tools: completion rate, wirelength, channel congestion. *)
+
+type report = {
+  routed : int;  (** nets fully routed *)
+  failed : int;  (** nets abandoned for lack of channel capacity *)
+  total_segments : int;  (** channel segments claimed *)
+  max_utilization : float;  (** busiest channel, as a fraction of capacity *)
+  mean_detour : float;
+      (** mean routed length / half-perimeter lower bound, >= 1.0 *)
+}
+
+(** [route d ~rows ~cols ~capacity] — route every net with at least two
+    placed terminals. Terminals on unplaced primitives are ignored (they
+    have no site). [capacity] is the per-segment track count. *)
+val route :
+  Jhdl_circuit.Design.t -> rows:int -> cols:int -> capacity:int -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/security/metering.ml: Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/security/metering.mli:

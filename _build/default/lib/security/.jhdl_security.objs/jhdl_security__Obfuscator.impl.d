@@ -1,0 +1,1 @@
+lib/security/obfuscator.ml: Char Jhdl_bundle List String

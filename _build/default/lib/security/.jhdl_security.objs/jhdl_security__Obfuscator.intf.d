@@ -1,0 +1,1 @@
+lib/security/obfuscator.mli: Jhdl_bundle

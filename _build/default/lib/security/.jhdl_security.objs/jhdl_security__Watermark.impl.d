@@ -1,0 +1,1 @@
+lib/security/watermark.ml: Array Bool Char Crypto Int Jhdl_circuit Jhdl_logic Jhdl_virtex List Printf String

@@ -1,0 +1,1 @@
+lib/security/watermark.mli: Jhdl_circuit

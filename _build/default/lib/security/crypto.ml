@@ -1,0 +1,37 @@
+type key = int
+
+let key_of_string secret =
+  let h = ref 0x2bf29ce484222325 in
+  String.iter
+    (fun c ->
+       h := !h lxor Char.code c;
+       h := !h * 0x100000001b3)
+    secret;
+  let k = !h land max_int in
+  if k = 0 then 0x9e3779b9 else k
+
+(* xorshift64 keystream *)
+let keystream_byte state =
+  let s = !state in
+  let s = s lxor (s lsl 13) land max_int in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) land max_int in
+  state := s;
+  s land 0xFF
+
+let encrypt key plaintext =
+  let state = ref key in
+  String.map
+    (fun c -> Char.chr (Char.code c lxor keystream_byte state))
+    plaintext
+
+let decrypt = encrypt
+
+let checksum data =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+       h := !h lxor Char.code c;
+       h := !h * 0x01000193 land 0xFFFFFFFF)
+    data;
+  Printf.sprintf "%08x" !h

@@ -1,0 +1,22 @@
+(** Class encryption, modeled on real bytes.
+
+    The paper's second hardening technique. Here the "class body" is any
+    byte string (netlists, applet payloads, license blobs); encryption is
+    a keyed stream cipher (xorshift keystream — honest about being a
+    model, structurally identical to how class-encryption loaders
+    work). *)
+
+type key
+
+(** [key_of_string secret] derives a key deterministically. *)
+val key_of_string : string -> key
+
+(** [encrypt key plaintext] / [decrypt key ciphertext] — involutive pair;
+    [decrypt k (encrypt k s) = s] for all [s]. *)
+val encrypt : key -> string -> string
+
+val decrypt : key -> string -> string
+
+(** [checksum data] — FNV-1a digest rendered in hex, used by licenses and
+    the watermark verifier to fingerprint payloads. *)
+val checksum : string -> string

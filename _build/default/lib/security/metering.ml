@@ -1,0 +1,48 @@
+type action =
+  | Build
+  | Simulate
+  | Netlist_export
+  | Download
+
+let action_name = function
+  | Build -> "build"
+  | Simulate -> "simulate"
+  | Netlist_export -> "netlist-export"
+  | Download -> "download"
+
+type t = {
+  limits : (action * int) list;
+  counts : (string * action, int) Hashtbl.t;
+}
+
+let create ~limits = { limits; counts = Hashtbl.create 16 }
+
+let used meter ~user action =
+  Option.value (Hashtbl.find_opt meter.counts (user, action)) ~default:0
+
+let record meter ~user action =
+  let current = used meter ~user action in
+  match List.assoc_opt action meter.limits with
+  | Some limit when current >= limit -> Error current
+  | limit ->
+    Hashtbl.replace meter.counts (user, action) (current + 1);
+    Ok (Option.map (fun l -> l - current - 1) limit)
+
+let report meter =
+  let entries =
+    Hashtbl.fold
+      (fun (user, action) count acc -> (user, action, count) :: acc)
+      meter.counts []
+    |> List.sort compare
+  in
+  let line (user, action, count) =
+    let cap =
+      match List.assoc_opt action meter.limits with
+      | Some limit -> Printf.sprintf "/%d" limit
+      | None -> ""
+    in
+    Printf.sprintf "  %-12s %-16s %d%s" user (action_name action) count cap
+  in
+  match entries with
+  | [] -> "(no metered activity)\n"
+  | entries -> String.concat "\n" (List.map line entries) ^ "\n"

@@ -1,0 +1,29 @@
+(** Hardware/usage metering, after Koushanfar & Qu (the paper's [6]):
+    the vendor counts and caps IP uses per licensee. Applets consult the
+    meter before each metered action (build, netlist export), so an
+    evaluation license can allow, say, unlimited builds but three netlist
+    exports. *)
+
+type t
+
+type action =
+  | Build
+  | Simulate
+  | Netlist_export
+  | Download
+
+val action_name : action -> string
+
+(** [create ~limits] — per-action caps; absent action means unlimited. *)
+val create : limits:(action * int) list -> t
+
+(** [record meter ~user action] — count one use. Returns [Ok remaining]
+    (remaining uses after this one, [None] = unlimited) or [Error used]
+    when the cap was already reached (the use is not recorded). *)
+val record : t -> user:string -> action -> (int option, int) result
+
+(** [used meter ~user action] — uses so far. *)
+val used : t -> user:string -> action -> int
+
+(** [report meter] — per-user, per-action usage lines for the vendor. *)
+val report : t -> string

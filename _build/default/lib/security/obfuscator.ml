@@ -1,0 +1,38 @@
+module Jar = Jhdl_bundle.Jar
+module Class_file = Jhdl_bundle.Class_file
+
+type mapping = (string * string) list
+
+(* short names: o.a, o.b, ..., o.z, o.aa, o.ab, ... *)
+let short_name index =
+  let rec encode i acc =
+    let c = Char.chr (Char.code 'a' + (i mod 26)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 26 then acc else encode ((i / 26) - 1) acc
+  in
+  "o." ^ encode index ""
+
+let obfuscate jar =
+  let mapping = ref [] in
+  let index = ref 0 in
+  let rewritten =
+    Jar.map_entries
+      (fun c ->
+         let fresh = short_name !index in
+         incr index;
+         mapping := (c.Class_file.fqcn, fresh) :: !mapping;
+         Class_file.rename c ~fqcn:fresh)
+      jar
+  in
+  ({ rewritten with Jar.jar_name = jar.Jar.jar_name }, List.rev !mapping)
+
+let shrinkage ~original ~obfuscated =
+  let before = float_of_int (Jar.compressed_size original) in
+  let after = float_of_int (Jar.compressed_size obfuscated) in
+  (before -. after) /. before
+
+let deobfuscate_name mapping name =
+  List.find_map
+    (fun (original, obfuscated) ->
+       if String.equal obfuscated name then Some original else None)
+    mapping

@@ -1,0 +1,72 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Virtex = Jhdl_virtex.Virtex
+module Lut_init = Jhdl_logic.Lut_init
+
+let wm_property = "WM_INDEX"
+
+let signature_bits ~vendor ~bits =
+  (* FNV-1a stream expanded by rehashing with a counter *)
+  let word i =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c ->
+         h := !h lxor Char.code c;
+         h := !h * 0x01000193 land 0x3FFFFFFF)
+      (Printf.sprintf "%s:%d" vendor i);
+    !h
+  in
+  List.init bits (fun i -> (word (i / 16) lsr (i mod 16)) land 1 = 1)
+
+let lut_overhead ~bits = (bits + 15) / 16
+
+let embed design ~vendor ?(bits = 64) () =
+  let root = Design.root design in
+  let wm_cell = Cell.composite root ~name:"watermark" ~type_name:"Watermark" ~ports:[] () in
+  Cell.set_property wm_cell "WM_VENDOR_CHECK" (Crypto.checksum vendor);
+  let luts = lut_overhead ~bits in
+  (* round up to whole INIT tables so every entry carries signature data *)
+  let signature = Array.of_list (signature_bits ~vendor ~bits:(luts * 16)) in
+  let gnd = Virtex.gnd wm_cell in
+  let vcc = Virtex.vcc wm_cell in
+  let tap = Wire.create wm_cell ~name:"wm_tap" luts in
+  for j = 0 to luts - 1 do
+    let init =
+      Lut_init.of_function ~inputs:4 (fun addr -> signature.((j * 16) + addr))
+    in
+    let lut =
+      Virtex.lut4 wm_cell
+        ~name:(Printf.sprintf "wm%d" j)
+        ~init gnd vcc gnd vcc (Wire.bit tap j)
+    in
+    Cell.set_property lut wm_property (string_of_int j)
+  done;
+  luts
+
+let watermark_luts design =
+  Design.all_prims design
+  |> List.filter_map (fun c ->
+    match Cell.get_property c wm_property, Cell.prim_of c with
+    | Some index, Some (Prim.Lut init) when Lut_init.inputs init = 4 ->
+      Some (int_of_string index, init)
+    | _, (Some _ | None) -> None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let extract design =
+  match watermark_luts design with
+  | [] -> None
+  | luts ->
+    Some
+      (List.concat_map
+         (fun (_, init) ->
+            List.init 16 (fun addr -> Lut_init.eval_int init addr))
+         luts)
+
+let verify design ~vendor =
+  match extract design with
+  | None -> false
+  | Some extracted ->
+    let expected = signature_bits ~vendor ~bits:(List.length extracted) in
+    List.for_all2 Bool.equal extracted expected

@@ -1,0 +1,31 @@
+(** FPGA design watermarking.
+
+    Embeds a vendor signature into a generated circuit as configuration
+    data, in the spirit of Lach/Mangione-Smith/Potkonjak (the paper's
+    [7]): the signature bits are spread across the INIT tables of
+    dedicated LUT4 cells whose inputs are tied to constants, so the mark
+    travels with every netlist the applet exports and survives instance
+    renaming (extraction keys on a carried property plus INIT contents,
+    not on names). The mark is functionally inert; its one tap net is
+    deliberately left unloaded, which the design-rule checker reports as
+    a warning, not an error. *)
+
+(** [signature_bits ~vendor ~bits] derives a deterministic [bits]-long
+    signature from the vendor string (FNV-expanded). *)
+val signature_bits : vendor:string -> bits:int -> bool list
+
+(** [embed design ~vendor ?bits ()] inserts the watermark cells under the
+    design root. Returns the number of LUTs added. Default 64 bits. *)
+val embed : Jhdl_circuit.Design.t -> vendor:string -> ?bits:int -> unit -> int
+
+(** [extract design] recovers the embedded signature bits, or [None] when
+    no watermark is present. *)
+val extract : Jhdl_circuit.Design.t -> bool list option
+
+(** [verify design ~vendor] checks the embedded signature against the
+    vendor string. False when absent or corrupted. *)
+val verify : Jhdl_circuit.Design.t -> vendor:string -> bool
+
+(** [lut_overhead ~bits] — LUTs a [bits]-wide mark costs (16 bits per
+    LUT4 INIT). *)
+val lut_overhead : bits:int -> int

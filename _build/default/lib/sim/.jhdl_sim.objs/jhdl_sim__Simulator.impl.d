@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Format Hashtbl Int Jhdl_circuit Jhdl_logic List Option Printf Queue Set

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Jhdl_circuit Jhdl_logic

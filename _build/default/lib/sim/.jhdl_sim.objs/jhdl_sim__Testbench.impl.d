@@ -1,0 +1,1 @@
+lib/sim/testbench.ml: Format Jhdl_logic List Printf Simulator

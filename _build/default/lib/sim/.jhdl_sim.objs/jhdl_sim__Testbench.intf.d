@@ -1,0 +1,1 @@
+lib/sim/testbench.mli: Format Jhdl_logic Simulator

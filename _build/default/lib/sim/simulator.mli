@@ -1,0 +1,92 @@
+(** Cycle-based circuit simulator.
+
+    The JHDL design suite's built-in simulator, reproduced: designs are
+    elaborated to a flat list of primitive instances, combinational logic
+    is levelized once at construction, and the user steps the design with
+    {!cycle} and {!reset} — the two buttons the paper's applets expose.
+    Propagation is incremental and event-driven: a changed net marks its
+    combinational consumers dirty and the dirty set is drained in
+    topological-rank order, so settling after an input change or a clock
+    edge costs only the affected cone of logic.
+
+    Values are four-valued ({!Jhdl_logic.Bit}); registers power up to
+    their INIT value and {!reset} models the Virtex global set/reset.
+    Sequential primitives update on the rising edge of the designated
+    clock with two-phase semantics (all next-states are computed from
+    pre-edge values, then committed). Behavioural {!Jhdl_circuit.Prim.Black_box}
+    models participate through their [comb] and [clock_edge] closures,
+    which is also the hook for the protected black-box IP of Section 4.2
+    of the paper. *)
+
+type t
+
+exception
+  Combinational_cycle of string list
+      (** instance paths forming the cycle *)
+
+(** [create ?clock design] elaborates and levelizes [design].
+
+    [clock], if given, must be a 1-bit top-level input wire; sequential
+    primitives whose clock pin is attached to it update on {!cycle}. When
+    omitted, every sequential primitive is treated as belonging to the
+    single implicit clock domain (the common JHDL case).
+
+    Raises {!Combinational_cycle} on a combinational loop and
+    [Invalid_argument] when the design has design-rule errors. *)
+val create : ?clock:Jhdl_circuit.Wire.t -> Jhdl_circuit.Design.t -> t
+
+val design : t -> Jhdl_circuit.Design.t
+
+(** [set_input sim port value] forces a top-level input port. Width must
+    match. Combinational logic is re-propagated immediately. *)
+val set_input : t -> string -> Jhdl_logic.Bits.t -> unit
+
+(** [set_input_wire sim wire value] forces any root-scope wire (or view)
+    bound to a top-level input; useful with sliced wires. *)
+val set_input_wire : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t -> unit
+
+(** [get sim wire] reads the current value of any wire in the design. *)
+val get : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t
+
+(** [get_port sim name] reads a top-level port by name. *)
+val get_port : t -> string -> Jhdl_logic.Bits.t
+
+(** [propagate sim] settles combinational logic; normally implicit. *)
+val propagate : t -> unit
+
+(** [cycle ?n sim] advances [n] (default 1) rising clock edges. *)
+val cycle : ?n:int -> t -> unit
+
+(** [reset sim] restores every register to its INIT value, zeroes the
+    cycle counter and clears recorded history, like the applet's Reset
+    button. Forced input values are kept. *)
+val reset : t -> unit
+
+val cycle_count : t -> int
+
+(** {1 Waveform recording}
+
+    Watched wires are sampled after every {!cycle} (and once at watch
+    time). The recorded history feeds the waveform viewer and VCD
+    export. *)
+
+val watch : t -> ?label:string -> Jhdl_circuit.Wire.t -> unit
+
+(** [history sim] returns, per watched label in watch order, the samples
+    as [(cycle, value)] pairs in increasing cycle order. *)
+val history : t -> (string * (int * Jhdl_logic.Bits.t) list) list
+
+(** {1 Introspection for tools}
+
+    The open-API surface that lets viewers and third-party tools attach to
+    a running simulation (Section 2.3). *)
+
+(** [on_cycle sim f] registers a callback invoked after each clock cycle
+    with the new cycle count. *)
+val on_cycle : t -> (int -> unit) -> unit
+
+(** [prim_count sim] is the number of elaborated primitive instances. *)
+val prim_count : t -> int
+
+(** [levels sim] is the depth of the levelized combinational network. *)
+val levels : t -> int

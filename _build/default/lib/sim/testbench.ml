@@ -1,0 +1,89 @@
+module Bits = Jhdl_logic.Bits
+
+type step =
+  | Drive of string * Bits.t
+  | Step of int
+  | Settle
+  | Expect of string * Bits.t
+  | Expect_defined of string
+  | Comment of string
+
+type failure = {
+  at_step : int;
+  port : string;
+  expected : string;
+  got : string;
+}
+
+type report = {
+  steps_run : int;
+  checks : int;
+  failures : failure list;
+  log : string list;
+}
+
+let passed r = r.failures = []
+
+let run sim steps =
+  let checks = ref 0 in
+  let failures = ref [] in
+  let log = ref [] in
+  let fail ~at_step ~port ~expected ~got =
+    failures := { at_step; port; expected; got } :: !failures;
+    log :=
+      Printf.sprintf "FAIL step %d: %s expected %s, got %s" at_step port
+        expected got
+      :: !log
+  in
+  let read ~at_step port k =
+    match Simulator.get_port sim port with
+    | v -> k v
+    | exception Invalid_argument _ ->
+      fail ~at_step ~port ~expected:"(port exists)" ~got:"(no such port)"
+  in
+  List.iteri
+    (fun at_step step ->
+       match step with
+       | Drive (port, value) ->
+         (match Simulator.set_input sim port value with
+          | () -> ()
+          | exception Invalid_argument reason ->
+            fail ~at_step ~port ~expected:"(drivable input)" ~got:reason)
+       | Step n -> Simulator.cycle ~n sim
+       | Settle -> Simulator.propagate sim
+       | Expect (port, expected) ->
+         incr checks;
+         read ~at_step port (fun got ->
+           if not (Bits.equal got expected) then
+             fail ~at_step ~port ~expected:(Bits.to_string expected)
+               ~got:(Bits.to_string got))
+       | Expect_defined port ->
+         incr checks;
+         read ~at_step port (fun got ->
+           if not (Bits.is_fully_defined got) then
+             fail ~at_step ~port ~expected:"(fully defined)"
+               ~got:(Bits.to_string got))
+       | Comment text -> log := text :: !log)
+    steps;
+  { steps_run = List.length steps;
+    checks = !checks;
+    failures = List.rev !failures;
+    log = List.rev !log }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%d steps, %d checks, %d failure(s)@,%a@]"
+    r.steps_run r.checks (List.length r.failures)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+    r.log
+
+let vectors ~mode ~inputs ~outputs rows =
+  List.concat_map
+    (fun (in_values, out_values) ->
+       if List.length in_values <> List.length inputs then
+         invalid_arg "Testbench.vectors: input arity mismatch";
+       if List.length out_values <> List.length outputs then
+         invalid_arg "Testbench.vectors: output arity mismatch";
+       List.map2 (fun port v -> Drive (port, v)) inputs in_values
+       @ (match mode with `Settle -> [ Settle ] | `Clocked -> [ Step 1 ])
+       @ List.map2 (fun port v -> Expect (port, v)) outputs out_values)
+    rows

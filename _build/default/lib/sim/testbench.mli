@@ -1,0 +1,49 @@
+(** Declarative test benches over the simulator.
+
+    The paper lists "user defined viewers, functions, testbenchs" among
+    the tools linked through the simulator's open API (Section 2.3).
+    A bench is a list of steps applied in order; expectations are checked
+    where declared and collected into a report rather than raising, so a
+    vendor can ship a bench beside an IP and a customer can run it
+    verbatim. *)
+
+type step =
+  | Drive of string * Jhdl_logic.Bits.t  (** set an input port *)
+  | Step of int  (** clock n cycles *)
+  | Settle  (** propagate combinational logic only *)
+  | Expect of string * Jhdl_logic.Bits.t  (** check an output port *)
+  | Expect_defined of string  (** check no X/Z on a port *)
+  | Comment of string  (** annotate the report *)
+
+type failure = {
+  at_step : int;
+  port : string;
+  expected : string;
+  got : string;
+}
+
+type report = {
+  steps_run : int;
+  checks : int;
+  failures : failure list;
+  log : string list;  (** comments plus failure lines, in order *)
+}
+
+val passed : report -> bool
+
+(** [run sim steps] — execute against a live simulator. Unknown ports
+    surface as failures, not exceptions. *)
+val run : Simulator.t -> step list -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [vectors ~inputs ~outputs rows] — build steps from a truth-table:
+    each row lists input values (paired with [inputs]) and expected
+    output values (paired with [outputs]); combinational designs
+    ([`Settle]) or one clock per row ([`Clocked]). *)
+val vectors :
+  mode:[ `Settle | `Clocked ] ->
+  inputs:string list ->
+  outputs:string list ->
+  (Jhdl_logic.Bits.t list * Jhdl_logic.Bits.t list) list ->
+  step list

@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Format Jhdl_circuit Jhdl_logic Jhdl_sim List Option Printf String

@@ -1,0 +1,1 @@
+lib/verify/equiv.mli: Format Jhdl_circuit Jhdl_logic

@@ -1,0 +1,131 @@
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Design = Jhdl_circuit.Design
+module Simulator = Jhdl_sim.Simulator
+open Jhdl_circuit.Types
+
+type mismatch = {
+  inputs : (string * Bits.t) list;
+  cycle : int;
+  port : string;
+  value_a : Bits.t;
+  value_b : Bits.t;
+}
+
+type result =
+  | Equivalent of { vectors : int; exhaustive : bool }
+  | Not_equivalent of mismatch
+  | Interface_mismatch of string
+
+let interface design =
+  List.map
+    (fun p ->
+       (p.Design.port_name, p.Design.port_dir, Wire.width p.Design.port_wire))
+    (Design.ports design)
+  |> List.sort compare
+
+let check ?(max_exhaustive_bits = 14) ?(random_vectors = 500)
+    ?cycles_per_vector ?(clock = "clk") a b =
+  let ia = interface a and ib = interface b in
+  if ia <> ib then
+    Interface_mismatch
+      (Printf.sprintf "A has ports {%s}, B has {%s}"
+         (String.concat ", " (List.map (fun (n, _, w) -> Printf.sprintf "%s<%d>" n w) ia))
+         (String.concat ", " (List.map (fun (n, _, w) -> Printf.sprintf "%s<%d>" n w) ib)))
+  else begin
+    let has_clock = List.exists (fun (n, d, _) -> n = clock && d = Input) ia in
+    let cycles =
+      match cycles_per_vector with
+      | Some n -> n
+      | None -> if has_clock then 1 else 0
+    in
+    let inputs =
+      List.filter (fun (n, d, _) -> d = Input && n <> clock) ia
+      |> List.map (fun (n, _, w) -> (n, w))
+    in
+    let outputs =
+      List.filter (fun (_, d, _) -> d = Output) ia |> List.map (fun (n, _, _) -> n)
+    in
+    let total_bits = List.fold_left (fun acc (_, w) -> acc + w) 0 inputs in
+    let clock_wire design =
+      if has_clock then
+        Option.map (fun p -> p.Design.port_wire) (Design.find_port design clock)
+      else None
+    in
+    let sim_a = Simulator.create ?clock:(clock_wire a) a in
+    let sim_b = Simulator.create ?clock:(clock_wire b) b in
+    (* split an integer seed into per-port values, LSB first *)
+    let vector_of_int value =
+      let rec split acc value = function
+        | [] -> List.rev acc
+        | (name, width) :: rest ->
+          let mask = (1 lsl width) - 1 in
+          split ((name, Bits.of_int ~width (value land mask)) :: acc)
+            (value lsr width) rest
+      in
+      split [] value inputs
+    in
+    let exhaustive = total_bits <= max_exhaustive_bits in
+    let vectors =
+      if exhaustive then List.init (1 lsl total_bits) vector_of_int
+      else begin
+        let state = ref 0x2545F491 in
+        List.init random_vectors (fun _ ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFFF;
+          vector_of_int (!state lsr 13))
+      end
+    in
+    let compare_outputs ~stimulus ~cycle =
+      List.find_map
+        (fun port ->
+           let value_a = Simulator.get_port sim_a port in
+           let value_b = Simulator.get_port sim_b port in
+           if Bits.equal value_a value_b then None
+           else Some { inputs = stimulus; cycle; port; value_a; value_b })
+        outputs
+    in
+    let run_vector stimulus =
+      Simulator.reset sim_a;
+      Simulator.reset sim_b;
+      List.iter
+        (fun (port, value) ->
+           Simulator.set_input sim_a port value;
+           Simulator.set_input sim_b port value)
+        stimulus;
+      let rec step cycle =
+        match compare_outputs ~stimulus ~cycle with
+        | Some m -> Some m
+        | None ->
+          if cycle >= cycles then None
+          else begin
+            Simulator.cycle sim_a;
+            Simulator.cycle sim_b;
+            step (cycle + 1)
+          end
+      in
+      step 0
+    in
+    let rec sweep count = function
+      | [] -> Equivalent { vectors = count; exhaustive }
+      | stimulus :: rest ->
+        (match run_vector stimulus with
+         | Some m -> Not_equivalent m
+         | None -> sweep (count + 1) rest)
+    in
+    sweep 0 vectors
+  end
+
+let pp_result fmt = function
+  | Equivalent { vectors; exhaustive } ->
+    Format.fprintf fmt "equivalent over %d %s vector(s)" vectors
+      (if exhaustive then "exhaustive" else "random")
+  | Not_equivalent m ->
+    Format.fprintf fmt
+      "NOT equivalent: at cycle %d, port %s: A=%s B=%s under {%s}" m.cycle
+      m.port (Bits.to_string m.value_a) (Bits.to_string m.value_b)
+      (String.concat ", "
+         (List.map
+            (fun (n, v) -> Printf.sprintf "%s=%s" n (Bits.to_string v))
+            m.inputs))
+  | Interface_mismatch reason ->
+    Format.fprintf fmt "interface mismatch: %s" reason

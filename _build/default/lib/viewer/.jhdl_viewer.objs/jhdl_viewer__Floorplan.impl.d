@@ -1,0 +1,1 @@
+lib/viewer/floorplan.ml: Array Buffer Char Hashtbl Int Jhdl_circuit List Option Printf

@@ -1,0 +1,1 @@
+lib/viewer/floorplan.mli: Jhdl_circuit

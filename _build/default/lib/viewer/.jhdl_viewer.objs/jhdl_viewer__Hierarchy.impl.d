@@ -1,0 +1,1 @@
+lib/viewer/hierarchy.ml: Buffer Jhdl_circuit List Option Printf String

@@ -1,0 +1,1 @@
+lib/viewer/hierarchy.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/viewer/schematic.ml: Buffer Jhdl_circuit List Printf String

@@ -1,0 +1,1 @@
+lib/viewer/schematic.mli: Jhdl_circuit

@@ -1,0 +1,1 @@
+lib/viewer/vcd.ml: Buffer Char Int Jhdl_circuit Jhdl_logic Jhdl_sim List Printf String

@@ -1,0 +1,1 @@
+lib/viewer/vcd.mli: Jhdl_sim

@@ -1,0 +1,1 @@
+lib/viewer/waveform.ml: Buffer Jhdl_logic Jhdl_sim List Printf String

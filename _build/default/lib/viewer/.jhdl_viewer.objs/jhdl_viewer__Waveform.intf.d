@@ -1,0 +1,1 @@
+lib/viewer/waveform.mli: Jhdl_logic Jhdl_sim

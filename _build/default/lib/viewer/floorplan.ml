@@ -1,0 +1,160 @@
+module Cell = Jhdl_circuit.Cell
+module Prim = Jhdl_circuit.Prim
+
+type site = {
+  site_row : int;
+  site_col : int;
+  occupants : Cell.t list;
+}
+
+(* Accumulate RLOC offsets down the hierarchy: a placed child of a placed
+   macro lands at the sum of the offsets. *)
+let sites cell =
+  let table = Hashtbl.create 64 in
+  let rec walk ~row ~col ~placed c =
+    let row, col, placed =
+      match Cell.rloc c with
+      | Some (r, k) -> (row + r, col + k, true)
+      | None -> (row, col, placed)
+    in
+    if Cell.is_primitive c then begin
+      if placed then
+        Hashtbl.replace table (row, col)
+          (c :: Option.value (Hashtbl.find_opt table (row, col)) ~default:[])
+    end
+    else List.iter (walk ~row ~col ~placed) (Cell.children c)
+  in
+  walk ~row:0 ~col:0 ~placed:false cell;
+  Hashtbl.fold
+    (fun (site_row, site_col) occupants acc ->
+       { site_row; site_col; occupants } :: acc)
+    table []
+  |> List.sort (fun a b ->
+    match Int.compare a.site_row b.site_row with
+    | 0 -> Int.compare a.site_col b.site_col
+    | c -> c)
+
+let glyph_of_prim p =
+  match p with
+  | Prim.Lut _ | Prim.Inv -> 'L'
+  | Prim.Buf -> 'b'
+  | Prim.Ff _ -> 'F'
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> 'C'
+  | Prim.Srl16 _ | Prim.Ram16x1 _ -> 'M'
+  | Prim.Gnd | Prim.Vcc -> 'g'
+  | Prim.Black_box _ -> 'B'
+
+let glyph occupants =
+  let glyphs =
+    List.filter_map
+      (fun c -> Option.map glyph_of_prim (Cell.prim_of c))
+      occupants
+    |> List.sort_uniq Char.compare
+  in
+  match glyphs with
+  | [] -> '.'
+  | [ g ] -> g
+  | 'C' :: _ when List.for_all (fun g -> g = 'C' || g = 'L') glyphs -> 'S'
+  | _ -> '*'
+
+let bounding_box cell =
+  match sites cell with
+  | [] -> None
+  | sites ->
+    let rows = 1 + List.fold_left (fun m s -> max m s.site_row) 0 sites in
+    let cols = 1 + List.fold_left (fun m s -> max m s.site_col) 0 sites in
+    Some (rows, cols)
+
+let render cell =
+  match sites cell with
+  | [] -> Printf.sprintf "%s: no placed primitives\n" (Cell.path cell)
+  | placed ->
+    let rows = 1 + List.fold_left (fun m s -> max m s.site_row) 0 placed in
+    let cols = 1 + List.fold_left (fun m s -> max m s.site_col) 0 placed in
+    let grid = Array.make_matrix rows cols '.' in
+    List.iter
+      (fun s -> grid.(s.site_row).(s.site_col) <- glyph s.occupants)
+      placed;
+    let buffer = Buffer.create 1024 in
+    Printf.ksprintf (Buffer.add_string buffer)
+      "layout of %s (%d rows x %d cols, %d placed sites)\n" (Cell.path cell)
+      rows cols (List.length placed);
+    for r = rows - 1 downto 0 do
+      Printf.ksprintf (Buffer.add_string buffer) "  r%-3d " r;
+      for c = 0 to cols - 1 do
+        Buffer.add_char buffer grid.(r).(c)
+      done;
+      Buffer.add_char buffer '\n'
+    done;
+    Buffer.add_string buffer
+      "  legend: L=LUT F=FF C=carry S=slice(L+C) M=LUT-RAM b=buf *=mixed\n";
+    Buffer.contents buffer
+
+let colour_of_prim p =
+  match p with
+  | Prim.Lut _ | Prim.Inv -> "#4a90d9"
+  | Prim.Buf -> "#cccccc"
+  | Prim.Ff _ -> "#50b050"
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> "#e0a030"
+  | Prim.Srl16 _ | Prim.Ram16x1 _ -> "#a060c0"
+  | Prim.Gnd | Prim.Vcc -> "#888888"
+  | Prim.Black_box _ -> "#d05050"
+
+let to_svg cell =
+  let placed = sites cell in
+  let rows = 1 + List.fold_left (fun m s -> max m s.site_row) 0 placed in
+  let cols = 1 + List.fold_left (fun m s -> max m s.site_col) 0 placed in
+  let pitch = 22 in
+  let margin = 40 in
+  let width = (cols * pitch) + (2 * margin) in
+  let height = (rows * pitch) + (2 * margin) + 30 in
+  let buffer = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     font-family=\"monospace\" font-size=\"10\">\n"
+    width height;
+  add "<text x=\"10\" y=\"16\" font-size=\"13\">layout of %s (%dx%d)</text>\n"
+    (Cell.path cell) rows cols;
+  (* grid outline *)
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      add
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+         stroke=\"#dddddd\"/>\n"
+        (margin + (c * pitch))
+        (margin + ((rows - 1 - r) * pitch))
+        pitch pitch
+    done
+  done;
+  List.iter
+    (fun s ->
+       let x = margin + (s.site_col * pitch) in
+       let y = margin + ((rows - 1 - s.site_row) * pitch) in
+       let colour =
+         match
+           List.filter_map (fun c -> Cell.prim_of c) s.occupants
+         with
+         | [] -> "#ffffff"
+         | [ p ] -> colour_of_prim p
+         | p :: rest ->
+           if List.for_all (fun q -> colour_of_prim q = colour_of_prim p) rest
+           then colour_of_prim p
+           else "#b0b0b0"
+       in
+       add
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+          stroke=\"#555555\"/>\n"
+         (x + 1) (y + 1) (pitch - 2) (pitch - 2) colour)
+    placed;
+  let legend_y = margin + (rows * pitch) + 18 in
+  List.iteri
+    (fun i (label, colour) ->
+       let x = margin + (i * 90) in
+       add "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n" x
+         (legend_y - 9) colour;
+       add "<text x=\"%d\" y=\"%d\">%s</text>\n" (x + 14) legend_y label)
+    [ ("LUT", "#4a90d9"); ("FF", "#50b050"); ("carry", "#e0a030");
+      ("LUT-RAM", "#a060c0") ];
+  add "</svg>\n";
+  Buffer.contents buffer

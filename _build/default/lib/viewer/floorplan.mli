@@ -1,0 +1,33 @@
+(** Layout view: relative placement of pre-placed macros.
+
+    Renders the RLOC grid of a macro as ASCII art, one character cell per
+    (row, col) site — the paper's "view of the layout for pre-placed FPGA
+    macros [that] provides the user with feedback on the size, shape, and
+    layout of a circuit module under review" without exposing the
+    underlying netlist (Section 3.2, "Layout view"). *)
+
+type site = {
+  site_row : int;
+  site_col : int;
+  occupants : Jhdl_circuit.Cell.t list;
+}
+
+(** [sites cell] collects every placed primitive below [cell], with
+    coordinates accumulated through placed ancestors (a child's RLOC is
+    relative to its parent macro). Unplaced primitives are skipped. *)
+val sites : Jhdl_circuit.Cell.t -> site list
+
+(** [render cell] draws the grid; each site shows a glyph for its
+    dominant occupant kind (L=LUT, F=FF, C=carry, M=LUT-RAM, *=mixed) and
+    a legend with utilization counts. Returns a note instead when nothing
+    is placed. *)
+val render : Jhdl_circuit.Cell.t -> string
+
+(** [bounding_box cell] is [(rows, cols)] of the placed extent, or [None]
+    when nothing is placed. *)
+val bounding_box : Jhdl_circuit.Cell.t -> (int * int) option
+
+(** [to_svg cell] draws the grid graphically: one rectangle per occupied
+    site, colour-coded by resource kind, with a legend — the layout view
+    a browser can render. *)
+val to_svg : Jhdl_circuit.Cell.t -> string

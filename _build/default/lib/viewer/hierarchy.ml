@@ -1,0 +1,81 @@
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Wire = Jhdl_circuit.Wire
+open Jhdl_circuit.Types
+
+let attr_summary c =
+  let attrs = Cell.properties c in
+  let rloc =
+    match Cell.rloc c with
+    | Some (r, col) -> [ Printf.sprintf "RLOC=R%dC%d" r col ]
+    | None -> []
+  in
+  let shown =
+    List.filter_map
+      (fun (k, v) ->
+         if String.length v <= 12 then Some (Printf.sprintf "%s=%s" k v)
+         else None)
+      attrs
+  in
+  match shown @ rloc with
+  | [] -> ""
+  | parts -> " [" ^ String.concat " " parts ^ "]"
+
+let port_summary c =
+  match Cell.port_bindings c with
+  | [] -> ""
+  | bindings ->
+    let show b =
+      let arrow = match b.dir with Input -> "<-" | Output -> "->" in
+      Printf.sprintf "%s%s%s" b.formal arrow (Wire.name b.actual)
+    in
+    " (" ^ String.concat ", " (List.map show bindings) ^ ")"
+
+let render ?(max_depth = max_int) cell =
+  let buffer = Buffer.create 1024 in
+  let label c =
+    if Cell.is_primitive c then
+      Printf.sprintf "%s : %s%s%s" (Cell.name c) (Cell.type_name c)
+        (attr_summary c) (port_summary c)
+    else
+      Printf.sprintf "%s : %s (%d children, %d wires)%s" (Cell.name c)
+        (Cell.type_name c)
+        (List.length (Cell.children c))
+        (List.length (Cell.owned_wires c))
+        (attr_summary c)
+  in
+  let rec go depth ~stem ~branch c =
+    Buffer.add_string buffer (stem ^ branch ^ label c ^ "\n");
+    if depth < max_depth then begin
+      let children = Cell.children c in
+      let n = List.length children in
+      let child_stem =
+        stem
+        ^ (match branch with
+           | "" -> ""
+           | "`-- " -> "    "
+           | _ -> "|   ")
+      in
+      List.iteri
+        (fun i child ->
+           let last_branch = if i = n - 1 then "`-- " else "|-- " in
+           go (depth + 1) ~stem:child_stem ~branch:last_branch child)
+        children
+    end
+  in
+  go 0 ~stem:"" ~branch:"" cell;
+  Buffer.contents buffer
+
+let render_design d =
+  let ports =
+    Design.ports d
+    |> List.map (fun p ->
+      Printf.sprintf "  %s %s<%d>"
+        (match p.Design.port_dir with Input -> "input " | Output -> "output")
+        p.Design.port_name
+        (Wire.width p.Design.port_wire))
+  in
+  "ports:\n" ^ String.concat "\n" ports ^ "\n\n" ^ render (Design.root d)
+
+let focus d path =
+  Option.map render (Cell.find_path (Design.root d) path)

@@ -1,0 +1,19 @@
+(** Hierarchy browser: the textual counterpart of the JHDL circuit
+    browser. Renders the cell tree with instance names, definition types
+    and primitive leaf details, and supports drilling into a subtree by
+    instance path — the "browse the hierarchy and structure of a
+    generated design" capability of the schematic viewer (Section 2.1,
+    Figure 3). *)
+
+(** [render ?max_depth cell] draws the subtree rooted at [cell] as an
+    indented tree. Primitive leaves show their library cell and INIT-style
+    attributes; composites show child counts. *)
+val render : ?max_depth:int -> Jhdl_circuit.Cell.t -> string
+
+(** [render_design d] renders from the root and prefixes the top-level
+    port list. *)
+val render_design : Jhdl_circuit.Design.t -> string
+
+(** [focus d path] renders the subtree at [path] (e.g. ["kcm/add1"]);
+    [None] if the path does not resolve. *)
+val focus : Jhdl_circuit.Design.t -> string -> string option

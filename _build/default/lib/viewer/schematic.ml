@@ -1,0 +1,132 @@
+module Cell = Jhdl_circuit.Cell
+module Wire = Jhdl_circuit.Wire
+open Jhdl_circuit.Types
+
+let binding_line b =
+  let arrow = match b.dir with Input -> "<=" | Output -> "=>" in
+  Printf.sprintf "    .%s %s %s<%d>" b.formal arrow (Wire.name b.actual)
+    (Wire.width b.actual)
+
+let render cell =
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  add "cell %s : %s\n" (Cell.path cell) (Cell.type_name cell);
+  (match Cell.port_bindings cell with
+   | [] -> ()
+   | bindings ->
+     add "  ports:\n";
+     List.iter (fun b -> add "%s\n" (binding_line b)) bindings);
+  (match Cell.owned_wires cell with
+   | [] -> ()
+   | wires ->
+     add "  wires:\n";
+     List.iter
+       (fun w -> add "    %s<%d>\n" (Wire.name w) (Wire.width w))
+       wires);
+  (match Cell.children cell with
+   | [] -> ()
+   | children ->
+     add "  instances:\n";
+     List.iter
+       (fun c ->
+          add "    %s : %s\n" (Cell.name c) (Cell.type_name c);
+          List.iter (fun b -> add "  %s\n" (binding_line b)) (Cell.port_bindings c))
+       children);
+  Buffer.contents buffer
+
+let terminal_label t =
+  Printf.sprintf "%s.%s" (Cell.name t.term_cell) t.term_port
+
+let render_nets cell =
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  add "nets of %s:\n" (Cell.path cell);
+  List.iter
+    (fun w ->
+       for i = 0 to Wire.width w - 1 do
+         let n = Wire.net w i in
+         let driver =
+           match n.driver with
+           | Some t -> terminal_label t
+           | None -> "(undriven)"
+         in
+         let sinks =
+           match n.sinks with
+           | [] -> "(no sinks)"
+           | sinks -> String.concat ", " (List.map terminal_label sinks)
+         in
+         if Wire.width w = 1 then
+           add "  %s: %s -> %s\n" (Wire.name w) driver sinks
+         else add "  %s[%d]: %s -> %s\n" (Wire.name w) i driver sinks
+       done)
+    (Cell.owned_wires cell);
+  Buffer.contents buffer
+
+let escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '<' -> Buffer.add_string buffer "&lt;"
+       | '>' -> Buffer.add_string buffer "&gt;"
+       | '&' -> Buffer.add_string buffer "&amp;"
+       | '"' -> Buffer.add_string buffer "&quot;"
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* Column placement: instances in creation order, wrapped into columns of
+   eight; box height grows with pin count. *)
+let to_svg cell =
+  let children = Cell.children cell in
+  let per_column = 8 in
+  let box_width = 170 in
+  let col_pitch = box_width + 90 in
+  let row_pitch = 110 in
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  let columns = ((List.length children + per_column - 1) / per_column) + 1 in
+  let svg_width = (columns * col_pitch) + 60 in
+  let rows = min per_column (max 1 (List.length children)) in
+  let svg_height = (rows * row_pitch) + 80 in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" font-family=\"monospace\" font-size=\"11\">\n"
+    svg_width svg_height;
+  add "<text x=\"10\" y=\"20\" font-size=\"14\">%s : %s</text>\n"
+    (escape (Cell.path cell))
+    (escape (Cell.type_name cell));
+  List.iteri
+    (fun i c ->
+       let col = i / per_column and row = i mod per_column in
+       let x = 30 + (col * col_pitch) in
+       let y = 40 + (row * row_pitch) in
+       let bindings = Cell.port_bindings c in
+       let ins = List.filter (fun b -> b.dir = Input) bindings in
+       let outs = List.filter (fun b -> b.dir = Output) bindings in
+       let pins = max (List.length ins) (List.length outs) in
+       let height = max 40 (18 + (pins * 14)) in
+       add
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" stroke=\"black\"/>\n"
+         x y box_width height;
+       add "<text x=\"%d\" y=\"%d\" font-weight=\"bold\">%s</text>\n" (x + 4)
+         (y + 13)
+         (escape (Cell.name c ^ ":" ^ Cell.type_name c));
+       List.iteri
+         (fun j b ->
+            add "<text x=\"%d\" y=\"%d\">%s&lt;%s</text>\n" (x + 4)
+              (y + 28 + (j * 14))
+              (escape b.formal)
+              (escape (Wire.name b.actual)))
+         ins;
+       List.iteri
+         (fun j b ->
+            add
+              "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s&gt;%s</text>\n"
+              (x + box_width - 4)
+              (y + 28 + (j * 14))
+              (escape b.formal)
+              (escape (Wire.name b.actual)))
+         outs)
+    children;
+  add "</svg>\n";
+  Buffer.contents buffer

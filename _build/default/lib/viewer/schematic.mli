@@ -1,0 +1,21 @@
+(** Schematic viewer: structural views of one level of hierarchy.
+
+    [render] is the textual schematic (instances with their pin-to-net
+    bindings and net fanout lists); [to_svg] draws the same level as an
+    SVG diagram with instance boxes placed on a grid and ports on the
+    margins — the applet's interactive schematic (Figures 1 and 3),
+    rendered to a file a browser can open. *)
+
+(** [render cell] shows the contents of one composite cell: its port
+    bindings, its declared wires with driver/sink summaries, and one line
+    per child instance. *)
+val render : Jhdl_circuit.Cell.t -> string
+
+(** [render_nets cell] lists each declared wire of [cell] with its
+    driver and sinks, one bit per line — a "connectivity" view. *)
+val render_nets : Jhdl_circuit.Cell.t -> string
+
+(** [to_svg cell] draws the child instances of [cell] as boxes in
+    columns, with left-edge input pins and right-edge output pins
+    labelled by formal port and wire. *)
+val to_svg : Jhdl_circuit.Cell.t -> string

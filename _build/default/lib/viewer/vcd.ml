@@ -1,0 +1,60 @@
+module Bits = Jhdl_logic.Bits
+module Simulator = Jhdl_sim.Simulator
+
+(* Short printable VCD identifiers from the printable-ASCII range, then
+   two-character codes once the range is exhausted. *)
+let id_of_index i =
+  let alphabet_size = 94 in
+  let char_of k = Char.chr (33 + k) in
+  if i < alphabet_size then String.make 1 (char_of i)
+  else
+    let hi = i / alphabet_size - 1 and lo = i mod alphabet_size in
+    Printf.sprintf "%c%c" (char_of hi) (char_of lo)
+
+let sanitize label =
+  String.map (fun c -> if c = ' ' || c = '$' then '_' else c) label
+
+let of_history sim =
+  let history = Simulator.history sim in
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  add "$date 2002-06-10 $end\n";
+  add "$version JHDL-OCaml simulator $end\n";
+  add "$timescale 1 ns $end\n";
+  add "$scope module %s $end\n"
+    (sanitize (Jhdl_circuit.Design.name (Simulator.design sim)));
+  let signals =
+    List.mapi
+      (fun i (label, samples) ->
+         let width =
+           match samples with
+           | (_, v) :: _ -> Bits.width v
+           | [] -> 1
+         in
+         let id = id_of_index i in
+         add "$var wire %d %s %s $end\n" width id (sanitize label);
+         (id, width, samples))
+      history
+  in
+  add "$upscope $end\n$enddefinitions $end\n";
+  (* group samples by cycle *)
+  let cycles =
+    List.concat_map (fun (_, _, samples) -> List.map fst samples) signals
+    |> List.sort_uniq Int.compare
+  in
+  let emit_value id width v =
+    if width = 1 then
+      add "%c%s\n" (Jhdl_logic.Bit.to_char (Bits.get v 0)) id
+    else add "b%s %s\n" (Bits.to_string v) id
+  in
+  List.iter
+    (fun cycle ->
+       add "#%d\n" cycle;
+       List.iter
+         (fun (id, width, samples) ->
+            match List.assoc_opt cycle samples with
+            | Some v -> emit_value id width v
+            | None -> ())
+         signals)
+    cycles;
+  Buffer.contents buffer

@@ -1,0 +1,8 @@
+(** Value-change-dump (VCD) export of the simulator's watch history, so
+    recorded waveforms can be opened in a conventional viewer — one of the
+    "interfaces with more tools" directions the paper's conclusion
+    names. *)
+
+(** [of_history sim] renders an IEEE-1364 VCD document from the watched
+    signals; one timescale unit per clock cycle. *)
+val of_history : Jhdl_sim.Simulator.t -> string

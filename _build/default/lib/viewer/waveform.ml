@@ -1,0 +1,51 @@
+module Bits = Jhdl_logic.Bits
+module Bit = Jhdl_logic.Bit
+module Simulator = Jhdl_sim.Simulator
+
+let value_to_string ~radix v =
+  if not (Bits.is_fully_defined v) then Bits.to_string v
+  else
+    match radix with
+    | `Binary -> Bits.to_string v
+    | `Hex ->
+      (match Bits.to_int v with
+       | Some n -> Printf.sprintf "%0*x" ((Bits.width v + 3) / 4) n
+       | None -> Bits.to_string v)
+    | `Unsigned ->
+      (match Bits.to_int v with
+       | Some n -> string_of_int n
+       | None -> Bits.to_string v)
+
+let bit_glyph b =
+  match b with
+  | Bit.Zero -> '_'
+  | Bit.One -> '#'
+  | Bit.X -> 'x'
+  | Bit.Z -> 'z'
+
+let render ?(radix = `Hex) sim =
+  let history = Simulator.history sim in
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s) fmt in
+  (match history with
+   | [] -> add "(no watched signals)\n"
+   | (_, first_samples) :: _ ->
+     let label_width =
+       List.fold_left (fun m (l, _) -> max m (String.length l)) 5 history
+     in
+     let cycles = List.map fst first_samples in
+     add "%-*s" label_width "cycle";
+     List.iter (fun c -> add " %4d" c) cycles;
+     add "\n";
+     List.iter
+       (fun (label, samples) ->
+          add "%-*s" label_width label;
+          List.iter
+            (fun (_, v) ->
+               if Bits.width v = 1 then
+                 add "    %c" (bit_glyph (Bits.get v 0))
+               else add " %4s" (value_to_string ~radix v))
+            samples;
+          add "\n")
+       history);
+  Buffer.contents buffer

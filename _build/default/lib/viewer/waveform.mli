@@ -1,0 +1,16 @@
+(** Waveform viewer over the simulator's recorded history.
+
+    "The history of the circuit state can be recorded and viewed using
+    the JHDL waveform viewer" (Section 4.1). [render] draws an ASCII
+    timing diagram of the watched wires; {!Vcd} writes the same history
+    as a standard VCD file for external viewers. *)
+
+(** [render sim] draws every watched signal: single-bit signals as a
+    [_/‾]-style trace, buses as hex (or binary with [~radix:`Binary])
+    values per cycle. *)
+val render : ?radix:[ `Hex | `Binary | `Unsigned ] -> Jhdl_sim.Simulator.t -> string
+
+(** [value_to_string ~radix v] formats one sample; any undefined bit makes
+    hex/unsigned fall back to binary. *)
+val value_to_string :
+  radix:[ `Hex | `Binary | `Unsigned ] -> Jhdl_logic.Bits.t -> string

@@ -1,0 +1,1 @@
+lib/virtex/virtex.ml: Format Jhdl_circuit Jhdl_logic List Printf

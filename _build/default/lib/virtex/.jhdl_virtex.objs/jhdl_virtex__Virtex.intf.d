@@ -1,0 +1,1 @@
+lib/virtex/virtex.mli: Format Jhdl_circuit Jhdl_logic

@@ -1,0 +1,181 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Prim = Jhdl_circuit.Prim
+module Lut_init = Jhdl_logic.Lut_init
+module Bit = Jhdl_logic.Bit
+
+let gnd parent =
+  let w = Wire.create parent ~name:"gnd" 1 in
+  let _ = Cell.prim parent Prim.Gnd ~conns:[ ("G", w) ] in
+  w
+
+let vcc parent =
+  let w = Wire.create parent ~name:"vcc" 1 in
+  let _ = Cell.prim parent Prim.Vcc ~conns:[ ("P", w) ] in
+  w
+
+let check_1bit what w =
+  if Wire.width w <> 1 then
+    invalid_arg
+      (Printf.sprintf "Virtex.%s: wire %s is %d bits wide, expected 1" what
+         (Wire.name w) (Wire.width w))
+
+let lut parent ?name ~init ins o =
+  let k = Lut_init.inputs init in
+  if List.length ins <> k then
+    invalid_arg
+      (Printf.sprintf "Virtex.lut: %d inputs for a LUT%d" (List.length ins) k);
+  List.iter (check_1bit "lut") (o :: ins);
+  let conns = List.mapi (fun i w -> (Printf.sprintf "I%d" i, w)) ins in
+  Cell.prim parent ?name (Prim.Lut init) ~conns:(conns @ [ ("O", o) ])
+
+let lut1 parent ?name ~init i0 o = lut parent ?name ~init [ i0 ] o
+let lut2 parent ?name ~init i0 i1 o = lut parent ?name ~init [ i0; i1 ] o
+let lut3 parent ?name ~init i0 i1 i2 o = lut parent ?name ~init [ i0; i1; i2 ] o
+
+let lut4 parent ?name ~init i0 i1 i2 i3 o =
+  lut parent ?name ~init [ i0; i1; i2; i3 ] o
+
+let lut_of_function parent ?name ins o ~f =
+  let k = List.length ins in
+  if k < 1 || k > 4 then
+    invalid_arg "Virtex.lut_of_function: 1 to 4 inputs supported";
+  lut parent ?name ~init:(Lut_init.of_function ~inputs:k f) ins o
+
+let inv parent ?name i o =
+  List.iter (check_1bit "inv") [ i; o ];
+  Cell.prim parent ?name Prim.Inv ~conns:[ ("I", i); ("O", o) ]
+
+let buf parent ?name i o =
+  List.iter (check_1bit "buf") [ i; o ];
+  Cell.prim parent ?name Prim.Buf ~conns:[ ("I", i); ("O", o) ]
+
+let gate ?name parent ~inputs ~f ins o =
+  lut parent ?name ~init:(f ~inputs) ins o
+
+let and2 parent ?name a b o = gate ?name parent ~inputs:2 ~f:Lut_init.and_all [ a; b ] o
+let and3 parent ?name a b c o = gate ?name parent ~inputs:3 ~f:Lut_init.and_all [ a; b; c ] o
+let and4 parent ?name a b c d o = gate ?name parent ~inputs:4 ~f:Lut_init.and_all [ a; b; c; d ] o
+let or2 parent ?name a b o = gate ?name parent ~inputs:2 ~f:Lut_init.or_all [ a; b ] o
+let or3 parent ?name a b c o = gate ?name parent ~inputs:3 ~f:Lut_init.or_all [ a; b; c ] o
+let or4 parent ?name a b c d o = gate ?name parent ~inputs:4 ~f:Lut_init.or_all [ a; b; c; d ] o
+let xor2 parent ?name a b o = gate ?name parent ~inputs:2 ~f:Lut_init.xor_all [ a; b ] o
+let xor3 parent ?name a b c o = gate ?name parent ~inputs:3 ~f:Lut_init.xor_all [ a; b; c ] o
+
+(* o = sel ? b : a with inputs ordered (a, b, sel) *)
+let mux2 parent ?name ~sel a b o =
+  let f addr =
+    let a_v = addr land 1 = 1
+    and b_v = (addr lsr 1) land 1 = 1
+    and s = (addr lsr 2) land 1 = 1 in
+    if s then b_v else a_v
+  in
+  lut parent ?name ~init:(Lut_init.of_function ~inputs:3 f) [ a; b; sel ] o
+
+let ff_prim ~clock_enable ~async_clear ~sync_reset ~init =
+  Prim.Ff { clock_enable; async_clear; sync_reset; init }
+
+let fd parent ?name ?(init = Bit.Zero) ~c ~d ~q () =
+  List.iter (check_1bit "fd") [ c; d; q ];
+  Cell.prim parent ?name
+    (ff_prim ~clock_enable:false ~async_clear:false ~sync_reset:false ~init)
+    ~conns:[ ("C", c); ("D", d); ("Q", q) ]
+
+let fde parent ?name ?(init = Bit.Zero) ~c ~ce ~d ~q () =
+  List.iter (check_1bit "fde") [ c; ce; d; q ];
+  Cell.prim parent ?name
+    (ff_prim ~clock_enable:true ~async_clear:false ~sync_reset:false ~init)
+    ~conns:[ ("C", c); ("CE", ce); ("D", d); ("Q", q) ]
+
+let fdce parent ?name ?(init = Bit.Zero) ~c ~ce ~clr ~d ~q () =
+  List.iter (check_1bit "fdce") [ c; ce; clr; d; q ];
+  Cell.prim parent ?name
+    (ff_prim ~clock_enable:true ~async_clear:true ~sync_reset:false ~init)
+    ~conns:[ ("C", c); ("CE", ce); ("CLR", clr); ("D", d); ("Q", q) ]
+
+let fdre parent ?name ?(init = Bit.Zero) ~c ~ce ~r ~d ~q () =
+  List.iter (check_1bit "fdre") [ c; ce; r; d; q ];
+  Cell.prim parent ?name
+    (ff_prim ~clock_enable:true ~async_clear:false ~sync_reset:true ~init)
+    ~conns:[ ("C", c); ("CE", ce); ("R", r); ("D", d); ("Q", q) ]
+
+let muxcy parent ?name ~s ~di ~ci ~o () =
+  List.iter (check_1bit "muxcy") [ s; di; ci; o ];
+  Cell.prim parent ?name Prim.Muxcy
+    ~conns:[ ("S", s); ("DI", di); ("CI", ci); ("O", o) ]
+
+let xorcy parent ?name ~li ~ci ~o () =
+  List.iter (check_1bit "xorcy") [ li; ci; o ];
+  Cell.prim parent ?name Prim.Xorcy ~conns:[ ("LI", li); ("CI", ci); ("O", o) ]
+
+let mult_and parent ?name ~i0 ~i1 ~lo () =
+  List.iter (check_1bit "mult_and") [ i0; i1; lo ];
+  Cell.prim parent ?name Prim.Mult_and
+    ~conns:[ ("I0", i0); ("I1", i1); ("LO", lo) ]
+
+let addr_conns a =
+  if Wire.width a <> 4 then
+    invalid_arg "Virtex: address wire must be 4 bits wide";
+  List.init 4 (fun i -> (Printf.sprintf "A%d" i, Wire.bit a i))
+
+let srl16e parent ?name ?(init = 0) ~clk ~ce ~d ~a ~q () =
+  List.iter (check_1bit "srl16e") [ clk; ce; d; q ];
+  Cell.prim parent ?name
+    (Prim.Srl16 { init })
+    ~conns:([ ("CLK", clk); ("CE", ce); ("D", d) ] @ addr_conns a @ [ ("Q", q) ])
+
+let ram16x1s parent ?name ?(init = 0) ~wclk ~we ~d ~a ~o () =
+  List.iter (check_1bit "ram16x1s") [ wclk; we; d; o ];
+  Cell.prim parent ?name
+    (Prim.Ram16x1 { init })
+    ~conns:([ ("WCLK", wclk); ("WE", we); ("D", d) ] @ addr_conns a @ [ ("O", o) ])
+
+type area = {
+  luts : int;
+  ffs : int;
+  carry_muxes : int;
+  rams : int;
+}
+
+let area_zero = { luts = 0; ffs = 0; carry_muxes = 0; rams = 0 }
+
+let area_add a b =
+  { luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    carry_muxes = a.carry_muxes + b.carry_muxes;
+    rams = a.rams + b.rams }
+
+let prim_area = function
+  | Prim.Lut _ | Prim.Inv -> { area_zero with luts = 1 }
+  | Prim.Buf -> area_zero (* routing only *)
+  | Prim.Ff _ -> { area_zero with ffs = 1 }
+  | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> { area_zero with carry_muxes = 1 }
+  | Prim.Srl16 _ | Prim.Ram16x1 _ -> { area_zero with rams = 1 }
+  | Prim.Gnd | Prim.Vcc | Prim.Black_box _ -> area_zero
+
+(* Two LUT sites (shared with RAM/SRL), two FFs and two carry mux pairs per
+   slice; the binding resource determines the slice count. *)
+let slices a =
+  let lut_sites = a.luts + a.rams in
+  let half n = (n + 1) / 2 in
+  max (half lut_sites) (max (half a.ffs) (half (a.carry_muxes / 2 + (a.carry_muxes mod 2))))
+
+let pp_area fmt a =
+  Format.fprintf fmt "%d LUTs, %d FFs, %d carry, %d LUT-RAM (%d slices)"
+    a.luts a.ffs a.carry_muxes a.rams (slices a)
+
+let prim_delay_ps = function
+  | Prim.Lut _ -> 470 (* Tilo, LUT4 through slice *)
+  | Prim.Buf -> 0 (* routing only *)
+  | Prim.Inv -> 470
+  | Prim.Muxcy -> 60 (* carry propagate Tbyp *)
+  | Prim.Xorcy -> 300 (* Tcinck-ish sum path *)
+  | Prim.Mult_and -> 120
+  | Prim.Ram16x1 _ -> 550 (* async read *)
+  | Prim.Ff _ | Prim.Srl16 _ -> 0 (* outputs are registered *)
+  | Prim.Gnd | Prim.Vcc -> 0
+  | Prim.Black_box _ -> 1000 (* behavioural model: nominal one-level cost *)
+
+let clk_to_q_ps = 560
+let setup_ps = 450
+let net_delay_ps ~fanout = 250 + (90 * max 0 (fanout - 1))

@@ -1,0 +1,144 @@
+(** Xilinx Virtex technology library.
+
+    Constructors for the primitive cells the module generators use,
+    following JHDL's library idiom: each function instances a primitive
+    into a parent cell, connecting the given 1-bit wires, and returns the
+    instance. Gate-level helpers ([and2] ... [xor3]) are implemented as
+    LUTs with the appropriate INIT, matching how JHDL's Virtex library
+    maps logic gates.
+
+    All wires passed to these constructors must be 1-bit ({!Circuit.Wire.bit}
+    or width-1 wires). *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+(** {1 Constants} *)
+
+(** [gnd parent] / [vcc parent] create a fresh 1-bit wire driven by a
+    GND / VCC primitive. *)
+val gnd : Cell.t -> Wire.t
+
+val vcc : Cell.t -> Wire.t
+
+(** {1 Look-up tables} *)
+
+(** [lut1 parent ~init i0 o] .. [lut4 parent ~init i0 i1 i2 i3 o]. *)
+val lut1 : Cell.t -> ?name:string -> init:Jhdl_logic.Lut_init.t -> Wire.t -> Wire.t -> Cell.t
+
+val lut2 :
+  Cell.t -> ?name:string -> init:Jhdl_logic.Lut_init.t ->
+  Wire.t -> Wire.t -> Wire.t -> Cell.t
+
+val lut3 :
+  Cell.t -> ?name:string -> init:Jhdl_logic.Lut_init.t ->
+  Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+
+val lut4 :
+  Cell.t -> ?name:string -> init:Jhdl_logic.Lut_init.t ->
+  Wire.t -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+
+(** [lut_of_function parent inputs o ~f] builds the right-size LUT
+    computing [f] of the input address (input 0 = LSB). One to four
+    inputs. *)
+val lut_of_function :
+  Cell.t -> ?name:string -> Wire.t list -> Wire.t -> f:(int -> bool) -> Cell.t
+
+(** {1 Gates (LUT-mapped)} *)
+
+val inv : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Cell.t
+val buf : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Cell.t
+val and2 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val and3 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val and4 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val or2 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val or3 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val or4 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val xor2 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+val xor3 : Cell.t -> ?name:string -> Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+
+(** [mux2 parent ~sel a b o]: [o = sel ? b : a], as a LUT3. *)
+val mux2 : Cell.t -> ?name:string -> sel:Wire.t -> Wire.t -> Wire.t -> Wire.t -> Cell.t
+
+(** {1 Registers} *)
+
+(** [fd parent ~c ~d ~q] plain D flip-flop; [init] is the GSR value. *)
+val fd : Cell.t -> ?name:string -> ?init:Jhdl_logic.Bit.t -> c:Wire.t -> d:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [fde]: with clock enable. *)
+val fde :
+  Cell.t -> ?name:string -> ?init:Jhdl_logic.Bit.t ->
+  c:Wire.t -> ce:Wire.t -> d:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [fdce]: clock enable + asynchronous clear. *)
+val fdce :
+  Cell.t -> ?name:string -> ?init:Jhdl_logic.Bit.t ->
+  c:Wire.t -> ce:Wire.t -> clr:Wire.t -> d:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [fdre]: clock enable + synchronous reset. *)
+val fdre :
+  Cell.t -> ?name:string -> ?init:Jhdl_logic.Bit.t ->
+  c:Wire.t -> ce:Wire.t -> r:Wire.t -> d:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** {1 Carry chain} *)
+
+val muxcy : Cell.t -> ?name:string -> s:Wire.t -> di:Wire.t -> ci:Wire.t -> o:Wire.t -> unit -> Cell.t
+val xorcy : Cell.t -> ?name:string -> li:Wire.t -> ci:Wire.t -> o:Wire.t -> unit -> Cell.t
+val mult_and : Cell.t -> ?name:string -> i0:Wire.t -> i1:Wire.t -> lo:Wire.t -> unit -> Cell.t
+
+(** {1 Memory} *)
+
+(** [srl16e parent ~init ~clk ~ce ~d ~a ~q] shift-register LUT; [a] is the
+    4-bit tap address wire. *)
+val srl16e :
+  Cell.t -> ?name:string -> ?init:int ->
+  clk:Wire.t -> ce:Wire.t -> d:Wire.t -> a:Wire.t -> q:Wire.t -> unit -> Cell.t
+
+(** [ram16x1s parent ~init ~wclk ~we ~d ~a ~o] 16x1 single-port RAM with a
+    4-bit address wire. *)
+val ram16x1s :
+  Cell.t -> ?name:string -> ?init:int ->
+  wclk:Wire.t -> we:Wire.t -> d:Wire.t -> a:Wire.t -> o:Wire.t -> unit -> Cell.t
+
+(** {1 Area model}
+
+    Virtex slices hold two 4-input LUTs, two flip-flops and two carry-chain
+    multiplexer/xor pairs. *)
+
+type area = {
+  luts : int;
+  ffs : int;
+  carry_muxes : int;  (** MUXCY + XORCY + MULT_AND sites *)
+  rams : int;  (** LUT sites used as SRL16/RAM16X1 *)
+}
+
+val area_zero : area
+val area_add : area -> area -> area
+
+(** [prim_area p] is the resource cost of one primitive instance. *)
+val prim_area : Jhdl_circuit.Prim.t -> area
+
+(** [slices a] estimates occupied Virtex slices for an area total. *)
+val slices : area -> int
+
+val pp_area : Format.formatter -> area -> unit
+
+(** {1 Delay model}
+
+    Propagation delays in picoseconds, with magnitudes modeled on the
+    Virtex-E (-7) speed grade. These drive the static timing estimator and
+    the simulator's performance model; they stand in for the authors'
+    device timing, preserving relative structure (LUT depth vs carry
+    chain) rather than exact values. *)
+
+(** [prim_delay_ps p] is the worst input-to-output combinational delay, or
+    0 for purely sequential outputs. *)
+val prim_delay_ps : Jhdl_circuit.Prim.t -> int
+
+(** Clock-to-out and setup for registers. *)
+val clk_to_q_ps : int
+
+val setup_ps : int
+
+(** [net_delay_ps ~fanout] is a simple loaded-interconnect estimate. *)
+val net_delay_ps : fanout:int -> int

@@ -1,0 +1,1 @@
+lib/webserver/secure_channel.ml: Buffer Jhdl_bundle Jhdl_security List Printf String

@@ -1,0 +1,1 @@
+lib/webserver/secure_channel.mli: Jhdl_bundle

@@ -1,0 +1,1 @@
+lib/webserver/server.ml: Hashtbl Jhdl_applet Jhdl_bundle List Logs Printf Result Secure_channel

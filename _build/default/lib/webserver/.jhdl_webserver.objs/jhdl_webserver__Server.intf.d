@@ -1,0 +1,1 @@
+lib/webserver/server.mli: Jhdl_applet Jhdl_bundle Secure_channel

@@ -1,0 +1,47 @@
+module Jar = Jhdl_bundle.Jar
+module Class_file = Jhdl_bundle.Class_file
+module Crypto = Jhdl_security.Crypto
+
+type sealed = {
+  jar_name : string;
+  ciphertext : string;
+  digest : string;
+}
+
+let issue_token ~server_secret ~user =
+  Crypto.checksum (server_secret ^ "/" ^ user)
+
+(* deterministic pseudo-content per class: header + name + size-derived
+   filler, so payload size tracks the modeled jar size *)
+let payload_of_jar jar =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer ("JAR " ^ jar.Jar.jar_name ^ "\n");
+  List.iter
+    (fun c ->
+       Buffer.add_string buffer
+         (Printf.sprintf "CLASS %s %d\n" c.Class_file.fqcn (Class_file.size c));
+       (* filler proportional to the modeled size, capped per class *)
+       let filler = min 256 (Class_file.size c / 16) in
+       let seed = Crypto.checksum c.Class_file.fqcn in
+       for i = 0 to filler - 1 do
+         Buffer.add_char buffer seed.[i mod String.length seed]
+       done;
+       Buffer.add_char buffer '\n')
+    jar.Jar.entries;
+  Buffer.contents buffer
+
+let seal ~token jar =
+  let plaintext = payload_of_jar jar in
+  let key = Crypto.key_of_string token in
+  { jar_name = jar.Jar.jar_name;
+    ciphertext = Crypto.encrypt key plaintext;
+    digest = Crypto.checksum plaintext }
+
+let open_sealed ~token sealed =
+  let key = Crypto.key_of_string token in
+  let plaintext = Crypto.decrypt key sealed.ciphertext in
+  if Crypto.checksum plaintext <> sealed.digest then
+    Error
+      (Printf.sprintf "integrity check failed for %s (wrong key or tampering)"
+         sealed.jar_name)
+  else Ok plaintext

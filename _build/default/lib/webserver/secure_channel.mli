@@ -1,0 +1,31 @@
+(** Encrypted applet delivery.
+
+    The class-encryption hardening of Section 4.3, applied at the
+    delivery boundary: the server encrypts each jar payload under a key
+    derived from the user's license token, and the customer-side loader
+    decrypts and integrity-checks before handing class data to the VM.
+    Payload bytes here are the jar's synthesized content (deterministic
+    per jar), so tampering and wrong-key detection are real checks, not
+    stubs. *)
+
+type sealed = {
+  jar_name : string;
+  ciphertext : string;
+  digest : string;  (** checksum of the plaintext, for integrity *)
+}
+
+(** [issue_token ~server_secret ~user] — the per-user license token the
+    vendor hands out (deterministic). *)
+val issue_token : server_secret:string -> user:string -> string
+
+(** [seal ~token jar] — encrypt one jar for the holder of [token]. *)
+val seal : token:string -> Jhdl_bundle.Jar.t -> sealed
+
+(** [open_sealed ~token sealed] — decrypt and verify; [Error _] when the
+    token is wrong or the payload was tampered with. Returns the
+    plaintext payload. *)
+val open_sealed : token:string -> sealed -> (string, string) result
+
+(** [payload_of_jar jar] — the deterministic plaintext the jar seals
+    (entry directory plus synthesized contents). Exposed for tests. *)
+val payload_of_jar : Jhdl_bundle.Jar.t -> string

@@ -1,0 +1,131 @@
+module Applet = Jhdl_applet.Applet
+module Ip_module = Jhdl_applet.Ip_module
+module License = Jhdl_applet.License
+module Feature = Jhdl_applet.Feature
+module Partition = Jhdl_bundle.Partition
+module Jar = Jhdl_bundle.Jar
+module Download = Jhdl_bundle.Download
+
+let log_src = Logs.Src.create "jhdl.webserver" ~doc:"IP delivery server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type entry = {
+  ip : Ip_module.t;
+  mutable version : int;
+}
+
+type account = {
+  tier : License.tier;
+  (* browser cache: component -> version downloaded *)
+  cache : (Partition.component, int) Hashtbl.t;
+}
+
+type t = {
+  vendor : string;
+  mutable entries : (string * entry) list;
+  accounts : (string, account) Hashtbl.t;
+  (* component versions: base libraries move slowly, applet jars bump
+     with each publication *)
+  component_versions : (Partition.component, int) Hashtbl.t;
+  mutable log : string list; (* newest first *)
+}
+
+let create ~vendor () =
+  let component_versions = Hashtbl.create 4 in
+  List.iter
+    (fun c -> Hashtbl.replace component_versions c 1)
+    Partition.all_components;
+  { vendor; entries = []; accounts = Hashtbl.create 8; component_versions;
+    log = [] }
+
+let publish server ip =
+  let name = ip.Ip_module.ip_name in
+  match List.assoc_opt name server.entries with
+  | Some entry ->
+    entry.version <- entry.version + 1;
+    Hashtbl.replace server.component_versions Partition.Applet
+      (1 + Hashtbl.find server.component_versions Partition.Applet);
+    Log.info (fun m -> m "republished %s as v%d" name entry.version);
+    entry.version
+  | None ->
+    server.entries <- server.entries @ [ (name, { ip; version = 1 }) ];
+    1
+
+let catalog server =
+  List.map (fun (name, e) -> (name, e.version)) server.entries
+
+let register_user server ~user ~tier =
+  let account =
+    match Hashtbl.find_opt server.accounts user with
+    | Some account -> { account with tier }
+    | None -> { tier; cache = Hashtbl.create 4 }
+  in
+  Hashtbl.replace server.accounts user account
+
+type session = {
+  applet : Applet.t;
+  version : int;
+  jars : Jar.t list;
+  fetched : Jar.t list;
+  download_seconds : float;
+}
+
+let request server ~user ~ip_name ~link () =
+  match Hashtbl.find_opt server.accounts user with
+  | None -> Error (Printf.sprintf "unknown user %s" user)
+  | Some account ->
+    (match List.assoc_opt ip_name server.entries with
+     | None -> Error (Printf.sprintf "no IP named %s on this server" ip_name)
+     | Some entry ->
+       let license = License.of_tier account.tier in
+       let applet =
+         Applet.create ~ip:entry.ip ~license ~user ()
+       in
+       let components = Applet.jar_components applet in
+       let jars = Partition.jars_for components in
+       let fetched =
+         List.filter
+           (fun component ->
+              let current = Hashtbl.find server.component_versions component in
+              match Hashtbl.find_opt account.cache component with
+              | Some cached when cached = current -> false
+              | Some _ | None ->
+                Hashtbl.replace account.cache component current;
+                true)
+           components
+         |> Partition.jars_for
+       in
+       let download_seconds = Download.jars_seconds link fetched in
+       Log.info (fun m ->
+         m "GET /applets/%s for %s (%s)" ip_name user
+           (License.tier_name account.tier));
+       server.log <-
+         Printf.sprintf "%s GET /applets/%s v%d (%s license, %d jar(s), %.1f s)"
+           user ip_name entry.version
+           (License.tier_name account.tier)
+           (List.length fetched) download_seconds
+         :: server.log;
+       Ok { applet; version = entry.version; jars; fetched; download_seconds })
+
+let access_log server = List.rev server.log
+
+let server_secret server = "vendor-secret/" ^ server.vendor
+
+let user_token server ~user =
+  if Hashtbl.mem server.accounts user then
+    Some
+      (Secure_channel.issue_token ~server_secret:(server_secret server) ~user)
+  else None
+
+let secure_request server ~user ~ip_name ~link () =
+  match request server ~user ~ip_name ~link () with
+  | Error _ as e -> e |> Result.map (fun s -> (s, []))
+  | Ok session ->
+    (match user_token server ~user with
+     | None -> Error (Printf.sprintf "no token for %s" user)
+     | Some token ->
+       let sealed =
+         List.map (Secure_channel.seal ~token) session.fetched
+       in
+       Ok (session, sealed))

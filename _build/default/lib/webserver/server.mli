@@ -1,0 +1,67 @@
+(** The vendor's web server, simulated.
+
+    Carries the three delivery advantages of Section 1.1: (1) customers
+    install nothing — an applet arrives with its jar set; (2) the vendor
+    updates executables centrally — republishing bumps versions and the
+    next request serves the latest code, with the browser cache
+    re-fetching only changed archives; (3) the executable served is
+    customized to the requesting user's license. *)
+
+type t
+
+(** [create ~vendor ()] — an empty server. *)
+val create : vendor:string -> unit -> t
+
+(** [publish server ip] — put an IP on the catalog (version 1), or bump
+    its version (and the applet jar's) when already present. Returns the
+    new version. *)
+val publish : t -> Jhdl_applet.Ip_module.t -> int
+
+val catalog : t -> (string * int) list
+(** [(ip name, current version)] *)
+
+(** [register_user server ~user ~tier] — create or update an account. *)
+val register_user : t -> user:string -> tier:Jhdl_applet.License.tier -> unit
+
+(** One served applet page: the assembled executable plus what the
+    browser had to download to run it. *)
+type session = {
+  applet : Jhdl_applet.Applet.t;
+  version : int;
+  jars : Jhdl_bundle.Jar.t list;  (** full jar set the page references *)
+  fetched : Jhdl_bundle.Jar.t list;  (** cache misses actually transferred *)
+  download_seconds : float;
+}
+
+(** [request server ~user ~ip_name ~link ()] — serve the IP evaluation
+    page to [user] over [link]. Fails for unknown users or IPs. The
+    per-user browser cache persists across requests: revisits after a
+    republish fetch only the bumped applet jar. *)
+val request :
+  t ->
+  user:string ->
+  ip_name:string ->
+  link:Jhdl_bundle.Download.link ->
+  unit ->
+  (session, string) result
+
+(** [access_log server] — one line per request, oldest first. *)
+val access_log : t -> string list
+
+(** {1 Encrypted delivery (Section 4.3 hardening)} *)
+
+(** [user_token server ~user] — the license token the loader uses with
+    {!Secure_channel}; [None] for unknown users. *)
+val user_token : t -> user:string -> string option
+
+(** [secure_request server ~user ~ip_name ~link ()] — like {!request},
+    but the fetched jars arrive sealed under the user's token. The
+    session's timing is unchanged (the stream cipher is
+    size-preserving). *)
+val secure_request :
+  t ->
+  user:string ->
+  ip_name:string ->
+  link:Jhdl_bundle.Download.link ->
+  unit ->
+  (session * Secure_channel.sealed list, string) result

@@ -1,0 +1,1 @@
+test/test_applet.ml: Alcotest Jhdl_applet Jhdl_bundle Jhdl_circuit Jhdl_logic Jhdl_security List Printf String

@@ -1,0 +1,1 @@
+test/test_bundle.ml: Alcotest Int Jhdl_bundle List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Format Jhdl_circuit Jhdl_logic Jhdl_virtex List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cordic.ml: Alcotest Float Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_sim Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dafir.ml: Alcotest Jhdl_circuit Jhdl_estimate Jhdl_logic Jhdl_modgen Jhdl_sim Jhdl_virtex List Printf

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_verify Jhdl_virtex List Option

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Jhdl_circuit Jhdl_estimate Jhdl_modgen Jhdl_virtex String

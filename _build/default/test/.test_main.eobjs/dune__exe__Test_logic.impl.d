@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Char Jhdl_logic List Option Printf QCheck QCheck_alcotest

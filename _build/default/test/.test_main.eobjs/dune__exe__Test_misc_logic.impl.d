@@ -1,0 +1,1 @@
+test/test_misc_logic.ml: Alcotest Int Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_sim List Printf

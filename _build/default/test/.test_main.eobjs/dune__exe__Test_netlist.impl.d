@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Jhdl_circuit Jhdl_modgen Jhdl_netlist Jhdl_virtex List QCheck QCheck_alcotest String

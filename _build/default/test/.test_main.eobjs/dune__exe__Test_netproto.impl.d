@@ -1,0 +1,1 @@
+test/test_netproto.ml: Alcotest Format Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_netproto Jhdl_sim List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_placer.ml: Alcotest Format Hashtbl Jhdl_circuit Jhdl_estimate Jhdl_modgen Jhdl_place Jhdl_viewer List Option Printf

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Jhdl_bitstream Jhdl_circuit Jhdl_estimate Jhdl_logic Jhdl_modgen Jhdl_netlist Jhdl_place Jhdl_sim List Option Printf

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Jhdl_bundle Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_netlist Jhdl_security Jhdl_sim Jhdl_virtex List Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Jhdl_circuit Jhdl_logic Jhdl_sim Jhdl_virtex Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Alcotest Array Bytes Char Format Jhdl_bundle Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_sim Jhdl_virtex Jhdl_webserver List Printf QCheck QCheck_alcotest Result

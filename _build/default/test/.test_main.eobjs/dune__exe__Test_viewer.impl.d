@@ -1,0 +1,1 @@
+test/test_viewer.ml: Alcotest Jhdl_circuit Jhdl_logic Jhdl_modgen Jhdl_sim Jhdl_viewer Jhdl_virtex Option String

@@ -1,0 +1,1 @@
+test/test_webserver.ml: Alcotest Jhdl_applet Jhdl_bundle Jhdl_webserver List Option Result String

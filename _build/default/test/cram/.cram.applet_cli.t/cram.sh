@@ -1,0 +1,2 @@
+  $ printf 'set constant = 7\nset pipelined = false\nbuild\ncycle 1\nquit\n' \
+  >   | jhdl-applet-cli --tier passive | grep -E 'built|ERROR'

@@ -1,0 +1,28 @@
+  $ cat > bench.v <<'VEOF'
+  > module tb;
+  >   reg [7:0] x;
+  >   wire [18:0] p;
+  >   initial begin
+  >     x = 8'd10;
+  >     #1;
+  >     $check(p, -19'd560);
+  >     $display("product:", p);
+  >     $finish;
+  >   end
+  > endmodule
+  > VEOF
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product
+  $ cat > bad.v <<'VEOF'
+  > module tb;
+  >   reg [7:0] x;
+  >   wire [18:0] p;
+  >   initial begin
+  >     x = 8'd1;
+  >     #1;
+  >     $check(p, 19'd42);
+  >   end
+  > endmodule
+  > VEOF
+  $ jhdl-cosim-tool --tb bad.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product

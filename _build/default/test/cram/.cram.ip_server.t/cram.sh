@@ -1,0 +1,2 @@
+  $ printf 'register pat licensed\nget pat FirFilter dsl\nget pat FirFilter dsl\nlog\nquit\n' \
+  >   | jhdl-ip-server | grep -vE '^server> *$'

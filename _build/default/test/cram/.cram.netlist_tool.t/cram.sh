@@ -1,0 +1,6 @@
+  $ jhdl-netlist-tool --ip VirtexKCMMultiplier --format verilog \
+  >   -p constant=9 -p multiplicand_width=4 -p product_width=8 \
+  >   -p pipelined=false | head -6
+  $ jhdl-netlist-tool --ip Booth 2>&1
+  $ jhdl-netlist-tool --format xml 2>&1
+  $ jhdl-netlist-tool -p multiplicand_width=99 2>&1

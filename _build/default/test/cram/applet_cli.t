@@ -1,0 +1,7 @@
+The applet honours its license tier from the command line: a passive
+user can build and estimate but has no simulator.
+
+  $ printf 'set constant = 7\nset pipelined = false\nbuild\ncycle 1\nquit\n' \
+  >   | jhdl-applet-cli --tier passive | grep -E 'built|ERROR'
+  applet> built VirtexKCMMultiplier with multiplicand_width=8, product_width=12, signed=true, pipelined=false, constant=7
+  applet> ERROR: the simulator is not included in your passive applet

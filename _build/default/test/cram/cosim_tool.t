@@ -1,0 +1,40 @@
+A Verilog testbench drives the protected KCM over the PLI wrapper.
+
+  $ cat > bench.v <<'VEOF'
+  > module tb;
+  >   reg [7:0] x;
+  >   wire [18:0] p;
+  >   initial begin
+  >     x = 8'd10;
+  >     #1;
+  >     $check(p, -19'd560);
+  >     $display("product:", p);
+  >     $finish;
+  >   end
+  > endmodule
+  > VEOF
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product
+  product: p=-560
+  1/1 checks passed, 1 cycles, 8 protocol messages (652 bytes)
+
+A failing check exits non-zero and reports expected/got.
+
+  $ cat > bad.v <<'VEOF'
+  > module tb;
+  >   reg [7:0] x;
+  >   wire [18:0] p;
+  >   initial begin
+  >     x = 8'd1;
+  >     #1;
+  >     $check(p, 19'd42);
+  >   end
+  > endmodule
+  > VEOF
+
+  $ jhdl-cosim-tool --tb bad.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product
+  FAIL $check p: expected 0000000000000101010, got 1111111111111001000
+  0/1 checks passed, 1 cycles, 6 protocol messages (475 bytes)
+  [1]

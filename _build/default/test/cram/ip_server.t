@@ -1,0 +1,12 @@
+The vendor server serves per-license applets with browser caching.
+
+  $ printf 'register pat licensed\nget pat FirFilter dsl\nget pat FirFilter dsl\nlog\nquit\n' \
+  >   | jhdl-ip-server | grep -vE '^server> *$'
+  IP delivery server for BYU Configurable Computing Lab (type `help`)
+  server> registered pat as licensed
+  server> served v1; tools: generator interface, circuit estimator, schematic viewer, layout viewer, simulator, waveform viewer, netlister
+  fetched 4 jar(s) in 6.98 s: JHDLBase.jar, Virtex.jar, Viewer.jar, Applet.jar
+  server> served v1; tools: generator interface, circuit estimator, schematic viewer, layout viewer, simulator, waveform viewer, netlister
+  fetched 0 jar(s) in 0.00 s: 
+  server>   pat GET /applets/FirFilter v1 (licensed license, 4 jar(s), 7.0 s)
+    pat GET /applets/FirFilter v1 (licensed license, 0 jar(s), 0.0 s)

@@ -1,0 +1,147 @@
+(* Bundle tests: class-file model, jar compression, the Table 1
+   partition and the download model. *)
+
+module Class_file = Jhdl_bundle.Class_file
+module Jar = Jhdl_bundle.Jar
+module Partition = Jhdl_bundle.Partition
+module Download = Jhdl_bundle.Download
+
+let kb bytes = (bytes + 512) / 1024
+
+let test_class_file_deterministic () =
+  let a = Class_file.synthesize ~fqcn:"byucc.jhdl.base.Wire" ~weight:1.0 in
+  let b = Class_file.synthesize ~fqcn:"byucc.jhdl.base.Wire" ~weight:1.0 in
+  Alcotest.(check int) "same size" (Class_file.size a) (Class_file.size b)
+
+let test_class_file_names () =
+  let c = Class_file.synthesize ~fqcn:"byucc.jhdl.base.Wire" ~weight:1.0 in
+  Alcotest.(check string) "package" "byucc.jhdl.base" (Class_file.package c);
+  Alcotest.(check string) "simple" "Wire" (Class_file.simple_name c)
+
+let test_class_rename_shrinks () =
+  let c =
+    Class_file.synthesize ~fqcn:"byucc.jhdl.base.VeryLongDescriptiveName"
+      ~weight:1.0
+  in
+  let renamed = Class_file.rename c ~fqcn:"o.a" in
+  Alcotest.(check bool) "smaller after rename" true
+    (Class_file.size renamed < Class_file.size c);
+  Alcotest.(check int) "structural untouched" c.Class_file.structural_bytes
+    renamed.Class_file.structural_bytes
+
+let test_jar_sizes_monotone () =
+  let jar = Partition.jar_of Partition.Base in
+  Alcotest.(check bool) "compression shrinks" true
+    (Jar.compressed_size jar < Jar.uncompressed_size jar);
+  Alcotest.(check bool) "has entries" true (Jar.entry_count jar > 50)
+
+(* The Table 1 reproduction: each jar within 3 kB of the paper's figure. *)
+let test_table1_calibration () =
+  let expect =
+    [ (Partition.Base, 346); (Partition.Virtex, 293); (Partition.Viewer, 140);
+      (Partition.Applet, 16) ]
+  in
+  List.iter
+    (fun (component, paper_kb) ->
+       let actual = kb (Jar.compressed_size (Partition.jar_of component)) in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s ~ %d kB (got %d)"
+            (Partition.component_name component)
+            paper_kb actual)
+         true
+         (abs (actual - paper_kb) <= 3))
+    expect;
+  let total = kb (Partition.total_compressed (Partition.jars_for Partition.all_components)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "total ~ 795 kB (got %d)" total)
+    true
+    (abs (total - 795) <= 8)
+
+let test_jars_for_subset () =
+  let jars = Partition.jars_for [ Partition.Base; Partition.Applet ] in
+  Alcotest.(check (list string)) "canonical order"
+    [ "JHDLBase.jar"; "Applet.jar" ]
+    (List.map (fun j -> j.Jar.jar_name) jars)
+
+let test_monolithic_merge () =
+  let mono = Partition.monolithic () in
+  let parts = Partition.jars_for Partition.all_components in
+  let part_entries =
+    List.fold_left (fun acc j -> acc + Jar.entry_count j) 0 parts
+  in
+  Alcotest.(check int) "no entries lost" part_entries (Jar.entry_count mono);
+  (* merged archive saves per-archive overhead only *)
+  Alcotest.(check bool) "roughly the sum" true
+    (abs (Jar.compressed_size mono - Partition.total_compressed parts) < 2000)
+
+let test_table_rendering () =
+  let text = Partition.table (Partition.jars_for Partition.all_components) in
+  Alcotest.(check bool) "header" true
+    (String.length text > 0 && String.sub text 0 4 = "File");
+  Alcotest.(check bool) "total line" true
+    (let rec contains i =
+       i + 5 <= String.length text
+       && (String.sub text i 5 = "Total" || contains (i + 1))
+     in
+     contains 0)
+
+let test_download_ordering () =
+  let jars = Partition.jars_for Partition.all_components in
+  let t_modem = Download.jars_seconds Download.modem_56k jars in
+  let t_dsl = Download.jars_seconds Download.dsl_1m jars in
+  let t_lan = Download.jars_seconds Download.lan_100m jars in
+  Alcotest.(check bool) "modem slowest" true (t_modem > t_dsl && t_dsl > t_lan);
+  (* 795 kB over 56k is about 100+ seconds *)
+  Alcotest.(check bool) "modem takes minutes" true (t_modem > 60.0);
+  Alcotest.(check bool) "lan takes well under a second" true (t_lan < 1.0)
+
+let test_partitioning_saves_bandwidth () =
+  (* an estimator-only applet skips the viewer jar *)
+  let small =
+    Partition.jars_for [ Partition.Base; Partition.Virtex; Partition.Applet ]
+  in
+  let all = [ Partition.monolithic () ] in
+  let link = Download.modem_56k in
+  Alcotest.(check bool) "partitioned fetch is smaller" true
+    (Download.jars_seconds link small < Download.jars_seconds link all)
+
+let test_update_seconds () =
+  let link = Download.dsl_1m in
+  let applet_only = Partition.jars_for [ Partition.Applet ] in
+  let refetch = Download.update_seconds link ~changed:applet_only () in
+  let full =
+    Download.jars_seconds link (Partition.jars_for Partition.all_components)
+  in
+  Alcotest.(check bool) "update is much cheaper than first visit" true
+    (refetch < full /. 10.0)
+
+let prop_jar_merge_idempotent_names =
+  QCheck.Test.make ~name:"merge keeps distinct class names once" ~count:50
+    QCheck.(small_list (int_bound 30))
+    (fun seeds ->
+       let entries =
+         List.map
+           (fun i ->
+              Class_file.synthesize ~fqcn:(Printf.sprintf "p.C%d" i) ~weight:0.5)
+           seeds
+       in
+       let jar = Jar.create ~name:"a.jar" ~description:"" entries in
+       let merged = Jar.merge ~name:"m.jar" ~description:"" [ jar; jar ] in
+       Jar.entry_count merged
+       = List.length (List.sort_uniq Int.compare seeds))
+
+let suite =
+  [ Alcotest.test_case "class file deterministic" `Quick
+      test_class_file_deterministic;
+    Alcotest.test_case "class file names" `Quick test_class_file_names;
+    Alcotest.test_case "rename shrinks" `Quick test_class_rename_shrinks;
+    Alcotest.test_case "jar sizes monotone" `Quick test_jar_sizes_monotone;
+    Alcotest.test_case "table 1 calibration" `Quick test_table1_calibration;
+    Alcotest.test_case "jars for subset" `Quick test_jars_for_subset;
+    Alcotest.test_case "monolithic merge" `Quick test_monolithic_merge;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "download ordering" `Quick test_download_ordering;
+    Alcotest.test_case "partitioning saves bandwidth" `Quick
+      test_partitioning_saves_bandwidth;
+    Alcotest.test_case "update seconds" `Quick test_update_seconds ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_jar_merge_idempotent_names ]

@@ -1,0 +1,320 @@
+(* Structural tests for the circuit data structure: wires, hierarchy,
+   terminals, properties, placement and design-rule checks. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Lut_init = Jhdl_logic.Lut_init
+
+let test_wire_create () =
+  let top = Cell.root ~name:"top" () in
+  let w = Wire.create top ~name:"data" 8 in
+  Alcotest.(check int) "width" 8 (Wire.width w);
+  Alcotest.(check string) "name" "data" (Wire.name w);
+  Alcotest.(check string) "full name" "top/data" (Wire.full_name w);
+  Alcotest.(check bool) "not a view" false (Wire.is_view w)
+
+let test_wire_unique_names () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"w" 1 in
+  let b = Wire.create top ~name:"w" 1 in
+  let c = Wire.create top ~name:"w" 1 in
+  Alcotest.(check string) "first keeps name" "w" (Wire.name a);
+  Alcotest.(check bool) "second renamed" true (Wire.name b <> Wire.name c);
+  Alcotest.(check bool) "all distinct" true
+    (List.length
+       (List.sort_uniq String.compare [ Wire.name a; Wire.name b; Wire.name c ])
+     = 3)
+
+let test_wire_slice_shares_nets () =
+  let top = Cell.root ~name:"top" () in
+  let w = Wire.create top 8 in
+  let s = Wire.slice w ~lo:2 ~hi:5 in
+  Alcotest.(check int) "slice width" 4 (Wire.width s);
+  Alcotest.(check bool) "is a view" true (Wire.is_view s);
+  Alcotest.(check bool) "shares nets" true
+    ((Wire.net s 0).Types.net_id = (Wire.net w 2).Types.net_id);
+  let b = Wire.bit w 7 in
+  Alcotest.(check bool) "bit view" true
+    ((Wire.net b 0).Types.net_id = (Wire.net w 7).Types.net_id)
+
+let test_wire_concat () =
+  let top = Cell.root ~name:"top" () in
+  let hi = Wire.create top ~name:"hi" 3 in
+  let lo = Wire.create top ~name:"lo" 2 in
+  let cat = Wire.concat hi lo in
+  Alcotest.(check int) "width" 5 (Wire.width cat);
+  Alcotest.(check bool) "low bits from lo" true
+    ((Wire.net cat 0).Types.net_id = (Wire.net lo 0).Types.net_id);
+  Alcotest.(check bool) "high bits from hi" true
+    ((Wire.net cat 4).Types.net_id = (Wire.net hi 2).Types.net_id)
+
+let test_wire_bad_args () =
+  let top = Cell.root ~name:"top" () in
+  let w = Wire.create top 4 in
+  Alcotest.(check bool) "bad width raises" true
+    (try ignore (Wire.create top 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad slice raises" true
+    (try ignore (Wire.slice w ~lo:2 ~hi:1); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad bit raises" true
+    (try ignore (Wire.net w 4); false with Invalid_argument _ -> true)
+
+let test_hierarchy () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let child =
+    Cell.composite top ~name:"inner" ~ports:[ ("a", Types.Input, a) ] ()
+  in
+  let grand =
+    Cell.composite child ~name:"leaf" ~ports:[ ("a", Types.Input, a) ] ()
+  in
+  Alcotest.(check string) "path" "top/inner/leaf" (Cell.path grand);
+  Alcotest.(check (list string)) "children" [ "inner" ]
+    (List.map Cell.name (Cell.children top));
+  Alcotest.(check bool) "find_child" true
+    (Option.is_some (Cell.find_child top "inner"));
+  Alcotest.(check bool) "find_path" true
+    (match Cell.find_path top "inner/leaf" with
+     | Some c -> Cell.equal c grand
+     | None -> false);
+  Alcotest.(check bool) "parent" true
+    (match Cell.parent grand with
+     | Some p -> Cell.equal p child
+     | None -> false)
+
+let test_instance_unique_names () =
+  let top = Cell.root ~name:"top" () in
+  let mk () = Cell.composite top ~name:"u" ~ports:[] () in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "renamed" true (Cell.name a <> Cell.name b)
+
+let test_prim_terminals () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let b = Wire.create top ~name:"b" 1 in
+  let o = Wire.create top ~name:"o" 1 in
+  let inst = Virtex.and2 top a b o in
+  Alcotest.(check bool) "o driven by inst" true
+    (match (Wire.net o 0).Types.driver with
+     | Some t -> Cell.equal t.Types.term_cell inst
+     | None -> false);
+  Alcotest.(check int) "a has one sink" 1
+    (List.length (Wire.net a 0).Types.sinks);
+  Alcotest.(check bool) "a not driven" true
+    (Option.is_none (Wire.net a 0).Types.driver)
+
+let test_double_driver_rejected () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top 1 and b = Wire.create top 1 in
+  let o = Wire.create top 1 in
+  let _ = Virtex.and2 top a b o in
+  Alcotest.(check bool) "second driver raises" true
+    (try ignore (Virtex.or2 top a b o); false
+     with Invalid_argument _ -> true)
+
+let test_prim_missing_port_rejected () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top 1 in
+  Alcotest.(check bool) "unconnected port raises" true
+    (try
+       ignore
+         (Cell.prim top (Prim.Lut (Lut_init.and_all ~inputs:2))
+            ~conns:[ ("I0", a) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prim_unknown_port_rejected () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top 1 in
+  Alcotest.(check bool) "unknown port raises" true
+    (try ignore (Cell.prim top Prim.Buf ~conns:[ ("BOGUS", a) ]); false
+     with Invalid_argument _ -> true)
+
+let test_properties () =
+  let top = Cell.root ~name:"top" () in
+  Cell.set_property top "VENDOR" "byu";
+  Cell.set_property top "VERSION" "1";
+  Cell.set_property top "VERSION" "2";
+  Alcotest.(check (option string)) "get" (Some "byu")
+    (Cell.get_property top "VENDOR");
+  Alcotest.(check (option string)) "replaced" (Some "2")
+    (Cell.get_property top "VERSION");
+  Alcotest.(check int) "two props" 2 (List.length (Cell.properties top))
+
+let test_rloc () =
+  let top = Cell.root ~name:"top" () in
+  let u = Cell.composite top ~name:"u" ~ports:[] () in
+  Alcotest.(check (option (pair int int))) "unset" None (Cell.rloc u);
+  Cell.set_rloc u ~row:3 ~col:1;
+  Alcotest.(check (option (pair int int))) "set" (Some (3, 1)) (Cell.rloc u)
+
+let full_adder parent ~a ~b ~ci ~s ~co =
+  (* the paper's Section 2 example, transliterated *)
+  let fa =
+    Cell.composite parent ~name:"fulladder" ~type_name:"FullAdder"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b); ("ci", Types.Input, ci);
+          ("s", Types.Output, s); ("co", Types.Output, co) ]
+      ()
+  in
+  let t1 = Wire.create fa ~name:"t1" 1 in
+  let t2 = Wire.create fa ~name:"t2" 1 in
+  let t3 = Wire.create fa ~name:"t3" 1 in
+  let _ = Virtex.and2 fa a b t1 in
+  let _ = Virtex.and2 fa a ci t2 in
+  let _ = Virtex.and2 fa b ci t3 in
+  let _ = Virtex.or3 fa t1 t2 t3 co in
+  let _ = Virtex.xor3 fa a b ci s in
+  fa
+
+let make_full_adder_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let b = Wire.create top ~name:"b" 1 in
+  let ci = Wire.create top ~name:"ci" 1 in
+  let s = Wire.create top ~name:"s" 1 in
+  let co = Wire.create top ~name:"co" 1 in
+  let _ = full_adder top ~a ~b ~ci ~s ~co in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "ci" Types.Input ci;
+  Design.add_port d "s" Types.Output s;
+  Design.add_port d "co" Types.Output co;
+  d
+
+let test_full_adder_structure () =
+  let d = make_full_adder_design () in
+  let stats = Design.stats d in
+  Alcotest.(check int) "5 primitives" 5 stats.Design.primitive_instances;
+  Alcotest.(check int) "2 composites" 2 stats.Design.composite_cells;
+  Alcotest.(check (list Alcotest.string)) "clean design" []
+    (List.map (Format.asprintf "%a" Design.pp_violation) (Design.validate d))
+
+let test_validate_undriven () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top 1 and b = Wire.create top 1 in
+  let o = Wire.create top 1 in
+  let _ = Virtex.and2 top a b o in
+  let d = Design.create top in
+  Design.add_port d "o" Types.Output o;
+  (* a and b have sinks but no driver and no input-port binding *)
+  let undriven =
+    List.filter
+      (function Design.Undriven_net _ -> true | _ -> false)
+      (Design.validate d)
+  in
+  Alcotest.(check int) "two undriven nets" 2 (List.length undriven)
+
+let test_validate_dangling () =
+  let top = Cell.root ~name:"top" () in
+  let o = Wire.create top 1 in
+  let _ = Cell.prim top Prim.Gnd ~conns:[ ("G", o) ] in
+  let d = Design.create top in
+  let dangling =
+    List.filter
+      (function Design.Dangling_driver _ -> true | _ -> false)
+      (Design.validate d)
+  in
+  Alcotest.(check int) "one dangling driver" 1 (List.length dangling);
+  Alcotest.(check int) "not an error" 0 (List.length (Design.errors d))
+
+let test_validate_comb_loop () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top 1 and b = Wire.create top 1 in
+  let _ = Virtex.inv top a b in
+  let _ = Virtex.inv top b a in
+  let d = Design.create top in
+  let loops =
+    List.filter
+      (function Design.Combinational_loop _ -> true | _ -> false)
+      (Design.validate d)
+  in
+  Alcotest.(check int) "loop found" 1 (List.length loops)
+
+let test_ff_breaks_loop () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let d_w = Wire.create top 1 and q = Wire.create top 1 in
+  let _ = Virtex.inv top q d_w in
+  let _ = Virtex.fd top ~c:clk ~d:d_w ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  let loops =
+    List.filter
+      (function Design.Combinational_loop _ -> true | _ -> false)
+      (Design.validate d)
+  in
+  Alcotest.(check int) "no loop through ff" 0 (List.length loops)
+
+let test_stats_by_type () =
+  let d = make_full_adder_design () in
+  let stats = Design.stats d in
+  Alcotest.(check (list (pair string int))) "prims by type"
+    [ ("LUT2", 3); ("LUT3", 2) ]
+    stats.Design.prims_by_type
+
+let test_all_prims_order () =
+  let d = make_full_adder_design () in
+  Alcotest.(check int) "5 prims listed" 5 (List.length (Design.all_prims d))
+
+let test_port_lookup () =
+  let d = make_full_adder_design () in
+  Alcotest.(check bool) "find a" true (Option.is_some (Design.find_port d "a"));
+  Alcotest.(check bool) "missing port" true
+    (Option.is_none (Design.find_port d "nope"));
+  Alcotest.(check int) "3 inputs" 3 (List.length (Design.inputs d));
+  Alcotest.(check int) "2 outputs" 2 (List.length (Design.outputs d))
+
+let test_duplicate_port_rejected () =
+  let d = make_full_adder_design () in
+  let w = Wire.create (Design.root d) 1 in
+  Alcotest.(check bool) "duplicate name raises" true
+    (try Design.add_port d "a" Types.Input w; false
+     with Invalid_argument _ -> true)
+
+(* Property: arbitrary slice of a slice refers to the expected nets. *)
+let prop_slice_composition =
+  QCheck.Test.make ~name:"slice of slice composes" ~count:200
+    QCheck.(triple (int_range 1 24) (int_range 0 23) (int_range 0 23))
+    (fun (w, x, y) ->
+       QCheck.assume (x < w && y < w);
+       let lo = min x y and hi = max x y in
+       let top = Cell.root ~name:"t" () in
+       let wire = Wire.create top w in
+       let s1 = Wire.slice wire ~lo ~hi in
+       let s2 = Wire.slice s1 ~lo:0 ~hi:(Wire.width s1 - 1) in
+       let ok = ref true in
+       for i = 0 to Wire.width s2 - 1 do
+         if (Wire.net s2 i).Types.net_id <> (Wire.net wire (lo + i)).Types.net_id
+         then ok := false
+       done;
+       !ok)
+
+let suite =
+  [ Alcotest.test_case "wire create" `Quick test_wire_create;
+    Alcotest.test_case "wire unique names" `Quick test_wire_unique_names;
+    Alcotest.test_case "wire slice shares nets" `Quick test_wire_slice_shares_nets;
+    Alcotest.test_case "wire concat" `Quick test_wire_concat;
+    Alcotest.test_case "wire bad args" `Quick test_wire_bad_args;
+    Alcotest.test_case "hierarchy paths" `Quick test_hierarchy;
+    Alcotest.test_case "instance unique names" `Quick test_instance_unique_names;
+    Alcotest.test_case "prim terminals" `Quick test_prim_terminals;
+    Alcotest.test_case "double driver rejected" `Quick test_double_driver_rejected;
+    Alcotest.test_case "missing port rejected" `Quick test_prim_missing_port_rejected;
+    Alcotest.test_case "unknown port rejected" `Quick test_prim_unknown_port_rejected;
+    Alcotest.test_case "properties" `Quick test_properties;
+    Alcotest.test_case "rloc" `Quick test_rloc;
+    Alcotest.test_case "full adder structure" `Quick test_full_adder_structure;
+    Alcotest.test_case "validate undriven" `Quick test_validate_undriven;
+    Alcotest.test_case "validate dangling" `Quick test_validate_dangling;
+    Alcotest.test_case "validate comb loop" `Quick test_validate_comb_loop;
+    Alcotest.test_case "ff breaks loop" `Quick test_ff_breaks_loop;
+    Alcotest.test_case "stats by type" `Quick test_stats_by_type;
+    Alcotest.test_case "all prims order" `Quick test_all_prims_order;
+    Alcotest.test_case "port lookup" `Quick test_port_lookup;
+    Alcotest.test_case "duplicate port rejected" `Quick test_duplicate_port_rejected ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_slice_composition ]

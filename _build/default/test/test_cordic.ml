@@ -1,0 +1,167 @@
+(* CORDIC generator tests: bit-exact agreement with the integer golden
+   model, accuracy against the real-valued reference, pipelining. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Cordic = Jhdl_modgen.Cordic
+
+let cordic_sim ~width ~iterations ~pipelined =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let angle = Wire.create top ~name:"angle" width in
+  let cos_out = Wire.create top ~name:"cos" width in
+  let sin_out = Wire.create top ~name:"sin" width in
+  let cordic =
+    Cordic.create top ~clk ~angle ~cos_out ~sin_out ~iterations ~pipelined ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "angle" Types.Input angle;
+  Design.add_port d "cos" Types.Output cos_out;
+  Design.add_port d "sin" Types.Output sin_out;
+  (Simulator.create ~clock:clk d, cordic)
+
+let read_signed sim port =
+  match Bits.to_signed_int (Simulator.get_port sim port) with
+  | Some v -> v
+  | None -> Alcotest.failf "port %s undefined" port
+
+let test_matches_integer_model () =
+  let width = 12 and iterations = 10 in
+  let sim, _ = cordic_sim ~width ~iterations ~pipelined:false in
+  let quarter = 1 lsl (width - 2) in
+  List.iter
+    (fun angle ->
+       Simulator.set_input sim "angle" (Bits.of_int ~width angle);
+       let cos_ref, sin_ref = Cordic.reference ~width ~iterations angle in
+       Alcotest.(check int)
+         (Printf.sprintf "cos at %d" angle)
+         cos_ref (read_signed sim "cos");
+       Alcotest.(check int)
+         (Printf.sprintf "sin at %d" angle)
+         sin_ref (read_signed sim "sin"))
+    [ 0; 1; -1; quarter / 2; -quarter / 2; quarter; -quarter; 100; -317 ]
+
+let test_accuracy_vs_float () =
+  let width = 14 and iterations = 12 in
+  let sim, _ = cordic_sim ~width ~iterations ~pipelined:false in
+  let quarter = 1 lsl (width - 2) in
+  let tolerance = float_of_int iterations in
+  for step = -8 to 8 do
+    let angle = step * quarter / 8 in
+    Simulator.set_input sim "angle" (Bits.of_int ~width angle);
+    let cos_f, sin_f = Cordic.float_reference ~width angle in
+    let cos_m = float_of_int (read_signed sim "cos") in
+    let sin_m = float_of_int (read_signed sim "sin") in
+    Alcotest.(check bool)
+      (Printf.sprintf "cos accuracy at %d (got %.0f want %.1f)" angle cos_m cos_f)
+      true
+      (Float.abs (cos_m -. cos_f) <= tolerance);
+    Alcotest.(check bool)
+      (Printf.sprintf "sin accuracy at %d" angle)
+      true
+      (Float.abs (sin_m -. sin_f) <= tolerance)
+  done
+
+let test_identity_sin2_cos2 () =
+  (* x^2 + y^2 should be close to (2^(w-2))^2 at every angle *)
+  let width = 12 and iterations = 10 in
+  let sim, _ = cordic_sim ~width ~iterations ~pipelined:false in
+  let amplitude = float_of_int (1 lsl (width - 2)) in
+  for step = -4 to 4 do
+    let angle = step * (1 lsl (width - 2)) / 4 in
+    Simulator.set_input sim "angle" (Bits.of_int ~width angle);
+    let x = float_of_int (read_signed sim "cos") in
+    let y = float_of_int (read_signed sim "sin") in
+    let radius = Float.sqrt ((x *. x) +. (y *. y)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "radius at %d (got %.1f)" angle radius)
+      true
+      (Float.abs (radius -. amplitude) <= amplitude *. 0.02)
+  done
+
+let test_pipelined_latency_and_value () =
+  let width = 10 and iterations = 8 in
+  let sim, cordic = cordic_sim ~width ~iterations ~pipelined:true in
+  Alcotest.(check int) "latency = iterations" iterations cordic.Cordic.latency;
+  let angle = 1 lsl (width - 3) in
+  Simulator.set_input sim "angle" (Bits.of_int ~width angle);
+  Simulator.cycle ~n:cordic.Cordic.latency sim;
+  let cos_ref, sin_ref = Cordic.reference ~width ~iterations angle in
+  Alcotest.(check int) "pipelined cos" cos_ref (read_signed sim "cos");
+  Alcotest.(check int) "pipelined sin" sin_ref (read_signed sim "sin")
+
+let test_pipelined_throughput () =
+  let width = 10 and iterations = 6 in
+  let sim, cordic = cordic_sim ~width ~iterations ~pipelined:true in
+  let angles = List.init 10 (fun i -> (i * 53 mod 256) - 128) in
+  let results = ref [] in
+  List.iteri
+    (fun i angle ->
+       Simulator.set_input sim "angle" (Bits.of_int ~width angle);
+       Simulator.cycle sim;
+       if i >= cordic.Cordic.latency - 1 then
+         results := read_signed sim "cos" :: !results)
+    angles;
+  let results = List.rev !results in
+  List.iteri
+    (fun i angle ->
+       match List.nth_opt results i with
+       | None -> ()
+       | Some got ->
+         let expect, _ = Cordic.reference ~width ~iterations angle in
+         Alcotest.(check int) (Printf.sprintf "stream sample %d" i) expect got)
+    angles
+
+let test_rejects_bad_args () =
+  let top = Cell.root ~name:"top" () in
+  let angle = Wire.create top ~name:"angle" 12 in
+  let c = Wire.create top ~name:"c" 12 in
+  let s = Wire.create top ~name:"s" 10 in
+  Alcotest.(check bool) "width mismatch" true
+    (try
+       ignore
+         (Cordic.create top ~angle ~cos_out:c ~sin_out:s ~iterations:8
+            ~pipelined:false ());
+       false
+     with Invalid_argument _ -> true);
+  let s12 = Wire.create top ~name:"s12" 12 in
+  Alcotest.(check bool) "pipelined needs clock" true
+    (try
+       ignore
+         (Cordic.create top ~angle ~cos_out:c ~sin_out:s12 ~iterations:8
+            ~pipelined:true ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too many iterations" true
+    (try
+       ignore
+         (Cordic.create top ~angle ~cos_out:c ~sin_out:s12 ~iterations:40
+            ~pipelined:false ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_cordic_matches_reference =
+  let sim = lazy (cordic_sim ~width:12 ~iterations:10 ~pipelined:false) in
+  QCheck.Test.make ~name:"cordic matches integer model on random angles"
+    ~count:100
+    (QCheck.int_range (-(1 lsl 10)) (1 lsl 10))
+    (fun angle ->
+       let sim, _ = Lazy.force sim in
+       Simulator.set_input sim "angle" (Bits.of_int ~width:12 angle);
+       let cos_ref, sin_ref = Cordic.reference ~width:12 ~iterations:10 angle in
+       read_signed sim "cos" = cos_ref && read_signed sim "sin" = sin_ref)
+
+let suite =
+  [ Alcotest.test_case "matches integer model" `Quick test_matches_integer_model;
+    Alcotest.test_case "accuracy vs float" `Quick test_accuracy_vs_float;
+    Alcotest.test_case "sin^2+cos^2 identity" `Quick test_identity_sin2_cos2;
+    Alcotest.test_case "pipelined latency and value" `Quick
+      test_pipelined_latency_and_value;
+    Alcotest.test_case "pipelined throughput" `Quick test_pipelined_throughput;
+    Alcotest.test_case "rejects bad args" `Quick test_rejects_bad_args ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_cordic_matches_reference ]

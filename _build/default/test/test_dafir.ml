@@ -1,0 +1,151 @@
+(* Distributed-arithmetic FIR tests: equivalence with the reference
+   response and with the KCM-based filter. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Estimate = Jhdl_estimate.Estimate
+module Fir = Jhdl_modgen.Fir
+module Dafir = Jhdl_modgen.Dafir
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+let dafir_sim ~xw ~yw ~signed_mode ~coefficients =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" xw in
+  let y = Wire.create top ~name:"y" yw in
+  let dafir = Dafir.create top ~clk ~x ~y ~signed_mode ~coefficients () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "y" Types.Output y;
+  (Simulator.create ~clock:clk d, dafir)
+
+let run sim ~xw samples =
+  List.map
+    (fun x ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:xw x);
+       let y = Simulator.get_port sim "y" in
+       Simulator.cycle sim;
+       y)
+    samples
+
+let test_da_unsigned () =
+  let coefficients = [ 3; 7; 1; 5 ] in
+  let sim, dafir = dafir_sim ~xw:6 ~yw:24 ~signed_mode:false ~coefficients in
+  let samples = [ 1; 0; 0; 0; 5; 63; 0; 17; 42; 9 ] in
+  let got = run sim ~xw:6 samples in
+  let expected =
+    Fir.expected_response ~signed_mode:false ~coefficients
+      ~full_width:dafir.Dafir.full_width ~out_width:24 samples
+  in
+  List.iteri
+    (fun i (e, g) -> Alcotest.check bits (Printf.sprintf "sample %d" i) e g)
+    (List.combine expected got)
+
+let test_da_signed () =
+  let coefficients = [ -2; 5; -7; 3 ] in
+  let sim, dafir = dafir_sim ~xw:6 ~yw:24 ~signed_mode:true ~coefficients in
+  let samples = [ 5; -3; 17; -32; 31; 0; 8; -8; 13; 2 ] in
+  let got = run sim ~xw:6 samples in
+  let expected =
+    Fir.expected_response ~signed_mode:true ~coefficients
+      ~full_width:dafir.Dafir.full_width ~out_width:24 samples
+  in
+  List.iteri
+    (fun i (e, g) -> Alcotest.check bits (Printf.sprintf "sample %d" i) e g)
+    (List.combine expected got)
+
+let test_da_single_tap () =
+  (* one tap degenerates to a constant multiplier *)
+  let sim, dafir = dafir_sim ~xw:5 ~yw:16 ~signed_mode:false ~coefficients:[ 11 ] in
+  let samples = [ 0; 1; 31; 16; 7 ] in
+  let got = run sim ~xw:5 samples in
+  let expected =
+    Fir.expected_response ~signed_mode:false ~coefficients:[ 11 ]
+      ~full_width:dafir.Dafir.full_width ~out_width:16 samples
+  in
+  List.iteri
+    (fun i (e, g) -> Alcotest.check bits (Printf.sprintf "sample %d" i) e g)
+    (List.combine expected got)
+
+let test_da_rejects_bad () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" 6 in
+  let y = Wire.create top ~name:"y" 20 in
+  Alcotest.(check bool) "5 taps refused" true
+    (try
+       ignore
+         (Dafir.create top ~clk ~x ~y ~signed_mode:true
+            ~coefficients:[ 1; 2; 3; 4; 5 ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative unsigned refused" true
+    (try
+       ignore
+         (Dafir.create top ~clk ~x ~y ~signed_mode:false
+            ~coefficients:[ 1; -2 ] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* equivalence of the two filter architectures, output widths aligned *)
+let test_da_matches_kcm_fir () =
+  let coefficients = [ -1; -2; 6; -2 ] in
+  let xw = 6 in
+  let yw = 24 in
+  let da_sim, _ = dafir_sim ~xw ~yw ~signed_mode:true ~coefficients in
+  let kcm_sim =
+    let top = Cell.root ~name:"top" () in
+    let clk = Wire.create top ~name:"clk" 1 in
+    let x = Wire.create top ~name:"x" xw in
+    let y = Wire.create top ~name:"y" yw in
+    let _ = Fir.create top ~clk ~x ~y ~signed_mode:true ~coefficients () in
+    let d = Design.create top in
+    Design.add_port d "clk" Types.Input clk;
+    Design.add_port d "x" Types.Input x;
+    Design.add_port d "y" Types.Output y;
+    Simulator.create ~clock:clk d
+  in
+  let samples = List.init 16 (fun i -> ((i * 29) mod 64) - 32) in
+  List.iteri
+    (fun i x ->
+       let xb = Bits.of_int ~width:xw x in
+       Simulator.set_input da_sim "x" xb;
+       Simulator.set_input kcm_sim "x" xb;
+       let da_y = Simulator.get_port da_sim "y" in
+       let kcm_y = Simulator.get_port kcm_sim "y" in
+       (* both deliver sign-extended full values at yw = 24 > both
+          accumulation widths, so the numeric values must agree *)
+       Alcotest.(check (option int))
+         (Printf.sprintf "architectures agree on sample %d" i)
+         (Bits.to_signed_int kcm_y) (Bits.to_signed_int da_y);
+       Simulator.cycle da_sim;
+       Simulator.cycle kcm_sim)
+    samples
+
+let test_da_area_tradeoff () =
+  (* DA area tracks input width; KCM-FIR area tracks coefficient width *)
+  let coefficients = [ 3; 5; 7; 9 ] in
+  let da_area xw =
+    let top = Cell.root ~name:"top" () in
+    let clk = Wire.create top ~name:"clk" 1 in
+    let x = Wire.create top ~name:"x" xw in
+    let y = Wire.create top ~name:"y" 24 in
+    let _ = Dafir.create top ~clk ~x ~y ~signed_mode:false ~coefficients () in
+    (Estimate.area_of_cell top).Estimate.area.Jhdl_virtex.Virtex.luts
+  in
+  Alcotest.(check bool) "wider input, more DA LUTs" true
+    (da_area 12 > da_area 4)
+
+let suite =
+  [ Alcotest.test_case "da unsigned" `Quick test_da_unsigned;
+    Alcotest.test_case "da signed" `Quick test_da_signed;
+    Alcotest.test_case "da single tap" `Quick test_da_single_tap;
+    Alcotest.test_case "da rejects bad" `Quick test_da_rejects_bad;
+    Alcotest.test_case "da matches kcm fir" `Quick test_da_matches_kcm_fir;
+    Alcotest.test_case "da area tradeoff" `Quick test_da_area_tradeoff ]

@@ -1,0 +1,218 @@
+(* Estimator tests: area bookkeeping and static timing shape. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Estimate = Jhdl_estimate.Estimate
+module Adders = Jhdl_modgen.Adders
+module Kcm = Jhdl_modgen.Kcm
+
+let adder_design ~width builder =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" width in
+  let b = Wire.create top ~name:"b" width in
+  let sum = Wire.create top ~name:"sum" width in
+  let _ = builder top ~a ~b ~sum in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "sum" Types.Output sum;
+  d
+
+let test_area_carry_chain () =
+  let d =
+    adder_design ~width:8 (fun top ~a ~b ~sum ->
+      Adders.carry_chain top ~a ~b ~sum ())
+  in
+  let r = Estimate.area_of_design d in
+  Alcotest.(check int) "8 luts" 8 r.Estimate.area.Jhdl_virtex.Virtex.luts;
+  Alcotest.(check int) "16 carry cells" 16
+    r.Estimate.area.Jhdl_virtex.Virtex.carry_muxes;
+  Alcotest.(check int) "no ffs" 0 r.Estimate.area.Jhdl_virtex.Virtex.ffs
+
+let test_area_ripple_bigger () =
+  let cc =
+    Estimate.area_of_design
+      (adder_design ~width:8 (fun top ~a ~b ~sum ->
+         Adders.carry_chain top ~a ~b ~sum ()))
+  in
+  let rc =
+    Estimate.area_of_design
+      (adder_design ~width:8 (fun top ~a ~b ~sum ->
+         Adders.ripple_carry top ~a ~b ~sum ()))
+  in
+  Alcotest.(check bool) "ripple uses more LUTs" true
+    (rc.Estimate.area.Jhdl_virtex.Virtex.luts
+     > cc.Estimate.area.Jhdl_virtex.Virtex.luts)
+
+let test_timing_carry_chain_faster () =
+  let cc =
+    Estimate.timing_of_design
+      (adder_design ~width:12 (fun top ~a ~b ~sum ->
+         Adders.carry_chain top ~a ~b ~sum ()))
+  in
+  let rc =
+    Estimate.timing_of_design
+      (adder_design ~width:12 (fun top ~a ~b ~sum ->
+         Adders.ripple_carry top ~a ~b ~sum ()))
+  in
+  Alcotest.(check bool) "carry chain is faster" true
+    (cc.Estimate.critical_path_ps < rc.Estimate.critical_path_ps);
+  Alcotest.(check bool) "ripple has more levels" true
+    (rc.Estimate.logic_levels > cc.Estimate.logic_levels)
+
+let test_timing_grows_with_width () =
+  let time w =
+    (Estimate.timing_of_design
+       (adder_design ~width:w (fun top ~a ~b ~sum ->
+          Adders.carry_chain top ~a ~b ~sum ())))
+      .Estimate.critical_path_ps
+  in
+  Alcotest.(check bool) "wider is slower" true (time 16 > time 4)
+
+let test_timing_register_path () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let d_in = Wire.create top ~name:"d" 1 in
+  let q = Wire.create top ~name:"q" 1 in
+  let t = Wire.create top 1 in
+  let _ = Virtex.fd top ~c:clk ~d:d_in ~q:t () in
+  let t2 = Wire.create top 1 in
+  let _ = Virtex.inv top t t2 in
+  let _ = Virtex.fd top ~c:clk ~d:t2 ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "d" Types.Input d_in;
+  Design.add_port d "q" Types.Output q;
+  let r = Estimate.timing_of_design d in
+  (* clk->q + net + lut + net + setup *)
+  let expected =
+    Jhdl_virtex.Virtex.clk_to_q_ps
+    + Jhdl_virtex.Virtex.net_delay_ps ~fanout:1
+    + 470
+    + Jhdl_virtex.Virtex.net_delay_ps ~fanout:1
+    + Jhdl_virtex.Virtex.setup_ps
+  in
+  Alcotest.(check int) "reg-to-reg path" expected r.Estimate.critical_path_ps;
+  (match r.Estimate.path_end with
+   | Estimate.At_register _ -> ()
+   | Estimate.At_output _ -> Alcotest.fail "expected a register endpoint")
+
+let test_pipelining_shortens_critical_path () =
+  let kcm_timing ~pipelined =
+    let top = Cell.root ~name:"top" () in
+    let clk = Wire.create top ~name:"clk" 1 in
+    let m = Wire.create top ~name:"m" 12 in
+    let p = Wire.create top ~name:"p" 20 in
+    let _ =
+      Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:false
+        ~pipelined_mode:pipelined ~constant:201 ()
+    in
+    let d = Design.create top in
+    Design.add_port d "clk" Types.Input clk;
+    Design.add_port d "m" Types.Input m;
+    Design.add_port d "p" Types.Output p;
+    (Estimate.timing_of_design d).Estimate.critical_path_ps
+  in
+  Alcotest.(check bool) "pipelined kcm has shorter critical path" true
+    (kcm_timing ~pipelined:true < kcm_timing ~pipelined:false)
+
+let test_black_box_counted_separately () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 4 in
+  let o = Wire.create top ~name:"o" 4 in
+  let make_behavior () =
+    { Jhdl_circuit.Prim.comb = (fun ~read -> [ ("O", read "A") ]);
+      clock_edge = None;
+      state_reset = None }
+  in
+  let _ =
+    Cell.black_box top ~model_name:"BB" ~make_behavior
+      ~ports:[ ("A", Types.Input, a); ("O", Types.Output, o) ]
+      ()
+  in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "o" Types.Output o;
+  let r = Estimate.area_of_design d in
+  Alcotest.(check int) "no luts" 0 r.Estimate.area.Jhdl_virtex.Virtex.luts;
+  Alcotest.(check int) "one black box" 1 r.Estimate.black_boxes
+
+let test_area_of_cell_subtree () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 4 in
+  let b = Wire.create top ~name:"b" 4 in
+  let s1 = Wire.create top ~name:"s1" 4 in
+  let s2 = Wire.create top ~name:"s2" 4 in
+  let add1 = Adders.carry_chain top ~name:"add1" ~a ~b ~sum:s1 () in
+  let _ = Adders.carry_chain top ~name:"add2" ~a:s1 ~b ~sum:s2 () in
+  let whole = Estimate.area_of_design (Design.create top) in
+  let part = Estimate.area_of_cell add1 in
+  Alcotest.(check int) "subtree is half the carry"
+    (whole.Estimate.area.Jhdl_virtex.Virtex.carry_muxes / 2)
+    part.Estimate.area.Jhdl_virtex.Virtex.carry_muxes
+
+let test_combined_report () =
+  let d =
+    adder_design ~width:4 (fun top ~a ~b ~sum ->
+      Adders.carry_chain top ~a ~b ~sum ())
+  in
+  let text = Estimate.to_string (Estimate.of_design d) in
+  Alcotest.(check bool) "mentions slices" true
+    (String.length text > 0
+     &&
+     let rec contains i =
+       i + 6 <= String.length text
+       && (String.sub text i 6 = "slices" || contains (i + 1))
+     in
+     contains 0)
+
+let test_placement_aware_timing () =
+  let build () =
+    adder_design ~width:12 (fun top ~a ~b ~sum ->
+      Adders.carry_chain top ~a ~b ~sum ())
+  in
+  let placed =
+    (Estimate.timing_of_design ~use_placement:true (build ()))
+      .Estimate.critical_path_ps
+  in
+  let generic =
+    (Estimate.timing_of_design (build ())).Estimate.critical_path_ps
+  in
+  Alcotest.(check bool) "tight placement beats the generic estimate" true
+    (placed < generic);
+  (* stripping the RLOCs makes placement-aware timing match the generic *)
+  let stripped = build () in
+  Cell.iter_rec Cell.clear_rloc (Design.root stripped);
+  Alcotest.(check int) "stripped equals generic" generic
+    (Estimate.timing_of_design ~use_placement:true stripped)
+      .Estimate.critical_path_ps
+
+let test_placed_net_delay_model () =
+  Alcotest.(check bool) "adjacent hop is cheap" true
+    (Estimate.placed_net_delay_ps ~distance:0 ~fanout:1
+     < Jhdl_virtex.Virtex.net_delay_ps ~fanout:1);
+  Alcotest.(check bool) "long hops cost more" true
+    (Estimate.placed_net_delay_ps ~distance:10 ~fanout:1
+     > Estimate.placed_net_delay_ps ~distance:1 ~fanout:1)
+
+let suite =
+  [ Alcotest.test_case "area carry chain" `Quick test_area_carry_chain;
+    Alcotest.test_case "placement-aware timing" `Quick
+      test_placement_aware_timing;
+    Alcotest.test_case "placed net delay model" `Quick
+      test_placed_net_delay_model;
+    Alcotest.test_case "ripple bigger than carry" `Quick test_area_ripple_bigger;
+    Alcotest.test_case "carry chain faster" `Quick
+      test_timing_carry_chain_faster;
+    Alcotest.test_case "timing grows with width" `Quick
+      test_timing_grows_with_width;
+    Alcotest.test_case "register path timing" `Quick test_timing_register_path;
+    Alcotest.test_case "pipelining shortens path" `Quick
+      test_pipelining_shortens_critical_path;
+    Alcotest.test_case "black box counted separately" `Quick
+      test_black_box_counted_separately;
+    Alcotest.test_case "area of subtree" `Quick test_area_of_cell_subtree;
+    Alcotest.test_case "combined report" `Quick test_combined_report ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "jhdl-applets"
+    [ ("logic", Test_logic.suite);
+      ("circuit", Test_circuit.suite);
+      ("sim", Test_sim.suite);
+      ("netlist", Test_netlist.suite);
+      ("estimate", Test_estimate.suite);
+      ("modgen", Test_modgen.suite);
+      ("cordic", Test_cordic.suite);
+      ("dafir", Test_dafir.suite);
+      ("testbench", Test_testbench.suite);
+      ("misc-logic", Test_misc_logic.suite);
+      ("placer", Test_placer.suite);
+      ("equiv", Test_equiv.suite);
+      ("viewer", Test_viewer.suite);
+      ("bundle", Test_bundle.suite);
+      ("security", Test_security.suite);
+      ("applet", Test_applet.suite);
+      ("webserver", Test_webserver.suite);
+      ("netproto", Test_netproto.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("scale", Test_scale.suite) ]

@@ -1,0 +1,157 @@
+(* Tests for the LFSR, barrel shifter, priority encoder and Gray
+   counter generators. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Misc_logic = Jhdl_modgen.Misc_logic
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+(* {1 lfsr} *)
+
+let lfsr_sim ~width ~taps =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" width in
+  let _ = Misc_logic.lfsr top ~clk ~taps ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  Simulator.create ~clock:clk d
+
+let test_lfsr_matches_reference () =
+  let width = 8 and taps = [ 8; 6; 5; 4 ] in
+  let sim = lfsr_sim ~width ~taps in
+  let expected = Misc_logic.lfsr_reference ~width ~taps ~cycles:40 in
+  List.iteri
+    (fun i e ->
+       Simulator.cycle sim;
+       Alcotest.check bits
+         (Printf.sprintf "state after cycle %d" (i + 1))
+         (Bits.of_int ~width e)
+         (Simulator.get_port sim "q"))
+    expected
+
+let test_lfsr_maximal_period () =
+  (* x^4 + x^3 + 1 is maximal: period 15 *)
+  let width = 4 and taps = [ 4; 3 ] in
+  let states = Misc_logic.lfsr_reference ~width ~taps ~cycles:15 in
+  Alcotest.(check int) "15 distinct states" 15
+    (List.length (List.sort_uniq Int.compare states));
+  Alcotest.(check bool) "never all-zero" true
+    (List.for_all (fun s -> s <> 0) states);
+  Alcotest.(check (list int)) "returns to seed"
+    [ 15 ]
+    (List.filteri (fun i _ -> i = 14) states)
+
+let test_lfsr_bad_taps () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 8 in
+  Alcotest.(check bool) "tap out of range" true
+    (try ignore (Misc_logic.lfsr top ~clk ~taps:[ 9 ] ~q ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty taps" true
+    (try ignore (Misc_logic.lfsr top ~clk ~taps:[] ~q ()); false
+     with Invalid_argument _ -> true)
+
+(* {1 barrel shifter} *)
+
+let test_barrel_shifter () =
+  let top = Cell.root ~name:"top" () in
+  let x = Wire.create top ~name:"x" 8 in
+  let amount = Wire.create top ~name:"amount" 4 in
+  let y = Wire.create top ~name:"y" 8 in
+  let _ = Misc_logic.barrel_shift_left top ~x ~amount ~y () in
+  let d = Design.create top in
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "amount" Types.Input amount;
+  Design.add_port d "y" Types.Output y;
+  let sim = Simulator.create d in
+  List.iter
+    (fun (value, shift) ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:8 value);
+       Simulator.set_input sim "amount" (Bits.of_int ~width:4 shift);
+       Alcotest.check bits
+         (Printf.sprintf "%d << %d" value shift)
+         (Bits.of_int ~width:8 (if shift >= 8 then 0 else (value lsl shift) land 0xFF))
+         (Simulator.get_port sim "y"))
+    [ (0b1, 0); (0b1, 3); (0xFF, 4); (0xAB, 1); (0x80, 1); (0x0F, 8);
+      (0xFF, 15); (0x55, 7) ]
+
+(* {1 priority encoder} *)
+
+let test_priority_encoder () =
+  let top = Cell.root ~name:"top" () in
+  let x = Wire.create top ~name:"x" 8 in
+  let index = Wire.create top ~name:"index" 3 in
+  let valid = Wire.create top ~name:"valid" 1 in
+  let _ = Misc_logic.priority_encoder top ~x ~index ~valid () in
+  let d = Design.create top in
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "index" Types.Output index;
+  Design.add_port d "valid" Types.Output valid;
+  let sim = Simulator.create d in
+  for value = 0 to 255 do
+    Simulator.set_input sim "x" (Bits.of_int ~width:8 value);
+    if value = 0 then
+      Alcotest.check bits "invalid on zero" (Bits.of_int ~width:1 0)
+        (Simulator.get_port sim "valid")
+    else begin
+      let expected =
+        let rec top_bit i = if value lsr i <> 0 then top_bit (i + 1) else i - 1 in
+        top_bit 0
+      in
+      Alcotest.check bits
+        (Printf.sprintf "index of %d" value)
+        (Bits.of_int ~width:3 expected)
+        (Simulator.get_port sim "index");
+      Alcotest.check bits "valid" (Bits.of_int ~width:1 1)
+        (Simulator.get_port sim "valid")
+    end
+  done
+
+(* {1 gray counter} *)
+
+let test_gray_counter () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 4 in
+  let _ = Misc_logic.gray_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  let gray n = n lxor (n lsr 1) in
+  let previous = ref (Bits.to_int (Simulator.get_port sim "q")) in
+  for n = 1 to 20 do
+    Simulator.cycle sim;
+    let got = Simulator.get_port sim "q" in
+    Alcotest.check bits
+      (Printf.sprintf "gray of %d" n)
+      (Bits.of_int ~width:4 (gray (n land 15)))
+      got;
+    (* adjacent Gray codes differ in exactly one bit *)
+    (match !previous, Bits.to_int got with
+     | Some p, Some g ->
+       let rec popcount v = if v = 0 then 0 else (v land 1) + popcount (v lsr 1) in
+       Alcotest.(check int)
+         (Printf.sprintf "hamming distance at %d" n)
+         1
+         (popcount (p lxor g))
+     | _ -> Alcotest.fail "undefined counter output");
+    previous := Bits.to_int got
+  done
+
+let suite =
+  [ Alcotest.test_case "lfsr matches reference" `Quick
+      test_lfsr_matches_reference;
+    Alcotest.test_case "lfsr maximal period" `Quick test_lfsr_maximal_period;
+    Alcotest.test_case "lfsr bad taps" `Quick test_lfsr_bad_taps;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+    Alcotest.test_case "gray counter" `Quick test_gray_counter ]

@@ -1,0 +1,832 @@
+(* Module-generator tests: every generator simulated against a reference
+   model. The KCM — the paper's running example — is tested exhaustively
+   on small widths and by property on larger ones. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Simulator = Jhdl_sim.Simulator
+module Kcm = Jhdl_modgen.Kcm
+module Fir = Jhdl_modgen.Fir
+module Adders = Jhdl_modgen.Adders
+module Counter = Jhdl_modgen.Counter
+module Datapath = Jhdl_modgen.Datapath
+module Multiplier = Jhdl_modgen.Multiplier
+module Util = Jhdl_modgen.Util
+module Estimate = Jhdl_estimate.Estimate
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+(* {1 harness builders} *)
+
+let two_in_one_out ~wa ~wb ~wout build =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" wa in
+  let b = Wire.create top ~name:"b" wb in
+  let out = Wire.create top ~name:"out" wout in
+  build top ~a ~b ~out;
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "out" Types.Output out;
+  Simulator.create d
+
+(* {1 adders} *)
+
+let test_carry_chain_adder () =
+  let sim =
+    two_in_one_out ~wa:8 ~wb:8 ~wout:8 (fun top ~a ~b ~out ->
+      ignore (Adders.carry_chain top ~a ~b ~sum:out ()))
+  in
+  List.iter
+    (fun (x, y) ->
+       Simulator.set_input sim "a" (Bits.of_int ~width:8 x);
+       Simulator.set_input sim "b" (Bits.of_int ~width:8 y);
+       Alcotest.check bits
+         (Printf.sprintf "%d+%d" x y)
+         (Bits.of_int ~width:8 (x + y))
+         (Simulator.get_port sim "out"))
+    [ (0, 0); (1, 1); (200, 100); (255, 255); (127, 1); (85, 170) ]
+
+let test_carry_chain_cin_cout () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 4 in
+  let b = Wire.create top ~name:"b" 4 in
+  let sum = Wire.create top ~name:"sum" 4 in
+  let cin = Wire.create top ~name:"cin" 1 in
+  let cout = Wire.create top ~name:"cout" 1 in
+  let _ = Adders.carry_chain top ~a ~b ~sum ~cin ~cout () in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "cin" Types.Input cin;
+  Design.add_port d "sum" Types.Output sum;
+  Design.add_port d "cout" Types.Output cout;
+  let sim = Simulator.create d in
+  Simulator.set_input sim "a" (Bits.of_int ~width:4 15);
+  Simulator.set_input sim "b" (Bits.of_int ~width:4 0);
+  Simulator.set_input sim "cin" (Bits.of_int ~width:1 1);
+  Alcotest.check bits "15+0+1 wraps" (Bits.of_int ~width:4 0)
+    (Simulator.get_port sim "sum");
+  Alcotest.check bits "carry out" (Bits.of_int ~width:1 1)
+    (Simulator.get_port sim "cout")
+
+let test_ripple_equals_carry_chain () =
+  let mk build = two_in_one_out ~wa:6 ~wb:6 ~wout:6 build in
+  let rc =
+    mk (fun top ~a ~b ~out -> ignore (Adders.ripple_carry top ~a ~b ~sum:out ()))
+  in
+  let cc =
+    mk (fun top ~a ~b ~out -> ignore (Adders.carry_chain top ~a ~b ~sum:out ()))
+  in
+  for x = 0 to 63 do
+    let y = (x * 37 + 11) land 63 in
+    List.iter
+      (fun sim ->
+         Simulator.set_input sim "a" (Bits.of_int ~width:6 x);
+         Simulator.set_input sim "b" (Bits.of_int ~width:6 y))
+      [ rc; cc ];
+    Alcotest.check bits
+      (Printf.sprintf "agree on %d+%d" x y)
+      (Simulator.get_port rc "out")
+      (Simulator.get_port cc "out")
+  done
+
+let test_subtractor () =
+  let sim =
+    two_in_one_out ~wa:8 ~wb:8 ~wout:8 (fun top ~a ~b ~out ->
+      ignore (Adders.subtractor top ~a ~b ~diff:out ()))
+  in
+  List.iter
+    (fun (x, y) ->
+       Simulator.set_input sim "a" (Bits.of_int ~width:8 x);
+       Simulator.set_input sim "b" (Bits.of_int ~width:8 y);
+       Alcotest.check bits
+         (Printf.sprintf "%d-%d" x y)
+         (Bits.of_int ~width:8 (x - y))
+         (Simulator.get_port sim "out"))
+    [ (10, 3); (3, 10); (255, 255); (0, 1); (128, 64) ]
+
+let test_add_sub () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 8 in
+  let b = Wire.create top ~name:"b" 8 in
+  let result = Wire.create top ~name:"r" 8 in
+  let sub = Wire.create top ~name:"sub" 1 in
+  let _ = Adders.add_sub top ~sub ~a ~b ~result () in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "sub" Types.Input sub;
+  Design.add_port d "r" Types.Output result;
+  let sim = Simulator.create d in
+  Simulator.set_input sim "a" (Bits.of_int ~width:8 100);
+  Simulator.set_input sim "b" (Bits.of_int ~width:8 42);
+  Simulator.set_input sim "sub" (Bits.of_int ~width:1 0);
+  Alcotest.check bits "add mode" (Bits.of_int ~width:8 142)
+    (Simulator.get_port sim "r");
+  Simulator.set_input sim "sub" (Bits.of_int ~width:1 1);
+  Alcotest.check bits "sub mode" (Bits.of_int ~width:8 58)
+    (Simulator.get_port sim "r")
+
+let test_accumulator () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" 8 in
+  let acc = Wire.create top ~name:"acc" 8 in
+  let _ = Adders.accumulator top ~clk ~x ~acc () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "acc" Types.Output acc;
+  let sim = Simulator.create ~clock:clk d in
+  Simulator.set_input sim "x" (Bits.of_int ~width:8 7);
+  Simulator.cycle ~n:4 sim;
+  Alcotest.check bits "4 x 7" (Bits.of_int ~width:8 28)
+    (Simulator.get_port sim "acc")
+
+(* {1 KCM} *)
+
+let kcm_sim ~n ~pw ~signed_mode ~pipelined_mode ~constant =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" n in
+  let p = Wire.create top ~name:"p" pw in
+  let kcm =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode ~pipelined_mode
+      ~constant ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  (Simulator.create ~clock:clk d, kcm)
+
+let check_kcm ~n ~pw ~signed_mode ~constant () =
+  let sim, kcm = kcm_sim ~n ~pw ~signed_mode ~pipelined_mode:false ~constant in
+  for x = 0 to (1 lsl n) - 1 do
+    let xb = Bits.of_int ~width:n x in
+    Simulator.set_input sim "m" xb;
+    let expected =
+      Kcm.expected_product ~signed_mode ~constant
+        ~full_width:kcm.Kcm.full_width ~product_width:pw xb
+    in
+    Alcotest.check bits
+      (Printf.sprintf "K=%d x=%d (signed=%b)" constant x signed_mode)
+      expected (Simulator.get_port sim "p")
+  done
+
+let test_kcm_unsigned_exhaustive () =
+  List.iter
+    (fun constant ->
+       check_kcm ~n:6 ~pw:13 ~signed_mode:false ~constant ())
+    [ 0; 1; 3; 7; 13; 56; 100; 127 ]
+
+let test_kcm_signed_exhaustive () =
+  List.iter
+    (fun constant -> check_kcm ~n:6 ~pw:14 ~signed_mode:true ~constant ())
+    [ -56; -1; -128; 0; 5; 127; -100 ]
+
+let test_kcm_paper_example () =
+  (* 8-bit multiplicand, constant -56, 12-bit product: the paper's code
+     fragment from Section 3.1 *)
+  let sim, kcm =
+    kcm_sim ~n:8 ~pw:12 ~signed_mode:true ~pipelined_mode:false ~constant:(-56)
+  in
+  Alcotest.(check int) "two digit tables" 2 kcm.Kcm.table_count;
+  List.iter
+    (fun x ->
+       let xb = Bits.of_int ~width:8 x in
+       Simulator.set_input sim "m" xb;
+       let expected =
+         Kcm.expected_product ~signed_mode:true ~constant:(-56)
+           ~full_width:kcm.Kcm.full_width ~product_width:12 xb
+       in
+       Alcotest.check bits (Printf.sprintf "-56 * %d" x) expected
+         (Simulator.get_port sim "p"))
+    [ 0; 1; -1; 127; -128; 42; -42; 100; -100 ]
+
+let test_kcm_wide_product_extension () =
+  (* product wider than the full product: sign extension *)
+  let sim, kcm =
+    kcm_sim ~n:4 ~pw:16 ~signed_mode:true ~pipelined_mode:false ~constant:(-3)
+  in
+  Alcotest.(check bool) "wider than full" true (kcm.Kcm.full_width < 16);
+  List.iter
+    (fun x ->
+       let xb = Bits.of_int ~width:4 x in
+       Simulator.set_input sim "m" xb;
+       Alcotest.check bits
+         (Printf.sprintf "-3 * %d extended" x)
+         (Kcm.expected_product ~signed_mode:true ~constant:(-3)
+            ~full_width:kcm.Kcm.full_width ~product_width:16 xb)
+         (Simulator.get_port sim "p"))
+    [ 0; 7; -8; 3; -3 ]
+
+let test_kcm_pipelined_latency () =
+  let sim, kcm =
+    kcm_sim ~n:12 ~pw:20 ~signed_mode:false ~pipelined_mode:true ~constant:201
+  in
+  Alcotest.(check int) "3 tables" 3 kcm.Kcm.table_count;
+  Alcotest.(check int) "latency = adder stages" 2 kcm.Kcm.latency;
+  let x = 3000 in
+  Simulator.set_input sim "m" (Bits.of_int ~width:12 x);
+  Simulator.cycle ~n:kcm.Kcm.latency sim;
+  Alcotest.check bits "pipelined result"
+    (Kcm.expected_product ~signed_mode:false ~constant:201
+       ~full_width:kcm.Kcm.full_width ~product_width:20
+       (Bits.of_int ~width:12 x))
+    (Simulator.get_port sim "p")
+
+let test_kcm_pipelined_throughput () =
+  (* one new sample per cycle; outputs follow with [latency] lag *)
+  let constant = 77 in
+  let sim, kcm =
+    kcm_sim ~n:8 ~pw:15 ~signed_mode:false ~pipelined_mode:true ~constant
+  in
+  let samples = [ 4; 255; 0; 19; 200; 1; 77; 128 ] in
+  let outputs = ref [] in
+  List.iteri
+    (fun i x ->
+       Simulator.set_input sim "m" (Bits.of_int ~width:8 x);
+       Simulator.cycle sim;
+       if i >= kcm.Kcm.latency - 1 then
+         outputs := Simulator.get_port sim "p" :: !outputs)
+    samples;
+  let outputs = List.rev !outputs in
+  List.iteri
+    (fun i x ->
+       match List.nth_opt outputs i with
+       | None -> ()
+       | Some got ->
+         Alcotest.check bits
+           (Printf.sprintf "pipe sample %d" i)
+           (Kcm.expected_product ~signed_mode:false ~constant
+              ~full_width:kcm.Kcm.full_width ~product_width:15
+              (Bits.of_int ~width:8 x))
+           got)
+    samples
+
+let test_kcm_single_digit_pipelined () =
+  let sim, kcm =
+    kcm_sim ~n:4 ~pw:8 ~signed_mode:false ~pipelined_mode:true ~constant:9
+  in
+  Alcotest.(check int) "one table" 1 kcm.Kcm.table_count;
+  Alcotest.(check int) "latency 1" 1 kcm.Kcm.latency;
+  Simulator.set_input sim "m" (Bits.of_int ~width:4 11);
+  Simulator.cycle sim;
+  Alcotest.check bits "9*11 top 8 of full"
+    (Kcm.expected_product ~signed_mode:false ~constant:9
+       ~full_width:kcm.Kcm.full_width ~product_width:8 (Bits.of_int ~width:4 11))
+    (Simulator.get_port sim "p")
+
+let test_kcm_rejects_bad_args () =
+  let top = Cell.root ~name:"top" () in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 12 in
+  Alcotest.(check bool) "negative constant unsigned" true
+    (try
+       ignore
+         (Kcm.create top ~multiplicand:m ~product:p ~signed_mode:false
+            ~pipelined_mode:false ~constant:(-5) ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pipelined without clock" true
+    (try
+       ignore
+         (Kcm.create top ~multiplicand:m ~product:p ~signed_mode:true
+            ~pipelined_mode:true ~constant:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_kcm_tree_random =
+  QCheck.Test.make ~name:"kcm tree matches reference on random parameters"
+    ~count:40
+    QCheck.(triple (int_range 2 12) (int_range (-200) 200) (int_bound 4095))
+    (fun (n, constant, x_seed) ->
+       let signed_mode = constant < 0 || x_seed land 1 = 1 in
+       let pw = n + 4 in
+       let top = Cell.root ~name:"top" () in
+       let m = Wire.create top ~name:"m" n in
+       let p = Wire.create top ~name:"p" pw in
+       let kcm =
+         Kcm.create top ~adder_structure:`Tree ~multiplicand:m ~product:p
+           ~signed_mode ~pipelined_mode:false ~constant ()
+       in
+       let d = Design.create top in
+       Design.add_port d "m" Types.Input m;
+       Design.add_port d "p" Types.Output p;
+       let sim = Simulator.create d in
+       let x = x_seed land ((1 lsl n) - 1) in
+       let xb = Bits.of_int ~width:n x in
+       Simulator.set_input sim "m" xb;
+       Bits.equal
+         (Kcm.expected_product ~signed_mode ~constant
+            ~full_width:kcm.Kcm.full_width ~product_width:pw xb)
+         (Simulator.get_port sim "p"))
+
+let prop_kcm_random =
+  QCheck.Test.make ~name:"kcm matches reference on random parameters" ~count:60
+    QCheck.(
+      triple (int_range 2 10) (int_range (-200) 200) (int_bound 1023))
+    (fun (n, constant, x_seed) ->
+       let signed_mode = constant < 0 || x_seed land 1 = 1 in
+       let pw = n + 4 in
+       let sim, kcm =
+         kcm_sim ~n ~pw ~signed_mode ~pipelined_mode:false ~constant
+       in
+       let x = x_seed land ((1 lsl n) - 1) in
+       let xb = Bits.of_int ~width:n x in
+       Simulator.set_input sim "m" xb;
+       Bits.equal
+         (Kcm.expected_product ~signed_mode ~constant
+            ~full_width:kcm.Kcm.full_width ~product_width:pw xb)
+         (Simulator.get_port sim "p"))
+
+let test_kcm_tree_structure () =
+  (* tree accumulation must agree with the chain on every input *)
+  List.iter
+    (fun (n, constant, signed_mode) ->
+       let pw = n + 8 in
+       let make structure =
+         let top = Cell.root ~name:"top" () in
+         let m = Wire.create top ~name:"m" n in
+         let p = Wire.create top ~name:"p" pw in
+         let kcm =
+           Kcm.create top ~adder_structure:structure ~multiplicand:m
+             ~product:p ~signed_mode ~pipelined_mode:false ~constant ()
+         in
+         let d = Design.create top in
+         Design.add_port d "m" Types.Input m;
+         Design.add_port d "p" Types.Output p;
+         (Simulator.create d, kcm)
+       in
+       let chain_sim, _ = make `Chain in
+       let tree_sim, kcm = make `Tree in
+       for x = 0 to min 255 ((1 lsl n) - 1) do
+         let xb = Bits.of_int ~width:n x in
+         Simulator.set_input chain_sim "m" xb;
+         Simulator.set_input tree_sim "m" xb;
+         let expected =
+           Kcm.expected_product ~signed_mode ~constant
+             ~full_width:kcm.Kcm.full_width ~product_width:pw xb
+         in
+         Alcotest.check bits
+           (Printf.sprintf "tree K=%d x=%d" constant x)
+           expected
+           (Simulator.get_port tree_sim "p");
+         Alcotest.check bits
+           (Printf.sprintf "chain agrees K=%d x=%d" constant x)
+           (Simulator.get_port chain_sim "p")
+           (Simulator.get_port tree_sim "p")
+       done)
+    [ (8, -56, true); (12, 201, false); (16, 0xAB, false); (6, -1, true) ]
+
+let test_kcm_tree_fewer_levels () =
+  (* carry chains are cheap, so the tree only wins once the chain is
+     long: at 8 digits (32 bits) it does, at 4 it is a wash *)
+  let timing ~n structure =
+    let top = Cell.root ~name:"top" () in
+    let m = Wire.create top ~name:"m" n in
+    let p = Wire.create top ~name:"p" (n + 8) in
+    let _ =
+      Kcm.create top ~adder_structure:structure ~multiplicand:m ~product:p
+        ~signed_mode:false ~pipelined_mode:false ~constant:0xAB ()
+    in
+    let d = Design.create top in
+    Design.add_port d "m" Types.Input m;
+    Design.add_port d "p" Types.Output p;
+    (Estimate.timing_of_design d).Estimate.critical_path_ps
+  in
+  Alcotest.(check bool) "tree is faster at 8 digits" true
+    (timing ~n:32 `Tree < timing ~n:32 `Chain);
+  Alcotest.(check bool) "near-wash at 4 digits (within 5%)" true
+    (let t = timing ~n:16 `Tree and c = timing ~n:16 `Chain in
+     abs (t - c) * 20 < max t c)
+
+let test_kcm_tree_rejects_pipelining () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 12 in
+  Alcotest.(check bool) "pipelined tree refused" true
+    (try
+       ignore
+         (Kcm.create top ~clk ~adder_structure:`Tree ~multiplicand:m
+            ~product:p ~signed_mode:true ~pipelined_mode:true ~constant:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 baseline multipliers} *)
+
+let test_shift_add_constant () =
+  List.iter
+    (fun constant ->
+       let top = Cell.root ~name:"top" () in
+       let m = Wire.create top ~name:"m" 6 in
+       let p = Wire.create top ~name:"p" 13 in
+       let mult =
+         Multiplier.shift_add_constant top ~multiplicand:m ~product:p ~constant
+           ()
+       in
+       let d = Design.create top in
+       Design.add_port d "m" Types.Input m;
+       Design.add_port d "p" Types.Output p;
+       let sim = Simulator.create d in
+       for x = 0 to 63 do
+         let xb = Bits.of_int ~width:6 x in
+         Simulator.set_input sim "m" xb;
+         Alcotest.check bits
+           (Printf.sprintf "shiftadd K=%d x=%d" constant x)
+           (Kcm.expected_product ~signed_mode:false ~constant
+              ~full_width:mult.Multiplier.full_width ~product_width:13 xb)
+           (Simulator.get_port sim "p")
+       done)
+    [ 0; 1; 3; 85; 127; 64 ]
+
+let test_adder_count_for () =
+  Alcotest.(check int) "K=1 no adders" 0 (Multiplier.adder_count_for ~constant:1);
+  Alcotest.(check int) "K=85 (1010101)" 3 (Multiplier.adder_count_for ~constant:85);
+  (* 255 = 100000001(CSD) - one subtraction *)
+  Alcotest.(check int) "K=255 csd" 1 (Multiplier.adder_count_for ~constant:255)
+
+let test_array_mult () =
+  let sim =
+    two_in_one_out ~wa:5 ~wb:4 ~wout:9 (fun top ~a ~b ~out ->
+      ignore (Multiplier.array_mult top ~a ~b ~product:out ()))
+  in
+  for x = 0 to 31 do
+    for y = 0 to 15 do
+      Simulator.set_input sim "a" (Bits.of_int ~width:5 x);
+      Simulator.set_input sim "b" (Bits.of_int ~width:4 y);
+      Alcotest.check bits
+        (Printf.sprintf "%d*%d" x y)
+        (Bits.of_int ~width:9 (x * y))
+        (Simulator.get_port sim "out")
+    done
+  done
+
+let test_signed_mult () =
+  let sim =
+    two_in_one_out ~wa:5 ~wb:4 ~wout:9 (fun top ~a ~b ~out ->
+      ignore (Multiplier.signed_mult top ~a ~b ~product:out ()))
+  in
+  for x = -16 to 15 do
+    for y = -8 to 7 do
+      Simulator.set_input sim "a" (Bits.of_int ~width:5 x);
+      Simulator.set_input sim "b" (Bits.of_int ~width:4 y);
+      Alcotest.(check (option int))
+        (Printf.sprintf "%d*%d" x y)
+        (Some (x * y))
+        (Bits.to_signed_int (Simulator.get_port sim "out"))
+    done
+  done
+
+let test_signed_mult_truncated () =
+  (* narrower product keeps the low bits (mod 2^pw) *)
+  let sim =
+    two_in_one_out ~wa:4 ~wb:4 ~wout:5 (fun top ~a ~b ~out ->
+      ignore (Multiplier.signed_mult top ~a ~b ~product:out ()))
+  in
+  Simulator.set_input sim "a" (Bits.of_int ~width:4 (-7));
+  Simulator.set_input sim "b" (Bits.of_int ~width:4 5);
+  (* -35 mod 32 = -3 in 5-bit two's complement *)
+  Alcotest.(check (option int)) "low bits of -35" (Some (-3))
+    (Bits.to_signed_int (Simulator.get_port sim "out"))
+
+(* {1 counters, comparators} *)
+
+let test_up_counter () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 4 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  Alcotest.check bits "starts at 0" (Bits.of_int ~width:4 0)
+    (Simulator.get_port sim "q");
+  Simulator.cycle ~n:5 sim;
+  Alcotest.check bits "counts to 5" (Bits.of_int ~width:4 5)
+    (Simulator.get_port sim "q");
+  Simulator.cycle ~n:11 sim;
+  Alcotest.check bits "wraps" (Bits.of_int ~width:4 0)
+    (Simulator.get_port sim "q")
+
+let test_up_counter_ce_sclr () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let ce = Wire.create top ~name:"ce" 1 in
+  let sclr = Wire.create top ~name:"sclr" 1 in
+  let q = Wire.create top ~name:"q" 4 in
+  let _ = Counter.up_counter top ~clk ~ce ~sclr ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "ce" Types.Input ce;
+  Design.add_port d "sclr" Types.Input sclr;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  Simulator.set_input sim "ce" (Bits.of_int ~width:1 1);
+  Simulator.set_input sim "sclr" (Bits.of_int ~width:1 0);
+  Simulator.cycle ~n:3 sim;
+  Alcotest.check bits "counted 3" (Bits.of_int ~width:4 3)
+    (Simulator.get_port sim "q");
+  Simulator.set_input sim "ce" (Bits.of_int ~width:1 0);
+  Simulator.cycle ~n:2 sim;
+  Alcotest.check bits "held" (Bits.of_int ~width:4 3) (Simulator.get_port sim "q");
+  Simulator.set_input sim "ce" (Bits.of_int ~width:1 1);
+  Simulator.set_input sim "sclr" (Bits.of_int ~width:1 1);
+  Simulator.cycle sim;
+  Alcotest.check bits "cleared" (Bits.of_int ~width:4 0)
+    (Simulator.get_port sim "q")
+
+let test_equal_const () =
+  let top = Cell.root ~name:"top" () in
+  let x = Wire.create top ~name:"x" 9 in
+  let eq = Wire.create top ~name:"eq" 1 in
+  let _ = Counter.equal_const top ~x ~value:261 ~eq () in
+  let d = Design.create top in
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "eq" Types.Output eq;
+  let sim = Simulator.create d in
+  Simulator.set_input sim "x" (Bits.of_int ~width:9 261);
+  Alcotest.check bits "match" (Bits.of_int ~width:1 1) (Simulator.get_port sim "eq");
+  List.iter
+    (fun v ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:9 v);
+       Alcotest.check bits
+         (Printf.sprintf "no match %d" v)
+         (Bits.of_int ~width:1 0)
+         (Simulator.get_port sim "eq"))
+    [ 0; 260; 262; 511; 5 ]
+
+let test_less_than () =
+  let sim =
+    two_in_one_out ~wa:6 ~wb:6 ~wout:1 (fun top ~a ~b ~out ->
+      ignore (Counter.less_than top ~a ~b ~lt:out ()))
+  in
+  List.iter
+    (fun (x, y) ->
+       Simulator.set_input sim "a" (Bits.of_int ~width:6 x);
+       Simulator.set_input sim "b" (Bits.of_int ~width:6 y);
+       Alcotest.check bits
+         (Printf.sprintf "%d<%d" x y)
+         (Bits.of_int ~width:1 (if x < y then 1 else 0))
+         (Simulator.get_port sim "out"))
+    [ (0, 0); (0, 1); (1, 0); (63, 62); (62, 63); (31, 31); (13, 40) ]
+
+(* {1 datapath} *)
+
+let test_mux_n () =
+  let top = Cell.root ~name:"top" () in
+  let sel = Wire.create top ~name:"sel" 3 in
+  let inputs =
+    List.init 5 (fun i -> Wire.create top ~name:(Printf.sprintf "in%d" i) 4)
+  in
+  let out = Wire.create top ~name:"out" 4 in
+  let _ = Datapath.mux_n top ~sel ~inputs ~out () in
+  let d = Design.create top in
+  Design.add_port d "sel" Types.Input sel;
+  List.iteri
+    (fun i w -> Design.add_port d (Printf.sprintf "in%d" i) Types.Input w)
+    inputs;
+  Design.add_port d "out" Types.Output out;
+  let sim = Simulator.create d in
+  List.iteri
+    (fun i _ ->
+       Simulator.set_input sim (Printf.sprintf "in%d" i)
+         (Bits.of_int ~width:4 (i + 3)))
+    inputs;
+  for s = 0 to 4 do
+    Simulator.set_input sim "sel" (Bits.of_int ~width:3 s);
+    Alcotest.check bits
+      (Printf.sprintf "select %d" s)
+      (Bits.of_int ~width:4 (s + 3))
+      (Simulator.get_port sim "out")
+  done
+
+let test_parity () =
+  let top = Cell.root ~name:"top" () in
+  let x = Wire.create top ~name:"x" 11 in
+  let p = Wire.create top ~name:"p" 1 in
+  let _ = Datapath.parity top ~x ~p () in
+  let d = Design.create top in
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "p" Types.Output p;
+  let sim = Simulator.create d in
+  List.iter
+    (fun v ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:11 v);
+       let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+       Alcotest.check bits
+         (Printf.sprintf "parity of %d" v)
+         (Bits.of_int ~width:1 (pop v land 1))
+         (Simulator.get_port sim "p"))
+    [ 0; 1; 3; 2047; 1024; 1365; 682 ]
+
+let test_delay_line () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let d_in = Wire.create top ~name:"d" 4 in
+  let q = Wire.create top ~name:"q" 4 in
+  let ce = Virtex.vcc top in
+  let _ = Datapath.delay_line top ~clk ~ce ~depth:5 ~d:d_in ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "d" Types.Input d_in;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  let samples = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  List.iteri
+    (fun i x ->
+       Simulator.set_input sim "d" (Bits.of_int ~width:4 x);
+       Simulator.cycle sim;
+       ignore x;
+       (* tap 4 holds the sample pushed five shifts ago *)
+       if i >= 5 then
+         Alcotest.check bits
+           (Printf.sprintf "delayed sample %d" i)
+           (Bits.of_int ~width:4 (List.nth samples (i - 4)))
+           (Simulator.get_port sim "q"))
+    samples
+
+let test_register_file () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let we = Wire.create top ~name:"we" 1 in
+  let waddr = Wire.create top ~name:"waddr" 3 in
+  let raddr = Wire.create top ~name:"raddr" 3 in
+  let d_in = Wire.create top ~name:"d" 8 in
+  let q = Wire.create top ~name:"q" 8 in
+  let _ = Datapath.register_file top ~clk ~we ~waddr ~raddr ~d:d_in ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "we" Types.Input we;
+  Design.add_port d "waddr" Types.Input waddr;
+  Design.add_port d "raddr" Types.Input raddr;
+  Design.add_port d "d" Types.Input d_in;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  Simulator.set_input sim "we" (Bits.of_int ~width:1 1);
+  for e = 0 to 7 do
+    Simulator.set_input sim "waddr" (Bits.of_int ~width:3 e);
+    Simulator.set_input sim "d" (Bits.of_int ~width:8 (e * 10));
+    Simulator.cycle sim
+  done;
+  Simulator.set_input sim "we" (Bits.of_int ~width:1 0);
+  for e = 0 to 7 do
+    Simulator.set_input sim "raddr" (Bits.of_int ~width:3 e);
+    Alcotest.check bits
+      (Printf.sprintf "entry %d" e)
+      (Bits.of_int ~width:8 (e * 10))
+      (Simulator.get_port sim "q")
+  done
+
+(* {1 FIR} *)
+
+let fir_sim ~xw ~yw ~signed_mode ~coefficients =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" xw in
+  let y = Wire.create top ~name:"y" yw in
+  let fir = Fir.create top ~clk ~x ~y ~signed_mode ~coefficients () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "y" Types.Output y;
+  (Simulator.create ~clock:clk d, fir)
+
+let run_fir sim ~xw samples =
+  (* y(n) is combinational in x(n): sample output before each clock edge *)
+  List.map
+    (fun x ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:xw x);
+       let y = Simulator.get_port sim "y" in
+       Simulator.cycle sim;
+       y)
+    samples
+
+let test_fir_impulse () =
+  let coefficients = [ 3; 7; 1; 5 ] in
+  let sim, fir = fir_sim ~xw:4 ~yw:20 ~signed_mode:false ~coefficients in
+  let samples = [ 1; 0; 0; 0; 0; 0 ] in
+  let got = run_fir sim ~xw:4 samples in
+  let expected =
+    Fir.expected_response ~signed_mode:false ~coefficients
+      ~full_width:fir.Fir.full_width ~out_width:20 samples
+  in
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.check bits (Printf.sprintf "impulse response %d" i) e g)
+    (List.combine expected got)
+
+let test_fir_signed_random () =
+  let coefficients = [ -2; 5; -7; 3; 1 ] in
+  let sim, fir = fir_sim ~xw:6 ~yw:24 ~signed_mode:true ~coefficients in
+  let samples = [ 5; -3; 17; -32; 31; 0; 8; -8; 13; 2 ] in
+  let got = run_fir sim ~xw:6 samples in
+  let expected =
+    Fir.expected_response ~signed_mode:true ~coefficients
+      ~full_width:fir.Fir.full_width ~out_width:24 samples
+  in
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.check bits (Printf.sprintf "signed fir sample %d" i) e g)
+    (List.combine expected got)
+
+let test_fir_rejects_bad () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" 4 in
+  let y = Wire.create top ~name:"y" 8 in
+  Alcotest.(check bool) "empty coefficients" true
+    (try
+       ignore (Fir.create top ~clk ~x ~y ~signed_mode:false ~coefficients:[] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative unsigned" true
+    (try
+       ignore
+         (Fir.create top ~clk ~x ~y ~signed_mode:false ~coefficients:[ 1; -2 ] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 util} *)
+
+let test_digit_split () =
+  Alcotest.(check (list (pair int int))) "8 bits" [ (0, 3); (4, 7) ]
+    (Util.digit_split ~width:8 ~digit_bits:4);
+  Alcotest.(check (list (pair int int))) "10 bits" [ (0, 3); (4, 7); (8, 9) ]
+    (Util.digit_split ~width:10 ~digit_bits:4);
+  Alcotest.(check (list (pair int int))) "3 bits" [ (0, 2) ]
+    (Util.digit_split ~width:3 ~digit_bits:4)
+
+let test_bits_for_constant () =
+  List.iter
+    (fun (k, expect) ->
+       Alcotest.(check int) (Printf.sprintf "width of %d" k) expect
+         (Util.bits_for_constant k))
+    [ (0, 1); (-1, 1); (1, 2); (-2, 2); (5, 4); (-56, 7); (127, 8); (-128, 8) ]
+
+let test_constant_wire () =
+  let top = Cell.root ~name:"top" () in
+  let w = Util.constant top ~value:(Bits.of_string "1010") () in
+  let out = Wire.create top ~name:"out" 4 in
+  Util.buffer top ~from:w ~into:out ();
+  let d = Design.create top in
+  Design.add_port d "out" Types.Output out;
+  let sim = Simulator.create d in
+  Alcotest.check bits "constant value" (Bits.of_string "1010")
+    (Simulator.get_port sim "out")
+
+let suite =
+  [ Alcotest.test_case "carry chain adder" `Quick test_carry_chain_adder;
+    Alcotest.test_case "carry chain cin/cout" `Quick test_carry_chain_cin_cout;
+    Alcotest.test_case "ripple equals carry chain" `Quick
+      test_ripple_equals_carry_chain;
+    Alcotest.test_case "subtractor" `Quick test_subtractor;
+    Alcotest.test_case "add_sub" `Quick test_add_sub;
+    Alcotest.test_case "accumulator" `Quick test_accumulator;
+    Alcotest.test_case "kcm unsigned exhaustive" `Quick
+      test_kcm_unsigned_exhaustive;
+    Alcotest.test_case "kcm signed exhaustive" `Quick test_kcm_signed_exhaustive;
+    Alcotest.test_case "kcm paper example (-56, 8x8, 12-bit)" `Quick
+      test_kcm_paper_example;
+    Alcotest.test_case "kcm wide product extension" `Quick
+      test_kcm_wide_product_extension;
+    Alcotest.test_case "kcm pipelined latency" `Quick test_kcm_pipelined_latency;
+    Alcotest.test_case "kcm pipelined throughput" `Quick
+      test_kcm_pipelined_throughput;
+    Alcotest.test_case "kcm single digit pipelined" `Quick
+      test_kcm_single_digit_pipelined;
+    Alcotest.test_case "kcm rejects bad args" `Quick test_kcm_rejects_bad_args;
+    Alcotest.test_case "kcm tree structure" `Quick test_kcm_tree_structure;
+    Alcotest.test_case "kcm tree fewer levels" `Quick test_kcm_tree_fewer_levels;
+    Alcotest.test_case "kcm tree rejects pipelining" `Quick
+      test_kcm_tree_rejects_pipelining;
+    Alcotest.test_case "shift-add constant multiplier" `Quick
+      test_shift_add_constant;
+    Alcotest.test_case "csd adder count" `Quick test_adder_count_for;
+    Alcotest.test_case "array multiplier" `Quick test_array_mult;
+    Alcotest.test_case "signed multiplier" `Quick test_signed_mult;
+    Alcotest.test_case "signed multiplier truncated" `Quick
+      test_signed_mult_truncated;
+    Alcotest.test_case "up counter" `Quick test_up_counter;
+    Alcotest.test_case "counter ce/sclr" `Quick test_up_counter_ce_sclr;
+    Alcotest.test_case "equal const" `Quick test_equal_const;
+    Alcotest.test_case "less than" `Quick test_less_than;
+    Alcotest.test_case "mux_n" `Quick test_mux_n;
+    Alcotest.test_case "parity" `Quick test_parity;
+    Alcotest.test_case "delay line" `Quick test_delay_line;
+    Alcotest.test_case "register file" `Quick test_register_file;
+    Alcotest.test_case "fir impulse" `Quick test_fir_impulse;
+    Alcotest.test_case "fir signed random" `Quick test_fir_signed_random;
+    Alcotest.test_case "fir rejects bad" `Quick test_fir_rejects_bad;
+    Alcotest.test_case "digit split" `Quick test_digit_split;
+    Alcotest.test_case "bits for constant" `Quick test_bits_for_constant;
+    Alcotest.test_case "constant wire" `Quick test_constant_wire ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_kcm_random; prop_kcm_tree_random ]

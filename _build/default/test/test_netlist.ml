@@ -1,0 +1,283 @@
+(* Netlist tests: the flattened model, identifier legalization and the
+   three writers. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Model = Jhdl_netlist.Model
+module Ident = Jhdl_netlist.Ident
+module Edif = Jhdl_netlist.Edif
+module Vhdl = Jhdl_netlist.Vhdl
+module Verilog = Jhdl_netlist.Verilog
+module Format_kind = Jhdl_netlist.Format_kind
+module Kcm = Jhdl_modgen.Kcm
+
+let small_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 2 in
+  let b = Wire.create top ~name:"b" 1 in
+  let o = Wire.create top ~name:"o" 1 in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let t = Wire.create top ~name:"t" 1 in
+  let _ = Virtex.and2 top (Wire.bit a 0) (Wire.bit a 1) t in
+  let _ = Virtex.xor2 top t b o in
+  let q = Wire.create top ~name:"q" 1 in
+  let _ = Virtex.fd top ~c:clk ~d:o ~q () in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  d
+
+let kcm_design () =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 12 in
+  let _ =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  d
+
+(* {1 model} *)
+
+let test_model_extraction () =
+  let m = Model.of_design (small_design ()) in
+  Alcotest.(check string) "design name" "top" m.Model.design_name;
+  Alcotest.(check int) "3 instances" 3 (Model.instance_count m);
+  Alcotest.(check int) "4 ports" 4 (List.length m.Model.ports);
+  (* nets: a0 a1 b o clk t q = 7 *)
+  Alcotest.(check int) "7 nets" 7 (Model.net_count m)
+
+let test_model_attrs () =
+  let m = Model.of_design (small_design ()) in
+  let and_inst =
+    Array.to_list m.Model.instances
+    |> List.find (fun i -> i.Model.inst_lib_cell = "LUT2")
+  in
+  Alcotest.(check bool) "has INIT" true
+    (List.exists (fun a -> a.Model.attr_name = "INIT") and_inst.Model.inst_attrs);
+  let ff =
+    Array.to_list m.Model.instances
+    |> List.find (fun i -> i.Model.inst_lib_cell = "FD")
+  in
+  Alcotest.(check bool) "ff INIT=0" true
+    (List.exists
+       (fun a -> a.Model.attr_name = "INIT" && a.Model.attr_value = "0")
+       ff.Model.inst_attrs)
+
+let test_model_driver_tracking () =
+  let m = Model.of_design (small_design ()) in
+  let driven =
+    Array.to_list m.Model.nets
+    |> List.filter (fun n -> n.Model.driver_instance <> None)
+  in
+  (* t, o, q driven by instances; inputs driven externally *)
+  Alcotest.(check int) "3 instance-driven nets" 3 (List.length driven)
+
+let test_lib_cells () =
+  let m = Model.of_design (small_design ()) in
+  let cells = List.map fst (Model.lib_cells m) in
+  Alcotest.(check (list string)) "lib cells" [ "FD"; "LUT2" ] cells
+
+let test_model_rloc_attr () =
+  let m = Model.of_design (kcm_design ()) in
+  let with_rloc =
+    Array.to_list m.Model.instances
+    |> List.filter (fun i ->
+      List.exists (fun a -> a.Model.attr_name = "RLOC") i.Model.inst_attrs)
+  in
+  Alcotest.(check bool) "kcm carries placement" true (List.length with_rloc > 10)
+
+(* {1 identifiers} *)
+
+let test_ident_sanitize () =
+  let t = Ident.create Ident.Vhdl in
+  Alcotest.(check string) "slashes" "kcm_add1_p0"
+    (Ident.legalize t "kcm/add1/p0");
+  Alcotest.(check string) "stable" "kcm_add1_p0"
+    (Ident.legalize t "kcm/add1/p0")
+
+let test_ident_collisions () =
+  let t = Ident.create Ident.Verilog in
+  let a = Ident.legalize t "x/y" in
+  let b = Ident.legalize t "x_y" in
+  Alcotest.(check bool) "distinct outputs" true (a <> b)
+
+let test_ident_reserved () =
+  let t = Ident.create Ident.Vhdl in
+  Alcotest.(check bool) "vhdl keyword avoided" true
+    (Ident.legalize t "signal" <> "signal");
+  let v = Ident.create Ident.Verilog in
+  Alcotest.(check bool) "verilog keyword avoided" true
+    (Ident.legalize v "module" <> "module")
+
+let test_ident_leading_digit () =
+  let t = Ident.create Ident.Edif in
+  let out = Ident.legalize t "0net" in
+  Alcotest.(check bool) "no leading digit" true
+    (out.[0] < '0' || out.[0] > '9')
+
+let test_ident_vhdl_case_insensitive () =
+  let t = Ident.create Ident.Vhdl in
+  let a = Ident.legalize t "Foo" in
+  let b = Ident.legalize t "foo" in
+  Alcotest.(check bool) "case collision avoided" true
+    (String.lowercase_ascii a <> String.lowercase_ascii b)
+
+let test_ident_vhdl_underscores () =
+  let t = Ident.create Ident.Vhdl in
+  let out = Ident.legalize t "a//b_" in
+  Alcotest.(check bool) "no double underscore" true
+    (not
+       (let rec has_double i =
+          i < String.length out - 1
+          && ((out.[i] = '_' && out.[i + 1] = '_') || has_double (i + 1))
+        in
+        has_double 0));
+  Alcotest.(check bool) "no trailing underscore" true
+    (out.[String.length out - 1] <> '_')
+
+let prop_ident_injective =
+  QCheck.Test.make ~name:"legalization never collides" ~count:300
+    QCheck.(small_list (string_gen_of_size (QCheck.Gen.int_range 1 12) QCheck.Gen.printable))
+    (fun names ->
+       let t = Ident.create Ident.Vhdl in
+       let distinct = List.sort_uniq String.compare names in
+       let outputs = List.map (Ident.legalize t) distinct in
+       List.length (List.sort_uniq String.compare outputs)
+       = List.length distinct)
+
+(* {1 writers} *)
+
+let balanced_parens s =
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+       if c = '(' then incr depth
+       else if c = ')' then begin
+         decr depth;
+         if !depth < 0 then ok := false
+       end)
+    s;
+  !ok && !depth = 0
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_edif_structure () =
+  let edif = Edif.of_design (small_design ()) in
+  Alcotest.(check bool) "balanced" true (balanced_parens edif);
+  Alcotest.(check bool) "has header" true (contains ~needle:"(edifVersion 2 0 0)" edif);
+  Alcotest.(check bool) "declares LUT2" true (contains ~needle:"(cell LUT2" edif);
+  Alcotest.(check bool) "declares FD" true (contains ~needle:"(cell FD" edif);
+  Alcotest.(check bool) "port array" true (contains ~needle:"(array a 2)" edif);
+  Alcotest.(check bool) "has design" true (contains ~needle:"(design top" edif)
+
+let test_edif_instances_and_nets () =
+  let m = Model.of_design (small_design ()) in
+  let edif = Edif.to_string m in
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length edif then acc
+      else if String.sub edif i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "3 instances" 3 (count "(instance ");
+  Alcotest.(check int) "7 nets" 7 (count "(net ")
+
+let test_vhdl_structure () =
+  let vhdl = Vhdl.of_design (small_design ()) in
+  Alcotest.(check bool) "entity" true (contains ~needle:"entity entity_top is" vhdl);
+  Alcotest.(check bool) "architecture" true
+    (contains ~needle:"architecture structural of entity_top" vhdl);
+  Alcotest.(check bool) "vector port" true
+    (contains ~needle:"std_logic_vector(1 downto 0)" vhdl);
+  Alcotest.(check bool) "component decl" true (contains ~needle:"component comp_FD" vhdl);
+  Alcotest.(check bool) "init attribute" true (contains ~needle:"attribute init" vhdl);
+  Alcotest.(check bool) "port map" true (contains ~needle:"port map" vhdl)
+
+let test_verilog_structure () =
+  let v = Verilog.of_design (small_design ()) in
+  Alcotest.(check bool) "module" true (contains ~needle:"module module_top" v);
+  Alcotest.(check bool) "endmodule" true (contains ~needle:"endmodule" v);
+  Alcotest.(check bool) "input vector" true (contains ~needle:"input [1:0]" v);
+  Alcotest.(check bool) "attribute comment" true (contains ~needle:"(* INIT" v);
+  Alcotest.(check bool) "named connection" true (contains ~needle:".lport_FD_D(" v)
+
+let test_kcm_netlists_all_formats () =
+  let m = Model.of_design (kcm_design ()) in
+  List.iter
+    (fun fmt ->
+       let text = Format_kind.write fmt m in
+       Alcotest.(check bool)
+         (Format_kind.to_string fmt ^ " non-trivial")
+         true
+         (String.length text > 2000))
+    Format_kind.all;
+  Alcotest.(check bool) "edif balanced" true
+    (balanced_parens (Format_kind.write Format_kind.Edif m))
+
+let test_format_kind_parse () =
+  Alcotest.(check bool) "edif" true (Format_kind.of_string "EDIF" = Some Format_kind.Edif);
+  Alcotest.(check bool) "edn ext" true (Format_kind.of_string "edn" = Some Format_kind.Edif);
+  Alcotest.(check bool) "vhd" true (Format_kind.of_string "vhd" = Some Format_kind.Vhdl);
+  Alcotest.(check bool) "v" true (Format_kind.of_string "v" = Some Format_kind.Verilog);
+  Alcotest.(check bool) "junk" true (Format_kind.of_string "xml" = None)
+
+let test_netlist_includes_blackbox () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 4 in
+  let o = Wire.create top ~name:"o" 4 in
+  let make_behavior () =
+    { Jhdl_circuit.Prim.comb = (fun ~read -> [ ("O", read "A") ]);
+      clock_edge = None;
+      state_reset = None }
+  in
+  let _ =
+    Cell.black_box top ~model_name:"MYSTERY" ~make_behavior
+      ~ports:[ ("A", Types.Input, a); ("O", Types.Output, o) ]
+      ()
+  in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "o" Types.Output o;
+  let edif = Edif.of_design d in
+  Alcotest.(check bool) "black box cell declared" true
+    (contains ~needle:"(cell MYSTERY" edif)
+
+let suite =
+  [ Alcotest.test_case "model extraction" `Quick test_model_extraction;
+    Alcotest.test_case "model attrs" `Quick test_model_attrs;
+    Alcotest.test_case "model driver tracking" `Quick test_model_driver_tracking;
+    Alcotest.test_case "lib cells" `Quick test_lib_cells;
+    Alcotest.test_case "model rloc attr" `Quick test_model_rloc_attr;
+    Alcotest.test_case "ident sanitize" `Quick test_ident_sanitize;
+    Alcotest.test_case "ident collisions" `Quick test_ident_collisions;
+    Alcotest.test_case "ident reserved" `Quick test_ident_reserved;
+    Alcotest.test_case "ident leading digit" `Quick test_ident_leading_digit;
+    Alcotest.test_case "ident vhdl case" `Quick test_ident_vhdl_case_insensitive;
+    Alcotest.test_case "ident vhdl underscores" `Quick test_ident_vhdl_underscores;
+    Alcotest.test_case "edif structure" `Quick test_edif_structure;
+    Alcotest.test_case "edif instances and nets" `Quick
+      test_edif_instances_and_nets;
+    Alcotest.test_case "vhdl structure" `Quick test_vhdl_structure;
+    Alcotest.test_case "verilog structure" `Quick test_verilog_structure;
+    Alcotest.test_case "kcm all formats" `Quick test_kcm_netlists_all_formats;
+    Alcotest.test_case "format kind parse" `Quick test_format_kind_parse;
+    Alcotest.test_case "black box in netlist" `Quick
+      test_netlist_includes_blackbox ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_ident_injective ]

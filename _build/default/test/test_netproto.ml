@@ -1,0 +1,294 @@
+(* Network-protocol tests: wire format, endpoints, black-box
+   co-simulation against the monolithic simulator, and the Figure 4 /
+   C1 cost model's shape. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Network = Jhdl_netproto.Network
+module Protocol = Jhdl_netproto.Protocol
+module Endpoint = Jhdl_netproto.Endpoint
+module Cosim = Jhdl_netproto.Cosim
+module Kcm = Jhdl_modgen.Kcm
+module Counter = Jhdl_modgen.Counter
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+(* {1 protocol} *)
+
+let roundtrip message =
+  match Protocol.decode (Protocol.encode message) with
+  | Ok decoded -> decoded
+  | Error reason -> Alcotest.failf "decode failed: %s" reason
+
+let test_protocol_roundtrips () =
+  let messages =
+    [ Protocol.Set_inputs [ ("a", Bits.of_string "1x0z"); ("clk", Bits.of_string "1") ];
+      Protocol.Cycle 1;
+      Protocol.Cycle 1_000_000;
+      Protocol.Reset;
+      Protocol.Get_outputs [ "p"; "q" ];
+      Protocol.Outputs_are [ ("p", Bits.of_string "0101") ];
+      Protocol.Ack;
+      Protocol.Protocol_error "no such port" ]
+  in
+  List.iter
+    (fun m ->
+       let back = roundtrip m in
+       Alcotest.(check string)
+         (Format.asprintf "%a" Protocol.pp m)
+         (Format.asprintf "%a" Protocol.pp m)
+         (Format.asprintf "%a" Protocol.pp back))
+    messages
+
+let test_protocol_rejects_garbage () =
+  Alcotest.(check bool) "empty" true (Result.is_error (Protocol.decode ""));
+  Alcotest.(check bool) "unknown tag" true (Result.is_error (Protocol.decode "Z"));
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Protocol.decode "I\x00\x02"));
+  Alcotest.(check bool) "trailing" true
+    (Result.is_error (Protocol.decode (Protocol.encode Protocol.Ack ^ "x")))
+
+let test_protocol_sizes () =
+  Alcotest.(check int) "ack is one byte" 1 (Protocol.size Protocol.Ack);
+  Alcotest.(check bool) "inputs scale with payload" true
+    (Protocol.size (Protocol.Set_inputs [ ("a", Bits.zero 64) ])
+     > Protocol.size (Protocol.Set_inputs [ ("a", Bits.zero 8) ]))
+
+let prop_protocol_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+      let value =
+        map
+          (fun (w, k) -> Bits.of_int ~width:w k)
+          (pair (int_range 1 24) (int_bound 0xFFFF))
+      in
+      oneof
+        [ map (fun pairs -> Protocol.Set_inputs pairs)
+            (small_list (pair name value));
+          map (fun n -> Protocol.Cycle n) (int_bound 1000000);
+          return Protocol.Reset;
+          map (fun names -> Protocol.Get_outputs names) (small_list name);
+          map (fun pairs -> Protocol.Outputs_are pairs)
+            (small_list (pair name value));
+          return Protocol.Ack;
+          map (fun s -> Protocol.Protocol_error s) name ])
+  in
+  QCheck.Test.make ~name:"protocol encode/decode roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Protocol.pp) gen)
+    (fun m ->
+       match Protocol.decode (Protocol.encode m) with
+       | Ok back ->
+         Format.asprintf "%a" Protocol.pp back = Format.asprintf "%a" Protocol.pp m
+       | Error _ -> false)
+
+(* {1 network model} *)
+
+let test_network_accounting () =
+  let channel = Network.create (Network.with_rtt Network.lan 0.010) in
+  Network.send channel ~bytes:100;
+  Network.send channel ~bytes:100;
+  Alcotest.(check int) "two messages" 2 (Network.messages channel);
+  Alcotest.(check bool) "latency dominates small messages" true
+    (Network.elapsed_seconds channel > 0.0099);
+  let before = Network.elapsed_seconds channel in
+  Network.add_compute channel 1.0;
+  Alcotest.(check bool) "compute added" true
+    (Network.elapsed_seconds channel -. before >= 1.0)
+
+let test_network_bandwidth_term () =
+  let fast = Network.create Network.lan in
+  let slow = Network.create Network.modem in
+  Network.send fast ~bytes:100_000;
+  Network.send slow ~bytes:100_000;
+  Alcotest.(check bool) "modem slower" true
+    (Network.elapsed_seconds slow > Network.elapsed_seconds fast)
+
+(* {1 endpoints and cosim} *)
+
+let kcm_design ~constant =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"multiplicand" 8 in
+  let p = Wire.create top ~name:"product" 19 in
+  let kcm =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "multiplicand" Types.Input m;
+  Design.add_port d "product" Types.Output p;
+  (d, kcm)
+
+let kcm_endpoint ~constant =
+  let d, kcm = kcm_design ~constant in
+  let clk =
+    match Design.find_port d "clk" with
+    | Some p -> p.Design.port_wire
+    | None -> assert false
+  in
+  (Endpoint.of_simulator ~name:"kcm" (Simulator.create ~clock:clk d), kcm)
+
+let test_endpoint_handles_messages () =
+  let endpoint, kcm = kcm_endpoint ~constant:(-56) in
+  ignore kcm;
+  (match
+     Endpoint.handle endpoint
+       (Protocol.Set_inputs [ ("multiplicand", Bits.of_int ~width:8 100) ])
+   with
+   | Protocol.Ack -> ()
+   | _ -> Alcotest.fail "expected ack");
+  match Endpoint.handle endpoint (Protocol.Get_outputs [ "product" ]) with
+  | Protocol.Outputs_are [ ("product", v) ] ->
+    Alcotest.(check (option int)) "-56*100" (Some (-5600)) (Bits.to_signed_int v)
+  | _ -> Alcotest.fail "expected outputs"
+
+let test_endpoint_bad_port () =
+  let endpoint, _ = kcm_endpoint ~constant:7 in
+  match Endpoint.handle endpoint (Protocol.Get_outputs [ "bogus" ]) with
+  | Protocol.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "expected protocol error"
+
+let test_endpoint_reset () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 4 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let endpoint =
+    Endpoint.of_simulator ~name:"counter"
+      (Simulator.create
+         ~clock:(match Design.find_port d "clk" with
+                 | Some p -> p.Design.port_wire
+                 | None -> assert false)
+         d)
+  in
+  let _ = Endpoint.handle endpoint (Protocol.Cycle 5) in
+  let _ = Endpoint.handle endpoint Protocol.Reset in
+  match Endpoint.handle endpoint (Protocol.Get_outputs [ "q" ]) with
+  | Protocol.Outputs_are [ (_, v) ] ->
+    Alcotest.check bits "back to zero" (Bits.zero 4) v
+  | _ -> Alcotest.fail "expected outputs"
+
+(* black-box co-simulation must agree with direct simulation *)
+let test_cosim_matches_monolithic () =
+  let endpoint, _ = kcm_endpoint ~constant:(-56) in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim endpoint Network.campus;
+  let direct_design, _ = kcm_design ~constant:(-56) in
+  let direct = Simulator.create direct_design in
+  List.iter
+    (fun x ->
+       let xb = Bits.of_int ~width:8 x in
+       Cosim.set_inputs cosim ~box:"kcm" [ ("multiplicand", xb) ];
+       Simulator.set_input direct "multiplicand" xb;
+       let remote = Cosim.get_output cosim ~box:"kcm" "product" in
+       Alcotest.check bits
+         (Printf.sprintf "agree on %d" x)
+         (Simulator.get_port direct "product")
+         remote;
+       Cosim.cycle cosim;
+       Simulator.cycle direct)
+    [ 0; 1; -1; 100; -100; 127; -128 ];
+  Alcotest.(check bool) "traffic recorded" true (Cosim.total_messages cosim > 20)
+
+let test_cosim_duplicate_names_rejected () =
+  let e1, _ = kcm_endpoint ~constant:1 in
+  let e2, _ = kcm_endpoint ~constant:2 in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim e1 Network.loopback;
+  Alcotest.(check bool) "duplicate refused" true
+    (try Cosim.attach cosim e2 Network.loopback; false
+     with Invalid_argument _ -> true)
+
+(* {1 architecture cost model (claim C1)} *)
+
+let session_cost ~arch ~rtt =
+  let endpoint, _ = kcm_endpoint ~constant:(-56) in
+  Cosim.simulation_cost ~arch ~network:(Network.with_rtt Network.campus rtt)
+    ~endpoint ~cycles:100
+    ~drive:(fun i -> [ ("multiplicand", Bits.of_int ~width:8 (i land 0x7F)) ])
+    ~observe:[ "product" ] ()
+
+let test_local_beats_remote () =
+  let rtt = 0.020 in
+  let local = session_cost ~arch:Cosim.Local_applet ~rtt in
+  let webcad = session_cost ~arch:Cosim.Webcad ~rtt in
+  let javacad = session_cost ~arch:Cosim.Javacad ~rtt in
+  Alcotest.(check bool) "local is fastest" true
+    (local.Cosim.wall_seconds < webcad.Cosim.wall_seconds
+     && local.Cosim.wall_seconds < javacad.Cosim.wall_seconds);
+  Alcotest.(check bool) "rmi overhead costs more than raw sockets" true
+    (javacad.Cosim.byte_count > webcad.Cosim.byte_count)
+
+let test_remote_scales_with_rtt () =
+  let webcad_slow = session_cost ~arch:Cosim.Webcad ~rtt:0.100 in
+  let webcad_fast = session_cost ~arch:Cosim.Webcad ~rtt:0.001 in
+  let local_slow = session_cost ~arch:Cosim.Local_applet ~rtt:0.100 in
+  let local_fast = session_cost ~arch:Cosim.Local_applet ~rtt:0.001 in
+  Alcotest.(check bool) "webcad grows with rtt" true
+    (webcad_slow.Cosim.wall_seconds > 10.0 *. webcad_fast.Cosim.wall_seconds);
+  Alcotest.(check bool) "local is rtt-independent" true
+    (abs_float (local_slow.Cosim.wall_seconds -. local_fast.Cosim.wall_seconds)
+     < 1e-9)
+
+let test_outputs_functionally_identical_across_archs () =
+  let collect arch =
+    let acc = ref [] in
+    let _ =
+      let endpoint, _ = kcm_endpoint ~constant:(-56) in
+      Cosim.simulation_cost ~arch ~network:Network.campus ~endpoint ~cycles:10
+        ~drive:(fun i -> [ ("multiplicand", Bits.of_int ~width:8 (i * 11)) ])
+        ~observe:[ "product" ]
+        ~on_outputs:(fun _ pairs -> acc := pairs :: !acc)
+        ()
+    in
+    List.rev !acc
+  in
+  let local = collect Cosim.Local_applet in
+  let webcad = collect Cosim.Webcad in
+  Alcotest.(check int) "same sample count" (List.length local) (List.length webcad);
+  List.iter2
+    (fun a b ->
+       match a, b with
+       | [ (_, va) ], [ (_, vb) ] -> Alcotest.check bits "same value" va vb
+       | _ -> Alcotest.fail "unexpected shape")
+    local webcad
+
+(* fuzz: arbitrary bytes never crash the decoder *)
+let prop_decode_fuzz =
+  QCheck.Test.make ~name:"decoder is total on arbitrary bytes" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 64) QCheck.Gen.char)
+    (fun junk ->
+       match Protocol.decode junk with
+       | Ok _ | Error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "protocol roundtrips" `Quick test_protocol_roundtrips;
+    Alcotest.test_case "protocol rejects garbage" `Quick
+      test_protocol_rejects_garbage;
+    Alcotest.test_case "protocol sizes" `Quick test_protocol_sizes;
+    Alcotest.test_case "network accounting" `Quick test_network_accounting;
+    Alcotest.test_case "network bandwidth term" `Quick
+      test_network_bandwidth_term;
+    Alcotest.test_case "endpoint handles messages" `Quick
+      test_endpoint_handles_messages;
+    Alcotest.test_case "endpoint bad port" `Quick test_endpoint_bad_port;
+    Alcotest.test_case "endpoint reset" `Quick test_endpoint_reset;
+    Alcotest.test_case "cosim matches monolithic" `Quick
+      test_cosim_matches_monolithic;
+    Alcotest.test_case "cosim duplicate names" `Quick
+      test_cosim_duplicate_names_rejected;
+    Alcotest.test_case "local beats remote" `Quick test_local_beats_remote;
+    Alcotest.test_case "remote scales with rtt" `Quick test_remote_scales_with_rtt;
+    Alcotest.test_case "outputs identical across archs" `Quick
+      test_outputs_functionally_identical_across_archs ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_protocol_roundtrip; prop_decode_fuzz ]

@@ -1,0 +1,185 @@
+(* Placer tests: legality, determinism, quality vs the random baseline,
+   and the effect on placement-aware timing. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Prim = Jhdl_circuit.Prim
+module Estimate = Jhdl_estimate.Estimate
+module Placer = Jhdl_place.Placer
+module Kcm = Jhdl_modgen.Kcm
+module Floorplan = Jhdl_viewer.Floorplan
+module Router = Jhdl_place.Router
+
+let kcm_design () =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 15 in
+  let _ =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  d
+
+let area_prims d =
+  Design.all_prims d
+  |> List.filter (fun c ->
+    match Cell.prim_of c with
+    | Some (Prim.Buf | Prim.Gnd | Prim.Vcc | Prim.Black_box _) | None -> false
+    | Some _ -> true)
+  |> List.length
+
+let test_auto_place_legality () =
+  let d = kcm_design () in
+  let result = Placer.auto_place d ~rows:16 ~cols:16 in
+  Alcotest.(check int) "every area primitive placed" (area_prims d)
+    result.Placer.placed;
+  (* capacity: no more than 2 of each resource per site *)
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+       match Cell.prim_of c, Cell.rloc c with
+       | Some prim, Some (r, k) ->
+         let key =
+           ( (match prim with
+              | Prim.Lut _ | Prim.Inv | Prim.Srl16 _ | Prim.Ram16x1 _ -> 0
+              | Prim.Ff _ -> 1
+              | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and -> 2
+              | Prim.Buf | Prim.Gnd | Prim.Vcc | Prim.Black_box _ -> 3),
+             r, k )
+         in
+         Hashtbl.replace counts key
+           (1 + Option.value (Hashtbl.find_opt counts key) ~default:0);
+         Alcotest.(check bool) "within bounds" true
+           (r >= 0 && r < 16 && k >= 0 && k < 16)
+       | _, (Some _ | None) -> ())
+    (Design.all_prims d);
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check bool) "site capacity <= 2" true (n <= 2))
+    counts
+
+let test_auto_place_deterministic () =
+  let wl () = (Placer.auto_place (kcm_design ()) ~rows:16 ~cols:16).Placer.wirelength in
+  Alcotest.(check int) "same wirelength twice" (wl ()) (wl ())
+
+let test_auto_beats_random () =
+  let auto = Placer.auto_place (kcm_design ()) ~rows:16 ~cols:16 in
+  let random =
+    Placer.random_place (kcm_design ()) ~rows:16 ~cols:16 ~seed:12345
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto (%d) < random (%d) wirelength" auto.Placer.wirelength
+       random.Placer.wirelength)
+    true
+    (auto.Placer.wirelength < random.Placer.wirelength)
+
+let test_auto_place_improves_timing_vs_random () =
+  let time place =
+    let d = kcm_design () in
+    let (_ : Placer.result) = place d in
+    (Estimate.timing_of_design ~use_placement:true d).Estimate.critical_path_ps
+  in
+  let auto = time (Placer.auto_place ~rows:16 ~cols:16) in
+  let random = time (Placer.random_place ~rows:16 ~cols:16 ~seed:99) in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto (%d ps) <= random (%d ps)" auto random)
+    true (auto <= random)
+
+let test_placement_visible_in_floorplan () =
+  let d = kcm_design () in
+  let _ = Placer.auto_place d ~rows:16 ~cols:16 in
+  match Floorplan.bounding_box (Design.root d) with
+  | Some (rows, cols) ->
+    Alcotest.(check bool) "fits grid" true (rows <= 16 && cols <= 16)
+  | None -> Alcotest.fail "expected placed sites"
+
+let test_does_not_fit () =
+  let d = kcm_design () in
+  Alcotest.(check bool) "tiny grid rejected" true
+    (try ignore (Placer.auto_place d ~rows:2 ~cols:2); false
+     with Invalid_argument _ -> true)
+
+let test_wirelength_none_when_unplaced () =
+  let d = kcm_design () in
+  Cell.iter_rec Cell.clear_rloc (Design.root d);
+  Alcotest.(check bool) "no measurement" true (Placer.wirelength d = None)
+
+(* {1 router} *)
+
+let test_route_placed_kcm () =
+  let d = kcm_design () in
+  let _ = Placer.auto_place d ~rows:16 ~cols:16 in
+  let report = Router.route d ~rows:16 ~cols:16 ~capacity:8 in
+  Alcotest.(check int)
+    (Format.asprintf "all nets route: %a" Router.pp_report report)
+    0 report.Router.failed;
+  Alcotest.(check bool) "segments used" true (report.Router.total_segments > 0);
+  Alcotest.(check bool) "detour sane" true
+    (report.Router.mean_detour >= 1.0 && report.Router.mean_detour < 3.0)
+
+let test_route_capacity_pressure () =
+  (* shrinking channel capacity can only increase failures and must
+     never exceed 100% utilization *)
+  let run capacity =
+    let d = kcm_design () in
+    let _ = Placer.auto_place d ~rows:16 ~cols:16 in
+    Router.route d ~rows:16 ~cols:16 ~capacity
+  in
+  let tight = run 1 in
+  let roomy = run 16 in
+  Alcotest.(check bool) "tight fails at least as much" true
+    (tight.Router.failed >= roomy.Router.failed);
+  Alcotest.(check bool) "utilization capped" true
+    (tight.Router.max_utilization <= 1.0 +. 1e-9);
+  Alcotest.(check int) "roomy routes everything" 0 roomy.Router.failed
+
+let test_route_good_placement_uses_fewer_segments () =
+  let run place =
+    let d = kcm_design () in
+    let (_ : Placer.result) = place d in
+    Router.route d ~rows:16 ~cols:16 ~capacity:16
+  in
+  let auto = run (Placer.auto_place ~rows:16 ~cols:16) in
+  let random = run (Placer.random_place ~rows:16 ~cols:16 ~seed:5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto (%d) < random (%d) segments"
+       auto.Router.total_segments random.Router.total_segments)
+    true
+    (auto.Router.total_segments < random.Router.total_segments)
+
+let test_route_hand_placement () =
+  (* the generator's own RLOCs route cleanly too *)
+  let d = kcm_design () in
+  let report = Router.route d ~rows:16 ~cols:16 ~capacity:8 in
+  Alcotest.(check int) "no failures" 0 report.Router.failed
+
+let test_route_bad_capacity () =
+  let d = kcm_design () in
+  Alcotest.(check bool) "zero capacity rejected" true
+    (try ignore (Router.route d ~rows:8 ~cols:8 ~capacity:0); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ Alcotest.test_case "legality" `Quick test_auto_place_legality;
+    Alcotest.test_case "route placed kcm" `Quick test_route_placed_kcm;
+    Alcotest.test_case "route capacity pressure" `Quick
+      test_route_capacity_pressure;
+    Alcotest.test_case "route placement quality" `Quick
+      test_route_good_placement_uses_fewer_segments;
+    Alcotest.test_case "route hand placement" `Quick test_route_hand_placement;
+    Alcotest.test_case "route bad capacity" `Quick test_route_bad_capacity;
+    Alcotest.test_case "deterministic" `Quick test_auto_place_deterministic;
+    Alcotest.test_case "auto beats random" `Quick test_auto_beats_random;
+    Alcotest.test_case "auto timing <= random" `Quick
+      test_auto_place_improves_timing_vs_random;
+    Alcotest.test_case "visible in floorplan" `Quick
+      test_placement_visible_in_floorplan;
+    Alcotest.test_case "does not fit" `Quick test_does_not_fit;
+    Alcotest.test_case "wirelength none when unplaced" `Quick
+      test_wirelength_none_when_unplaced ]

@@ -1,0 +1,83 @@
+(* Scale test: a design in the thousands of primitives flows through
+   elaboration, DRC, simulation, estimation, netlisting, placement and
+   bitstream without pathological behaviour — the "large,
+   high-performance FPGA designs" claim of Section 2.3, at test-suite
+   scale. *)
+
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Estimate = Jhdl_estimate.Estimate
+module Model = Jhdl_netlist.Model
+module Fir = Jhdl_modgen.Fir
+module Placer = Jhdl_place.Placer
+module Config_mem = Jhdl_bitstream.Config_mem
+
+(* a 16-tap, 10-bit KCM filter bank: two filters sharing an input *)
+let big_design () =
+  let coefficients =
+    [ 3; -5; 7; -9; 11; -13; 17; -19; 23; -29; 31; -37; 41; -43; 47; -53 ]
+  in
+  let top = Cell.root ~name:"bank" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" 10 in
+  let y0 = Wire.create top ~name:"y0" 24 in
+  let y1 = Wire.create top ~name:"y1" 24 in
+  let _ = Fir.create top ~name:"f0" ~clk ~x ~y:y0 ~signed_mode:true ~coefficients () in
+  let _ =
+    Fir.create top ~name:"f1" ~clk ~x ~y:y1 ~signed_mode:true
+      ~coefficients:(List.rev coefficients) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "y0" Types.Output y0;
+  Design.add_port d "y1" Types.Output y1;
+  (d, coefficients)
+
+let test_scale_pipeline () =
+  let d, coefficients = big_design () in
+  let stats = Design.stats d in
+  Alcotest.(check bool)
+    (Printf.sprintf "thousands of primitives (%d)" stats.Design.primitive_instances)
+    true
+    (stats.Design.primitive_instances > 3000);
+  Alcotest.(check int) "drc clean" 0 (List.length (Design.errors d));
+  (* simulate a short stream and check filter 0 against the reference *)
+  let clk = (Option.get (Design.find_port d "clk")).Design.port_wire in
+  let sim = Simulator.create ~clock:clk d in
+  let samples = List.init 24 (fun i -> ((i * 97) mod 1024) - 512) in
+  let expected =
+    Fir.expected_response ~signed_mode:true ~coefficients
+      ~full_width:(Fir.accumulation_width ~x_width:10 ~coefficients)
+      ~out_width:24 samples
+  in
+  List.iteri
+    (fun i x ->
+       Simulator.set_input sim "x" (Bits.of_int ~width:10 x);
+       let y = Simulator.get_port sim "y0" in
+       Simulator.cycle sim;
+       Alcotest.(check bool)
+         (Printf.sprintf "sample %d" i)
+         true
+         (Bits.equal y (List.nth expected i)))
+    samples;
+  (* the rest of the flow stays linear-ish: estimate, model, place *)
+  let area = Estimate.area_of_design d in
+  Alcotest.(check bool) "hundreds of slices" true (area.Estimate.slices > 400);
+  let timing = Estimate.timing_of_design d in
+  Alcotest.(check bool) "critical path found" true
+    (timing.Estimate.critical_path_ps > 0);
+  let model = Model.of_design d in
+  Alcotest.(check int) "model complete" stats.Design.primitive_instances
+    (Model.instance_count model);
+  let placed = Placer.auto_place d ~rows:48 ~cols:48 in
+  Alcotest.(check bool) "placer fits" true (placed.Placer.placed > 3000);
+  let config = Config_mem.create ~rows:48 ~cols:48 in
+  let slices = Config_mem.configure config d in
+  Alcotest.(check bool) "bitstream configured" true (slices > 3000)
+
+let suite = [ Alcotest.test_case "16-tap filter bank flow" `Quick test_scale_pipeline ]

@@ -1,0 +1,231 @@
+(* Security tests: obfuscation, encryption, watermarking, metering. *)
+
+module Jar = Jhdl_bundle.Jar
+module Partition = Jhdl_bundle.Partition
+module Obfuscator = Jhdl_security.Obfuscator
+module Crypto = Jhdl_security.Crypto
+module Watermark = Jhdl_security.Watermark
+module Metering = Jhdl_security.Metering
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Simulator = Jhdl_sim.Simulator
+module Bits = Jhdl_logic.Bits
+module Kcm = Jhdl_modgen.Kcm
+
+(* {1 obfuscation} *)
+
+let test_obfuscate_renames_all () =
+  let jar = Partition.jar_of Partition.Viewer in
+  let obfuscated, mapping = Obfuscator.obfuscate jar in
+  Alcotest.(check int) "entry count preserved" (Jar.entry_count jar)
+    (Jar.entry_count obfuscated);
+  Alcotest.(check int) "mapping covers everything" (Jar.entry_count jar)
+    (List.length mapping);
+  Alcotest.(check bool) "no original names survive" true
+    (List.for_all
+       (fun c -> String.length c.Jhdl_bundle.Class_file.fqcn <= 6)
+       obfuscated.Jar.entries)
+
+let test_obfuscate_shrinks () =
+  let jar = Partition.jar_of Partition.Base in
+  let obfuscated, _ = Obfuscator.obfuscate jar in
+  let shrinkage = Obfuscator.shrinkage ~original:jar ~obfuscated in
+  Alcotest.(check bool)
+    (Printf.sprintf "positive shrinkage (%.1f%%)" (shrinkage *. 100.0))
+    true
+    (shrinkage > 0.01 && shrinkage < 0.5)
+
+let test_deobfuscate_name () =
+  let jar = Partition.jar_of Partition.Applet in
+  let _, mapping = Obfuscator.obfuscate jar in
+  let original, obfuscated = List.hd mapping in
+  Alcotest.(check (option string)) "reverse lookup" (Some original)
+    (Obfuscator.deobfuscate_name mapping obfuscated);
+  Alcotest.(check (option string)) "unknown" None
+    (Obfuscator.deobfuscate_name mapping "o.zzz")
+
+let test_obfuscated_names_unique () =
+  let jar = Partition.jar_of Partition.Base in
+  let obfuscated, _ = Obfuscator.obfuscate jar in
+  let names =
+    List.map (fun c -> c.Jhdl_bundle.Class_file.fqcn) obfuscated.Jar.entries
+  in
+  Alcotest.(check int) "all distinct" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+(* {1 crypto} *)
+
+let test_encrypt_roundtrip () =
+  let key = Crypto.key_of_string "vendor-secret" in
+  let plaintext = "(edif kcm_top (edifVersion 2 0 0) ...)" in
+  let ciphertext = Crypto.encrypt key plaintext in
+  Alcotest.(check bool) "changed" true (ciphertext <> plaintext);
+  Alcotest.(check string) "roundtrip" plaintext (Crypto.decrypt key ciphertext)
+
+let test_wrong_key_fails () =
+  let k1 = Crypto.key_of_string "alpha" in
+  let k2 = Crypto.key_of_string "beta" in
+  let plaintext = "protected intellectual property" in
+  Alcotest.(check bool) "wrong key garbles" true
+    (Crypto.decrypt k2 (Crypto.encrypt k1 plaintext) <> plaintext)
+
+let test_checksum_stable () =
+  Alcotest.(check string) "same input same digest" (Crypto.checksum "abc")
+    (Crypto.checksum "abc");
+  Alcotest.(check bool) "different input different digest" true
+    (Crypto.checksum "abc" <> Crypto.checksum "abd")
+
+let prop_encrypt_involutive =
+  QCheck.Test.make ~name:"decrypt . encrypt = id" ~count:300
+    QCheck.(pair (string_gen_of_size (QCheck.Gen.int_range 0 64) QCheck.Gen.char) string)
+    (fun (secret, plaintext) ->
+       let key = Crypto.key_of_string secret in
+       Crypto.decrypt key (Crypto.encrypt key plaintext) = plaintext)
+
+(* {1 watermark} *)
+
+let kcm_design () =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 12 in
+  let _ =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  d
+
+let test_watermark_embed_verify () =
+  let d = kcm_design () in
+  Alcotest.(check bool) "absent before" true (Watermark.extract d = None);
+  let luts = Watermark.embed d ~vendor:"BYU" () in
+  Alcotest.(check int) "64 bits = 4 luts" 4 luts;
+  Alcotest.(check bool) "verifies" true (Watermark.verify d ~vendor:"BYU");
+  Alcotest.(check bool) "rejects impostor" false
+    (Watermark.verify d ~vendor:"EvilCo")
+
+let test_watermark_does_not_change_function () =
+  let check d =
+    let sim = Simulator.create d in
+    Simulator.set_input sim "m" (Bits.of_int ~width:8 100);
+    Simulator.get_port sim "p"
+  in
+  let clean = kcm_design () in
+  let before = check clean in
+  let marked = kcm_design () in
+  let _ = Watermark.embed marked ~vendor:"BYU" () in
+  Alcotest.(check bool) "same product" true (Bits.equal before (check marked))
+
+let test_watermark_survives_netlisting () =
+  (* the mark is in INITs, which every netlist carries *)
+  let d = kcm_design () in
+  let _ = Watermark.embed d ~vendor:"BYU" () in
+  let edif = Jhdl_netlist.Edif.of_design d in
+  let expected =
+    Watermark.signature_bits ~vendor:"BYU" ~bits:16
+    |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+    |> List.fold_left ( + ) 0
+  in
+  let needle = Printf.sprintf "%04X" expected in
+  let rec contains i =
+    i + String.length needle <= String.length edif
+    && (String.sub edif i (String.length needle) = needle || contains (i + 1))
+  in
+  Alcotest.(check bool) "first INIT word appears in EDIF" true (contains 0)
+
+let test_watermark_sized () =
+  Alcotest.(check int) "128 bits" 8 (Watermark.lut_overhead ~bits:128);
+  Alcotest.(check int) "1 bit still costs a lut" 1 (Watermark.lut_overhead ~bits:1);
+  let d = kcm_design () in
+  let luts = Watermark.embed d ~vendor:"V" ~bits:128 () in
+  Alcotest.(check int) "8 luts embedded" 8 luts;
+  Alcotest.(check bool) "verifies at 128" true (Watermark.verify d ~vendor:"V")
+
+(* {1 metering} *)
+
+let test_metering_limits () =
+  let meter = Metering.create ~limits:[ (Metering.Build, 2) ] in
+  Alcotest.(check bool) "first build ok" true
+    (Metering.record meter ~user:"u" Metering.Build = Ok (Some 1));
+  Alcotest.(check bool) "second build ok" true
+    (Metering.record meter ~user:"u" Metering.Build = Ok (Some 0));
+  Alcotest.(check bool) "third refused" true
+    (Metering.record meter ~user:"u" Metering.Build = Error 2);
+  Alcotest.(check int) "usage stuck at cap" 2 (Metering.used meter ~user:"u" Metering.Build)
+
+let test_metering_unlimited () =
+  let meter = Metering.create ~limits:[] in
+  for _ = 1 to 100 do
+    match Metering.record meter ~user:"u" Metering.Simulate with
+    | Ok None -> ()
+    | Ok (Some _) | Error _ -> Alcotest.fail "expected unlimited"
+  done;
+  Alcotest.(check int) "counted anyway" 100
+    (Metering.used meter ~user:"u" Metering.Simulate)
+
+let test_metering_per_user () =
+  let meter = Metering.create ~limits:[ (Metering.Download, 1) ] in
+  Alcotest.(check bool) "alice ok" true
+    (Result.is_ok (Metering.record meter ~user:"alice" Metering.Download));
+  Alcotest.(check bool) "bob unaffected" true
+    (Result.is_ok (Metering.record meter ~user:"bob" Metering.Download));
+  Alcotest.(check bool) "alice capped" true
+    (Result.is_error (Metering.record meter ~user:"alice" Metering.Download))
+
+let test_metering_report () =
+  let meter = Metering.create ~limits:[ (Metering.Build, 5) ] in
+  let _ = Metering.record meter ~user:"alice" Metering.Build in
+  let report = Metering.report meter in
+  Alcotest.(check bool) "mentions alice" true
+    (let rec contains i =
+       i + 5 <= String.length report
+       && (String.sub report i 5 = "alice" || contains (i + 1))
+     in
+     contains 0)
+
+let prop_watermark_vendor_specific =
+  QCheck.Test.make ~name:"watermark verifies only its own vendor" ~count:40
+    QCheck.(pair (string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.printable)
+              (string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.printable))
+    (fun (vendor, impostor) ->
+       QCheck.assume (vendor <> impostor);
+       let top = Cell.root ~name:"top" () in
+       let a = Wire.create top ~name:"a" 1 in
+       let o = Wire.create top ~name:"o" 1 in
+       let _ = Jhdl_virtex.Virtex.inv top a o in
+       let d = Design.create top in
+       Design.add_port d "a" Types.Input a;
+       Design.add_port d "o" Types.Output o;
+       let _ = Watermark.embed d ~vendor () in
+       Watermark.verify d ~vendor
+       && ((not (Watermark.verify d ~vendor:impostor))
+           || Watermark.signature_bits ~vendor ~bits:64
+              = Watermark.signature_bits ~vendor:impostor ~bits:64))
+
+let suite =
+  [ Alcotest.test_case "obfuscate renames all" `Quick test_obfuscate_renames_all;
+    Alcotest.test_case "obfuscate shrinks" `Quick test_obfuscate_shrinks;
+    Alcotest.test_case "deobfuscate name" `Quick test_deobfuscate_name;
+    Alcotest.test_case "obfuscated names unique" `Quick
+      test_obfuscated_names_unique;
+    Alcotest.test_case "encrypt roundtrip" `Quick test_encrypt_roundtrip;
+    Alcotest.test_case "wrong key fails" `Quick test_wrong_key_fails;
+    Alcotest.test_case "checksum stable" `Quick test_checksum_stable;
+    Alcotest.test_case "watermark embed/verify" `Quick test_watermark_embed_verify;
+    Alcotest.test_case "watermark preserves function" `Quick
+      test_watermark_does_not_change_function;
+    Alcotest.test_case "watermark survives netlisting" `Quick
+      test_watermark_survives_netlisting;
+    Alcotest.test_case "watermark sizes" `Quick test_watermark_sized;
+    Alcotest.test_case "metering limits" `Quick test_metering_limits;
+    Alcotest.test_case "metering unlimited" `Quick test_metering_unlimited;
+    Alcotest.test_case "metering per user" `Quick test_metering_per_user;
+    Alcotest.test_case "metering report" `Quick test_metering_report ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_encrypt_involutive; prop_watermark_vendor_specific ]

@@ -1,0 +1,219 @@
+(* Declarative testbench + secure delivery channel + random-circuit
+   simulator equivalence property. *)
+
+module Bits = Jhdl_logic.Bits
+module Bit = Jhdl_logic.Bit
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Simulator = Jhdl_sim.Simulator
+module Testbench = Jhdl_sim.Testbench
+module Counter = Jhdl_modgen.Counter
+module Secure_channel = Jhdl_webserver.Secure_channel
+module Partition = Jhdl_bundle.Partition
+
+let b = Bits.of_string
+
+let and_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let b_ = Wire.create top ~name:"b" 1 in
+  let o = Wire.create top ~name:"o" 1 in
+  let _ = Virtex.and2 top a b_ o in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b_;
+  Design.add_port d "o" Types.Output o;
+  d
+
+(* {1 testbench} *)
+
+let test_tb_vectors_pass () =
+  let sim = Simulator.create (and_design ()) in
+  let steps =
+    Testbench.vectors ~mode:`Settle ~inputs:[ "a"; "b" ] ~outputs:[ "o" ]
+      [ ([ b "0"; b "0" ], [ b "0" ]);
+        ([ b "0"; b "1" ], [ b "0" ]);
+        ([ b "1"; b "0" ], [ b "0" ]);
+        ([ b "1"; b "1" ], [ b "1" ]) ]
+  in
+  let report = Testbench.run sim steps in
+  Alcotest.(check bool) "passed" true (Testbench.passed report);
+  Alcotest.(check int) "four checks" 4 report.Testbench.checks
+
+let test_tb_failure_reported () =
+  let sim = Simulator.create (and_design ()) in
+  let report =
+    Testbench.run sim
+      [ Testbench.Comment "deliberately wrong expectation";
+        Testbench.Drive ("a", b "1");
+        Testbench.Drive ("b", b "1");
+        Testbench.Settle;
+        Testbench.Expect ("o", b "0") ]
+  in
+  Alcotest.(check bool) "failed" false (Testbench.passed report);
+  (match report.Testbench.failures with
+   | [ f ] ->
+     Alcotest.(check string) "port" "o" f.Testbench.port;
+     Alcotest.(check string) "expected" "0" f.Testbench.expected;
+     Alcotest.(check string) "got" "1" f.Testbench.got
+   | _ -> Alcotest.fail "expected one failure");
+  Alcotest.(check bool) "comment in log" true
+    (List.exists
+       (fun line -> line = "deliberately wrong expectation")
+       report.Testbench.log)
+
+let test_tb_expect_defined () =
+  let sim = Simulator.create (and_design ()) in
+  let report =
+    Testbench.run sim
+      [ Testbench.Drive ("a", b "1");
+        Testbench.Settle;
+        Testbench.Expect_defined "o" ]
+  in
+  (* b is undriven, so o is x *)
+  Alcotest.(check bool) "undefined caught" false (Testbench.passed report)
+
+let test_tb_unknown_port_is_failure () =
+  let sim = Simulator.create (and_design ()) in
+  let report = Testbench.run sim [ Testbench.Expect ("zz", b "0") ] in
+  Alcotest.(check bool) "failure, not exception" false (Testbench.passed report)
+
+let test_tb_clocked_vectors () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 3 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  let report =
+    Testbench.run sim
+      (Testbench.vectors ~mode:`Clocked ~inputs:[] ~outputs:[ "q" ]
+         [ ([], [ b "001" ]); ([], [ b "010" ]); ([], [ b "011" ]) ])
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "clocked counter bench: %a" Testbench.pp_report report)
+    true (Testbench.passed report)
+
+(* {1 secure delivery channel} *)
+
+let test_seal_roundtrip () =
+  let token = Secure_channel.issue_token ~server_secret:"s3cret" ~user:"alice" in
+  let jar = Partition.jar_of Partition.Applet in
+  let sealed = Secure_channel.seal ~token jar in
+  match Secure_channel.open_sealed ~token sealed with
+  | Ok plaintext ->
+    Alcotest.(check string) "payload recovered"
+      (Secure_channel.payload_of_jar jar)
+      plaintext
+  | Error message -> Alcotest.fail message
+
+let test_wrong_token_rejected () =
+  let t_alice = Secure_channel.issue_token ~server_secret:"s3cret" ~user:"alice" in
+  let t_bob = Secure_channel.issue_token ~server_secret:"s3cret" ~user:"bob" in
+  Alcotest.(check bool) "tokens differ" true (t_alice <> t_bob);
+  let sealed = Secure_channel.seal ~token:t_alice (Partition.jar_of Partition.Applet) in
+  Alcotest.(check bool) "bob cannot open alice's jar" true
+    (Result.is_error (Secure_channel.open_sealed ~token:t_bob sealed))
+
+let test_tampering_detected () =
+  let token = Secure_channel.issue_token ~server_secret:"s3cret" ~user:"alice" in
+  let sealed = Secure_channel.seal ~token (Partition.jar_of Partition.Applet) in
+  let flipped = Bytes.of_string sealed.Secure_channel.ciphertext in
+  Bytes.set flipped 40 (Char.chr (Char.code (Bytes.get flipped 40) lxor 1));
+  let tampered = { sealed with Secure_channel.ciphertext = Bytes.to_string flipped } in
+  Alcotest.(check bool) "bit flip detected" true
+    (Result.is_error (Secure_channel.open_sealed ~token tampered))
+
+(* {1 random-circuit simulator equivalence}
+
+   Build a random combinational DAG of gates over 4 inputs, evaluate it
+   both through the circuit simulator and through a direct functional
+   interpretation built alongside, and compare on every input vector. *)
+
+let prop_random_circuit_equivalence =
+  let gen = QCheck.Gen.(pair (int_range 1 24) (int_bound 1_000_000)) in
+  QCheck.Test.make ~name:"simulator matches functional model on random DAGs"
+    ~count:60 (QCheck.make gen)
+    (fun (gate_count, seed) ->
+       let state = ref seed in
+       let rand n =
+         state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+         !state mod n
+       in
+       let top = Cell.root ~name:"rand" () in
+       let inputs =
+         List.init 4 (fun i -> Wire.create top ~name:(Printf.sprintf "i%d" i) 1)
+       in
+       (* each node: a gate over two existing signals; keep both the wire
+          and a boolean function of the primary inputs *)
+       let nodes =
+         ref
+           (List.mapi
+              (fun i w -> (w, fun (v : bool array) -> v.(i)))
+              inputs)
+       in
+       for g = 0 to gate_count - 1 do
+         let pick () = List.nth !nodes (rand (List.length !nodes)) in
+         let (wa, fa) = pick () and (wb, fb) = pick () in
+         let o = Wire.create top ~name:(Printf.sprintf "g%d" g) 1 in
+         let kind = rand 4 in
+         (match kind with
+          | 0 ->
+            let _ = Virtex.and2 top wa wb o in
+            nodes := (o, fun v -> fa v && fb v) :: !nodes
+          | 1 ->
+            let _ = Virtex.or2 top wa wb o in
+            nodes := (o, fun v -> fa v || fb v) :: !nodes
+          | 2 ->
+            let _ = Virtex.xor2 top wa wb o in
+            nodes := (o, fun v -> fa v <> fb v) :: !nodes
+          | _ ->
+            let _ = Virtex.inv top wa o in
+            nodes := (o, fun v -> not (fa v)) :: !nodes)
+       done;
+       let out_wire, out_fn =
+         match !nodes with
+         | (w, f) :: _ -> (w, f)
+         | [] -> assert false
+       in
+       let d = Design.create top in
+       List.iteri
+         (fun i w -> Design.add_port d (Printf.sprintf "i%d" i) Types.Input w)
+         inputs;
+       (* the final gate output may coincide with an input if gate_count
+          picks badly; only outputs with a driver can be ports *)
+       if List.exists (fun w -> Wire.equal w out_wire) inputs then true
+       else begin
+         Design.add_port d "o" Types.Output out_wire;
+         let sim = Simulator.create d in
+         let ok = ref true in
+         for vector = 0 to 15 do
+           let values = Array.init 4 (fun i -> (vector lsr i) land 1 = 1) in
+           List.iteri
+             (fun i _ ->
+                Simulator.set_input sim (Printf.sprintf "i%d" i)
+                  (Bits.of_int ~width:1 (if values.(i) then 1 else 0)))
+             inputs;
+           let got = Simulator.get_port sim "o" in
+           let expected = Bits.of_int ~width:1 (if out_fn values then 1 else 0) in
+           if not (Bits.equal got expected) then ok := false
+         done;
+         !ok
+       end)
+
+let suite =
+  [ Alcotest.test_case "vectors pass" `Quick test_tb_vectors_pass;
+    Alcotest.test_case "failure reported" `Quick test_tb_failure_reported;
+    Alcotest.test_case "expect defined" `Quick test_tb_expect_defined;
+    Alcotest.test_case "unknown port is failure" `Quick
+      test_tb_unknown_port_is_failure;
+    Alcotest.test_case "clocked vectors" `Quick test_tb_clocked_vectors;
+    Alcotest.test_case "seal roundtrip" `Quick test_seal_roundtrip;
+    Alcotest.test_case "wrong token rejected" `Quick test_wrong_token_rejected;
+    Alcotest.test_case "tampering detected" `Quick test_tampering_detected ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_random_circuit_equivalence ]

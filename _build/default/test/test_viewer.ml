@@ -1,0 +1,145 @@
+(* Viewer tests: hierarchy, schematic, floorplan, waveform, VCD. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Bits = Jhdl_logic.Bits
+module Simulator = Jhdl_sim.Simulator
+module Hierarchy = Jhdl_viewer.Hierarchy
+module Schematic = Jhdl_viewer.Schematic
+module Floorplan = Jhdl_viewer.Floorplan
+module Waveform = Jhdl_viewer.Waveform
+module Vcd = Jhdl_viewer.Vcd
+module Adders = Jhdl_modgen.Adders
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let sample_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 4 in
+  let b = Wire.create top ~name:"b" 4 in
+  let sum = Wire.create top ~name:"sum" 4 in
+  let _ = Adders.carry_chain top ~name:"add" ~a ~b ~sum () in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "sum" Types.Output sum;
+  d
+
+let test_hierarchy_render () =
+  let d = sample_design () in
+  let text = Hierarchy.render_design d in
+  Alcotest.(check bool) "lists ports" true (contains ~needle:"input  a<4>" text);
+  Alcotest.(check bool) "shows the adder" true
+    (contains ~needle:"add : CarryChainAdder" text);
+  Alcotest.(check bool) "shows a muxcy" true (contains ~needle:"MUXCY" text);
+  Alcotest.(check bool) "tree glyphs" true (contains ~needle:"`--" text)
+
+let test_hierarchy_max_depth () =
+  let d = sample_design () in
+  let shallow = Hierarchy.render ~max_depth:0 (Design.root d) in
+  Alcotest.(check bool) "depth 0 hides children" true
+    (not (contains ~needle:"MUXCY" shallow))
+
+let test_hierarchy_focus () =
+  let d = sample_design () in
+  (match Hierarchy.focus d "add" with
+   | Some text ->
+     Alcotest.(check bool) "focused subtree" true (contains ~needle:"XORCY" text)
+   | None -> Alcotest.fail "path add should resolve");
+  Alcotest.(check bool) "bad path" true (Hierarchy.focus d "nope" = None)
+
+let test_schematic_render () =
+  let d = sample_design () in
+  let add_cell = Option.get (Cell.find_path (Design.root d) "add") in
+  let text = Schematic.render add_cell in
+  Alcotest.(check bool) "port bindings shown" true (contains ~needle:".a <=" text);
+  Alcotest.(check bool) "instances listed" true (contains ~needle:"cy0 : MUXCY" text)
+
+let test_schematic_nets () =
+  let d = sample_design () in
+  let add_cell = Option.get (Cell.find_path (Design.root d) "add") in
+  let text = Schematic.render_nets add_cell in
+  Alcotest.(check bool) "driver arrow" true (contains ~needle:" -> " text);
+  Alcotest.(check bool) "carry net named" true (contains ~needle:"carry" text)
+
+let test_schematic_svg () =
+  let d = sample_design () in
+  let svg = Schematic.to_svg (Option.get (Cell.find_path (Design.root d) "add")) in
+  Alcotest.(check bool) "svg root" true (contains ~needle:"<svg" svg);
+  Alcotest.(check bool) "closed" true (contains ~needle:"</svg>" svg);
+  Alcotest.(check bool) "boxes drawn" true (contains ~needle:"<rect" svg);
+  Alcotest.(check bool) "escaped text" true (not (contains ~needle:"<-" svg))
+
+let test_floorplan () =
+  let d = sample_design () in
+  let root = Design.root d in
+  (match Floorplan.bounding_box root with
+   | Some (rows, cols) ->
+     Alcotest.(check int) "two bits per row" 2 rows;
+     Alcotest.(check int) "one column" 1 cols
+   | None -> Alcotest.fail "carry chain is placed");
+  let text = Floorplan.render root in
+  Alcotest.(check bool) "slice glyph" true (contains ~needle:"S" text);
+  Alcotest.(check bool) "legend" true (contains ~needle:"legend" text)
+
+let test_floorplan_empty () =
+  let top = Cell.root ~name:"empty" () in
+  let text = Floorplan.render top in
+  Alcotest.(check bool) "reports nothing placed" true
+    (contains ~needle:"no placed primitives" text)
+
+let watched_sim () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"count" 3 in
+  let _ = Jhdl_modgen.Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "count" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  Simulator.watch sim ~label:"count" q;
+  Simulator.cycle ~n:4 sim;
+  sim
+
+let test_waveform_render () =
+  let sim = watched_sim () in
+  let text = Waveform.render ~radix:`Unsigned sim in
+  Alcotest.(check bool) "labels" true (contains ~needle:"count" text);
+  Alcotest.(check bool) "counts up" true (contains ~needle:"4" text)
+
+let test_waveform_value_format () =
+  Alcotest.(check string) "hex" "2a"
+    (Waveform.value_to_string ~radix:`Hex (Bits.of_int ~width:8 42));
+  Alcotest.(check string) "binary" "00101010"
+    (Waveform.value_to_string ~radix:`Binary (Bits.of_int ~width:8 42));
+  Alcotest.(check string) "x falls back" "1x"
+    (Waveform.value_to_string ~radix:`Hex (Bits.of_string "1x"))
+
+let test_vcd_export () =
+  let sim = watched_sim () in
+  let vcd = Vcd.of_history sim in
+  Alcotest.(check bool) "header" true (contains ~needle:"$timescale" vcd);
+  Alcotest.(check bool) "var decl" true (contains ~needle:"$var wire 3" vcd);
+  Alcotest.(check bool) "definitions closed" true
+    (contains ~needle:"$enddefinitions" vcd);
+  Alcotest.(check bool) "timestamped" true (contains ~needle:"#4" vcd);
+  Alcotest.(check bool) "vector value" true (contains ~needle:"b100" vcd)
+
+let suite =
+  [ Alcotest.test_case "hierarchy render" `Quick test_hierarchy_render;
+    Alcotest.test_case "hierarchy max depth" `Quick test_hierarchy_max_depth;
+    Alcotest.test_case "hierarchy focus" `Quick test_hierarchy_focus;
+    Alcotest.test_case "schematic render" `Quick test_schematic_render;
+    Alcotest.test_case "schematic nets" `Quick test_schematic_nets;
+    Alcotest.test_case "schematic svg" `Quick test_schematic_svg;
+    Alcotest.test_case "floorplan" `Quick test_floorplan;
+    Alcotest.test_case "floorplan empty" `Quick test_floorplan_empty;
+    Alcotest.test_case "waveform render" `Quick test_waveform_render;
+    Alcotest.test_case "waveform values" `Quick test_waveform_value_format;
+    Alcotest.test_case "vcd export" `Quick test_vcd_export ]

@@ -1,0 +1,153 @@
+(* Web server tests: per-license serving, browser caching, updates. *)
+
+module Server = Jhdl_webserver.Server
+module Catalog = Jhdl_applet.Catalog
+module License = Jhdl_applet.License
+module Applet = Jhdl_applet.Applet
+module Feature = Jhdl_applet.Feature
+module Jar = Jhdl_bundle.Jar
+module Download = Jhdl_bundle.Download
+
+let fresh_server () =
+  let server = Server.create ~vendor:"test-vendor" () in
+  let _ = Server.publish server Catalog.kcm in
+  let _ = Server.publish server Catalog.fir in
+  Server.register_user server ~user:"alice" ~tier:License.Licensed;
+  Server.register_user server ~user:"bob" ~tier:License.Passive;
+  server
+
+let request ?(user = "alice") ?(ip = "VirtexKCMMultiplier") server =
+  match Server.request server ~user ~ip_name:ip ~link:Download.dsl_1m () with
+  | Ok session -> session
+  | Error message -> Alcotest.failf "request failed: %s" message
+
+let test_unknown_user () =
+  let server = fresh_server () in
+  match
+    Server.request server ~user:"mallory" ~ip_name:"VirtexKCMMultiplier"
+      ~link:Download.dsl_1m ()
+  with
+  | Error message ->
+    Alcotest.(check bool) "names the user" true
+      (String.length message > 0)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_unknown_ip () =
+  let server = fresh_server () in
+  match
+    Server.request server ~user:"alice" ~ip_name:"Cordic" ~link:Download.dsl_1m ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_catalog () =
+  let server = fresh_server () in
+  Alcotest.(check (list (pair string int))) "two entries at v1"
+    [ ("VirtexKCMMultiplier", 1); ("FirFilter", 1) ]
+    (Server.catalog server)
+
+let test_license_drives_applet () =
+  let server = fresh_server () in
+  let alice = request server in
+  let bob = request ~user:"bob" server in
+  Alcotest.(check bool) "alice can netlist" true
+    (List.mem Feature.Netlister (Applet.features alice.Server.applet));
+  Alcotest.(check bool) "bob cannot" false
+    (List.mem Feature.Netlister (Applet.features bob.Server.applet));
+  Alcotest.(check bool) "bob's jar set is smaller" true
+    (List.length bob.Server.jars < List.length alice.Server.jars)
+
+let test_first_visit_fetches_everything () =
+  let server = fresh_server () in
+  let session = request server in
+  Alcotest.(check int) "cache empty: all jars fetched"
+    (List.length session.Server.jars)
+    (List.length session.Server.fetched);
+  Alcotest.(check bool) "download takes time" true
+    (session.Server.download_seconds > 1.0)
+
+let test_revisit_hits_cache () =
+  let server = fresh_server () in
+  let _ = request server in
+  let second = request server in
+  Alcotest.(check int) "nothing re-fetched" 0
+    (List.length second.Server.fetched);
+  Alcotest.(check bool) "instant" true (second.Server.download_seconds < 0.001)
+
+let test_update_refetches_applet_jar_only () =
+  let server = fresh_server () in
+  let _ = request server in
+  let v = Server.publish server Catalog.kcm in
+  Alcotest.(check int) "version bumped" 2 v;
+  let session = request server in
+  Alcotest.(check int) "served the new version" 2 session.Server.version;
+  Alcotest.(check (list string)) "only the applet jar moved"
+    [ "Applet.jar" ]
+    (List.map (fun j -> j.Jar.jar_name) session.Server.fetched)
+
+let test_cache_is_per_user () =
+  let server = fresh_server () in
+  let _ = request server in
+  (* bob's first visit still downloads everything *)
+  let bob = request ~user:"bob" server in
+  Alcotest.(check bool) "bob fetched jars" true
+    (List.length bob.Server.fetched > 0)
+
+let test_access_log () =
+  let server = fresh_server () in
+  let _ = request server in
+  let _ = request ~user:"bob" server in
+  Alcotest.(check int) "two entries" 2 (List.length (Server.access_log server))
+
+let test_served_applet_works () =
+  let server = fresh_server () in
+  let session = request server in
+  let applet = session.Server.applet in
+  (match Applet.exec applet Applet.Build with
+   | Ok _ -> ()
+   | Error message -> Alcotest.failf "build failed: %s" message);
+  match Applet.exec applet (Applet.Netlist "VHDL") with
+  | Ok text -> Alcotest.(check bool) "vhdl produced" true (String.length text > 500)
+  | Error message -> Alcotest.failf "netlist failed: %s" message
+
+let test_secure_request () =
+  let server = fresh_server () in
+  match
+    Server.secure_request server ~user:"alice" ~ip_name:"VirtexKCMMultiplier"
+      ~link:Download.dsl_1m ()
+  with
+  | Error message -> Alcotest.fail message
+  | Ok (session, sealed) ->
+    Alcotest.(check int) "one sealed jar per fetched jar"
+      (List.length session.Server.fetched)
+      (List.length sealed);
+    let token = Option.get (Server.user_token server ~user:"alice") in
+    List.iter
+      (fun s ->
+         match Jhdl_webserver.Secure_channel.open_sealed ~token s with
+         | Ok _ -> ()
+         | Error m -> Alcotest.fail m)
+      sealed;
+    (* another user's token cannot open alice's jars *)
+    Server.register_user server ~user:"mallory" ~tier:License.Passive;
+    let bad = Option.get (Server.user_token server ~user:"mallory") in
+    (match sealed with
+     | s :: _ ->
+       Alcotest.(check bool) "cross-user decryption fails" true
+         (Result.is_error (Jhdl_webserver.Secure_channel.open_sealed ~token:bad s))
+     | [] -> Alcotest.fail "expected sealed jars")
+
+let suite =
+  [ Alcotest.test_case "unknown user" `Quick test_unknown_user;
+    Alcotest.test_case "secure request" `Quick test_secure_request;
+    Alcotest.test_case "unknown ip" `Quick test_unknown_ip;
+    Alcotest.test_case "catalog" `Quick test_catalog;
+    Alcotest.test_case "license drives applet" `Quick test_license_drives_applet;
+    Alcotest.test_case "first visit fetches all" `Quick
+      test_first_visit_fetches_everything;
+    Alcotest.test_case "revisit hits cache" `Quick test_revisit_hits_cache;
+    Alcotest.test_case "update refetches applet jar" `Quick
+      test_update_refetches_applet_jar_only;
+    Alcotest.test_case "cache is per user" `Quick test_cache_is_per_user;
+    Alcotest.test_case "access log" `Quick test_access_log;
+    Alcotest.test_case "served applet works" `Quick test_served_applet_works ]

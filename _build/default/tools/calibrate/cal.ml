@@ -1,0 +1,1 @@
+let () = print_string (Jhdl_bundle.Partition.table (Jhdl_bundle.Partition.jars_for Jhdl_bundle.Partition.all_components))
