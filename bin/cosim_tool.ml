@@ -50,7 +50,8 @@ let build_applet ip params =
      | Ok _ -> Ok applet
      | Error m -> Error m)
 
-let run ip_name params binds tb_path network_name =
+let run ip_name params binds tb_path network_name fault_name fault_rate retries
+    seed =
   let ( let* ) = Result.bind in
   let result =
     let* ip =
@@ -62,6 +63,24 @@ let run ip_name params binds tb_path network_name =
         ~none:"networks: loopback, lan, campus, dsl, modem"
         (network_of network_name)
     in
+    let* fault_kind =
+      Option.to_result
+        ~none:"faults: drop, corrupt, duplicate, latency, disconnect"
+        (Fault.kind_of_string fault_name)
+    in
+    let* () =
+      if fault_rate < 0.0 || fault_rate >= 1.0 then
+        Error "--fault-rate must be in [0, 1)"
+      else Ok ()
+    in
+    let* () =
+      if retries < 1 then Error "--retries must be at least 1" else Ok ()
+    in
+    let faults =
+      if fault_rate > 0.0 then Some (Fault.only fault_kind ~rate:fault_rate ~seed)
+      else None
+    in
+    let retry = { Cosim.default_retry with Cosim.max_attempts = retries } in
     let* params = collect (split_eq "--param") params in
     let* binds = collect (split_eq "--bind") binds in
     let bindings =
@@ -85,8 +104,12 @@ let run ip_name params binds tb_path network_name =
         (Endpoint.of_applet ~name:"dut" applet)
     in
     let cosim = Cosim.create () in
-    Cosim.attach cosim endpoint network;
-    let result = Verilog_tb.run program ~cosim ~bindings in
+    Cosim.attach cosim ?faults ~retry endpoint network;
+    let* result =
+      try Ok (Verilog_tb.run program ~cosim ~bindings)
+      with Cosim.Exchange_failed reason ->
+        Error (Printf.sprintf "channel gave out: %s" reason)
+    in
     List.iter print_endline result.Verilog_tb.transcript;
     let passed =
       List.filter (fun c -> c.Verilog_tb.passed) result.Verilog_tb.checks
@@ -105,6 +128,15 @@ let run ip_name params binds tb_path network_name =
       (List.length result.Verilog_tb.checks)
       result.Verilog_tb.cycles_run
       (Cosim.total_messages cosim) (Cosim.total_bytes cosim);
+    (match faults with
+     | None -> ()
+     | Some config ->
+       Printf.printf
+         "fault model %s: %d injected, %d retries, %d bytes retransmitted\n"
+         (Fault.describe config)
+         (Cosim.total_faults_injected cosim)
+         (Cosim.total_retries cosim)
+         (Cosim.total_retransmitted_bytes cosim));
     Ok (List.length passed = List.length result.Verilog_tb.checks)
   in
   match result with
@@ -141,10 +173,39 @@ let network_arg =
     value & opt string "lan"
     & info [ "network" ] ~doc:"Channel model: loopback, lan, campus, dsl, modem.")
 
+let fault_arg =
+  Arg.(
+    value & opt string "drop"
+    & info [ "fault" ]
+        ~doc:"Fault kind to inject: drop, corrupt, duplicate, latency, \
+              disconnect.")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ]
+        ~doc:"Probability in [0,1) that a message suffers the fault; 0 \
+              disables injection.")
+
+let retries_arg =
+  Arg.(
+    value & opt int Jhdl.Cosim.default_retry.Jhdl.Cosim.max_attempts
+    & info [ "retries" ]
+        ~doc:"Attempts per exchange, including the first; 1 disables \
+              recovery.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ]
+        ~doc:"Fault-stream seed; identical seeds replay identical runs.")
+
 let cmd =
   let doc = "drive a black-box IP with a Verilog testbench (PLI wrapper)" in
   Cmd.v
     (Cmd.info "cosim_tool" ~doc)
-    Term.(const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg)
+    Term.(
+      const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg
+      $ fault_arg $ fault_rate_arg $ retries_arg $ seed_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -38,9 +38,23 @@ let show_session (session : Server.session) =
     (List.length session.Server.fetched)
     session.Server.download_seconds
     (String.concat ", "
-       (List.map (fun j -> j.Jar.jar_name) session.Server.fetched))
+       (List.map (fun j -> j.Jar.jar_name) session.Server.fetched));
+  if session.Server.failed <> [] then begin
+    Printf.printf "DEGRADED: %s never arrived (%d transfer attempts)\n"
+      (String.concat ", "
+         (List.map (fun j -> j.Jar.jar_name) session.Server.failed))
+      session.Server.fetch_attempts;
+    Printf.printf "unavailable tools: %s\n"
+      (String.concat ", " (List.map Feature.name session.Server.unavailable))
+  end
 
-let handle server line =
+(* lossy-link settings shared by every get/secure command of a session *)
+type delivery = {
+  faults : Fault.config option;
+  policy : Download.fetch_policy;
+}
+
+let handle server delivery line =
   let words =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
@@ -75,12 +89,16 @@ let handle server line =
     (match link_of link_name with
      | None -> print_endline "links: modem, isdn, dsl, lan10, lan100"
      | Some link ->
-       (match Server.request server ~user ~ip_name ~link () with
+       (match
+          Server.request server ~user ~ip_name ~link ?faults:delivery.faults
+            ~policy:delivery.policy ()
+        with
         | Ok session -> show_session session
         | Error message -> print_endline ("ERROR: " ^ message)))
   | [ "secure"; user; ip_name ] ->
     (match
-       Server.secure_request server ~user ~ip_name ~link:Download.dsl_1m ()
+       Server.secure_request server ~user ~ip_name ~link:Download.dsl_1m
+         ?faults:delivery.faults ~policy:delivery.policy ()
      with
      | Ok (session, sealed) ->
        show_session session;
@@ -108,23 +126,70 @@ let vendor_arg =
     & opt string "BYU Configurable Computing Lab"
     & info [ "vendor" ] ~doc:"Vendor name for the server.")
 
-let run vendor =
-  let server = Server.create ~vendor () in
-  List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
-  Printf.printf "IP delivery server for %s (type `help`)\n" vendor;
-  let rec loop () =
-    print_string "server> ";
-    match read_line () with
-    | exception End_of_file -> 0
-    | "quit" | "exit" -> 0
-    | line ->
-      handle server line;
-      loop ()
-  in
-  loop ()
+let fault_arg =
+  Arg.(
+    value & opt string "drop"
+    & info [ "fault" ]
+        ~doc:"Fault kind on the download link: drop, corrupt, duplicate, \
+              latency, disconnect.")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ]
+        ~doc:"Probability in [0,1) that a jar transfer suffers the fault; \
+              0 keeps the link clean.")
+
+let retries_arg =
+  Arg.(
+    value & opt int Download.default_fetch_policy.Download.max_attempts
+    & info [ "retries" ] ~doc:"Transfer attempts per jar, including the first.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~doc:"Fault-stream seed (same seed, same faults).")
+
+let run vendor fault_name fault_rate retries seed =
+  match Fault.kind_of_string fault_name with
+  | None ->
+    prerr_endline "faults: drop, corrupt, duplicate, latency, disconnect";
+    2
+  | Some kind when fault_rate >= 0.0 && fault_rate < 1.0 && retries >= 1 ->
+    let delivery =
+      { faults =
+          (if fault_rate > 0.0 then Some (Fault.only kind ~rate:fault_rate ~seed)
+           else None);
+        policy =
+          { Download.default_fetch_policy with Download.max_attempts = retries } }
+    in
+    let server = Server.create ~vendor () in
+    List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
+    Printf.printf "IP delivery server for %s (type `help`)\n" vendor;
+    (match delivery.faults with
+     | Some config ->
+       Printf.printf "download link faults: %s, %d attempt(s) per jar\n"
+         (Fault.describe config) retries
+     | None -> ());
+    let rec loop () =
+      print_string "server> ";
+      match read_line () with
+      | exception End_of_file -> 0
+      | "quit" | "exit" -> 0
+      | line ->
+        handle server delivery line;
+        loop ()
+    in
+    loop ()
+  | Some _ ->
+    prerr_endline "--fault-rate must be in [0,1) and --retries at least 1";
+    2
 
 let cmd =
   let doc = "run the vendor's IP delivery web server console" in
-  Cmd.v (Cmd.info "ip_server_cli" ~doc) Term.(const run $ vendor_arg)
+  Cmd.v (Cmd.info "ip_server_cli" ~doc)
+    Term.(
+      const run $ vendor_arg $ fault_arg $ fault_rate_arg $ retries_arg
+      $ seed_arg)
 
 let () = exit (Cmd.eval' cmd)

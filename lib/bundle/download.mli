@@ -33,3 +33,56 @@ val jars_seconds : link -> Jar.t list -> float
     jars, so only [changed] is re-fetched (the paper's "customers always
     access the latest revisions" advantage, priced). *)
 val update_seconds : link -> changed:Jar.t list -> unit -> float
+
+(** {1 Faulty links: retried, resumable fetches}
+
+    The consumer links of Table 1 lose connections mid-transfer. A
+    [fetch] models one jar over such a link: drops and disconnects kill
+    the transfer at a seeded-random byte offset and the retry resumes
+    there (HTTP Range); corruption is only caught by the archive
+    checksum after the whole payload arrived, so it restarts from zero;
+    latency spikes stretch the connection setup. Deterministic: same
+    fault seed, same outcome. *)
+
+type fetch_policy = {
+  max_attempts : int;  (** total tries per jar, including the first *)
+  base_backoff_s : float;  (** wait before the first retry *)
+  backoff_cap_s : float;  (** backoff doubles per retry up to this cap *)
+}
+
+(** [default_fetch_policy] — 5 attempts, 0.5 s base backoff capped at
+    8 s (browser-ish). *)
+val default_fetch_policy : fetch_policy
+
+(** [single_attempt] — no retries: the first fault fails the jar. *)
+val single_attempt : fetch_policy
+
+type fetch = {
+  fetch_jar : Jar.t;
+  delivered : bool;  (** arrived intact within [max_attempts] *)
+  attempts : int;
+  bytes_on_wire : int;
+      (** everything transferred, including dead partial payloads —
+          [>= compressed_size] when retries happened *)
+  fetch_seconds : float;  (** setup + payload + backoff, all attempts *)
+}
+
+(** [fetch_jars ?faults ?policy link jars] — fetch a jar set
+    sequentially. Each jar draws from its own split of the fault seed,
+    so one jar's retry count never shifts another's faults. Without
+    [faults] this degenerates to {!jars_seconds}'s timing with every jar
+    delivered. *)
+val fetch_jars :
+  ?faults:Jhdl_faults.Fault.config ->
+  ?policy:fetch_policy ->
+  link ->
+  Jar.t list ->
+  fetch list
+
+val fetch_total_seconds : fetch list -> float
+val fetch_total_bytes : fetch list -> int
+
+(** [fetch_failures fetches] — jars that never arrived. *)
+val fetch_failures : fetch list -> Jar.t list
+
+val fetch_attempts : fetch list -> int

@@ -18,6 +18,7 @@
     - {!Feature}, {!License}, {!Ip_module}, {!Applet}, {!Catalog}: the IP
       delivery applets.
     - {!Server}: the vendor web server.
+    - {!Prng}, {!Fault}: seeded fault injection for lossy consumer links.
     - {!Network}, {!Protocol}, {!Endpoint}, {!Cosim}: black-box
       co-simulation. *)
 
@@ -77,6 +78,8 @@ module Catalog = Jhdl_applet.Catalog
 module Suite = Jhdl_applet.Suite
 module Server = Jhdl_webserver.Server
 module Secure_channel = Jhdl_webserver.Secure_channel
+module Prng = Jhdl_faults.Prng
+module Fault = Jhdl_faults.Fault
 module Network = Jhdl_netproto.Network
 module Protocol = Jhdl_netproto.Protocol
 module Endpoint = Jhdl_netproto.Endpoint

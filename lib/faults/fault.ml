@@ -1,0 +1,132 @@
+type kind =
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Latency_spike
+  | Disconnect
+
+let all_kinds = [ Drop; Corrupt; Duplicate; Latency_spike; Disconnect ]
+
+let kind_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Duplicate -> "duplicate"
+  | Latency_spike -> "latency"
+  | Disconnect -> "disconnect"
+
+let kind_of_string = function
+  | "drop" -> Some Drop
+  | "corrupt" -> Some Corrupt
+  | "duplicate" | "dup" -> Some Duplicate
+  | "latency" | "latency-spike" | "spike" -> Some Latency_spike
+  | "disconnect" -> Some Disconnect
+  | _ -> None
+
+type config = {
+  drop_rate : float;
+  corrupt_rate : float;
+  duplicate_rate : float;
+  latency_spike_rate : float;
+  latency_spike_s : float;
+  disconnect_rate : float;
+  seed : int;
+}
+
+let none =
+  { drop_rate = 0.0;
+    corrupt_rate = 0.0;
+    duplicate_rate = 0.0;
+    latency_spike_rate = 0.0;
+    latency_spike_s = 0.25;
+    disconnect_rate = 0.0;
+    seed = 0 }
+
+let only kind ~rate ~seed =
+  let base = { none with seed } in
+  match kind with
+  | Drop -> { base with drop_rate = rate }
+  | Corrupt -> { base with corrupt_rate = rate }
+  | Duplicate -> { base with duplicate_rate = rate }
+  | Latency_spike -> { base with latency_spike_rate = rate }
+  | Disconnect -> { base with disconnect_rate = rate }
+
+let degraded ~rate ~seed =
+  { none with
+    drop_rate = rate;
+    corrupt_rate = rate;
+    duplicate_rate = rate;
+    latency_spike_rate = rate;
+    disconnect_rate = rate;
+    seed }
+
+let rate_of config = function
+  | Drop -> config.drop_rate
+  | Corrupt -> config.corrupt_rate
+  | Duplicate -> config.duplicate_rate
+  | Latency_spike -> config.latency_spike_rate
+  | Disconnect -> config.disconnect_rate
+
+let describe config =
+  let active =
+    List.filter_map
+      (fun kind ->
+         let rate = rate_of config kind in
+         if rate > 0.0 then
+           Some (Printf.sprintf "%s %.0f%%" (kind_name kind) (rate *. 100.0))
+         else None)
+      all_kinds
+  in
+  match active with
+  | [] -> "clean channel"
+  | active ->
+    Printf.sprintf "%s (seed %d)" (String.concat ", " active) config.seed
+
+type injector = {
+  config : config;
+  prng : Prng.t;
+  counts : (kind, int) Hashtbl.t;
+}
+
+let injector config =
+  { config; prng = Prng.create config.seed; counts = Hashtbl.create 5 }
+
+let split t = { t with prng = Prng.split t.prng }
+
+let record t kind =
+  Hashtbl.replace t.counts kind
+    (1 + Option.value (Hashtbl.find_opt t.counts kind) ~default:0)
+
+(* One uniform draw per kind per call keeps the stream aligned no matter
+   which kinds are enabled, so "drop only" and "drop + corrupt" runs
+   agree on where the drops land. *)
+let draw t =
+  let hit =
+    List.filter
+      (fun kind -> Prng.float t.prng < rate_of t.config kind)
+      all_kinds
+  in
+  match hit with
+  | [] -> None
+  | kind :: _ ->
+    record t kind;
+    Some kind
+
+let fraction t = Prng.float t.prng
+
+let mangle t payload =
+  if String.length payload = 0 then payload
+  else begin
+    let i = Prng.int t.prng (String.length payload) in
+    let flip = 1 + Prng.int t.prng 255 in
+    let b = Bytes.of_string payload in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor flip));
+    Bytes.to_string b
+  end
+
+let tally t =
+  List.map
+    (fun kind ->
+       (kind, Option.value (Hashtbl.find_opt t.counts kind) ~default:0))
+    all_kinds
+
+let total_injected t = List.fold_left (fun acc (_, n) -> acc + n) 0 (tally t)

@@ -1,0 +1,79 @@
+(** Seeded fault taxonomy for the consumer-link scenarios of the paper's
+    evaluation (modem / DSL clients, Section 4.2 and 4.4).
+
+    The perfect-channel models in {!Jhdl_netproto.Network} and
+    {!Jhdl_bundle.Download} accept a [config]; every transmission then
+    draws from a deterministic stream ({!Prng}) to decide whether it is
+    delivered intact, lost, mangled, duplicated, delayed, or cut off.
+    Rates are independent per kind, so a test matrix can turn exactly one
+    failure mode on at a time, and the whole run replays bit-for-bit from
+    its seed. *)
+
+type kind =
+  | Drop  (** message or transfer silently lost in flight *)
+  | Corrupt  (** delivered, but payload bytes mangled (checksums catch it) *)
+  | Duplicate  (** delivered twice (sequence numbers catch it) *)
+  | Latency_spike  (** delivered after an extra stall *)
+  | Disconnect  (** connection torn down; the peer must reconnect *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+(** [kind_of_string s] — parse a CLI spelling ("drop", "corrupt",
+    "duplicate", "latency", "disconnect"). *)
+val kind_of_string : string -> kind option
+
+type config = {
+  drop_rate : float;
+  corrupt_rate : float;
+  duplicate_rate : float;
+  latency_spike_rate : float;
+  latency_spike_s : float;  (** extra seconds charged per spike *)
+  disconnect_rate : float;
+  seed : int;
+}
+
+(** [none] — all rates zero; injecting with it is a no-op. *)
+val none : config
+
+(** [only kind ~rate ~seed] — a single failure mode at [rate], everything
+    else clean. The fault-matrix tests sweep this. *)
+val only : kind -> rate:float -> seed:int -> config
+
+(** [degraded ~rate ~seed] — every failure mode at [rate] at once: the
+    "bad hotel wifi" preset. *)
+val degraded : rate:float -> seed:int -> config
+
+val describe : config -> string
+
+(** {1 Injection} *)
+
+(** Stateful injector: a [config] plus its private draw stream and
+    per-kind tallies of what it actually injected. *)
+type injector
+
+val injector : config -> injector
+
+(** [split t] — independent child injector (same rates, forked stream):
+    one per channel or per jar, so their draw orders cannot interfere. *)
+val split : injector -> injector
+
+(** [draw t] — decide the fate of one transmission. Kinds are tested in
+    declaration order with independent probabilities; the first hit wins
+    and is tallied. Exactly one decision per call, fully determined by
+    the seed and the call sequence. *)
+val draw : injector -> kind option
+
+(** [fraction t] — uniform draw in [0, 1); used for "how far through the
+    transfer did it die" when resuming partial fetches. *)
+val fraction : injector -> float
+
+(** [mangle t payload] — flip one random byte of [payload] (the
+    wire-level damage behind [Corrupt]). Empty payloads pass through. *)
+val mangle : injector -> string -> string
+
+(** [tally t] — per-kind counts of faults injected so far, in
+    [all_kinds] order, zero entries included. *)
+val tally : injector -> (kind * int) list
+
+val total_injected : injector -> int

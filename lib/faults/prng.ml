@@ -1,0 +1,35 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): one 64-bit counter
+   advanced by a fixed odd gamma, output through a bit-mixing finalizer.
+   Trivially splittable: a child seeded from the parent's next output is
+   statistically independent of the parent's subsequent draws. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  (* pre-mix the user seed so small seeds (0, 1, 2...) land far apart *)
+  { state = Int64.mul (Int64.add (Int64.of_int seed) 1L) gamma }
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+(* top 53 bits over 2^53: uniform in [0,1) with full double precision *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))

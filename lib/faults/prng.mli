@@ -1,0 +1,23 @@
+(** Splittable deterministic pseudo-random stream (SplitMix64).
+
+    Every fault decision in the repository draws from one of these
+    streams, so a run is a pure function of its seeds: same seed, same
+    faults, same recovery, byte-identical output. [split] derives an
+    independent child stream, which lets one user-facing seed fan out to
+    per-channel / per-jar streams whose draw counts cannot interfere. *)
+
+type t
+
+(** [create seed] — a fresh stream. Streams with different seeds are
+    statistically independent. *)
+val create : int -> t
+
+(** [split t] — derive an independent child stream and advance [t]. *)
+val split : t -> t
+
+(** [float t] — uniform draw in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] — uniform draw in [0, bound). Raises
+    [Invalid_argument] when [bound <= 0]. *)
+val int : t -> int -> int

@@ -1,8 +1,114 @@
 module Bits = Jhdl_logic.Bits
+module Fault = Jhdl_faults.Fault
+
+(* ------------------------------------------------------------------ *)
+(* retry policy and the reliable-exchange engine                       *)
+(* ------------------------------------------------------------------ *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_cap_s : float;
+  exchange_timeout_s : float;
+}
+
+let default_retry =
+  { max_attempts = 6;
+    base_backoff_s = 0.05;
+    backoff_cap_s = 2.0;
+    exchange_timeout_s = 1.0 }
+
+let no_retry = { default_retry with max_attempts = 1 }
+
+exception Exchange_failed of string
+
+(* A wire is a channel plus everything the reliable-exchange layer
+   needs: the retry policy, the sender's sequence counter, and tallies
+   of the recovery work actually performed. *)
+type wire = {
+  channel : Network.t;
+  policy : retry_policy;
+  mutable next_seq : int;
+  mutable retry_count : int;
+  mutable retransmitted_bytes : int;
+}
+
+let make_wire ?faults ?(retry = default_retry) params =
+  { channel = Network.create ?faults params;
+    policy = retry;
+    next_seq = 0;
+    retry_count = 0;
+    retransmitted_bytes = 0 }
+
+(* One request/reply exchange with recovery. Each attempt transmits the
+   framed request; losses, detected corruptions and disconnects cost a
+   timeout (charged to the simulated clock) and a capped exponential
+   backoff before the retransmission. The peer dedupes by sequence
+   number, so a retransmission after a lost *reply* replays the cached
+   answer instead of re-executing — which is what keeps functional
+   results byte-identical to a fault-free run. *)
+let wire_exchange wire ~peer message =
+  let seq = wire.next_seq in
+  wire.next_seq <- (wire.next_seq + 1) land Protocol.max_seq;
+  let request = Protocol.encode_packet ~seq message in
+  let request_bytes = String.length request in
+  let policy = wire.policy in
+  let timeout () = Network.stall wire.channel policy.exchange_timeout_s in
+  let rec attempt n =
+    if n > policy.max_attempts then
+      raise
+        (Exchange_failed
+           (Printf.sprintf "request seq %d lost after %d attempt(s)" seq
+              policy.max_attempts));
+    if n > 1 then begin
+      let backoff =
+        Float.min policy.backoff_cap_s
+          (policy.base_backoff_s *. (2.0 ** float_of_int (n - 2)))
+      in
+      Network.stall wire.channel backoff;
+      wire.retry_count <- wire.retry_count + 1;
+      wire.retransmitted_bytes <- wire.retransmitted_bytes + request_bytes
+    end;
+    match Network.transmit wire.channel ~bytes:request_bytes with
+    | Network.Dropped | Network.Disconnected ->
+      timeout ();
+      attempt (n + 1)
+    | Network.Corrupted ->
+      (* the damaged frame reaches the peer, whose CRC rejects it; the
+         sender hears nothing and times out *)
+      (match Protocol.decode_packet (Network.mangle wire.channel request) with
+       | Ok packet -> deliver n packet
+       | Error _ ->
+         timeout ();
+         attempt (n + 1))
+    | Network.Delivered -> deliver n { Protocol.seq; payload = message }
+  and deliver n packet =
+    let reply_packet = peer packet in
+    let reply_encoded =
+      Protocol.encode_packet ~seq:reply_packet.Protocol.seq
+        reply_packet.Protocol.payload
+    in
+    match Network.transmit wire.channel ~bytes:(String.length reply_encoded) with
+    | Network.Delivered -> reply_packet.Protocol.payload
+    | Network.Corrupted ->
+      (match Protocol.decode_packet (Network.mangle wire.channel reply_encoded) with
+       | Ok back -> back.Protocol.payload
+       | Error _ ->
+         timeout ();
+         attempt (n + 1))
+    | Network.Dropped | Network.Disconnected ->
+      timeout ();
+      attempt (n + 1)
+  in
+  attempt 1
+
+(* ------------------------------------------------------------------ *)
+(* co-simulation sessions                                              *)
+(* ------------------------------------------------------------------ *)
 
 type link = {
   endpoint : Endpoint.t;
-  channel : Network.t;
+  wire : wire;
 }
 
 type t = {
@@ -11,26 +117,27 @@ type t = {
 
 let create () = { links = [] }
 
-let attach t endpoint params =
+let attach t ?faults ?retry endpoint params =
   let name = Endpoint.name endpoint in
   if List.exists (fun l -> Endpoint.name l.endpoint = name) t.links then
     invalid_arg (Printf.sprintf "Cosim.attach: duplicate endpoint %s" name);
-  t.links <- t.links @ [ { endpoint; channel = Network.create params } ]
+  t.links <- t.links @ [ { endpoint; wire = make_wire ?faults ?retry params } ]
 
 let find t box =
   match List.find_opt (fun l -> Endpoint.name l.endpoint = box) t.links with
   | Some link -> link
   | None -> invalid_arg (Printf.sprintf "Cosim: no black box named %s" box)
 
-(* One request/reply exchange: both directions cross the channel with
-   their real encoded sizes. *)
 let exchange link message =
-  Network.send link.channel ~bytes:(Protocol.size message);
-  let reply = Endpoint.handle link.endpoint message in
-  Network.send link.channel ~bytes:(Protocol.size reply);
+  let name = Endpoint.name link.endpoint in
+  let reply =
+    try wire_exchange link.wire ~peer:(Endpoint.handle_packet link.endpoint) message
+    with Exchange_failed reason ->
+      raise (Exchange_failed (Printf.sprintf "%s: %s" name reason))
+  in
   match reply with
   | Protocol.Protocol_error reason ->
-    invalid_arg (Printf.sprintf "Cosim: %s: %s" (Endpoint.name link.endpoint) reason)
+    invalid_arg (Printf.sprintf "Cosim: %s: %s" name reason)
   | other -> other
 
 let set_inputs t ~box pairs =
@@ -42,7 +149,7 @@ let set_inputs t ~box pairs =
 let cycle t =
   List.iter
     (fun link ->
-       Network.add_compute link.channel
+       Network.add_compute link.wire.channel
          (Endpoint.compute_seconds_per_cycle link.endpoint);
        match exchange link (Protocol.Cycle 1) with
        | Protocol.Ack -> ()
@@ -64,13 +171,32 @@ let get_output t ~box port =
   | _ -> invalid_arg "Cosim.get_output: unexpected reply"
 
 let elapsed_seconds t =
-  List.fold_left (fun acc l -> acc +. Network.elapsed_seconds l.channel) 0.0 t.links
+  List.fold_left (fun acc l -> acc +. Network.elapsed_seconds l.wire.channel) 0.0 t.links
 
 let total_messages t =
-  List.fold_left (fun acc l -> acc + Network.messages l.channel) 0 t.links
+  List.fold_left (fun acc l -> acc + Network.messages l.wire.channel) 0 t.links
 
 let total_bytes t =
-  List.fold_left (fun acc l -> acc + Network.bytes_transferred l.channel) 0 t.links
+  List.fold_left (fun acc l -> acc + Network.bytes_transferred l.wire.channel) 0 t.links
+
+let total_retries t =
+  List.fold_left (fun acc l -> acc + l.wire.retry_count) 0 t.links
+
+let total_retransmitted_bytes t =
+  List.fold_left (fun acc l -> acc + l.wire.retransmitted_bytes) 0 t.links
+
+let total_faults_injected t =
+  List.fold_left (fun acc l -> acc + Network.faults_injected l.wire.channel) 0 t.links
+
+let fault_counts t =
+  List.map
+    (fun kind ->
+       ( kind,
+         List.fold_left
+           (fun acc l ->
+              acc + List.assoc kind (Network.fault_counts l.wire.channel))
+           0 t.links ))
+    Fault.all_kinds
 
 type architecture =
   | Local_applet
@@ -91,10 +217,13 @@ type session_cost = {
   compute_seconds : float;
   message_count : int;
   byte_count : int;
+  retry_count : int;
+  retransmitted_bytes : int;
+  faults_injected : int;
 }
 
 let simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe
-    ?on_outputs () =
+    ?faults ?retry ?on_outputs () =
   let channel_params =
     match arch with
     | Local_applet -> Network.loopback
@@ -104,13 +233,12 @@ let simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe
         Network.per_message_overhead_bytes =
           network.Network.per_message_overhead_bytes + rmi_overhead_bytes }
   in
-  let channel = Network.create channel_params in
+  (* the local applet's loopback is a method call: nothing to inject *)
+  let faults = match arch with Local_applet -> None | _ -> faults in
+  let wire = make_wire ?faults ?retry channel_params in
   let compute = ref 0.0 in
   let exchange message =
-    Network.send channel ~bytes:(Protocol.size message);
-    let reply = Endpoint.handle endpoint message in
-    Network.send channel ~bytes:(Protocol.size reply);
-    reply
+    wire_exchange wire ~peer:(Endpoint.handle_packet endpoint) message
   in
   for i = 0 to cycles - 1 do
     (match drive i with
@@ -131,9 +259,12 @@ let simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe
          (match on_outputs with Some f -> f i pairs | None -> ())
        | _ -> invalid_arg "simulation_cost: get_outputs failed")
   done;
-  let network_seconds = Network.elapsed_seconds channel in
+  let network_seconds = Network.elapsed_seconds wire.channel in
   { wall_seconds = network_seconds +. !compute;
     network_seconds;
     compute_seconds = !compute;
-    message_count = Network.messages channel;
-    byte_count = Network.bytes_transferred channel }
+    message_count = Network.messages wire.channel;
+    byte_count = Network.bytes_transferred wire.channel;
+    retry_count = wire.retry_count;
+    retransmitted_bytes = wire.retransmitted_bytes;
+    faults_injected = Network.faults_injected wire.channel }

@@ -5,15 +5,56 @@
     black-box endpoints through protocol channels. Every exchange sends
     genuinely-encoded messages through the channel, so the elapsed-time
     and traffic numbers come from real message sizes, and the functional
-    results come from the real simulators behind the endpoints. *)
+    results come from the real simulators behind the endpoints.
+
+    Channels may be faulty ({!Jhdl_faults.Fault.config}): exchanges are
+    then framed with sequence numbers and checksums
+    ({!Protocol.encode_packet}), lost or mangled frames cost a timeout
+    plus a capped exponential backoff before retransmission, and the
+    endpoint dedupes retransmissions so a retried [Cycle] never clocks
+    the simulator twice. With the seed fixed the whole run — faults,
+    retries and functional outputs — replays identically. *)
+
+(** {1 Retry policy} *)
+
+type retry_policy = {
+  max_attempts : int;  (** total tries per exchange, including the first *)
+  base_backoff_s : float;  (** wait before the first retransmission *)
+  backoff_cap_s : float;  (** backoff doubles per retry up to this cap *)
+  exchange_timeout_s : float;
+      (** simulated seconds the sender waits before declaring a frame
+          lost; charged to the channel clock per failed attempt *)
+}
+
+(** [default_retry] — 6 attempts, 50 ms base backoff capped at 2 s, 1 s
+    timeout. Survives heavy loss on consumer links. *)
+val default_retry : retry_policy
+
+(** [no_retry] — a single attempt: the first injected fault on an
+    exchange fails it. The Web-CAD / JavaCAD baselines behave this way
+    in the under-loss comparison. *)
+val no_retry : retry_policy
+
+(** Raised when an exchange exhausts [max_attempts]; the message names
+    the box and sequence number. This is the "clean failure" of the
+    fault-matrix tests — the session state is still consistent. *)
+exception Exchange_failed of string
 
 type t
 
 val create : unit -> t
 
-(** [attach t endpoint params] — connect a black box over a channel with
-    the given network parameters. Endpoint names must be unique. *)
-val attach : t -> Endpoint.t -> Network.params -> unit
+(** [attach t ?faults ?retry endpoint params] — connect a black box over
+    a channel with the given network parameters. [faults] arms the
+    seeded injector on that channel; [retry] (default {!default_retry})
+    governs recovery. Endpoint names must be unique. *)
+val attach :
+  t ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?retry:retry_policy ->
+  Endpoint.t ->
+  Network.params ->
+  unit
 
 (** [set_inputs t ~box pairs] — drive input ports of one black box. *)
 val set_inputs : t -> box:string -> (string * Jhdl_logic.Bits.t) list -> unit
@@ -34,6 +75,19 @@ val elapsed_seconds : t -> float
 
 val total_messages : t -> int
 val total_bytes : t -> int
+
+(** {1 Recovery statistics} *)
+
+val total_retries : t -> int
+
+(** [total_retransmitted_bytes t] — request bytes sent again after a
+    timeout (the recovery traffic a lossy link extracts). *)
+val total_retransmitted_bytes : t -> int
+
+val total_faults_injected : t -> int
+
+(** [fault_counts t] — injected faults by kind across all channels. *)
+val fault_counts : t -> (Jhdl_faults.Fault.kind * int) list
 
 (** {1 Delivery-architecture comparison (claim C1)} *)
 
@@ -56,6 +110,9 @@ type session_cost = {
   compute_seconds : float;
   message_count : int;
   byte_count : int;
+  retry_count : int;  (** retransmissions performed *)
+  retransmitted_bytes : int;  (** request bytes re-sent *)
+  faults_injected : int;  (** what the channel actually did to us *)
 }
 
 (** [simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe] —
@@ -65,7 +122,10 @@ type session_cost = {
     cost; functional outputs are written to [on_outputs] when given.
     [Local_applet] replaces the channel with a loopback (the network is
     only traversed for the initial download, which is priced separately
-    in the benches via {!Jhdl_bundle.Download}). *)
+    in the benches via {!Jhdl_bundle.Download}) and ignores [faults] —
+    method calls do not drop. [faults]/[retry] arm the remote
+    architectures' channels; may raise {!Exchange_failed} when recovery
+    is exhausted. *)
 val simulation_cost :
   arch:architecture ->
   network:Network.params ->
@@ -73,6 +133,8 @@ val simulation_cost :
   cycles:int ->
   drive:(int -> (string * Jhdl_logic.Bits.t) list) ->
   observe:string list ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?retry:retry_policy ->
   ?on_outputs:(int -> (string * Jhdl_logic.Bits.t) list -> unit) ->
   unit ->
   session_cost

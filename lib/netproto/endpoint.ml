@@ -8,12 +8,19 @@ type t = {
   endpoint_name : string;
   sim : Simulator.t;
   compute : float;
+  (* at-most-once execution: a retransmitted request (same sequence
+     number) must not clock the simulator again, so the last reply is
+     kept and replayed *)
+  mutable last_seq : int option;
+  mutable last_reply : Protocol.message;
 }
 
 let of_simulator ~name sim =
   { endpoint_name = name;
     sim;
-    compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim }
+    compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim;
+    last_seq = None;
+    last_reply = Protocol.Ack }
 
 let of_applet ~name applet =
   Option.map (of_simulator ~name) (Jhdl_applet.Applet.simulator applet)
@@ -44,3 +51,15 @@ let handle t message =
   | Protocol.Outputs_are _ | Protocol.Ack ->
     Protocol.Protocol_error "unexpected reply message"
   | Protocol.Protocol_error _ as e -> e
+
+let handle_packet t (packet : Protocol.packet) =
+  match t.last_seq with
+  | Some seq when seq = packet.Protocol.seq ->
+    (* duplicate delivery or retransmission after a lost reply: replay
+       the cached answer without touching the simulator *)
+    { Protocol.seq; payload = t.last_reply }
+  | Some _ | None ->
+    let reply = handle t packet.Protocol.payload in
+    t.last_seq <- Some packet.Protocol.seq;
+    t.last_reply <- reply;
+    { Protocol.seq = packet.Protocol.seq; payload = reply }

@@ -27,3 +27,10 @@ val compute_seconds_per_cycle : t -> float
     reply ([Ack] for writes, [Outputs_are] for reads, [Protocol_error]
     for unknown ports). *)
 val handle : t -> Protocol.message -> Protocol.message
+
+(** [handle_packet t packet] — [handle] with at-most-once semantics: a
+    packet repeating the previous sequence number (a duplicate, or a
+    retransmission after the reply was lost) replays the cached reply
+    without re-executing — a retried [Cycle] must not clock the
+    simulator twice. The reply carries the request's sequence number. *)
+val handle_packet : t -> Protocol.packet -> Protocol.packet

@@ -1,3 +1,5 @@
+module Fault = Jhdl_faults.Fault
+
 type params = {
   one_way_latency_s : float;
   bandwidth_bits_per_s : float;
@@ -34,12 +36,21 @@ let rtt params = params.one_way_latency_s *. 2.0
 
 type t = {
   net_params : params;
+  faults : Fault.config option;
+  injector : Fault.injector option;
   mutable clock_s : float;
   mutable message_count : int;
   mutable byte_count : int;
 }
 
-let create net_params = { net_params; clock_s = 0.0; message_count = 0; byte_count = 0 }
+let create ?faults net_params =
+  { net_params;
+    faults;
+    injector = Option.map Fault.injector faults;
+    clock_s = 0.0;
+    message_count = 0;
+    byte_count = 0 }
+
 let params t = t.net_params
 
 let send t ~bytes =
@@ -50,6 +61,59 @@ let send t ~bytes =
     +. (float_of_int total *. 8.0 /. t.net_params.bandwidth_bits_per_s);
   t.message_count <- t.message_count + 1;
   t.byte_count <- t.byte_count + total
+
+type delivery =
+  | Delivered
+  | Dropped
+  | Corrupted
+  | Disconnected
+
+(* a torn-down TCP connection costs a reconnect handshake before the
+   sender can try again: SYN, SYN-ACK, ACK — three one-way trips *)
+let reconnect_seconds params = 3.0 *. params.one_way_latency_s
+
+let transmit t ~bytes =
+  send t ~bytes;
+  match t.injector with
+  | None -> Delivered
+  | Some injector ->
+    (match Fault.draw injector with
+     | None -> Delivered
+     | Some Fault.Drop -> Dropped
+     | Some Fault.Corrupt -> Corrupted
+     | Some Fault.Duplicate ->
+       (* the wire carries the frame twice; the receiver's sequence
+          numbers discard the copy, but the traffic and time are real *)
+       send t ~bytes;
+       Delivered
+     | Some Fault.Latency_spike ->
+       let spike =
+         match t.faults with
+         | Some config -> config.Fault.latency_spike_s
+         | None -> 0.0
+       in
+       t.clock_s <- t.clock_s +. spike;
+       Delivered
+     | Some Fault.Disconnect ->
+       t.clock_s <- t.clock_s +. reconnect_seconds t.net_params;
+       Disconnected)
+
+let mangle t payload =
+  match t.injector with
+  | None -> payload
+  | Some injector -> Fault.mangle injector payload
+
+let fault_counts t =
+  match t.injector with
+  | None -> List.map (fun kind -> (kind, 0)) Fault.all_kinds
+  | Some injector -> Fault.tally injector
+
+let faults_injected t =
+  match t.injector with
+  | None -> 0
+  | Some injector -> Fault.total_injected injector
+
+let stall t seconds = t.clock_s <- t.clock_s +. seconds
 
 let elapsed_seconds t = t.clock_s
 let messages t = t.message_count

@@ -4,7 +4,9 @@
     co-simulation over sockets) and for the Web-CAD / JavaCAD baselines:
     each send pays one-way latency plus serialized payload over
     bandwidth; the channel accumulates simulated seconds and traffic
-    counters. Deterministic — no wall clock involved. *)
+    counters. Deterministic — no wall clock involved, and when a
+    {!Jhdl_faults.Fault.config} is attached every injected fault is a
+    pure function of the seed. *)
 
 type params = {
   one_way_latency_s : float;
@@ -29,11 +31,43 @@ val rtt : params -> float
 
 type t
 
-val create : params -> t
+(** [create ?faults params] — a fresh channel; [faults] arms the seeded
+    injector consulted by {!transmit} (absent = perfect channel). *)
+val create : ?faults:Jhdl_faults.Fault.config -> params -> t
+
 val params : t -> params
 
-(** [send t ~bytes] — account one message of [bytes] payload. *)
+(** [send t ~bytes] — account one message of [bytes] payload,
+    unconditionally delivered (the pre-fault accounting primitive; kept
+    for cost models that handle loss themselves). *)
 val send : t -> bytes:int -> unit
+
+(** What the channel did to one transmitted frame. *)
+type delivery =
+  | Delivered  (** arrived intact (possibly duplicated or delayed) *)
+  | Dropped  (** lost in flight; the sender sees only silence *)
+  | Corrupted  (** arrived with mangled bytes; checksums must catch it *)
+  | Disconnected
+      (** connection torn down mid-flight; reconnect already charged *)
+
+(** [transmit t ~bytes] — account one frame and roll the fault dice.
+    Duplicates account a second copy of the frame; latency spikes and
+    reconnects charge extra seconds. Without a fault config this is
+    [send] returning [Delivered]. *)
+val transmit : t -> bytes:int -> delivery
+
+(** [mangle t payload] — the wire damage behind [Corrupted]: flip one
+    seeded-random byte (identity on fault-free channels). *)
+val mangle : t -> string -> string
+
+(** [fault_counts t] — injected faults by kind, zero entries included. *)
+val fault_counts : t -> (Jhdl_faults.Fault.kind * int) list
+
+val faults_injected : t -> int
+
+(** [stall t seconds] — charge waiting time (retry backoff, timeout
+    expiry) to the channel clock. *)
+val stall : t -> float -> unit
 
 (** [elapsed_seconds t], [messages t], [bytes_transferred t] — counters. *)
 val elapsed_seconds : t -> float

@@ -118,6 +118,60 @@ let decode s =
   | message -> Ok message
   | exception Malformed reason -> Error reason
 
+(* CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF): detects every
+   single-byte error, unlike Fletcher/Adler whose 0x00/0xFF classes
+   collide — and corrupt-channel recovery hinges on detection. *)
+let checksum s =
+  let crc = ref 0xFFFF in
+  String.iter
+    (fun c ->
+       crc := !crc lxor (Char.code c lsl 8);
+       for _ = 1 to 8 do
+         if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+         else crc := (!crc lsl 1) land 0xFFFF
+       done)
+    s;
+  !crc
+
+type packet = {
+  seq : int;
+  payload : message;
+}
+
+let max_seq = 0xFFFF
+
+(* Frame: 2-byte big-endian sequence number, 2-byte CRC over the
+   sequence bytes plus the encoded message, then the message itself. *)
+let encode_packet ~seq payload =
+  if seq < 0 || seq > max_seq then
+    invalid_arg (Printf.sprintf "Protocol.encode_packet: seq %d out of range" seq);
+  let body = encode payload in
+  let buffer = Buffer.create (String.length body + 4) in
+  add_u16 buffer seq;
+  add_u16 buffer (checksum (Buffer.contents buffer ^ body));
+  Buffer.add_string buffer body;
+  Buffer.contents buffer
+
+let packet_size packet = 4 + size packet.payload
+
+let decode_packet s =
+  if String.length s < 4 then Error "packet too short"
+  else begin
+    let u16 i = (Char.code s.[i] lsl 8) lor Char.code s.[i + 1] in
+    let seq = u16 0 in
+    let claimed = u16 2 in
+    let body = String.sub s 4 (String.length s - 4) in
+    let actual = checksum (String.sub s 0 2 ^ body) in
+    if claimed <> actual then
+      Error
+        (Printf.sprintf "checksum mismatch (claimed %04X, computed %04X)"
+           claimed actual)
+    else
+      match decode body with
+      | Ok payload -> Ok { seq; payload }
+      | Error reason -> Error reason
+  end
+
 let pp fmt message =
   let pair (n, v) = Printf.sprintf "%s=%s" n (Bits.to_string v) in
   match message with

@@ -24,3 +24,34 @@ val decode : string -> (message, string) result
 val size : message -> int
 
 val pp : Format.formatter -> message -> unit
+
+(** {1 Framed packets}
+
+    Over a faulty channel ({!Fault.config} on the {!Network}), bare
+    messages are not enough: a lost reply makes the sender retransmit,
+    and the receiver must recognize the duplicate rather than clock the
+    simulator twice; a flipped byte must be detected rather than decoded
+    into a wrong value. Packets add a 16-bit sequence number and a
+    CRC-16/CCITT checksum over the whole frame (4 bytes total). *)
+
+type packet = {
+  seq : int;  (** 0..65535, assigned per exchange by the sender *)
+  payload : message;
+}
+
+val max_seq : int
+
+(** [checksum s] — CRC-16/CCITT-FALSE over [s]; detects all single-byte
+    corruptions. *)
+val checksum : string -> int
+
+(** [encode_packet ~seq payload] — frame one message. Raises
+    [Invalid_argument] when [seq] is out of range. *)
+val encode_packet : seq:int -> message -> string
+
+(** [decode_packet s] — [Error _] on short frames, checksum mismatches
+    (corruption) or malformed payloads. *)
+val decode_packet : string -> (packet, string) result
+
+(** [packet_size packet] — framed byte length: [4 + size payload]. *)
+val packet_size : packet -> int

@@ -68,10 +68,22 @@ type session = {
   version : int;
   jars : Jar.t list;
   fetched : Jar.t list;
+  failed : Jar.t list;
+  unavailable : Feature.t list;
+  fetch_attempts : int;
   download_seconds : float;
 }
 
-let request server ~user ~ip_name ~link () =
+(* no applet can run at all without the core classes, the technology
+   library and the applet glue *)
+let essential_components = [ Partition.Base; Partition.Virtex; Partition.Applet ]
+
+let component_of_jar jar =
+  List.find_opt
+    (fun c -> (Partition.jar_of c).Jar.jar_name = jar.Jar.jar_name)
+    Partition.all_components
+
+let request server ~user ~ip_name ~link ?faults ?policy () =
   match Hashtbl.find_opt server.accounts user with
   | None -> Error (Printf.sprintf "unknown user %s" user)
   | Some account ->
@@ -84,7 +96,7 @@ let request server ~user ~ip_name ~link () =
        in
        let components = Applet.jar_components applet in
        let jars = Partition.jars_for components in
-       let fetched =
+       let fetched_components =
          List.filter
            (fun component ->
               let current = Hashtbl.find server.component_versions component in
@@ -94,19 +106,46 @@ let request server ~user ~ip_name ~link () =
                 Hashtbl.replace account.cache component current;
                 true)
            components
-         |> Partition.jars_for
        in
-       let download_seconds = Download.jars_seconds link fetched in
-       Log.info (fun m ->
-         m "GET /applets/%s for %s (%s)" ip_name user
-           (License.tier_name account.tier));
-       server.log <-
-         Printf.sprintf "%s GET /applets/%s v%d (%s license, %d jar(s), %.1f s)"
-           user ip_name entry.version
-           (License.tier_name account.tier)
-           (List.length fetched) download_seconds
-         :: server.log;
-       Ok { applet; version = entry.version; jars; fetched; download_seconds })
+       let fetched = Partition.jars_for fetched_components in
+       let fetches = Download.fetch_jars ?faults ?policy link fetched in
+       let failed = Download.fetch_failures fetches in
+       let failed_components = List.filter_map component_of_jar failed in
+       (* a failed transfer must not poison the cache: the revisit
+          re-fetches the component instead of assuming it is present *)
+       List.iter (Hashtbl.remove account.cache) failed_components;
+       let download_seconds = Download.fetch_total_seconds fetches in
+       let fetch_attempts = Download.fetch_attempts fetches in
+       if List.exists (fun c -> List.mem c essential_components) failed_components
+       then
+         Error
+           (Printf.sprintf "download failed for %s: %s did not arrive"
+              ip_name
+              (String.concat ", " (List.map (fun j -> j.Jar.jar_name) failed)))
+       else begin
+         (* the page still loads: tools whose jars never arrived are
+            greyed out, everything else works *)
+         let unavailable =
+           List.filter
+             (fun feature ->
+                List.exists
+                  (fun c -> List.mem c failed_components)
+                  (Feature.components [ feature ]))
+             (Applet.features applet)
+         in
+         Log.info (fun m ->
+           m "GET /applets/%s for %s (%s)" ip_name user
+             (License.tier_name account.tier));
+         server.log <-
+           Printf.sprintf "%s GET /applets/%s v%d (%s license, %d jar(s), %.1f s)"
+             user ip_name entry.version
+             (License.tier_name account.tier)
+             (List.length fetched) download_seconds
+           :: server.log;
+         Ok
+           { applet; version = entry.version; jars; fetched; failed;
+             unavailable; fetch_attempts; download_seconds }
+       end)
 
 let access_log server = List.rev server.log
 
@@ -118,14 +157,22 @@ let user_token server ~user =
       (Secure_channel.issue_token ~server_secret:(server_secret server) ~user)
   else None
 
-let secure_request server ~user ~ip_name ~link () =
-  match request server ~user ~ip_name ~link () with
-  | Error _ as e -> e |> Result.map (fun s -> (s, []))
+let secure_request server ~user ~ip_name ~link ?faults ?policy () =
+  match request server ~user ~ip_name ~link ?faults ?policy () with
+  | Error message -> Error message
   | Ok session ->
     (match user_token server ~user with
      | None -> Error (Printf.sprintf "no token for %s" user)
      | Some token ->
-       let sealed =
-         List.map (Secure_channel.seal ~token) session.fetched
+       (* only what actually arrived gets sealed and handed over *)
+       let delivered =
+         List.filter
+           (fun jar ->
+              not
+                (List.exists
+                   (fun f -> f.Jar.jar_name = jar.Jar.jar_name)
+                   session.failed))
+           session.fetched
        in
+       let sealed = List.map (Secure_channel.seal ~token) delivered in
        Ok (session, sealed))

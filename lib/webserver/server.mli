@@ -29,19 +29,34 @@ type session = {
   applet : Jhdl_applet.Applet.t;
   version : int;
   jars : Jhdl_bundle.Jar.t list;  (** full jar set the page references *)
-  fetched : Jhdl_bundle.Jar.t list;  (** cache misses actually transferred *)
-  download_seconds : float;
+  fetched : Jhdl_bundle.Jar.t list;  (** cache misses the browser tried to transfer *)
+  failed : Jhdl_bundle.Jar.t list;
+      (** fetched jars that never arrived (retries exhausted) *)
+  unavailable : Jhdl_applet.Feature.t list;
+      (** licensed tools greyed out because their jar failed *)
+  fetch_attempts : int;  (** total transfer attempts across all jars *)
+  download_seconds : float;  (** includes retries, backoff and dead bytes *)
 }
 
-(** [request server ~user ~ip_name ~link ()] — serve the IP evaluation
-    page to [user] over [link]. Fails for unknown users or IPs. The
-    per-user browser cache persists across requests: revisits after a
-    republish fetch only the bumped applet jar. *)
+(** [request server ~user ~ip_name ~link ?faults ?policy ()] — serve the
+    IP evaluation page to [user] over [link]. Fails for unknown users or
+    IPs. The per-user browser cache persists across requests: revisits
+    after a republish fetch only the bumped applet jar.
+
+    [faults] makes the link lossy (seeded, deterministic); [policy]
+    governs per-jar retries ({!Jhdl_bundle.Download.default_fetch_policy}
+    by default). The session degrades gracefully: when an optional jar
+    (the viewer classes) is lost, the applet still launches and
+    [unavailable] lists the greyed-out tools; losing an essential jar
+    (base / technology / applet glue) is an [Error]. Failed components
+    are evicted from the browser cache so a revisit re-fetches them. *)
 val request :
   t ->
   user:string ->
   ip_name:string ->
   link:Jhdl_bundle.Download.link ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?policy:Jhdl_bundle.Download.fetch_policy ->
   unit ->
   (session, string) result
 
@@ -54,14 +69,17 @@ val access_log : t -> string list
     {!Secure_channel}; [None] for unknown users. *)
 val user_token : t -> user:string -> string option
 
-(** [secure_request server ~user ~ip_name ~link ()] — like {!request},
-    but the fetched jars arrive sealed under the user's token. The
-    session's timing is unchanged (the stream cipher is
-    size-preserving). *)
+(** [secure_request server ~user ~ip_name ~link ?faults ?policy ()] —
+    like {!request}, but the jars that actually arrived come sealed
+    under the user's token (failed jars are not sealed). The session's
+    timing is unchanged (the stream cipher is size-preserving). Unknown
+    users and IPs surface {!request}'s error directly. *)
 val secure_request :
   t ->
   user:string ->
   ip_name:string ->
   link:Jhdl_bundle.Download.link ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?policy:Jhdl_bundle.Download.fetch_policy ->
   unit ->
   (session * Secure_channel.sealed list, string) result

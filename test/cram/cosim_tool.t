@@ -17,7 +17,38 @@ A Verilog testbench drives the protected KCM over the PLI wrapper.
   $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
   >   -p pipelined=false --bind x=multiplicand --bind p=product
   product: p=-560
-  1/1 checks passed, 1 cycles, 8 protocol messages (652 bytes)
+  1/1 checks passed, 1 cycles, 8 protocol messages (684 bytes)
+
+Fault injection is seeded: two runs with the same seed replay the same
+faults, the same retries and the same byte counts, and recovery never
+changes the simulation's answers.
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --network campus --fault drop --fault-rate 0.3 --retries 6 --seed 7 \
+  >   | tee run_a.txt
+  product: p=-560
+  1/1 checks passed, 1 cycles, 19 protocol messages (1562 bytes)
+  fault model drop 30% (seed 7): 8 injected, 8 retries, 137 bytes retransmitted
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --network campus --fault drop --fault-rate 0.3 --retries 6 --seed 7 \
+  >   > run_b.txt && diff run_a.txt run_b.txt
+
+Without retries the first lost message kills the session cleanly.
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --network campus --fault drop --fault-rate 0.9 --retries 1 --seed 7
+  cosim_tool: channel gave out: dut: request seq 0 lost after 1 attempt(s)
+  [2]
+
+Bad fault arguments are rejected before anything runs.
+
+  $ jhdl-cosim-tool --tb bench.v --fault gremlins --fault-rate 0.1
+  cosim_tool: faults: drop, corrupt, duplicate, latency, disconnect
+  [2]
 
 A failing check exits non-zero and reports expected/got.
 
@@ -36,5 +67,5 @@ A failing check exits non-zero and reports expected/got.
   $ jhdl-cosim-tool --tb bad.v -p constant=-56 -p product_width=19 \
   >   -p pipelined=false --bind x=multiplicand --bind p=product
   FAIL $check p: expected 0000000000000101010, got 1111111111111001000
-  0/1 checks passed, 1 cycles, 6 protocol messages (475 bytes)
+  0/1 checks passed, 1 cycles, 6 protocol messages (499 bytes)
   [1]

@@ -14,6 +14,8 @@ module Endpoint = Jhdl_netproto.Endpoint
 module Cosim = Jhdl_netproto.Cosim
 module Kcm = Jhdl_modgen.Kcm
 module Counter = Jhdl_modgen.Counter
+module Prng = Jhdl_faults.Prng
+module Fault = Jhdl_faults.Fault
 
 let bits = Alcotest.testable Bits.pp Bits.equal
 
@@ -85,6 +87,88 @@ let prop_protocol_roundtrip =
        | Ok back ->
          Format.asprintf "%a" Protocol.pp back = Format.asprintf "%a" Protocol.pp m
        | Error _ -> false)
+
+(* {1 packets: sequence numbers + checksums} *)
+
+(* seeded message generator for the packet roundtrip sweep *)
+let random_message prng =
+  let name () =
+    String.init
+      (1 + Prng.int prng 8)
+      (fun _ -> Char.chr (Char.code 'a' + Prng.int prng 26))
+  in
+  let value () =
+    Bits.of_int ~width:(1 + Prng.int prng 24) (Prng.int prng 0x10000)
+  in
+  let pairs () = List.init (Prng.int prng 4) (fun _ -> (name (), value ())) in
+  match Prng.int prng 7 with
+  | 0 -> Protocol.Set_inputs (pairs ())
+  | 1 -> Protocol.Cycle (Prng.int prng 1_000_000)
+  | 2 -> Protocol.Reset
+  | 3 -> Protocol.Get_outputs (List.init (Prng.int prng 5) (fun _ -> name ()))
+  | 4 -> Protocol.Outputs_are (pairs ())
+  | 5 -> Protocol.Ack
+  | _ -> Protocol.Protocol_error (name ())
+
+let test_packet_roundtrip_sweep () =
+  let prng = Prng.create 7 in
+  for _ = 1 to 200 do
+    let message = random_message prng in
+    let seq = Prng.int prng (Protocol.max_seq + 1) in
+    Alcotest.(check int) "size matches encoded length"
+      (String.length (Protocol.encode message))
+      (Protocol.size message);
+    let frame = Protocol.encode_packet ~seq message in
+    Alcotest.(check int) "packet_size matches framed length"
+      (String.length frame)
+      (Protocol.packet_size { Protocol.seq; payload = message });
+    match Protocol.decode_packet frame with
+    | Error reason -> Alcotest.failf "decode_packet failed: %s" reason
+    | Ok packet ->
+      Alcotest.(check int) "seq survives" seq packet.Protocol.seq;
+      Alcotest.(check string) "payload survives"
+        (Format.asprintf "%a" Protocol.pp message)
+        (Format.asprintf "%a" Protocol.pp packet.Protocol.payload)
+  done
+
+let test_packet_detects_any_single_byte_corruption () =
+  let frame =
+    Protocol.encode_packet ~seq:513
+      (Protocol.Set_inputs [ ("multiplicand", Bits.of_string "1x0z1010") ])
+  in
+  (* flip every byte in turn, including the seq and checksum fields:
+     CRC-16 must reject each one *)
+  String.iteri
+    (fun i _ ->
+       let mangled = Bytes.of_string frame in
+       Bytes.set mangled i (Char.chr (Char.code frame.[i] lxor 0x41));
+       Alcotest.(check bool)
+         (Printf.sprintf "corruption at byte %d detected" i)
+         true
+         (Result.is_error (Protocol.decode_packet (Bytes.to_string mangled))))
+    frame;
+  Alcotest.(check bool) "short frame rejected" true
+    (Result.is_error (Protocol.decode_packet "ab"))
+
+let test_prng_determinism_and_split () =
+  let a = Prng.create 5 and b = Prng.create 5 in
+  let child_a = Prng.split a and child_b = Prng.split b in
+  for _ = 1 to 50 do
+    Alcotest.(check (float 0.0)) "same seed, same stream" (Prng.float a)
+      (Prng.float b);
+    Alcotest.(check (float 0.0)) "same split, same child stream"
+      (Prng.float child_a) (Prng.float child_b)
+  done;
+  let c = Prng.create 6 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Prng.float a <> Prng.float c);
+  let d = Prng.create 9 in
+  for _ = 1 to 100 do
+    let f = Prng.float d in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let k = Prng.int d 10 in
+    Alcotest.(check bool) "int in bound" true (k >= 0 && k < 10)
+  done
 
 (* {1 network model} *)
 
@@ -208,6 +292,236 @@ let test_cosim_duplicate_names_rejected () =
     (try Cosim.attach cosim e2 Network.loopback; false
      with Invalid_argument _ -> true)
 
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_cosim_unknown_box () =
+  let endpoint, _ = kcm_endpoint ~constant:3 in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim endpoint Network.loopback;
+  Alcotest.(check bool) "unknown box refused" true
+    (try
+       let _ = Cosim.get_output cosim ~box:"nonexistent" "product" in
+       false
+     with Invalid_argument message ->
+       (* the message must name the missing box *)
+       contains_substring message "nonexistent")
+
+let test_cosim_protocol_error_surfaces () =
+  let endpoint, _ = kcm_endpoint ~constant:3 in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim endpoint Network.loopback;
+  Alcotest.(check bool) "bad port surfaces as Invalid_argument naming the box"
+    true
+    (try
+       Cosim.set_inputs cosim ~box:"kcm" [ ("bogus", Bits.of_int ~width:8 1) ];
+       false
+     with Invalid_argument message -> contains_substring message "kcm")
+
+(* {1 fault injection and recovery} *)
+
+let counter_endpoint () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 8 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  Endpoint.of_simulator ~name:"counter"
+    (Simulator.create
+       ~clock:(match Design.find_port d "clk" with
+               | Some p -> p.Design.port_wire
+               | None -> assert false)
+       d)
+
+let test_endpoint_dedupes_retransmissions () =
+  let endpoint = counter_endpoint () in
+  let cycle_packet = { Protocol.seq = 17; payload = Protocol.Cycle 1 } in
+  let first = Endpoint.handle_packet endpoint cycle_packet in
+  (* the reply was "lost"; the sender retransmits the same sequence *)
+  let second = Endpoint.handle_packet endpoint cycle_packet in
+  Alcotest.(check bool) "replayed reply matches" true
+    (Format.asprintf "%a" Protocol.pp first.Protocol.payload
+     = Format.asprintf "%a" Protocol.pp second.Protocol.payload);
+  match
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = 18; payload = Protocol.Get_outputs [ "q" ] }
+  with
+  | { Protocol.payload = Protocol.Outputs_are [ (_, v) ]; _ } ->
+    (* two deliveries of seq 17 must clock the counter exactly once *)
+    Alcotest.check bits "clocked once, not twice" (Bits.of_int ~width:8 1) v
+  | _ -> Alcotest.fail "expected outputs"
+
+let test_network_transmit_faults () =
+  let clean = Network.create Network.lan in
+  (match Network.transmit clean ~bytes:50 with
+   | Network.Delivered -> ()
+   | _ -> Alcotest.fail "clean channel must deliver");
+  let lossy =
+    Network.create
+      ~faults:(Fault.only Fault.Drop ~rate:1.0 ~seed:3)
+      Network.lan
+  in
+  (match Network.transmit lossy ~bytes:50 with
+   | Network.Dropped -> ()
+   | _ -> Alcotest.fail "certain drop must drop");
+  Alcotest.(check int) "drop tallied" 1
+    (List.assoc Fault.Drop (Network.fault_counts lossy));
+  let flaky =
+    Network.create
+      ~faults:(Fault.only Fault.Latency_spike ~rate:1.0 ~seed:3)
+      Network.lan
+  in
+  let before = Network.elapsed_seconds flaky in
+  (match Network.transmit flaky ~bytes:50 with
+   | Network.Delivered -> ()
+   | _ -> Alcotest.fail "spikes still deliver");
+  Alcotest.(check bool) "spike charged extra time" true
+    (Network.elapsed_seconds flaky -. before > 0.2)
+
+(* drive a short session and collect every observed output *)
+let drive_session cosim =
+  let outputs = ref [] in
+  for i = 0 to 11 do
+    Cosim.set_inputs cosim ~box:"kcm"
+      [ ("multiplicand", Bits.of_int ~width:8 (17 * i land 0xFF)) ];
+    outputs := Cosim.get_output cosim ~box:"kcm" "product" :: !outputs;
+    Cosim.cycle cosim
+  done;
+  List.rev !outputs
+
+let baseline_outputs () =
+  let endpoint, _ = kcm_endpoint ~constant:(-56) in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim endpoint Network.campus;
+  drive_session cosim
+
+(* The fault matrix: {kind} x {rate} x {retry on/off}. Every cell must
+   either recover (outputs byte-identical to the fault-free run) or fail
+   cleanly with Exchange_failed — never return wrong data. *)
+let test_fault_matrix () =
+  let baseline = baseline_outputs () in
+  List.iter
+    (fun kind ->
+       List.iter
+         (fun rate ->
+            List.iter
+              (fun (retry_name, retry) ->
+                 let cell =
+                   Printf.sprintf "%s @ %.0f%% (%s)" (Fault.kind_name kind)
+                     (rate *. 100.0) retry_name
+                 in
+                 let endpoint, _ = kcm_endpoint ~constant:(-56) in
+                 let cosim = Cosim.create () in
+                 Cosim.attach cosim
+                   ?faults:
+                     (if rate > 0.0 then
+                        Some (Fault.only kind ~rate ~seed:11)
+                      else None)
+                   ~retry endpoint Network.campus;
+                 match drive_session cosim with
+                 | outputs ->
+                   Alcotest.(check int)
+                     (cell ^ ": recovered run has every output")
+                     (List.length baseline) (List.length outputs);
+                   List.iteri
+                     (fun i (expected, actual) ->
+                        Alcotest.check bits
+                          (Printf.sprintf "%s: output %d identical" cell i)
+                          expected actual)
+                     (List.combine baseline outputs);
+                   if rate > 0.0 && Cosim.total_faults_injected cosim > 0 then
+                     Alcotest.(check bool)
+                       (cell ^ ": recovery cost simulated time")
+                       true
+                       (Cosim.total_retries cosim > 0
+                        || List.assoc Fault.Duplicate (Cosim.fault_counts cosim)
+                           > 0
+                        || List.assoc Fault.Latency_spike
+                             (Cosim.fault_counts cosim)
+                           > 0)
+                 | exception Cosim.Exchange_failed _ ->
+                   (* clean failure: only acceptable on an actually
+                      faulty channel *)
+                   Alcotest.(check bool)
+                     (cell ^ ": clean failure only under faults") true
+                     (rate > 0.0))
+              [ ("retries on", Cosim.default_retry);
+                ("retries off", Cosim.no_retry) ])
+         [ 0.0; 0.05; 0.5 ])
+    Fault.all_kinds
+
+(* 5% drop with retries must recover fully: every cell of this config
+   is the acceptance criterion of the fault-injection PR *)
+let test_drop_with_retries_recovers () =
+  let baseline = baseline_outputs () in
+  let endpoint, _ = kcm_endpoint ~constant:(-56) in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim
+    ~faults:(Fault.only Fault.Drop ~rate:0.05 ~seed:42)
+    ~retry:Cosim.default_retry endpoint Network.campus;
+  let outputs = drive_session cosim in
+  List.iteri
+    (fun i (expected, actual) ->
+       Alcotest.check bits (Printf.sprintf "output %d identical" i) expected
+         actual)
+    (List.combine baseline outputs)
+
+(* acceptance: seed fixed, 5% drop + retries => byte-identical outputs,
+   strictly more simulated wall time, nonzero retry accounting *)
+let test_faulty_run_determinism_and_cost () =
+  let collect ?faults () =
+    let endpoint, _ = kcm_endpoint ~constant:(-56) in
+    let acc = ref [] in
+    let cost =
+      Cosim.simulation_cost ~arch:Cosim.Webcad ~network:Network.campus
+        ~endpoint ~cycles:200
+        ~drive:(fun i -> [ ("multiplicand", Bits.of_int ~width:8 (i land 0xFF)) ])
+        ~observe:[ "product" ] ?faults
+        ~on_outputs:(fun _ pairs -> acc := pairs :: !acc)
+        ()
+    in
+    (cost, List.rev !acc)
+  in
+  let faults = Fault.only Fault.Drop ~rate:0.05 ~seed:42 in
+  let clean_cost, clean_outputs = collect () in
+  let faulty_cost, faulty_outputs = collect ~faults () in
+  let faulty_cost2, faulty_outputs2 = collect ~faults () in
+  Alcotest.(check int) "same sample count"
+    (List.length clean_outputs) (List.length faulty_outputs);
+  List.iter2
+    (fun a b ->
+       match (a, b) with
+       | [ (_, va) ], [ (_, vb) ] ->
+         Alcotest.check bits "faulty run output identical to clean run" va vb
+       | _ -> Alcotest.fail "unexpected shape")
+    clean_outputs faulty_outputs;
+  Alcotest.(check bool) "faults were actually injected" true
+    (faulty_cost.Cosim.faults_injected > 0);
+  Alcotest.(check bool) "retries happened" true
+    (faulty_cost.Cosim.retry_count > 0);
+  Alcotest.(check bool) "recovery retransmitted bytes" true
+    (faulty_cost.Cosim.retransmitted_bytes > 0);
+  Alcotest.(check bool) "recovery costs wall time" true
+    (faulty_cost.Cosim.wall_seconds > clean_cost.Cosim.wall_seconds);
+  Alcotest.(check bool) "clean run pays no recovery" true
+    (clean_cost.Cosim.retry_count = 0
+     && clean_cost.Cosim.faults_injected = 0);
+  (* same seed => bit-for-bit replay, including the cost accounting *)
+  Alcotest.(check (float 0.0)) "replay: same wall clock"
+    faulty_cost.Cosim.wall_seconds faulty_cost2.Cosim.wall_seconds;
+  Alcotest.(check int) "replay: same retries"
+    faulty_cost.Cosim.retry_count faulty_cost2.Cosim.retry_count;
+  List.iter2
+    (fun a b ->
+       match (a, b) with
+       | [ (_, va) ], [ (_, vb) ] -> Alcotest.check bits "replay: same outputs" va vb
+       | _ -> Alcotest.fail "unexpected shape")
+    faulty_outputs faulty_outputs2
+
 (* {1 architecture cost model (claim C1)} *)
 
 let session_cost ~arch ~rtt =
@@ -286,6 +600,24 @@ let suite =
       test_cosim_matches_monolithic;
     Alcotest.test_case "cosim duplicate names" `Quick
       test_cosim_duplicate_names_rejected;
+    Alcotest.test_case "cosim unknown box" `Quick test_cosim_unknown_box;
+    Alcotest.test_case "cosim protocol error surfaces" `Quick
+      test_cosim_protocol_error_surfaces;
+    Alcotest.test_case "packet roundtrip sweep" `Quick
+      test_packet_roundtrip_sweep;
+    Alcotest.test_case "packet detects single-byte corruption" `Quick
+      test_packet_detects_any_single_byte_corruption;
+    Alcotest.test_case "prng determinism and split" `Quick
+      test_prng_determinism_and_split;
+    Alcotest.test_case "endpoint dedupes retransmissions" `Quick
+      test_endpoint_dedupes_retransmissions;
+    Alcotest.test_case "network transmit faults" `Quick
+      test_network_transmit_faults;
+    Alcotest.test_case "fault matrix" `Quick test_fault_matrix;
+    Alcotest.test_case "5% drop with retries recovers" `Quick
+      test_drop_with_retries_recovers;
+    Alcotest.test_case "faulty run determinism and cost" `Quick
+      test_faulty_run_determinism_and_cost;
     Alcotest.test_case "local beats remote" `Quick test_local_beats_remote;
     Alcotest.test_case "remote scales with rtt" `Quick test_remote_scales_with_rtt;
     Alcotest.test_case "outputs identical across archs" `Quick

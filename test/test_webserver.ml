@@ -137,8 +137,116 @@ let test_secure_request () =
          (Result.is_error (Jhdl_webserver.Secure_channel.open_sealed ~token:bad s))
      | [] -> Alcotest.fail "expected sealed jars")
 
+(* regression: secure_request used to lose the plain request's error in
+   a dead Result.map branch, so the unknown-user path crashed instead of
+   reporting — it must propagate the message *)
+let test_secure_request_unknown_user () =
+  let server = fresh_server () in
+  match
+    Server.secure_request server ~user:"mallory" ~ip_name:"VirtexKCMMultiplier"
+      ~link:Download.dsl_1m ()
+  with
+  | Error message ->
+    Alcotest.(check bool) "error mentions the user" true
+      (let needle = "mallory" in
+       let hl = String.length message and nl = String.length needle in
+       let rec scan i =
+         i + nl <= hl && (String.sub message i nl = needle || scan (i + 1))
+       in
+       scan 0)
+  | Ok _ -> Alcotest.fail "unknown user must be refused"
+
+(* {1 lossy delivery: degraded sessions and cache hygiene} *)
+
+module Fault = Jhdl_faults.Fault
+
+let faulty_request server ~seed =
+  Server.request server ~user:"alice" ~ip_name:"VirtexKCMMultiplier"
+    ~link:Download.modem_56k
+    ~faults:(Fault.only Fault.Disconnect ~rate:0.6 ~seed)
+    ~policy:Download.single_attempt ()
+
+(* scan seeds for a run where an optional jar failed but the page still
+   loaded — the graceful-degradation path *)
+let find_degraded_session () =
+  let rec scan seed =
+    if seed > 500 then None
+    else
+      match faulty_request (fresh_server ()) ~seed with
+      | Ok session when session.Server.failed <> [] -> Some (seed, session)
+      | Ok _ | Error _ -> scan (seed + 1)
+  in
+  scan 0
+
+let test_degraded_session_grays_out_tools () =
+  match find_degraded_session () with
+  | None -> Alcotest.fail "no degraded session in 500 seeds"
+  | Some (_, session) ->
+    (* only non-essential jars can fail in an Ok session *)
+    List.iter
+      (fun jar ->
+         Alcotest.(check bool)
+           (jar.Jar.jar_name ^ " is not an essential jar") false
+           (List.mem jar.Jar.jar_name
+              [ "JHDLBase.jar"; "Virtex.jar"; "Applet.jar" ]))
+      session.Server.failed;
+    Alcotest.(check bool) "lost jars gray out tools" true
+      (session.Server.unavailable <> []);
+    Alcotest.(check bool) "the rest of the page still works" true
+      (List.length (Applet.features session.Server.applet)
+       > List.length session.Server.unavailable);
+    Alcotest.(check bool) "attempts were spent" true
+      (session.Server.fetch_attempts >= List.length session.Server.fetched)
+
+let test_failed_jar_is_refetched_on_revisit () =
+  match find_degraded_session () with
+  | None -> Alcotest.fail "no degraded session in 500 seeds"
+  | Some (seed, _) ->
+    (* replay the degraded visit on a fresh server, then revisit over a
+       clean link: the failed jar must not be served from cache *)
+    let server = fresh_server () in
+    (match faulty_request server ~seed with
+     | Error m -> Alcotest.failf "replay diverged: %s" m
+     | Ok degraded ->
+       let failed_names =
+         List.map (fun j -> j.Jar.jar_name) degraded.Server.failed
+       in
+       let second = request server in
+       Alcotest.(check bool) "no failures on the clean link" true
+         (second.Server.failed = []);
+       List.iter
+         (fun name ->
+            Alcotest.(check bool) (name ^ " re-fetched") true
+              (List.exists
+                 (fun j -> j.Jar.jar_name = name)
+                 second.Server.fetched))
+         failed_names)
+
+let test_essential_failure_is_an_error () =
+  (* certain disconnection with one attempt: the base jar cannot arrive,
+     so the page must refuse to load rather than serve a broken applet *)
+  let server = fresh_server () in
+  match
+    Server.request server ~user:"alice" ~ip_name:"VirtexKCMMultiplier"
+      ~link:Download.modem_56k
+      ~faults:(Fault.only Fault.Disconnect ~rate:0.999 ~seed:3)
+      ~policy:Download.single_attempt ()
+  with
+  | Error message ->
+    Alcotest.(check bool) "error says what is missing" true
+      (String.length message > 0)
+  | Ok _ -> Alcotest.fail "essential jar loss must fail the request"
+
 let suite =
   [ Alcotest.test_case "unknown user" `Quick test_unknown_user;
+    Alcotest.test_case "secure request unknown user" `Quick
+      test_secure_request_unknown_user;
+    Alcotest.test_case "degraded session grays out tools" `Quick
+      test_degraded_session_grays_out_tools;
+    Alcotest.test_case "failed jar refetched on revisit" `Quick
+      test_failed_jar_is_refetched_on_revisit;
+    Alcotest.test_case "essential failure is an error" `Quick
+      test_essential_failure_is_an_error;
     Alcotest.test_case "secure request" `Quick test_secure_request;
     Alcotest.test_case "unknown ip" `Quick test_unknown_ip;
     Alcotest.test_case "catalog" `Quick test_catalog;
