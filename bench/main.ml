@@ -15,6 +15,8 @@
      A3  ablation: delivery forms (netlist vs JBits bitstream vs applet)
      A4  ablation: relative placement (hand / auto / random / stripped)
      A5  ablation: KCM accumulation structure (chain vs tree)
+     S1  simulator throughput: compiled dense kernel vs reference
+         interpreter (writes BENCH_sim.json)
 
    Each experiment prints its rows; a Bechamel micro-benchmark suite then
    measures the real cost of each experiment's core operation. *)
@@ -764,6 +766,122 @@ let ablation_a5 () =
     "FPGA module generators (the paper's included) ship chains by default."
 
 (* ------------------------------------------------------------------ *)
+(* S1: simulator throughput - compiled kernel vs reference             *)
+(* ------------------------------------------------------------------ *)
+
+(* One step = drive the multiplicand/sample input, settle, clock. Rate
+   is cycles/second measured over at least [min_seconds] of Sys.time. *)
+let steps_per_second ~min_seconds step =
+  let t0 = Sys.time () in
+  let count = ref 0 in
+  let i = ref 0 in
+  while Sys.time () -. t0 < min_seconds do
+    for _ = 1 to 100 do
+      step !i;
+      incr i
+    done;
+    count := !count + 100
+  done;
+  float_of_int !count /. (Sys.time () -. t0)
+
+let s1_designs () =
+  let kcm8 () =
+    let d, _ =
+      kcm_design ~n:8 ~pw:16 ~signed_mode:true ~pipelined_mode:true
+        ~constant:(-56)
+    in
+    (d, "multiplicand", 8)
+  in
+  let fir16 () =
+    let coefficients =
+      [ -1; 3; -5; 7; -9; 11; 13; 17; 17; 13; 11; -9; 7; -5; 3; -1 ]
+    in
+    let top = Cell.root ~name:"fir_top" () in
+    let clk = Wire.create top ~name:"clk" 1 in
+    let x = Wire.create top ~name:"x" 8 in
+    let y = Wire.create top ~name:"y" 20 in
+    let _ = Fir.create top ~clk ~x ~y ~signed_mode:true ~coefficients () in
+    let d = Design.create top in
+    Design.add_port d "clk" Types.Input clk;
+    Design.add_port d "x" Types.Input x;
+    Design.add_port d "y" Types.Output y;
+    (d, "x", 8)
+  in
+  let kcm24_tree () =
+    let top = Cell.root ~name:"kcm_top" () in
+    let m = Wire.create top ~name:"multiplicand" 24 in
+    let p = Wire.create top ~name:"product" 32 in
+    let _ =
+      Kcm.create top ~adder_structure:`Tree ~multiplicand:m ~product:p
+        ~signed_mode:false ~pipelined_mode:false ~constant:0xAB ()
+    in
+    let d = Design.create top in
+    Design.add_port d "multiplicand" Types.Input m;
+    Design.add_port d "product" Types.Output p;
+    (d, "multiplicand", 24)
+  in
+  [ ("kcm 8x8 pipelined", kcm8);
+    ("fir 16-tap", fir16);
+    ("kcm 24-bit tree", kcm24_tree) ]
+
+let sim_throughput () =
+  section "S1"
+    "simulator throughput: compiled dense kernel vs reference interpreter";
+  Printf.printf "%-20s %8s %7s %16s %16s %9s\n" "design" "prims" "levels"
+    "kernel cyc/s" "reference cyc/s" "speedup";
+  let rows =
+    List.map
+      (fun (label, build) ->
+         let design, port, width = build () in
+         let clock =
+           Option.map
+             (fun p -> p.Design.port_wire)
+             (Design.find_port design "clk")
+         in
+         let mask = (1 lsl width) - 1 in
+         let kernel = Simulator.create ?clock design in
+         let kernel_rate =
+           steps_per_second ~min_seconds:0.3 (fun i ->
+             Simulator.set_input kernel port
+               (Bits.of_int ~width (i * 37 land mask));
+             Simulator.cycle kernel)
+         in
+         let reference = Reference.create ?clock design in
+         let reference_rate =
+           steps_per_second ~min_seconds:0.3 (fun i ->
+             Reference.set_input reference port
+               (Bits.of_int ~width (i * 37 land mask));
+             Reference.cycle reference)
+         in
+         let prims = Simulator.prim_count kernel in
+         let levels = Simulator.levels kernel in
+         Printf.printf "%-20s %8d %7d %16.0f %16.0f %8.1fx\n" label prims
+           levels kernel_rate reference_rate (kernel_rate /. reference_rate);
+         (label, prims, levels, kernel_rate, reference_rate))
+      (s1_designs ())
+  in
+  (* machine-readable record for trajectory tracking *)
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc "{\n  \"experiment\": \"S1 simulator throughput\",\n";
+  output_string oc "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
+  List.iteri
+    (fun i (label, prims, levels, kr, rr) ->
+       Printf.fprintf oc
+         "    {\"name\": \"%s\", \"prims\": %d, \"levels\": %d, \
+          \"kernel\": %.0f, \"reference\": %.0f, \"speedup\": %.2f}%s\n"
+         label prims levels kr rr (kr /. rr)
+         (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline
+    "\nwrote BENCH_sim.json; the reference column is the pre-compilation \
+     interpreter retained";
+  print_endline
+    "as the differential golden model, i.e. the before/after of the kernel \
+     rewrite."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -901,5 +1019,6 @@ let () =
   ablation_a3 ();
   ablation_a4 ();
   ablation_a5 ();
+  sim_throughput ();
   bechamel_suite ();
   print_endline "\nall experiments complete."

@@ -1,0 +1,45 @@
+(* Sub-second S1 smoke check, wired into `dune runtest` via the
+   @bench-smoke alias: a short differential run of the compiled kernel
+   against the reference interpreter on the pipelined KCM, plus a
+   sanity floor on the kernel's measured throughput machinery (the full
+   measurement lives in the S1 section of bench/main.ml). Exits
+   non-zero on any divergence. *)
+
+open Jhdl
+
+let () =
+  let top = Cell.root ~name:"kcm_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"multiplicand" 8 in
+  let p = Wire.create top ~name:"product" 16 in
+  let _ =
+    Kcm.create top ~clk ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:true ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "multiplicand" Types.Input m;
+  Design.add_port d "product" Types.Output p;
+  let kernel = Simulator.create ~clock:clk d in
+  let reference = Reference.create ~clock:clk d in
+  let mismatches = ref 0 in
+  for i = 0 to 299 do
+    let x = Bits.of_int ~width:8 (i * 93 land 0xFF) in
+    Simulator.set_input kernel "multiplicand" x;
+    Reference.set_input reference "multiplicand" x;
+    Simulator.cycle kernel;
+    Reference.cycle reference;
+    if
+      not
+        (Bits.equal
+           (Simulator.get_port kernel "product")
+           (Reference.get_port reference "product"))
+    then incr mismatches
+  done;
+  if !mismatches > 0 then begin
+    Printf.eprintf "bench-smoke: %d/300 cycles diverged from the reference\n"
+      !mismatches;
+    exit 1
+  end;
+  Printf.printf "bench-smoke: kernel = reference over 300 KCM cycles (%d prims)\n"
+    (Simulator.prim_count kernel)

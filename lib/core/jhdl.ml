@@ -5,7 +5,8 @@
     - {!Wire}, {!Cell}, {!Design}, {!Prim}, {!Types}: the circuit data
       structure (structural netlists built JHDL-style, by construction).
     - {!Virtex}: the technology library (primitives, area/delay models).
-    - {!Simulator}: cycle-based simulation.
+    - {!Simulator}: cycle-based simulation (compiled dense kernel), with
+      {!Reference} as the retained golden-model interpreter.
     - {!Model}, {!Edif}, {!Vhdl}, {!Verilog}, {!Format_kind}, {!Ident}:
       netlist interchange.
     - {!Estimate}: area and static-timing estimation.
@@ -32,6 +33,7 @@ module Cell = Jhdl_circuit.Cell
 module Design = Jhdl_circuit.Design
 module Virtex = Jhdl_virtex.Virtex
 module Simulator = Jhdl_sim.Simulator
+module Reference = Jhdl_sim.Reference
 module Testbench = Jhdl_sim.Testbench
 module Model = Jhdl_netlist.Model
 module Ident = Jhdl_netlist.Ident

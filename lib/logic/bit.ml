@@ -15,6 +15,15 @@ let equal a b =
 let rank = function Zero -> 0 | One -> 1 | X -> 2 | Z -> 3
 let compare a b = Int.compare (rank a) (rank b)
 
+let to_code = rank
+
+let of_code = function
+  | 0 -> Zero
+  | 1 -> One
+  | 2 -> X
+  | 3 -> Z
+  | c -> invalid_arg (Printf.sprintf "Bit.of_code: %d" c)
+
 let of_bool b = if b then One else Zero
 
 let to_bool = function

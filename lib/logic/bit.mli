@@ -14,6 +14,22 @@ type t =
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** {1 Packed 2-bit code view}
+
+    Dense simulation kernels store net values as flat arrays of 2-bit
+    codes instead of boxed-looking variants: [Zero] is 0, [One] is 1,
+    [X] is 2, [Z] is 3. A code [c] is a defined logic level iff [c < 2],
+    and [c lxor 1] negates a defined code — properties the simulator's
+    compiled kernel relies on. *)
+
+(** [to_code b] is the 2-bit code of [b] (identical to the {!compare}
+    rank). *)
+val to_code : t -> int
+
+(** [of_code c] is the inverse of {!to_code}; raises [Invalid_argument]
+    outside 0..3. *)
+val of_code : int -> t
+
 (** [of_bool b] is [One] if [b], else [Zero]. *)
 val of_bool : bool -> t
 

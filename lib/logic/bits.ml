@@ -92,6 +92,12 @@ let compare a b =
 
 let is_fully_defined v = Array.for_all Bit.is_defined v
 
+let to_codes v =
+  Bytes.init (Array.length v) (fun i -> Char.chr (Bit.to_code v.(i)))
+
+let of_codes b =
+  init (Bytes.length b) (fun i -> Bit.of_code (Char.code (Bytes.get b i)))
+
 let slice v ~lo ~hi =
   if lo < 0 || hi >= Array.length v || lo > hi then
     invalid_arg

@@ -58,6 +58,14 @@ val compare : t -> t -> int
 
 val is_fully_defined : t -> bool
 
+(** {1 Packed code view}
+
+    Exchange format with dense simulation kernels: one {!Bit.to_code}
+    byte per bit, LSB at offset 0. *)
+
+val to_codes : t -> Bytes.t
+val of_codes : Bytes.t -> t
+
 (** [slice v ~lo ~hi] is bits [lo..hi] inclusive, LSB at [lo]. *)
 val slice : t -> lo:int -> hi:int -> t
 

@@ -39,41 +39,34 @@ let eval_int t addr =
     invalid_arg (Printf.sprintf "Lut_init.eval_int: address %d" addr);
   (t.table lsr addr) land 1 = 1
 
-(* With undefined inputs, enumerate every consistent address; if all agree
-   the output is still defined, otherwise X. *)
+(* With undefined inputs, every address reachable under the unknown-bit
+   mask must agree for the output to stay defined. The reachable set is
+   enumerated by the subset-walk [sub' = (sub - mask) land mask], which
+   visits each subset of [mask] exactly once — no list allocation. *)
 let eval t addr_bits =
   if Array.length addr_bits <> t.inputs then
     invalid_arg
       (Printf.sprintf "Lut_init.eval: %d address bits for a LUT%d"
          (Array.length addr_bits) t.inputs);
-  let unknown = ref [] in
+  let mask = ref 0 in
   let base = ref 0 in
   Array.iteri
     (fun i b ->
        match Bit.to_bool b with
        | Some true -> base := !base lor (1 lsl i)
        | Some false -> ()
-       | None -> unknown := i :: !unknown)
+       | None -> mask := !mask lor (1 lsl i))
     addr_bits;
-  match !unknown with
-  | [] -> Bit.of_bool (eval_int t !base)
-  | unknown_bits ->
-    let rec all_agree value = function
-      | [] -> Some value
-      | addr :: rest ->
-        if eval_int t addr = value then all_agree value rest else None
+  let base = !base and mask = !mask in
+  if mask = 0 then Bit.of_bool (eval_int t base)
+  else
+    let value = eval_int t base in
+    let rec agree sub =
+      if eval_int t (base lor sub) <> value then Bit.X
+      else if sub = mask then Bit.of_bool value
+      else agree ((sub - mask) land mask)
     in
-    let addresses =
-      List.fold_left
-        (fun addrs i -> List.concat_map (fun a -> [ a; a lor (1 lsl i) ]) addrs)
-        [ !base ] unknown_bits
-    in
-    (match addresses with
-     | [] -> Bit.X
-     | first :: rest ->
-       (match all_agree (eval_int t first) rest with
-        | Some v -> Bit.of_bool v
-        | None -> Bit.X))
+    agree ((0 - mask) land mask)
 
 let equal a b = a.inputs = b.inputs && a.table = b.table
 

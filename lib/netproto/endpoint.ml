@@ -31,9 +31,9 @@ let compute_seconds_per_cycle t = t.compute
 let handle t message =
   match message with
   | Protocol.Set_inputs pairs ->
-    (match
-       List.iter (fun (port, v) -> Simulator.set_input t.sim port v) pairs
-     with
+    (* batch entry point: one combinational settle per message rather
+       than one per port *)
+    (match Simulator.set_inputs t.sim pairs with
      | () -> Protocol.Ack
      | exception Invalid_argument reason -> Protocol.Protocol_error reason)
   | Protocol.Cycle n ->

@@ -1,0 +1,38 @@
+(** Reference cycle simulator (golden model).
+
+    The original interpreter-style evaluator, kept alongside the compiled
+    dense kernel in {!Simulator} as an independently-implemented golden
+    model: differential tests drive both simulators over the same design
+    and input sequences and require bit-identical port values and watch
+    histories. The API mirrors {!Simulator} (minus the batch entry
+    point); semantics are identical by construction — levelized
+    event-driven propagation, pessimistic four-valued logic, two-phase
+    clock edges. Nothing here is optimised for cycle throughput. *)
+
+type t
+
+exception
+  Combinational_cycle of string list
+      (** instance paths forming the cycle *)
+
+(** [create ?clock design] elaborates and levelizes [design]; see
+    {!Simulator.create} for the contract. *)
+val create : ?clock:Jhdl_circuit.Wire.t -> Jhdl_circuit.Design.t -> t
+
+val design : t -> Jhdl_circuit.Design.t
+
+val set_input : t -> string -> Jhdl_logic.Bits.t -> unit
+val set_input_wire : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t -> unit
+val get : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t
+val get_port : t -> string -> Jhdl_logic.Bits.t
+val propagate : t -> unit
+val cycle : ?n:int -> t -> unit
+val reset : t -> unit
+val cycle_count : t -> int
+
+val watch : t -> ?label:string -> Jhdl_circuit.Wire.t -> unit
+val history : t -> (string * (int * Jhdl_logic.Bits.t) list) list
+
+val on_cycle : t -> (int -> unit) -> unit
+val prim_count : t -> int
+val levels : t -> int

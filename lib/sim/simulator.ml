@@ -1,3 +1,27 @@
+(* Compiled cycle simulator.
+
+   Instead of interpreting the netlist each cycle (hashtable net store,
+   string port lookups, closure lists — see [Reference]), [create] lowers
+   the levelized design into flat int-indexed structures once:
+
+   - nets are renumbered to a dense [0..n-1] range and their 4-value
+     state lives in one [Bytes.t] of 2-bit codes ([Bit.to_code]);
+   - each node's input/output nets become int arrays captured by a
+     per-node evaluation closure compiled at [create], so the cycle loop
+     never touches association lists or formats port names;
+   - net fan-out is a CSR int-array pair ([row]/[col]) mapping a net to
+     the ranks of its combinational consumers;
+   - the dirty worklist is a per-rank byte flag plus a per-level pending
+     count, drained in ascending level order (combinational edges
+     strictly increase level, so one sweep settles the cone);
+   - sequential elements carry preallocated next-state buffers and the
+     two-phase clock step writes into those, allocating nothing.
+
+   Black boxes keep the boxed [Bits.t] path through their [Prim.behavior]
+   closures. Evaluation semantics — pessimistic X propagation, clock
+   domains, two-phase edges — are identical to [Reference], which is kept
+   as the golden model for differential tests. *)
+
 open Jhdl_circuit.Types
 module Bit = Jhdl_logic.Bit
 module Bits = Jhdl_logic.Bits
@@ -9,180 +33,177 @@ module Design = Jhdl_circuit.Design
 
 exception Combinational_cycle of string list
 
-module Int_set = Set.Make (Int)
+(* ------------------------------------------------------------------ *)
+(* 2-bit code arithmetic (Zero=0 One=1 X=2 Z=3; defined iff < 2).      *)
+(* Each function mirrors the corresponding Bit operation exactly.      *)
 
-type node_state =
-  | No_state
-  | Ff_state of { value : Bit.t ref; init : Bit.t }
-  | Mem_state of { cells : Bit.t array; init : Bit.t array }
-  | Bb_state of Prim.behavior
+let not_code a = if a < 2 then a lxor 1 else 2
+let and_code a b = if a = 0 || b = 0 then 0 else if a = 1 && b = 1 then 1 else 2
+let xor_code a b = if a < 2 && b < 2 then a lxor b else 2
 
-type node = {
-  inst : cell;
-  prim : Prim.t;
-  in_ports : (string * net array) list;
-  out_ports : (string * net array) list;
-  state : node_state;
+(* Bit.mux ~sel a b: [a] when sel=0, [b] when sel=1, else X unless both
+   agree on a defined value. *)
+let mux_code sel a b =
+  if sel = 0 then a
+  else if sel = 1 then b
+  else if a = b && a < 2 then a
+  else 2
+
+(* ------------------------------------------------------------------ *)
+(* Dense store: net values, fan-out CSR, level-bucketed dirty list.    *)
+
+type store = {
+  vals : Bytes.t; (* one code byte per dense net *)
+  row : int array; (* CSR offsets, length n_nets + 1 *)
+  col : int array; (* consumer node ranks *)
+  level_of : int array; (* per rank *)
+  dirty : Bytes.t; (* per-rank pending flag *)
+  level_pending : int array; (* dirty count per level *)
+  mutable pending_total : int;
 }
+
+let code st idx = Char.code (Bytes.unsafe_get st.vals idx)
+
+let mark st rank =
+  if Bytes.unsafe_get st.dirty rank = '\000' then begin
+    Bytes.unsafe_set st.dirty rank '\001';
+    let lv = Array.unsafe_get st.level_of rank in
+    st.level_pending.(lv) <- st.level_pending.(lv) + 1;
+    st.pending_total <- st.pending_total + 1
+  end
+
+(* change-tracked net write: a changed code marks the net's CSR
+   consumers dirty *)
+let write st idx c =
+  if Char.code (Bytes.unsafe_get st.vals idx) <> c then begin
+    Bytes.unsafe_set st.vals idx (Char.unsafe_chr c);
+    for k = st.row.(idx) to st.row.(idx + 1) - 1 do
+      mark st st.col.(k)
+    done
+  end
+
+(* Read [ins] into a packed (base, unknown-mask) pair: bit i of the low
+   half is set for a One input, bit i of the high half for an undefined
+   one. Packing both into one int keeps the hot path allocation-free;
+   LUTs and memories have at most 6 address bits so 16 bits per half is
+   ample. *)
+let rec gather st ins i acc =
+  if i < 0 then acc
+  else
+    let c = Char.code (Bytes.unsafe_get st.vals (Array.unsafe_get ins i)) in
+    gather st ins (i - 1)
+      (if c = 1 then acc lor (1 lsl i)
+       else if c >= 2 then acc lor (1 lsl (i + 16))
+       else acc)
+
+(* Truth-table lookup under an unknown-bit mask: every address reachable
+   by flipping masked bits must agree, else X — the subset walk
+   [sub' = (sub - umask) land umask] enumerates them without
+   allocating. *)
+let lut_code table base umask =
+  let v = (table lsr base) land 1 in
+  if umask = 0 then v
+  else
+    let rec agree sub =
+      if (table lsr (base lor sub)) land 1 <> v then 2
+      else if sub = umask then v
+      else agree ((sub - umask) land umask)
+    in
+    agree ((0 - umask) land umask)
+
+(* Same walk over a 16-cell memory; the base cell must itself be defined
+   (memories can hold X after a clobbered write). *)
+let mem_code cells base umask =
+  let v = Char.code (Bytes.unsafe_get cells base) in
+  if umask = 0 then v
+  else if v >= 2 then 2
+  else
+    let rec agree sub =
+      if Char.code (Bytes.unsafe_get cells (base lor sub)) <> v then 2
+      else if sub = umask then v
+      else agree ((sub - umask) land umask)
+    in
+    agree ((0 - umask) land umask)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential nodes: preallocated current/next buffers, filled by the
+   compute phase and applied by the commit phase of [cycle].           *)
+
+type ff_node = {
+  ff_rank : int;
+  ff_d : int;
+  ff_ce : int; (* dense net index, -1 when the pin is absent *)
+  ff_clr : int;
+  ff_r : int;
+  mutable ff_cur : int;
+  mutable ff_next : int;
+  ff_init : int;
+}
+
+type srl_node = {
+  srl_rank : int;
+  srl_d : int;
+  srl_ce : int;
+  srl_cells : Bytes.t;
+  srl_next : Bytes.t;
+  mutable srl_commit : bool;
+  srl_init : Bytes.t;
+}
+
+type ram_node = {
+  ram_rank : int;
+  ram_d : int;
+  ram_we : int;
+  ram_a : int array;
+  ram_cells : Bytes.t;
+  mutable ram_wr : int; (* -1 no write, -2 clobber with X, else cell *)
+  mutable ram_wd : int;
+  ram_init : Bytes.t;
+}
+
+type bb_node = {
+  bb_rank : int;
+  bb_behavior : Prim.behavior;
+  bb_read : string -> Bits.t;
+}
+
+type snode =
+  | S_ff of ff_node
+  | S_srl of srl_node
+  | S_ram of ram_node
+  | S_bb of bb_node
 
 type watch_entry = {
   watch_label : string;
-  watch_wire : wire;
+  watch_idx : int array; (* dense index per bit, -1 when unmapped *)
   mutable samples : (int * Bits.t) list; (* newest first *)
 }
 
 type t = {
   sim_design : Design.t;
-  clock_nets : (int, unit) Hashtbl.t option;
-  values : (int, Bit.t) Hashtbl.t;
-  order : node array; (* topological evaluation order *)
-  seq_nodes : (node * int) list; (* with their rank in [order] *)
-  consumers : (int, int list) Hashtbl.t;
-      (* net id -> ranks of nodes reading it combinationally *)
-  mutable pending : Int_set.t; (* dirty node ranks, drained in rank order *)
+  net_idx : (int, int) Hashtbl.t; (* net_id -> dense index *)
+  st : store;
+  eval : (unit -> unit) array; (* compiled per-node evaluators, by rank *)
+  level_lo : int array; (* first rank of each level *)
+  depth : int;
+  seq_all : snode array; (* every sequential node, for [reset] *)
+  seq_clocked : snode array; (* the selected clock domain *)
   mutable cycles : int;
   mutable watches : watch_entry list; (* reverse watch order *)
-  mutable cycle_hooks : (int -> unit) list;
-  depth : int;
+  mutable cycle_hooks : (int -> unit) list; (* registration order *)
 }
 
-let read_net sim n =
-  Option.value (Hashtbl.find_opt sim.values n.net_id) ~default:Bit.X
+(* ------------------------------------------------------------------ *)
+(* Construction-time netlist view (never touched after [create]).      *)
 
-(* every net write is change-tracked: a changed value marks the net's
-   combinational consumers dirty, which is what incremental propagation
-   drains *)
-let write_net sim n v =
-  let before = Option.value (Hashtbl.find_opt sim.values n.net_id) ~default:Bit.X in
-  if not (Bit.equal before v) then begin
-    Hashtbl.replace sim.values n.net_id v;
-    match Hashtbl.find_opt sim.consumers n.net_id with
-    | None -> ()
-    | Some ranks ->
-      sim.pending <-
-        List.fold_left (fun acc r -> Int_set.add r acc) sim.pending ranks
-  end
+type proto = {
+  inst : cell;
+  prim : Prim.t;
+  in_ports : (string * net array) list;
+  out_ports : (string * net array) list;
+}
 
-let read_nets sim nets = Bits.init (Array.length nets) (fun i -> read_net sim nets.(i))
-
-let port_nets ports name =
-  match List.assoc_opt name ports with
-  | Some nets -> nets
-  | None -> invalid_arg (Printf.sprintf "Simulator: no port %s" name)
-
-let read_in1 sim node name =
-  let nets = port_nets node.in_ports name in
-  read_net sim nets.(0)
-
-let write_out1 sim node name v =
-  let nets = port_nets node.out_ports name in
-  write_net sim nets.(0) v
-
-(* Reading a 16-entry memory with possibly-undefined address bits: agree on
-   all reachable taps or produce X, matching Lut_init.eval's pessimism. *)
-let mem_read cells addr_bits =
-  let unknown = ref [] in
-  let base = ref 0 in
-  Array.iteri
-    (fun i b ->
-       match Bit.to_bool b with
-       | Some true -> base := !base lor (1 lsl i)
-       | Some false -> ()
-       | None -> unknown := i :: !unknown)
-    addr_bits;
-  match !unknown with
-  | [] -> cells.(!base)
-  | unknown_bits ->
-    let addresses =
-      List.fold_left
-        (fun addrs i -> List.concat_map (fun a -> [ a; a lor (1 lsl i) ]) addrs)
-        [ !base ] unknown_bits
-    in
-    (match addresses with
-     | [] -> Bit.X
-     | first :: rest ->
-       let v = cells.(first) in
-       if Bit.is_defined v && List.for_all (fun a -> Bit.equal cells.(a) v) rest
-       then v
-       else Bit.X)
-
-let addr_of sim node =
-  Array.init 4 (fun i -> read_in1 sim node (Printf.sprintf "A%d" i))
-
-let bb_read sim node port =
-  match List.assoc_opt port node.in_ports with
-  | Some nets -> read_nets sim nets
-  | None -> read_nets sim (port_nets node.out_ports port)
-
-(* Combinational evaluation of one node from current net values. *)
-let eval_node sim node =
-  match node.prim, node.state with
-  | Prim.Lut init, _ ->
-    let k = Lut_init.inputs init in
-    let addr =
-      Array.init k (fun i -> read_in1 sim node (Printf.sprintf "I%d" i))
-    in
-    write_out1 sim node "O" (Lut_init.eval init addr)
-  | Prim.Ff { async_clear; _ }, Ff_state { value; _ } ->
-    let q =
-      if async_clear then
-        Bit.mux ~sel:(read_in1 sim node "CLR") !value Bit.Zero
-      else !value
-    in
-    write_out1 sim node "Q" q
-  | Prim.Muxcy, _ ->
-    let s = read_in1 sim node "S"
-    and di = read_in1 sim node "DI"
-    and ci = read_in1 sim node "CI" in
-    write_out1 sim node "O" (Bit.mux ~sel:s di ci)
-  | Prim.Xorcy, _ ->
-    write_out1 sim node "O" (Bit.xor (read_in1 sim node "LI") (read_in1 sim node "CI"))
-  | Prim.Mult_and, _ ->
-    write_out1 sim node "LO" (Bit.and_ (read_in1 sim node "I0") (read_in1 sim node "I1"))
-  | Prim.Srl16 _, Mem_state { cells; _ } ->
-    write_out1 sim node "Q" (mem_read cells (addr_of sim node))
-  | Prim.Ram16x1 _, Mem_state { cells; _ } ->
-    write_out1 sim node "O" (mem_read cells (addr_of sim node))
-  | Prim.Buf, _ -> write_out1 sim node "O" (read_in1 sim node "I")
-  | Prim.Inv, _ -> write_out1 sim node "O" (Bit.not_ (read_in1 sim node "I"))
-  | Prim.Gnd, _ -> write_out1 sim node "G" Bit.Zero
-  | Prim.Vcc, _ -> write_out1 sim node "P" Bit.One
-  | Prim.Black_box _, Bb_state behavior ->
-    let outs = behavior.Prim.comb ~read:(bb_read sim node) in
-    List.iter
-      (fun (port, bits) ->
-         let nets = port_nets node.out_ports port in
-         if Array.length nets <> Bits.width bits then
-           invalid_arg
-             (Printf.sprintf "Simulator: black box %s wrote %d bits to %d-bit port %s"
-                (Cell.path node.inst) (Bits.width bits) (Array.length nets) port);
-         Array.iteri (fun i n -> write_net sim n (Bits.get bits i)) nets)
-      outs
-  | (Prim.Ff _ | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Black_box _), _ ->
-    (* state construction below guarantees matching node_state *)
-    assert false
-
-(* Ports whose value combinationally affects the node's outputs; the
-   levelizer only draws edges through these. *)
-let comb_input_ports = function
-  | Prim.Lut init ->
-    List.init (Lut_init.inputs init) (Printf.sprintf "I%d")
-  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
-  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
-  | Prim.Xorcy -> [ "LI"; "CI" ]
-  | Prim.Mult_and -> [ "I0"; "I1" ]
-  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Buf | Prim.Inv -> [ "I" ]
-  | Prim.Gnd | Prim.Vcc -> []
-  | Prim.Black_box _ -> [] (* special-cased: all declared inputs *)
-
-let node_comb_inputs node =
-  match node.prim with
-  | Prim.Black_box _ -> List.map fst node.in_ports
-  | p -> comb_input_ports p
-
-let make_node inst =
+let make_proto inst =
   match Cell.prim_of inst with
   | None -> assert false
   | Some prim ->
@@ -193,21 +214,30 @@ let make_node inst =
          | Input -> ins := (b.formal, b.actual.nets) :: !ins
          | Output -> outs := (b.formal, b.actual.nets) :: !outs)
       inst.port_bindings;
-    let state =
-      match prim with
-      | Prim.Ff { init; _ } -> Ff_state { value = ref init; init }
-      | Prim.Srl16 { init } | Prim.Ram16x1 { init } ->
-        let init_bits =
-          Array.init 16 (fun i -> Bit.of_bool ((init lsr i) land 1 = 1))
-        in
-        Mem_state { cells = Array.copy init_bits; init = init_bits }
-      | Prim.Black_box { make_behavior; _ } -> Bb_state (make_behavior ())
-      | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf
-      | Prim.Inv | Prim.Gnd | Prim.Vcc -> No_state
-    in
-    { inst; prim; in_ports = !ins; out_ports = !outs; state }
+    { inst; prim; in_ports = !ins; out_ports = !outs }
 
-(* Kahn levelization over combinational edges. *)
+(* Ports whose value combinationally affects the node's outputs; the
+   levelizer and the fan-out CSR only draw edges through these. *)
+let comb_input_ports = function
+  | Prim.Lut init -> List.init (Lut_init.inputs init) (Printf.sprintf "I%d")
+  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
+  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
+  | Prim.Xorcy -> [ "LI"; "CI" ]
+  | Prim.Mult_and -> [ "I0"; "I1" ]
+  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Buf | Prim.Inv -> [ "I" ]
+  | Prim.Gnd | Prim.Vcc -> []
+  | Prim.Black_box _ -> [] (* special-cased: all declared inputs *)
+
+let node_comb_inputs proto =
+  match proto.prim with
+  | Prim.Black_box _ -> List.map fst proto.in_ports
+  | p -> comb_input_ports p
+
+(* Kahn levelization over combinational edges, then a stable sort by
+   level so each level occupies a contiguous rank range — what the
+   level-bucketed worklist drains. *)
 let levelize nodes =
   let driver_node = Hashtbl.create 256 in
   List.iter
@@ -223,7 +253,6 @@ let levelize nodes =
   List.iter (fun node -> Hashtbl.replace in_degree (node_key node) 0) nodes;
   List.iter
     (fun node ->
-       let comb = node_comb_inputs node in
        List.iter
          (fun port ->
             match List.assoc_opt port node.in_ports with
@@ -242,7 +271,7 @@ let levelize nodes =
                           (Hashtbl.find_opt successors (node_key producer))
                           ~default:[]))
                 nets)
-         comb)
+         (node_comb_inputs node))
     nodes;
   let queue = Queue.create () in
   let level = Hashtbl.create 256 in
@@ -277,26 +306,155 @@ let levelize nodes =
     in
     raise (Combinational_cycle (List.map (fun n -> Cell.path n.inst) stuck))
   end;
-  Array.of_list (List.rev !order), !max_level
-
-(* full pass: evaluate everything once in topological order (used at
-   create and reset); leaves no pending work *)
-let propagate_full sim =
-  Array.iter (eval_node sim) sim.order;
-  sim.pending <- Int_set.empty
-
-(* incremental settle: drain dirty nodes in rank order; evaluating a node
-   re-marks downstream consumers only when an output actually changed *)
-let propagate sim =
-  let rec drain () =
-    match Int_set.min_elt_opt sim.pending with
-    | None -> ()
-    | Some rank ->
-      sim.pending <- Int_set.remove rank sim.pending;
-      eval_node sim sim.order.(rank);
-      drain ()
+  let kahn = Array.of_list (List.rev !order) in
+  let tagged =
+    Array.mapi (fun i node -> (Hashtbl.find level (node_key node), i, node)) kahn
   in
-  drain ()
+  Array.sort
+    (fun (l1, i1, _) (l2, i2, _) ->
+       if l1 <> l2 then Int.compare l1 l2 else Int.compare i1 i2)
+    tagged;
+  let order = Array.map (fun (_, _, n) -> n) tagged in
+  let level_of = Array.map (fun (l, _, _) -> l) tagged in
+  order, level_of, !max_level
+
+(* ------------------------------------------------------------------ *)
+(* Settle.                                                             *)
+
+(* full pass: evaluate everything once in level order (used at create
+   and reset); leaves no pending work *)
+let propagate_full sim =
+  let eval = sim.eval in
+  for r = 0 to Array.length eval - 1 do
+    (Array.unsafe_get eval r) ()
+  done;
+  Bytes.fill sim.st.dirty 0 (Bytes.length sim.st.dirty) '\000';
+  Array.fill sim.st.level_pending 0 (Array.length sim.st.level_pending) 0;
+  sim.st.pending_total <- 0
+
+(* incremental settle: drain dirty levels in ascending order. A node's
+   evaluation can only mark strictly higher levels (combinational edges
+   increase level), so one sweep reaches the fixpoint and each dirty
+   node is evaluated exactly once. *)
+let propagate sim =
+  let st = sim.st in
+  if st.pending_total > 0 then
+    for lv = 0 to sim.depth do
+      let cnt = st.level_pending.(lv) in
+      if cnt > 0 then begin
+        st.level_pending.(lv) <- 0;
+        st.pending_total <- st.pending_total - cnt;
+        let left = ref cnt in
+        let r = ref sim.level_lo.(lv) in
+        while !left > 0 do
+          if Bytes.unsafe_get st.dirty !r <> '\000' then begin
+            Bytes.unsafe_set st.dirty !r '\000';
+            decr left;
+            (Array.unsafe_get sim.eval !r) ()
+          end;
+          incr r
+        done
+      end
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase clock step. Compute reads pre-edge values into the
+   preallocated next buffers; commit applies them and marks the node's
+   rank dirty when its outputs may have changed. Commits touch only
+   internal state, so black-box edge closures still observe pre-edge
+   nets regardless of commit order. *)
+
+let compute_snode st = function
+  | S_ff f ->
+    let ce = if f.ff_ce >= 0 then code st f.ff_ce else 1 in
+    let clr = if f.ff_clr >= 0 then code st f.ff_clr else 0 in
+    let r = if f.ff_r >= 0 then code st f.ff_r else 0 in
+    let d = code st f.ff_d in
+    f.ff_next <-
+      (if clr = 1 then 0
+       else
+         let loaded = mux_code r d 0 in
+         let held = mux_code ce f.ff_cur loaded in
+         if clr = 0 then held
+         else (* CLR unknown: zero and the clocked value must agree *)
+           mux_code clr held 0)
+  | S_srl s ->
+    let ce = code st s.srl_ce in
+    if ce = 0 then s.srl_commit <- false
+    else begin
+      s.srl_commit <- true;
+      let d = code st s.srl_d in
+      if ce = 1 then begin
+        Bytes.blit s.srl_cells 0 s.srl_next 1 15;
+        Bytes.unsafe_set s.srl_next 0 (Char.unsafe_chr d)
+      end
+      else
+        (* CE unknown: a tap keeps its value only where shifting would
+           not change it *)
+        for i = 0 to 15 do
+          let sh =
+            if i = 0 then d else Char.code (Bytes.unsafe_get s.srl_cells (i - 1))
+          in
+          let cur = Char.code (Bytes.unsafe_get s.srl_cells i) in
+          Bytes.unsafe_set s.srl_next i
+            (if sh = cur && sh < 2 then Char.unsafe_chr sh else '\002')
+        done
+    end
+  | S_ram m ->
+    let we = code st m.ram_we in
+    if we = 0 then m.ram_wr <- -1
+    else if we = 1 then begin
+      let acc = gather st m.ram_a 3 0 in
+      if acc lsr 16 = 0 then begin
+        m.ram_wr <- acc land 0xffff;
+        m.ram_wd <- code st m.ram_d
+      end
+      else m.ram_wr <- -2 (* write enabled at an unknown address *)
+    end
+    else m.ram_wr <- -2
+  | S_bb _ -> ()
+
+let commit_snode st = function
+  | S_ff f ->
+    if f.ff_cur <> f.ff_next then begin
+      f.ff_cur <- f.ff_next;
+      mark st f.ff_rank
+    end
+  | S_srl s ->
+    if s.srl_commit && not (Bytes.equal s.srl_next s.srl_cells) then begin
+      Bytes.blit s.srl_next 0 s.srl_cells 0 16;
+      mark st s.srl_rank
+    end
+  | S_ram m ->
+    if m.ram_wr >= 0 then begin
+      if Char.code (Bytes.get m.ram_cells m.ram_wr) <> m.ram_wd then begin
+        Bytes.set m.ram_cells m.ram_wr (Char.chr m.ram_wd);
+        mark st m.ram_rank
+      end
+    end
+    else if m.ram_wr = -2 then begin
+      let changed = ref false in
+      for i = 0 to 15 do
+        if Char.code (Bytes.unsafe_get m.ram_cells i) < 2 then changed := true
+      done;
+      Bytes.fill m.ram_cells 0 16 '\002';
+      if !changed then mark st m.ram_rank
+    end
+  | S_bb b ->
+    (match b.bb_behavior.Prim.clock_edge with
+     | Some edge ->
+       edge ~read:b.bb_read;
+       (* behavioural state is opaque: conservatively re-evaluate *)
+       mark st b.bb_rank
+     | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Compilation.                                                        *)
+
+let port_idx ports name =
+  match List.assoc_opt name ports with
+  | Some arr -> arr
+  | None -> invalid_arg (Printf.sprintf "Simulator: no port %s" name)
 
 let create ?clock design =
   (match Design.errors design with
@@ -315,56 +473,252 @@ let create ?clock design =
       Array.iter (fun n -> Hashtbl.replace table n.net_id ()) (Wire.nets w);
       Some table
   in
-  let nodes = List.map make_node (Design.all_prims design) in
-  let order, depth = levelize nodes in
-  let rank_of = Hashtbl.create 256 in
-  Array.iteri (fun rank node -> Hashtbl.replace rank_of node.inst.cell_id rank) order;
-  let seq_nodes =
-    List.filter_map
-      (fun n ->
-         match n.prim with
-         | Prim.Ff _ | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Black_box _ ->
-           Some (n, Hashtbl.find rank_of n.inst.cell_id)
-         | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf
-         | Prim.Inv | Prim.Gnd | Prim.Vcc -> None)
-      nodes
+  let protos = List.map make_proto (Design.all_prims design) in
+  let order, level_of, depth = levelize protos in
+  let n_ranks = Array.length order in
+  (* dense net numbering: design nets first (creation order), then any
+     node-port net not reachable from a declared wire *)
+  let net_idx = Hashtbl.create 1024 in
+  let n_nets = ref 0 in
+  let index_net n =
+    if not (Hashtbl.mem net_idx n.net_id) then begin
+      Hashtbl.add net_idx n.net_id !n_nets;
+      incr n_nets
+    end
   in
-  let consumers = Hashtbl.create 512 in
+  List.iter index_net (Design.all_nets design);
+  Array.iter
+    (fun p ->
+       List.iter (fun (_, nets) -> Array.iter index_net nets) p.in_ports;
+       List.iter (fun (_, nets) -> Array.iter index_net nets) p.out_ports)
+    order;
+  let n_nets = !n_nets in
+  (* consumer fan-out as CSR: count, prefix-sum, fill *)
+  let row = Array.make (n_nets + 1) 0 in
+  let iter_comb_nets p f =
+    List.iter
+      (fun port ->
+         match List.assoc_opt port p.in_ports with
+         | None -> ()
+         | Some nets ->
+           Array.iter (fun n -> f (Hashtbl.find net_idx n.net_id)) nets)
+      (node_comb_inputs p)
+  in
+  Array.iter (fun p -> iter_comb_nets p (fun idx -> row.(idx + 1) <- row.(idx + 1) + 1)) order;
+  for i = 1 to n_nets do
+    row.(i) <- row.(i) + row.(i - 1)
+  done;
+  let col = Array.make row.(n_nets) 0 in
+  let cursor = Array.sub row 0 n_nets in
   Array.iteri
-    (fun rank node ->
-       List.iter
-         (fun port ->
-            match List.assoc_opt port node.in_ports with
-            | None -> ()
-            | Some nets ->
-              Array.iter
-                (fun n ->
-                   Hashtbl.replace consumers n.net_id
-                     (rank
-                      :: Option.value (Hashtbl.find_opt consumers n.net_id)
-                        ~default:[]))
-                nets)
-         (node_comb_inputs node))
+    (fun rank p ->
+       iter_comb_nets p (fun idx ->
+         col.(cursor.(idx)) <- rank;
+         cursor.(idx) <- cursor.(idx) + 1))
+    order;
+  let level_lo = Array.make (depth + 1) n_ranks in
+  for r = n_ranks - 1 downto 0 do
+    level_lo.(level_of.(r)) <- r
+  done;
+  let st =
+    { vals = Bytes.make n_nets '\002' (* everything starts X *);
+      row;
+      col;
+      level_of;
+      dirty = Bytes.make n_ranks '\000';
+      level_pending = Array.make (depth + 1) 0;
+      pending_total = 0 }
+  in
+  let in_domain p =
+    match clock_nets with
+    | None -> true
+    | Some table ->
+      (match Prim.clock_port p.prim with
+       | None -> true (* black boxes follow the global cycle *)
+       | Some port ->
+         (match List.assoc_opt port p.in_ports with
+          | None -> false
+          | Some nets ->
+            Array.exists (fun n -> Hashtbl.mem table n.net_id) nets))
+  in
+  let eval = Array.make n_ranks (fun () -> ()) in
+  let seq_all = ref [] and seq_clocked = ref [] in
+  let add_seq sn clocked =
+    seq_all := sn :: !seq_all;
+    if clocked then seq_clocked := sn :: !seq_clocked
+  in
+  Array.iteri
+    (fun rank p ->
+       let ins =
+         List.map
+           (fun (name, nets) ->
+              (name, Array.map (fun n -> Hashtbl.find net_idx n.net_id) nets))
+           p.in_ports
+       and outs =
+         List.map
+           (fun (name, nets) ->
+              (name, Array.map (fun n -> Hashtbl.find net_idx n.net_id) nets))
+           p.out_ports
+       in
+       let p1 ports name = (port_idx ports name).(0) in
+       match p.prim with
+       | Prim.Lut init ->
+         let k = Lut_init.inputs init in
+         let table = Lut_init.to_int init in
+         let addrs = Array.init k (fun i -> p1 ins (Printf.sprintf "I%d" i)) in
+         let o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () ->
+              let acc = gather st addrs (k - 1) 0 in
+              write st o (lut_code table (acc land 0xffff) (acc lsr 16)))
+       | Prim.Ff { clock_enable; async_clear; sync_reset; init } ->
+         let f =
+           { ff_rank = rank;
+             ff_d = p1 ins "D";
+             ff_ce = (if clock_enable then p1 ins "CE" else -1);
+             ff_clr = (if async_clear then p1 ins "CLR" else -1);
+             ff_r = (if sync_reset then p1 ins "R" else -1);
+             ff_cur = Bit.to_code init;
+             ff_next = Bit.to_code init;
+             ff_init = Bit.to_code init }
+         in
+         let q = p1 outs "Q" in
+         eval.(rank) <-
+           (if async_clear then
+              let clr = f.ff_clr in
+              fun () -> write st q (mux_code (code st clr) f.ff_cur 0)
+            else fun () -> write st q f.ff_cur);
+         add_seq (S_ff f) (in_domain p)
+       | Prim.Muxcy ->
+         let s = p1 ins "S" and di = p1 ins "DI" and ci = p1 ins "CI" in
+         let o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () -> write st o (mux_code (code st s) (code st di) (code st ci)))
+       | Prim.Xorcy ->
+         let li = p1 ins "LI" and ci = p1 ins "CI" in
+         let o = p1 outs "O" in
+         eval.(rank) <- (fun () -> write st o (xor_code (code st li) (code st ci)))
+       | Prim.Mult_and ->
+         let i0 = p1 ins "I0" and i1 = p1 ins "I1" in
+         let lo = p1 outs "LO" in
+         eval.(rank) <- (fun () -> write st lo (and_code (code st i0) (code st i1)))
+       | Prim.Srl16 { init } ->
+         let init_b = Bytes.init 16 (fun i -> Char.chr ((init lsr i) land 1)) in
+         let s =
+           { srl_rank = rank;
+             srl_d = p1 ins "D";
+             srl_ce = p1 ins "CE";
+             srl_cells = Bytes.copy init_b;
+             srl_next = Bytes.make 16 '\000';
+             srl_commit = false;
+             srl_init = init_b }
+         in
+         let a = Array.init 4 (fun i -> p1 ins (Printf.sprintf "A%d" i)) in
+         let q = p1 outs "Q" in
+         let cells = s.srl_cells in
+         eval.(rank) <-
+           (fun () ->
+              let acc = gather st a 3 0 in
+              write st q (mem_code cells (acc land 0xffff) (acc lsr 16)));
+         add_seq (S_srl s) (in_domain p)
+       | Prim.Ram16x1 { init } ->
+         let init_b = Bytes.init 16 (fun i -> Char.chr ((init lsr i) land 1)) in
+         let m =
+           { ram_rank = rank;
+             ram_d = p1 ins "D";
+             ram_we = p1 ins "WE";
+             ram_a = Array.init 4 (fun i -> p1 ins (Printf.sprintf "A%d" i));
+             ram_cells = Bytes.copy init_b;
+             ram_wr = -1;
+             ram_wd = 0;
+             ram_init = init_b }
+         in
+         let o = p1 outs "O" in
+         let cells = m.ram_cells and a = m.ram_a in
+         eval.(rank) <-
+           (fun () ->
+              let acc = gather st a 3 0 in
+              write st o (mem_code cells (acc land 0xffff) (acc lsr 16)));
+         add_seq (S_ram m) (in_domain p)
+       | Prim.Buf ->
+         let i = p1 ins "I" and o = p1 outs "O" in
+         eval.(rank) <- (fun () -> write st o (code st i))
+       | Prim.Inv ->
+         let i = p1 ins "I" and o = p1 outs "O" in
+         eval.(rank) <- (fun () -> write st o (not_code (code st i)))
+       | Prim.Gnd ->
+         let g = p1 outs "G" in
+         eval.(rank) <- (fun () -> write st g 0)
+       | Prim.Vcc ->
+         let v = p1 outs "P" in
+         eval.(rank) <- (fun () -> write st v 1)
+       | Prim.Black_box { make_behavior; _ } ->
+         let behavior = make_behavior () in
+         let read port =
+           let arr =
+             match List.assoc_opt port ins with
+             | Some a -> a
+             | None -> port_idx outs port
+           in
+           Bits.init (Array.length arr) (fun i -> Bit.of_code (code st arr.(i)))
+         in
+         let inst_path = Cell.path p.inst in
+         eval.(rank) <-
+           (fun () ->
+              let written = behavior.Prim.comb ~read in
+              List.iter
+                (fun (port, bits) ->
+                   let nets = port_idx outs port in
+                   if Array.length nets <> Bits.width bits then
+                     invalid_arg
+                       (Printf.sprintf
+                          "Simulator: black box %s wrote %d bits to %d-bit port %s"
+                          inst_path (Bits.width bits) (Array.length nets) port);
+                   Array.iteri
+                     (fun i idx -> write st idx (Bit.to_code (Bits.get bits i)))
+                     nets)
+                written);
+         add_seq
+           (S_bb { bb_rank = rank; bb_behavior = behavior; bb_read = read })
+           (in_domain p && Option.is_some behavior.Prim.clock_edge))
     order;
   let sim =
     { sim_design = design;
-      clock_nets;
-      values = Hashtbl.create 1024;
-      order;
-      seq_nodes;
-      consumers;
-      pending = Int_set.empty;
+      net_idx;
+      st;
+      eval;
+      level_lo;
+      depth;
+      seq_all = Array.of_list (List.rev !seq_all);
+      seq_clocked = Array.of_list (List.rev !seq_clocked);
       cycles = 0;
       watches = [];
-      cycle_hooks = [];
-      depth }
+      cycle_hooks = [] }
   in
   propagate_full sim;
   sim
 
+(* ------------------------------------------------------------------ *)
+(* Public API.                                                         *)
+
 let design sim = sim.sim_design
 
-let set_input_wire sim w bits =
+let read_nets sim nets =
+  Bits.init (Array.length nets) (fun i ->
+    match Hashtbl.find_opt sim.net_idx nets.(i).net_id with
+    | None -> Bit.X
+    | Some idx -> Bit.of_code (code sim.st idx))
+
+let get sim w = read_nets sim (Wire.nets w)
+
+let get_port sim port =
+  match Design.find_port sim.sim_design port with
+  | None -> invalid_arg (Printf.sprintf "Simulator.get_port: no port %s" port)
+  | Some p -> get sim p.Design.port_wire
+
+(* write the wire's nets without settling (shared by the single and
+   batch input entry points) *)
+let force_wire sim w bits =
   if Bits.width bits <> Wire.width w then
     invalid_arg
       (Printf.sprintf "Simulator.set_input_wire: %d bits for %d-bit wire %s"
@@ -377,173 +731,81 @@ let set_input_wire sim w bits =
             (Printf.sprintf "Simulator.set_input_wire: net %s[%d] is driven by %s"
                (Wire.name w) i (Cell.path term.term_cell))
         | None -> ());
-       write_net sim n (Bits.get bits i))
-    (Wire.nets w);
+       match Hashtbl.find_opt sim.net_idx n.net_id with
+       | Some idx -> write sim.st idx (Bit.to_code (Bits.get bits i))
+       | None -> ())
+    (Wire.nets w)
+
+let set_input_wire sim w bits =
+  force_wire sim w bits;
   propagate sim
 
-let set_input sim port bits =
+let force_port sim port bits =
   match Design.find_port sim.sim_design port with
   | None -> invalid_arg (Printf.sprintf "Simulator.set_input: no port %s" port)
   | Some p ->
     (match p.Design.port_dir with
-     | Input -> set_input_wire sim p.Design.port_wire bits
+     | Input -> force_wire sim p.Design.port_wire bits
      | Output ->
        invalid_arg (Printf.sprintf "Simulator.set_input: %s is an output" port))
 
-let get sim w = read_nets sim (Wire.nets w)
+let set_input sim port bits =
+  force_port sim port bits;
+  propagate sim
 
-let get_port sim port =
-  match Design.find_port sim.sim_design port with
-  | None -> invalid_arg (Printf.sprintf "Simulator.get_port: no port %s" port)
-  | Some p -> get sim p.Design.port_wire
-
-let in_clock_domain sim node =
-  match sim.clock_nets with
-  | None -> true
-  | Some table ->
-    (match Prim.clock_port node.prim with
-     | None -> true (* black boxes follow the global cycle *)
-     | Some port ->
-       (match List.assoc_opt port node.in_ports with
-        | None -> false
-        | Some nets ->
-          Array.exists (fun n -> Hashtbl.mem table n.net_id) nets))
-
-(* Next-state of one sequential node from pre-edge values, as a commit
-   thunk so that all nodes sample the same pre-edge state. *)
-let clock_compute sim node =
-  match node.prim, node.state with
-  | Prim.Ff { clock_enable; async_clear; sync_reset; _ }, Ff_state st ->
-    let ce = if clock_enable then read_in1 sim node "CE" else Bit.One in
-    let clr = if async_clear then read_in1 sim node "CLR" else Bit.Zero in
-    let r = if sync_reset then read_in1 sim node "R" else Bit.Zero in
-    let d = read_in1 sim node "D" in
-    let next =
-      if Bit.equal clr Bit.One then Bit.Zero
-      else
-        let loaded = Bit.mux ~sel:r d Bit.Zero in
-        let held = Bit.mux ~sel:ce !(st.value) loaded in
-        if Bit.equal clr Bit.Zero then held
-        else (* CLR unknown: zero and the clocked value must agree *)
-          Bit.mux ~sel:clr held Bit.Zero
-    in
-    Some
-      (fun () ->
-         let changed = not (Bit.equal !(st.value) next) in
-         st.value := next;
-         changed)
-  | Prim.Srl16 _, Mem_state { cells; _ } ->
-    let ce = read_in1 sim node "CE" in
-    let d = read_in1 sim node "D" in
-    (match Bit.to_bool ce with
-     | Some false -> None
-     | Some true ->
-       let next = Array.init 16 (fun i -> if i = 0 then d else cells.(i - 1)) in
-       Some
-         (fun () ->
-            let changed = not (Array.for_all2 Bit.equal next cells) in
-            Array.blit next 0 cells 0 16;
-            changed)
-     | None ->
-       let next =
-         Array.init 16 (fun i ->
-           let shifted = if i = 0 then d else cells.(i - 1) in
-           if Bit.equal shifted cells.(i) && Bit.is_defined shifted then shifted
-           else Bit.X)
-       in
-       Some
-         (fun () ->
-            let changed = not (Array.for_all2 Bit.equal next cells) in
-            Array.blit next 0 cells 0 16;
-            changed))
-  | Prim.Ram16x1 _, Mem_state { cells; _ } ->
-    let we = read_in1 sim node "WE" in
-    let d = read_in1 sim node "D" in
-    let addr = addr_of sim node in
-    (match Bit.to_bool we with
-     | Some false -> None
-     | Some true ->
-       let defined = Array.for_all Bit.is_defined addr in
-       if defined then begin
-         let index = ref 0 in
-         Array.iteri
-           (fun i b -> if Bit.equal b Bit.One then index := !index lor (1 lsl i))
-           addr;
-         let i = !index in
-         Some
-           (fun () ->
-              let changed = not (Bit.equal cells.(i) d) in
-              cells.(i) <- d;
-              changed)
-       end
-       else
-         Some
-           (fun () ->
-              let changed = Array.exists Bit.is_defined cells in
-              Array.fill cells 0 16 Bit.X;
-              changed)
-     | None ->
-       Some
-         (fun () ->
-            let changed = Array.exists Bit.is_defined cells in
-            Array.fill cells 0 16 Bit.X;
-            changed))
-  | Prim.Black_box _, Bb_state behavior ->
-    (match behavior.Prim.clock_edge with
-     | None -> None
-     | Some edge ->
-       let read = bb_read sim node in
-       (* behavioural state is opaque: conservatively re-evaluate *)
-       Some
-         (fun () ->
-            edge ~read;
-            true))
-  | (Prim.Ff _ | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Black_box _), _ ->
-    assert false
-  | ( ( Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf
-      | Prim.Inv | Prim.Gnd | Prim.Vcc ),
-      _ ) -> None
+let set_inputs sim assignments =
+  match assignments with
+  | [] -> ()
+  | _ ->
+    (* settle once for the whole batch; on error settle what was already
+       applied so the simulator is left in a consistent state *)
+    (try List.iter (fun (port, bits) -> force_port sim port bits) assignments
+     with e ->
+       propagate sim;
+       raise e);
+    propagate sim
 
 let record_watches sim =
   List.iter
-    (fun w -> w.samples <- (sim.cycles, get sim w.watch_wire) :: w.samples)
+    (fun w ->
+       let v =
+         Bits.init (Array.length w.watch_idx) (fun i ->
+           let idx = w.watch_idx.(i) in
+           if idx < 0 then Bit.X else Bit.of_code (code sim.st idx))
+       in
+       w.samples <- (sim.cycles, v) :: w.samples)
     sim.watches
 
 let cycle ?(n = 1) sim =
+  let st = sim.st in
+  let seq = sim.seq_clocked in
+  let k = Array.length seq in
   for _ = 1 to n do
-    (* two-phase: compute every next-state from pre-edge values, then
-       commit; committers whose state changed are re-evaluated so their
-       outputs propagate *)
-    let commits =
-      List.filter_map
-        (fun (node, rank) ->
-           if in_clock_domain sim node then
-             Option.map (fun commit -> (commit, rank)) (clock_compute sim node)
-           else None)
-        sim.seq_nodes
-    in
-    List.iter
-      (fun (commit, rank) ->
-         if commit () then sim.pending <- Int_set.add rank sim.pending)
-      commits;
+    for i = 0 to k - 1 do
+      compute_snode st (Array.unsafe_get seq i)
+    done;
+    for i = 0 to k - 1 do
+      commit_snode st (Array.unsafe_get seq i)
+    done;
     sim.cycles <- sim.cycles + 1;
     propagate sim;
-    record_watches sim;
-    List.iter (fun hook -> hook sim.cycles) (List.rev sim.cycle_hooks)
+    (match sim.watches with [] -> () | _ -> record_watches sim);
+    (match sim.cycle_hooks with
+     | [] -> ()
+     | hooks -> List.iter (fun hook -> hook sim.cycles) hooks)
   done
 
 let reset sim =
-  List.iter
-    (fun (node, _) ->
-       match node.state with
-       | Ff_state st -> st.value := st.init
-       | Mem_state { cells; init } -> Array.blit init 0 cells 0 16
-       | Bb_state behavior ->
-         (match behavior.Prim.state_reset with
-          | None -> ()
-          | Some f -> f ())
-       | No_state -> ())
-    sim.seq_nodes;
+  Array.iter
+    (function
+      | S_ff f -> f.ff_cur <- f.ff_init
+      | S_srl s -> Bytes.blit s.srl_init 0 s.srl_cells 0 16
+      | S_ram m -> Bytes.blit m.ram_init 0 m.ram_cells 0 16
+      | S_bb b ->
+        (match b.bb_behavior.Prim.state_reset with
+         | None -> ()
+         | Some f -> f ()))
+    sim.seq_all;
   sim.cycles <- 0;
   List.iter (fun w -> w.samples <- []) sim.watches;
   propagate_full sim;
@@ -553,14 +815,20 @@ let cycle_count sim = sim.cycles
 
 let watch sim ?label w =
   let watch_label = Option.value label ~default:(Wire.full_name w) in
-  let entry = { watch_label; watch_wire = w; samples = [ (sim.cycles, get sim w) ] } in
+  let watch_idx =
+    Array.map
+      (fun n ->
+         match Hashtbl.find_opt sim.net_idx n.net_id with
+         | None -> -1
+         | Some idx -> idx)
+      (Wire.nets w)
+  in
+  let entry = { watch_label; watch_idx; samples = [ (sim.cycles, get sim w) ] } in
   sim.watches <- entry :: sim.watches
 
 let history sim =
-  List.rev_map
-    (fun w -> (w.watch_label, List.rev w.samples))
-    sim.watches
+  List.rev_map (fun w -> (w.watch_label, List.rev w.samples)) sim.watches
 
-let on_cycle sim f = sim.cycle_hooks <- f :: sim.cycle_hooks
-let prim_count sim = Array.length sim.order
+let on_cycle sim f = sim.cycle_hooks <- sim.cycle_hooks @ [ f ]
+let prim_count sim = Array.length sim.eval
 let levels sim = sim.depth

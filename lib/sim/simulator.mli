@@ -1,4 +1,4 @@
-(** Cycle-based circuit simulator.
+(** Cycle-based circuit simulator, compiled to a dense array kernel.
 
     The JHDL design suite's built-in simulator, reproduced: designs are
     elaborated to a flat list of primitive instances, combinational logic
@@ -6,8 +6,17 @@
     {!cycle} and {!reset} — the two buttons the paper's applets expose.
     Propagation is incremental and event-driven: a changed net marks its
     combinational consumers dirty and the dirty set is drained in
-    topological-rank order, so settling after an input change or a clock
-    edge costs only the affected cone of logic.
+    level order, so settling after an input change or a clock edge costs
+    only the affected cone of logic.
+
+    {!create} compiles the levelized netlist once into flat int-indexed
+    structures: net values live in a contiguous byte store of 2-bit codes
+    ({!Jhdl_logic.Bit.to_code}), each primitive becomes a closure over
+    precomputed dense net indices, fan-out is a CSR int-array pair, and
+    the dirty worklist is a bitset bucketed by level. The steady-state
+    cycle loop performs no string port lookups, hashtable probes or
+    per-cycle allocation. The retained interpreter, {!Reference}, is the
+    golden model the kernel is differentially tested against.
 
     Values are four-valued ({!Jhdl_logic.Bit}); registers power up to
     their INIT value and {!reset} models the Virtex global set/reset.
@@ -44,6 +53,14 @@ val set_input : t -> string -> Jhdl_logic.Bits.t -> unit
 (** [set_input_wire sim wire value] forces any root-scope wire (or view)
     bound to a top-level input; useful with sliced wires. *)
 val set_input_wire : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t -> unit
+
+(** [set_inputs sim assignments] forces several top-level input ports and
+    settles combinational logic once for the whole batch — the fast path
+    for protocol endpoints that update many ports per step. Equivalent to
+    a sequence of {!set_input} calls. If an assignment is invalid, logic
+    settles for the assignments already applied before the exception is
+    re-raised. *)
+val set_inputs : t -> (string * Jhdl_logic.Bits.t) list -> unit
 
 (** [get sim wire] reads the current value of any wire in the design. *)
 val get : t -> Jhdl_circuit.Wire.t -> Jhdl_logic.Bits.t

@@ -1,0 +1,272 @@
+(* Differential tests: the compiled dense kernel (Simulator) against the
+   retained interpreter (Reference) on randomized designs and input
+   sequences, including X/Z stimulus. Both simulators share one Design
+   instance (all run-time state is per-simulator) and must agree on
+   every port value and watch sample, cycle for cycle. A Gc probe
+   asserts the kernel's steady-state cycle path allocates nothing. *)
+
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Simulator = Jhdl_sim.Simulator
+module Reference = Jhdl_sim.Reference
+module Kcm = Jhdl_modgen.Kcm
+module Fir = Jhdl_modgen.Fir
+module Multiplier = Jhdl_modgen.Multiplier
+
+type harness = {
+  design : Design.t;
+  clock : Wire.t option;
+  inputs : (string * int) list; (* driven port, width *)
+  outputs : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Harness builders (test_equiv.ml style).                             *)
+
+let kcm_harness ~n ~pw ~signed_mode ~pipelined_mode ~structure ~constant () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let m = Wire.create top ~name:"m" n in
+  let p = Wire.create top ~name:"p" pw in
+  let _ =
+    Kcm.create top ~clk ~adder_structure:structure ~multiplicand:m ~product:p
+      ~signed_mode ~pipelined_mode ~constant ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  { design = d; clock = Some clk; inputs = [ ("m", n) ]; outputs = [ "p" ] }
+
+let shift_add_harness ~n ~pw ~constant () =
+  let top = Cell.root ~name:"top" () in
+  let m = Wire.create top ~name:"m" n in
+  let p = Wire.create top ~name:"p" pw in
+  let _ = Multiplier.shift_add_constant top ~multiplicand:m ~product:p ~constant () in
+  let d = Design.create top in
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  { design = d; clock = None; inputs = [ ("m", n) ]; outputs = [ "p" ] }
+
+let fir_harness ~xw ~coefficients () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let x = Wire.create top ~name:"x" xw in
+  let yw = Fir.accumulation_width ~x_width:xw ~coefficients in
+  let y = Wire.create top ~name:"y" yw in
+  let _ = Fir.create top ~clk ~x ~y ~signed_mode:true ~coefficients () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "y" Types.Output y;
+  { design = d; clock = Some clk; inputs = [ ("x", xw) ]; outputs = [ "y" ] }
+
+let ram_harness ~init () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let we = Wire.create top ~name:"we" 1 in
+  let d = Wire.create top ~name:"d" 1 in
+  let a = Wire.create top ~name:"a" 4 in
+  let o = Wire.create top ~name:"o" 1 in
+  let _ = Virtex.ram16x1s top ~init ~wclk:clk ~we ~d ~a ~o () in
+  let dsg = Design.create top in
+  Design.add_port dsg "clk" Types.Input clk;
+  Design.add_port dsg "we" Types.Input we;
+  Design.add_port dsg "d" Types.Input d;
+  Design.add_port dsg "a" Types.Input a;
+  Design.add_port dsg "o" Types.Output o;
+  { design = dsg;
+    clock = Some clk;
+    inputs = [ ("we", 1); ("d", 1); ("a", 4) ];
+    outputs = [ "o" ] }
+
+let srl_harness ~init () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let ce = Wire.create top ~name:"ce" 1 in
+  let d = Wire.create top ~name:"d" 1 in
+  let a = Wire.create top ~name:"a" 4 in
+  let q = Wire.create top ~name:"q" 1 in
+  let _ = Virtex.srl16e top ~init ~clk ~ce ~d ~a ~q () in
+  let dsg = Design.create top in
+  Design.add_port dsg "clk" Types.Input clk;
+  Design.add_port dsg "ce" Types.Input ce;
+  Design.add_port dsg "d" Types.Input d;
+  Design.add_port dsg "a" Types.Input a;
+  Design.add_port dsg "q" Types.Output q;
+  { design = dsg;
+    clock = Some clk;
+    inputs = [ ("ce", 1); ("d", 1); ("a", 4) ];
+    outputs = [ "q" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Differential driver.                                                *)
+
+let random_bits st ~allow_xz width =
+  Bits.init width (fun _ ->
+    if allow_xz && Random.State.int st 8 = 0 then
+      if Random.State.bool st then Bit.X else Bit.Z
+    else Bit.of_bool (Random.State.bool st))
+
+let check_outputs ~ctx harness dut rf =
+  List.iter
+    (fun port ->
+       let a = Simulator.get_port dut port and b = Reference.get_port rf port in
+       if not (Bits.equal a b) then
+         Alcotest.failf "%s: port %s: kernel=%s reference=%s" ctx port
+           (Bits.to_string a) (Bits.to_string b))
+    harness.outputs
+
+let check_histories h_dut h_ref =
+  Alcotest.(check int) "watch count" (List.length h_ref) (List.length h_dut);
+  List.iter2
+    (fun (l1, s1) (l2, s2) ->
+       Alcotest.(check string) "watch label" l2 l1;
+       Alcotest.(check int) (l1 ^ " sample count") (List.length s2) (List.length s1);
+       List.iter2
+         (fun (c1, v1) (c2, v2) ->
+            if c1 <> c2 || not (Bits.equal v1 v2) then
+              Alcotest.failf "watch %s: kernel (%d,%s) vs reference (%d,%s)" l1 c1
+                (Bits.to_string v1) c2 (Bits.to_string v2))
+         s1 s2)
+    h_dut h_ref
+
+(* Drive both simulators with the same random stimulus, comparing every
+   output port after each input change and each clock edge, and the full
+   watch histories (and a reset) at the end. *)
+let run_differential ?(allow_xz = true) ?(use_batch = false) ~seed ~steps harness =
+  let st = Random.State.make [| seed |] in
+  let clock = harness.clock in
+  let dut = Simulator.create ?clock harness.design in
+  let rf = Reference.create ?clock harness.design in
+  List.iter
+    (fun port ->
+       match Design.find_port harness.design port with
+       | Some p ->
+         Simulator.watch dut ~label:port p.Design.port_wire;
+         Reference.watch rf ~label:port p.Design.port_wire
+       | None -> Alcotest.failf "harness lists unknown port %s" port)
+    harness.outputs;
+  check_outputs ~ctx:"initial" harness dut rf;
+  for step = 1 to steps do
+    let stimulus =
+      List.map (fun (port, w) -> (port, random_bits st ~allow_xz w)) harness.inputs
+    in
+    if use_batch then Simulator.set_inputs dut stimulus
+    else List.iter (fun (port, v) -> Simulator.set_input dut port v) stimulus;
+    List.iter (fun (port, v) -> Reference.set_input rf port v) stimulus;
+    check_outputs ~ctx:(Printf.sprintf "step %d, after inputs" step) harness dut rf;
+    Simulator.cycle dut;
+    Reference.cycle rf;
+    check_outputs ~ctx:(Printf.sprintf "step %d, after cycle" step) harness dut rf
+  done;
+  Alcotest.(check int) "cycle counters" (Reference.cycle_count rf)
+    (Simulator.cycle_count dut);
+  check_histories (Simulator.history dut) (Reference.history rf);
+  Simulator.reset dut;
+  Reference.reset rf;
+  check_outputs ~ctx:"after reset" harness dut rf;
+  check_histories (Simulator.history dut) (Reference.history rf)
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                         *)
+
+let prop_kcm_matches_reference =
+  QCheck.Test.make ~name:"kernel = reference on randomized KCMs" ~count:30
+    QCheck.(
+      quad (int_range 4 10) (int_range (-128) 127) bool (int_range 0 3))
+    (fun (n, raw_constant, signed_mode, shape) ->
+       let pipelined_mode = shape land 1 = 1 in
+       (* pipelined `Tree is rejected by the generator *)
+       let structure = if shape land 2 = 2 && not pipelined_mode then `Tree else `Chain in
+       let constant = if signed_mode then raw_constant else abs raw_constant in
+       let pw = n + 4 + (shape * 2) in
+       let harness =
+         kcm_harness ~n ~pw ~signed_mode ~pipelined_mode ~structure ~constant ()
+       in
+       run_differential ~seed:(((n * 131) + raw_constant + 128) lxor shape)
+         ~steps:16 harness;
+       true)
+
+let prop_memory_matches_reference =
+  QCheck.Test.make ~name:"kernel = reference on SRL16/RAM16 with X stimulus"
+    ~count:25
+    QCheck.(pair (int_bound 65535) (int_bound 1000))
+    (fun (init, seed) ->
+       run_differential ~seed ~steps:24 (ram_harness ~init ());
+       run_differential ~seed:(seed + 1) ~steps:24 (srl_harness ~init ());
+       true)
+
+let test_shift_add_differential () =
+  List.iter
+    (fun (constant, seed) ->
+       run_differential ~seed ~steps:20
+         (shift_add_harness ~n:8 ~pw:14 ~constant ()))
+    [ (1, 11); (85, 12); (255, 13); (170, 14) ]
+
+let test_fir_differential () =
+  run_differential ~seed:42 ~steps:24
+    (fir_harness ~xw:6 ~coefficients:[ 3; -5; 7; 2 ] ());
+  run_differential ~seed:43 ~steps:24
+    (fir_harness ~xw:8 ~coefficients:[ -1; 9; 4 ] ())
+
+let test_batch_inputs_match_sequential () =
+  (* the endpoint's set_inputs fast path must settle to the same values
+     as per-port set_input calls against the reference *)
+  run_differential ~use_batch:true ~seed:7 ~steps:20 (ram_harness ~init:0xBEEF ());
+  run_differential ~use_batch:true ~seed:8 ~steps:16
+    (kcm_harness ~n:8 ~pw:12 ~signed_mode:true ~pipelined_mode:true
+       ~structure:`Chain ~constant:(-77) ())
+
+let test_hook_order_matches () =
+  let harness =
+    kcm_harness ~n:4 ~pw:8 ~signed_mode:false ~pipelined_mode:true
+      ~structure:`Chain ~constant:9 ()
+  in
+  let dut = Simulator.create ?clock:harness.clock harness.design in
+  let rf = Reference.create ?clock:harness.clock harness.design in
+  let dut_calls = ref [] and ref_calls = ref [] in
+  List.iter
+    (fun tag ->
+       Simulator.on_cycle dut (fun c -> dut_calls := (tag, c) :: !dut_calls);
+       Reference.on_cycle rf (fun c -> ref_calls := (tag, c) :: !ref_calls))
+    [ 1; 2; 3 ];
+  Simulator.cycle ~n:2 dut;
+  Reference.cycle ~n:2 rf;
+  Alcotest.(check (list (pair int int)))
+    "hooks fire in registration order in both simulators"
+    [ (3, 2); (2, 2); (1, 2); (3, 1); (2, 1); (1, 1) ]
+    !dut_calls;
+  Alcotest.(check (list (pair int int))) "reference agrees" !ref_calls !dut_calls
+
+let test_steady_state_cycle_allocates_nothing () =
+  let harness =
+    kcm_harness ~n:8 ~pw:16 ~signed_mode:true ~pipelined_mode:true
+      ~structure:`Chain ~constant:93 ()
+  in
+  let dut = Simulator.create ?clock:harness.clock harness.design in
+  Simulator.set_input dut "m" (Bits.of_int ~width:8 55);
+  (* flush the pipeline so the state is steady *)
+  Simulator.cycle ~n:32 dut;
+  let before = Gc.minor_words () in
+  Simulator.cycle ~n:1000 dut;
+  let after = Gc.minor_words () in
+  let per_cycle = (after -. before) /. 1000.0 in
+  if per_cycle > 0.26 then
+    Alcotest.failf "steady-state cycle allocates %.2f words/cycle" per_cycle
+
+let suite =
+  [ Alcotest.test_case "shift-add vs reference" `Quick test_shift_add_differential;
+    Alcotest.test_case "fir vs reference" `Quick test_fir_differential;
+    Alcotest.test_case "batch inputs = sequential" `Quick
+      test_batch_inputs_match_sequential;
+    Alcotest.test_case "hook order" `Quick test_hook_order_matches;
+    Alcotest.test_case "steady-state cycle is allocation-free" `Quick
+      test_steady_state_cycle_allocates_nothing ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_kcm_matches_reference; prop_memory_matches_reference ]

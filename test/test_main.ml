@@ -12,6 +12,7 @@ let () =
       ("misc-logic", Test_misc_logic.suite);
       ("placer", Test_placer.suite);
       ("equiv", Test_equiv.suite);
+      ("differential", Test_differential.suite);
       ("viewer", Test_viewer.suite);
       ("bundle", Test_bundle.suite);
       ("security", Test_security.suite);
