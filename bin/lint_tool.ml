@@ -1,0 +1,259 @@
+(* Rule-based netlist lint over catalog designs: the CI-facing face of
+   the lint engine.
+
+   Usage: lint_tool --ip FirFilter --param taps=edge3 --json
+          lint_tool --all --fail-on warning
+          lint_tool --broken            (deliberately bad demo design)
+          lint_tool --rules             (print the registry and exit) *)
+
+open Jhdl
+open Cmdliner
+
+let build_design ip params =
+  let split_param p =
+    match String.index_opt p '=' with
+    | Some i ->
+      Ok (String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+    | None -> Error (Printf.sprintf "--param expects name=value, got %s" p)
+  in
+  let rec split_all acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      (match split_param p with
+       | Ok v -> split_all (v :: acc) rest
+       | Error _ as e -> e)
+  in
+  let parse (name, text) =
+    match List.assoc_opt name ip.Ip_module.params with
+    | None -> Error (Printf.sprintf "unknown parameter %s" name)
+    | Some kind ->
+      Result.map (fun v -> (name, v)) (Ip_module.parse_param kind text)
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      (match parse p with
+       | Ok v -> parse_all (v :: acc) rest
+       | Error _ as e -> e)
+  in
+  match Result.bind (split_all [] params) (parse_all []) with
+  | Error message -> Error message
+  | Ok assignment ->
+    (match Ip_module.validate ip assignment with
+     | Error message -> Error message
+     | Ok complete ->
+       (match ip.Ip_module.build complete with
+        | built -> Ok built.Ip_module.design
+        | exception Invalid_argument message -> Error message))
+
+(* a deliberately broken design exercising the three analysis families:
+   a doubly-driven net, a LUT-gated clock and a cone of dead logic *)
+let broken_design () =
+  let top = Cell.root ~name:"broken_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let a = Wire.create top ~name:"a" 1 in
+  let b = Wire.create top ~name:"b" 1 in
+  let clash = Wire.create top ~name:"clash" 1 in
+  let gated_clk = Wire.create top ~name:"gated_clk" 1 in
+  let q = Wire.create top ~name:"q" 1 in
+  let dead = Wire.create top ~name:"dead" 1 in
+  (* contention: two buffers fight over one net *)
+  let _ = Cell.prim top ~name:"drv0" Prim.Buf ~conns:[ ("I", a); ("O", clash) ] in
+  let _ =
+    Cell.prim top ~name:"drv1" ~allow_contention:true Prim.Buf
+      ~conns:[ ("I", b); ("O", clash) ]
+  in
+  (* gated clock: clk AND b feeds a flip-flop's clock pin *)
+  let _ =
+    Cell.prim top ~name:"clk_gate"
+      (Prim.Lut (Lut_init.and_all ~inputs:2))
+      ~conns:[ ("I0", clk); ("I1", b); ("O", gated_clk) ]
+  in
+  let _ =
+    Cell.prim top ~name:"ff"
+      (Prim.Ff
+         { clock_enable = false;
+           async_clear = false;
+           sync_reset = false;
+           init = Bit.Zero })
+      ~conns:[ ("C", gated_clk); ("D", clash); ("Q", q) ]
+  in
+  (* dead logic: an inverter whose output reaches no design output *)
+  let _ = Cell.prim top ~name:"dead_inv" Prim.Inv ~conns:[ ("I", a); ("O", dead) ] in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  Design.add_port design "a" Types.Input a;
+  Design.add_port design "b" Types.Input b;
+  Design.add_port design "q" Types.Output q;
+  design
+
+let print_rules () =
+  List.iter
+    (fun (r : Lint.rule_info) ->
+       Printf.printf "%s  %-9s %-24s %s\n" r.Lint.id
+         (Lint.severity_to_string r.Lint.default_severity)
+         r.Lint.name r.Lint.doc)
+    Lint.rules
+
+let load_baseline path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no such baseline file %s" path)
+  else begin
+    let ic = open_in path in
+    let keys = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+           keys := line :: !keys
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Ok !keys
+  end
+
+let apply_baseline baseline report =
+  match baseline with
+  | None -> report
+  | Some keys ->
+    { report with
+      Lint.diagnostics =
+        List.filter
+          (fun d -> not (List.mem (Lint.key d) keys))
+          report.Lint.diagnostics }
+
+let run_lint all broken ip_name params json rules_only fail_on disabled
+    fanout_threshold max_diagnostics baseline_path =
+  if rules_only then begin
+    print_rules ();
+    0
+  end
+  else begin
+    let result =
+      match Lint.severity_of_string fail_on with
+      | None -> Error (Printf.sprintf "--fail-on expects info, warning or error, got %s" fail_on)
+      | Some fail_severity ->
+        let baseline =
+          match baseline_path with
+          | None -> Ok None
+          | Some path -> Result.map Option.some (load_baseline path)
+        in
+        (match baseline with
+         | Error message -> Error message
+         | Ok baseline ->
+           let designs =
+             if broken then Ok [ broken_design () ]
+             else if all then
+               Ok
+                 (List.map
+                    (fun ip ->
+                       (ip.Ip_module.build (Ip_module.defaults ip))
+                         .Ip_module.design)
+                    Catalog.all)
+             else
+               (match Catalog.find ip_name with
+                | None -> Error (Printf.sprintf "unknown IP %s" ip_name)
+                | Some ip -> Result.map (fun d -> [ d ]) (build_design ip params))
+           in
+           (match designs with
+            | Error message -> Error message
+            | Ok designs ->
+              let config =
+                { Lint.default_config with
+                  Lint.disabled;
+                  fanout_threshold;
+                  max_diagnostics }
+              in
+              let reports =
+                List.map
+                  (fun d -> apply_baseline baseline (Lint.run ~config d))
+                  designs
+              in
+              List.iter
+                (fun r ->
+                   if json then print_string (Lint.to_json r)
+                   else print_string (Lint.to_text r))
+                reports;
+              let failing =
+                List.exists
+                  (fun r ->
+                     match Lint.worst r with
+                     | None -> false
+                     | Some w -> Lint.compare_severity w fail_severity >= 0)
+                  reports
+              in
+              Ok failing))
+    in
+    match result with
+    | Error message ->
+      Printf.eprintf "lint_tool: %s\n" message;
+      2
+    | Ok failing -> if failing then 1 else 0
+  end
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Lint every catalog IP at its default parameters.")
+
+let broken_arg =
+  Arg.(
+    value & flag
+    & info [ "broken" ]
+        ~doc:"Lint a deliberately broken demo design (contention, gated \
+              clock, dead logic).")
+
+let ip_arg =
+  Arg.(
+    value
+    & opt string "VirtexKCMMultiplier"
+    & info [ "ip" ] ~doc:"IP module name from the catalog.")
+
+let param_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "param"; "p" ] ~doc:"Generator parameter as name=value.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the stable JSON report instead of text.")
+
+let rules_arg =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the rule registry and exit.")
+
+let fail_on_arg =
+  Arg.(
+    value & opt string "error"
+    & info [ "fail-on" ]
+        ~doc:"Exit non-zero when a finding of this severity (or worse) \
+              survives: info, warning or error.")
+
+let disable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable" ] ~doc:"Rule id to skip (repeatable).")
+
+let fanout_arg =
+  Arg.(
+    value & opt int Lint.default_config.Lint.fanout_threshold
+    & info [ "fanout-threshold" ] ~doc:"High-fanout (L203) trigger.")
+
+let max_arg =
+  Arg.(
+    value & opt int Lint.default_config.Lint.max_diagnostics
+    & info [ "max-diagnostics" ] ~doc:"Cap on reported findings per design.")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ]
+        ~doc:"Suppress findings whose key (rule id + primary location) \
+              appears in this file, one per line.")
+
+let cmd =
+  let doc = "rule-based lint over JHDL module-generator designs" in
+  Cmd.v
+    (Cmd.info "lint_tool" ~doc)
+    Term.(
+      const run_lint $ all_arg $ broken_arg $ ip_arg $ param_arg $ json_arg
+      $ rules_arg $ fail_on_arg $ disable_arg $ fanout_arg $ max_arg
+      $ baseline_arg)
+
+let () = exit (Cmd.eval' cmd)

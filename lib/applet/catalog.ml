@@ -298,3 +298,11 @@ let find name =
   List.find_opt
     (fun ip -> String.lowercase_ascii ip.Ip_module.ip_name = lower)
     all
+
+(* catalog-facing lint summary: elaborate at the defaults, run the rule
+   engine, report counts only (the full report is the lint tool's job) *)
+let lint_summary ip =
+  match ip.Ip_module.build (Ip_module.defaults ip) with
+  | built -> Jhdl_lint.Lint.(summary (run built.Ip_module.design))
+  | exception e ->
+    Printf.sprintf "failed to elaborate: %s" (Printexc.to_string e)

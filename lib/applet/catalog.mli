@@ -30,3 +30,8 @@ val find : string -> Ip_module.t option
 
 (** [fir_coefficient_sets] — the named presets the [taps] choice offers. *)
 val fir_coefficient_sets : (string * int list) list
+
+(** [lint_summary ip] — one-line lint count summary for [ip] elaborated
+    at its default parameters (e.g. ["0 error(s), 14 warning(s), 0 info"]),
+    or an elaboration-failure note. Shown next to catalog entries. *)
+val lint_summary : Ip_module.t -> string

@@ -50,9 +50,10 @@ let exec t command =
     let lines =
       List.map
         (fun e ->
-           Printf.sprintf "%s %-24s %s"
+           Printf.sprintf "%s %-24s %s [lint: %s]"
              (if e == t.active then "*" else " ")
-             e.ip.Ip_module.ip_name e.ip.Ip_module.description)
+             e.ip.Ip_module.ip_name e.ip.Ip_module.description
+             (Catalog.lint_summary e.ip))
         t.entries
     in
     Ok (String.concat "\n" lines)

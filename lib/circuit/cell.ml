@@ -47,8 +47,10 @@ let composite parent ~name ?type_name ~ports () =
   c
 
 (* Connecting a primitive port registers one terminal per bit on the
-   underlying nets; outputs claim the driver slot, inputs append a sink. *)
-let connect_terminals inst ~dir ~port (w : wire) =
+   underlying nets; outputs claim the driver slot, inputs append a sink.
+   A second output terminal is a construction error unless the caller
+   opts into recording the contention for the design-rule checker. *)
+let connect_terminals ?(allow_contention = false) inst ~dir ~port (w : wire) =
   Array.iteri
     (fun i n ->
        let term = { term_cell = inst; term_port = port; term_bit = i } in
@@ -56,7 +58,7 @@ let connect_terminals inst ~dir ~port (w : wire) =
        | Input -> n.sinks <- term :: n.sinks
        | Output ->
          (match n.driver with
-          | Some prev ->
+          | Some prev when not allow_contention ->
             invalid_arg
               (Printf.sprintf
                  "Cell: net %s bit %d already driven by %s.%s; second driver %s.%s"
@@ -65,10 +67,11 @@ let connect_terminals inst ~dir ~port (w : wire) =
                   | None -> string_of_int n.net_id)
                  n.source_bit prev.term_cell.cell_name prev.term_port
                  inst.cell_name port)
+          | Some _ -> n.extra_drivers <- term :: n.extra_drivers
           | None -> n.driver <- Some term))
     w.nets
 
-let prim parent ?name p ~conns =
+let prim parent ?name ?allow_contention p ~conns =
   check_scope_is_composite ~what:"prim" parent;
   let base = Option.value name ~default:(String.lowercase_ascii (Prim.name p)) in
   let inst = make ~name:base ~kind:(Primitive p) ~parent:(Some parent) in
@@ -88,7 +91,7 @@ let prim parent ?name p ~conns =
            (Printf.sprintf "Cell.prim: port %s of %s needs a 1-bit wire, got %d"
               port (Prim.name p) (Array.length w.nets));
        let dir = if List.mem port outputs then Output else Input in
-       connect_terminals inst ~dir ~port w;
+       connect_terminals ?allow_contention inst ~dir ~port w;
        inst.port_bindings <- { formal = port; dir; actual = w } :: inst.port_bindings)
     conns;
   List.iter

@@ -30,8 +30,17 @@ val composite :
     each primitive port to a wire; widths must match (standard primitives
     have 1-bit ports). Directions are taken from {!Prim.output_ports}.
     Raises [Invalid_argument] on unknown or missing ports, width
-    mismatches, or when an output port's net already has a driver. *)
-val prim : t -> ?name:string -> Prim.t -> conns:(string * Wire.t) list -> t
+    mismatches, or when an output port's net already has a driver — unless
+    [allow_contention] is set, in which case the extra output terminal is
+    recorded on the net's [extra_drivers] list for {!Design.validate} and
+    the lint engine to report. *)
+val prim :
+  t ->
+  ?name:string ->
+  ?allow_contention:bool ->
+  Prim.t ->
+  conns:(string * Wire.t) list ->
+  t
 
 (** [black_box parent ~name ~model_name ~make_behavior ~ports] instances a
     behavioural black box with explicitly-directed, possibly wide ports. *)

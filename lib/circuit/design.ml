@@ -40,6 +40,7 @@ let find_port d n =
 
 type violation =
   | Undriven_net of { wire : string; bit : int; sink_count : int }
+  | Contended_net of { wire : string; bit : int; drivers : string list }
   | Dangling_driver of { wire : string; bit : int }
   | Combinational_loop of { cells : string list }
   | Port_wire_not_root of { port : string }
@@ -47,6 +48,10 @@ type violation =
 let pp_violation fmt = function
   | Undriven_net { wire; bit; sink_count } ->
     Format.fprintf fmt "undriven net %s[%d] with %d sink(s)" wire bit sink_count
+  | Contended_net { wire; bit; drivers } ->
+    Format.fprintf fmt "net %s[%d] driven by %d sources: %s" wire bit
+      (List.length drivers)
+      (String.concat ", " drivers)
   | Dangling_driver { wire; bit } ->
     Format.fprintf fmt "driven net %s[%d] has no sinks" wire bit
   | Combinational_loop { cells } ->
@@ -82,63 +87,14 @@ let all_nets d =
 let all_prims d =
   List.rev (Cell.fold_prims (fun acc c -> c :: acc) [] d.design_root)
 
-(* A primitive's outputs depend combinationally on its inputs unless it is
-   a register-style element whose outputs come from state. *)
-let comb_through prim =
-  match prim with
-  | Prim.Ff _ | Prim.Srl16 _ -> false
-  | Prim.Ram16x1 _ -> true (* asynchronous read path A* -> O *)
-  | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf
-  | Prim.Inv | Prim.Gnd | Prim.Vcc -> true
-  | Prim.Black_box _ -> true
-
-(* Cycle detection over primitive instances linked net-to-net through
-   combinational paths, by iterative DFS with colour marking. *)
+(* Cycle detection delegates to the shared levelization walk so the
+   validator, the simulators and the timing estimator all report the same
+   canonical cell set for a given loop. *)
 let find_comb_loop d =
-  let prims = all_prims d in
-  let successors inst =
-    match inst.kind with
-    | Composite _ -> []
-    | Primitive p ->
-      if not (comb_through p) then []
-      else
-        List.concat_map
-          (fun b ->
-             match b.dir with
-             | Input -> []
-             | Output ->
-               Array.to_list b.actual.nets
-               |> List.concat_map (fun n ->
-                 List.map (fun t -> t.term_cell) n.sinks))
-          inst.port_bindings
-  in
-  let colour = Hashtbl.create 256 in
-  (* 1 = on stack, 2 = done *)
-  let exception Loop of cell list in
-  let rec dfs stack inst =
-    match Hashtbl.find_opt colour inst.cell_id with
-    | Some 2 -> ()
-    | Some 1 ->
-      let cycle =
-        inst
-        :: (List.filter
-              (fun c ->
-                 match Hashtbl.find_opt colour c.cell_id with
-                 | Some 1 -> true
-                 | Some _ | None -> false)
-              stack
-            |> List.rev)
-      in
-      raise (Loop cycle)
-    | Some _ | None ->
-      Hashtbl.replace colour inst.cell_id 1;
-      List.iter (dfs (inst :: stack)) (successors inst);
-      Hashtbl.replace colour inst.cell_id 2
-  in
-  try
-    List.iter (dfs []) prims;
-    None
-  with Loop cells -> Some (List.map Cell.path cells)
+  Option.map (List.map Cell.path) (Levelize.find_cycle d.design_root)
+
+let term_label t =
+  Printf.sprintf "%s.%s" (Cell.path t.term_cell) t.term_port
 
 let validate d =
   let violations = ref [] in
@@ -165,9 +121,21 @@ let validate d =
                  { wire = net_label n;
                    bit = n.source_bit;
                    sink_count = List.length n.sinks })
-        | Some _ ->
+        | Some drv ->
           if n.sinks = [] && not (Hashtbl.mem output_nets n.net_id) then
-            add (Dangling_driver { wire = net_label n; bit = n.source_bit })))
+            add (Dangling_driver { wire = net_label n; bit = n.source_bit });
+          (* Multiple drivers: extra output terminals recorded through the
+             allow_contention escape hatch, or an internal driver fighting
+             the top-level input port bound to the same net. *)
+          let drivers =
+            (if Hashtbl.mem input_nets n.net_id then [ "top-level input port" ]
+             else [])
+            @ List.map term_label (drv :: List.rev n.extra_drivers)
+          in
+          if List.length drivers > 1 then
+            add
+              (Contended_net
+                 { wire = net_label n; bit = n.source_bit; drivers })))
     (all_nets d);
   (match find_comb_loop d with
    | None -> ()
@@ -178,7 +146,8 @@ let errors d =
   List.filter
     (function
       | Dangling_driver _ -> false
-      | Undriven_net _ | Combinational_loop _ | Port_wire_not_root _ -> true)
+      | Undriven_net _ | Contended_net _ | Combinational_loop _
+      | Port_wire_not_root _ -> true)
     (validate d)
 
 type stats = {

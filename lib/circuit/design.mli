@@ -31,6 +31,10 @@ val find_port : t -> string -> port option
 type violation =
   | Undriven_net of { wire : string; bit : int; sink_count : int }
       (** a net with sinks but no driver and no top-level input binding *)
+  | Contended_net of { wire : string; bit : int; drivers : string list }
+      (** a net with more than one driving source: extra output terminals
+          recorded via {!Cell.prim}'s [allow_contention], or an internal
+          driver on a net also bound to a top-level input port *)
   | Dangling_driver of { wire : string; bit : int }
       (** a driven net with no sinks and no top-level output binding;
           reported as a warning-level violation *)

@@ -1,0 +1,197 @@
+open Types
+
+type source = {
+  inst : cell;
+  prim : Prim.t;
+  in_ports : (string * net array) list;
+  out_ports : (string * net array) list;
+}
+
+let source_of c =
+  match c.kind with
+  | Composite _ -> None
+  | Primitive prim ->
+    let ins = ref [] and outs = ref [] in
+    List.iter
+      (fun b ->
+         match b.dir with
+         | Input -> ins := (b.formal, b.actual.nets) :: !ins
+         | Output -> outs := (b.formal, b.actual.nets) :: !outs)
+      c.port_bindings;
+    Some { inst = c; prim; in_ports = !ins; out_ports = !outs }
+
+let sources_of_root root =
+  List.rev
+    (Cell.fold_prims
+       (fun acc c ->
+          match source_of c with Some s -> s :: acc | None -> acc)
+       [] root)
+
+(* Ports whose value combinationally affects the primitive's outputs.
+   Register-style elements only pass asynchronous controls through;
+   memories pass their asynchronous read address. *)
+let comb_input_ports = function
+  | Prim.Lut init ->
+    List.init (Jhdl_logic.Lut_init.inputs init) (Printf.sprintf "I%d")
+  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
+  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
+  | Prim.Xorcy -> [ "LI"; "CI" ]
+  | Prim.Mult_and -> [ "I0"; "I1" ]
+  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
+  | Prim.Buf | Prim.Inv -> [ "I" ]
+  | Prim.Gnd | Prim.Vcc -> []
+  | Prim.Black_box _ -> [] (* special-cased: all declared inputs *)
+
+let comb_inputs s =
+  match s.prim with
+  | Prim.Black_box _ -> List.map fst s.in_ports
+  | p -> comb_input_ports p
+
+exception Cycle of cell list
+
+(* Canonical membership of the combinational cycles among the nodes Kahn
+   could not process: the non-trivial strongly connected components of
+   the stuck subgraph (Kosaraju), reported in hierarchy order. *)
+let canonical_cycle nodes stuck_key successors node_key =
+  let stuck = List.filter (fun n -> stuck_key n) nodes in
+  let stuck_ids = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace stuck_ids (node_key n) ()) stuck;
+  let succs_of n =
+    Option.value (Hashtbl.find_opt successors (node_key n)) ~default:[]
+    |> List.filter (fun m -> Hashtbl.mem stuck_ids (node_key m))
+  in
+  (* forward DFS finish order *)
+  let visited = Hashtbl.create 16 in
+  let finish = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited (node_key n)) then begin
+      Hashtbl.replace visited (node_key n) ();
+      List.iter dfs (succs_of n);
+      finish := n :: !finish
+    end
+  in
+  List.iter dfs stuck;
+  (* transpose adjacency *)
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+       List.iter
+         (fun m ->
+            Hashtbl.replace preds (node_key m)
+              (n :: Option.value (Hashtbl.find_opt preds (node_key m)) ~default:[]))
+         (succs_of n))
+    stuck;
+  let component = Hashtbl.create 16 in
+  let comp_counter = ref 0 in
+  let rec assign n c =
+    if not (Hashtbl.mem component (node_key n)) then begin
+      Hashtbl.replace component (node_key n) c;
+      List.iter
+        (fun m -> assign m c)
+        (Option.value (Hashtbl.find_opt preds (node_key n)) ~default:[])
+    end
+  in
+  List.iter
+    (fun n ->
+       if not (Hashtbl.mem component (node_key n)) then begin
+         incr comp_counter;
+         assign n !comp_counter
+       end)
+    !finish;
+  let comp_size = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+       let c = Hashtbl.find component (node_key n) in
+       Hashtbl.replace comp_size c
+         (1 + Option.value (Hashtbl.find_opt comp_size c) ~default:0))
+    stuck;
+  let self_loop n = List.exists (fun m -> node_key m = node_key n) (succs_of n) in
+  List.filter
+    (fun n ->
+       let c = Hashtbl.find component (node_key n) in
+       Hashtbl.find comp_size c > 1 || self_loop n)
+    stuck
+
+(* Kahn levelization over combinational edges. The construction and
+   traversal order is part of the contract: the compiled simulator's
+   rank numbering (and therefore its differential tests against the
+   reference interpreter) depend on it. *)
+let levelize nodes =
+  let driver_node = Hashtbl.create 256 in
+  List.iter
+    (fun node ->
+       List.iter
+         (fun (_, nets) ->
+            Array.iter (fun n -> Hashtbl.replace driver_node n.net_id node) nets)
+         node.out_ports)
+    nodes;
+  let node_key node = node.inst.cell_id in
+  let in_degree = Hashtbl.create 256 in
+  let successors = Hashtbl.create 256 in
+  List.iter (fun node -> Hashtbl.replace in_degree (node_key node) 0) nodes;
+  List.iter
+    (fun node ->
+       List.iter
+         (fun port ->
+            match List.assoc_opt port node.in_ports with
+            | None -> ()
+            | Some nets ->
+              Array.iter
+                (fun n ->
+                   match Hashtbl.find_opt driver_node n.net_id with
+                   | None -> ()
+                   | Some producer ->
+                     Hashtbl.replace in_degree (node_key node)
+                       (Hashtbl.find in_degree (node_key node) + 1);
+                     Hashtbl.replace successors (node_key producer)
+                       (node
+                        :: Option.value
+                          (Hashtbl.find_opt successors (node_key producer))
+                          ~default:[]))
+                nets)
+         (comb_inputs node))
+    nodes;
+  let queue = Queue.create () in
+  let level = Hashtbl.create 256 in
+  List.iter
+    (fun node ->
+       if Hashtbl.find in_degree (node_key node) = 0 then begin
+         Hashtbl.replace level (node_key node) 0;
+         Queue.add node queue
+       end)
+    nodes;
+  let order = ref [] in
+  let processed = ref 0 in
+  let max_level = ref 0 in
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    order := node :: !order;
+    incr processed;
+    let lv = Hashtbl.find level (node_key node) in
+    max_level := max !max_level lv;
+    List.iter
+      (fun succ ->
+         let d = Hashtbl.find in_degree (node_key succ) - 1 in
+         Hashtbl.replace in_degree (node_key succ) d;
+         let prev = Option.value (Hashtbl.find_opt level (node_key succ)) ~default:0 in
+         Hashtbl.replace level (node_key succ) (max prev (lv + 1));
+         if d = 0 then Queue.add succ queue)
+      (Option.value (Hashtbl.find_opt successors (node_key node)) ~default:[])
+  done;
+  if !processed <> List.length nodes then begin
+    let cyclic =
+      canonical_cycle nodes
+        (fun n -> Hashtbl.find in_degree (node_key n) > 0)
+        successors node_key
+    in
+    raise (Cycle (List.map (fun n -> n.inst) cyclic))
+  end;
+  let order = Array.of_list (List.rev !order) in
+  let level_of = Array.map (fun n -> Hashtbl.find level (node_key n)) order in
+  order, level_of, !max_level
+
+let find_cycle root =
+  match levelize (sources_of_root root) with
+  | _ -> None
+  | exception Cycle cells -> Some cells

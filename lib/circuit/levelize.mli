@@ -1,0 +1,53 @@
+(** Canonical combinational-graph walk over primitive instances.
+
+    Every layer that needs the combinational dependency structure of a
+    design — the design-rule checker, both simulator kernels, the static
+    timing estimator and the lint engine — used to rebuild it with its
+    own notion of which primitive ports are combinational, and each
+    reported a different cell list for the same combinational loop. This
+    module is the single shared definition: one port table, one Kahn
+    levelization, one canonical cycle report.
+
+    The canonical cycle report lists exactly the instances that lie on a
+    combinational cycle (the members of non-trivial strongly connected
+    components of the combinational graph), in hierarchy order. *)
+
+open Types
+
+(** A primitive instance viewed as a graph node: its input and output
+    port bindings expanded to net arrays. *)
+type source = {
+  inst : cell;
+  prim : Prim.t;
+  in_ports : (string * net array) list;
+  out_ports : (string * net array) list;
+}
+
+(** [source_of c] is [None] for composite cells. *)
+val source_of : cell -> source option
+
+(** [sources_of_root root] — every primitive instance under [root], in
+    hierarchy order. *)
+val sources_of_root : cell -> source list
+
+(** Ports whose value combinationally affects the primitive's outputs.
+    Black boxes are special-cased by {!comb_inputs}: all declared
+    inputs. *)
+val comb_input_ports : Prim.t -> string list
+
+val comb_inputs : source -> string list
+
+exception
+  Cycle of cell list
+      (** the canonical cycle membership: instances on combinational
+          cycles, in hierarchy order *)
+
+(** [levelize sources] — Kahn levelization over combinational edges.
+    Returns [(order, level_of, max_level)]: nodes in topological order,
+    the level of each node of [order], and the maximum level. Raises
+    {!Cycle} when the combinational graph is cyclic. *)
+val levelize : source list -> source array * int array * int
+
+(** [find_cycle root] — [Some cells] (canonical membership, hierarchy
+    order) when the combinational graph under [root] has a cycle. *)
+val find_cycle : cell -> cell list option

@@ -5,6 +5,9 @@ type dir =
 type net = {
   net_id : int;
   mutable driver : terminal option;
+  mutable extra_drivers : terminal list;
+      (* further output terminals claiming an already-driven net;
+         contention recorded for the design-rule checker *)
   mutable sinks : terminal list;
   mutable source_wire : wire option;
   mutable source_bit : int;

@@ -22,6 +22,10 @@ type dir =
 type net = {
   net_id : int;
   mutable driver : terminal option;
+  mutable extra_drivers : terminal list;
+      (** output terminals beyond the first on a contended net; only
+          populated through {!Cell.prim}'s [allow_contention] escape
+          hatch, and reported by {!Design.validate} *)
   mutable sinks : terminal list;
   mutable source_wire : wire option;
       (** wire that created this net, for naming; set at wire creation *)

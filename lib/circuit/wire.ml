@@ -12,6 +12,7 @@ let create owner ?(name = "w") width =
     Array.init width (fun i ->
       { net_id = next_net_id ();
         driver = None;
+        extra_drivers = [];
         sinks = [];
         source_wire = None;
         source_bit = i })

@@ -10,6 +10,8 @@
     - {!Model}, {!Edif}, {!Vhdl}, {!Verilog}, {!Format_kind}, {!Ident}:
       netlist interchange.
     - {!Estimate}: area and static-timing estimation.
+    - {!Lint}, {!Const_prop}, {!Levelize}: the rule-based netlist lint
+      engine and the analyses it shares with the simulators.
     - {!Adders}, {!Kcm}, {!Fir}, {!Counter}, {!Datapath}, {!Multiplier},
       {!Modgen_util}: module generators.
     - {!Hierarchy}, {!Schematic}, {!Floorplan}, {!Waveform}, {!Vcd}:
@@ -44,6 +46,9 @@ module Format_kind = Jhdl_netlist.Format_kind
 module Xnf = Jhdl_netlist.Xnf
 module Edif_reader = Jhdl_netlist.Edif_reader
 module Estimate = Jhdl_estimate.Estimate
+module Levelize = Jhdl_circuit.Levelize
+module Lint = Jhdl_lint.Lint
+module Const_prop = Jhdl_lint.Const_prop
 module Adders = Jhdl_modgen.Adders
 module Kcm = Jhdl_modgen.Kcm
 module Fir = Jhdl_modgen.Fir

@@ -2,6 +2,7 @@ open Jhdl_circuit.Types
 module Cell = Jhdl_circuit.Cell
 module Design = Jhdl_circuit.Design
 module Prim = Jhdl_circuit.Prim
+module Levelize = Jhdl_circuit.Levelize
 module Virtex = Jhdl_virtex.Virtex
 
 type area_report = {
@@ -76,19 +77,13 @@ type tnode = {
   mutable pred : tnode option;
 }
 
+(* Ports whose value combinationally affects the node's outputs — the
+   shared Levelize table, so the estimator draws the same edges as the
+   simulators and the validator. *)
 let comb_inputs prim t_in =
   match prim with
   | Prim.Black_box _ -> List.map fst t_in
-  | Prim.Lut init ->
-    List.init (Jhdl_logic.Lut_init.inputs init) (Printf.sprintf "I%d")
-  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
-  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
-  | Prim.Xorcy -> [ "LI"; "CI" ]
-  | Prim.Mult_and -> [ "I0"; "I1" ]
-  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Buf | Prim.Inv -> [ "I" ]
-  | Prim.Gnd | Prim.Vcc -> []
+  | p -> Levelize.comb_input_ports p
 
 let is_register prim =
   match prim with
@@ -230,15 +225,22 @@ let timing_of_design ?(use_placement = false) d =
          if deg = 0 then Queue.add succ queue)
       (Option.value (Hashtbl.find_opt succs n.inst.cell_id) ~default:[])
   done;
-  if !processed <> List.length nodes then
-    raise
-      (Combinational_cycle_timing
-         (List.filter_map
-            (fun n ->
-               if Hashtbl.find in_degree n.inst.cell_id > 0 then
-                 Some (Cell.path n.inst)
-               else None)
-            nodes));
+  if !processed <> List.length nodes then begin
+    (* report the same canonical cycle membership as the validator and
+       the simulators *)
+    let cells =
+      match Levelize.find_cycle (Design.root d) with
+      | Some cells -> List.map Cell.path cells
+      | None ->
+        List.filter_map
+          (fun n ->
+             if Hashtbl.find in_degree n.inst.cell_id > 0 then
+               Some (Cell.path n.inst)
+             else None)
+          nodes
+    in
+    raise (Combinational_cycle_timing cells)
+  end;
   (* worst endpoint: register D pins (+setup) and top output nets *)
   let best = ref 0 and best_node = ref None and best_end = ref (At_output "-") in
   List.iter

@@ -1,0 +1,256 @@
+open Jhdl_circuit.Types
+module Bit = Jhdl_logic.Bit
+module Lut_init = Jhdl_logic.Lut_init
+module Prim = Jhdl_circuit.Prim
+module Design = Jhdl_circuit.Design
+module Levelize = Jhdl_circuit.Levelize
+
+type value =
+  | Const of Bit.t
+  | Varies
+
+let equal_value a b =
+  match a, b with
+  | Const x, Const y -> Bit.equal x y
+  | Varies, Varies -> true
+  | Const _, Varies | Varies, Const _ -> false
+
+let pp_value fmt = function
+  | Const b -> Format.fprintf fmt "const %a" Bit.pp b
+  | Varies -> Format.pp_print_string fmt "varies"
+
+let join a b = if equal_value a b then a else Varies
+
+(* join of an optional contribution: [None] is bottom *)
+let join_opt acc = function None -> acc | Some v -> join acc v
+
+type t = {
+  values : (int, value) Hashtbl.t; (* net_id -> value; absent = bottom *)
+  pinned : (int, unit) Hashtbl.t; (* contended nets, held at Varies *)
+}
+
+let net_value t n =
+  Option.value (Hashtbl.find_opt t.values n.net_id) ~default:Varies
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions. Each returns [None] (bottom) when a required
+   input has not been reached yet; writing only happens on a value, so
+   values climb the lattice monotonically and the worklist terminates. *)
+
+let read values (n : net) = Hashtbl.find_opt values n.net_id
+
+let port1 values ports name =
+  match List.assoc_opt name ports with
+  | Some nets when Array.length nets > 0 -> read values nets.(0)
+  | Some _ | None -> None
+
+(* a gating input "can be high" unless it is known constant-zero; an
+   unreached gate conservatively can (its contribution may only appear
+   later, never disappear, keeping the fixpoint monotone) *)
+let can_be_high = function Some (Const Bit.Zero) -> false | Some _ | None -> true
+let can_be_low = function Some (Const Bit.One) -> false | Some _ | None -> true
+
+let to_bit = function Const b -> b | Varies -> Bit.X
+
+(* pessimistic evaluation: defined results are independent of every
+   input mapped to X, so a [Const] claim holds for all their values *)
+let eval_lut init ins =
+  if List.exists Option.is_none ins then None
+  else
+    let vs = List.map Option.get ins in
+    let r = Lut_init.eval init (Array.of_list (List.map to_bit vs)) in
+    if Bit.is_defined r then Some (Const r)
+    else if List.for_all (function Const _ -> true | Varies -> false) vs then
+      Some (Const r)
+    else Some Varies
+
+let eval_mux sel a b =
+  match sel, a, b with
+  | None, _, _ | _, None, _ | _, _, None -> None
+  | Some (Const Bit.Zero), Some a, _ -> Some a
+  | Some (Const Bit.One), _, Some b -> Some b
+  | Some sel, Some a, Some b ->
+    (match sel, a, b with
+     | Const s, Const x, Const y -> Some (Const (Bit.mux ~sel:s x y))
+     | Varies, Const x, Const y when Bit.equal x y -> Some (Const x)
+     | _, _, _ -> Some Varies)
+
+let eval_xor a b =
+  match a, b with
+  | None, _ | _, None -> None
+  | Some (Const x), Some (Const y) -> Some (Const (Bit.xor x y))
+  (* xor with an undefined operand is X whatever the other side does *)
+  | Some (Const x), Some Varies | Some Varies, Some (Const x)
+    when not (Bit.is_defined x) -> Some (Const Bit.X)
+  | Some _, Some _ -> Some Varies
+
+let eval_and a b =
+  match a, b with
+  | Some (Const Bit.Zero), _ | _, Some (Const Bit.Zero) ->
+    Some (Const Bit.Zero)
+  | None, _ | _, None -> None
+  | Some (Const x), Some (Const y) -> Some (Const (Bit.and_ x y))
+  | Some _, Some _ -> Some Varies
+
+(* flip-flop steady-state set: power-on init, plus D whenever the clock
+   enable can pass, plus zero whenever a clear/reset can fire *)
+let eval_ff values ins ~clock_enable ~async_clear ~sync_reset ~init =
+  let d = port1 values ins "D" in
+  let ce = if clock_enable then port1 values ins "CE" else Some (Const Bit.One) in
+  let clr = if async_clear then port1 values ins "CLR" else Some (Const Bit.Zero) in
+  let r = if sync_reset then port1 values ins "R" else Some (Const Bit.Zero) in
+  let acc = Const init in
+  let acc = if can_be_high clr then join acc (Const Bit.Zero) else acc in
+  let acc = if can_be_high r then join acc (Const Bit.Zero) else acc in
+  let acc = if can_be_high ce && can_be_low r then join_opt acc d else acc in
+  Some acc
+
+(* memory steady-state set: every initialization bit plus the write data
+   whenever a write can happen *)
+let eval_mem values ins ~write_port ~init =
+  let acc = ref None in
+  for i = 0 to 15 do
+    let b = Const (Bit.of_bool ((init lsr i) land 1 = 1)) in
+    acc := Some (match !acc with None -> b | Some a -> join a b)
+  done;
+  let we = port1 values ins write_port in
+  let acc = Option.get !acc in
+  if can_be_high we then
+    match port1 values ins "D" with
+    | None -> Some acc (* D unreached: its contribution arrives later *)
+    | Some d -> Some (join acc d)
+  else Some acc
+
+(* outputs of one node from current net values; [(port, value)] list
+   with unreached outputs omitted *)
+let transfer values (s : Levelize.source) =
+  let out1 v = match s.out_ports with (p, _) :: _ -> [ (p, v) ] | [] -> [] in
+  match s.prim with
+  | Prim.Gnd -> [ ("G", Const Bit.Zero) ]
+  | Prim.Vcc -> [ ("P", Const Bit.One) ]
+  | Prim.Buf ->
+    (match port1 values s.in_ports "I" with None -> [] | Some v -> out1 v)
+  | Prim.Inv ->
+    (match port1 values s.in_ports "I" with
+     | None -> []
+     | Some (Const b) -> out1 (Const (Bit.not_ b))
+     | Some Varies -> out1 Varies)
+  | Prim.Lut init ->
+    let k = Lut_init.inputs init in
+    let ins =
+      List.init k (fun i -> port1 values s.in_ports (Printf.sprintf "I%d" i))
+    in
+    (match eval_lut init ins with None -> [] | Some v -> out1 v)
+  | Prim.Muxcy ->
+    let v =
+      eval_mux (port1 values s.in_ports "S") (port1 values s.in_ports "DI")
+        (port1 values s.in_ports "CI")
+    in
+    (match v with None -> [] | Some v -> out1 v)
+  | Prim.Xorcy ->
+    (match eval_xor (port1 values s.in_ports "LI") (port1 values s.in_ports "CI")
+     with
+     | None -> []
+     | Some v -> out1 v)
+  | Prim.Mult_and ->
+    (match eval_and (port1 values s.in_ports "I0") (port1 values s.in_ports "I1")
+     with
+     | None -> []
+     | Some v -> out1 v)
+  | Prim.Ff { clock_enable; async_clear; sync_reset; init } ->
+    (match eval_ff values s.in_ports ~clock_enable ~async_clear ~sync_reset ~init
+     with
+     | None -> []
+     | Some v -> [ ("Q", v) ])
+  | Prim.Srl16 { init } ->
+    (match eval_mem values s.in_ports ~write_port:"CE" ~init with
+     | None -> []
+     | Some v -> [ ("Q", v) ])
+  | Prim.Ram16x1 { init } ->
+    (match eval_mem values s.in_ports ~write_port:"WE" ~init with
+     | None -> []
+     | Some v -> [ ("O", v) ])
+  | Prim.Black_box _ -> List.map (fun (p, _) -> (p, Varies)) s.out_ports
+
+(* ------------------------------------------------------------------ *)
+
+let analyze design =
+  let values = Hashtbl.create 1024 in
+  let pinned = Hashtbl.create 16 in
+  let sources = Levelize.sources_of_root (Design.root design) in
+  (* consumers over every input port: D/CE/R of registers matter to the
+     value analysis even though they are not combinational edges *)
+  let consumers = Hashtbl.create 1024 in
+  List.iter
+    (fun s ->
+       List.iter
+         (fun (_, nets) ->
+            Array.iter
+              (fun n ->
+                 Hashtbl.replace consumers n.net_id
+                   (s
+                    :: Option.value
+                      (Hashtbl.find_opt consumers n.net_id)
+                      ~default:[]))
+              nets)
+         s.Levelize.in_ports)
+    sources;
+  let input_nets = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+       if p.Design.port_dir = Input then
+         Array.iter
+           (fun n -> Hashtbl.replace input_nets n.net_id ())
+           p.Design.port_wire.nets)
+    (Design.ports design);
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 256 in
+  let enqueue s =
+    if not (Hashtbl.mem queued s.Levelize.inst.cell_id) then begin
+      Hashtbl.replace queued s.Levelize.inst.cell_id ();
+      Queue.add s queue
+    end
+  in
+  let write n v =
+    if not (Hashtbl.mem pinned n.net_id) then begin
+      let changed =
+        match Hashtbl.find_opt values n.net_id with
+        | None -> true
+        | Some before -> not (equal_value before v)
+      in
+      if changed then begin
+        Hashtbl.replace values n.net_id v;
+        List.iter enqueue
+          (Option.value (Hashtbl.find_opt consumers n.net_id) ~default:[])
+      end
+    end
+  in
+  (* seeds *)
+  List.iter
+    (fun n ->
+       let contended =
+         n.extra_drivers <> []
+         || (n.driver <> None && Hashtbl.mem input_nets n.net_id)
+       in
+       if contended then begin
+         Hashtbl.replace values n.net_id Varies;
+         Hashtbl.replace pinned n.net_id ()
+       end
+       else if Hashtbl.mem input_nets n.net_id then
+         Hashtbl.replace values n.net_id Varies
+       else if n.driver = None then
+         (* the simulator's default for unwritten nets *)
+         Hashtbl.replace values n.net_id (Const Bit.X))
+    (Design.all_nets design);
+  List.iter enqueue sources;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Hashtbl.remove queued s.Levelize.inst.cell_id;
+    List.iter
+      (fun (port, v) ->
+         match List.assoc_opt port s.Levelize.out_ports with
+         | None -> ()
+         | Some nets -> Array.iter (fun n -> write n v) nets)
+      (transfer values s)
+  done;
+  { values; pinned }

@@ -1,0 +1,35 @@
+(** Constant propagation over the netlist by abstract interpretation.
+
+    Net values are abstracted into a three-level lattice over the
+    4-valued logic of {!Jhdl_logic.Bit}: bottom (not yet reached),
+    [Const b] (the net settles to [b] in every reachable steady state)
+    and [Varies] (top). Transfer functions mirror the simulator's
+    pessimistic semantics — a [Const] claim is only made when the
+    primitive's output is independent of every varying input — so the
+    analysis can flag stuck-at nets and foldable LUTs without false
+    positives.
+
+    Sequential elements are modelled by joining every value their state
+    can take: a flip-flop contributes its power-on [init], its [D] input
+    whenever the clock enable can be high, and zero whenever a clear or
+    reset can fire; memories contribute their 16 initialization bits plus
+    the write data. *)
+
+type value =
+  | Const of Jhdl_logic.Bit.t  (** the net always carries this value *)
+  | Varies
+
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+type t
+
+(** [analyze d] runs the fixpoint over every net of [d]. Top-level input
+    nets start at [Varies]; undriven nets at [Const X] (the simulator's
+    default); contended nets are pinned to [Varies]. *)
+val analyze : Jhdl_circuit.Design.t -> t
+
+(** [net_value t n] — the final abstract value of [n]. Nets the fixpoint
+    never reached (members of combinational cycles) conservatively
+    report [Varies]. *)
+val net_value : t -> Jhdl_circuit.Types.net -> value

@@ -1,0 +1,919 @@
+open Jhdl_circuit.Types
+module Bit = Jhdl_logic.Bit
+module Prim = Jhdl_circuit.Prim
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Levelize = Jhdl_circuit.Levelize
+module Ident = Jhdl_netlist.Ident
+module Placer = Jhdl_place.Placer
+
+type severity =
+  | Info
+  | Warning
+  | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+type diagnostic = {
+  rule_id : string;
+  rule_name : string;
+  severity : severity;
+  message : string;
+  cells : string list;
+  nets : string list;
+}
+
+let key d =
+  let primary =
+    match d.nets, d.cells with
+    | n :: _, _ -> n
+    | [], c :: _ -> c
+    | [], [] -> "-"
+  in
+  d.rule_id ^ " " ^ primary
+
+type rule_info = {
+  id : string;
+  name : string;
+  default_severity : severity;
+  doc : string;
+}
+
+type config = {
+  disabled : string list;
+  only : string list option;
+  overrides : (string * severity) list;
+  max_diagnostics : int;
+  fanout_threshold : int;
+  grid : (int * int) option;
+}
+
+let default_config =
+  { disabled = [];
+    only = None;
+    overrides = [];
+    max_diagnostics = 1000;
+    fanout_threshold = 64;
+    grid = None }
+
+type report = {
+  design : string;
+  diagnostics : diagnostic list;
+  dropped : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared analysis context; each piece computed at most once per run.  *)
+
+type clock_use = {
+  seq_inst : cell;
+  clk_port : string;
+  clk_net : net;
+  root : net;  (** end of the buffer chain from the clock pin *)
+  gate : terminal option;  (** non-buffer driver terminating the walk *)
+}
+
+type ctx = {
+  design : Design.t;
+  cfg : config;
+  violations : Design.violation list Lazy.t;
+  sources : Levelize.source list Lazy.t;
+  cp : Const_prop.t Lazy.t;
+  clocks : clock_use list Lazy.t;
+}
+
+let net_label n =
+  match n.source_wire with
+  | Some w -> Printf.sprintf "%s[%d]" (Wire.full_name w) n.source_bit
+  | None -> Printf.sprintf "net#%d" n.net_id
+
+let binding_net inst formal =
+  List.find_map
+    (fun b ->
+       if String.equal b.formal formal && Array.length b.actual.nets > 0 then
+         Some b.actual.nets.(0)
+       else None)
+    inst.port_bindings
+
+(* follow the driver back through BUF chains to the net a clock really
+   originates from *)
+let clock_root_of net =
+  let visited = Hashtbl.create 4 in
+  let rec walk n =
+    if Hashtbl.mem visited n.net_id then (n, None)
+    else begin
+      Hashtbl.replace visited n.net_id ();
+      match n.driver with
+      | None -> (n, None)
+      | Some t ->
+        (match Cell.prim_of t.term_cell with
+         | Some Prim.Buf ->
+           (match binding_net t.term_cell "I" with
+            | Some upstream -> walk upstream
+            | None -> (n, Some t))
+         | Some _ | None -> (n, Some t))
+    end
+  in
+  walk net
+
+let clock_uses_of sources =
+  List.filter_map
+    (fun (s : Levelize.source) ->
+       match Prim.clock_port s.prim with
+       | None -> None
+       | Some port ->
+         (match List.assoc_opt port s.in_ports with
+          | Some nets when Array.length nets > 0 ->
+            let clk_net = nets.(0) in
+            let root, gate = clock_root_of clk_net in
+            Some { seq_inst = s.inst; clk_port = port; clk_net; root; gate }
+          | Some _ | None -> None))
+    sources
+
+let make_ctx cfg design =
+  let sources =
+    lazy (Levelize.sources_of_root (Design.root design))
+  in
+  { design;
+    cfg;
+    violations = lazy (Design.validate design);
+    sources;
+    cp = lazy (Const_prop.analyze design);
+    clocks = lazy (clock_uses_of (Lazy.force sources)) }
+
+let diag info ?(cells = []) ?(nets = []) message =
+  { rule_id = info.id;
+    rule_name = info.name;
+    severity = info.default_severity;
+    message;
+    cells;
+    nets }
+
+let wire_bit wire bit = Printf.sprintf "%s[%d]" wire bit
+
+let ellipsis limit names =
+  let n = List.length names in
+  if n <= limit then String.concat ", " names
+  else
+    String.concat ", " (List.filteri (fun i _ -> i < limit) names)
+    ^ Printf.sprintf ", ... (%d total)" n
+
+(* ------------------------------------------------------------------ *)
+(* L0xx — electrical and structural checks (shared with
+   Design.validate) plus constant-propagation findings.                *)
+
+let check_contended info ctx =
+  List.filter_map
+    (function
+      | Design.Contended_net { wire; bit; drivers } ->
+        Some
+          (diag info ~cells:drivers
+             ~nets:[ wire_bit wire bit ]
+             (Printf.sprintf "net %s has %d driving sources: %s"
+                (wire_bit wire bit) (List.length drivers)
+                (ellipsis 4 drivers)))
+      | _ -> None)
+    (Lazy.force ctx.violations)
+
+let check_undriven info ctx =
+  List.filter_map
+    (function
+      | Design.Undriven_net { wire; bit; sink_count } ->
+        Some
+          (diag info
+             ~nets:[ wire_bit wire bit ]
+             (Printf.sprintf "net %s has %d sink(s) but no driver"
+                (wire_bit wire bit) sink_count))
+      | _ -> None)
+    (Lazy.force ctx.violations)
+
+let check_dangling info ctx =
+  List.filter_map
+    (function
+      | Design.Dangling_driver { wire; bit } ->
+        Some
+          (diag info
+             ~nets:[ wire_bit wire bit ]
+             (Printf.sprintf "net %s is driven but read by nothing"
+                (wire_bit wire bit)))
+      | _ -> None)
+    (Lazy.force ctx.violations)
+
+let check_port_wire info ctx =
+  List.filter_map
+    (function
+      | Design.Port_wire_not_root { port } ->
+        Some
+          (diag info
+             (Printf.sprintf "port %s is bound to a wire the root cell does not own"
+                port))
+      | _ -> None)
+    (Lazy.force ctx.violations)
+
+let check_comb_loop info ctx =
+  List.filter_map
+    (function
+      | Design.Combinational_loop { cells } ->
+        Some
+          (diag info ~cells
+             (Printf.sprintf "combinational loop through %d cell(s): %s"
+                (List.length cells) (ellipsis 6 cells)))
+      | _ -> None)
+    (Lazy.force ctx.violations)
+
+let seq_output_port prim =
+  match prim with
+  | Prim.Ff _ | Prim.Srl16 _ -> Some "Q"
+  | Prim.Ram16x1 _ -> Some "O"
+  | _ -> None
+
+let check_stuck info ctx =
+  let cp = Lazy.force ctx.cp in
+  List.filter_map
+    (fun (s : Levelize.source) ->
+       match seq_output_port s.prim with
+       | None -> None
+       | Some port ->
+         (match List.assoc_opt port s.out_ports with
+          | Some nets when Array.length nets > 0 ->
+            (match Const_prop.net_value cp nets.(0) with
+             | Const (Bit.Zero | Bit.One) as v ->
+               let b = match v with Const b -> b | Varies -> Bit.X in
+               Some
+                 (diag info
+                    ~cells:[ Cell.path s.inst ]
+                    ~nets:[ net_label nets.(0) ]
+                    (Printf.sprintf
+                       "%s output %s of %s is stuck at %c; the element never changes state"
+                       (Prim.name s.prim) port (Cell.path s.inst) (Bit.to_char b)))
+             | Const _ | Varies -> None)
+          | Some _ | None -> None))
+    (Lazy.force ctx.sources)
+
+let check_const_lut info ctx =
+  let cp = Lazy.force ctx.cp in
+  List.filter_map
+    (fun (s : Levelize.source) ->
+       match s.prim with
+       | Prim.Lut _ ->
+         (match List.assoc_opt "O" s.out_ports with
+          | Some nets when Array.length nets > 0 ->
+            (match Const_prop.net_value cp nets.(0) with
+             | Const (Bit.Zero | Bit.One) as v ->
+               let b = match v with Const b -> b | Varies -> Bit.X in
+               Some
+                 (diag info
+                    ~cells:[ Cell.path s.inst ]
+                    ~nets:[ net_label nets.(0) ]
+                    (Printf.sprintf
+                       "LUT %s always outputs %c; it can be folded to a constant"
+                       (Cell.path s.inst) (Bit.to_char b)))
+             | Const _ | Varies -> None)
+          | Some _ | None -> None)
+       | _ -> None)
+    (Lazy.force ctx.sources)
+
+let check_dead_logic info ctx =
+  let outputs = Design.outputs ctx.design in
+  if outputs = [] then []
+  else begin
+    let live_nets = Hashtbl.create 256 in
+    let live_cells = Hashtbl.create 256 in
+    let by_cell = Hashtbl.create 256 in
+    List.iter
+      (fun (s : Levelize.source) -> Hashtbl.replace by_cell s.inst.cell_id s)
+      (Lazy.force ctx.sources);
+    let queue = Queue.create () in
+    let touch_net n =
+      if not (Hashtbl.mem live_nets n.net_id) then begin
+        Hashtbl.replace live_nets n.net_id ();
+        Queue.add n queue
+      end
+    in
+    List.iter
+      (fun p -> Array.iter touch_net p.Design.port_wire.nets)
+      outputs;
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      List.iter
+        (fun t ->
+           if not (Hashtbl.mem live_cells t.term_cell.cell_id) then begin
+             Hashtbl.replace live_cells t.term_cell.cell_id ();
+             match Hashtbl.find_opt by_cell t.term_cell.cell_id with
+             | None -> ()
+             | Some s ->
+               List.iter
+                 (fun (_, nets) -> Array.iter touch_net nets)
+                 s.Levelize.in_ports
+           end)
+        ((match n.driver with Some t -> [ t ] | None -> []) @ n.extra_drivers)
+    done;
+    let dead =
+      List.filter
+        (fun (s : Levelize.source) ->
+           (not (Hashtbl.mem live_cells s.inst.cell_id))
+           && (match s.prim with Prim.Black_box _ -> false | _ -> true))
+        (Lazy.force ctx.sources)
+    in
+    match dead with
+    | [] -> []
+    | _ ->
+      let cells = List.map (fun (s : Levelize.source) -> Cell.path s.inst) dead in
+      [ diag info ~cells
+          (Printf.sprintf
+             "%d primitive(s) feed no design output (dead logic): %s"
+             (List.length cells) (ellipsis 6 cells)) ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L1xx — clock discipline.                                            *)
+
+let check_gated_clock info ctx =
+  (* one diagnostic per gated clock net, naming its sequential sinks *)
+  let by_net = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+       match u.gate with
+       | None -> ()
+       | Some gate ->
+         (match Hashtbl.find_opt by_net u.clk_net.net_id with
+          | Some (g, cells) ->
+            Hashtbl.replace by_net u.clk_net.net_id (g, u.seq_inst :: cells)
+          | None ->
+            Hashtbl.replace by_net u.clk_net.net_id
+              ((u.clk_net, gate), [ u.seq_inst ]);
+            order := u.clk_net.net_id :: !order))
+    (Lazy.force ctx.clocks);
+  List.rev_map
+    (fun id ->
+       let (clk_net, gate), cells = Hashtbl.find by_net id in
+       let cells = List.rev_map Cell.path cells in
+       let gate_name =
+         Printf.sprintf "%s.%s"
+           (Cell.path gate.term_cell) gate.term_port
+       in
+       let gate_prim =
+         match Cell.prim_of gate.term_cell with
+         | Some p -> Prim.name p
+         | None -> "?"
+       in
+       diag info ~cells
+         ~nets:[ net_label clk_net ]
+         (Printf.sprintf
+            "clock net %s of %d sequential cell(s) is driven by %s output %s, not a clock buffer or top-level input"
+            (net_label clk_net) (List.length cells) gate_prim gate_name))
+    !order
+
+let check_clock_roots info ctx =
+  let roots = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+       if not (Hashtbl.mem roots u.root.net_id) then begin
+         Hashtbl.replace roots u.root.net_id u.root;
+         order := u.root :: !order
+       end)
+    (Lazy.force ctx.clocks);
+  match List.rev !order with
+  | [] | [ _ ] -> []
+  | nets ->
+    [ diag info
+        ~nets:(List.map net_label nets)
+        (Printf.sprintf "%d distinct clock roots drive sequential logic: %s"
+           (List.length nets)
+           (ellipsis 4 (List.map net_label nets))) ]
+
+let check_clock_as_data info ctx =
+  let uses = Lazy.force ctx.clocks in
+  let roots = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+       if u.gate = None && not (Hashtbl.mem roots u.root.net_id) then begin
+         Hashtbl.replace roots u.root.net_id ();
+         order := u.root :: !order
+       end)
+    uses;
+  List.filter_map
+    (fun root ->
+       let data_pins =
+         List.filter
+           (fun t ->
+              match Cell.prim_of t.term_cell with
+              | Some Prim.Buf -> false (* clock distribution *)
+              | Some p -> Prim.clock_port p <> Some t.term_port
+              | None -> false)
+           (List.rev root.sinks)
+       in
+       match data_pins with
+       | [] -> None
+       | pins ->
+         let cells =
+           List.map
+             (fun t -> Printf.sprintf "%s.%s" (Cell.path t.term_cell) t.term_port)
+             pins
+         in
+         Some
+           (diag info ~cells
+              ~nets:[ net_label root ]
+              (Printf.sprintf
+                 "clock root %s also feeds %d non-clock pin(s): %s"
+                 (net_label root) (List.length cells) (ellipsis 4 cells))))
+    (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* L2xx — connection hygiene.                                          *)
+
+let composite_signature c =
+  List.map
+    (fun b ->
+       (b.formal, (match b.dir with Input -> "in" | Output -> "out"),
+        Array.length b.actual.nets))
+    (Cell.port_bindings c)
+  |> List.sort compare
+
+let check_signatures info ctx =
+  let by_type = Hashtbl.create 32 in
+  let order = ref [] in
+  Cell.iter_rec
+    (fun c ->
+       if (not (Cell.is_primitive c)) && c.parent <> None then begin
+         let tn = Cell.type_name c in
+         let signature = composite_signature c in
+         match Hashtbl.find_opt by_type tn with
+         | None ->
+           Hashtbl.replace by_type tn [ (signature, c) ];
+           order := tn :: !order
+         | Some groups ->
+           if not (List.mem_assoc signature groups) then
+             Hashtbl.replace by_type tn ((signature, c) :: groups)
+       end)
+    (Design.root ctx.design);
+  List.filter_map
+    (fun tn ->
+       match Hashtbl.find_opt by_type tn with
+       | Some ((_ :: _ :: _) as groups) ->
+         let cells = List.rev_map (fun (_, c) -> Cell.path c) groups in
+         Some
+           (diag info ~cells
+              (Printf.sprintf
+                 "instances of %s disagree on their port signature (%d variants), e.g. %s"
+                 tn (List.length groups) (ellipsis 3 cells)))
+       | Some _ | None -> None)
+    (List.rev !order)
+
+let check_floating_inputs info ctx =
+  let input_nets = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+       if p.Design.port_dir = Input then
+         Array.iter
+           (fun n -> Hashtbl.replace input_nets n.net_id ())
+           p.Design.port_wire.nets)
+    (Design.ports ctx.design);
+  List.filter_map
+    (fun n ->
+       if n.driver = None && n.extra_drivers = [] && n.sinks <> []
+          && not (Hashtbl.mem input_nets n.net_id)
+       then begin
+         let pins =
+           List.rev_map
+             (fun t -> Printf.sprintf "%s.%s" (Cell.path t.term_cell) t.term_port)
+             n.sinks
+         in
+         Some
+           (diag info ~cells:pins
+              ~nets:[ net_label n ]
+              (Printf.sprintf "input pin(s) float on undriven net %s: %s"
+                 (net_label n) (ellipsis 4 pins)))
+       end
+       else None)
+    (Design.all_nets ctx.design)
+
+let check_fanout info ctx =
+  let clock_net_ids = Hashtbl.create 8 in
+  List.iter
+    (fun u ->
+       Hashtbl.replace clock_net_ids u.clk_net.net_id ();
+       Hashtbl.replace clock_net_ids u.root.net_id ())
+    (Lazy.force ctx.clocks);
+  let threshold = ctx.cfg.fanout_threshold in
+  List.filter_map
+    (fun n ->
+       let fanout = List.length n.sinks in
+       let constant_source =
+         match n.driver with
+         | Some t ->
+           (match Cell.prim_of t.term_cell with
+            | Some (Prim.Gnd | Prim.Vcc) -> true
+            | Some _ | None -> false)
+         | None -> false
+       in
+       if fanout > threshold
+          && (not (Hashtbl.mem clock_net_ids n.net_id))
+          && not constant_source
+       then
+         Some
+           (diag info
+              ~nets:[ net_label n ]
+              (Printf.sprintf "net %s fans out to %d sinks (threshold %d)"
+                 (net_label n) fanout threshold))
+       else None)
+    (Design.all_nets ctx.design)
+
+(* ------------------------------------------------------------------ *)
+(* L3xx — netlist-export safety. The netlisters keep separate
+   namespaces for ports, nets and instances inside each emitted
+   definition; the same grouping is checked here, per target style.    *)
+
+let style_name = function
+  | Ident.Edif -> "EDIF"
+  | Ident.Vhdl -> "VHDL"
+  | Ident.Verilog -> "Verilog"
+
+(* one representative cell per composite definition, hierarchy order *)
+let definitions design =
+  let seen = Hashtbl.create 32 in
+  let defs = ref [] in
+  Cell.iter_rec
+    (fun c ->
+       if not (Cell.is_primitive c) then begin
+         let tn = Cell.type_name c in
+         if not (Hashtbl.mem seen tn) then begin
+           Hashtbl.replace seen tn ();
+           defs := c :: !defs
+         end
+       end)
+    (Design.root design);
+  List.rev !defs
+
+let namespaces_of design c =
+  let is_root = c.parent = None in
+  let ports =
+    if is_root then List.map (fun p -> p.Design.port_name) (Design.ports design)
+    else List.map (fun b -> b.formal) (Cell.port_bindings c)
+  in
+  let nets = List.map Wire.name (Cell.owned_wires c) in
+  let insts = List.map Cell.name (Cell.children c) in
+  [ ("port", ports); ("net", nets); ("instance", insts) ]
+
+let check_ident_collisions info ctx =
+  let styles = [ Ident.Vhdl; Ident.Verilog; Ident.Edif ] in
+  List.concat_map
+    (fun c ->
+       let tn = Cell.type_name c in
+       List.concat_map
+         (fun (ns, names) ->
+            List.concat_map
+              (fun style ->
+                 let groups = Hashtbl.create 16 in
+                 let order = ref [] in
+                 List.iter
+                   (fun name ->
+                      let k = Ident.case_key style (Ident.sanitize style name) in
+                      match Hashtbl.find_opt groups k with
+                      | None ->
+                        Hashtbl.replace groups k [ name ];
+                        order := k :: !order
+                      | Some names -> Hashtbl.replace groups k (name :: names))
+                   names;
+                 List.filter_map
+                   (fun k ->
+                      match Hashtbl.find_opt groups k with
+                      | Some ((_ :: _ :: _) as clash) ->
+                        let clash = List.rev clash in
+                        Some
+                          (diag info
+                             ~cells:[ Cell.path c ]
+                             (Printf.sprintf
+                                "%s names %s of %s all sanitize to %s %s; the netlister will rename them"
+                                ns
+                                (String.concat ", " clash)
+                                tn (style_name style) k))
+                      | Some _ | None -> None)
+                   (List.rev !order))
+              styles)
+         (namespaces_of ctx.design c))
+    (definitions ctx.design)
+
+let check_keywords info ctx =
+  List.concat_map
+    (fun c ->
+       let tn = Cell.type_name c in
+       List.concat_map
+         (fun (ns, names) ->
+            List.filter_map
+              (fun name ->
+                 let styles =
+                   List.filter
+                     (fun style -> Ident.is_reserved style name)
+                     [ Ident.Vhdl; Ident.Verilog ]
+                 in
+                 match styles with
+                 | [] -> None
+                 | _ ->
+                   Some
+                     (diag info
+                        ~cells:[ Cell.path c ]
+                        (Printf.sprintf
+                           "%s name %s of %s is a reserved word in %s; the netlister will rename it"
+                           ns name tn
+                           (String.concat ", " (List.map style_name styles)))))
+              names)
+         (namespaces_of ctx.design c))
+    (definitions ctx.design)
+
+(* ------------------------------------------------------------------ *)
+(* L4xx — placement legality over accumulated RLOCs.                   *)
+
+let resource_name = function
+  | Placer.Lut_site -> "LUT site"
+  | Placer.Ff_site -> "FF site"
+  | Placer.Carry_site -> "carry site"
+
+(* Placement checks only apply to fully-placed designs (what
+   {!Placer.auto_place} produces). Hand-placed macros carry RLOCs that
+   are relative to their own frame; until every area-consuming primitive
+   has a position, the accumulated coordinates of independent macros are
+   not comparable and overlap reports would be noise. *)
+let placement_of ctx =
+  let positions = Placer.positions_of ctx.design in
+  let area =
+    List.filter
+      (fun c -> Option.bind (Cell.prim_of c) Placer.resource_of <> None)
+      (Design.all_prims ctx.design)
+  in
+  if List.exists (fun c -> not (Hashtbl.mem positions c.cell_id)) area then []
+  else
+    List.filter_map
+      (fun c ->
+         match Hashtbl.find_opt positions c.cell_id with
+         | None -> None
+         | Some (row, col) ->
+           (match Option.bind (Cell.prim_of c) Placer.resource_of with
+            | None -> None
+            | Some resource -> Some (c, resource, row, col)))
+      area
+
+let check_overlaps info ctx =
+  let by_site = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (c, resource, row, col) ->
+       (* A Virtex carry site stacks two of each carry primitive kind per
+          slice (two Muxcy, two Xorcy, two Mult_and), so carry cells are
+          counted per kind rather than pooled across the site. *)
+       let kind =
+         match resource with
+         | Placer.Carry_site ->
+           (match Cell.prim_of c with Some p -> Prim.name p | None -> "")
+         | _ -> ""
+       in
+       let k = (resource, kind, row, col) in
+       match Hashtbl.find_opt by_site k with
+       | None ->
+         Hashtbl.replace by_site k [ c ];
+         order := k :: !order
+       | Some cells -> Hashtbl.replace by_site k (c :: cells))
+    (placement_of ctx);
+  List.filter_map
+    (fun ((resource, _, row, col) as k) ->
+       match Hashtbl.find_opt by_site k with
+       | Some cells when List.length cells > 2 ->
+         let cells = List.rev_map Cell.path cells in
+         Some
+           (diag info ~cells
+              (Printf.sprintf
+                 "%d cells share %s (%d,%d), capacity 2: %s"
+                 (List.length cells) (resource_name resource) row col
+                 (ellipsis 4 cells)))
+       | Some _ | None -> None)
+    (List.rev !order)
+
+let check_bounds info ctx =
+  List.filter_map
+    (fun (c, _, row, col) ->
+       let out =
+         row < 0 || col < 0
+         ||
+         match ctx.cfg.grid with
+         | Some (rows, cols) -> row >= rows || col >= cols
+         | None -> false
+       in
+       if out then
+         Some
+           (diag info
+              ~cells:[ Cell.path c ]
+              (Printf.sprintf "%s placed at (%d,%d), outside %s" (Cell.path c)
+                 row col
+                 (match ctx.cfg.grid with
+                  | Some (rows, cols) ->
+                    Printf.sprintf "the %dx%d grid" rows cols
+                  | None -> "the non-negative quadrant")))
+       else None)
+    (placement_of ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+type rule = {
+  info : rule_info;
+  check : rule_info -> ctx -> diagnostic list;
+}
+
+let rule id name default_severity doc check =
+  { info = { id; name; default_severity; doc }; check }
+
+let registry =
+  [ rule "L001" "multi-driven-net" Error
+      "A net with more than one driving source (contention)."
+      check_contended;
+    rule "L002" "undriven-net" Error
+      "A net with sinks but no driver and no top-level input binding."
+      check_undriven;
+    rule "L003" "dangling-driver" Warning
+      "A driven net that nothing reads and no output port exposes."
+      check_dangling;
+    rule "L004" "port-wire-not-root" Error
+      "A top-level port bound to a wire the root cell does not own."
+      check_port_wire;
+    rule "L005" "combinational-loop" Error
+      "A cycle through combinational logic (canonical cell set, shared \
+       with the simulators and the timing estimator)."
+      check_comb_loop;
+    rule "L006" "stuck-at-net" Warning
+      "A sequential element whose output is provably constant (constant \
+       propagation)."
+      check_stuck;
+    rule "L007" "constant-lut" Warning
+      "A LUT whose output is provably constant and can be folded."
+      check_const_lut;
+    rule "L008" "dead-logic" Warning
+      "Primitives outside the input cone of every design output."
+      check_dead_logic;
+    rule "L101" "gated-clock" Error
+      "A sequential clock pin driven by logic rather than a clock buffer \
+       or top-level input."
+      check_gated_clock;
+    rule "L102" "multiple-clock-roots" Warning
+      "More than one distinct clock root drives sequential logic."
+      check_clock_roots;
+    rule "L103" "clock-as-data" Warning
+      "A clock root that also feeds non-clock pins."
+      check_clock_as_data;
+    rule "L201" "port-signature-mismatch" Warning
+      "Composite instances sharing a definition name with differing port \
+       signatures (the netlisters flatten, so this is hygiene, not an \
+       export error)."
+      check_signatures;
+    rule "L202" "floating-input" Info
+      "Pin-level detail for undriven nets: the input terminals left \
+       floating."
+      check_floating_inputs;
+    rule "L203" "high-fanout" Warning
+      "A non-clock, non-constant net whose fanout exceeds the configured \
+       threshold."
+      check_fanout;
+    rule "L301" "identifier-collision" Warning
+      "Distinct names in one netlist namespace that sanitize to the same \
+       identifier for a target format."
+      check_ident_collisions;
+    rule "L302" "keyword-identifier" Warning
+      "A name that is a reserved word of a target netlist language."
+      check_keywords;
+    rule "L401" "placement-overlap" Error
+      "More cells assigned to one placement site than its capacity \
+       (checked only when the design is fully placed; relative macro \
+       placement is skipped)."
+      check_overlaps;
+    rule "L402" "placement-out-of-bounds" Error
+      "A placed cell outside the device grid or at negative coordinates \
+       (fully-placed designs only)."
+      check_bounds ]
+
+let rules = List.map (fun r -> r.info) registry
+let find_rule id = List.find_opt (fun (i : rule_info) -> i.id = id) rules
+
+(* ------------------------------------------------------------------ *)
+(* Engine.                                                             *)
+
+let run ?(config = default_config) design =
+  let ctx = make_ctx config design in
+  let enabled r =
+    (match config.only with
+     | Some ids -> List.mem r.info.id ids
+     | None -> true)
+    && not (List.mem r.info.id config.disabled)
+  in
+  let all =
+    List.concat_map
+      (fun r ->
+         if not (enabled r) then []
+         else
+           let ds = r.check r.info ctx in
+           match List.assoc_opt r.info.id config.overrides with
+           | None -> ds
+           | Some severity -> List.map (fun d -> { d with severity }) ds)
+      registry
+  in
+  let total = List.length all in
+  let kept =
+    if total <= config.max_diagnostics then all
+    else List.filteri (fun i _ -> i < config.max_diagnostics) all
+  in
+  { design = Design.name design;
+    diagnostics = kept;
+    dropped = total - List.length kept }
+
+let count (r : report) sev =
+  List.length (List.filter (fun d -> d.severity = sev) r.diagnostics)
+
+let errors (r : report) = List.filter (fun d -> d.severity = Error) r.diagnostics
+
+let worst (r : report) =
+  List.fold_left
+    (fun acc d ->
+       match acc with
+       | None -> Some d.severity
+       | Some w ->
+         Some (if compare_severity d.severity w > 0 then d.severity else w))
+    None r.diagnostics
+
+let summary (r : report) =
+  Printf.sprintf "%d error(s), %d warning(s), %d info" (count r Error)
+    (count r Warning) (count r Info)
+  ^ (if r.dropped > 0 then Printf.sprintf " (+%d dropped)" r.dropped else "")
+
+let to_text (r : report) =
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+       Buffer.add_string buffer
+         (Printf.sprintf "%-7s %s [%s] %s\n"
+            (severity_to_string d.severity)
+            d.rule_id d.rule_name d.message))
+    r.diagnostics;
+  Buffer.add_string buffer
+    (Printf.sprintf "%s: %s\n" r.design (summary r));
+  Buffer.contents buffer
+
+(* minimal JSON string escaping; identifiers here are ASCII *)
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | c when Char.code c < 32 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_list items =
+  Printf.sprintf "[%s]" (String.concat ", " (List.map json_string items))
+
+(* stable shape: fixed field names and order, one diagnostic per line *)
+let to_json (r : report) =
+  let buffer = Buffer.create 2048 in
+  Buffer.add_string buffer "{\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"design\": %s,\n" (json_string r.design));
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"info\": %d, \"dropped\": %d},\n"
+       (count r Error) (count r Warning) (count r Info) r.dropped);
+  Buffer.add_string buffer "  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+       if i > 0 then Buffer.add_char buffer ',';
+       Buffer.add_string buffer "\n    ";
+       Buffer.add_string buffer
+         (Printf.sprintf
+            "{\"rule\": %s, \"name\": %s, \"severity\": %s, \"message\": %s, \"cells\": %s, \"nets\": %s}"
+            (json_string d.rule_id) (json_string d.rule_name)
+            (json_string (severity_to_string d.severity))
+            (json_string d.message) (json_list d.cells) (json_list d.nets)))
+    r.diagnostics;
+  if r.diagnostics <> [] then Buffer.add_string buffer "\n  ";
+  Buffer.add_string buffer "]\n}\n";
+  Buffer.contents buffer

@@ -1,0 +1,93 @@
+(** Netlist lint engine: rule-based design checks over the open circuit
+    data structure.
+
+    The paper's argument is that an open structural API lets arbitrary
+    tools be layered over delivered IP; the lint engine is such a tool: a
+    registry of identified rules ([L001]...) spanning electrical checks
+    (contention, floating nets), dataflow analyses (constant propagation,
+    dead logic), clock discipline, netlist-export safety and placement
+    legality. Each finding is a structured diagnostic carrying the
+    hierarchical instance and net paths involved, renderable as text or
+    as stable JSON for CI diffing.
+
+    The classic checks ([L001]-[L005]) share one implementation with
+    {!Jhdl_circuit.Design.validate} — the validator stays the circuit
+    layer's facade, the lint engine wraps the same violations with rule
+    ids, severities and configuration. *)
+
+type severity =
+  | Info
+  | Warning
+  | Error
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val compare_severity : severity -> severity -> int
+
+type diagnostic = {
+  rule_id : string;  (** stable id, e.g. ["L001"] *)
+  rule_name : string;  (** slug, e.g. ["multi-driven-net"] *)
+  severity : severity;  (** after any configured override *)
+  message : string;
+  cells : string list;  (** hierarchical instance paths involved *)
+  nets : string list;  (** net labels, [wire\[bit\]] form *)
+}
+
+(** [key d] — a stable suppression key ([rule_id] plus primary location),
+    used by baseline files to acknowledge known findings. *)
+val key : diagnostic -> string
+
+type rule_info = {
+  id : string;
+  name : string;
+  default_severity : severity;
+  doc : string;
+}
+
+(** The registry, in id order. *)
+val rules : rule_info list
+
+val find_rule : string -> rule_info option
+
+type config = {
+  disabled : string list;  (** rule ids to skip *)
+  only : string list option;  (** when set, run just these rule ids *)
+  overrides : (string * severity) list;  (** per-rule severity override *)
+  max_diagnostics : int;  (** cap per run; excess counted, not kept *)
+  fanout_threshold : int;  (** [L203] trigger, default 64 *)
+  grid : (int * int) option;
+      (** (rows, cols) bounds for [L402]; negative coordinates are
+          always out of bounds *)
+}
+
+val default_config : config
+
+type report = {
+  design : string;
+  diagnostics : diagnostic list;  (** rule-id order, capped *)
+  dropped : int;  (** diagnostics beyond [max_diagnostics] *)
+}
+
+val run : ?config:config -> Jhdl_circuit.Design.t -> report
+
+(** [count r sev] — diagnostics of exactly severity [sev]. *)
+val count : report -> severity -> int
+
+(** [worst r] — the highest severity present, [None] when clean. *)
+val worst : report -> severity option
+
+(** [errors r] — the error-severity diagnostics. *)
+val errors : report -> diagnostic list
+
+(** [to_text r] — human-readable rendering, one line per diagnostic plus
+    a summary line. *)
+val to_text : report -> string
+
+(** [to_json r] — stable machine rendering: field names and ordering are
+    fixed, one object per diagnostic per line, suitable for committing
+    as a CI baseline. *)
+val to_json : report -> string
+
+(** [summary r] — a one-line count summary, e.g.
+    ["2 errors, 1 warning, 0 info"]. *)
+val summary : report -> string

@@ -49,6 +49,20 @@ let is_word_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
   || c = '_'
 
+let is_reserved style s =
+  let reserved =
+    match style with
+    | Vhdl -> vhdl_reserved
+    | Verilog -> verilog_reserved
+    | Edif -> []
+  in
+  List.mem (String.lowercase_ascii s) reserved
+
+let case_key style s =
+  match style with
+  | Vhdl -> String.lowercase_ascii s
+  | Edif | Verilog -> s
+
 let sanitize style name =
   let buffer = Buffer.create (String.length name) in
   String.iter
@@ -81,25 +95,14 @@ let sanitize style name =
       else s
     | Edif | Verilog -> s
   in
-  let reserved =
-    match style with
-    | Vhdl -> vhdl_reserved
-    | Verilog -> verilog_reserved
-    | Edif -> []
-  in
-  if List.mem (String.lowercase_ascii s) reserved then s ^ "_id" else s
+  if is_reserved style s then s ^ "_id" else s
 
 let legalize t name =
   match Hashtbl.find_opt t.forward name with
   | Some s -> s
   | None ->
     let base = sanitize t.style name in
-    let key s =
-      (* VHDL identifiers are case-insensitive *)
-      match t.style with
-      | Vhdl -> String.lowercase_ascii s
-      | Edif | Verilog -> s
-    in
+    let key s = case_key t.style s in
     let chosen =
       if not (Hashtbl.mem t.taken (key base)) then base
       else

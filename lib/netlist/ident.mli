@@ -22,3 +22,18 @@ val legalize : t -> string -> string
 
 (** [mapping t] lists [(original, legalized)] pairs in first-use order. *)
 val mapping : t -> (string * string) list
+
+(** [sanitize style name] is the stateless first step of {!legalize}: the
+    name rewritten into the style's identifier syntax, before any
+    collision uniquification. Exposed for the lint engine, which checks
+    whether distinct names sanitize to the same identifier. *)
+val sanitize : style -> string -> string
+
+(** [is_reserved style name] — [name] (case-insensitively) is a reserved
+    word of the target language. *)
+val is_reserved : style -> string -> bool
+
+(** [case_key style name] — the collision key used when allocating
+    identifiers: lowercased for case-insensitive VHDL, verbatim
+    otherwise. *)
+val case_key : style -> string -> string

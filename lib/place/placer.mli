@@ -22,6 +22,22 @@ type result = {
   cols : int;
 }
 
+(** Slice site kinds; each slice holds two of each (matching the
+    {!Jhdl_virtex} and {!Jhdl_bitstream} models). *)
+type resource =
+  | Lut_site
+  | Ff_site
+  | Carry_site
+
+(** [resource_of prim] — the site kind [prim] occupies, [None] for
+    zero-area primitives. *)
+val resource_of : Jhdl_circuit.Prim.t -> resource option
+
+(** [positions_of d] — accumulated-RLOC absolute position of every placed
+    primitive, keyed by cell id. Shared with the timing estimator and the
+    lint engine's placement checks. *)
+val positions_of : Jhdl_circuit.Design.t -> (int, int * int) Hashtbl.t
+
 (** [wirelength d] — half-perimeter wirelength over nets whose driver
     and sinks are all placed; [None] when nothing is placed. *)
 val wirelength : Jhdl_circuit.Design.t -> int option

@@ -12,6 +12,7 @@ module Prim = Jhdl_circuit.Prim
 module Wire = Jhdl_circuit.Wire
 module Cell = Jhdl_circuit.Cell
 module Design = Jhdl_circuit.Design
+module Levelize = Jhdl_circuit.Levelize
 
 exception Combinational_cycle of string list
 
@@ -169,24 +170,11 @@ let eval_node sim node =
     assert false
 
 (* Ports whose value combinationally affects the node's outputs; the
-   levelizer only draws edges through these. *)
-let comb_input_ports = function
-  | Prim.Lut init ->
-    List.init (Lut_init.inputs init) (Printf.sprintf "I%d")
-  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
-  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
-  | Prim.Xorcy -> [ "LI"; "CI" ]
-  | Prim.Mult_and -> [ "I0"; "I1" ]
-  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Buf | Prim.Inv -> [ "I" ]
-  | Prim.Gnd | Prim.Vcc -> []
-  | Prim.Black_box _ -> [] (* special-cased: all declared inputs *)
-
+   shared levelizer only draws edges through these. *)
 let node_comb_inputs node =
   match node.prim with
   | Prim.Black_box _ -> List.map fst node.in_ports
-  | p -> comb_input_ports p
+  | p -> Levelize.comb_input_ports p
 
 let make_node inst =
   match Cell.prim_of inst with
@@ -213,77 +201,27 @@ let make_node inst =
     in
     { inst; prim; in_ports = !ins; out_ports = !outs; state }
 
-(* Kahn levelization over combinational edges. *)
+(* Shared Kahn levelization over combinational edges: project nodes to
+   the bare [Levelize.source] view, walk, then map the resulting order
+   back to the stateful nodes. *)
 let levelize nodes =
-  let driver_node = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-       List.iter
-         (fun (_, nets) ->
-            Array.iter (fun n -> Hashtbl.replace driver_node n.net_id node) nets)
-         node.out_ports)
-    nodes;
-  let node_key node = node.inst.cell_id in
-  let in_degree = Hashtbl.create 256 in
-  let successors = Hashtbl.create 256 in
-  List.iter (fun node -> Hashtbl.replace in_degree (node_key node) 0) nodes;
-  List.iter
-    (fun node ->
-       let comb = node_comb_inputs node in
-       List.iter
-         (fun port ->
-            match List.assoc_opt port node.in_ports with
-            | None -> ()
-            | Some nets ->
-              Array.iter
-                (fun n ->
-                   match Hashtbl.find_opt driver_node n.net_id with
-                   | None -> ()
-                   | Some producer ->
-                     Hashtbl.replace in_degree (node_key node)
-                       (Hashtbl.find in_degree (node_key node) + 1);
-                     Hashtbl.replace successors (node_key producer)
-                       (node
-                        :: Option.value
-                          (Hashtbl.find_opt successors (node_key producer))
-                          ~default:[]))
-                nets)
-         comb)
-    nodes;
-  let queue = Queue.create () in
-  let level = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-       if Hashtbl.find in_degree (node_key node) = 0 then begin
-         Hashtbl.replace level (node_key node) 0;
-         Queue.add node queue
-       end)
-    nodes;
-  let order = ref [] in
-  let processed = ref 0 in
-  let max_level = ref 0 in
-  while not (Queue.is_empty queue) do
-    let node = Queue.pop queue in
-    order := node :: !order;
-    incr processed;
-    let lv = Hashtbl.find level (node_key node) in
-    max_level := max !max_level lv;
-    List.iter
-      (fun succ ->
-         let d = Hashtbl.find in_degree (node_key succ) - 1 in
-         Hashtbl.replace in_degree (node_key succ) d;
-         let prev = Option.value (Hashtbl.find_opt level (node_key succ)) ~default:0 in
-         Hashtbl.replace level (node_key succ) (max prev (lv + 1));
-         if d = 0 then Queue.add succ queue)
-      (Option.value (Hashtbl.find_opt successors (node_key node)) ~default:[])
-  done;
-  if !processed <> List.length nodes then begin
-    let stuck =
-      List.filter (fun n -> Hashtbl.find in_degree (node_key n) > 0) nodes
-    in
-    raise (Combinational_cycle (List.map (fun n -> Cell.path n.inst) stuck))
-  end;
-  Array.of_list (List.rev !order), !max_level
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun node -> Hashtbl.replace by_id node.inst.cell_id node) nodes;
+  let sources =
+    List.map
+      (fun node ->
+         { Levelize.inst = node.inst;
+           prim = node.prim;
+           in_ports = node.in_ports;
+           out_ports = node.out_ports })
+      nodes
+  in
+  let order, _, max_level =
+    try Levelize.levelize sources
+    with Levelize.Cycle cells ->
+      raise (Combinational_cycle (List.map Cell.path cells))
+  in
+  Array.map (fun s -> Hashtbl.find by_id s.Levelize.inst.cell_id) order, max_level
 
 (* full pass: evaluate everything once in topological order (used at
    create and reset); leaves no pending work *)
@@ -305,7 +243,14 @@ let propagate sim =
   drain ()
 
 let create ?clock design =
-  (match Design.errors design with
+  (* Combinational loops are excluded from the design-rule pre-check so
+     levelization reports them through the canonical [Combinational_cycle]
+     exception, carrying the same cell list as [Design.validate]. *)
+  (match
+     List.filter
+       (function Design.Combinational_loop _ -> false | _ -> true)
+       (Design.errors design)
+   with
    | [] -> ()
    | violation :: _ ->
      invalid_arg

@@ -30,6 +30,7 @@ module Prim = Jhdl_circuit.Prim
 module Wire = Jhdl_circuit.Wire
 module Cell = Jhdl_circuit.Cell
 module Design = Jhdl_circuit.Design
+module Levelize = Jhdl_circuit.Levelize
 
 exception Combinational_cycle of string list
 
@@ -194,9 +195,12 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Construction-time netlist view (never touched after [create]).      *)
+(* Construction-time netlist view (never touched after [create]).
+   The node shape and the walk are the shared [Levelize] ones, so the
+   simulator, the reference interpreter, the validator and the timing
+   estimator all agree on combinational edges and cycle membership.     *)
 
-type proto = {
+type proto = Levelize.source = {
   inst : cell;
   prim : Prim.t;
   in_ports : (string * net array) list;
@@ -204,119 +208,29 @@ type proto = {
 }
 
 let make_proto inst =
-  match Cell.prim_of inst with
+  match Levelize.source_of inst with
   | None -> assert false
-  | Some prim ->
-    let ins = ref [] and outs = ref [] in
-    List.iter
-      (fun b ->
-         match b.dir with
-         | Input -> ins := (b.formal, b.actual.nets) :: !ins
-         | Output -> outs := (b.formal, b.actual.nets) :: !outs)
-      inst.port_bindings;
-    { inst; prim; in_ports = !ins; out_ports = !outs }
+  | Some s -> s
 
-(* Ports whose value combinationally affects the node's outputs; the
-   levelizer and the fan-out CSR only draw edges through these. *)
-let comb_input_ports = function
-  | Prim.Lut init -> List.init (Lut_init.inputs init) (Printf.sprintf "I%d")
-  | Prim.Ff { async_clear; _ } -> if async_clear then [ "CLR" ] else []
-  | Prim.Muxcy -> [ "S"; "DI"; "CI" ]
-  | Prim.Xorcy -> [ "LI"; "CI" ]
-  | Prim.Mult_and -> [ "I0"; "I1" ]
-  | Prim.Srl16 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Ram16x1 _ -> [ "A0"; "A1"; "A2"; "A3" ]
-  | Prim.Buf | Prim.Inv -> [ "I" ]
-  | Prim.Gnd | Prim.Vcc -> []
-  | Prim.Black_box _ -> [] (* special-cased: all declared inputs *)
+let node_comb_inputs = Levelize.comb_inputs
 
-let node_comb_inputs proto =
-  match proto.prim with
-  | Prim.Black_box _ -> List.map fst proto.in_ports
-  | p -> comb_input_ports p
-
-(* Kahn levelization over combinational edges, then a stable sort by
-   level so each level occupies a contiguous rank range — what the
-   level-bucketed worklist drains. *)
+(* Shared Kahn levelization, then a stable sort by level so each level
+   occupies a contiguous rank range — what the level-bucketed worklist
+   drains. *)
 let levelize nodes =
-  let driver_node = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-       List.iter
-         (fun (_, nets) ->
-            Array.iter (fun n -> Hashtbl.replace driver_node n.net_id node) nets)
-         node.out_ports)
-    nodes;
-  let node_key node = node.inst.cell_id in
-  let in_degree = Hashtbl.create 256 in
-  let successors = Hashtbl.create 256 in
-  List.iter (fun node -> Hashtbl.replace in_degree (node_key node) 0) nodes;
-  List.iter
-    (fun node ->
-       List.iter
-         (fun port ->
-            match List.assoc_opt port node.in_ports with
-            | None -> ()
-            | Some nets ->
-              Array.iter
-                (fun n ->
-                   match Hashtbl.find_opt driver_node n.net_id with
-                   | None -> ()
-                   | Some producer ->
-                     Hashtbl.replace in_degree (node_key node)
-                       (Hashtbl.find in_degree (node_key node) + 1);
-                     Hashtbl.replace successors (node_key producer)
-                       (node
-                        :: Option.value
-                          (Hashtbl.find_opt successors (node_key producer))
-                          ~default:[]))
-                nets)
-         (node_comb_inputs node))
-    nodes;
-  let queue = Queue.create () in
-  let level = Hashtbl.create 256 in
-  List.iter
-    (fun node ->
-       if Hashtbl.find in_degree (node_key node) = 0 then begin
-         Hashtbl.replace level (node_key node) 0;
-         Queue.add node queue
-       end)
-    nodes;
-  let order = ref [] in
-  let processed = ref 0 in
-  let max_level = ref 0 in
-  while not (Queue.is_empty queue) do
-    let node = Queue.pop queue in
-    order := node :: !order;
-    incr processed;
-    let lv = Hashtbl.find level (node_key node) in
-    max_level := max !max_level lv;
-    List.iter
-      (fun succ ->
-         let d = Hashtbl.find in_degree (node_key succ) - 1 in
-         Hashtbl.replace in_degree (node_key succ) d;
-         let prev = Option.value (Hashtbl.find_opt level (node_key succ)) ~default:0 in
-         Hashtbl.replace level (node_key succ) (max prev (lv + 1));
-         if d = 0 then Queue.add succ queue)
-      (Option.value (Hashtbl.find_opt successors (node_key node)) ~default:[])
-  done;
-  if !processed <> List.length nodes then begin
-    let stuck =
-      List.filter (fun n -> Hashtbl.find in_degree (node_key n) > 0) nodes
-    in
-    raise (Combinational_cycle (List.map (fun n -> Cell.path n.inst) stuck))
-  end;
-  let kahn = Array.of_list (List.rev !order) in
-  let tagged =
-    Array.mapi (fun i node -> (Hashtbl.find level (node_key node), i, node)) kahn
+  let kahn, kahn_levels, max_level =
+    try Levelize.levelize nodes
+    with Levelize.Cycle cells ->
+      raise (Combinational_cycle (List.map Cell.path cells))
   in
+  let tagged = Array.mapi (fun i node -> (kahn_levels.(i), i, node)) kahn in
   Array.sort
     (fun (l1, i1, _) (l2, i2, _) ->
        if l1 <> l2 then Int.compare l1 l2 else Int.compare i1 i2)
     tagged;
   let order = Array.map (fun (_, _, n) -> n) tagged in
   let level_of = Array.map (fun (l, _, _) -> l) tagged in
-  order, level_of, !max_level
+  order, level_of, max_level
 
 (* ------------------------------------------------------------------ *)
 (* Settle.                                                             *)
@@ -457,7 +371,14 @@ let port_idx ports name =
   | None -> invalid_arg (Printf.sprintf "Simulator: no port %s" name)
 
 let create ?clock design =
-  (match Design.errors design with
+  (* Combinational loops are excluded from the design-rule pre-check so
+     levelization reports them through the canonical [Combinational_cycle]
+     exception, carrying the same cell list as [Design.validate]. *)
+  (match
+     List.filter
+       (function Design.Combinational_loop _ -> false | _ -> true)
+       (Design.errors design)
+   with
    | [] -> ()
    | violation :: _ ->
      invalid_arg

@@ -5,6 +5,7 @@ module Feature = Jhdl_applet.Feature
 module Partition = Jhdl_bundle.Partition
 module Jar = Jhdl_bundle.Jar
 module Download = Jhdl_bundle.Download
+module Lint = Jhdl_lint.Lint
 
 let log_src = Logs.Src.create "jhdl.webserver" ~doc:"IP delivery server"
 
@@ -39,7 +40,7 @@ let create ~vendor () =
   { vendor; entries = []; accounts = Hashtbl.create 8; component_versions;
     log = [] }
 
-let publish server ip =
+let publish_unchecked server ip =
   let name = ip.Ip_module.ip_name in
   match List.assoc_opt name server.entries with
   | Some entry ->
@@ -51,6 +52,36 @@ let publish server ip =
   | None ->
     server.entries <- server.entries @ [ (name, { ip; version = 1 }) ];
     1
+
+(* publication gate: a module whose default elaboration carries
+   error-severity lint findings never reaches the catalog *)
+let publish_checked server ip =
+  let report =
+    match ip.Ip_module.build (Ip_module.defaults ip) with
+    | built -> Ok (Lint.run built.Ip_module.design)
+    | exception e ->
+      Error
+        (Printf.sprintf "%s failed to elaborate: %s" ip.Ip_module.ip_name
+           (Printexc.to_string e))
+  in
+  match report with
+  | Error message -> Error message
+  | Ok report ->
+    (match Lint.errors report with
+     | [] -> Ok (publish_unchecked server ip)
+     | first :: _ as errors ->
+       Log.warn (fun m ->
+         m "refused %s: %d lint error(s)" ip.Ip_module.ip_name
+           (List.length errors));
+       Error
+         (Printf.sprintf "%s refused: %d lint error(s), first %s: %s"
+            ip.Ip_module.ip_name (List.length errors) first.Lint.rule_id
+            first.Lint.message))
+
+let publish server ip =
+  match publish_checked server ip with
+  | Ok version -> version
+  | Error message -> invalid_arg ("publish: " ^ message)
 
 let catalog server =
   List.map (fun (name, e) -> (name, e.version)) server.entries

@@ -14,8 +14,15 @@ val create : vendor:string -> unit -> t
 
 (** [publish server ip] — put an IP on the catalog (version 1), or bump
     its version (and the applet jar's) when already present. Returns the
-    new version. *)
+    new version. The lint gate applies: raises [Invalid_argument] when
+    the IP's default elaboration has error-severity lint findings. *)
 val publish : t -> Jhdl_applet.Ip_module.t -> int
+
+(** [publish_checked server ip] — like {!publish}, but the lint gate's
+    refusal (error-severity findings at the default parameters, or an
+    elaboration failure) comes back as [Error message] instead of an
+    exception. *)
+val publish_checked : t -> Jhdl_applet.Ip_module.t -> (int, string) result
 
 val catalog : t -> (string * int) list
 (** [(ip name, current version)] *)

@@ -1,0 +1,73 @@
+The lint tool's demo design carries one defect per analysis family:
+a doubly-driven net, a gated clock and a cone of dead logic. Each is
+reported under its stable rule id and the exit code is non-zero.
+
+  $ jhdl-lint-tool --broken
+  error   L001 [multi-driven-net] net broken_top/clash[0] has 2 driving sources: broken_top/drv0.O, broken_top/drv1.O
+  warning L003 [dangling-driver] net broken_top/dead[0] is driven but read by nothing
+  warning L008 [dead-logic] 1 primitive(s) feed no design output (dead logic): broken_top/dead_inv
+  error   L101 [gated-clock] clock net broken_top/gated_clk[0] of 1 sequential cell(s) is driven by LUT2 output broken_top/clk_gate.O, not a clock buffer or top-level input
+  broken_top: 2 error(s), 2 warning(s), 0 info
+  [1]
+
+The JSON rendering is stable: fixed field names and order, one object
+per diagnostic per line, so reports diff cleanly in CI.
+
+  $ jhdl-lint-tool --broken --json
+  {
+    "design": "broken_top",
+    "summary": {"errors": 2, "warnings": 2, "info": 0, "dropped": 0},
+    "diagnostics": [
+      {"rule": "L001", "name": "multi-driven-net", "severity": "error", "message": "net broken_top/clash[0] has 2 driving sources: broken_top/drv0.O, broken_top/drv1.O", "cells": ["broken_top/drv0.O", "broken_top/drv1.O"], "nets": ["broken_top/clash[0]"]},
+      {"rule": "L003", "name": "dangling-driver", "severity": "warning", "message": "net broken_top/dead[0] is driven but read by nothing", "cells": [], "nets": ["broken_top/dead[0]"]},
+      {"rule": "L008", "name": "dead-logic", "severity": "warning", "message": "1 primitive(s) feed no design output (dead logic): broken_top/dead_inv", "cells": ["broken_top/dead_inv"], "nets": []},
+      {"rule": "L101", "name": "gated-clock", "severity": "error", "message": "clock net broken_top/gated_clk[0] of 1 sequential cell(s) is driven by LUT2 output broken_top/clk_gate.O, not a clock buffer or top-level input", "cells": ["broken_top/ff"], "nets": ["broken_top/gated_clk[0]"]}
+    ]
+  }
+  [1]
+
+A baseline file acknowledges known findings by key (rule id plus
+primary location); suppressed findings no longer fail the run.
+
+  $ cat > known.baseline <<'EOF'
+  > # accepted legacy defects
+  > L001 broken_top/clash[0]
+  > L101 broken_top/gated_clk[0]
+  > EOF
+  $ jhdl-lint-tool --broken --baseline known.baseline
+  warning L003 [dangling-driver] net broken_top/dead[0] is driven but read by nothing
+  warning L008 [dead-logic] 1 primitive(s) feed no design output (dead logic): broken_top/dead_inv
+  broken_top: 0 error(s), 2 warning(s), 0 info
+
+The same run still fails when warnings are made fatal.
+
+  $ jhdl-lint-tool --broken --baseline known.baseline --fail-on warning
+  warning L003 [dangling-driver] net broken_top/dead[0] is driven but read by nothing
+  warning L008 [dead-logic] 1 primitive(s) feed no design output (dead logic): broken_top/dead_inv
+  broken_top: 0 error(s), 2 warning(s), 0 info
+  [1]
+
+Rules can be disabled by id.
+
+  $ jhdl-lint-tool --broken --disable L001 --disable L101 --disable L003 --disable L008
+  broken_top: 0 error(s), 0 warning(s), 0 info
+
+The registry is self-describing.
+
+  $ jhdl-lint-tool --rules | head -3
+  L001  error     multi-driven-net         A net with more than one driving source (contention).
+  L002  error     undriven-net             A net with sinks but no driver and no top-level input binding.
+  L003  warning   dangling-driver          A driven net that nothing reads and no output port exposes.
+
+Stock catalog designs lint clean at error severity.
+
+  $ jhdl-lint-tool --all > report.txt; echo "exit $?"
+  exit 0
+  $ grep -c "0 error(s)" report.txt
+  4
+
+Unknown IP names are rejected.
+
+  $ jhdl-lint-tool --ip Booth 2>&1
+  lint_tool: unknown IP Booth
+  [2]

@@ -11,6 +11,7 @@ let () =
       ("testbench", Test_testbench.suite);
       ("misc-logic", Test_misc_logic.suite);
       ("placer", Test_placer.suite);
+      ("lint", Test_lint.suite);
       ("equiv", Test_equiv.suite);
       ("differential", Test_differential.suite);
       ("viewer", Test_viewer.suite);
