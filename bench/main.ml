@@ -318,35 +318,44 @@ let claim_c1_faulty () =
   Printf.printf "%-10s %14s %14s %14s %10s %10s\n" "drop rate" "local applet"
     "Web-CAD" "JavaCAD" "retries" "slowdown";
   let clean_webcad = ref 0.0 in
-  List.iter
-    (fun rate ->
-       let run arch =
-         let endpoint = kcm_endpoint ~constant:(-56) in
-         Cosim.simulation_cost ~arch
-           ~network:(Network.with_rtt Network.campus rtt) ~endpoint ~cycles
-           ~drive:(fun i ->
-             [ ("multiplicand", Bits.of_int ~width:8 (i land 0xFF)) ])
-           ~observe:[ "product" ]
-           ?faults:
-             (if rate > 0.0 then Some (Fault.only Fault.Drop ~rate ~seed)
-              else None)
-           ()
-       in
-       let local = run Cosim.Local_applet in
-       match (run Cosim.Webcad, run Cosim.Javacad) with
-       | exception Cosim.Exchange_failed reason ->
-         (* enough consecutive losses exhaust the retry budget: at this
-            rate the remote session dies mid-run *)
-         Printf.printf "%8.0f %% %14.4f %14s %14s %10s  session died (%s)\n"
-           (rate *. 100.0) local.Cosim.wall_seconds "-" "-" "-" reason
-       | webcad, javacad ->
-         if rate = 0.0 then clean_webcad := webcad.Cosim.wall_seconds;
-         Printf.printf "%8.0f %% %14.4f %14.3f %14.3f %10d %9.1fx\n"
-           (rate *. 100.0) local.Cosim.wall_seconds webcad.Cosim.wall_seconds
-           javacad.Cosim.wall_seconds
-           (webcad.Cosim.retry_count + javacad.Cosim.retry_count)
-           (webcad.Cosim.wall_seconds /. !clean_webcad))
-    [ 0.0; 0.01; 0.05; 0.10; 0.20 ];
+  let rows =
+    List.map
+      (fun rate ->
+         let run arch =
+           let endpoint = kcm_endpoint ~constant:(-56) in
+           Cosim.simulation_cost ~arch
+             ~network:(Network.with_rtt Network.campus rtt) ~endpoint ~cycles
+             ~drive:(fun i ->
+               [ ("multiplicand", Bits.of_int ~width:8 (i land 0xFF)) ])
+             ~observe:[ "product" ]
+             ?faults:
+               (if rate > 0.0 then Some (Fault.only Fault.Drop ~rate ~seed)
+                else None)
+             ()
+         in
+         let local = run Cosim.Local_applet in
+         match (run Cosim.Webcad, run Cosim.Javacad) with
+         | exception Cosim.Exchange_failed reason ->
+           (* enough consecutive losses exhaust the retry budget: at this
+              rate the remote session dies mid-run *)
+           Printf.printf "%8.0f %% %14.4f %14s %14s %10s  session died (%s)\n"
+             (rate *. 100.0) local.Cosim.wall_seconds "-" "-" "-" reason;
+           (rate, local.Cosim.wall_seconds, None)
+         | webcad, javacad ->
+           if rate = 0.0 then clean_webcad := webcad.Cosim.wall_seconds;
+           Printf.printf "%8.0f %% %14.4f %14.3f %14.3f %10d %9.1fx\n"
+             (rate *. 100.0) local.Cosim.wall_seconds webcad.Cosim.wall_seconds
+             javacad.Cosim.wall_seconds
+             (webcad.Cosim.retry_count + javacad.Cosim.retry_count)
+             (webcad.Cosim.wall_seconds /. !clean_webcad);
+           ( rate,
+             local.Cosim.wall_seconds,
+             Some
+               ( webcad.Cosim.wall_seconds,
+                 javacad.Cosim.wall_seconds,
+                 webcad.Cosim.retry_count + javacad.Cosim.retry_count ) ))
+      [ 0.0; 0.01; 0.05; 0.10; 0.20 ]
+  in
   print_endline
     "\nshape check: every retransmission costs a timeout plus backoff on top \
      of the RTT, so the";
@@ -355,7 +364,8 @@ let claim_c1_faulty () =
      applet column never";
   print_endline
     "moves - claim C1 is strictly stronger on the consumer links the paper \
-     targets."
+     targets.";
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* C2: download time                                                   *)
@@ -371,26 +381,35 @@ let claim_c2_faulty () =
     "full applet jar set over a 56k modem (clean transfer: %.1f s):\n\n" clean;
   Printf.printf "%-12s %12s %12s %14s %12s\n" "drop rate" "delivered"
     "attempts" "dead bytes" "total time";
-  List.iter
-    (fun rate ->
-       let fetches =
-         Download.fetch_jars
-           ?faults:
-             (if rate > 0.0 then
-                Some (Fault.only Fault.Drop ~rate ~seed:2002)
-              else None)
-           Download.modem_56k jars
-       in
-       let delivered =
-         List.length (List.filter (fun f -> f.Download.delivered) fetches)
-       in
-       let payload = Partition.total_compressed jars in
-       Printf.printf "%10.0f %% %9d/%d %12d %11d kB %10.1f s\n"
-         (rate *. 100.0) delivered (List.length jars)
-         (Download.fetch_attempts fetches)
-         (kb (max 0 (Download.fetch_total_bytes fetches - payload)))
-         (Download.fetch_total_seconds fetches))
-    [ 0.0; 0.10; 0.30; 0.50 ];
+  let rows =
+    List.map
+      (fun rate ->
+         let fetches =
+           Download.fetch_jars
+             ?faults:
+               (if rate > 0.0 then
+                  Some (Fault.only Fault.Drop ~rate ~seed:2002)
+                else None)
+             Download.modem_56k jars
+         in
+         let delivered =
+           List.length (List.filter (fun f -> f.Download.delivered) fetches)
+         in
+         let payload = Partition.total_compressed jars in
+         let dead = max 0 (Download.fetch_total_bytes fetches - payload) in
+         Printf.printf "%10.0f %% %9d/%d %12d %11d kB %10.1f s\n"
+           (rate *. 100.0) delivered (List.length jars)
+           (Download.fetch_attempts fetches)
+           (kb dead)
+           (Download.fetch_total_seconds fetches);
+         ( rate,
+           delivered,
+           List.length jars,
+           Download.fetch_attempts fetches,
+           dead,
+           Download.fetch_total_seconds fetches ))
+      [ 0.0; 0.10; 0.30; 0.50 ]
+  in
   print_endline
     "\nshape check: resume-at-offset keeps the dead-byte overhead to the \
      lost tail of each";
@@ -399,7 +418,47 @@ let claim_c2_faulty () =
      re-downloads.";
   print_endline
     "The monolithic baseline re-pays its full 795 kB on every corruption - \
-     partitioning wins again."
+     partitioning wins again.";
+  rows
+
+(* Machine-readable record of the loss sweeps, schema-matched to
+   BENCH_sim.json: one "designs" array of named rows. *)
+let write_bench_cosim c1_rows c2_rows =
+  let oc = open_out "BENCH_cosim.json" in
+  output_string oc "{\n  \"experiment\": \"C1f/C2f loss sweeps\",\n";
+  output_string oc "  \"unit\": \"seconds\",\n  \"designs\": [\n";
+  let total = List.length c1_rows + List.length c2_rows in
+  let emitted = ref 0 in
+  let comma () =
+    incr emitted;
+    if !emitted = total then "" else ","
+  in
+  List.iter
+    (fun (rate, local, remote) ->
+       match remote with
+       | Some (webcad, javacad, retries) ->
+         Printf.fprintf oc
+           "    {\"name\": \"C1f drop %.0f%%\", \"local\": %.6f, \
+            \"webcad\": %.4f, \"javacad\": %.4f, \"retries\": %d}%s\n"
+           (rate *. 100.0) local webcad javacad retries (comma ())
+       | None ->
+         Printf.fprintf oc
+           "    {\"name\": \"C1f drop %.0f%%\", \"local\": %.6f, \
+            \"webcad\": null, \"javacad\": null, \"retries\": null}%s\n"
+           (rate *. 100.0) local (comma ()))
+    c1_rows;
+  List.iter
+    (fun (rate, delivered, jar_count, attempts, dead_bytes, seconds) ->
+       Printf.fprintf oc
+         "    {\"name\": \"C2f drop %.0f%%\", \"delivered\": %d, \
+          \"jars\": %d, \"attempts\": %d, \"dead_bytes\": %d, \
+          \"seconds\": %.2f}%s\n"
+         (rate *. 100.0) delivered jar_count attempts dead_bytes seconds
+         (comma ()))
+    c2_rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "\nwrote BENCH_cosim.json (C1f + C2f loss-sweep rows)"
 
 let claim_c2 () =
   section "C2" "claim (Section 4.4): partitioned jars vs monolithic download";
@@ -1010,9 +1069,10 @@ let () =
   figure3 ();
   figure4 ();
   claim_c1 ();
-  claim_c1_faulty ();
+  let c1f_rows = claim_c1_faulty () in
   claim_c2 ();
-  claim_c2_faulty ();
+  let c2f_rows = claim_c2_faulty () in
+  write_bench_cosim c1f_rows c2f_rows;
   ablation_a1 ();
   ablation_a1b ();
   ablation_a2 ();

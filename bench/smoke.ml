@@ -2,8 +2,9 @@
    @bench-smoke alias: a short differential run of the compiled kernel
    against the reference interpreter on the pipelined KCM, plus a
    sanity floor on the kernel's measured throughput machinery (the full
-   measurement lives in the S1 section of bench/main.ml). Exits
-   non-zero on any divergence. *)
+   measurement lives in the S1 section of bench/main.ml), plus a
+   snapshot/restore round-trip timing floor. Exits non-zero on any
+   divergence. *)
 
 open Jhdl
 
@@ -42,4 +43,32 @@ let () =
     exit 1
   end;
   Printf.printf "bench-smoke: kernel = reference over 300 KCM cycles (%d prims)\n"
-    (Simulator.prim_count kernel)
+    (Simulator.prim_count kernel);
+  (* checkpoint machinery must stay cheap enough to fire mid-simulation:
+     100 snapshot/restore round-trips have to fit in well under a second *)
+  let rounds = 100 in
+  let t0 = Unix.gettimeofday () in
+  let blob = ref "" in
+  for _ = 1 to rounds do
+    blob := Simulator.snapshot kernel;
+    Simulator.restore kernel !blob
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if
+    not
+      (Bits.equal
+         (Simulator.get_port kernel "product")
+         (Reference.get_port reference "product"))
+  then begin
+    Printf.eprintf "bench-smoke: restore diverged from the reference\n";
+    exit 1
+  end;
+  if elapsed >= 1.0 then begin
+    Printf.eprintf
+      "bench-smoke: %d snapshot round-trips took %.2fs (budget 1s)\n" rounds
+      elapsed;
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: %d snapshot round-trips under a second (%d-byte blob)\n"
+    rounds (String.length !blob)

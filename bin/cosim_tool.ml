@@ -50,8 +50,25 @@ let build_applet ip params =
      | Ok _ -> Ok applet
      | Error m -> Error m)
 
+let read_binary path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error m -> Error m
+
+let write_binary path contents =
+  try
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc;
+    Ok ()
+  with Sys_error m -> Error m
+
 let run ip_name params binds tb_path network_name fault_name fault_rate retries
-    seed =
+    seed crash_at checkpoint_every resume_path checkpoint_path =
   let ( let* ) = Result.bind in
   let result =
     let* ip =
@@ -65,7 +82,8 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
     in
     let* fault_kind =
       Option.to_result
-        ~none:"faults: drop, corrupt, duplicate, latency, disconnect"
+        ~none:"faults: drop, corrupt, duplicate, latency, disconnect, \
+               session-crash"
         (Fault.kind_of_string fault_name)
     in
     let* () =
@@ -75,6 +93,13 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
     in
     let* () =
       if retries < 1 then Error "--retries must be at least 1" else Ok ()
+    in
+    let* () =
+      if crash_at < 0 then Error "--crash-at must be at least 1" else Ok ()
+    in
+    let* () =
+      if checkpoint_every < 0 then Error "--checkpoint-every must be positive"
+      else Ok ()
     in
     let faults =
       if fault_rate > 0.0 then Some (Fault.only fault_kind ~rate:fault_rate ~seed)
@@ -103,8 +128,30 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
       Option.to_result ~none:"applet has no simulator"
         (Endpoint.of_applet ~name:"dut" applet)
     in
+    (* resume before anything touches the wire, so the session's opening
+       checkpoint captures the restored state *)
+    let* () =
+      match resume_path with
+      | None -> Ok ()
+      | Some path ->
+        let* blob = read_binary path in
+        (match Endpoint.restore endpoint blob with
+         | Ok () ->
+           Printf.printf "resumed from %s (%d bytes)\n" path
+             (String.length blob);
+           Ok ()
+         | Error reason -> Error (Printf.sprintf "resume: %s" reason))
+    in
+    let session =
+      if checkpoint_every > 0 then
+        Some
+          { Cosim.default_session_policy with
+            Cosim.checkpoint_every }
+      else None
+    in
     let cosim = Cosim.create () in
-    Cosim.attach cosim ?faults ~retry endpoint network;
+    Cosim.attach cosim ?faults ~retry ?session endpoint network;
+    if crash_at > 0 then Cosim.crash_at cosim ~box:"dut" ~exchange:crash_at;
     let* result =
       try Ok (Verilog_tb.run program ~cosim ~bindings)
       with Cosim.Exchange_failed reason ->
@@ -137,6 +184,26 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
          (Cosim.total_faults_injected cosim)
          (Cosim.total_retries cosim)
          (Cosim.total_retransmitted_bytes cosim));
+    if Option.is_some session then
+      Printf.printf
+        "session: %d crash(es), %d resume(s), %d checkpoint(s), %d message(s) \
+         replayed\n"
+        (Cosim.total_session_crashes cosim)
+        (Cosim.total_resumes cosim)
+        (Cosim.total_checkpoints cosim)
+        (Cosim.total_replayed_messages cosim);
+    let* () =
+      match checkpoint_path with
+      | None -> Ok ()
+      | Some path ->
+        (match Endpoint.snapshot endpoint with
+         | Error reason -> Error (Printf.sprintf "checkpoint: %s" reason)
+         | Ok blob ->
+           let* () = write_binary path blob in
+           Printf.printf "checkpoint written to %s (%d bytes)\n" path
+             (String.length blob);
+           Ok ())
+    in
     Ok (List.length passed = List.length result.Verilog_tb.checks)
   in
   match result with
@@ -200,12 +267,44 @@ let seed_arg =
     & info [ "seed" ]
         ~doc:"Fault-stream seed; identical seeds replay identical runs.")
 
+let crash_at_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-at" ]
+        ~doc:"Kill the endpoint process as its Nth exchange starts \
+              (deterministic); 0 disables. Recovery needs \
+              $(b,--checkpoint-every).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ]
+        ~doc:"Arm the crash-safe session layer and checkpoint the endpoint \
+              every N data exchanges; 0 leaves the session layer off.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ]
+        ~doc:"Restore the endpoint from this checkpoint file before the \
+              testbench runs. The blob must come from the same design \
+              (signature-checked).")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ]
+        ~doc:"Write the endpoint's final state to this file after the run.")
+
 let cmd =
   let doc = "drive a black-box IP with a Verilog testbench (PLI wrapper)" in
   Cmd.v
     (Cmd.info "cosim_tool" ~doc)
     Term.(
       const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg
-      $ fault_arg $ fault_rate_arg $ retries_arg $ seed_arg)
+      $ fault_arg $ fault_rate_arg $ retries_arg $ seed_arg $ crash_at_arg
+      $ checkpoint_every_arg $ resume_arg $ checkpoint_arg)
 
 let () = exit (Cmd.eval' cmd)

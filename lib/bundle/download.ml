@@ -100,8 +100,9 @@ let fetch_jar ~injector ~spike_s ~policy link jar =
           attempts = n;
           bytes_on_wire = !bytes_on_wire;
           fetch_seconds = !seconds }
-      | Some Fault.Drop | Some Fault.Disconnect ->
-        (* died mid-transfer: the bytes that made it are kept and the
+      | Some Fault.Drop | Some Fault.Disconnect | Some Fault.Session_crash ->
+        (* died mid-transfer (a crashed server looks like a dropped
+           connection to HTTP): the bytes that made it are kept and the
            next attempt resumes at the new offset *)
         let fraction =
           match injector with Some i -> Fault.fraction i | None -> 0.0

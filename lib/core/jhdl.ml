@@ -36,6 +36,7 @@ module Design = Jhdl_circuit.Design
 module Virtex = Jhdl_virtex.Virtex
 module Simulator = Jhdl_sim.Simulator
 module Reference = Jhdl_sim.Reference
+module Snapshot = Jhdl_sim.Snapshot
 module Testbench = Jhdl_sim.Testbench
 module Model = Jhdl_netlist.Model
 module Ident = Jhdl_netlist.Ident
@@ -85,6 +86,7 @@ module Catalog = Jhdl_applet.Catalog
 module Suite = Jhdl_applet.Suite
 module Server = Jhdl_webserver.Server
 module Secure_channel = Jhdl_webserver.Secure_channel
+module Session_manager = Jhdl_webserver.Session_manager
 module Prng = Jhdl_faults.Prng
 module Fault = Jhdl_faults.Fault
 module Network = Jhdl_netproto.Network

@@ -4,8 +4,9 @@ type kind =
   | Duplicate
   | Latency_spike
   | Disconnect
+  | Session_crash
 
-let all_kinds = [ Drop; Corrupt; Duplicate; Latency_spike; Disconnect ]
+let all_kinds = [ Drop; Corrupt; Duplicate; Latency_spike; Disconnect; Session_crash ]
 
 let kind_name = function
   | Drop -> "drop"
@@ -13,6 +14,7 @@ let kind_name = function
   | Duplicate -> "duplicate"
   | Latency_spike -> "latency"
   | Disconnect -> "disconnect"
+  | Session_crash -> "session-crash"
 
 let kind_of_string = function
   | "drop" -> Some Drop
@@ -20,6 +22,7 @@ let kind_of_string = function
   | "duplicate" | "dup" -> Some Duplicate
   | "latency" | "latency-spike" | "spike" -> Some Latency_spike
   | "disconnect" -> Some Disconnect
+  | "session-crash" | "crash" -> Some Session_crash
   | _ -> None
 
 type config = {
@@ -29,6 +32,7 @@ type config = {
   latency_spike_rate : float;
   latency_spike_s : float;
   disconnect_rate : float;
+  session_crash_rate : float;
   seed : int;
 }
 
@@ -39,6 +43,7 @@ let none =
     latency_spike_rate = 0.0;
     latency_spike_s = 0.25;
     disconnect_rate = 0.0;
+    session_crash_rate = 0.0;
     seed = 0 }
 
 let only kind ~rate ~seed =
@@ -49,7 +54,12 @@ let only kind ~rate ~seed =
   | Duplicate -> { base with duplicate_rate = rate }
   | Latency_spike -> { base with latency_spike_rate = rate }
   | Disconnect -> { base with disconnect_rate = rate }
+  | Session_crash -> { base with session_crash_rate = rate }
 
+(* [degraded] deliberately leaves [session_crash_rate] at zero: it is the
+   "everything wrong with the wire at once" preset, and crashing the peer
+   process is a different failure class (armed explicitly where a session
+   layer exists to recover from it). *)
 let degraded ~rate ~seed =
   { none with
     drop_rate = rate;
@@ -65,6 +75,7 @@ let rate_of config = function
   | Duplicate -> config.duplicate_rate
   | Latency_spike -> config.latency_spike_rate
   | Disconnect -> config.disconnect_rate
+  | Session_crash -> config.session_crash_rate
 
 let describe config =
   let active =
@@ -98,11 +109,17 @@ let record t kind =
 
 (* One uniform draw per kind per call keeps the stream aligned no matter
    which kinds are enabled, so "drop only" and "drop + corrupt" runs
-   agree on where the drops land. *)
+   agree on where the drops land. [Session_crash] is the one exception:
+   its uniform is consumed only when the kind is armed, so every legacy
+   five-kind configuration replays the exact pre-session-layer stream
+   (seeded cram runs pin those fault positions byte-for-byte). *)
 let draw t =
   let hit =
     List.filter
-      (fun kind -> Prng.float t.prng < rate_of t.config kind)
+      (fun kind ->
+         match kind with
+         | Session_crash when rate_of t.config Session_crash <= 0.0 -> false
+         | _ -> Prng.float t.prng < rate_of t.config kind)
       all_kinds
   in
   match hit with

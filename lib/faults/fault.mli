@@ -15,6 +15,9 @@ type kind =
   | Duplicate  (** delivered twice (sequence numbers catch it) *)
   | Latency_spike  (** delivered after an extra stall *)
   | Disconnect  (** connection torn down; the peer must reconnect *)
+  | Session_crash
+      (** the peer process dies mid-exchange, losing all volatile state;
+          only a session layer with checkpoints can recover *)
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -30,6 +33,7 @@ type config = {
   latency_spike_rate : float;
   latency_spike_s : float;  (** extra seconds charged per spike *)
   disconnect_rate : float;
+  session_crash_rate : float;
   seed : int;
 }
 
@@ -40,8 +44,9 @@ val none : config
     else clean. The fault-matrix tests sweep this. *)
 val only : kind -> rate:float -> seed:int -> config
 
-(** [degraded ~rate ~seed] — every failure mode at [rate] at once: the
-    "bad hotel wifi" preset. *)
+(** [degraded ~rate ~seed] — every wire failure mode at [rate] at once:
+    the "bad hotel wifi" preset. [Session_crash] stays off — peer-process
+    death is armed explicitly where a session layer can recover it. *)
 val degraded : rate:float -> seed:int -> config
 
 val describe : config -> string
@@ -61,7 +66,9 @@ val split : injector -> injector
 (** [draw t] — decide the fate of one transmission. Kinds are tested in
     declaration order with independent probabilities; the first hit wins
     and is tallied. Exactly one decision per call, fully determined by
-    the seed and the call sequence. *)
+    the seed and the call sequence. A uniform is consumed per kind per
+    call — except [Session_crash]'s, consumed only when armed, so
+    configurations without it replay the historical five-kind stream. *)
 val draw : injector -> kind option
 
 (** [fraction t] — uniform draw in [0, 1); used for "how far through the

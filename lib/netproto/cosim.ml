@@ -22,6 +22,11 @@ let no_retry = { default_retry with max_attempts = 1 }
 
 exception Exchange_failed of string
 
+(* internal: the peer process is down and a session layer is armed, so
+   escape the retry loop promptly and resume instead of burning attempts
+   against a dead socket *)
+exception Peer_down
+
 (* A wire is a channel plus everything the reliable-exchange layer
    needs: the retry policy, the sender's sequence counter, and tallies
    of the recovery work actually performed. *)
@@ -40,20 +45,36 @@ let make_wire ?faults ?(retry = default_retry) params =
     retry_count = 0;
     retransmitted_bytes = 0 }
 
+let alloc_seq wire =
+  let seq = wire.next_seq in
+  wire.next_seq <- (wire.next_seq + 1) land Protocol.max_seq;
+  seq
+
 (* One request/reply exchange with recovery. Each attempt transmits the
    framed request; losses, detected corruptions and disconnects cost a
    timeout (charged to the simulated clock) and a capped exponential
    backoff before the retransmission. The peer dedupes by sequence
    number, so a retransmission after a lost *reply* replays the cached
    answer instead of re-executing — which is what keeps functional
-   results byte-identical to a fault-free run. *)
-let wire_exchange wire ~peer message =
-  let seq = wire.next_seq in
-  wire.next_seq <- (wire.next_seq + 1) land Protocol.max_seq;
+   results byte-identical to a fault-free run.
+
+   [peer] returns [None] when the peer process is dead. A dead peer (or
+   a [Crashed] transmission, which kills it via [on_crash]) looks like
+   silence to the sender: with [session_armed] the engine raises
+   [Peer_down] after the timeout so the session layer can resume; without
+   a session it keeps retrying into a clean [Exchange_failed]. The
+   sequence number is the caller's, so a resumed retransmission of the
+   same request hits the peer's dedup cache instead of re-executing. *)
+let wire_exchange wire ~seq ~peer ?(session_armed = false)
+    ?(on_crash = fun () -> ()) message =
   let request = Protocol.encode_packet ~seq message in
   let request_bytes = String.length request in
   let policy = wire.policy in
   let timeout () = Network.stall wire.channel policy.exchange_timeout_s in
+  let peer_lost () =
+    timeout ();
+    if session_armed then raise Peer_down
+  in
   let rec attempt n =
     if n > policy.max_attempts then
       raise
@@ -73,6 +94,10 @@ let wire_exchange wire ~peer message =
     | Network.Dropped | Network.Disconnected ->
       timeout ();
       attempt (n + 1)
+    | Network.Crashed ->
+      on_crash ();
+      peer_lost ();
+      attempt (n + 1)
     | Network.Corrupted ->
       (* the damaged frame reaches the peer, whose CRC rejects it; the
          sender hears nothing and times out *)
@@ -83,22 +108,35 @@ let wire_exchange wire ~peer message =
          attempt (n + 1))
     | Network.Delivered -> deliver n { Protocol.seq; payload = message }
   and deliver n packet =
-    let reply_packet = peer packet in
-    let reply_encoded =
-      Protocol.encode_packet ~seq:reply_packet.Protocol.seq
-        reply_packet.Protocol.payload
-    in
-    match Network.transmit wire.channel ~bytes:(String.length reply_encoded) with
-    | Network.Delivered -> reply_packet.Protocol.payload
-    | Network.Corrupted ->
-      (match Protocol.decode_packet (Network.mangle wire.channel reply_encoded) with
-       | Ok back -> back.Protocol.payload
-       | Error _ ->
+    match peer packet with
+    | None ->
+      peer_lost ();
+      attempt (n + 1)
+    | Some reply_packet ->
+      let reply_encoded =
+        Protocol.encode_packet ~seq:reply_packet.Protocol.seq
+          reply_packet.Protocol.payload
+      in
+      (match Network.transmit wire.channel ~bytes:(String.length reply_encoded) with
+       | Network.Delivered -> reply_packet.Protocol.payload
+       | Network.Crashed ->
+         (* the peer applied the request, replied, and died as the reply
+            left: the journal has the message, so a post-resume
+            retransmission replays the reconstructed cached reply *)
+         on_crash ();
+         peer_lost ();
+         attempt (n + 1)
+       | Network.Corrupted ->
+         (match
+            Protocol.decode_packet (Network.mangle wire.channel reply_encoded)
+          with
+          | Ok back -> back.Protocol.payload
+          | Error _ ->
+            timeout ();
+            attempt (n + 1))
+       | Network.Dropped | Network.Disconnected ->
          timeout ();
          attempt (n + 1))
-    | Network.Dropped | Network.Disconnected ->
-      timeout ();
-      attempt (n + 1)
   in
   attempt 1
 
@@ -106,9 +144,30 @@ let wire_exchange wire ~peer message =
 (* co-simulation sessions                                              *)
 (* ------------------------------------------------------------------ *)
 
+type session_policy = {
+  resume_attempts : int;
+  checkpoint_every : int;
+  heartbeat_every : int;
+}
+
+let default_session_policy =
+  { resume_attempts = 3; checkpoint_every = 16; heartbeat_every = 0 }
+
+type link_session = {
+  ls_policy : session_policy;
+  sid : string;
+  mutable last_acked : int;  (* seq of the last successful exchange, -1 *)
+  mutable since_checkpoint : int;
+  mutable since_heartbeat : int;
+  mutable resumes : int;
+}
+
 type link = {
   endpoint : Endpoint.t;
   wire : wire;
+  session : link_session option;
+  mutable crash_at : int option;  (* one-shot: crash at the Nth exchange *)
+  mutable exchanges : int;
 }
 
 type t = {
@@ -117,32 +176,167 @@ type t = {
 
 let create () = { links = [] }
 
-let attach t ?faults ?retry endpoint params =
+let link_peer link packet =
+  if Endpoint.is_alive link.endpoint then
+    Some (Endpoint.handle_packet link.endpoint packet)
+  else None
+
+let link_on_crash link () = Endpoint.crash link.endpoint
+
+(* every logical exchange (data, handshake or maintenance) counts; the
+   one-shot [crash_at] trigger kills the endpoint as the Nth one starts,
+   deterministically, whatever the fault dice do *)
+let begin_exchange link =
+  link.exchanges <- link.exchanges + 1;
+  (match link.crash_at with
+   | Some n when link.exchanges >= n ->
+     link.crash_at <- None;
+     Endpoint.crash link.endpoint
+   | _ -> ());
+  alloc_seq link.wire
+
+(* restart the crashed endpoint from its checkpoint + journal, then
+   re-handshake. The [Resume] exchange itself may fail under continued
+   loss; that is fine — the restart already reconstructed the peer, and
+   the caller's retransmission (same sequence number) is safe either
+   way, so the failure just burns one unit of resume budget. *)
+let resume link ls =
+  ls.resumes <- ls.resumes + 1;
+  (match Endpoint.restart link.endpoint with
+   | Ok _ -> ()
+   | Error reason -> raise (Exchange_failed ("resume failed: " ^ reason)));
+  let seq = begin_exchange link in
+  match
+    wire_exchange link.wire ~seq ~peer:(link_peer link)
+      ~on_crash:(link_on_crash link)
+      (Protocol.Resume (ls.sid, ls.last_acked))
+  with
+  | Protocol.Session_state _last_applied -> ()
+  | Protocol.Protocol_error reason ->
+    raise (Exchange_failed ("resume rejected: " ^ reason))
+  | _ -> raise (Exchange_failed "resume: unexpected reply")
+
+let exchange link message =
+  let name = Endpoint.name link.endpoint in
+  let seq = begin_exchange link in
+  let send () =
+    wire_exchange link.wire ~seq ~peer:(link_peer link)
+      ~session_armed:(Option.is_some link.session)
+      ~on_crash:(link_on_crash link) message
+  in
+  let reply =
+    match link.session with
+    | None ->
+      (try send ()
+       with Exchange_failed reason ->
+         raise (Exchange_failed (Printf.sprintf "%s: %s" name reason)))
+    | Some ls ->
+      (* reconnect path: a dead peer or exhausted retries triggers a
+         resume and the same request is retransmitted under the same
+         sequence number, up to the session's resume budget *)
+      let rec go budget =
+        match send () with
+        | reply -> reply
+        | exception ((Peer_down | Exchange_failed _) as failure) ->
+          if budget <= 0 then
+            match failure with
+            | Exchange_failed reason ->
+              raise (Exchange_failed (Printf.sprintf "%s: %s" name reason))
+            | _ ->
+              raise
+                (Exchange_failed
+                   (Printf.sprintf
+                      "%s: request seq %d: peer down, resume budget exhausted"
+                      name seq))
+          else begin
+            (try resume link ls
+             with Peer_down | Exchange_failed _ -> ());
+            go (budget - 1)
+          end
+      in
+      go ls.ls_policy.resume_attempts
+  in
+  (match link.session with
+   | Some ls -> ls.last_acked <- seq
+   | None -> ());
+  match reply with
+  | Protocol.Protocol_error reason ->
+    invalid_arg (Printf.sprintf "Cosim: %s: %s" name reason)
+  | other -> other
+
+(* client-driven maintenance: heartbeats and checkpoint requests ride
+   between data exchanges at the session policy's cadence *)
+let maintenance link =
+  match link.session with
+  | None -> ()
+  | Some ls ->
+    ls.since_checkpoint <- ls.since_checkpoint + 1;
+    ls.since_heartbeat <- ls.since_heartbeat + 1;
+    if ls.ls_policy.heartbeat_every > 0
+       && ls.since_heartbeat >= ls.ls_policy.heartbeat_every
+    then begin
+      ls.since_heartbeat <- 0;
+      match exchange link Protocol.Heartbeat with
+      | Protocol.Ack -> ()
+      | _ -> invalid_arg "Cosim: heartbeat: unexpected reply"
+    end;
+    if ls.ls_policy.checkpoint_every > 0
+       && ls.since_checkpoint >= ls.ls_policy.checkpoint_every
+    then begin
+      ls.since_checkpoint <- 0;
+      match exchange link Protocol.Checkpoint with
+      | Protocol.Ack -> ()
+      | _ -> invalid_arg "Cosim: checkpoint: unexpected reply"
+    end
+
+let data_exchange link message =
+  let reply = exchange link message in
+  maintenance link;
+  reply
+
+let attach t ?faults ?retry ?session endpoint params =
   let name = Endpoint.name endpoint in
   if List.exists (fun l -> Endpoint.name l.endpoint = name) t.links then
     invalid_arg (Printf.sprintf "Cosim.attach: duplicate endpoint %s" name);
-  t.links <- t.links @ [ { endpoint; wire = make_wire ?faults ?retry params } ]
+  let session =
+    Option.map
+      (fun ls_policy ->
+         { ls_policy;
+           sid = name ^ "/session";
+           last_acked = -1;
+           since_checkpoint = 0;
+           since_heartbeat = 0;
+           resumes = 0 })
+      session
+  in
+  let link =
+    { endpoint;
+      wire = make_wire ?faults ?retry params;
+      session;
+      crash_at = None;
+      exchanges = 0 }
+  in
+  t.links <- t.links @ [ link ];
+  (* open the session: the endpoint checkpoints and starts journaling *)
+  match link.session with
+  | None -> ()
+  | Some _ ->
+    (match exchange link (Protocol.Hello name) with
+     | Protocol.Ack -> ()
+     | _ -> invalid_arg "Cosim.attach: unexpected Hello reply")
 
 let find t box =
   match List.find_opt (fun l -> Endpoint.name l.endpoint = box) t.links with
   | Some link -> link
   | None -> invalid_arg (Printf.sprintf "Cosim: no black box named %s" box)
 
-let exchange link message =
-  let name = Endpoint.name link.endpoint in
-  let reply =
-    try wire_exchange link.wire ~peer:(Endpoint.handle_packet link.endpoint) message
-    with Exchange_failed reason ->
-      raise (Exchange_failed (Printf.sprintf "%s: %s" name reason))
-  in
-  match reply with
-  | Protocol.Protocol_error reason ->
-    invalid_arg (Printf.sprintf "Cosim: %s: %s" name reason)
-  | other -> other
+let crash_at t ~box ~exchange:n =
+  if n < 1 then invalid_arg "Cosim.crash_at: exchange must be >= 1";
+  (find t box).crash_at <- Some n
 
 let set_inputs t ~box pairs =
   let link = find t box in
-  match exchange link (Protocol.Set_inputs pairs) with
+  match data_exchange link (Protocol.Set_inputs pairs) with
   | Protocol.Ack -> ()
   | _ -> invalid_arg "Cosim.set_inputs: unexpected reply"
 
@@ -151,7 +345,7 @@ let cycle t =
     (fun link ->
        Network.add_compute link.wire.channel
          (Endpoint.compute_seconds_per_cycle link.endpoint);
-       match exchange link (Protocol.Cycle 1) with
+       match data_exchange link (Protocol.Cycle 1) with
        | Protocol.Ack -> ()
        | _ -> invalid_arg "Cosim.cycle: unexpected reply")
     t.links
@@ -159,14 +353,14 @@ let cycle t =
 let reset t =
   List.iter
     (fun link ->
-       match exchange link Protocol.Reset with
+       match data_exchange link Protocol.Reset with
        | Protocol.Ack -> ()
        | _ -> invalid_arg "Cosim.reset: unexpected reply")
     t.links
 
 let get_output t ~box port =
   let link = find t box in
-  match exchange link (Protocol.Get_outputs [ port ]) with
+  match data_exchange link (Protocol.Get_outputs [ port ]) with
   | Protocol.Outputs_are [ (_, v) ] -> v
   | _ -> invalid_arg "Cosim.get_output: unexpected reply"
 
@@ -197,6 +391,25 @@ let fault_counts t =
               acc + List.assoc kind (Network.fault_counts l.wire.channel))
            0 t.links ))
     Fault.all_kinds
+
+let total_session_crashes t =
+  List.fold_left (fun acc l -> acc + Endpoint.crash_count l.endpoint) 0 t.links
+
+let total_resumes t =
+  List.fold_left
+    (fun acc l ->
+       acc + match l.session with Some ls -> ls.resumes | None -> 0)
+    0 t.links
+
+let total_checkpoints t =
+  List.fold_left
+    (fun acc l -> acc + Endpoint.checkpoints_taken l.endpoint)
+    0 t.links
+
+let total_replayed_messages t =
+  List.fold_left
+    (fun acc l -> acc + Endpoint.replayed_messages l.endpoint)
+    0 t.links
 
 type architecture =
   | Local_applet
@@ -238,7 +451,13 @@ let simulation_cost ~arch ~network ~endpoint ~cycles ~drive ~observe
   let wire = make_wire ?faults ?retry channel_params in
   let compute = ref 0.0 in
   let exchange message =
-    wire_exchange wire ~peer:(Endpoint.handle_packet endpoint) message
+    wire_exchange wire ~seq:(alloc_seq wire)
+      ~peer:(fun packet ->
+        if Endpoint.is_alive endpoint then
+          Some (Endpoint.handle_packet endpoint packet)
+        else None)
+      ~on_crash:(fun () -> Endpoint.crash endpoint)
+      message
   in
   for i = 0 to cycles - 1 do
     (match drive i with

@@ -13,7 +13,19 @@
     plus a capped exponential backoff before retransmission, and the
     endpoint dedupes retransmissions so a retried [Cycle] never clocks
     the simulator twice. With the seed fixed the whole run — faults,
-    retries and functional outputs — replays identically. *)
+    retries and functional outputs — replays identically.
+
+    {2 Crash-safe sessions}
+
+    Attaching with a {!session_policy} arms the reconnect path: the
+    client opens a session ([Hello]), the endpoint checkpoints and
+    journals, and when the endpoint process dies mid-run (a
+    [Session_crash] fault, or a scripted {!crash_at}) the client
+    restarts it from its checkpoint + journal, re-handshakes with
+    [Resume], and retransmits the interrupted request under its original
+    sequence number — so the endpoint's dedup cache replays rather than
+    re-executes, and the resumed run's outputs are bit-identical to an
+    unfaulted one. *)
 
 (** {1 Retry policy} *)
 
@@ -35,26 +47,56 @@ val default_retry : retry_policy
     in the under-loss comparison. *)
 val no_retry : retry_policy
 
-(** Raised when an exchange exhausts [max_attempts]; the message names
-    the box and sequence number. This is the "clean failure" of the
-    fault-matrix tests — the session state is still consistent. *)
+(** Raised when an exchange exhausts [max_attempts] (and, with a session
+    armed, its resume budget); the message names the box and sequence
+    number. This is the "clean failure" of the fault-matrix tests — the
+    session state is still consistent. *)
 exception Exchange_failed of string
+
+(** {1 Session policy} *)
+
+type session_policy = {
+  resume_attempts : int;
+      (** crash-recovery budget per exchange: how many restart + resume
+          rounds before giving up with {!Exchange_failed} *)
+  checkpoint_every : int;
+      (** request an endpoint checkpoint after this many data exchanges;
+          0 disables client-driven checkpoints (the endpoint still
+          auto-checkpoints when its journal cap overflows) *)
+  heartbeat_every : int;
+      (** send a liveness probe after this many data exchanges;
+          0 disables heartbeats *)
+}
+
+(** [default_session_policy] — 3 resume attempts, checkpoint every 16
+    data exchanges, no heartbeats. *)
+val default_session_policy : session_policy
 
 type t
 
 val create : unit -> t
 
-(** [attach t ?faults ?retry endpoint params] — connect a black box over
-    a channel with the given network parameters. [faults] arms the
-    seeded injector on that channel; [retry] (default {!default_retry})
-    governs recovery. Endpoint names must be unique. *)
+(** [attach t ?faults ?retry ?session endpoint params] — connect a black
+    box over a channel with the given network parameters. [faults] arms
+    the seeded injector on that channel; [retry] (default
+    {!default_retry}) governs recovery. [session] arms the crash-safe
+    session layer: a [Hello] handshake runs immediately (the endpoint
+    checkpoints and starts journaling). Endpoint names must be
+    unique. *)
 val attach :
   t ->
   ?faults:Jhdl_faults.Fault.config ->
   ?retry:retry_policy ->
+  ?session:session_policy ->
   Endpoint.t ->
   Network.params ->
   unit
+
+(** [crash_at t ~box ~exchange:n] — scripted, deterministic crash: the
+    endpoint behind [box] dies as its [n]th subsequent exchange starts
+    (counting handshakes and maintenance traffic). One-shot. Raises
+    [Invalid_argument] when [n < 1] or the box is unknown. *)
+val crash_at : t -> box:string -> exchange:int -> unit
 
 (** [set_inputs t ~box pairs] — drive input ports of one black box. *)
 val set_inputs : t -> box:string -> (string * Jhdl_logic.Bits.t) list -> unit
@@ -88,6 +130,21 @@ val total_faults_injected : t -> int
 
 (** [fault_counts t] — injected faults by kind across all channels. *)
 val fault_counts : t -> (Jhdl_faults.Fault.kind * int) list
+
+(** [total_session_crashes t] — endpoint process deaths (injected
+    [Session_crash] faults plus scripted {!crash_at} ones). *)
+val total_session_crashes : t -> int
+
+(** [total_resumes t] — restart + [Resume] rounds performed. *)
+val total_resumes : t -> int
+
+(** [total_checkpoints t] — endpoint checkpoints taken (the [Hello]
+    one, client-requested ones, and journal-overflow ones). *)
+val total_checkpoints : t -> int
+
+(** [total_replayed_messages t] — journal entries re-executed by
+    endpoint restarts. *)
+val total_replayed_messages : t -> int
 
 (** {1 Delivery-architecture comparison (claim C1)} *)
 

@@ -1,32 +1,83 @@
 module Simulator = Jhdl_sim.Simulator
+module Snapshot = Jhdl_sim.Snapshot
 module Design = Jhdl_circuit.Design
 
 (* Modeled cost of one evaluation pass in the client JVM. *)
 let seconds_per_prim = 40.0e-9
 
+let default_journal_cap = 64
+
+(* Durable session state: what a crashed endpoint still has on disk.
+   The checkpoint blob plus the write-ahead journal of every message
+   applied since it together reconstruct the exact pre-crash simulator
+   state — including the reply cache, since reads are journaled too. *)
+type session = {
+  session_id : string;
+  mutable checkpoint : string;  (* snapshot blob *)
+  mutable journal : (int * Protocol.message) list;  (* newest first *)
+  mutable journal_len : int;
+  mutable last_applied : int;  (* seq of the last journaled message, -1 none *)
+  mutable checkpoints_taken : int;
+  mutable replayed : int;  (* journal entries re-executed by restarts *)
+}
+
 type t = {
   endpoint_name : string;
   sim : Simulator.t;
   compute : float;
+  journal_cap : int;
   (* at-most-once execution: a retransmitted request (same sequence
      number) must not clock the simulator again, so the last reply is
      kept and replayed *)
   mutable last_seq : int option;
   mutable last_reply : Protocol.message;
+  mutable alive : bool;
+  mutable session : session option;
+  mutable crash_count : int;
+  mutable heartbeats : int;
 }
 
-let of_simulator ~name sim =
+let of_simulator ?(journal_cap = default_journal_cap) ~name sim =
+  if journal_cap < 1 then
+    invalid_arg "Endpoint.of_simulator: journal_cap must be positive";
   { endpoint_name = name;
     sim;
     compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim;
+    journal_cap;
     last_seq = None;
-    last_reply = Protocol.Ack }
+    last_reply = Protocol.Ack;
+    alive = true;
+    session = None;
+    crash_count = 0;
+    heartbeats = 0 }
 
-let of_applet ~name applet =
-  Option.map (of_simulator ~name) (Jhdl_applet.Applet.simulator applet)
+let of_applet ?journal_cap ~name applet =
+  Option.map
+    (of_simulator ?journal_cap ~name)
+    (Jhdl_applet.Applet.simulator applet)
 
 let name t = t.endpoint_name
 let compute_seconds_per_cycle t = t.compute
+
+let snapshot t =
+  match Simulator.snapshot t.sim with
+  | blob -> Ok blob
+  | exception Snapshot.Error reason -> Error reason
+
+let restore t blob =
+  match Simulator.restore t.sim blob with
+  | () -> Ok ()
+  | exception Snapshot.Error reason -> Error reason
+
+let take_checkpoint t session =
+  match Simulator.snapshot t.sim with
+  | blob ->
+    session.checkpoint <- blob;
+    session.journal <- [];
+    session.journal_len <- 0;
+    session.checkpoints_taken <- session.checkpoints_taken + 1;
+    Protocol.Ack
+  | exception Snapshot.Error reason -> Protocol.Protocol_error reason
 
 let handle t message =
   match message with
@@ -48,18 +99,144 @@ let handle t message =
      with
      | pairs -> Protocol.Outputs_are pairs
      | exception Invalid_argument reason -> Protocol.Protocol_error reason)
-  | Protocol.Outputs_are _ | Protocol.Ack ->
+  | Protocol.Hello session_id ->
+    let session =
+      { session_id;
+        checkpoint = "";
+        journal = [];
+        journal_len = 0;
+        last_applied = -1;
+        checkpoints_taken = 0;
+        replayed = 0 }
+    in
+    (match take_checkpoint t session with
+     | Protocol.Ack ->
+       t.session <- Some session;
+       Protocol.Ack
+     | refusal -> refusal)
+  | Protocol.Resume (session_id, _client_acked) ->
+    (match t.session with
+     | Some s when String.equal s.session_id session_id ->
+       Protocol.Session_state s.last_applied
+     | Some s ->
+       Protocol.Protocol_error
+         (Printf.sprintf "unknown session %s (serving %s)" session_id
+            s.session_id)
+     | None -> Protocol.Protocol_error ("no session to resume: " ^ session_id))
+  | Protocol.Heartbeat ->
+    t.heartbeats <- t.heartbeats + 1;
+    Protocol.Ack
+  | Protocol.Checkpoint ->
+    (match t.session with
+     | None -> Protocol.Protocol_error "checkpoint without a session"
+     | Some s -> take_checkpoint t s)
+  | Protocol.Outputs_are _ | Protocol.Ack | Protocol.Session_state _ ->
     Protocol.Protocol_error "unexpected reply message"
   | Protocol.Protocol_error _ as e -> e
 
+(* Session-control messages are idempotent and deliberately bypass the
+   single-entry dedup cache: a [Resume] exchange must not evict the
+   cached reply of the data request the client is about to retransmit. *)
+let is_session_control = function
+  | Protocol.Hello _ | Protocol.Resume _ | Protocol.Heartbeat
+  | Protocol.Checkpoint -> true
+  | Protocol.Set_inputs _ | Protocol.Cycle _ | Protocol.Reset
+  | Protocol.Get_outputs _ | Protocol.Outputs_are _ | Protocol.Ack
+  | Protocol.Protocol_error _ | Protocol.Session_state _ -> false
+
+(* Half-window comparison with wraparound: [seq] is stale when it lies
+   (mod 2^16) strictly behind [last] by less than half the space. *)
+let is_stale ~last seq =
+  let d = (last - seq) land Protocol.max_seq in
+  d > 0 && d < (Protocol.max_seq + 1) / 2
+
+let journal_applied t seq payload =
+  match t.session with
+  | None -> ()
+  | Some s ->
+    s.journal <- (seq, payload) :: s.journal;
+    s.journal_len <- s.journal_len + 1;
+    s.last_applied <- seq;
+    (* bounded write-ahead journal: overflow forces a checkpoint, which
+       truncates it (the session exists, so the design snapshots) *)
+    if s.journal_len > t.journal_cap then
+      ignore (take_checkpoint t s : Protocol.message)
+
 let handle_packet t (packet : Protocol.packet) =
+  if not t.alive then
+    invalid_arg
+      (Printf.sprintf "Endpoint.handle_packet: %s has crashed" t.endpoint_name);
+  let seq = packet.Protocol.seq in
+  let payload = packet.Protocol.payload in
   match t.last_seq with
-  | Some seq when seq = packet.Protocol.seq ->
+  | Some last when last = seq ->
     (* duplicate delivery or retransmission after a lost reply: replay
        the cached answer without touching the simulator *)
     { Protocol.seq; payload = t.last_reply }
+  | Some last when is_stale ~last seq && not (is_session_control payload) ->
+    (* a late duplicate from before the current exchange (e.g. across a
+       Reset boundary) must never re-execute — refuse it instead *)
+    { Protocol.seq;
+      payload =
+        Protocol.Protocol_error
+          (Printf.sprintf "stale sequence %d (last applied %d)" seq last) }
   | Some _ | None ->
-    let reply = handle t packet.Protocol.payload in
-    t.last_seq <- Some packet.Protocol.seq;
-    t.last_reply <- reply;
-    { Protocol.seq = packet.Protocol.seq; payload = reply }
+    let reply = handle t payload in
+    if not (is_session_control payload) then begin
+      journal_applied t seq payload;
+      t.last_seq <- Some seq;
+      t.last_reply <- reply
+    end;
+    { Protocol.seq; payload = reply }
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart.                                                    *)
+
+let is_alive t = t.alive
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.crash_count <- t.crash_count + 1
+  end
+
+let restart t =
+  if t.alive then Ok 0
+  else
+    match t.session with
+    | None -> Error "no session: endpoint state was lost with the crash"
+    | Some s ->
+      (match Simulator.restore t.sim s.checkpoint with
+       | exception Snapshot.Error reason -> Error reason
+       | () ->
+         (* the volatile dedup cache died with the process; replaying the
+            journal re-executes every applied message in order, leaving
+            both the simulator and the cache exactly as before the crash *)
+         t.last_seq <- None;
+         t.last_reply <- Protocol.Ack;
+         let entries = List.rev s.journal in
+         List.iter
+           (fun (seq, msg) ->
+              let reply = handle t msg in
+              t.last_seq <- Some seq;
+              t.last_reply <- reply)
+           entries;
+         let n = List.length entries in
+         s.replayed <- s.replayed + n;
+         t.alive <- true;
+         Ok n)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection.                                                      *)
+
+let session_id t = Option.map (fun s -> s.session_id) t.session
+let journal_length t = match t.session with None -> 0 | Some s -> s.journal_len
+
+let checkpoints_taken t =
+  match t.session with None -> 0 | Some s -> s.checkpoints_taken
+
+let replayed_messages t =
+  match t.session with None -> 0 | Some s -> s.replayed
+
+let crash_count t = t.crash_count
+let heartbeats_received t = t.heartbeats

@@ -4,18 +4,33 @@
     inside a served applet) behind the wire protocol. The peer sees only
     port names and simulation values — no structure, no netlist —
     exactly the visibility contract of the black-box applet (Section
-    4.2). *)
+    4.2).
+
+    {2 Crash safety}
+
+    A [Hello] opens a session: the endpoint takes a checkpoint
+    ({!Jhdl_sim.Simulator.snapshot}) and starts a bounded write-ahead
+    journal of every applied data message. {!crash} models the applet
+    process dying — volatile state (the live simulator, the reply cache)
+    is lost; {!restart} restores the checkpoint and replays the journal,
+    reconstructing the exact pre-crash state including the cached reply
+    a resuming client is about to ask for again. The journal is
+    truncated by [Checkpoint] messages and, automatically, when it
+    outgrows the cap. *)
 
 type t
 
-(** [of_simulator ~name sim] — expose [sim]'s top-level ports. The
-    per-cycle compute cost the endpoint charges to a channel is derived
-    from the design's primitive count. *)
-val of_simulator : name:string -> Jhdl_sim.Simulator.t -> t
+(** [of_simulator ?journal_cap ~name sim] — expose [sim]'s top-level
+    ports. The per-cycle compute cost the endpoint charges to a channel
+    is derived from the design's primitive count. [journal_cap] (default
+    64) bounds the write-ahead journal: one more applied message forces
+    an automatic checkpoint. Raises [Invalid_argument] when it is not
+    positive. *)
+val of_simulator : ?journal_cap:int -> name:string -> Jhdl_sim.Simulator.t -> t
 
 (** [of_applet ~name applet] — wrap a built applet's simulator; [None]
     when the applet has no simulator linked or nothing built. *)
-val of_applet : name:string -> Jhdl_applet.Applet.t -> t option
+val of_applet : ?journal_cap:int -> name:string -> Jhdl_applet.Applet.t -> t option
 
 val name : t -> string
 
@@ -25,12 +40,64 @@ val compute_seconds_per_cycle : t -> float
 
 (** [handle t message] — process one protocol message and produce the
     reply ([Ack] for writes, [Outputs_are] for reads, [Protocol_error]
-    for unknown ports). *)
+    for unknown ports). Session messages: [Hello] opens a session
+    (checkpointing now), [Resume] answers [Session_state] with the last
+    applied sequence number, [Heartbeat] acks, [Checkpoint] snapshots
+    and truncates the journal. *)
 val handle : t -> Protocol.message -> Protocol.message
 
 (** [handle_packet t packet] — [handle] with at-most-once semantics: a
     packet repeating the previous sequence number (a duplicate, or a
     retransmission after the reply was lost) replays the cached reply
     without re-executing — a retried [Cycle] must not clock the
-    simulator twice. The reply carries the request's sequence number. *)
+    simulator twice. A sequence number strictly {e behind} the last
+    applied one (mod 2{^16}, half-window) is a late duplicate from an
+    earlier exchange — say, from before a [Reset] — and is refused with
+    a [Protocol_error] rather than re-executed. Session-control
+    messages are idempotent and bypass the dedup cache. The reply
+    carries the request's sequence number.
+
+    Raises [Invalid_argument] when the endpoint has {!crash}ed — a dead
+    process answers nothing (transport layers check {!is_alive}). *)
 val handle_packet : t -> Protocol.packet -> Protocol.packet
+
+(** {1 Crash / restart} *)
+
+val is_alive : t -> bool
+
+(** [crash t] — the endpoint process dies: volatile state (live
+    simulator values, the reply cache) is lost. Durable session state
+    (checkpoint + journal) survives. Idempotent on a dead endpoint. *)
+val crash : t -> unit
+
+(** [restart t] — bring a crashed endpoint back: restore the session
+    checkpoint into the simulator and replay the journal. Returns
+    [Ok replayed_count]; [Ok 0] if the endpoint was alive. [Error _]
+    when no session was ever opened (nothing durable to restore from)
+    or the checkpoint fails to restore. *)
+val restart : t -> (int, string) result
+
+(** {1 Checkpoint access}
+
+    Direct snapshot/restore of the wrapped simulator, for session
+    managers and CLI checkpoint files. *)
+
+val snapshot : t -> (string, string) result
+val restore : t -> string -> (unit, string) result
+
+(** {1 Introspection} *)
+
+val session_id : t -> string option
+
+(** [journal_length t] — applied messages since the last checkpoint. *)
+val journal_length : t -> int
+
+(** [checkpoints_taken t] — checkpoints in the current session,
+    including the [Hello] one and automatic overflow checkpoints. *)
+val checkpoints_taken : t -> int
+
+(** [replayed_messages t] — journal entries re-executed by {!restart}s. *)
+val replayed_messages : t -> int
+
+val crash_count : t -> int
+val heartbeats_received : t -> int

@@ -67,6 +67,7 @@ type delivery =
   | Dropped
   | Corrupted
   | Disconnected
+  | Crashed
 
 (* a torn-down TCP connection costs a reconnect handshake before the
    sender can try again: SYN, SYN-ACK, ACK — three one-way trips *)
@@ -96,7 +97,11 @@ let transmit t ~bytes =
        Delivered
      | Some Fault.Disconnect ->
        t.clock_s <- t.clock_s +. reconnect_seconds t.net_params;
-       Disconnected)
+       Disconnected
+     | Some Fault.Session_crash ->
+       (* the peer process died; the frame vanishes into a dead socket
+          and the sender hears only its own timeout *)
+       Crashed)
 
 let mangle t payload =
   match t.injector with

@@ -49,6 +49,10 @@ type delivery =
   | Corrupted  (** arrived with mangled bytes; checksums must catch it *)
   | Disconnected
       (** connection torn down mid-flight; reconnect already charged *)
+  | Crashed
+      (** the peer process died mid-exchange ([Fault.Session_crash]):
+          the frame is gone and the peer's volatile state with it; only
+          a session layer with checkpoints can resume *)
 
 (** [transmit t ~bytes] — account one frame and roll the fault dice.
     Duplicates account a second copy of the frame; latency spikes and

@@ -8,11 +8,18 @@ type message =
   | Outputs_are of (string * Bits.t) list
   | Ack
   | Protocol_error of string
+  | Hello of string
+  | Resume of string * int
+  | Session_state of int
+  | Heartbeat
+  | Checkpoint
 
 (* Wire format: 1 tag byte, then tag-specific payload. Strings are
    2-byte big-endian length + bytes; counts are 2 bytes; Cycle carries a
    4-byte big-endian count. Values travel as bit characters (MSB first),
-   preserving X/Z. *)
+   preserving X/Z. Sequence numbers inside session messages (Resume /
+   Session_state) are offset by one on the wire so the "nothing applied
+   yet" sentinel -1 fits an unsigned field. *)
 
 let add_u16 buffer n =
   Buffer.add_char buffer (Char.chr ((n lsr 8) land 0xFF));
@@ -54,7 +61,19 @@ let encode message =
    | Ack -> Buffer.add_char buffer 'A'
    | Protocol_error text ->
      Buffer.add_char buffer 'E';
-     add_string buffer text);
+     add_string buffer text
+   | Hello session_id ->
+     Buffer.add_char buffer 'H';
+     add_string buffer session_id
+   | Resume (session_id, last_acked) ->
+     Buffer.add_char buffer 'U';
+     add_string buffer session_id;
+     add_u32 buffer (last_acked + 1)
+   | Session_state last_applied ->
+     Buffer.add_char buffer 'S';
+     add_u32 buffer (last_applied + 1)
+   | Heartbeat -> Buffer.add_char buffer 'B'
+   | Checkpoint -> Buffer.add_char buffer 'K');
   Buffer.contents buffer
 
 let size message = String.length (encode message)
@@ -110,6 +129,13 @@ let decode s =
       | 'O' -> Outputs_are (pairs ())
       | 'A' -> Ack
       | 'E' -> Protocol_error (str ())
+      | 'H' -> Hello (str ())
+      | 'U' ->
+        let session_id = str () in
+        Resume (session_id, u32 () - 1)
+      | 'S' -> Session_state (u32 () - 1)
+      | 'B' -> Heartbeat
+      | 'K' -> Checkpoint
       | c -> raise (Malformed (Printf.sprintf "unknown tag %C" c))
     in
     if !pos <> String.length s then raise (Malformed "trailing bytes");
@@ -185,3 +211,10 @@ let pp fmt message =
     Format.fprintf fmt "Outputs{%s}" (String.concat "," (List.map pair pairs))
   | Ack -> Format.fprintf fmt "Ack"
   | Protocol_error text -> Format.fprintf fmt "Error(%s)" text
+  | Hello session_id -> Format.fprintf fmt "Hello(%s)" session_id
+  | Resume (session_id, last_acked) ->
+    Format.fprintf fmt "Resume(%s,%d)" session_id last_acked
+  | Session_state last_applied ->
+    Format.fprintf fmt "SessionState(%d)" last_applied
+  | Heartbeat -> Format.fprintf fmt "Heartbeat"
+  | Checkpoint -> Format.fprintf fmt "Checkpoint"

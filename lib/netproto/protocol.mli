@@ -14,6 +14,20 @@ type message =
   | Outputs_are of (string * Jhdl_logic.Bits.t) list
   | Ack
   | Protocol_error of string
+  | Hello of string
+      (** open a crash-safe session under this id; the endpoint takes an
+          initial checkpoint and starts journaling applied messages *)
+  | Resume of string * int
+      (** [(session_id, last_acked)] — re-handshake after a crash or
+          exhausted retries; [last_acked] is the highest sequence number
+          the client saw acknowledged, [-1] for none *)
+  | Session_state of int
+      (** reply to [Resume]: the endpoint's last applied sequence
+          number after checkpoint restore and journal replay, [-1] for
+          none *)
+  | Heartbeat  (** liveness probe; answered with [Ack] *)
+  | Checkpoint
+      (** ask the endpoint to checkpoint now and truncate its journal *)
 
 val encode : message -> string
 

@@ -517,3 +517,104 @@ let history sim =
 let on_cycle sim f = sim.cycle_hooks <- sim.cycle_hooks @ [ f ]
 let prim_count sim = Array.length sim.order
 let levels sim = sim.depth
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: same path-keyed blob format as [Simulator], so a
+   kernel snapshot restores into the interpreter and vice versa.        *)
+
+let seq_node_by_path sim =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (node, _) -> Hashtbl.replace table (Cell.path node.inst) node)
+    sim.seq_nodes;
+  table
+
+let snapshot sim =
+  Snapshot.check_design sim.sim_design;
+  let nets_list = Design.all_nets sim.sim_design in
+  let image_nets =
+    Bytes.init (List.length nets_list) (fun _ -> '\002')
+  in
+  List.iteri
+    (fun i n ->
+       Bytes.set image_nets i (Char.chr (Bit.to_code (read_net sim n))))
+    nets_list;
+  let by_path = seq_node_by_path sim in
+  let image_seq =
+    List.filter_map
+      (fun inst ->
+         let path = Cell.path inst in
+         match Hashtbl.find_opt by_path path with
+         | None -> None
+         | Some node ->
+           (match node.state with
+            | Ff_state { value; _ } ->
+              Some (path, Snapshot.Flop (Bit.to_code !value))
+            | Mem_state { cells; _ } ->
+              Some
+                ( path,
+                  Snapshot.Mem
+                    (Bytes.init 16 (fun i -> Char.chr (Bit.to_code cells.(i))))
+                )
+            | Bb_state _ | No_state -> None))
+      (Design.all_prims sim.sim_design)
+  in
+  Snapshot.encode
+    { Snapshot.image_signature = Snapshot.signature sim.sim_design;
+      image_cycles = sim.cycles;
+      image_nets;
+      image_seq;
+      image_watches = history sim }
+
+let restore sim blob =
+  let img = Snapshot.decode blob in
+  let expect = Snapshot.signature sim.sim_design in
+  if img.Snapshot.image_signature <> expect then
+    raise
+      (Snapshot.Error
+         (Printf.sprintf
+            "snapshot: design signature mismatch (blob %08x, design %s is %08x)"
+            img.Snapshot.image_signature (Design.name sim.sim_design) expect));
+  let nets_list = Design.all_nets sim.sim_design in
+  if Bytes.length img.Snapshot.image_nets <> List.length nets_list then
+    raise (Snapshot.Error "snapshot: net count mismatch");
+  List.iteri
+    (fun i n ->
+       Hashtbl.replace sim.values n.net_id
+         (Bit.of_code (Char.code (Bytes.get img.Snapshot.image_nets i))))
+    nets_list;
+  let by_path = seq_node_by_path sim in
+  List.iter
+    (fun (path, state) ->
+       match Hashtbl.find_opt by_path path with
+       | Some { state = Ff_state { value; _ }; _ } ->
+         (match state with
+          | Snapshot.Flop c -> value := Bit.of_code c
+          | Snapshot.Mem _ ->
+            raise
+              (Snapshot.Error
+                 ("snapshot: state entry does not match the design at " ^ path)))
+       | Some { state = Mem_state { cells; _ }; _ } ->
+         (match state with
+          | Snapshot.Mem src ->
+            for i = 0 to 15 do
+              cells.(i) <- Bit.of_code (Char.code (Bytes.get src i))
+            done
+          | Snapshot.Flop _ ->
+            raise
+              (Snapshot.Error
+                 ("snapshot: state entry does not match the design at " ^ path)))
+       | Some _ | None ->
+         raise
+           (Snapshot.Error
+              ("snapshot: state entry does not match the design at " ^ path)))
+    img.Snapshot.image_seq;
+  sim.cycles <- img.Snapshot.image_cycles;
+  List.iter
+    (fun w ->
+       w.samples <-
+         (match List.assoc_opt w.watch_label img.Snapshot.image_watches with
+          | Some samples -> List.rev samples
+          | None -> []))
+    sim.watches;
+  propagate_full sim

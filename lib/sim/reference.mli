@@ -33,6 +33,13 @@ val cycle_count : t -> int
 val watch : t -> ?label:string -> Jhdl_circuit.Wire.t -> unit
 val history : t -> (string * (int * Jhdl_logic.Bits.t) list) list
 
+(** Checkpointing, blob-compatible with {!Simulator.snapshot}: a kernel
+    snapshot restores into the interpreter and vice versa. See
+    {!Simulator.snapshot} for the contract. *)
+
+val snapshot : t -> string
+val restore : t -> string -> unit
+
 val on_cycle : t -> (int -> unit) -> unit
 val prim_count : t -> int
 val levels : t -> int

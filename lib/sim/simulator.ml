@@ -189,6 +189,7 @@ type t = {
   depth : int;
   seq_all : snode array; (* every sequential node, for [reset] *)
   seq_clocked : snode array; (* the selected clock domain *)
+  seq_by_path : (string, snode) Hashtbl.t; (* checkpoint state keys *)
   mutable cycles : int;
   mutable watches : watch_entry list; (* reverse watch order *)
   mutable cycle_hooks : (int -> unit) list; (* registration order *)
@@ -464,12 +465,14 @@ let create ?clock design =
   in
   let eval = Array.make n_ranks (fun () -> ()) in
   let seq_all = ref [] and seq_clocked = ref [] in
-  let add_seq sn clocked =
-    seq_all := sn :: !seq_all;
-    if clocked then seq_clocked := sn :: !seq_clocked
-  in
+  let seq_by_path = Hashtbl.create 64 in
   Array.iteri
     (fun rank p ->
+       let add_seq sn clocked =
+         seq_all := sn :: !seq_all;
+         Hashtbl.replace seq_by_path (Cell.path p.inst) sn;
+         if clocked then seq_clocked := sn :: !seq_clocked
+       in
        let ins =
          List.map
            (fun (name, nets) ->
@@ -612,6 +615,7 @@ let create ?clock design =
       depth;
       seq_all = Array.of_list (List.rev !seq_all);
       seq_clocked = Array.of_list (List.rev !seq_clocked);
+      seq_by_path;
       cycles = 0;
       watches = [];
       cycle_hooks = [] }
@@ -753,3 +757,79 @@ let history sim =
 let on_cycle sim f = sim.cycle_hooks <- sim.cycle_hooks @ [ f ]
 let prim_count sim = Array.length sim.eval
 let levels sim = sim.depth
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing. State entries are keyed by instance path ([Snapshot]'s
+   contract), so blobs restore across [Simulator]/[Reference] and across
+   processes as long as the design signature matches.                   *)
+
+let snapshot sim =
+  Snapshot.check_design sim.sim_design;
+  let nets_list = Design.all_nets sim.sim_design in
+  let image_nets = Bytes.create (List.length nets_list) in
+  List.iteri
+    (fun i n ->
+       let c =
+         match Hashtbl.find_opt sim.net_idx n.net_id with
+         | Some idx -> code sim.st idx
+         | None -> 2
+       in
+       Bytes.set image_nets i (Char.chr c))
+    nets_list;
+  let image_seq =
+    List.filter_map
+      (fun inst ->
+         let path = Cell.path inst in
+         match Hashtbl.find_opt sim.seq_by_path path with
+         | None | Some (S_bb _) -> None
+         | Some (S_ff f) -> Some (path, Snapshot.Flop f.ff_cur)
+         | Some (S_srl s) -> Some (path, Snapshot.Mem (Bytes.copy s.srl_cells))
+         | Some (S_ram m) -> Some (path, Snapshot.Mem (Bytes.copy m.ram_cells)))
+      (Design.all_prims sim.sim_design)
+  in
+  Snapshot.encode
+    { Snapshot.image_signature = Snapshot.signature sim.sim_design;
+      image_cycles = sim.cycles;
+      image_nets;
+      image_seq;
+      image_watches = history sim }
+
+let restore sim blob =
+  let img = Snapshot.decode blob in
+  let expect = Snapshot.signature sim.sim_design in
+  if img.Snapshot.image_signature <> expect then
+    raise
+      (Snapshot.Error
+         (Printf.sprintf
+            "snapshot: design signature mismatch (blob %08x, design %s is %08x)"
+            img.Snapshot.image_signature (Design.name sim.sim_design) expect));
+  let nets_list = Design.all_nets sim.sim_design in
+  if Bytes.length img.Snapshot.image_nets <> List.length nets_list then
+    raise (Snapshot.Error "snapshot: net count mismatch");
+  List.iteri
+    (fun i n ->
+       match Hashtbl.find_opt sim.net_idx n.net_id with
+       | None -> ()
+       | Some idx ->
+         Bytes.set sim.st.vals idx (Bytes.get img.Snapshot.image_nets i))
+    nets_list;
+  List.iter
+    (fun (path, state) ->
+       match Hashtbl.find_opt sim.seq_by_path path, state with
+       | Some (S_ff f), Snapshot.Flop c -> f.ff_cur <- c
+       | Some (S_srl s), Snapshot.Mem cells -> Bytes.blit cells 0 s.srl_cells 0 16
+       | Some (S_ram m), Snapshot.Mem cells -> Bytes.blit cells 0 m.ram_cells 0 16
+       | _ ->
+         raise
+           (Snapshot.Error
+              ("snapshot: state entry does not match the design at " ^ path)))
+    img.Snapshot.image_seq;
+  sim.cycles <- img.Snapshot.image_cycles;
+  List.iter
+    (fun w ->
+       w.samples <-
+         (match List.assoc_opt w.watch_label img.Snapshot.image_watches with
+          | Some samples -> List.rev samples
+          | None -> []))
+    sim.watches;
+  propagate_full sim

@@ -93,6 +93,26 @@ val watch : t -> ?label:string -> Jhdl_circuit.Wire.t -> unit
     as [(cycle, value)] pairs in increasing cycle order. *)
 val history : t -> (string * (int * Jhdl_logic.Bits.t) list) list
 
+(** {1 Checkpointing}
+
+    Crash-safe co-simulation serializes the running state into
+    {!Snapshot} blobs; a restarted endpoint restores the blob and
+    replays its journal to the exact pre-crash state. *)
+
+(** [snapshot sim] serializes the complete architectural state — net
+    codes, register/SRL/RAM contents, cycle counter, watch histories —
+    into a versioned, CRC-checked blob. Raises {!Snapshot.Error} when
+    the design holds behavioural black boxes (opaque state). *)
+val snapshot : t -> string
+
+(** [restore sim blob] overwrites [sim]'s state with [blob] and settles
+    combinational logic. The blob must come from a design with the same
+    {!Snapshot.signature} — either simulator implementation qualifies.
+    Raises {!Snapshot.Error} on malformed, corrupt, wrong-version or
+    foreign blobs; [sim] is only modified once the blob has been fully
+    validated against the design. *)
+val restore : t -> string -> unit
+
 (** {1 Introspection for tools}
 
     The open-API surface that lets viewers and third-party tools attach to

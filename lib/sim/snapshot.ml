@@ -1,0 +1,273 @@
+(* Checkpoint blob format, shared by [Simulator] and [Reference].
+
+   Layout (integers big-endian):
+
+     "JSNP"  magic                                   4 bytes
+     version                                         1
+     design signature                                4
+     cycle counter                                   4
+     net count N, then N code bytes                  4 + N
+     seq count S, then S entries                     4 + ...
+       path length (u16), path bytes
+       'F' + 1 code byte          flip-flop
+       'M' + 16 code bytes        SRL / RAM cells
+     watch count W (u16), then W entries             2 + ...
+       label length (u16), label bytes
+       sample count (u32), then per sample:
+         cycle (u32), width (u16), width code bytes
+     CRC-16 over everything after the magic          2
+
+   State entries are keyed by instance path, not evaluation rank: the
+   kernel levelizes in rank order and the interpreter keeps hierarchy
+   order, and paths are the one key both agree on. *)
+
+module Bits = Jhdl_logic.Bits
+module Bit = Jhdl_logic.Bit
+module Lut_init = Jhdl_logic.Lut_init
+module Prim = Jhdl_circuit.Prim
+module Cell = Jhdl_circuit.Cell
+module Wire = Jhdl_circuit.Wire
+module Design = Jhdl_circuit.Design
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let magic = "JSNP"
+let version = 1
+
+type seq_state =
+  | Flop of int
+  | Mem of Bytes.t
+
+type image = {
+  image_signature : int;
+  image_cycles : int;
+  image_nets : Bytes.t;
+  image_seq : (string * seq_state) list;
+  image_watches : (string * (int * Bits.t) list) list;
+}
+
+(* CRC-16/CCITT-FALSE, bit-identical to the wire protocol's checksum *)
+let crc16 s =
+  let crc = ref 0xFFFF in
+  String.iter
+    (fun ch ->
+       crc := !crc lxor (Char.code ch lsl 8);
+       for _ = 1 to 8 do
+         crc :=
+           (if !crc land 0x8000 <> 0 then (!crc lsl 1) lxor 0x1021
+            else !crc lsl 1)
+           land 0xFFFF
+       done)
+    s;
+  !crc
+
+(* ------------------------------------------------------------------ *)
+(* Design signature.                                                   *)
+
+let fnv1a32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+(* [Prim.name] alone would collide distinct parameterizations (it drops
+   INIT values), so the descriptor spells them out. *)
+let describe_prim = function
+  | Prim.Lut init ->
+    Printf.sprintf "LUT%d=%x" (Lut_init.inputs init) (Lut_init.to_int init)
+  | Prim.Ff { clock_enable; async_clear; sync_reset; init } ->
+    Printf.sprintf "FF:%b:%b:%b:%d" clock_enable async_clear sync_reset
+      (Bit.to_code init)
+  | Prim.Srl16 { init } -> Printf.sprintf "SRL16=%x" init
+  | Prim.Ram16x1 { init } -> Printf.sprintf "RAM16X1=%x" init
+  | Prim.Black_box { model_name; _ } -> "BB:" ^ model_name
+  | p -> Prim.name p
+
+let signature design =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Design.name design);
+  List.iter
+    (fun p ->
+       Buffer.add_char b '|';
+       Buffer.add_string b p.Design.port_name;
+       Buffer.add_char b
+         (match p.Design.port_dir with
+          | Jhdl_circuit.Types.Input -> '<'
+          | Jhdl_circuit.Types.Output -> '>');
+       Buffer.add_string b (string_of_int (Wire.width p.Design.port_wire)))
+    (Design.ports design);
+  Buffer.add_char b '#';
+  Buffer.add_string b (string_of_int (List.length (Design.all_nets design)));
+  List.iter
+    (fun inst ->
+       match Cell.prim_of inst with
+       | None -> ()
+       | Some prim ->
+         Buffer.add_char b '|';
+         Buffer.add_string b (Cell.path inst);
+         Buffer.add_char b '=';
+         Buffer.add_string b (describe_prim prim))
+    (Design.all_prims design);
+  fnv1a32 (Buffer.contents b)
+
+let check_design design =
+  List.iter
+    (fun inst ->
+       match Cell.prim_of inst with
+       | Some (Prim.Black_box { model_name; _ }) ->
+         error
+           "snapshot: design %s holds behavioural black box %s (%s) whose \
+            opaque state cannot be serialized"
+           (Design.name design) (Cell.path inst) model_name
+       | _ -> ())
+    (Design.all_prims design)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding.                                                           *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_u32 b v =
+  add_u16 b (v lsr 16);
+  add_u16 b v
+
+let add_str16 b s =
+  if String.length s > 0xffff then error "snapshot: string too long";
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let encode img =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  add_u8 b version;
+  add_u32 b img.image_signature;
+  add_u32 b img.image_cycles;
+  add_u32 b (Bytes.length img.image_nets);
+  Buffer.add_bytes b img.image_nets;
+  add_u32 b (List.length img.image_seq);
+  List.iter
+    (fun (path, state) ->
+       add_str16 b path;
+       match state with
+       | Flop code ->
+         Buffer.add_char b 'F';
+         add_u8 b code
+       | Mem cells ->
+         if Bytes.length cells <> 16 then
+           error "snapshot: memory state must be 16 cells";
+         Buffer.add_char b 'M';
+         Buffer.add_bytes b cells)
+    img.image_seq;
+  add_u16 b (List.length img.image_watches);
+  List.iter
+    (fun (label, samples) ->
+       add_str16 b label;
+       add_u32 b (List.length samples);
+       List.iter
+         (fun (cyc, bits) ->
+            add_u32 b cyc;
+            let codes = Bits.to_codes bits in
+            add_u16 b (Bytes.length codes);
+            Buffer.add_bytes b codes)
+         samples)
+    img.image_watches;
+  let body = Buffer.contents b in
+  let payload = String.sub body 4 (String.length body - 4) in
+  add_u16 b (crc16 payload);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding.                                                           *)
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.data then error "snapshot: truncated blob"
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let hi = u8 r in
+  (hi lsl 8) lor u8 r
+
+let u32 r =
+  let hi = u16 r in
+  (hi lsl 16) lor u16 r
+
+let str r n =
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* explicit left-to-right loop: the reader is stateful, so the order the
+   element parser runs in is part of the format *)
+let read_list n f =
+  let rec go acc i = if i = 0 then List.rev acc else go (f () :: acc) (i - 1) in
+  go [] n
+
+let code_byte r =
+  let c = u8 r in
+  if c > 3 then error "snapshot: invalid value code %d" c;
+  c
+
+let codes r n =
+  let s = str r n in
+  String.iter
+    (fun c -> if Char.code c > 3 then error "snapshot: invalid value code %d" (Char.code c))
+    s;
+  Bytes.of_string s
+
+let decode data =
+  if String.length data < 4 || not (String.equal (String.sub data 0 4) magic)
+  then error "snapshot: bad magic (not a snapshot blob)";
+  if String.length data < 7 then error "snapshot: truncated blob";
+  let stored =
+    (Char.code data.[String.length data - 2] lsl 8)
+    lor Char.code data.[String.length data - 1]
+  in
+  let payload = String.sub data 4 (String.length data - 6) in
+  if crc16 payload <> stored then error "snapshot: CRC mismatch (corrupt blob)";
+  let r = { data; pos = 4 } in
+  let v = u8 r in
+  if v <> version then
+    error "snapshot: unsupported version %d (this build reads %d)" v version;
+  let image_signature = u32 r in
+  let image_cycles = u32 r in
+  let n_nets = u32 r in
+  let image_nets = codes r n_nets in
+  let n_seq = u32 r in
+  let image_seq =
+    read_list n_seq (fun () ->
+      let path = str r (u16 r) in
+      match str r 1 with
+      | "F" -> (path, Flop (code_byte r))
+      | "M" -> (path, Mem (codes r 16))
+      | t -> error "snapshot: unknown state tag %S" t)
+  in
+  let n_watch = u16 r in
+  let image_watches =
+    read_list n_watch (fun () ->
+      let label = str r (u16 r) in
+      let n = u32 r in
+      let samples =
+        read_list n (fun () ->
+          let cyc = u32 r in
+          let w = u16 r in
+          (cyc, Bits.of_codes (codes r w)))
+      in
+      (label, samples))
+  in
+  ignore (u16 r : int) (* CRC trailer, verified above *);
+  if r.pos <> String.length data then error "snapshot: trailing garbage";
+  { image_signature; image_cycles; image_nets; image_seq; image_watches }

@@ -1,0 +1,61 @@
+(** Versioned, CRC-checked simulator checkpoint blobs.
+
+    A snapshot serializes the complete architectural state of a running
+    simulation — net codes, register/SRL/RAM contents, the cycle counter
+    and recorded watch histories — so a crashed or migrated session can
+    be restored bit-exactly. The encoding is shared by the compiled
+    kernel ({!Simulator}) and the golden interpreter ({!Reference}):
+    state entries are keyed by stable instance paths rather than
+    evaluation rank, so a blob taken from one simulator restores into
+    the other.
+
+    Blobs carry a format version, a 32-bit design signature (hashed over
+    the design's name, port interface, net count and every primitive's
+    path and descriptor — including LUT/SRL/RAM INIT values) and a
+    trailing CRC-16. {!decode} rejects truncated, corrupt, wrong-version
+    and foreign blobs with {!Error}. *)
+
+exception Error of string
+
+(** Current blob format version. *)
+val version : int
+
+(** State of one sequential primitive. *)
+type seq_state =
+  | Flop of int  (** flip-flop value as a 2-bit code *)
+  | Mem of Bytes.t  (** 16 SRL/RAM cells, one code byte each *)
+
+(** The decoded in-memory form of a checkpoint. *)
+type image = {
+  image_signature : int;  (** {!signature} of the source design *)
+  image_cycles : int;
+  image_nets : Bytes.t;
+      (** one code byte per design net, in [Design.all_nets] order *)
+  image_seq : (string * seq_state) list;
+      (** keyed by instance path, in [Design.all_prims] order *)
+  image_watches : (string * (int * Jhdl_logic.Bits.t) list) list;
+      (** per watch label, samples oldest first (the [history] shape) *)
+}
+
+(** [signature design] — a 32-bit hash of the design's identity:
+    name, ports (name/direction/width), net count, and each primitive
+    instance's path and full descriptor (LUT truth tables, FF pin
+    configuration and INIT, SRL/RAM INIT contents). Two designs restore
+    into each other iff their signatures match. *)
+val signature : Jhdl_circuit.Design.t -> int
+
+(** [check_design design] raises {!Error} when [design] cannot be
+    snapshotted — behavioural black boxes carry opaque closure state the
+    blob format cannot capture. *)
+val check_design : Jhdl_circuit.Design.t -> unit
+
+val encode : image -> string
+
+(** [decode blob] — raises {!Error} on bad magic, unsupported version,
+    CRC mismatch, truncation or trailing garbage. *)
+val decode : string -> image
+
+(** CRC-16/CCITT-FALSE over a string (poly 0x1021, init 0xFFFF) — the
+    same checksum the wire protocol uses, reimplemented here so the sim
+    library stays dependency-free. *)
+val crc16 : string -> int

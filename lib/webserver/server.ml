@@ -18,27 +18,40 @@ type entry = {
 
 type account = {
   tier : License.tier;
-  (* browser cache: component -> version downloaded *)
-  cache : (Partition.component, int) Hashtbl.t;
+  (* browser cache: bounded LRU of (component, version downloaded),
+     most recently used first *)
+  mutable cache : (Partition.component * int) list;
 }
 
 type t = {
   vendor : string;
+  cache_cap : int;
   mutable entries : (string * entry) list;
   accounts : (string, account) Hashtbl.t;
   (* component versions: base libraries move slowly, applet jars bump
      with each publication *)
   component_versions : (Partition.component, int) Hashtbl.t;
+  mutable evictions : int;
   mutable log : string list; (* newest first *)
 }
 
-let create ~vendor () =
+let create ~vendor ?cache_cap () =
+  let cache_cap =
+    match cache_cap with
+    | None -> List.length Partition.all_components
+    | Some cap when cap >= 1 -> cap
+    | Some cap ->
+      invalid_arg
+        (Printf.sprintf "Server.create: cache_cap %d must be positive" cap)
+  in
   let component_versions = Hashtbl.create 4 in
   List.iter
     (fun c -> Hashtbl.replace component_versions c 1)
     Partition.all_components;
-  { vendor; entries = []; accounts = Hashtbl.create 8; component_versions;
-    log = [] }
+  { vendor; cache_cap; entries = []; accounts = Hashtbl.create 8;
+    component_versions; evictions = 0; log = [] }
+
+let cache_evictions server = server.evictions
 
 let publish_unchecked server ip =
   let name = ip.Ip_module.ip_name in
@@ -90,9 +103,28 @@ let register_user server ~user ~tier =
   let account =
     match Hashtbl.find_opt server.accounts user with
     | Some account -> { account with tier }
-    | None -> { tier; cache = Hashtbl.create 4 }
+    | None -> { tier; cache = [] }
   in
   Hashtbl.replace server.accounts user account
+
+(* Move [component] to the front of the account's LRU at [version] and
+   trim past the cap; trimmed components must be transferred again next
+   time they are needed. Returns the components trimmed out. *)
+let cache_touch server account component version =
+  let cache =
+    (component, version) :: List.remove_assoc component account.cache
+  in
+  let rec split n = function
+    | [] -> ([], [])
+    | entry :: rest when n > 0 ->
+      let keep, drop = split (n - 1) rest in
+      (entry :: keep, drop)
+    | overflow -> ([], overflow)
+  in
+  let keep, drop = split server.cache_cap cache in
+  account.cache <- keep;
+  server.evictions <- server.evictions + List.length drop;
+  List.map fst drop
 
 type session = {
   applet : Applet.t;
@@ -101,6 +133,7 @@ type session = {
   fetched : Jar.t list;
   failed : Jar.t list;
   unavailable : Feature.t list;
+  evicted : Partition.component list;
   fetch_attempts : int;
   download_seconds : float;
 }
@@ -127,15 +160,20 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
        in
        let components = Applet.jar_components applet in
        let jars = Partition.jars_for components in
+       let evicted = ref [] in
        let fetched_components =
          List.filter
            (fun component ->
               let current = Hashtbl.find server.component_versions component in
-              match Hashtbl.find_opt account.cache component with
-              | Some cached when cached = current -> false
-              | Some _ | None ->
-                Hashtbl.replace account.cache component current;
-                true)
+              let miss =
+                match List.assoc_opt component account.cache with
+                | Some cached when cached = current -> false
+                | Some _ | None -> true
+              in
+              (* hits refresh recency; misses enter at the front, and a
+                 full cache drops its least recently used entry *)
+              evicted := !evicted @ cache_touch server account component current;
+              miss)
            components
        in
        let fetched = Partition.jars_for fetched_components in
@@ -144,7 +182,10 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
        let failed_components = List.filter_map component_of_jar failed in
        (* a failed transfer must not poison the cache: the revisit
           re-fetches the component instead of assuming it is present *)
-       List.iter (Hashtbl.remove account.cache) failed_components;
+       account.cache <-
+         List.filter
+           (fun (c, _) -> not (List.mem c failed_components))
+           account.cache;
        let download_seconds = Download.fetch_total_seconds fetches in
        let fetch_attempts = Download.fetch_attempts fetches in
        if List.exists (fun c -> List.mem c essential_components) failed_components
@@ -175,7 +216,8 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
            :: server.log;
          Ok
            { applet; version = entry.version; jars; fetched; failed;
-             unavailable; fetch_attempts; download_seconds }
+             unavailable; evicted = !evicted; fetch_attempts;
+             download_seconds }
        end)
 
 let access_log server = List.rev server.log

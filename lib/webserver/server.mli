@@ -9,8 +9,17 @@
 
 type t
 
-(** [create ~vendor ()] — an empty server. *)
-val create : vendor:string -> unit -> t
+(** [create ~vendor ?cache_cap ()] — an empty server. [cache_cap]
+    bounds each user's browser cache to that many component entries
+    (LRU: a full cache drops its least recently used component, which
+    must then be transferred again); the default admits every component,
+    reproducing an unbounded cache. Raises [Invalid_argument] when the
+    cap is not positive. *)
+val create : vendor:string -> ?cache_cap:int -> unit -> t
+
+(** [cache_evictions server] — total LRU evictions across all user
+    caches since the server started. *)
+val cache_evictions : t -> int
 
 (** [publish server ip] — put an IP on the catalog (version 1), or bump
     its version (and the applet jar's) when already present. Returns the
@@ -41,6 +50,9 @@ type session = {
       (** fetched jars that never arrived (retries exhausted) *)
   unavailable : Jhdl_applet.Feature.t list;
       (** licensed tools greyed out because their jar failed *)
+  evicted : Jhdl_bundle.Partition.component list;
+      (** components this request's cache traffic pushed out of the
+          bounded LRU (empty with the default cap) *)
   fetch_attempts : int;  (** total transfer attempts across all jars *)
   download_seconds : float;  (** includes retries, backoff and dead bytes *)
 }

@@ -1,0 +1,180 @@
+module Endpoint = Jhdl_netproto.Endpoint
+
+let log_src =
+  Logs.Src.create "jhdl.sessions" ~doc:"supervised co-simulation sessions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  heartbeat_timeout_s : float;
+  idle_timeout_s : float;
+  max_sessions_per_user : int;
+}
+
+let default_config =
+  { heartbeat_timeout_s = 30.0;
+    idle_timeout_s = 300.0;
+    max_sessions_per_user = 4 }
+
+type session = {
+  key : string;
+  user : string;
+  endpoint : Endpoint.t;
+  opened_at : float;
+  mutable last_heartbeat : float;
+  mutable last_activity : float;
+}
+
+type reap_reason =
+  | Heartbeat_lost
+  | Idle
+
+let reap_reason_name = function
+  | Heartbeat_lost -> "heartbeat lost"
+  | Idle -> "idle"
+
+type reaped = {
+  reaped_key : string;
+  reason : reap_reason;
+  checkpoint : (string, string) result;
+}
+
+type shutdown_report = {
+  preserved : (string * string) list;
+  lost : (string * string) list;
+}
+
+type stats = {
+  live : int;
+  opened : int;
+  quota_rejections : int;
+  reaped_heartbeat : int;
+  reaped_idle : int;
+}
+
+type t = {
+  config : config;
+  mutable sessions : session list; (* open order *)
+  mutable next_id : int;
+  mutable opened_count : int;
+  mutable quota_count : int;
+  mutable heartbeat_reaps : int;
+  mutable idle_reaps : int;
+}
+
+let create ?(config = default_config) () =
+  if config.max_sessions_per_user < 1 then
+    invalid_arg "Session_manager.create: max_sessions_per_user must be positive";
+  { config;
+    sessions = [];
+    next_id = 1;
+    opened_count = 0;
+    quota_count = 0;
+    heartbeat_reaps = 0;
+    idle_reaps = 0 }
+
+let user_load t user =
+  List.length (List.filter (fun s -> String.equal s.user user) t.sessions)
+
+let open_session t ~user ~now endpoint =
+  if user_load t user >= t.config.max_sessions_per_user then begin
+    t.quota_count <- t.quota_count + 1;
+    Log.warn (fun m ->
+      m "refused session for %s: quota of %d reached" user
+        t.config.max_sessions_per_user);
+    Error
+      (Printf.sprintf "quota: %s already has %d live session(s)" user
+         t.config.max_sessions_per_user)
+  end
+  else begin
+    let key =
+      Printf.sprintf "%s/%s#%d" user (Endpoint.name endpoint) t.next_id
+    in
+    t.next_id <- t.next_id + 1;
+    t.opened_count <- t.opened_count + 1;
+    t.sessions <-
+      t.sessions
+      @ [ { key; user; endpoint; opened_at = now; last_heartbeat = now;
+            last_activity = now } ];
+    Log.info (fun m -> m "opened %s" key);
+    Ok key
+  end
+
+let find t key =
+  List.find_opt (fun s -> String.equal s.key key) t.sessions
+
+let heartbeat t ~now key =
+  match find t key with
+  | None -> Error (Printf.sprintf "no session %s" key)
+  | Some s ->
+    s.last_heartbeat <- now;
+    s.last_activity <- now;
+    Ok ()
+
+let activity t ~now key =
+  match find t key with
+  | None -> Error (Printf.sprintf "no session %s" key)
+  | Some s ->
+    s.last_activity <- now;
+    Ok ()
+
+let live_sessions t = List.map (fun s -> s.key) t.sessions
+let endpoint t key = Option.map (fun s -> s.endpoint) (find t key)
+
+(* Checkpoint a session on its way out. A crashed endpoint has no live
+   simulator to snapshot; its durable journal may still allow a restart
+   later, but the supervisor can preserve nothing here. *)
+let final_checkpoint s =
+  if Endpoint.is_alive s.endpoint then Endpoint.snapshot s.endpoint
+  else Error "endpoint crashed; nothing live to checkpoint"
+
+let expiry t ~now s =
+  if
+    t.config.heartbeat_timeout_s > 0.0
+    && now -. s.last_heartbeat > t.config.heartbeat_timeout_s
+  then Some Heartbeat_lost
+  else if
+    t.config.idle_timeout_s > 0.0
+    && now -. s.last_activity > t.config.idle_timeout_s
+  then Some Idle
+  else None
+
+let tick t ~now =
+  let expired, live =
+    List.partition (fun s -> expiry t ~now s <> None) t.sessions
+  in
+  t.sessions <- live;
+  List.map
+    (fun s ->
+       let reason =
+         match expiry t ~now s with Some r -> r | None -> assert false
+       in
+       (match reason with
+        | Heartbeat_lost -> t.heartbeat_reaps <- t.heartbeat_reaps + 1
+        | Idle -> t.idle_reaps <- t.idle_reaps + 1);
+       Log.info (fun m -> m "reaped %s (%s)" s.key (reap_reason_name reason));
+       { reaped_key = s.key; reason; checkpoint = final_checkpoint s })
+    expired
+
+let shutdown t =
+  let preserved, lost =
+    List.fold_left
+      (fun (preserved, lost) s ->
+         match final_checkpoint s with
+         | Ok blob -> ((s.key, blob) :: preserved, lost)
+         | Error reason -> (preserved, (s.key, reason) :: lost))
+      ([], []) t.sessions
+  in
+  t.sessions <- [];
+  let report = { preserved = List.rev preserved; lost = List.rev lost } in
+  Log.info (fun m ->
+    m "shutdown: %d session(s) preserved, %d lost"
+      (List.length report.preserved) (List.length report.lost));
+  report
+
+let stats t =
+  { live = List.length t.sessions;
+    opened = t.opened_count;
+    quota_rejections = t.quota_count;
+    reaped_heartbeat = t.heartbeat_reaps;
+    reaped_idle = t.idle_reaps }

@@ -1,0 +1,86 @@
+(** Supervised co-simulation sessions on the vendor server.
+
+    The delivery server keeps a registry of live black-box endpoints —
+    one per customer co-simulation — and supervises them the way an
+    operator would: heartbeat and idle timeouts reap abandoned sessions
+    (checkpointing each on the way out), per-user quotas stop one
+    customer from monopolizing the simulation farm, and a graceful
+    shutdown checkpoints everything that is still alive and reports
+    exactly what was preserved.
+
+    Time is the caller's: every operation that ages sessions takes
+    [~now] (seconds, any consistent clock), so supervision is
+    deterministic in tests and benches. *)
+
+type config = {
+  heartbeat_timeout_s : float;
+      (** reap a session this long after its last heartbeat; 0 disables *)
+  idle_timeout_s : float;
+      (** reap a session this long after its last activity; 0 disables *)
+  max_sessions_per_user : int;  (** concurrent live sessions per user *)
+}
+
+(** [default_config] — 30 s heartbeat timeout, 300 s idle timeout,
+    4 sessions per user. *)
+val default_config : config
+
+type t
+
+(** Raises [Invalid_argument] when the quota is not positive. *)
+val create : ?config:config -> unit -> t
+
+(** [open_session t ~user ~now endpoint] — register a live endpoint
+    under [user]. [Error _] (counted in {!stats}) when the user's quota
+    is full. Returns the session key. *)
+val open_session :
+  t -> user:string -> now:float -> Jhdl_netproto.Endpoint.t ->
+  (string, string) result
+
+(** [heartbeat t ~now key] — the client pinged: refreshes both the
+    heartbeat and activity clocks. [Error _] for unknown keys. *)
+val heartbeat : t -> now:float -> string -> (unit, string) result
+
+(** [activity t ~now key] — the session did real work (an exchange
+    reached its endpoint): refreshes the idle clock only. *)
+val activity : t -> now:float -> string -> (unit, string) result
+
+val live_sessions : t -> string list
+val endpoint : t -> string -> Jhdl_netproto.Endpoint.t option
+
+type reap_reason =
+  | Heartbeat_lost
+  | Idle
+
+val reap_reason_name : reap_reason -> string
+
+type reaped = {
+  reaped_key : string;
+  reason : reap_reason;
+  checkpoint : (string, string) result;
+      (** the parting snapshot blob, or why none could be taken (e.g.
+          the endpoint had crashed) *)
+}
+
+(** [tick t ~now] — supervision pass: reap every session whose
+    heartbeat or idle clock has expired, checkpointing each. Reaped
+    sessions leave the registry. *)
+val tick : t -> now:float -> reaped list
+
+type shutdown_report = {
+  preserved : (string * string) list;  (** (session key, snapshot blob) *)
+  lost : (string * string) list;  (** (session key, failure reason) *)
+}
+
+(** [shutdown t] — graceful stop: checkpoint every live session and
+    empty the registry. The report says exactly what state survived. *)
+val shutdown : t -> shutdown_report
+
+type stats = {
+  live : int;
+  opened : int;  (** sessions ever opened *)
+  quota_rejections : int;
+  reaped_heartbeat : int;
+  reaped_idle : int;
+}
+
+val stats : t -> stats

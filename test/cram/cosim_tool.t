@@ -47,7 +47,78 @@ Without retries the first lost message kills the session cleanly.
 Bad fault arguments are rejected before anything runs.
 
   $ jhdl-cosim-tool --tb bench.v --fault gremlins --fault-rate 0.1
-  cosim_tool: faults: drop, corrupt, duplicate, latency, disconnect
+  cosim_tool: faults: drop, corrupt, duplicate, latency, disconnect, session-crash
+  [2]
+
+A scripted endpoint crash without the session layer kills the run
+cleanly — the channel looks dead and retries burn out.
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product --crash-at 3
+  cosim_tool: channel gave out: dut: request seq 2 lost after 6 attempt(s)
+  [2]
+
+With the session layer armed (--checkpoint-every) the same crash is
+survived: the endpoint restarts from its checkpoint, replays its
+journal, resumes the session, and the answers are bit-identical.
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --crash-at 3 --checkpoint-every 4
+  product: p=-560
+  1/1 checks passed, 1 cycles, 15 protocol messages (1250 bytes)
+  session: 1 crash(es), 1 resume(s), 2 checkpoint(s), 1 message(s) replayed
+
+Injected session crashes are seeded like every other fault: the same
+seed replays the same crashes, resumes and byte counts.
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --network campus --fault session-crash --fault-rate 0.2 --seed 11 \
+  >   --checkpoint-every 4 | tee crash_a.txt
+  product: p=-560
+  1/1 checks passed, 1 cycles, 55 protocol messages (4848 bytes)
+  fault model session-crash 20% (seed 11): 13 injected, 20 retries, 440 bytes retransmitted
+  session: 8 crash(es), 8 resume(s), 2 checkpoint(s), 19 message(s) replayed
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --network campus --fault session-crash --fault-rate 0.2 --seed 11 \
+  >   --checkpoint-every 4 > crash_b.txt && diff crash_a.txt crash_b.txt
+
+A checkpoint file written after one run restores into the next: the
+counter picks up at 5 and reaches 10. The blob is signature-checked, so
+it refuses to restore into a different design.
+
+  $ cat > count.v <<'VEOF'
+  > module tb;
+  >   reg ce;
+  >   wire [7:0] q;
+  >   initial begin
+  >     ce = 1'b1;
+  >     #5;
+  >     $display("count:", q);
+  >     $finish;
+  >   end
+  > endmodule
+  > VEOF
+
+  $ jhdl-cosim-tool --ip UpCounter -p has_enable=true --tb count.v \
+  >   --bind ce=ce --bind q=q --checkpoint cnt.ckpt
+  count: q=5
+  0/0 checks passed, 5 cycles, 14 protocol messages (1043 bytes)
+  checkpoint written to cnt.ckpt (535 bytes)
+
+  $ jhdl-cosim-tool --ip UpCounter -p has_enable=true --tb count.v \
+  >   --bind ce=ce --bind q=q --resume cnt.ckpt
+  resumed from cnt.ckpt (535 bytes)
+  count: q=10
+  0/0 checks passed, 5 cycles, 14 protocol messages (1043 bytes)
+
+  $ jhdl-cosim-tool --tb bench.v -p constant=-56 -p product_width=19 \
+  >   -p pipelined=false --bind x=multiplicand --bind p=product \
+  >   --resume cnt.ckpt
+  cosim_tool: resume: snapshot: design signature mismatch (blob 102e60aa, design kcm_top is 26b91cad)
   [2]
 
 A failing check exits non-zero and reports expected/got.

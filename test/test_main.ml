@@ -3,6 +3,7 @@ let () =
     [ ("logic", Test_logic.suite);
       ("circuit", Test_circuit.suite);
       ("sim", Test_sim.suite);
+      ("snapshot", Test_snapshot.suite);
       ("netlist", Test_netlist.suite);
       ("estimate", Test_estimate.suite);
       ("modgen", Test_modgen.suite);

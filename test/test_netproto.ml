@@ -576,6 +576,294 @@ let test_outputs_functionally_identical_across_archs () =
        | _ -> Alcotest.fail "unexpected shape")
     local webcad
 
+(* {1 crash-safe sessions} *)
+
+module Reference = Jhdl_sim.Reference
+
+let port_wire d name =
+  match Design.find_port d name with
+  | Some p -> p.Design.port_wire
+  | None -> Alcotest.failf "no port %s" name
+
+(* the unfaulted golden run: the interpreter, no network at all *)
+let golden_kcm_run () =
+  let d, _ = kcm_design ~constant:(-56) in
+  let r = Reference.create ~clock:(port_wire d "clk") d in
+  Reference.watch r ~label:"product" (port_wire d "product");
+  let outputs = ref [] in
+  for i = 0 to 11 do
+    Reference.set_input r "multiplicand"
+      (Bits.of_int ~width:8 (17 * i land 0xFF));
+    outputs := Reference.get_port r "product" :: !outputs;
+    Reference.cycle r
+  done;
+  (List.rev !outputs, Reference.history r)
+
+let kcm_endpoint_watched () =
+  let d, _ = kcm_design ~constant:(-56) in
+  let sim = Simulator.create ~clock:(port_wire d "clk") d in
+  Simulator.watch sim ~label:"product" (port_wire d "product");
+  (Endpoint.of_simulator ~name:"kcm" sim, sim)
+
+let check_against_golden label (golden_outputs, golden_history) outputs sim =
+  List.iteri
+    (fun i (expected, actual) ->
+       Alcotest.check bits
+         (Printf.sprintf "%s: output %d matches golden" label i)
+         expected actual)
+    (List.combine golden_outputs outputs);
+  List.iter2
+    (fun (glabel, gsamples) (slabel, ssamples) ->
+       Alcotest.(check string) (label ^ ": history label") glabel slabel;
+       Alcotest.(check int)
+         (label ^ ": history length")
+         (List.length gsamples) (List.length ssamples);
+       List.iter2
+         (fun (gc, gv) (sc, sv) ->
+            Alcotest.(check int) (label ^ ": sample cycle") gc sc;
+            Alcotest.check bits (label ^ ": sample value") gv sv)
+         gsamples ssamples)
+    golden_history (Simulator.history sim)
+
+(* a scripted mid-run crash with the session layer armed is invisible in
+   the answers: checkpoint + journal replay + resume reconstruct
+   everything, including the waveform history *)
+let test_scripted_crash_resumes_bit_identical () =
+  let golden = golden_kcm_run () in
+  let run () =
+    let endpoint, sim = kcm_endpoint_watched () in
+    let cosim = Cosim.create () in
+    Cosim.attach cosim ~session:Cosim.default_session_policy endpoint
+      Network.campus;
+    Cosim.crash_at cosim ~box:"kcm" ~exchange:9;
+    let outputs = drive_session cosim in
+    (cosim, outputs, sim)
+  in
+  let cosim, outputs, sim = run () in
+  check_against_golden "crash_at" golden outputs sim;
+  Alcotest.(check int) "exactly one crash" 1
+    (Cosim.total_session_crashes cosim);
+  Alcotest.(check bool) "resumed at least once" true
+    (Cosim.total_resumes cosim >= 1);
+  Alcotest.(check bool) "journal replayed" true
+    (Cosim.total_replayed_messages cosim > 0);
+  (* scripted crashes are deterministic: byte-for-byte replay *)
+  let cosim2, outputs2, _ = run () in
+  Alcotest.(check int) "replay: same messages"
+    (Cosim.total_messages cosim) (Cosim.total_messages cosim2);
+  Alcotest.(check int) "replay: same bytes"
+    (Cosim.total_bytes cosim) (Cosim.total_bytes cosim2);
+  Alcotest.(check (float 0.0)) "replay: same wall clock"
+    (Cosim.elapsed_seconds cosim) (Cosim.elapsed_seconds cosim2);
+  List.iter2 (Alcotest.check bits "replay: same outputs") outputs outputs2
+
+(* a crash without the session layer stays a clean failure *)
+let test_scripted_crash_without_session_fails_cleanly () =
+  let endpoint, _ = kcm_endpoint_watched () in
+  let cosim = Cosim.create () in
+  Cosim.attach cosim endpoint Network.campus;
+  Cosim.crash_at cosim ~box:"kcm" ~exchange:2;
+  (match drive_session cosim with
+   | _ -> Alcotest.fail "expected Exchange_failed"
+   | exception Cosim.Exchange_failed reason ->
+     Alcotest.(check bool) "failure names the box" true
+       (contains_substring reason "kcm"));
+  Alcotest.(check bool) "endpoint is dead" true
+    (not (Endpoint.is_alive endpoint))
+
+(* the chaos run: randomized crash, drop and corruption points, several
+   seeds — every recovered run must be bit-identical to the golden
+   interpreter run, and each seed must replay deterministically *)
+let test_chaos_crash_points_match_golden () =
+  let golden = golden_kcm_run () in
+  let chaos_faults seed =
+    { Fault.none with
+      Fault.drop_rate = 0.10;
+      corrupt_rate = 0.05;
+      session_crash_rate = 0.08;
+      seed }
+  in
+  let run seed =
+    let endpoint, sim = kcm_endpoint_watched () in
+    let cosim = Cosim.create () in
+    Cosim.attach cosim ~faults:(chaos_faults seed)
+      ~session:
+        { Cosim.default_session_policy with
+          Cosim.checkpoint_every = 4;
+          (* heavy chaos: a resume can itself be crashed, so give each
+             exchange a deep recovery budget *)
+          resume_attempts = 10 }
+      endpoint Network.campus;
+    let outputs = drive_session cosim in
+    (cosim, outputs, sim)
+  in
+  let total_crashes = ref 0 in
+  List.iter
+    (fun seed ->
+       let label = Printf.sprintf "chaos seed %d" seed in
+       let cosim, outputs, sim = run seed in
+       check_against_golden label golden outputs sim;
+       total_crashes := !total_crashes + Cosim.total_session_crashes cosim;
+       let cosim2, outputs2, _ = run seed in
+       Alcotest.(check int) (label ^ ": replay same crashes")
+         (Cosim.total_session_crashes cosim)
+         (Cosim.total_session_crashes cosim2);
+       Alcotest.(check int) (label ^ ": replay same resumes")
+         (Cosim.total_resumes cosim) (Cosim.total_resumes cosim2);
+       Alcotest.(check (float 0.0)) (label ^ ": replay same wall clock")
+         (Cosim.elapsed_seconds cosim) (Cosim.elapsed_seconds cosim2);
+       List.iter2
+         (Alcotest.check bits (label ^ ": replay same outputs"))
+         outputs outputs2)
+    [ 3; 7; 11; 42; 1337 ];
+  (* the sweep is pointless if nothing ever crashed *)
+  Alcotest.(check bool) "some seed actually crashed the endpoint" true
+    (!total_crashes > 0)
+
+(* {1 endpoint edge cases} *)
+
+(* a late duplicate from before a Reset must be refused, not re-executed:
+   replaying it would clock the freshly-reset counter *)
+let test_stale_duplicate_across_reset_refused () =
+  let endpoint = counter_endpoint () in
+  let cycle_packet = { Protocol.seq = 10; payload = Protocol.Cycle 1 } in
+  let _ = Endpoint.handle_packet endpoint cycle_packet in
+  let _ =
+    Endpoint.handle_packet endpoint { Protocol.seq = 11; payload = Protocol.Reset }
+  in
+  (match Endpoint.handle_packet endpoint cycle_packet with
+   | { Protocol.payload = Protocol.Protocol_error reason; _ } ->
+     Alcotest.(check bool) "refusal says stale" true
+       (contains_substring reason "stale")
+   | _ -> Alcotest.fail "expected stale-sequence refusal");
+  match
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = 12; payload = Protocol.Get_outputs [ "q" ] }
+  with
+  | { Protocol.payload = Protocol.Outputs_are [ (_, v) ]; _ } ->
+    Alcotest.check bits "counter still reset" (Bits.zero 8) v
+  | _ -> Alcotest.fail "expected outputs"
+
+(* sequence numbers wrap at 2^16: 0 right after 65535 is the next
+   request, not a 65535-step-old duplicate *)
+let test_sequence_wraparound () =
+  let endpoint = counter_endpoint () in
+  let _ =
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = Protocol.max_seq; payload = Protocol.Cycle 1 }
+  in
+  (match
+     Endpoint.handle_packet endpoint
+       { Protocol.seq = 0; payload = Protocol.Cycle 1 }
+   with
+   | { Protocol.payload = Protocol.Ack; _ } -> ()
+   | _ -> Alcotest.fail "wrapped sequence must execute");
+  (match
+     Endpoint.handle_packet endpoint
+       { Protocol.seq = 1; payload = Protocol.Get_outputs [ "q" ] }
+   with
+   | { Protocol.payload = Protocol.Outputs_are [ (_, v) ]; _ } ->
+     Alcotest.check bits "both cycles applied" (Bits.of_int ~width:8 2) v
+   | _ -> Alcotest.fail "expected outputs");
+  (* and the old pre-wrap sequence is now stale *)
+  match
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = Protocol.max_seq; payload = Protocol.Cycle 1 }
+  with
+  | { Protocol.payload = Protocol.Protocol_error reason; _ } ->
+    Alcotest.(check bool) "pre-wrap duplicate refused" true
+      (contains_substring reason "stale")
+  | _ -> Alcotest.fail "expected stale-sequence refusal"
+
+(* a retransmitted request whose cached reply was corrupted in flight:
+   the sender asks again with the same sequence number and must get the
+   same answer, computed zero additional times *)
+let test_corrupted_reply_retransmission_replays_cache () =
+  let endpoint = counter_endpoint () in
+  let _ =
+    Endpoint.handle_packet endpoint { Protocol.seq = 1; payload = Protocol.Cycle 3 }
+  in
+  let read = { Protocol.seq = 2; payload = Protocol.Get_outputs [ "q" ] } in
+  let first = Endpoint.handle_packet endpoint read in
+  let journal_after_first = Endpoint.journal_length endpoint in
+  (* the reply is mangled on the wire; the sender's CRC rejects it and
+     retransmits the identical request *)
+  let second = Endpoint.handle_packet endpoint read in
+  Alcotest.(check string) "cached reply replayed verbatim"
+    (Format.asprintf "%a" Protocol.pp first.Protocol.payload)
+    (Format.asprintf "%a" Protocol.pp second.Protocol.payload);
+  Alcotest.(check int) "replay did not re-journal" journal_after_first
+    (Endpoint.journal_length endpoint);
+  match
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = 3; payload = Protocol.Get_outputs [ "q" ] }
+  with
+  | { Protocol.payload = Protocol.Outputs_are [ (_, v) ]; _ } ->
+    Alcotest.check bits "counter advanced exactly 3" (Bits.of_int ~width:8 3) v
+  | _ -> Alcotest.fail "expected outputs"
+
+(* the journal is bounded: overflow forces an automatic checkpoint, and
+   a crash right after still restarts to the exact state *)
+let test_journal_overflow_autocheckpoints () =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 8 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let endpoint =
+    Endpoint.of_simulator ~journal_cap:4 ~name:"counter"
+      (Simulator.create ~clock:(port_wire d "clk") d)
+  in
+  (match
+     Endpoint.handle_packet endpoint
+       { Protocol.seq = 0; payload = Protocol.Hello "s" }
+   with
+   | { Protocol.payload = Protocol.Ack; _ } -> ()
+   | _ -> Alcotest.fail "hello refused");
+  for i = 1 to 12 do
+    match
+      Endpoint.handle_packet endpoint
+        { Protocol.seq = i; payload = Protocol.Cycle 1 }
+    with
+    | { Protocol.payload = Protocol.Ack; _ } -> ()
+    | _ -> Alcotest.failf "cycle %d refused" i
+  done;
+  Alcotest.(check bool) "journal stays bounded" true
+    (Endpoint.journal_length endpoint <= 4);
+  Alcotest.(check bool) "overflow forced checkpoints" true
+    (Endpoint.checkpoints_taken endpoint >= 2);
+  Endpoint.crash endpoint;
+  (match Endpoint.restart endpoint with
+   | Ok replayed ->
+     Alcotest.(check bool) "replay bounded by journal cap" true (replayed <= 4)
+   | Error reason -> Alcotest.failf "restart failed: %s" reason);
+  match
+    Endpoint.handle_packet endpoint
+      { Protocol.seq = 13; payload = Protocol.Get_outputs [ "q" ] }
+  with
+  | { Protocol.payload = Protocol.Outputs_are [ (_, v) ]; _ } ->
+    Alcotest.check bits "all 12 cycles survive the crash"
+      (Bits.of_int ~width:8 12) v
+  | _ -> Alcotest.fail "expected outputs"
+
+(* restart without a session has nothing durable to restore *)
+let test_restart_without_session_fails () =
+  let endpoint = counter_endpoint () in
+  Endpoint.crash endpoint;
+  (match Endpoint.restart endpoint with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "restart must fail without a session");
+  Alcotest.(check bool) "dead endpoint refuses packets" true
+    (try
+       let _ =
+         Endpoint.handle_packet endpoint
+           { Protocol.seq = 0; payload = Protocol.Ack }
+       in
+       false
+     with Invalid_argument _ -> true)
+
 (* fuzz: arbitrary bytes never crash the decoder *)
 let prop_decode_fuzz =
   QCheck.Test.make ~name:"decoder is total on arbitrary bytes" ~count:500
@@ -621,6 +909,21 @@ let suite =
     Alcotest.test_case "local beats remote" `Quick test_local_beats_remote;
     Alcotest.test_case "remote scales with rtt" `Quick test_remote_scales_with_rtt;
     Alcotest.test_case "outputs identical across archs" `Quick
-      test_outputs_functionally_identical_across_archs ]
+      test_outputs_functionally_identical_across_archs;
+    Alcotest.test_case "scripted crash resumes bit-identical" `Quick
+      test_scripted_crash_resumes_bit_identical;
+    Alcotest.test_case "crash without session fails cleanly" `Quick
+      test_scripted_crash_without_session_fails_cleanly;
+    Alcotest.test_case "chaos crash points match golden" `Quick
+      test_chaos_crash_points_match_golden;
+    Alcotest.test_case "stale duplicate across reset refused" `Quick
+      test_stale_duplicate_across_reset_refused;
+    Alcotest.test_case "sequence wraparound" `Quick test_sequence_wraparound;
+    Alcotest.test_case "corrupted reply retransmission replays cache" `Quick
+      test_corrupted_reply_retransmission_replays_cache;
+    Alcotest.test_case "journal overflow autocheckpoints" `Quick
+      test_journal_overflow_autocheckpoints;
+    Alcotest.test_case "restart without session fails" `Quick
+      test_restart_without_session_fails ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_protocol_roundtrip; prop_decode_fuzz ]

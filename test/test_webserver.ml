@@ -237,8 +237,185 @@ let test_essential_failure_is_an_error () =
       (String.length message > 0)
   | Ok _ -> Alcotest.fail "essential jar loss must fail the request"
 
+(* {1 bounded browser cache} *)
+
+(* with the default cap nothing is ever evicted; with a tight cap the
+   LRU drops components, they get transferred again, and the evictions
+   are visible in the session stats *)
+let test_lru_cache_eviction_and_refetch () =
+  let unbounded = fresh_server () in
+  let s1 = request unbounded in
+  let s2 = request unbounded in
+  Alcotest.(check int) "default cap: revisit is all cache hits" 0
+    (List.length s2.Server.fetched);
+  Alcotest.(check (list string)) "default cap: nothing evicted" []
+    (List.map Jhdl_bundle.Partition.component_name s2.Server.evicted);
+  Alcotest.(check int) "default cap: no evictions counted" 0
+    (Server.cache_evictions unbounded);
+  let tiny = Server.create ~vendor:"tiny" ~cache_cap:1 () in
+  let _ = Server.publish tiny Catalog.kcm in
+  Server.register_user tiny ~user:"alice" ~tier:License.Licensed;
+  let t1 = request tiny in
+  Alcotest.(check int) "first visit fetches the full set"
+    (List.length s1.Server.fetched)
+    (List.length t1.Server.fetched);
+  Alcotest.(check bool) "filling a one-entry cache evicts" true
+    (List.length t1.Server.evicted > 0);
+  let t2 = request tiny in
+  Alcotest.(check bool) "revisit must re-transfer evicted components" true
+    (List.length t2.Server.fetched > 0);
+  Alcotest.(check bool) "evictions surface in server stats" true
+    (Server.cache_evictions tiny
+     >= List.length t1.Server.evicted + List.length t2.Server.evicted);
+  Alcotest.(check bool) "bad cap rejected" true
+    (try
+       let _ = Server.create ~vendor:"x" ~cache_cap:0 () in
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 supervised session manager} *)
+
+module Session_manager = Jhdl_webserver.Session_manager
+module Endpoint = Jhdl_netproto.Endpoint
+module Simulator = Jhdl_sim.Simulator
+module Snapshot = Jhdl_sim.Snapshot
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Types = Jhdl_circuit.Types
+module Counter = Jhdl_modgen.Counter
+module Protocol = Jhdl_netproto.Protocol
+
+let counter_endpoint name =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"q" 8 in
+  let _ = Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "q" Types.Output q;
+  let clock =
+    match Design.find_port d "clk" with
+    | Some p -> p.Design.port_wire
+    | None -> assert false
+  in
+  Endpoint.of_simulator ~name (Simulator.create ~clock d)
+
+let manager_config =
+  { Session_manager.heartbeat_timeout_s = 10.0;
+    idle_timeout_s = 60.0;
+    max_sessions_per_user = 2 }
+
+let open_ok manager ~user ~now endpoint =
+  match Session_manager.open_session manager ~user ~now endpoint with
+  | Ok key -> key
+  | Error reason -> Alcotest.failf "open_session failed: %s" reason
+
+let test_session_quota () =
+  let m = Session_manager.create ~config:manager_config () in
+  let _ = open_ok m ~user:"alice" ~now:0.0 (counter_endpoint "a1") in
+  let _ = open_ok m ~user:"alice" ~now:0.0 (counter_endpoint "a2") in
+  let _ = open_ok m ~user:"bob" ~now:0.0 (counter_endpoint "b1") in
+  (match
+     Session_manager.open_session m ~user:"alice" ~now:0.0
+       (counter_endpoint "a3")
+   with
+   | Error reason ->
+     Alcotest.(check bool) "refusal names the quota" true
+       (String.length reason > 0)
+   | Ok _ -> Alcotest.fail "third alice session must be refused");
+  let stats = Session_manager.stats m in
+  Alcotest.(check int) "three live" 3 stats.Session_manager.live;
+  Alcotest.(check int) "one rejection" 1
+    stats.Session_manager.quota_rejections
+
+let test_session_timeouts_reap_with_checkpoints () =
+  let m = Session_manager.create ~config:manager_config () in
+  let quiet = open_ok m ~user:"alice" ~now:0.0 (counter_endpoint "quiet") in
+  let chatty = open_ok m ~user:"bob" ~now:0.0 (counter_endpoint "chatty") in
+  (* the chatty session keeps its heartbeat fresh; the quiet one stops *)
+  (match Session_manager.heartbeat m ~now:8.0 chatty with
+   | Ok () -> ()
+   | Error reason -> Alcotest.failf "heartbeat failed: %s" reason);
+  let reaped = Session_manager.tick m ~now:11.0 in
+  (match reaped with
+   | [ r ] ->
+     Alcotest.(check string) "the quiet session was reaped" quiet
+       r.Session_manager.reaped_key;
+     (match r.Session_manager.reason with
+      | Session_manager.Heartbeat_lost -> ()
+      | Session_manager.Idle -> Alcotest.fail "expected heartbeat loss");
+     (match r.Session_manager.checkpoint with
+      | Ok blob ->
+        Alcotest.(check bool) "parting checkpoint is a real blob" true
+          (String.length blob > 0)
+      | Error reason -> Alcotest.failf "no parting checkpoint: %s" reason)
+   | other -> Alcotest.failf "expected one reap, got %d" (List.length other));
+  Alcotest.(check (list string)) "chatty survives" [ chatty ]
+    (Session_manager.live_sessions m);
+  (* heartbeats alone do not count as activity forever: idle reaps too *)
+  let rec beat t =
+    if t <= 70.0 then begin
+      (match Session_manager.heartbeat m ~now:t chatty with
+       | Ok () -> ()
+       | Error reason -> Alcotest.failf "heartbeat failed: %s" reason);
+      beat (t +. 5.0)
+    end
+  in
+  beat 10.0;
+  Alcotest.(check int) "heartbeats keep it alive" 0
+    (List.length (Session_manager.tick m ~now:70.0));
+  let stats = Session_manager.stats m in
+  Alcotest.(check int) "one heartbeat reap" 1
+    stats.Session_manager.reaped_heartbeat
+
+let test_session_shutdown_reports_preserved () =
+  let m = Session_manager.create ~config:manager_config () in
+  let alive_key = open_ok m ~user:"alice" ~now:0.0 (counter_endpoint "alive") in
+  let doomed = counter_endpoint "doomed" in
+  let doomed_key = open_ok m ~user:"bob" ~now:0.0 doomed in
+  (* advance the live one so its checkpoint carries real state *)
+  (match Session_manager.endpoint m alive_key with
+   | Some e ->
+     let _ =
+       Endpoint.handle_packet e { Protocol.seq = 0; payload = Protocol.Cycle 5 }
+     in
+     ()
+   | None -> Alcotest.fail "no endpoint for live session");
+  Endpoint.crash doomed;
+  let report = Session_manager.shutdown m in
+  (match report.Session_manager.preserved with
+   | [ (key, blob) ] ->
+     Alcotest.(check string) "live session preserved" alive_key key;
+     (* the preserved blob restores into a fresh simulator of the design *)
+     let twin = counter_endpoint "twin" in
+     (match Endpoint.restore twin blob with
+      | Ok () -> ()
+      | Error reason -> Alcotest.failf "preserved blob rejected: %s" reason);
+     (match
+        Endpoint.handle twin (Protocol.Get_outputs [ "q" ])
+      with
+      | Protocol.Outputs_are [ (_, v) ] ->
+        Alcotest.(check (option int)) "preserved state is the real state"
+          (Some 5) (Jhdl_logic.Bits.to_int v)
+      | _ -> Alcotest.fail "expected outputs")
+   | other -> Alcotest.failf "expected one preserved, got %d" (List.length other));
+  (match report.Session_manager.lost with
+   | [ (key, _) ] ->
+     Alcotest.(check string) "crashed session reported lost" doomed_key key
+   | other -> Alcotest.failf "expected one lost, got %d" (List.length other));
+  Alcotest.(check int) "registry emptied" 0
+    (Session_manager.stats m).Session_manager.live
+
 let suite =
   [ Alcotest.test_case "unknown user" `Quick test_unknown_user;
+    Alcotest.test_case "lru cache eviction and refetch" `Quick
+      test_lru_cache_eviction_and_refetch;
+    Alcotest.test_case "session quota" `Quick test_session_quota;
+    Alcotest.test_case "session timeouts reap with checkpoints" `Quick
+      test_session_timeouts_reap_with_checkpoints;
+    Alcotest.test_case "session shutdown reports preserved" `Quick
+      test_session_shutdown_reports_preserved;
     Alcotest.test_case "secure request unknown user" `Quick
       test_secure_request_unknown_user;
     Alcotest.test_case "degraded session grays out tools" `Quick
