@@ -68,9 +68,34 @@ let write_binary path contents =
   with Sys_error m -> Error m
 
 let run ip_name params binds tb_path network_name fault_name fault_rate retries
-    seed crash_at checkpoint_every resume_path checkpoint_path =
+    seed crash_at checkpoint_every resume_path checkpoint_path metrics_format
+    trace_last =
   let ( let* ) = Result.bind in
   let result =
+    let* () =
+      match metrics_format with
+      | None | Some "text" | Some "json" -> Ok ()
+      | Some other ->
+        Error (Printf.sprintf "--metrics formats: text, json (got %s)" other)
+    in
+    let* () =
+      if trace_last < 0 then Error "--trace must be non-negative" else Ok ()
+    in
+    let want_metrics = Option.is_some metrics_format in
+    let sim_reg = if want_metrics then Metrics.create "sim" else Metrics.nil in
+    let cosim_reg =
+      if want_metrics then Metrics.create "cosim" else Metrics.nil
+    in
+    (* the tracer lives even when only --trace is given, so it is minted
+       from its own live registry rather than the possibly-nil cosim one *)
+    let tracer =
+      if trace_last > 0 then
+        Some
+          (Metrics.tracer
+             ~capacity:(max Metrics.default_trace_capacity trace_last)
+             (Metrics.create "trace"))
+      else None
+    in
     let* ip =
       Option.to_result ~none:(Printf.sprintf "unknown IP %s" ip_name)
         (Catalog.find ip_name)
@@ -124,9 +149,12 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
     in
     let* program = Verilog_tb.parse source in
     let* applet = build_applet ip params in
+    (match Applet.simulator applet with
+     | Some sim -> Simulator.register_metrics sim sim_reg
+     | None -> ());
     let* endpoint =
       Option.to_result ~none:"applet has no simulator"
-        (Endpoint.of_applet ~name:"dut" applet)
+        (Endpoint.of_applet ~metrics:cosim_reg ~name:"dut" applet)
     in
     (* resume before anything touches the wire, so the session's opening
        checkpoint captures the restored state *)
@@ -150,7 +178,8 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
       else None
     in
     let cosim = Cosim.create () in
-    Cosim.attach cosim ?faults ~retry ?session endpoint network;
+    Cosim.attach cosim ?faults ~retry ?session ~metrics:cosim_reg ?tracer
+      endpoint network;
     if crash_at > 0 then Cosim.crash_at cosim ~box:"dut" ~exchange:crash_at;
     let* result =
       try Ok (Verilog_tb.run program ~cosim ~bindings)
@@ -204,6 +233,13 @@ let run ip_name params binds tb_path network_name fault_name fault_rate retries
              (String.length blob);
            Ok ())
     in
+    (match metrics_format with
+     | Some "json" -> print_string (Metrics.all_to_json [ sim_reg; cosim_reg ])
+     | Some _ -> print_string (Metrics.all_to_text [ sim_reg; cosim_reg ])
+     | None -> ());
+    (match tracer with
+     | Some tr -> print_string (Metrics.trace_to_text ~last:trace_last tr)
+     | None -> ());
     Ok (List.length passed = List.length result.Verilog_tb.checks)
   in
   match result with
@@ -298,6 +334,22 @@ let checkpoint_arg =
     & info [ "checkpoint" ]
         ~doc:"Write the endpoint's final state to this file after the run.")
 
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ]
+        ~doc:"Dump simulator and channel metrics after the run: \
+              $(b,--metrics) for aligned text, $(b,--metrics=json) for one \
+              JSON object per metric.")
+
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ]
+        ~doc:"Record channel events in a bounded ring buffer and print the \
+              last N after the run; 0 disables tracing.")
+
 let cmd =
   let doc = "drive a black-box IP with a Verilog testbench (PLI wrapper)" in
   Cmd.v
@@ -305,6 +357,7 @@ let cmd =
     Term.(
       const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg
       $ fault_arg $ fault_rate_arg $ retries_arg $ seed_arg $ crash_at_arg
-      $ checkpoint_every_arg $ resume_arg $ checkpoint_arg)
+      $ checkpoint_every_arg $ resume_arg $ checkpoint_arg
+      $ metrics_format_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -54,7 +54,12 @@ type delivery = {
   policy : Download.fetch_policy;
 }
 
-let handle server delivery line =
+let handle server delivery registry tracer line =
+  let trace ?value label =
+    match tracer with
+    | Some tr -> Metrics.trace tr ?value label
+    | None -> ()
+  in
   let words =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
@@ -93,14 +98,19 @@ let handle server delivery line =
           Server.request server ~user ~ip_name ~link ?faults:delivery.faults
             ~policy:delivery.policy ()
         with
-        | Ok session -> show_session session
-        | Error message -> print_endline ("ERROR: " ^ message)))
+        | Ok session ->
+          trace "request_ok" ~value:(List.length session.Server.fetched);
+          show_session session
+        | Error message ->
+          trace "request_error";
+          print_endline ("ERROR: " ^ message)))
   | [ "secure"; user; ip_name ] ->
     (match
        Server.secure_request server ~user ~ip_name ~link:Download.dsl_1m
          ?faults:delivery.faults ~policy:delivery.policy ()
      with
      | Ok (session, sealed) ->
+       trace "secure_ok" ~value:(List.length sealed);
        show_session session;
        List.iter
          (fun s ->
@@ -109,13 +119,19 @@ let handle server delivery line =
               (String.length s.Secure_channel.ciphertext)
               s.Secure_channel.digest)
          sealed
-     | Error message -> print_endline ("ERROR: " ^ message))
+     | Error message ->
+       trace "secure_error";
+       print_endline ("ERROR: " ^ message))
   | [ "log" ] ->
     List.iter (fun l -> print_endline ("  " ^ l)) (Server.access_log server)
+  | [ "metrics" ] ->
+    if Metrics.is_nil registry then
+      print_endline "metrics are off (start with --metrics)"
+    else print_string (Metrics.to_text registry)
   | [ "help" ] ->
     print_endline
       "commands: catalog, publish <ip>, register <user> <tier>, token <user>,\n\
-      \          get <user> <ip> [link], secure <user> <ip>, log, quit"
+      \          get <user> <ip> [link], secure <user> <ip>, log, metrics, quit"
   | _ -> print_endline "unrecognized command (try `help`)"
 
 open Cmdliner
@@ -150,12 +166,19 @@ let seed_arg =
     value & opt int 0
     & info [ "seed" ] ~doc:"Fault-stream seed (same seed, same faults).")
 
-let run vendor fault_name fault_rate retries seed =
+let run vendor fault_name fault_rate retries seed metrics_format trace_last =
   match Fault.kind_of_string fault_name with
   | None ->
     prerr_endline "faults: drop, corrupt, duplicate, latency, disconnect";
     2
-  | Some kind when fault_rate >= 0.0 && fault_rate < 1.0 && retries >= 1 ->
+  | Some _
+    when (match metrics_format with
+          | None | Some "text" | Some "json" -> false
+          | Some _ -> true) ->
+    prerr_endline "--metrics formats: text, json";
+    2
+  | Some kind when fault_rate >= 0.0 && fault_rate < 1.0 && retries >= 1
+                && trace_last >= 0 ->
     let delivery =
       { faults =
           (if fault_rate > 0.0 then Some (Fault.only kind ~rate:fault_rate ~seed)
@@ -163,7 +186,19 @@ let run vendor fault_name fault_rate retries seed =
         policy =
           { Download.default_fetch_policy with Download.max_attempts = retries } }
     in
-    let server = Server.create ~vendor () in
+    let registry =
+      if Option.is_some metrics_format then Metrics.create "webserver"
+      else Metrics.nil
+    in
+    let tracer =
+      if trace_last > 0 then
+        Some
+          (Metrics.tracer
+             ~capacity:(max Metrics.default_trace_capacity trace_last)
+             (Metrics.create "trace"))
+      else None
+    in
+    let server = Server.create ~vendor ~metrics:registry () in
     List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
     Printf.printf "IP delivery server for %s (type `help`)\n" vendor;
     (match delivery.faults with
@@ -171,25 +206,53 @@ let run vendor fault_name fault_rate retries seed =
        Printf.printf "download link faults: %s, %d attempt(s) per jar\n"
          (Fault.describe config) retries
      | None -> ());
+    let finish () =
+      (match metrics_format with
+       | Some "json" -> print_string (Metrics.all_to_json [ registry ])
+       | Some _ -> print_string (Metrics.all_to_text [ registry ])
+       | None -> ());
+      (match tracer with
+       | Some tr -> print_string (Metrics.trace_to_text ~last:trace_last tr)
+       | None -> ());
+      0
+    in
     let rec loop () =
       print_string "server> ";
       match read_line () with
-      | exception End_of_file -> 0
-      | "quit" | "exit" -> 0
+      | exception End_of_file -> finish ()
+      | "quit" | "exit" -> finish ()
       | line ->
-        handle server delivery line;
+        handle server delivery registry tracer line;
         loop ()
     in
     loop ()
   | Some _ ->
-    prerr_endline "--fault-rate must be in [0,1) and --retries at least 1";
+    prerr_endline
+      "--fault-rate must be in [0,1), --retries at least 1, --trace \
+       non-negative";
     2
+
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ]
+        ~doc:"Collect server metrics and dump them on exit: $(b,--metrics) \
+              for aligned text, $(b,--metrics=json) for one JSON object per \
+              metric. Also enables the $(b,metrics) console command.")
+
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ]
+        ~doc:"Record request events in a bounded ring buffer and print the \
+              last N on exit; 0 disables tracing.")
 
 let cmd =
   let doc = "run the vendor's IP delivery web server console" in
   Cmd.v (Cmd.info "ip_server_cli" ~doc)
     Term.(
       const run $ vendor_arg $ fault_arg $ fault_rate_arg $ retries_arg
-      $ seed_arg)
+      $ seed_arg $ metrics_format_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

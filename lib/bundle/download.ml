@@ -1,4 +1,5 @@
 module Fault = Jhdl_faults.Fault
+module M = Jhdl_metrics.Metrics
 
 type link = {
   bandwidth_bits_per_s : float;
@@ -123,7 +124,33 @@ let fetch_jar ~injector ~spike_s ~policy link jar =
   in
   attempt 1
 
-let fetch_jars ?faults ?(policy = default_fetch_policy) link jars =
+(* Instruments minted once per registry ([fetch_jars] runs per request,
+   so it cannot register names itself without colliding). *)
+type metrics = {
+  m_fetched : M.counter;
+  m_delivered : M.counter;
+  m_failed : M.counter;
+  m_attempts : M.counter;
+  m_bytes : M.counter;
+  m_jar_ms : M.histogram; (* per-jar transfer time, milliseconds *)
+}
+
+let metrics registry =
+  { m_fetched = M.counter registry "jars_fetched_total";
+    m_delivered = M.counter registry "jars_delivered_total";
+    m_failed = M.counter registry "jars_failed_total";
+    m_attempts = M.counter registry "fetch_attempts_total";
+    m_bytes = M.counter registry "fetch_bytes_total";
+    m_jar_ms = M.histogram registry "jar_fetch_ms" }
+
+let observe_fetch m f =
+  M.incr m.m_fetched;
+  M.incr (if f.delivered then m.m_delivered else m.m_failed);
+  M.add m.m_attempts f.attempts;
+  M.add m.m_bytes f.bytes_on_wire;
+  M.observe m.m_jar_ms (int_of_float (f.fetch_seconds *. 1e3))
+
+let fetch_jars ?faults ?(policy = default_fetch_policy) ?metrics link jars =
   let injector = Option.map Fault.injector faults in
   let spike_s =
     match faults with Some c -> c.Fault.latency_spike_s | None -> 0.0
@@ -133,7 +160,9 @@ let fetch_jars ?faults ?(policy = default_fetch_policy) link jars =
   List.map
     (fun jar ->
        let injector = Option.map Fault.split injector in
-       fetch_jar ~injector ~spike_s ~policy link jar)
+       let fetch = fetch_jar ~injector ~spike_s ~policy link jar in
+       (match metrics with Some m -> observe_fetch m fetch | None -> ());
+       fetch)
     jars
 
 let fetch_total_seconds fetches =

@@ -67,14 +67,25 @@ type fetch = {
   fetch_seconds : float;  (** setup + payload + backoff, all attempts *)
 }
 
-(** [fetch_jars ?faults ?policy link jars] — fetch a jar set
+(** Download instruments, minted once per registry (a per-call mint
+    would collide on names): jar/delivery/failure/attempt/byte counters
+    plus a per-jar transfer-time histogram in milliseconds. *)
+type metrics
+
+(** [metrics registry] registers [jars_fetched_total],
+    [jars_delivered_total], [jars_failed_total], [fetch_attempts_total],
+    [fetch_bytes_total] and [jar_fetch_ms] on [registry]. *)
+val metrics : Jhdl_metrics.Metrics.t -> metrics
+
+(** [fetch_jars ?faults ?policy ?metrics link jars] — fetch a jar set
     sequentially. Each jar draws from its own split of the fault seed,
     so one jar's retry count never shifts another's faults. Without
     [faults] this degenerates to {!jars_seconds}'s timing with every jar
-    delivered. *)
+    delivered. [metrics] is updated once per jar fetched. *)
 val fetch_jars :
   ?faults:Jhdl_faults.Fault.config ->
   ?policy:fetch_policy ->
+  ?metrics:metrics ->
   link ->
   Jar.t list ->
   fetch list

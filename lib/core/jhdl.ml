@@ -94,3 +94,5 @@ module Protocol = Jhdl_netproto.Protocol
 module Endpoint = Jhdl_netproto.Endpoint
 module Cosim = Jhdl_netproto.Cosim
 module Verilog_tb = Jhdl_netproto.Verilog_tb
+module Metrics = Jhdl_metrics.Metrics
+module Crc16 = Jhdl_logic.Crc16

@@ -54,7 +54,7 @@ type path_end =
 
 type timing_report = {
   critical_path_ps : int;
-  max_frequency_mhz : float;
+  max_frequency_mhz : float option;
   logic_levels : int;
   path : string list;
   path_end : path_end;
@@ -318,17 +318,24 @@ let timing_of_design ?(use_placement = false) d =
     | None -> 0
     | Some n -> n.levels + (if counts_as_level n.prim then 1 else 0)
   in
-  let critical = max !best 1 in
-  { critical_path_ps = critical;
-    max_frequency_mhz = 1_000_000.0 /. float_of_int critical;
+  (* a zero-length path (empty or pure-wire designs) has no meaningful
+     frequency — 1e6/0 would report infinity, so it becomes [None] *)
+  { critical_path_ps = !best;
+    max_frequency_mhz =
+      (if !best <= 0 then None
+       else Some (1_000_000.0 /. float_of_int !best));
     logic_levels = levels;
     path;
     path_end = !best_end }
 
 let pp_timing_report fmt r =
   Format.fprintf fmt
-    "@[<v>critical path: %d ps (%.1f MHz max)@,logic levels: %d@,ends at: %s@]"
-    r.critical_path_ps r.max_frequency_mhz r.logic_levels
+    "@[<v>critical path: %d ps (%s)@,logic levels: %d@,ends at: %s@]"
+    r.critical_path_ps
+    (match r.max_frequency_mhz with
+     | Some mhz -> Printf.sprintf "%.1f MHz max" mhz
+     | None -> "no combinational path")
+    r.logic_levels
     (match r.path_end with
      | At_register s -> "register " ^ s
      | At_output s -> "output " ^ s)

@@ -30,8 +30,10 @@ type path_end =
   | At_output of string  (** path ends at a top-level output port net *)
 
 type timing_report = {
-  critical_path_ps : int;
-  max_frequency_mhz : float;
+  critical_path_ps : int;  (** 0 when the design has no timed path *)
+  max_frequency_mhz : float option;
+      (** [None] when the critical path has zero length (empty or
+          pure-wire designs) — there is no meaningful frequency cap *)
   logic_levels : int;  (** LUT/carry levels on the critical path *)
   path : string list;  (** instance paths, source to sink *)
   path_end : path_end;

@@ -1,0 +1,19 @@
+(* CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection, no
+   final xor): detects every single-byte error, unlike Fletcher/Adler
+   whose 0x00/0xFF classes collide.  This is the one checksum shared by
+   the wire protocol's packet frames and the snapshot blob trailer —
+   both formats are pinned byte-for-byte by cram tests, so any change
+   here is a wire-format break. *)
+
+let checksum s =
+  let crc = ref 0xFFFF in
+  String.iter
+    (fun c ->
+       crc := !crc lxor (Char.code c lsl 8);
+       for _ = 1 to 8 do
+         if !crc land 0x8000 <> 0 then
+           crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+         else crc := (!crc lsl 1) land 0xFFFF
+       done)
+    s;
+  !crc

@@ -1,0 +1,337 @@
+(* Dependency-free observability: counters, gauges, fixed-bucket
+   histograms and a bounded ring-buffer event tracer, grouped into
+   per-component registries.
+
+   Design constraints, in order:
+
+   1. Update paths never allocate.  [incr]/[add]/[set]/[observe] touch
+      only mutable int fields and int-array slots; [trace] stores the
+      caller's label pointer into a preallocated slot.  This is what
+      lets the simulation kernel keep its pinned zero-allocation
+      steady-state cycle with metrics attached.
+   2. Disabled means free.  Instruments minted from the [nil] registry
+      are real records, so call sites update them unconditionally (no
+      branch, no option), but nothing retains or renders them.  A nil
+      tracer has capacity zero and drops events on a single compare.
+   3. Deterministic output.  Snapshots sort by metric name; quantiles
+      come from fixed bucket bounds, not sampling; callers feed
+      histograms from simulated clocks, so two seeded runs render
+      byte-identical text/JSON. *)
+
+type counter = { mutable c_count : int }
+
+type gauge = { mutable g_value : int }
+
+type histogram = {
+  h_bounds : int array; (* ascending inclusive upper bounds *)
+  h_buckets : int array; (* length = Array.length h_bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+type summary = {
+  count : int;
+  sum : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Probe of (unit -> int)
+
+type span =
+  | Point
+  | Enter
+  | Exit
+
+type event = {
+  ev_seq : int; (* 0-based position in the whole event stream *)
+  ev_label : string;
+  ev_span : span;
+  ev_value : int;
+}
+
+type tracer = {
+  tr_cap : int;
+  tr_labels : string array;
+  tr_spans : span array;
+  tr_values : int array;
+  mutable tr_total : int; (* events ever recorded, incl. overwritten *)
+}
+
+type t = {
+  reg_name : string;
+  mutable reg_items : (string * instrument) list; (* newest first *)
+  reg_nil : bool;
+}
+
+let create name = { reg_name = name; reg_items = []; reg_nil = false }
+let nil = { reg_name = ""; reg_items = []; reg_nil = true }
+let is_nil t = t.reg_nil
+let name t = t.reg_name
+
+let register t metric_name instrument =
+  if not t.reg_nil then begin
+    if List.mem_assoc metric_name t.reg_items then
+      invalid_arg
+        (Printf.sprintf "Metrics: duplicate metric %s.%s" t.reg_name
+           metric_name);
+    t.reg_items <- (metric_name, instrument) :: t.reg_items
+  end
+
+let counter t metric_name =
+  let c = { c_count = 0 } in
+  register t metric_name (Counter c);
+  c
+
+let gauge t metric_name =
+  let g = { g_value = 0 } in
+  register t metric_name (Gauge g);
+  g
+
+(* 1-2-5 decades: wide enough for microsecond latencies and blob byte
+   sizes alike, coarse enough that bucket scans stay cheap *)
+let default_bounds =
+  [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000;
+     20_000; 50_000; 100_000; 200_000; 500_000; 1_000_000 |]
+
+let histogram ?(bounds = default_bounds) t metric_name =
+  let n = Array.length bounds in
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly ascending"
+  done;
+  let h =
+    { h_bounds = Array.copy bounds;
+      h_buckets = Array.make (n + 1) 0;
+      h_count = 0;
+      h_sum = 0;
+      h_max = min_int }
+  in
+  register t metric_name (Histogram h);
+  h
+
+let probe t metric_name read = register t metric_name (Probe read)
+
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+
+let set g v = g.g_value <- v
+let value g = g.g_value
+
+(* tail recursion over int args: a [ref] loop index would be a minor
+   allocation per call without flambda, and observe sits on hot paths *)
+let rec bucket_index bounds n v i =
+  if i < n && v > Array.unsafe_get bounds i then bucket_index bounds n v (i + 1)
+  else i
+
+let observe h v =
+  let bounds = h.h_bounds in
+  let i = bucket_index bounds (Array.length bounds) v 0 in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v
+
+(* quantile: upper bound of the first bucket whose cumulative count
+   reaches [q]; the overflow bucket reports the observed max *)
+let quantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let want =
+      let scaled = float_of_int h.h_count *. q in
+      let r = int_of_float (ceil scaled) in
+      if r < 1 then 1 else r
+    in
+    let n = Array.length h.h_bounds in
+    let acc = ref 0 and result = ref h.h_max in
+    (try
+       for i = 0 to n do
+         acc := !acc + h.h_buckets.(i);
+         if !acc >= want then begin
+           result := (if i < n then h.h_bounds.(i) else h.h_max);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let summary h =
+  { count = h.h_count;
+    sum = h.h_sum;
+    max = (if h.h_count = 0 then 0 else h.h_max);
+    p50 = quantile h 0.5;
+    p95 = quantile h 0.95 }
+
+(* ------------------------------------------------------------------ *)
+(* Tracer.                                                             *)
+
+let default_trace_capacity = 256
+
+let tracer ?(capacity = default_trace_capacity) t =
+  if capacity < 0 then invalid_arg "Metrics.tracer: capacity must be >= 0";
+  let cap = if t.reg_nil then 0 else capacity in
+  { tr_cap = cap;
+    tr_labels = Array.make cap "";
+    tr_spans = Array.make cap Point;
+    tr_values = Array.make cap 0;
+    tr_total = 0 }
+
+let trace tr ?(span = Point) ?(value = 0) label =
+  if tr.tr_cap > 0 then begin
+    let slot = tr.tr_total mod tr.tr_cap in
+    Array.unsafe_set tr.tr_labels slot label;
+    Array.unsafe_set tr.tr_spans slot span;
+    Array.unsafe_set tr.tr_values slot value;
+    tr.tr_total <- tr.tr_total + 1
+  end
+
+let trace_total tr = tr.tr_total
+
+let events tr =
+  if tr.tr_cap = 0 then []
+  else begin
+    let kept = min tr.tr_total tr.tr_cap in
+    let first = tr.tr_total - kept in
+    List.init kept (fun i ->
+        let seq = first + i in
+        let slot = seq mod tr.tr_cap in
+        { ev_seq = seq;
+          ev_label = tr.tr_labels.(slot);
+          ev_span = tr.tr_spans.(slot);
+          ev_value = tr.tr_values.(slot) })
+  end
+
+let span_to_string = function
+  | Point -> "point"
+  | Enter -> "enter"
+  | Exit -> "exit"
+
+let trace_to_text ?last tr =
+  let all = events tr in
+  let shown =
+    match last with
+    | None -> all
+    | Some n ->
+      let extra = List.length all - n in
+      if extra <= 0 then all
+      else List.filteri (fun i _ -> i >= extra) all
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "trace: %d event(s) recorded, showing last %d\n"
+       tr.tr_total (List.length shown));
+  List.iter
+    (fun ev ->
+       Buffer.add_string buffer
+         (Printf.sprintf "  [%6d] %-5s %-28s %d\n" ev.ev_seq
+            (span_to_string ev.ev_span)
+            ev.ev_label ev.ev_value))
+    shown;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and renderers (conventions shared with Lint).             *)
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of int
+  | Histogram_sample of summary
+
+let snapshot t =
+  t.reg_items
+  |> List.rev_map (fun (metric_name, instrument) ->
+      let sample =
+        match instrument with
+        | Counter c -> Counter_sample c.c_count
+        | Gauge g -> Gauge_sample g.g_value
+        | Probe read -> Counter_sample (read ())
+        | Histogram h -> Histogram_sample (summary h)
+      in
+      (metric_name, sample))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_text t =
+  let items = snapshot t in
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer
+    (Printf.sprintf "[%s] %d metric(s)\n" t.reg_name (List.length items));
+  List.iter
+    (fun (metric_name, sample) ->
+       let kind, rendered =
+         match sample with
+         | Counter_sample v -> ("counter", string_of_int v)
+         | Gauge_sample v -> ("gauge", string_of_int v)
+         | Histogram_sample s ->
+           ( "histogram",
+             Printf.sprintf "count=%d sum=%d p50=%d p95=%d max=%d" s.count
+               s.sum s.p50 s.p95 s.max )
+       in
+       Buffer.add_string buffer
+         (Printf.sprintf "  %-9s %-32s %s\n" kind metric_name rendered))
+    items;
+  Buffer.contents buffer
+
+(* minimal JSON string escaping; metric names here are ASCII *)
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buffer "\\\""
+       | '\\' -> Buffer.add_string buffer "\\\\"
+       | '\n' -> Buffer.add_string buffer "\\n"
+       | '\t' -> Buffer.add_string buffer "\\t"
+       | c when Char.code c < 32 ->
+         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+(* stable shape: fixed field names and order, one metric per line *)
+let to_json t =
+  let items = snapshot t in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"component\": %s,\n" (json_string t.reg_name));
+  Buffer.add_string buffer "  \"metrics\": [";
+  List.iteri
+    (fun i (metric_name, sample) ->
+       if i > 0 then Buffer.add_char buffer ',';
+       Buffer.add_string buffer "\n    ";
+       let rendered =
+         match sample with
+         | Counter_sample v ->
+           Printf.sprintf "{\"name\": %s, \"type\": \"counter\", \"value\": %d}"
+             (json_string metric_name) v
+         | Gauge_sample v ->
+           Printf.sprintf "{\"name\": %s, \"type\": \"gauge\", \"value\": %d}"
+             (json_string metric_name) v
+         | Histogram_sample s ->
+           Printf.sprintf
+             "{\"name\": %s, \"type\": \"histogram\", \"count\": %d, \
+              \"sum\": %d, \"p50\": %d, \"p95\": %d, \"max\": %d}"
+             (json_string metric_name) s.count s.sum s.p50 s.p95 s.max
+       in
+       Buffer.add_string buffer rendered)
+    items;
+  if items <> [] then Buffer.add_string buffer "\n  ";
+  Buffer.add_string buffer "]\n}\n";
+  Buffer.contents buffer
+
+let all_to_text registries =
+  String.concat "" (List.map to_text (List.filter (fun t -> not t.reg_nil) registries))
+
+let all_to_json registries =
+  String.concat ""
+    (List.map to_json (List.filter (fun t -> not t.reg_nil) registries))

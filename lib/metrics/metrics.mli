@@ -1,0 +1,135 @@
+(** Dependency-free observability: counters, gauges, fixed-bucket
+    histograms and a bounded ring-buffer event tracer, grouped into
+    per-component registries.
+
+    Update paths ([incr], [add], [set], [observe], [trace]) never
+    allocate, so instrumented hot loops — including the simulation
+    kernel's pinned zero-allocation steady-state cycle — stay
+    allocation-free.  Instruments minted from the {!nil} registry are
+    live records that nothing retains or renders, so call sites update
+    them unconditionally and disabled overhead is a field write.
+
+    Renderers follow the same conventions as [Lint]: aligned text and
+    stable-field-order JSON with one metric per line.  Snapshots sort
+    by name and quantiles come from fixed bucket bounds, so seeded
+    deterministic runs produce byte-identical dumps. *)
+
+type t
+(** A named registry of instruments for one component. *)
+
+type counter
+(** Monotonic event count. *)
+
+type gauge
+(** Last-written level. *)
+
+type histogram
+(** Fixed-bucket value distribution with exact count/sum/max. *)
+
+type tracer
+(** Bounded ring buffer of recent events. *)
+
+val create : string -> t
+(** [create component] is a fresh live registry. *)
+
+val nil : t
+(** The no-op registry: instruments minted from it work but are never
+    registered, rendered or retained. *)
+
+val is_nil : t -> bool
+val name : t -> string
+
+val counter : t -> string -> counter
+(** [counter t name] mints and registers a counter starting at 0.
+    @raise Invalid_argument on a duplicate name in a live registry. *)
+
+val gauge : t -> string -> gauge
+
+val default_bounds : int array
+(** 1-2-5 decades from 1 to 1_000_000 — suits microsecond latencies
+    and byte sizes. *)
+
+val histogram : ?bounds:int array -> t -> string -> histogram
+(** [histogram t name] registers a histogram over [bounds] (ascending
+    inclusive upper bounds; values above the last bound land in an
+    overflow bucket whose quantile reports the observed max). *)
+
+val probe : t -> string -> (unit -> int) -> unit
+(** [probe t name read] registers a pull-based counter sampled at
+    snapshot time — zero hot-path cost for state a component already
+    tracks in its own mutable fields. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set : gauge -> int -> unit
+val value : gauge -> int
+
+val observe : histogram -> int -> unit
+
+type summary = {
+  count : int;
+  sum : int;
+  max : int; (** 0 when empty *)
+  p50 : int; (** bucket upper bound reaching the quantile *)
+  p95 : int;
+}
+
+val summary : histogram -> summary
+
+(** {1 Tracing} *)
+
+type span =
+  | Point (** instantaneous event *)
+  | Enter (** start of a typed span *)
+  | Exit (** end of a typed span *)
+
+type event = {
+  ev_seq : int; (** 0-based position in the whole event stream *)
+  ev_label : string;
+  ev_span : span;
+  ev_value : int;
+}
+
+val default_trace_capacity : int
+
+val tracer : ?capacity:int -> t -> tracer
+(** [tracer t] is a ring buffer holding the last [capacity] events
+    (default {!default_trace_capacity}).  A tracer minted from {!nil}
+    has capacity 0 and drops everything. *)
+
+val trace : tracer -> ?span:span -> ?value:int -> string -> unit
+(** Record an event; allocation-free (the label pointer is stored, so
+    pass literals on hot paths).  Overwrites the oldest event when
+    full. *)
+
+val trace_total : tracer -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val events : tracer -> event list
+(** Retained events, oldest first. *)
+
+val trace_to_text : ?last:int -> tracer -> string
+
+(** {1 Snapshots and rendering} *)
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of int
+  | Histogram_sample of summary
+
+val snapshot : t -> (string * sample) list
+(** Current values, sorted by metric name.  Probes are read here. *)
+
+val to_text : t -> string
+(** Aligned text: a [\[component\] n metric(s)] header then one
+    [kind name value] line per metric. *)
+
+val to_json : t -> string
+(** Stable field order, one metric object per line. *)
+
+val all_to_text : t list -> string
+(** Concatenated {!to_text} of the live registries (nil skipped). *)
+
+val all_to_json : t list -> string

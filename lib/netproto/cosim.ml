@@ -1,5 +1,6 @@
 module Bits = Jhdl_logic.Bits
 module Fault = Jhdl_faults.Fault
+module Metrics = Jhdl_metrics.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* retry policy and the reliable-exchange engine                       *)
@@ -162,13 +163,38 @@ type link_session = {
   mutable resumes : int;
 }
 
+(* Per-link instruments; minted from the nil registry unless [attach]
+   was given a live one, so updating them unconditionally is free. *)
+type link_metrics = {
+  lm_exchanges : Metrics.counter;
+  lm_rtt_us : Metrics.histogram; (* simulated round trip per exchange *)
+  lm_resumes : Metrics.counter; (* resume handshakes attempted *)
+  lm_trace : Metrics.tracer;
+}
+
 type link = {
   endpoint : Endpoint.t;
   wire : wire;
   session : link_session option;
+  lm : link_metrics;
   mutable crash_at : int option;  (* one-shot: crash at the Nth exchange *)
   mutable exchanges : int;
 }
+
+(* constant labels: the tracer stores the pointer, never a copy *)
+let message_label = function
+  | Protocol.Set_inputs _ -> "set_inputs"
+  | Protocol.Cycle _ -> "cycle"
+  | Protocol.Reset -> "reset"
+  | Protocol.Get_outputs _ -> "get_outputs"
+  | Protocol.Outputs_are _ -> "outputs_are"
+  | Protocol.Ack -> "ack"
+  | Protocol.Protocol_error _ -> "protocol_error"
+  | Protocol.Hello _ -> "hello"
+  | Protocol.Resume _ -> "resume"
+  | Protocol.Session_state _ -> "session_state"
+  | Protocol.Heartbeat -> "heartbeat"
+  | Protocol.Checkpoint -> "checkpoint"
 
 type t = {
   mutable links : link list; (* attach order *)
@@ -202,6 +228,8 @@ let begin_exchange link =
    way, so the failure just burns one unit of resume budget. *)
 let resume link ls =
   ls.resumes <- ls.resumes + 1;
+  Metrics.incr link.lm.lm_resumes;
+  Metrics.trace link.lm.lm_trace ~value:ls.last_acked "resume_handshake";
   (match Endpoint.restart link.endpoint with
    | Ok _ -> ()
    | Error reason -> raise (Exchange_failed ("resume failed: " ^ reason)));
@@ -218,7 +246,11 @@ let resume link ls =
 
 let exchange link message =
   let name = Endpoint.name link.endpoint in
+  let t0 = Network.elapsed_seconds link.wire.channel in
+  Metrics.incr link.lm.lm_exchanges;
   let seq = begin_exchange link in
+  Metrics.trace link.lm.lm_trace ~span:Metrics.Enter ~value:seq
+    (message_label message);
   let send () =
     wire_exchange link.wire ~seq ~peer:(link_peer link)
       ~session_armed:(Option.is_some link.session)
@@ -259,6 +291,10 @@ let exchange link message =
   (match link.session with
    | Some ls -> ls.last_acked <- seq
    | None -> ());
+  let rtt = Network.elapsed_seconds link.wire.channel -. t0 in
+  Metrics.observe link.lm.lm_rtt_us (int_of_float (rtt *. 1e6));
+  Metrics.trace link.lm.lm_trace ~span:Metrics.Exit ~value:seq
+    (message_label message);
   match reply with
   | Protocol.Protocol_error reason ->
     invalid_arg (Printf.sprintf "Cosim: %s: %s" name reason)
@@ -294,7 +330,8 @@ let data_exchange link message =
   maintenance link;
   reply
 
-let attach t ?faults ?retry ?session endpoint params =
+let attach t ?faults ?retry ?session ?(metrics = Metrics.nil) ?tracer endpoint
+    params =
   let name = Endpoint.name endpoint in
   if List.exists (fun l -> Endpoint.name l.endpoint = name) t.links then
     invalid_arg (Printf.sprintf "Cosim.attach: duplicate endpoint %s" name);
@@ -309,10 +346,39 @@ let attach t ?faults ?retry ?session endpoint params =
            resumes = 0 })
       session
   in
+  let wire = make_wire ?faults ?retry params in
+  let metric m = name ^ "." ^ m in
+  let lm =
+    { lm_exchanges = Metrics.counter metrics (metric "exchanges_total");
+      lm_rtt_us = Metrics.histogram metrics (metric "rtt_us");
+      lm_resumes =
+        Metrics.counter metrics (metric "resume_handshakes_total");
+      lm_trace =
+        (match tracer with
+         | Some tr -> tr
+         | None -> Metrics.tracer Metrics.nil) }
+  in
+  (* wire and channel tallies already exist as mutable state; sample
+     them as probes instead of double-counting on the hot path *)
+  Metrics.probe metrics (metric "messages_total") (fun () ->
+      Network.messages wire.channel);
+  Metrics.probe metrics (metric "bytes_total") (fun () ->
+      Network.bytes_transferred wire.channel);
+  Metrics.probe metrics (metric "retries_total") (fun () -> wire.retry_count);
+  Metrics.probe metrics (metric "retransmitted_bytes_total") (fun () ->
+      wire.retransmitted_bytes);
+  Metrics.probe metrics (metric "faults_injected_total") (fun () ->
+      Network.faults_injected wire.channel);
+  List.iter
+    (fun kind ->
+       Metrics.probe metrics (metric ("faults_" ^ Fault.kind_name kind))
+         (fun () -> List.assoc kind (Network.fault_counts wire.channel)))
+    Fault.all_kinds;
   let link =
     { endpoint;
-      wire = make_wire ?faults ?retry params;
+      wire;
       session;
+      lm;
       crash_at = None;
       exchanges = 0 }
   in

@@ -76,18 +76,30 @@ type t
 
 val create : unit -> t
 
-(** [attach t ?faults ?retry ?session endpoint params] — connect a black
-    box over a channel with the given network parameters. [faults] arms
-    the seeded injector on that channel; [retry] (default
-    {!default_retry}) governs recovery. [session] arms the crash-safe
-    session layer: a [Hello] handshake runs immediately (the endpoint
-    checkpoints and starts journaling). Endpoint names must be
-    unique. *)
+(** [attach t ?faults ?retry ?session ?metrics ?tracer endpoint params]
+    — connect a black box over a channel with the given network
+    parameters. [faults] arms the seeded injector on that channel;
+    [retry] (default {!default_retry}) governs recovery. [session] arms
+    the crash-safe session layer: a [Hello] handshake runs immediately
+    (the endpoint checkpoints and starts journaling). Endpoint names
+    must be unique.
+
+    With a live [metrics] registry the link registers, under
+    [<name>.] prefixes: an [exchanges_total] / [resume_handshakes_total]
+    counter pair, an [rtt_us] round-trip histogram fed from the
+    channel's {e simulated} clock (so seeded runs are deterministic),
+    and probes over the wire tallies ([messages_total], [bytes_total],
+    [retries_total], [retransmitted_bytes_total],
+    [faults_injected_total], [faults_<kind>]). [tracer] records an
+    enter/exit span per exchange, labeled with the message kind and
+    carrying the sequence number. *)
 val attach :
   t ->
   ?faults:Jhdl_faults.Fault.config ->
   ?retry:retry_policy ->
   ?session:session_policy ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  ?tracer:Jhdl_metrics.Metrics.tracer ->
   Endpoint.t ->
   Network.params ->
   unit

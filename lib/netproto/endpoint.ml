@@ -1,6 +1,7 @@
 module Simulator = Jhdl_sim.Simulator
 module Snapshot = Jhdl_sim.Snapshot
 module Design = Jhdl_circuit.Design
+module Metrics = Jhdl_metrics.Metrics
 
 (* Modeled cost of one evaluation pass in the client JVM. *)
 let seconds_per_prim = 40.0e-9
@@ -35,25 +36,45 @@ type t = {
   mutable session : session option;
   mutable crash_count : int;
   mutable heartbeats : int;
+  (* durable-state size distributions; nil instruments unless a live
+     registry was supplied at construction *)
+  ep_checkpoint_bytes : Metrics.histogram;
+  ep_journal_message_bytes : Metrics.histogram;
 }
 
-let of_simulator ?(journal_cap = default_journal_cap) ~name sim =
+let of_simulator ?(journal_cap = default_journal_cap) ?(metrics = Metrics.nil)
+    ~name sim =
   if journal_cap < 1 then
     invalid_arg "Endpoint.of_simulator: journal_cap must be positive";
-  { endpoint_name = name;
-    sim;
-    compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim;
-    journal_cap;
-    last_seq = None;
-    last_reply = Protocol.Ack;
-    alive = true;
-    session = None;
-    crash_count = 0;
-    heartbeats = 0 }
+  let metric m = name ^ "." ^ m in
+  let t =
+    { endpoint_name = name;
+      sim;
+      compute = float_of_int (Simulator.prim_count sim) *. seconds_per_prim;
+      journal_cap;
+      last_seq = None;
+      last_reply = Protocol.Ack;
+      alive = true;
+      session = None;
+      crash_count = 0;
+      heartbeats = 0;
+      ep_checkpoint_bytes = Metrics.histogram metrics (metric "checkpoint_bytes");
+      ep_journal_message_bytes =
+        Metrics.histogram metrics (metric "journal_message_bytes") }
+  in
+  Metrics.probe metrics (metric "crashes_total") (fun () -> t.crash_count);
+  Metrics.probe metrics (metric "heartbeats_total") (fun () -> t.heartbeats);
+  Metrics.probe metrics (metric "journal_entries") (fun () ->
+      match t.session with None -> 0 | Some s -> s.journal_len);
+  Metrics.probe metrics (metric "checkpoints_total") (fun () ->
+      match t.session with None -> 0 | Some s -> s.checkpoints_taken);
+  Metrics.probe metrics (metric "replayed_messages_total") (fun () ->
+      match t.session with None -> 0 | Some s -> s.replayed);
+  t
 
-let of_applet ?journal_cap ~name applet =
+let of_applet ?journal_cap ?metrics ~name applet =
   Option.map
-    (of_simulator ?journal_cap ~name)
+    (of_simulator ?journal_cap ?metrics ~name)
     (Jhdl_applet.Applet.simulator applet)
 
 let name t = t.endpoint_name
@@ -72,6 +93,7 @@ let restore t blob =
 let take_checkpoint t session =
   match Simulator.snapshot t.sim with
   | blob ->
+    Metrics.observe t.ep_checkpoint_bytes (String.length blob);
     session.checkpoint <- blob;
     session.journal <- [];
     session.journal_len <- 0;
@@ -154,6 +176,7 @@ let journal_applied t seq payload =
   match t.session with
   | None -> ()
   | Some s ->
+    Metrics.observe t.ep_journal_message_bytes (Protocol.size payload);
     s.journal <- (seq, payload) :: s.journal;
     s.journal_len <- s.journal_len + 1;
     s.last_applied <- seq;

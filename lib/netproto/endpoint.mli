@@ -20,17 +20,33 @@
 
 type t
 
-(** [of_simulator ?journal_cap ~name sim] — expose [sim]'s top-level
-    ports. The per-cycle compute cost the endpoint charges to a channel
-    is derived from the design's primitive count. [journal_cap] (default
-    64) bounds the write-ahead journal: one more applied message forces
-    an automatic checkpoint. Raises [Invalid_argument] when it is not
-    positive. *)
-val of_simulator : ?journal_cap:int -> name:string -> Jhdl_sim.Simulator.t -> t
+(** [of_simulator ?journal_cap ?metrics ~name sim] — expose [sim]'s
+    top-level ports. The per-cycle compute cost the endpoint charges to
+    a channel is derived from the design's primitive count.
+    [journal_cap] (default 64) bounds the write-ahead journal: one more
+    applied message forces an automatic checkpoint. Raises
+    [Invalid_argument] when it is not positive.
+
+    With a live [metrics] registry the endpoint registers, under
+    [<name>.] prefixes: [checkpoint_bytes] and [journal_message_bytes]
+    histograms plus [crashes_total], [heartbeats_total],
+    [journal_entries], [checkpoints_total] and [replayed_messages_total]
+    probes. *)
+val of_simulator :
+  ?journal_cap:int ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  name:string ->
+  Jhdl_sim.Simulator.t ->
+  t
 
 (** [of_applet ~name applet] — wrap a built applet's simulator; [None]
     when the applet has no simulator linked or nothing built. *)
-val of_applet : ?journal_cap:int -> name:string -> Jhdl_applet.Applet.t -> t option
+val of_applet :
+  ?journal_cap:int ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  name:string ->
+  Jhdl_applet.Applet.t ->
+  t option
 
 val name : t -> string
 

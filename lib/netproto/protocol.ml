@@ -146,18 +146,9 @@ let decode s =
 
 (* CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF): detects every
    single-byte error, unlike Fletcher/Adler whose 0x00/0xFF classes
-   collide — and corrupt-channel recovery hinges on detection. *)
-let checksum s =
-  let crc = ref 0xFFFF in
-  String.iter
-    (fun c ->
-       crc := !crc lxor (Char.code c lsl 8);
-       for _ = 1 to 8 do
-         if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
-         else crc := (!crc lsl 1) land 0xFFFF
-       done)
-    s;
-  !crc
+   collide — and corrupt-channel recovery hinges on detection.  The
+   snapshot trailer uses the same shared implementation. *)
+let checksum = Jhdl_logic.Crc16.checksum
 
 type packet = {
   seq : int;

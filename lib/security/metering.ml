@@ -1,3 +1,5 @@
+module Metrics = Jhdl_metrics.Metrics
+
 type action =
   | Build
   | Simulate
@@ -13,35 +15,63 @@ let action_name = function
 type t = {
   limits : (action * int) list;
   counts : (string * action, int) Hashtbl.t;
+  (* over-limit attempts: invisible charges are exactly what a vendor
+     wants to see, so refusals are tallied per user/action too *)
+  denials : (string * action, int) Hashtbl.t;
+  mutable denials_counter : Metrics.counter;
 }
 
-let create ~limits = { limits; counts = Hashtbl.create 16 }
+let create ~limits =
+  { limits;
+    counts = Hashtbl.create 16;
+    denials = Hashtbl.create 16;
+    denials_counter = Metrics.counter Metrics.nil "metering_denials_total" }
+
+let register_metrics meter registry =
+  meter.denials_counter <- Metrics.counter registry "metering_denials_total"
 
 let used meter ~user action =
   Option.value (Hashtbl.find_opt meter.counts (user, action)) ~default:0
 
+let denied meter ~user action =
+  Option.value (Hashtbl.find_opt meter.denials (user, action)) ~default:0
+
 let record meter ~user action =
   let current = used meter ~user action in
   match List.assoc_opt action meter.limits with
-  | Some limit when current >= limit -> Error current
+  | Some limit when current >= limit ->
+    Hashtbl.replace meter.denials (user, action)
+      (denied meter ~user action + 1);
+    Metrics.incr meter.denials_counter;
+    Error current
   | limit ->
     Hashtbl.replace meter.counts (user, action) (current + 1);
     Ok (Option.map (fun l -> l - current - 1) limit)
 
 let report meter =
+  (* a user/action pair appears if it was ever used *or* ever denied —
+     a licensee stuck at a zero-use cap must still show up *)
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun key _ -> Hashtbl.replace keys key ()) meter.counts;
+  Hashtbl.iter (fun key _ -> Hashtbl.replace keys key ()) meter.denials;
   let entries =
-    Hashtbl.fold
-      (fun (user, action) count acc -> (user, action, count) :: acc)
-      meter.counts []
+    Hashtbl.fold (fun (user, action) () acc -> (user, action) :: acc) keys []
     |> List.sort compare
   in
-  let line (user, action, count) =
+  let line (user, action) =
+    let count = used meter ~user action in
     let cap =
       match List.assoc_opt action meter.limits with
       | Some limit -> Printf.sprintf "/%d" limit
       | None -> ""
     in
-    Printf.sprintf "  %-12s %-16s %d%s" user (action_name action) count cap
+    let refusals =
+      match denied meter ~user action with
+      | 0 -> ""
+      | n -> Printf.sprintf " (%d denied)" n
+    in
+    Printf.sprintf "  %-12s %-16s %d%s%s" user (action_name action) count cap
+      refusals
   in
   match entries with
   | [] -> "(no metered activity)\n"

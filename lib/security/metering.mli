@@ -17,13 +17,24 @@ val action_name : action -> string
 (** [create ~limits] — per-action caps; absent action means unlimited. *)
 val create : limits:(action * int) list -> t
 
+(** [register_metrics meter registry] — export a
+    [metering_denials_total] counter on [registry], incremented on every
+    refused over-limit use from then on. *)
+val register_metrics : t -> Jhdl_metrics.Metrics.t -> unit
+
 (** [record meter ~user action] — count one use. Returns [Ok remaining]
     (remaining uses after this one, [None] = unlimited) or [Error used]
-    when the cap was already reached (the use is not recorded). *)
+    when the cap was already reached (the use is not recorded, but the
+    denial is tallied — see {!denied}). *)
 val record : t -> user:string -> action -> (int option, int) result
 
 (** [used meter ~user action] — uses so far. *)
 val used : t -> user:string -> action -> int
+
+(** [denied meter ~user action] — over-limit attempts refused so far.
+    Denials also appear in {!report} as a [(n denied)] suffix, and a
+    user/action pair that was only ever denied still gets a line. *)
+val denied : t -> user:string -> action -> int
 
 (** [report meter] — per-user, per-action usage lines for the vendor. *)
 val report : t -> string

@@ -51,6 +51,9 @@ type t = {
   mutable watches : watch_entry list; (* reverse watch order *)
   mutable cycle_hooks : (int -> unit) list; (* registration order *)
   depth : int;
+  (* lifetime work counters, mirroring the kernel's *)
+  mutable stat_evals : int;
+  mutable stat_changes : int;
 }
 
 let read_net sim n =
@@ -63,6 +66,7 @@ let write_net sim n v =
   let before = Option.value (Hashtbl.find_opt sim.values n.net_id) ~default:Bit.X in
   if not (Bit.equal before v) then begin
     Hashtbl.replace sim.values n.net_id v;
+    sim.stat_changes <- sim.stat_changes + 1;
     match Hashtbl.find_opt sim.consumers n.net_id with
     | None -> ()
     | Some ranks ->
@@ -227,6 +231,7 @@ let levelize nodes =
    create and reset); leaves no pending work *)
 let propagate_full sim =
   Array.iter (eval_node sim) sim.order;
+  sim.stat_evals <- sim.stat_evals + Array.length sim.order;
   sim.pending <- Int_set.empty
 
 (* incremental settle: drain dirty nodes in rank order; evaluating a node
@@ -237,6 +242,7 @@ let propagate sim =
     | None -> ()
     | Some rank ->
       sim.pending <- Int_set.remove rank sim.pending;
+      sim.stat_evals <- sim.stat_evals + 1;
       eval_node sim sim.order.(rank);
       drain ()
   in
@@ -308,7 +314,9 @@ let create ?clock design =
       cycles = 0;
       watches = [];
       cycle_hooks = [];
-      depth }
+      depth;
+      stat_evals = 0;
+      stat_changes = 0 }
   in
   propagate_full sim;
   sim
@@ -517,6 +525,24 @@ let history sim =
 let on_cycle sim f = sim.cycle_hooks <- sim.cycle_hooks @ [ f ]
 let prim_count sim = Array.length sim.order
 let levels sim = sim.depth
+let eval_count sim = sim.stat_evals
+let event_count sim = sim.stat_changes
+
+let register_metrics sim registry =
+  let module M = Jhdl_metrics.Metrics in
+  M.probe registry "cycles_total" (fun () -> sim.cycles);
+  M.probe registry "settle_evals_total" (fun () -> sim.stat_evals);
+  M.probe registry "net_events_total" (fun () -> sim.stat_changes);
+  M.probe registry "prims" (fun () -> Array.length sim.order);
+  M.probe registry "levels" (fun () -> sim.depth);
+  if not (M.is_nil registry) then begin
+    let per_cycle = M.histogram registry "settle_evals_per_cycle" in
+    let last = ref sim.stat_evals in
+    on_cycle sim (fun _ ->
+        let now = sim.stat_evals in
+        M.observe per_cycle (now - !last);
+        last := now)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing: same path-keyed blob format as [Simulator], so a

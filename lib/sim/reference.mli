@@ -43,3 +43,8 @@ val restore : t -> string -> unit
 val on_cycle : t -> (int -> unit) -> unit
 val prim_count : t -> int
 val levels : t -> int
+val eval_count : t -> int
+val event_count : t -> int
+
+(** Same probe set as {!Simulator.register_metrics}. *)
+val register_metrics : t -> Jhdl_metrics.Metrics.t -> unit

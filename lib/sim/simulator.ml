@@ -61,6 +61,10 @@ type store = {
   dirty : Bytes.t; (* per-rank pending flag *)
   level_pending : int array; (* dirty count per level *)
   mutable pending_total : int;
+  (* lifetime work counters: plain int stores, so the steady-state
+     cycle stays allocation-free with instrumentation attached *)
+  mutable stat_evals : int; (* node evaluations during settles *)
+  mutable stat_changes : int; (* change-tracked net writes that stuck *)
 }
 
 let code st idx = Char.code (Bytes.unsafe_get st.vals idx)
@@ -78,6 +82,7 @@ let mark st rank =
 let write st idx c =
   if Char.code (Bytes.unsafe_get st.vals idx) <> c then begin
     Bytes.unsafe_set st.vals idx (Char.unsafe_chr c);
+    st.stat_changes <- st.stat_changes + 1;
     for k = st.row.(idx) to st.row.(idx + 1) - 1 do
       mark st st.col.(k)
     done
@@ -243,6 +248,7 @@ let propagate_full sim =
   for r = 0 to Array.length eval - 1 do
     (Array.unsafe_get eval r) ()
   done;
+  sim.st.stat_evals <- sim.st.stat_evals + Array.length eval;
   Bytes.fill sim.st.dirty 0 (Bytes.length sim.st.dirty) '\000';
   Array.fill sim.st.level_pending 0 (Array.length sim.st.level_pending) 0;
   sim.st.pending_total <- 0
@@ -259,6 +265,7 @@ let propagate sim =
       if cnt > 0 then begin
         st.level_pending.(lv) <- 0;
         st.pending_total <- st.pending_total - cnt;
+        st.stat_evals <- st.stat_evals + cnt;
         let left = ref cnt in
         let r = ref sim.level_lo.(lv) in
         while !left > 0 do
@@ -449,7 +456,9 @@ let create ?clock design =
       level_of;
       dirty = Bytes.make n_ranks '\000';
       level_pending = Array.make (depth + 1) 0;
-      pending_total = 0 }
+      pending_total = 0;
+      stat_evals = 0;
+      stat_changes = 0 }
   in
   let in_domain p =
     match clock_nets with
@@ -701,6 +710,16 @@ let record_watches sim =
        w.samples <- (sim.cycles, v) :: w.samples)
     sim.watches
 
+(* top-level recursion instead of [List.iter (fun hook -> ...)]: the
+   iter closure would capture [sim] and cost a minor allocation on every
+   instrumented cycle *)
+let rec run_cycle_hooks hooks cycles =
+  match hooks with
+  | [] -> ()
+  | hook :: rest ->
+    hook cycles;
+    run_cycle_hooks rest cycles
+
 let cycle ?(n = 1) sim =
   let st = sim.st in
   let seq = sim.seq_clocked in
@@ -715,9 +734,7 @@ let cycle ?(n = 1) sim =
     sim.cycles <- sim.cycles + 1;
     propagate sim;
     (match sim.watches with [] -> () | _ -> record_watches sim);
-    (match sim.cycle_hooks with
-     | [] -> ()
-     | hooks -> List.iter (fun hook -> hook sim.cycles) hooks)
+    run_cycle_hooks sim.cycle_hooks sim.cycles
   done
 
 let reset sim =
@@ -757,6 +774,29 @@ let history sim =
 let on_cycle sim f = sim.cycle_hooks <- sim.cycle_hooks @ [ f ]
 let prim_count sim = Array.length sim.eval
 let levels sim = sim.depth
+let eval_count sim = sim.st.stat_evals
+let event_count sim = sim.st.stat_changes
+
+(* Pull-based registration: the kernel's own counters are sampled as
+   probes (zero per-cycle cost) and a per-cycle settle-size histogram
+   rides the existing hook list.  Everything the installed hook touches
+   is preallocated here, so the steady-state cycle stays allocation-free
+   with a live registry attached. *)
+let register_metrics sim registry =
+  let module M = Jhdl_metrics.Metrics in
+  M.probe registry "cycles_total" (fun () -> sim.cycles);
+  M.probe registry "settle_evals_total" (fun () -> sim.st.stat_evals);
+  M.probe registry "net_events_total" (fun () -> sim.st.stat_changes);
+  M.probe registry "prims" (fun () -> Array.length sim.eval);
+  M.probe registry "levels" (fun () -> sim.depth);
+  if not (M.is_nil registry) then begin
+    let per_cycle = M.histogram registry "settle_evals_per_cycle" in
+    let last = ref sim.st.stat_evals in
+    on_cycle sim (fun _ ->
+        let now = sim.st.stat_evals in
+        M.observe per_cycle (now - !last);
+        last := now)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing. State entries are keyed by instance path ([Snapshot]'s

@@ -127,3 +127,19 @@ val prim_count : t -> int
 
 (** [levels sim] is the depth of the levelized combinational network. *)
 val levels : t -> int
+
+(** [eval_count sim] is the lifetime number of node evaluations
+    performed by settles (full passes included). *)
+val eval_count : t -> int
+
+(** [event_count sim] is the lifetime number of change-tracked net
+    writes that actually changed a value. *)
+val event_count : t -> int
+
+(** [register_metrics sim registry] registers the kernel's work
+    counters as pull-based probes ([cycles_total], [settle_evals_total],
+    [net_events_total], [prims], [levels]) plus a
+    [settle_evals_per_cycle] histogram fed from a cycle hook.  On a live
+    registry the hook's updates are allocation-free, so the pinned
+    zero-allocation steady-state cycle is preserved. *)
+val register_metrics : t -> Jhdl_metrics.Metrics.t -> unit

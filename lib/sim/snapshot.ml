@@ -47,20 +47,9 @@ type image = {
   image_watches : (string * (int * Bits.t) list) list;
 }
 
-(* CRC-16/CCITT-FALSE, bit-identical to the wire protocol's checksum *)
-let crc16 s =
-  let crc = ref 0xFFFF in
-  String.iter
-    (fun ch ->
-       crc := !crc lxor (Char.code ch lsl 8);
-       for _ = 1 to 8 do
-         crc :=
-           (if !crc land 0x8000 <> 0 then (!crc lsl 1) lxor 0x1021
-            else !crc lsl 1)
-           land 0xFFFF
-       done)
-    s;
-  !crc
+(* CRC-16/CCITT-FALSE, bit-identical to the wire protocol's checksum —
+   both delegate to the one shared implementation *)
+let crc16 = Jhdl_logic.Crc16.checksum
 
 (* ------------------------------------------------------------------ *)
 (* Design signature.                                                   *)

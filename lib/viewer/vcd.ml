@@ -1,15 +1,20 @@
 module Bits = Jhdl_logic.Bits
 module Simulator = Jhdl_sim.Simulator
 
-(* Short printable VCD identifiers from the printable-ASCII range, then
-   two-character codes once the range is exhausted. *)
+(* Short printable VCD identifiers: index 0..93 maps to one printable
+   ASCII character ('!'..'~'), then the scheme extends to as many
+   characters as needed (bijective base 94, most significant first), so
+   arbitrarily wide histories stay printable — the old two-character
+   ceiling broke past 8 929 signals. *)
 let id_of_index i =
   let alphabet_size = 94 in
   let char_of k = Char.chr (33 + k) in
-  if i < alphabet_size then String.make 1 (char_of i)
-  else
-    let hi = i / alphabet_size - 1 and lo = i mod alphabet_size in
-    Printf.sprintf "%c%c" (char_of hi) (char_of lo)
+  let rec build acc i =
+    let acc = String.make 1 (char_of (i mod alphabet_size)) ^ acc in
+    let rest = (i / alphabet_size) - 1 in
+    if rest < 0 then acc else build acc rest
+  in
+  build "" i
 
 let sanitize label =
   String.map (fun c -> if c = ' ' || c = '$' then '_' else c) label
@@ -47,14 +52,31 @@ let of_history sim =
       add "%c%s\n" (Jhdl_logic.Bit.to_char (Bits.get v 0)) id
     else add "b%s %s\n" (Bits.to_string v) id
   in
-  List.iter
-    (fun cycle ->
-       add "#%d\n" cycle;
-       List.iter
-         (fun (id, width, samples) ->
-            match List.assoc_opt cycle samples with
-            | Some v -> emit_value id width v
-            | None -> ())
-         signals)
-    cycles;
+  (* initial-value block: every declared signal gets a value at the
+     first timestamp (its first sample if it has one there, else x of
+     the right width), so viewers never render undefined leaders *)
+  (match cycles with
+   | [] -> ()
+   | first :: rest ->
+     add "#%d\n$dumpvars\n" first;
+     List.iter
+       (fun (id, width, samples) ->
+          let v =
+            match List.assoc_opt first samples with
+            | Some v -> v
+            | None -> Bits.of_string (String.make width 'x')
+          in
+          emit_value id width v)
+       signals;
+     add "$end\n";
+     List.iter
+       (fun cycle ->
+          add "#%d\n" cycle;
+          List.iter
+            (fun (id, width, samples) ->
+               match List.assoc_opt cycle samples with
+               | Some v -> emit_value id width v
+               | None -> ())
+            signals)
+       rest);
   Buffer.contents buffer

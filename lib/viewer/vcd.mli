@@ -4,5 +4,13 @@
     names. *)
 
 (** [of_history sim] renders an IEEE-1364 VCD document from the watched
-    signals; one timescale unit per clock cycle. *)
+    signals; one timescale unit per clock cycle. The first timestamp
+    carries a [$dumpvars] block giving every declared signal an initial
+    value (x when the signal has no sample there). *)
 val of_history : Jhdl_sim.Simulator.t -> string
+
+(** [id_of_index i] — the printable VCD identifier for the [i]-th
+    declared signal: bijective base 94 over ['!'..'~'], one character for
+    indices 0–93, two up to 8 929, growing as needed beyond. Exposed for
+    tests. *)
+val id_of_index : int -> string

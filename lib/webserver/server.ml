@@ -6,6 +6,7 @@ module Partition = Jhdl_bundle.Partition
 module Jar = Jhdl_bundle.Jar
 module Download = Jhdl_bundle.Download
 module Lint = Jhdl_lint.Lint
+module Metrics = Jhdl_metrics.Metrics
 
 let log_src = Logs.Src.create "jhdl.webserver" ~doc:"IP delivery server"
 
@@ -23,6 +24,16 @@ type account = {
   mutable cache : (Partition.component * int) list;
 }
 
+(* request-path instruments; nil unless [create] got a live registry *)
+type server_metrics = {
+  sm_requests : Metrics.counter;
+  sm_request_failures : Metrics.counter;
+  sm_cache_hits : Metrics.counter;
+  sm_cache_misses : Metrics.counter;
+  sm_download_ms : Metrics.histogram; (* per-request download time *)
+  sm_download : Download.metrics; (* jar-level counters, same registry *)
+}
+
 type t = {
   vendor : string;
   cache_cap : int;
@@ -33,9 +44,10 @@ type t = {
   component_versions : (Partition.component, int) Hashtbl.t;
   mutable evictions : int;
   mutable log : string list; (* newest first *)
+  sm : server_metrics;
 }
 
-let create ~vendor ?cache_cap () =
+let create ~vendor ?cache_cap ?(metrics = Metrics.nil) () =
   let cache_cap =
     match cache_cap with
     | None -> List.length Partition.all_components
@@ -48,8 +60,22 @@ let create ~vendor ?cache_cap () =
   List.iter
     (fun c -> Hashtbl.replace component_versions c 1)
     Partition.all_components;
-  { vendor; cache_cap; entries = []; accounts = Hashtbl.create 8;
-    component_versions; evictions = 0; log = [] }
+  let sm =
+    { sm_requests = Metrics.counter metrics "requests_total";
+      sm_request_failures = Metrics.counter metrics "request_failures_total";
+      sm_cache_hits = Metrics.counter metrics "cache_hits_total";
+      sm_cache_misses = Metrics.counter metrics "cache_misses_total";
+      sm_download_ms = Metrics.histogram metrics "download_ms";
+      sm_download = Download.metrics metrics }
+  in
+  let server =
+    { vendor; cache_cap; entries = []; accounts = Hashtbl.create 8;
+      component_versions; evictions = 0; log = []; sm }
+  in
+  Metrics.probe metrics "cache_evictions_total" (fun () -> server.evictions);
+  Metrics.probe metrics "catalog_entries" (fun () ->
+      List.length server.entries);
+  server
 
 let cache_evictions server = server.evictions
 
@@ -147,7 +173,7 @@ let component_of_jar jar =
     (fun c -> (Partition.jar_of c).Jar.jar_name = jar.Jar.jar_name)
     Partition.all_components
 
-let request server ~user ~ip_name ~link ?faults ?policy () =
+let request_inner server ~user ~ip_name ~link ?faults ?policy () =
   match Hashtbl.find_opt server.accounts user with
   | None -> Error (Printf.sprintf "unknown user %s" user)
   | Some account ->
@@ -170,6 +196,9 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
                 | Some cached when cached = current -> false
                 | Some _ | None -> true
               in
+              Metrics.incr
+                (if miss then server.sm.sm_cache_misses
+                 else server.sm.sm_cache_hits);
               (* hits refresh recency; misses enter at the front, and a
                  full cache drops its least recently used entry *)
               evicted := !evicted @ cache_touch server account component current;
@@ -177,7 +206,10 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
            components
        in
        let fetched = Partition.jars_for fetched_components in
-       let fetches = Download.fetch_jars ?faults ?policy link fetched in
+       let fetches =
+         Download.fetch_jars ?faults ?policy ~metrics:server.sm.sm_download
+           link fetched
+       in
        let failed = Download.fetch_failures fetches in
        let failed_components = List.filter_map component_of_jar failed in
        (* a failed transfer must not poison the cache: the revisit
@@ -188,6 +220,8 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
            account.cache;
        let download_seconds = Download.fetch_total_seconds fetches in
        let fetch_attempts = Download.fetch_attempts fetches in
+       Metrics.observe server.sm.sm_download_ms
+         (int_of_float (download_seconds *. 1e3));
        if List.exists (fun c -> List.mem c essential_components) failed_components
        then
          Error
@@ -219,6 +253,14 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
              unavailable; evicted = !evicted; fetch_attempts;
              download_seconds }
        end)
+
+let request server ~user ~ip_name ~link ?faults ?policy () =
+  Metrics.incr server.sm.sm_requests;
+  let result = request_inner server ~user ~ip_name ~link ?faults ?policy () in
+  (match result with
+   | Error _ -> Metrics.incr server.sm.sm_request_failures
+   | Ok _ -> ());
+  result
 
 let access_log server = List.rev server.log
 

@@ -9,13 +9,22 @@
 
 type t
 
-(** [create ~vendor ?cache_cap ()] — an empty server. [cache_cap]
-    bounds each user's browser cache to that many component entries
-    (LRU: a full cache drops its least recently used component, which
-    must then be transferred again); the default admits every component,
-    reproducing an unbounded cache. Raises [Invalid_argument] when the
-    cap is not positive. *)
-val create : vendor:string -> ?cache_cap:int -> unit -> t
+(** [create ~vendor ?cache_cap ?metrics ()] — an empty server.
+    [cache_cap] bounds each user's browser cache to that many component
+    entries (LRU: a full cache drops its least recently used component,
+    which must then be transferred again); the default admits every
+    component, reproducing an unbounded cache. Raises
+    [Invalid_argument] when the cap is not positive.
+
+    A live [metrics] registry gains the request-path instruments:
+    [requests_total] / [request_failures_total],
+    [cache_hits_total] / [cache_misses_total], a [download_ms]
+    per-request histogram, probes [cache_evictions_total] and
+    [catalog_entries], and the jar-level {!Jhdl_bundle.Download.metrics}
+    counters. *)
+val create :
+  vendor:string -> ?cache_cap:int -> ?metrics:Jhdl_metrics.Metrics.t ->
+  unit -> t
 
 (** [cache_evictions server] — total LRU evictions across all user
     caches since the server started. *)

@@ -1,4 +1,5 @@
 module Endpoint = Jhdl_netproto.Endpoint
+module Metrics = Jhdl_metrics.Metrics
 
 let log_src =
   Logs.Src.create "jhdl.sessions" ~doc:"supervised co-simulation sessions"
@@ -62,16 +63,26 @@ type t = {
   mutable idle_reaps : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(metrics = Metrics.nil) () =
   if config.max_sessions_per_user < 1 then
     invalid_arg "Session_manager.create: max_sessions_per_user must be positive";
-  { config;
-    sessions = [];
-    next_id = 1;
-    opened_count = 0;
-    quota_count = 0;
-    heartbeat_reaps = 0;
-    idle_reaps = 0 }
+  let t =
+    { config;
+      sessions = [];
+      next_id = 1;
+      opened_count = 0;
+      quota_count = 0;
+      heartbeat_reaps = 0;
+      idle_reaps = 0 }
+  in
+  (* the supervisor already tracks everything worth exporting in its own
+     mutable fields; sample them as probes *)
+  Metrics.probe metrics "sessions_live" (fun () -> List.length t.sessions);
+  Metrics.probe metrics "sessions_opened_total" (fun () -> t.opened_count);
+  Metrics.probe metrics "quota_rejections_total" (fun () -> t.quota_count);
+  Metrics.probe metrics "reaped_heartbeat_total" (fun () -> t.heartbeat_reaps);
+  Metrics.probe metrics "reaped_idle_total" (fun () -> t.idle_reaps);
+  t
 
 let user_load t user =
   List.length (List.filter (fun s -> String.equal s.user user) t.sessions)

@@ -26,8 +26,11 @@ val default_config : config
 
 type t
 
-(** Raises [Invalid_argument] when the quota is not positive. *)
-val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] when the quota is not positive. A live
+    [metrics] registry gains probes over the supervisor's tallies:
+    [sessions_live], [sessions_opened_total], [quota_rejections_total],
+    [reaped_heartbeat_total], [reaped_idle_total]. *)
+val create : ?config:config -> ?metrics:Jhdl_metrics.Metrics.t -> unit -> t
 
 (** [open_session t ~user ~now endpoint] — register a live endpoint
     under [user]. [Error _] (counted in {!stats}) when the user's quota

@@ -10,3 +10,27 @@ The vendor server serves per-license applets with browser caching.
   fetched 0 jar(s) in 0.00 s: 
   server>   pat GET /applets/FirFilter v1 (licensed license, 4 jar(s), 7.0 s)
     pat GET /applets/FirFilter v1 (licensed license, 0 jar(s), 0.0 s)
+
+With --metrics the console collects server counters (cache hits and
+misses, jar bytes, per-jar fetch latency) and dumps them on exit; the
+`metrics` command shows them live.
+
+  $ printf 'register pat licensed\nget pat FirFilter dsl\nget pat FirFilter dsl\nget pat NoSuchIP dsl\nquit\n' \
+  >   | jhdl-ip-server --metrics --trace 3 | grep -vE '^server> *$' | grep -v '^server>\|^IP delivery\|^served\|^fetched\|^registered\|^ERROR'
+    counter   cache_evictions_total            0
+    counter   cache_hits_total                 4
+    counter   cache_misses_total               4
+    counter   catalog_entries                  4
+    histogram download_ms                      count=2 sum=6976 p50=1 p95=10000 max=6976
+    counter   fetch_attempts_total             4
+    counter   fetch_bytes_total                812075
+    histogram jar_fetch_ms                     count=4 sum=6976 p50=2000 p95=5000 max=2952
+    counter   jars_delivered_total             4
+    counter   jars_failed_total                0
+    counter   jars_fetched_total               4
+    counter   request_failures_total           1
+    counter   requests_total                   3
+  trace: 3 event(s) recorded, showing last 3
+    [     0] point request_ok                   4
+    [     1] point request_ok                   0
+    [     2] point request_error                0

@@ -198,8 +198,39 @@ let test_placed_net_delay_model () =
     (Estimate.placed_net_delay_ps ~distance:10 ~fanout:1
      > Estimate.placed_net_delay_ps ~distance:1 ~fanout:1)
 
+let test_zero_length_path_has_no_frequency () =
+  (* a pure-wire design (output port driven straight from an input) has
+     a zero-length critical path; it used to report a fake clamped 1 ps
+     path and 1e6 MHz — now the path is honestly 0 and the frequency a
+     sentinel [None] instead of infinity *)
+  let top = Cell.root ~name:"top" () in
+  let w = Wire.create top ~name:"w" 4 in
+  let d = Design.create top in
+  Design.add_port d "i" Types.Input w;
+  Design.add_port d "o" Types.Output w;
+  let report = Estimate.timing_of_design d in
+  Alcotest.(check int) "zero-length path" 0 report.Estimate.critical_path_ps;
+  Alcotest.(check bool) "no frequency cap" true
+    (report.Estimate.max_frequency_mhz = None);
+  let text = Format.asprintf "%a" Estimate.pp_timing_report report in
+  Alcotest.(check bool) "printable without inf" true
+    (let rec contains i =
+       i + 3 <= String.length text
+       && (String.sub text i 3 = "inf" || contains (i + 1))
+     in
+     not (contains 0));
+  (* real designs still get a finite frequency *)
+  let adder = adder_design ~width:4 (fun top ~a ~b ~sum ->
+      Adders.carry_chain top ~name:"add" ~a ~b ~sum ())
+  in
+  match (Estimate.timing_of_design adder).Estimate.max_frequency_mhz with
+  | Some mhz -> Alcotest.(check bool) "finite MHz" true (mhz > 0.0)
+  | None -> Alcotest.fail "adder should have a frequency"
+
 let suite =
   [ Alcotest.test_case "area carry chain" `Quick test_area_carry_chain;
+    Alcotest.test_case "zero-length path has no frequency" `Quick
+      test_zero_length_path_has_no_frequency;
     Alcotest.test_case "placement-aware timing" `Quick
       test_placement_aware_timing;
     Alcotest.test_case "placed net delay model" `Quick

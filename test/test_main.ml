@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "jhdl-applets"
     [ ("logic", Test_logic.suite);
+      ("metrics", Test_metrics.suite);
       ("circuit", Test_circuit.suite);
       ("sim", Test_sim.suite);
       ("snapshot", Test_snapshot.suite);

@@ -189,6 +189,49 @@ let test_metering_report () =
      in
      contains 0)
 
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_metering_denials_tracked () =
+  (* refused over-limit uses used to vanish without a trace — they must
+     be tallied per user/action and surfaced in the report *)
+  let meter = Metering.create ~limits:[ (Metering.Netlist_export, 1) ] in
+  let registry = Jhdl_metrics.Metrics.create "security" in
+  Metering.register_metrics meter registry;
+  let _ = Metering.record meter ~user:"eve" Metering.Netlist_export in
+  for _ = 1 to 3 do
+    match Metering.record meter ~user:"eve" Metering.Netlist_export with
+    | Error 1 -> ()
+    | Ok _ | Error _ -> Alcotest.fail "expected a denial at the cap"
+  done;
+  Alcotest.(check int) "denials counted" 3
+    (Metering.denied meter ~user:"eve" Metering.Netlist_export);
+  Alcotest.(check int) "usage unchanged by denials" 1
+    (Metering.used meter ~user:"eve" Metering.Netlist_export);
+  Alcotest.(check int) "no denials elsewhere" 0
+    (Metering.denied meter ~user:"eve" Metering.Build);
+  Alcotest.(check bool) "report shows the denial count" true
+    (contains ~needle:"1/1 (3 denied)" (Metering.report meter));
+  match Jhdl_metrics.Metrics.snapshot registry with
+  | [ ("metering_denials_total", Jhdl_metrics.Metrics.Counter_sample 3) ] -> ()
+  | _ -> Alcotest.fail "expected metering_denials_total = 3"
+
+let test_metering_denied_only_user_in_report () =
+  (* a licensee stuck at a zero-use cap never records a use, but the
+     vendor still needs the line *)
+  let meter = Metering.create ~limits:[ (Metering.Download, 0) ] in
+  (match Metering.record meter ~user:"mallory" Metering.Download with
+   | Error 0 -> ()
+   | Ok _ | Error _ -> Alcotest.fail "zero cap should deny immediately");
+  Alcotest.(check bool) "denied-only user appears" true
+    (contains ~needle:"mallory" (Metering.report meter));
+  Alcotest.(check bool) "with a denial marker" true
+    (contains ~needle:"(1 denied)" (Metering.report meter))
+
 let prop_watermark_vendor_specific =
   QCheck.Test.make ~name:"watermark verifies only its own vendor" ~count:40
     QCheck.(pair (string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.printable)
@@ -226,6 +269,10 @@ let suite =
     Alcotest.test_case "metering limits" `Quick test_metering_limits;
     Alcotest.test_case "metering unlimited" `Quick test_metering_unlimited;
     Alcotest.test_case "metering per user" `Quick test_metering_per_user;
-    Alcotest.test_case "metering report" `Quick test_metering_report ]
+    Alcotest.test_case "metering report" `Quick test_metering_report;
+    Alcotest.test_case "metering denials tracked" `Quick
+      test_metering_denials_tracked;
+    Alcotest.test_case "denied-only user reported" `Quick
+      test_metering_denied_only_user_in_report ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_encrypt_involutive; prop_watermark_vendor_specific ]

@@ -131,6 +131,61 @@ let test_vcd_export () =
   Alcotest.(check bool) "timestamped" true (contains ~needle:"#4" vcd);
   Alcotest.(check bool) "vector value" true (contains ~needle:"b100" vcd)
 
+let test_vcd_dumpvars_initial_values () =
+  let sim = watched_sim () in
+  let vcd = Vcd.of_history sim in
+  (* the first timestamp must open with a $dumpvars block so viewers
+     have an initial value for every declared signal *)
+  Alcotest.(check bool) "dumpvars present" true
+    (contains ~needle:"#0\n$dumpvars\n" vcd);
+  (* the counter's reset value is inside it, and the block is closed *)
+  Alcotest.(check bool) "initial value emitted" true
+    (contains ~needle:"$dumpvars\nb000 !\n$end" vcd);
+  (* later cycles are plain timestamped blocks, not re-dumped *)
+  Alcotest.(check bool) "per-cycle values follow" true
+    (contains ~needle:"#1\nb001 !" vcd)
+
+let test_vcd_id_scheme_extends () =
+  (* the identifier space must not run out: the old two-character scheme
+     overflowed into unprintable bytes past index 8929 *)
+  Alcotest.(check string) "first id" "!" (Vcd.id_of_index 0);
+  Alcotest.(check string) "last 1-char id" "~" (Vcd.id_of_index 93);
+  Alcotest.(check string) "first 2-char id" "!!" (Vcd.id_of_index 94);
+  Alcotest.(check string) "last 2-char id" "~~" (Vcd.id_of_index 8929);
+  Alcotest.(check string) "first 3-char id" "!!!" (Vcd.id_of_index 8930);
+  let ids = List.init 20000 Vcd.id_of_index in
+  List.iter
+    (fun id ->
+       String.iter
+         (fun c ->
+            if c < '!' || c > '~' then
+              Alcotest.failf "unprintable identifier byte %C" c)
+         id)
+    ids;
+  Alcotest.(check int) "all distinct" 20000
+    (List.length (List.sort_uniq compare ids))
+
+let test_vcd_many_signals () =
+  (* a >94-signal history forces multi-character identifiers; every
+     watched wire must keep a unique, declared, dumped id *)
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let q = Wire.create top ~name:"count" 3 in
+  let _ = Jhdl_modgen.Counter.up_counter top ~clk ~q () in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "count" Types.Output q;
+  let sim = Simulator.create ~clock:clk d in
+  for i = 0 to 99 do
+    Simulator.watch sim ~label:(Printf.sprintf "w%03d" i) q
+  done;
+  Simulator.cycle ~n:2 sim;
+  let vcd = Vcd.of_history sim in
+  Alcotest.(check bool) "two-char id declared" true
+    (contains ~needle:"$var wire 3 !! w094 $end" vcd);
+  Alcotest.(check bool) "two-char id dumped" true
+    (contains ~needle:"b001 !!" vcd)
+
 let suite =
   [ Alcotest.test_case "hierarchy render" `Quick test_hierarchy_render;
     Alcotest.test_case "hierarchy max depth" `Quick test_hierarchy_max_depth;
@@ -142,4 +197,9 @@ let suite =
     Alcotest.test_case "floorplan empty" `Quick test_floorplan_empty;
     Alcotest.test_case "waveform render" `Quick test_waveform_render;
     Alcotest.test_case "waveform values" `Quick test_waveform_value_format;
-    Alcotest.test_case "vcd export" `Quick test_vcd_export ]
+    Alcotest.test_case "vcd export" `Quick test_vcd_export;
+    Alcotest.test_case "vcd dumpvars initial values" `Quick
+      test_vcd_dumpvars_initial_values;
+    Alcotest.test_case "vcd id scheme extends" `Quick
+      test_vcd_id_scheme_extends;
+    Alcotest.test_case "vcd many signals" `Quick test_vcd_many_signals ]
