@@ -955,6 +955,94 @@ let sim_throughput () =
      rewrite."
 
 (* ------------------------------------------------------------------ *)
+(* FZ1: fuzzer throughput and oracle coverage                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two rates matter for nightly budget planning: raw generation
+   (recipe + design build, what bounds corpus growth) and full
+   five-oracle validation (what bounds the differential campaign).
+   Rates are designs/second over at least [min_seconds] of Sys.time. *)
+let fuzz_rate ~min_seconds f =
+  let t0 = Sys.time () in
+  let count = ref 0 in
+  let case = ref 0 in
+  while Sys.time () -. t0 < min_seconds do
+    f !case;
+    incr case;
+    incr count
+  done;
+  float_of_int !count /. (Sys.time () -. t0)
+
+let fuzz_throughput () =
+  section "FZ1" "fuzzer throughput: generation vs full differential validation";
+  let params = { Fuzz_gen.default_params with Fuzz_gen.max_cells = 40 } in
+  let steps = 12 in
+  let seed = 1 in
+  let gen_rate =
+    fuzz_rate ~min_seconds:0.3 (fun case ->
+        let gen_rng, _ = Fuzz.case_rngs ~seed ~case in
+        let recipe = Fuzz_gen.recipe gen_rng ~name:"bench" params in
+        ignore (Fuzz_recipe.build recipe))
+  in
+  let oracle_rate =
+    fuzz_rate ~min_seconds:0.6 (fun case ->
+        let gen_rng, stim_rng = Fuzz.case_rngs ~seed ~case in
+        let recipe = Fuzz_gen.recipe gen_rng ~name:"bench" params in
+        let stim = Fuzz_gen.stimulus stim_rng recipe ~steps in
+        List.iter
+          (fun k ->
+             match Fuzz_oracle.run k recipe stim with
+             | Fuzz_oracle.Pass -> ()
+             | Fuzz_oracle.Fail m ->
+               failwith (Printf.sprintf "FZ1 oracle failure: %s" m))
+          Fuzz_oracle.all)
+  in
+  (* coverage from a fixed-seed campaign so the row set is stable *)
+  let outcome =
+    Fuzz.run
+      { Fuzz.default_config with Fuzz.seed; count = 40; params; steps }
+  in
+  Printf.printf "design params: max-cells=%d steps=%d\n" params.Fuzz_gen.max_cells
+    steps;
+  Printf.printf "%-28s %10.0f designs/s\n" "generation + build" gen_rate;
+  Printf.printf "%-28s %10.1f designs/s\n" "all five oracles" oracle_rate;
+  Printf.printf "campaign: %d cases, %d failures, %d primitive kinds covered\n"
+    outcome.Fuzz.cases
+    (Fuzz.total_failures outcome)
+    (List.length outcome.Fuzz.coverage);
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc "{\n  \"experiment\": \"FZ1 fuzzer throughput\",\n";
+  output_string oc "  \"unit\": \"designs_per_second\",\n";
+  Printf.fprintf oc "  \"max_cells\": %d,\n  \"steps\": %d,\n"
+    params.Fuzz_gen.max_cells steps;
+  Printf.fprintf oc "  \"generation\": %.1f,\n  \"validation\": %.2f,\n"
+    gen_rate oracle_rate;
+  Printf.fprintf oc "  \"campaign_cases\": %d,\n  \"campaign_failures\": %d,\n"
+    outcome.Fuzz.cases
+    (Fuzz.total_failures outcome);
+  output_string oc "  \"oracles\": [\n";
+  let n_oracles = List.length outcome.Fuzz.oracle_runs in
+  List.iteri
+    (fun i (k, runs, failed) ->
+       Printf.fprintf oc "    {\"name\": \"%s\", \"runs\": %d, \"failed\": %d}%s\n"
+         (Fuzz_oracle.kind_to_string k)
+         runs failed
+         (if i = n_oracles - 1 then "" else ","))
+    outcome.Fuzz.oracle_runs;
+  output_string oc "  ],\n  \"coverage\": {";
+  let n_kinds = List.length outcome.Fuzz.coverage in
+  List.iteri
+    (fun i (kind, n) ->
+       Printf.fprintf oc "\"%s\": %d%s" kind n
+         (if i = n_kinds - 1 then "" else ", "))
+    outcome.Fuzz.coverage;
+  output_string oc "}\n}\n";
+  close_out oc;
+  print_endline
+    "\nwrote BENCH_fuzz.json; validation rate is the nightly campaign's \
+     budget anchor."
+
+(* ------------------------------------------------------------------ *)
 (* O1: observability overhead                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1153,6 +1241,7 @@ let () =
   ablation_a4 ();
   ablation_a5 ();
   sim_throughput ();
+  fuzz_throughput ();
   observability_overhead ();
   bechamel_suite ();
   print_endline "\nall experiments complete."

@@ -1,0 +1,146 @@
+(* Seeded netlist fuzzer: random valid designs driven differentially
+   through the whole stack (kernel vs reference, snapshot round-trip,
+   netlist re-parse, lint, estimator monotonicity).
+
+   Usage: fuzz_tool --seed 42 --count 100
+          fuzz_tool --oracle sim-vs-ref --oracle lint
+          fuzz_tool --reduce --out repro/    (minimized reproducer files)
+          fuzz_tool --list-oracles *)
+
+open Cmdliner
+
+module Fuzz = Jhdl_fuzz.Fuzz
+module Gen = Jhdl_fuzz.Gen
+module Oracle = Jhdl_fuzz.Oracle
+
+let list_oracles () =
+  List.iter
+    (fun k -> print_endline (Oracle.kind_to_string k))
+    Oracle.all
+
+let parse_oracles names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "all" :: rest -> go (List.rev_append Oracle.all acc) rest
+    | name :: rest ->
+      (match Oracle.kind_of_string name with
+       | Some k -> go (k :: acc) rest
+       | None ->
+         Error
+           (Printf.sprintf
+              "unknown oracle %s (try sim-vs-ref, snapshot, netlist, lint, \
+               estimate or all)"
+              name))
+  in
+  match names with
+  | [] -> Ok Oracle.all
+  | names -> go [] names
+
+let write_reproducers dir seed failures =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iteri
+    (fun i f ->
+       let path =
+         Filename.concat dir
+           (Printf.sprintf "repro_%02d_case%d_%s.txt" i f.Fuzz.case
+              (Oracle.kind_to_string f.Fuzz.oracle))
+       in
+       let oc = open_out path in
+       output_string oc (Fuzz.failure_report ~f ~seed);
+       close_out oc;
+       Printf.printf "wrote %s\n" path)
+    failures
+
+let run seed count max_cells max_inputs steps oracle_names reduce inject_bug
+    out list_only =
+  if list_only then begin
+    list_oracles ();
+    0
+  end
+  else
+    match parse_oracles oracle_names with
+    | Error m ->
+      Printf.eprintf "fuzz_tool: %s\n" m;
+      2
+    | Ok oracles ->
+      let config =
+        { Fuzz.seed;
+          count;
+          params =
+            { Gen.default_params with Gen.max_cells; max_inputs };
+          steps;
+          oracles;
+          reduce;
+          inject_bug }
+      in
+      let outcome = Fuzz.run config in
+      Printf.printf "fuzz: seed=%d max-cells=%d steps=%d\n" seed max_cells
+        steps;
+      print_string (Fuzz.summary outcome);
+      (match out with
+       | Some dir when outcome.Fuzz.failures <> [] ->
+         write_reproducers dir seed outcome.Fuzz.failures
+       | _ -> ());
+      if Fuzz.total_failures outcome = 0 then 0 else 1
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign master seed.")
+
+let count_arg =
+  Arg.(value & opt int 25 & info [ "count" ] ~doc:"Number of designs to generate.")
+
+let max_cells_arg =
+  Arg.(
+    value
+    & opt int Gen.default_params.Gen.max_cells
+    & info [ "max-cells" ] ~doc:"Upper bound on body cells per design.")
+
+let max_inputs_arg =
+  Arg.(
+    value
+    & opt int Gen.default_params.Gen.max_inputs
+    & info [ "max-inputs" ] ~doc:"Upper bound on stimulus ports per design.")
+
+let steps_arg =
+  Arg.(value & opt int 12 & info [ "steps" ] ~doc:"Stimulus steps per design.")
+
+let oracle_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "oracle" ]
+        ~doc:
+          "Oracle to run (repeatable): sim-vs-ref, snapshot, netlist, lint, \
+           estimate or all. Default: all.")
+
+let reduce_arg =
+  Arg.(
+    value & flag
+    & info [ "reduce" ]
+        ~doc:"Delta-debug failing cases down to minimal reproducers.")
+
+let inject_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-bug" ]
+        ~doc:
+          "Arm a simulated kernel defect (MULT_AND divergence) to exercise \
+           the failure and reduction paths.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Directory for reproducer files of failing cases.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list-oracles" ] ~doc:"List the oracles and exit.")
+
+let cmd =
+  let doc = "seeded netlist fuzzer with differential validation oracles" in
+  Cmd.v
+    (Cmd.info "fuzz_tool" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ max_cells_arg $ max_inputs_arg
+      $ steps_arg $ oracle_arg $ reduce_arg $ inject_arg $ out_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -23,7 +23,10 @@
     - {!Server}: the vendor web server.
     - {!Prng}, {!Fault}: seeded fault injection for lossy consumer links.
     - {!Network}, {!Protocol}, {!Endpoint}, {!Cosim}: black-box
-      co-simulation. *)
+      co-simulation.
+    - {!Fuzz}, {!Fuzz_recipe}, {!Fuzz_gen}, {!Fuzz_oracle},
+      {!Fuzz_reduce}: the seeded netlist fuzzer and its differential
+      validation oracles. *)
 
 module Bit = Jhdl_logic.Bit
 module Bits = Jhdl_logic.Bits
@@ -96,3 +99,9 @@ module Cosim = Jhdl_netproto.Cosim
 module Verilog_tb = Jhdl_netproto.Verilog_tb
 module Metrics = Jhdl_metrics.Metrics
 module Crc16 = Jhdl_logic.Crc16
+module Fuzz = Jhdl_fuzz.Fuzz
+module Fuzz_recipe = Jhdl_fuzz.Recipe
+module Fuzz_gen = Jhdl_fuzz.Gen
+module Fuzz_stimulus = Jhdl_fuzz.Stimulus
+module Fuzz_oracle = Jhdl_fuzz.Oracle
+module Fuzz_reduce = Jhdl_fuzz.Reduce

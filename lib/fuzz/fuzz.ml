@@ -1,0 +1,168 @@
+module Prng = Jhdl_faults.Prng
+
+type config = {
+  seed : int;
+  count : int;
+  params : Gen.params;
+  steps : int;
+  oracles : Oracle.kind list;
+  reduce : bool;
+  inject_bug : bool;
+}
+
+let default_config =
+  { seed = 1;
+    count = 25;
+    params = Gen.default_params;
+    steps = 12;
+    oracles = Oracle.all;
+    reduce = false;
+    inject_bug = false }
+
+type failure = {
+  case : int;
+  oracle : Oracle.kind;
+  message : string;
+  recipe : Recipe.t;
+  stimulus : Stimulus.t;
+  reduced : Reduce.result option;
+}
+
+type outcome = {
+  cases : int;
+  total_entries : int;
+  oracle_runs : (Oracle.kind * int * int) list;
+  coverage : (string * int) list;
+  failures : failure list;
+}
+
+(* Each case gets its own split streams so per-case draw counts cannot
+   interfere: replaying case k needs only (seed, k). *)
+let case_rngs ~seed ~case =
+  let master = Prng.create seed in
+  let case_rng = ref (Prng.split master) in
+  for _ = 1 to case do
+    case_rng := Prng.split master
+  done;
+  let gen_rng = Prng.split !case_rng in
+  let stim_rng = Prng.split !case_rng in
+  (gen_rng, stim_rng)
+
+let run config =
+  let coverage = Hashtbl.create 16 in
+  let bump name =
+    Hashtbl.replace coverage name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt coverage name))
+  in
+  let runs = Hashtbl.create 8 in
+  let fails = Hashtbl.create 8 in
+  let bump_tbl tbl kind =
+    Hashtbl.replace tbl kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl kind))
+  in
+  let failures = ref [] in
+  let total_entries = ref 0 in
+  let master = Prng.create config.seed in
+  for case = 0 to config.count - 1 do
+    let case_rng = Prng.split master in
+    let gen_rng = Prng.split case_rng in
+    let stim_rng = Prng.split case_rng in
+    let recipe =
+      Gen.recipe gen_rng ~name:(Printf.sprintf "fuzz_c%d" case) config.params
+    in
+    total_entries := !total_entries + Array.length recipe.Recipe.entries;
+    Array.iter (fun e -> bump (Recipe.kind_name e.Recipe.node)) recipe.Recipe.entries;
+    let stimulus = Gen.stimulus stim_rng recipe ~steps:config.steps in
+    List.iter
+      (fun kind ->
+         bump_tbl runs kind;
+         match Oracle.run ~inject_bug:config.inject_bug kind recipe stimulus with
+         | Oracle.Pass -> ()
+         | Oracle.Fail message ->
+           bump_tbl fails kind;
+           let reduced =
+             if config.reduce then
+               Some
+                 (Reduce.minimize
+                    ~still_fails:(fun r s ->
+                      match
+                        Oracle.run ~inject_bug:config.inject_bug kind r s
+                      with
+                      | Oracle.Fail _ -> true
+                      | Oracle.Pass -> false)
+                    recipe stimulus)
+             else None
+           in
+           failures :=
+             { case; oracle = kind; message; recipe; stimulus; reduced }
+             :: !failures)
+      config.oracles
+  done;
+  { cases = config.count;
+    total_entries = !total_entries;
+    oracle_runs =
+      List.map
+        (fun kind ->
+           ( kind,
+             Option.value ~default:0 (Hashtbl.find_opt runs kind),
+             Option.value ~default:0 (Hashtbl.find_opt fails kind) ))
+        config.oracles;
+    coverage =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) coverage []);
+    failures = List.rev !failures }
+
+let total_failures o =
+  List.fold_left (fun acc (_, _, f) -> acc + f) 0 o.oracle_runs
+
+let summary o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "cases: %d (%d recipe entries)\n" o.cases o.total_entries);
+  List.iter
+    (fun (kind, runs, fails) ->
+       Buffer.add_string b
+         (Printf.sprintf "oracle %-10s %4d run, %d failed\n"
+            (Oracle.kind_to_string kind) runs fails))
+    o.oracle_runs;
+  Buffer.add_string b "coverage:";
+  List.iter
+    (fun (name, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" name n))
+    o.coverage;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun f ->
+       Buffer.add_string b
+         (Printf.sprintf "FAIL case %d oracle %s: %s\n" f.case
+            (Oracle.kind_to_string f.oracle) f.message);
+       match f.reduced with
+       | Some r ->
+         Buffer.add_string b
+           (Printf.sprintf
+              "  reduced: %d -> %d entries, %d -> %d steps (%d checks)\n"
+              (Array.length f.recipe.Recipe.entries)
+              (Array.length r.Reduce.recipe.Recipe.entries)
+              (Stimulus.step_count f.stimulus)
+              (Stimulus.step_count r.Reduce.stimulus)
+              r.Reduce.checks)
+       | None -> ())
+    o.failures;
+  Buffer.add_string b
+    (if o.failures = [] then "result: PASS\n" else "result: FAIL\n");
+  Buffer.contents b
+
+let failure_report ~f ~seed =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "# fuzz reproducer: seed=%d case=%d oracle=%s\n" seed
+       f.case
+       (Oracle.kind_to_string f.oracle));
+  Buffer.add_string b (Printf.sprintf "# %s\n" f.message);
+  let recipe, stimulus =
+    match f.reduced with
+    | Some r -> (r.Reduce.recipe, r.Reduce.stimulus)
+    | None -> (f.recipe, f.stimulus)
+  in
+  Buffer.add_string b (Recipe.to_string recipe);
+  Buffer.add_string b "stimulus\n";
+  Buffer.add_string b (Stimulus.to_string stimulus);
+  Buffer.contents b

@@ -1,0 +1,57 @@
+(** Fuzz campaign driver: generate, validate, reduce, report.
+
+    A campaign is a pure function of its configuration: the master
+    seed fans out through {!Jhdl_faults.Prng.split} to one independent
+    stream per case (and per role — generation vs stimulus), so any
+    failing case replays in isolation from the campaign seed and its
+    index, and the whole report is byte-identical across runs. *)
+
+type config = {
+  seed : int;
+  count : int;  (** cases to generate *)
+  params : Gen.params;
+  steps : int;  (** stimulus steps per case *)
+  oracles : Oracle.kind list;
+  reduce : bool;  (** minimize failing cases *)
+  inject_bug : bool;  (** arm the simulated MULT_AND kernel defect *)
+}
+
+val default_config : config
+
+type failure = {
+  case : int;
+  oracle : Oracle.kind;
+  message : string;
+  recipe : Recipe.t;
+  stimulus : Stimulus.t;
+  reduced : Reduce.result option;  (** present when [reduce] was set *)
+}
+
+type outcome = {
+  cases : int;
+  total_entries : int;  (** recipe entries generated, all cases *)
+  oracle_runs : (Oracle.kind * int * int) list;  (** kind, runs, fails *)
+  coverage : (string * int) list;
+      (** primitive-kind histogram over all generated recipes,
+          name-sorted *)
+  failures : failure list;
+}
+
+val run : config -> outcome
+
+val total_failures : outcome -> int
+
+(** [summary o] — deterministic multi-line report (coverage, per-oracle
+    verdicts, failure details with reduced sizes), suitable for cram
+    pinning. *)
+val summary : outcome -> string
+
+(** [failure_report f] — full reproducer text for one failure: seed
+    context, minimized (or original) recipe and stimulus, message. *)
+val failure_report : f:failure -> seed:int -> string
+
+(** [case_rngs ~seed ~case] — the (generation, stimulus) streams the
+    campaign uses for case [case]; exposed so a reproducer can be
+    regenerated without running the whole campaign. *)
+val case_rngs :
+  seed:int -> case:int -> Jhdl_faults.Prng.t * Jhdl_faults.Prng.t

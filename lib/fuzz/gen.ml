@@ -1,0 +1,153 @@
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+module Prng = Jhdl_faults.Prng
+
+type params = {
+  max_inputs : int;
+  max_cells : int;
+  fanout_cap : int;
+}
+
+let default_params = { max_inputs = 6; max_cells = 40; fanout_cap = 8 }
+
+(* Pick a driver signal among entries 0..limit-1, preferring signals
+   still under the fan-out cap. The candidate filter only looks at the
+   prefix already drawn, so generation stays prefix-deterministic. *)
+let pick rng uses ~cap limit =
+  let under = ref 0 in
+  for i = 0 to limit - 1 do
+    if uses.(i) < cap then incr under
+  done;
+  if !under = 0 then Prng.int rng limit
+  else begin
+    let k = ref (Prng.int rng !under) in
+    let chosen = ref 0 in
+    (try
+       for i = 0 to limit - 1 do
+         if uses.(i) < cap then begin
+           if !k = 0 then begin
+             chosen := i;
+             raise Exit
+           end;
+           decr k
+         end
+       done
+     with Exit -> ());
+    !chosen
+  end
+
+let draw_bit_init rng =
+  if Prng.int rng 8 = 0 then Bit.X
+  else if Prng.int rng 2 = 0 then Bit.Zero
+  else Bit.One
+
+let recipe rng ?(name = "fuzz") params =
+  let n_inputs = 1 + Prng.int rng params.max_inputs in
+  let n_body = 1 + Prng.int rng params.max_cells in
+  let n = n_inputs + n_body in
+  let uses = Array.make n 0 in
+  let entries = ref [] in
+  let group = ref None in
+  let remaining = ref 0 in
+  let next_group = ref (-1) in
+  for _ = 1 to n_inputs do
+    entries := { Recipe.node = Recipe.Input; group = None } :: !entries
+  done;
+  for j = 0 to n_body - 1 do
+    let i = n_inputs + j in
+    (* group assignment: occasionally open a composite macro covering
+       the next few entries *)
+    if !remaining = 0 then begin
+      if Prng.int rng 8 = 0 then begin
+        incr next_group;
+        group := Some !next_group;
+        remaining := 2 + Prng.int rng 6
+      end
+      else group := None
+    end;
+    let this_group = if !remaining > 0 then !group else None in
+    if !remaining > 0 then decr remaining;
+    let p x =
+      let chosen = pick rng uses ~cap:params.fanout_cap i in
+      ignore x;
+      uses.(chosen) <- uses.(chosen) + 1;
+      chosen
+    in
+    let node =
+      let k = Prng.int rng 100 in
+      if k < 14 then begin
+        let kind =
+          match Prng.int rng 4 with
+          | 0 -> Recipe.Fd
+          | 1 -> Recipe.Fde
+          | 2 -> Recipe.Fdce
+          | _ -> Recipe.Fdre
+        in
+        let init = draw_bit_init rng in
+        let d = p "d" in
+        let ce = if kind = Recipe.Fd then None else Some (p "ce") in
+        let srst =
+          match kind with
+          | Recipe.Fdce | Recipe.Fdre -> Some (p "srst")
+          | Recipe.Fd | Recipe.Fde -> None
+        in
+        Recipe.Ff { kind; init; d; ce; srst }
+      end
+      else if k < 22 then begin
+        let x = p "i" in
+        if Prng.int rng 2 = 0 then Recipe.Buf { i = x }
+        else Recipe.Inv { i = x }
+      end
+      else if k < 36 then begin
+        match Prng.int rng 3 with
+        | 0 ->
+          let s = p "s" in
+          let di = p "di" in
+          let ci = p "ci" in
+          Recipe.Muxcy { s; di; ci }
+        | 1 ->
+          let li = p "li" in
+          let ci = p "ci" in
+          Recipe.Xorcy { li; ci }
+        | _ ->
+          let i0 = p "i0" in
+          let i1 = p "i1" in
+          Recipe.Mult_and { i0; i1 }
+      end
+      else if k < 43 then begin
+        let init = Prng.int rng 65536 in
+        let ce = p "ce" in
+        let d = p "d" in
+        let a = Array.init 4 (fun _ -> p "a") in
+        Recipe.Srl16 { init; ce; d; a }
+      end
+      else if k < 50 then begin
+        let init = Prng.int rng 65536 in
+        let we = p "we" in
+        let d = p "d" in
+        let a = Array.init 4 (fun _ -> p "a") in
+        Recipe.Ram16 { init; we; d; a }
+      end
+      else if k < 56 then
+        if Prng.int rng 2 = 0 then Recipe.Gnd else Recipe.Vcc
+      else begin
+        let width = 1 + Prng.int rng 4 in
+        let init = Prng.int rng (1 lsl (1 lsl width)) in
+        let inputs = Array.init width (fun _ -> p "i") in
+        Recipe.Lut { init; inputs }
+      end
+    in
+    entries := { Recipe.node; group = this_group } :: !entries
+  done;
+  { Recipe.name; entries = Array.of_list (List.rev !entries) }
+
+let stimulus rng recipe ~steps =
+  let inputs = Recipe.input_count recipe in
+  let draw_bit () =
+    if Prng.int rng 8 = 0 then
+      if Prng.int rng 2 = 0 then Bit.X else Bit.Z
+    else Bit.of_bool (Prng.int rng 2 = 1)
+  in
+  { Stimulus.steps =
+      Array.init steps (fun _ ->
+        Array.init inputs (fun _ -> Bits.create 1 (draw_bit ()))) }

@@ -1,0 +1,28 @@
+(** Seeded random design generation over the full Virtex primitive set.
+
+    Every decision draws from one {!Jhdl_faults.Prng} stream in a fixed
+    order, so a recipe (and its stimulus) is a pure function of the
+    stream's seed — the same replay discipline as the fault model.
+    Generated recipes are valid by construction: references only point
+    backward (DAG wiring), sequential primitives clock from the single
+    dedicated clock, and input selection prefers signals below the
+    fan-out cap. [Black_box] is deliberately excluded — its opaque
+    closure state cannot be snapshotted, and the snapshot oracle runs
+    on every generated design. *)
+
+type params = {
+  max_inputs : int;  (** stimulus ports drawn: 1..max_inputs *)
+  max_cells : int;  (** body entries drawn: 1..max_cells *)
+  fanout_cap : int;
+      (** soft per-signal consumer cap; selection falls back to the
+          full signal pool only when every candidate is saturated *)
+}
+
+val default_params : params
+
+(** [recipe rng ?name params] — draw a well-formed recipe. *)
+val recipe : Jhdl_faults.Prng.t -> ?name:string -> params -> Recipe.t
+
+(** [stimulus rng recipe ~steps] — draw a [steps]-row stimulus matrix
+    for [recipe]'s input entries; roughly one bit in eight is X or Z. *)
+val stimulus : Jhdl_faults.Prng.t -> Recipe.t -> steps:int -> Stimulus.t

@@ -1,0 +1,340 @@
+module Bits = Jhdl_logic.Bits
+module Design = Jhdl_circuit.Design
+module Simulator = Jhdl_sim.Simulator
+module Reference = Jhdl_sim.Reference
+module Snapshot = Jhdl_sim.Snapshot
+module Model = Jhdl_netlist.Model
+module Edif = Jhdl_netlist.Edif
+module Edif_reader = Jhdl_netlist.Edif_reader
+module Vhdl = Jhdl_netlist.Vhdl
+module Verilog = Jhdl_netlist.Verilog
+module Xnf = Jhdl_netlist.Xnf
+module Estimate = Jhdl_estimate.Estimate
+module Lint = Jhdl_lint.Lint
+module Virtex = Jhdl_virtex.Virtex
+
+type kind =
+  | Sim_vs_ref
+  | Snapshot_rt
+  | Netlist_rt
+  | Lint_clean
+  | Estimate_mono
+
+type verdict =
+  | Pass
+  | Fail of string
+
+let all = [ Sim_vs_ref; Snapshot_rt; Netlist_rt; Lint_clean; Estimate_mono ]
+
+let kind_to_string = function
+  | Sim_vs_ref -> "sim-vs-ref"
+  | Snapshot_rt -> "snapshot"
+  | Netlist_rt -> "netlist"
+  | Lint_clean -> "lint"
+  | Estimate_mono -> "estimate"
+
+let kind_of_string = function
+  | "sim-vs-ref" | "sim" -> Some Sim_vs_ref
+  | "snapshot" -> Some Snapshot_rt
+  | "netlist" -> Some Netlist_rt
+  | "lint" -> Some Lint_clean
+  | "estimate" -> Some Estimate_mono
+  | _ -> None
+
+exception Divergence of string
+
+let divergef fmt = Printf.ksprintf (fun m -> raise (Divergence m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Sim_vs_ref                                                          *)
+
+let assignments (built : Recipe.built) row =
+  List.mapi (fun k port -> (port, row.(k))) built.input_ports
+
+let check_ports ~ctx (built : Recipe.built) dut rf =
+  List.iter
+    (fun port ->
+       let a = Simulator.get_port dut port
+       and b = Reference.get_port rf port in
+       if not (Bits.equal a b) then
+         divergef "%s: port %s: kernel=%s reference=%s" ctx port
+           (Bits.to_string a) (Bits.to_string b))
+    built.output_ports
+
+let check_histories ~ctx h_dut h_ref =
+  if List.length h_dut <> List.length h_ref then
+    divergef "%s: watch count: kernel=%d reference=%d" ctx
+      (List.length h_dut) (List.length h_ref);
+  List.iter2
+    (fun (l1, s1) (l2, s2) ->
+       if not (String.equal l1 l2) then
+         divergef "%s: watch label %s vs %s" ctx l1 l2;
+       if List.length s1 <> List.length s2 then
+         divergef "%s: watch %s: %d vs %d samples" ctx l1 (List.length s1)
+           (List.length s2);
+       List.iter2
+         (fun (c1, v1) (c2, v2) ->
+            if c1 <> c2 || not (Bits.equal v1 v2) then
+              divergef "%s: watch %s: kernel (%d,%s) vs reference (%d,%s)"
+                ctx l1 c1 (Bits.to_string v1) c2 (Bits.to_string v2))
+         s1 s2)
+    h_dut h_ref
+
+let watch_all (built : Recipe.built) dut rf =
+  List.iter
+    (fun port ->
+       match Design.find_port built.design port with
+       | Some p ->
+         Simulator.watch dut ~label:port p.Design.port_wire;
+         Reference.watch rf ~label:port p.Design.port_wire
+       | None -> divergef "built design lost port %s" port)
+    built.output_ports
+
+let sim_vs_ref ~inject_bug recipe stim =
+  let built = Recipe.build recipe in
+  let clock = built.Recipe.clock in
+  let dut = Simulator.create ?clock built.Recipe.design in
+  let rf = Reference.create ?clock built.Recipe.design in
+  watch_all built dut rf;
+  let dut_hooks = ref [] and ref_hooks = ref [] in
+  List.iter
+    (fun tag ->
+       Simulator.on_cycle dut (fun c -> dut_hooks := (tag, c) :: !dut_hooks);
+       Reference.on_cycle rf (fun c -> ref_hooks := (tag, c) :: !ref_hooks))
+    [ 1; 2 ];
+  check_ports ~ctx:"initial" built dut rf;
+  Array.iteri
+    (fun step row ->
+       let stimulus = assignments built row in
+       (* kernel takes the endpoint's batch path, the reference the
+          per-port path: both orders must settle identically *)
+       Simulator.set_inputs dut stimulus;
+       List.iter (fun (port, v) -> Reference.set_input rf port v) stimulus;
+       check_ports ~ctx:(Printf.sprintf "step %d, after inputs" step) built
+         dut rf;
+       Simulator.cycle dut;
+       Reference.cycle rf;
+       check_ports ~ctx:(Printf.sprintf "step %d, after cycle" step) built
+         dut rf)
+    stim.Stimulus.steps;
+  if Simulator.cycle_count dut <> Reference.cycle_count rf then
+    divergef "cycle counters: kernel=%d reference=%d"
+      (Simulator.cycle_count dut) (Reference.cycle_count rf);
+  if !dut_hooks <> !ref_hooks then divergef "cycle hook order diverged";
+  check_histories ~ctx:"final" (Simulator.history dut) (Reference.history rf);
+  (* the injected defect used by the reducer-convergence tests: claim
+     the kernel mis-evaluates MULT_AND partial products *)
+  if
+    inject_bug
+    && Array.exists
+         (fun e ->
+            match e.Recipe.node with
+            | Recipe.Mult_and _ -> true
+            | _ -> false)
+         recipe.Recipe.entries
+  then divergef "injected defect: MULT_AND partial product inverted";
+  Simulator.reset dut;
+  Reference.reset rf;
+  check_ports ~ctx:"after reset" built dut rf;
+  check_histories ~ctx:"after reset" (Simulator.history dut)
+    (Reference.history rf)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot_rt                                                         *)
+
+let snapshot_rt recipe stim =
+  let built = Recipe.build recipe in
+  let clock = built.Recipe.clock in
+  let dut = Simulator.create ?clock built.Recipe.design in
+  let rf = Reference.create ?clock built.Recipe.design in
+  watch_all built dut rf;
+  let steps = stim.Stimulus.steps in
+  let half = Array.length steps / 2 in
+  let drive sim_assign ref_assign row =
+    sim_assign (assignments built row);
+    ref_assign (assignments built row)
+  in
+  for i = 0 to half - 1 do
+    drive (Simulator.set_inputs dut)
+      (List.iter (fun (p, v) -> Reference.set_input rf p v))
+      steps.(i);
+    Simulator.cycle dut;
+    Reference.cycle rf
+  done;
+  let blob_k = Simulator.snapshot dut in
+  let blob_r = Reference.snapshot rf in
+  if not (String.equal blob_k blob_r) then
+    divergef "kernel and reference snapshots differ (%d vs %d bytes)"
+      (String.length blob_k) (String.length blob_r);
+  let image =
+    try Snapshot.decode blob_k with
+    | Snapshot.Error m -> divergef "snapshot does not decode: %s" m
+  in
+  if image.Snapshot.image_signature <> Snapshot.signature built.Recipe.design
+  then divergef "snapshot signature does not match its design";
+  if image.Snapshot.image_cycles <> Simulator.cycle_count dut then
+    divergef "snapshot cycles %d, simulator at %d"
+      image.Snapshot.image_cycles (Simulator.cycle_count dut);
+  let reencoded = Snapshot.encode image in
+  if not (String.equal reencoded blob_k) then
+    divergef "decode/encode round-trip is not byte-identical";
+  (* cross-restore into a fresh build of the same recipe: the rebuilt
+     design must carry the same signature, and both simulator
+     implementations must accept the blob *)
+  let rebuilt = Recipe.build recipe in
+  let clock2 = rebuilt.Recipe.clock in
+  let dut2 = Simulator.create ?clock:clock2 rebuilt.Recipe.design in
+  let rf2 = Reference.create ?clock:clock2 rebuilt.Recipe.design in
+  watch_all rebuilt dut2 rf2;
+  (try Simulator.restore dut2 blob_k with
+   | Snapshot.Error m -> divergef "kernel restore into rebuild failed: %s" m);
+  (try Reference.restore rf2 blob_k with
+   | Snapshot.Error m ->
+     divergef "reference restore into rebuild failed: %s" m);
+  let check_four ctx =
+    check_ports ~ctx built dut rf;
+    check_ports ~ctx:(ctx ^ " (restored)") rebuilt dut2 rf2;
+    List.iter2
+      (fun port port2 ->
+         let a = Simulator.get_port dut port
+         and b = Simulator.get_port dut2 port2 in
+         if not (Bits.equal a b) then
+           divergef "%s: port %s: original=%s restored=%s" ctx port
+             (Bits.to_string a) (Bits.to_string b))
+      built.Recipe.output_ports rebuilt.Recipe.output_ports
+  in
+  check_four "after restore";
+  for i = half to Array.length steps - 1 do
+    let row = steps.(i) in
+    Simulator.set_inputs dut (assignments built row);
+    List.iter (fun (p, v) -> Reference.set_input rf p v) (assignments built row);
+    Simulator.set_inputs dut2 (assignments rebuilt row);
+    List.iter
+      (fun (p, v) -> Reference.set_input rf2 p v)
+      (assignments rebuilt row);
+    Simulator.cycle dut;
+    Reference.cycle rf;
+    Simulator.cycle dut2;
+    Reference.cycle rf2;
+    check_four (Printf.sprintf "step %d after restore" i)
+  done;
+  check_histories ~ctx:"original pair" (Simulator.history dut)
+    (Reference.history rf);
+  check_histories ~ctx:"restored pair" (Simulator.history dut2)
+    (Reference.history rf2)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist_rt                                                          *)
+
+let netlist_rt recipe =
+  let built = Recipe.build recipe in
+  let model = Model.of_design built.Recipe.design in
+  let edif = Edif.to_string model in
+  (match Edif_reader.read edif with
+   | Error m -> divergef "EDIF writer output does not re-parse: %s" m
+   | Ok summary ->
+     if summary.Edif_reader.instance_count <> Model.instance_count model then
+       divergef "EDIF re-parse: %d instances, model has %d"
+         summary.Edif_reader.instance_count (Model.instance_count model);
+     if summary.Edif_reader.net_count <> Model.net_count model then
+       divergef "EDIF re-parse: %d nets, model has %d"
+         summary.Edif_reader.net_count (Model.net_count model);
+     if summary.Edif_reader.port_count <> List.length model.Model.ports then
+       divergef "EDIF re-parse: %d ports, model has %d"
+         summary.Edif_reader.port_count
+         (List.length model.Model.ports);
+     let model_inits =
+       Array.fold_left
+         (fun acc inst ->
+            if
+              List.exists
+                (fun a -> String.equal a.Model.attr_name "INIT")
+                inst.Model.inst_attrs
+            then acc + 1
+            else acc)
+         0 model.Model.instances
+     in
+     let parsed_inits = List.length summary.Edif_reader.init_properties in
+     if model_inits <> parsed_inits then
+       divergef "EDIF re-parse: %d INIT properties, model carries %d"
+         parsed_inits model_inits);
+  List.iter
+    (fun (tag, text) ->
+       if String.length (String.trim text) = 0 then
+         divergef "%s writer produced empty output" tag)
+    [ ("VHDL", Vhdl.to_string model);
+      ("Verilog", Verilog.to_string model);
+      ("XNF", Xnf.to_string model) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lint_clean                                                          *)
+
+let lint_clean recipe =
+  let built = Recipe.build recipe in
+  let report = Lint.run built.Recipe.design in
+  match Lint.errors report with
+  | [] -> ()
+  | errs ->
+    divergef "lint reports %d error(s) on a valid design: %s"
+      (List.length errs)
+      (String.concat "; "
+         (List.map
+            (fun d ->
+               Printf.sprintf "%s %s" d.Lint.rule_id d.Lint.message)
+            errs))
+
+(* ------------------------------------------------------------------ *)
+(* Estimate_mono                                                       *)
+
+let estimate_mono recipe =
+  let n = Array.length recipe.Recipe.entries in
+  let sizes =
+    List.sort_uniq compare
+      [ max 1 (n / 4); max 1 (n / 2); max 1 (3 * n / 4); n ]
+  in
+  let reports =
+    List.map
+      (fun size ->
+         let built = Recipe.build (Recipe.truncate recipe size) in
+         (size, (Estimate.area_of_design built.Recipe.design)))
+      sizes
+  in
+  let check field name =
+    ignore
+      (List.fold_left
+         (fun prev (size, report) ->
+            let v = field report in
+            (match prev with
+             | Some (psize, pv) when v < pv ->
+               divergef
+                 "%s shrank from %d (at %d entries) to %d (at %d entries)"
+                 name pv psize v size
+             | _ -> ());
+            Some (size, v))
+         None reports)
+  in
+  check (fun r -> r.Estimate.area.Virtex.luts) "LUT count";
+  check (fun r -> r.Estimate.area.Virtex.ffs) "FF count";
+  check (fun r -> r.Estimate.area.Virtex.carry_muxes) "carry mux count";
+  check (fun r -> r.Estimate.area.Virtex.rams) "RAM site count";
+  check (fun r -> r.Estimate.slices) "slice count";
+  (* the combined estimate (area + static timing) must also succeed *)
+  let built = Recipe.build recipe in
+  ignore (Estimate.of_design built.Recipe.design)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(inject_bug = false) kind recipe stim =
+  try
+    (match kind with
+     | Sim_vs_ref -> sim_vs_ref ~inject_bug recipe stim
+     | Snapshot_rt -> snapshot_rt recipe stim
+     | Netlist_rt -> netlist_rt recipe
+     | Lint_clean -> lint_clean recipe
+     | Estimate_mono -> estimate_mono recipe);
+    Pass
+  with
+  | Divergence m -> Fail m
+  | e ->
+    Fail
+      (Printf.sprintf "oracle crashed: %s" (Printexc.to_string e))

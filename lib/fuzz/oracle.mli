@@ -1,0 +1,48 @@
+(** Differential oracles: one generated design, every pipeline stage.
+
+    Each oracle takes a recipe plus its stimulus and answers
+    [Pass]/[Fail]. Oracles never raise — an escaped exception from any
+    layer under test is itself a finding and is reported as [Fail].
+
+    - [Sim_vs_ref] — compiled kernel vs golden interpreter on the same
+      design: batch-input settles vs per-port settles, every output
+      port after every settle and every clock edge, cycle counters,
+      watch histories and cycle-hook order, then a reset and a final
+      comparison.
+    - [Snapshot_rt] — both simulators checkpoint mid-run to
+      byte-identical blobs; the blob decodes, re-encodes byte-
+      identically, restores into a {e fresh build} of the recipe (both
+      simulator implementations), and all four simulators agree for the
+      rest of the run.
+    - [Netlist_rt] — EDIF output re-parsed with {!Jhdl_netlist.Edif_reader}
+      and checked against the flattened model (instance/net/port/INIT
+      counts); VHDL, Verilog and XNF writers must produce non-empty
+      text.
+    - [Lint_clean] — the lint engine must neither crash nor report any
+      error-severity diagnostic on a valid-by-construction design.
+    - [Estimate_mono] — area estimates over recipe prefixes: adding
+      entries never shrinks any resource count (LUTs, FFs, carry muxes,
+      RAM sites, slices), and the full combined estimate succeeds.
+
+    [inject_bug] simulates a kernel defect behind a flag (any design
+    containing a MULT_AND is reported divergent by [Sim_vs_ref]) so the
+    reducer's convergence is testable against a known ground truth. *)
+
+type kind =
+  | Sim_vs_ref
+  | Snapshot_rt
+  | Netlist_rt
+  | Lint_clean
+  | Estimate_mono
+
+type verdict =
+  | Pass
+  | Fail of string
+
+(** All five oracles, in fixed order. *)
+val all : kind list
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val run : ?inject_bug:bool -> kind -> Recipe.t -> Stimulus.t -> verdict

@@ -1,0 +1,385 @@
+module Bit = Jhdl_logic.Bit
+module Lut_init = Jhdl_logic.Lut_init
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Types = Jhdl_circuit.Types
+
+type ff_kind =
+  | Fd
+  | Fde
+  | Fdce
+  | Fdre
+
+type node =
+  | Input
+  | Gnd
+  | Vcc
+  | Lut of {
+      init : int;
+      inputs : int array;
+    }
+  | Ff of {
+      kind : ff_kind;
+      init : Bit.t;
+      d : int;
+      ce : int option;
+      srst : int option;
+    }
+  | Muxcy of { s : int; di : int; ci : int }
+  | Xorcy of { li : int; ci : int }
+  | Mult_and of { i0 : int; i1 : int }
+  | Srl16 of { init : int; ce : int; d : int; a : int array }
+  | Ram16 of { init : int; we : int; d : int; a : int array }
+  | Buf of { i : int }
+  | Inv of { i : int }
+
+type entry = {
+  node : node;
+  group : int option;
+}
+
+type t = {
+  name : string;
+  entries : entry array;
+}
+
+let refs = function
+  | Input | Gnd | Vcc -> []
+  | Lut { inputs; _ } -> Array.to_list inputs
+  | Ff { d; ce; srst; _ } ->
+    (d :: Option.to_list ce) @ Option.to_list srst
+  | Muxcy { s; di; ci } -> [ s; di; ci ]
+  | Xorcy { li; ci } -> [ li; ci ]
+  | Mult_and { i0; i1 } -> [ i0; i1 ]
+  | Srl16 { ce; d; a; _ } -> ce :: d :: Array.to_list a
+  | Ram16 { we; d; a; _ } -> we :: d :: Array.to_list a
+  | Buf { i } | Inv { i } -> [ i ]
+
+let is_sequential = function
+  | Ff _ | Srl16 _ | Ram16 _ -> true
+  | Input | Gnd | Vcc | Lut _ | Muxcy _ | Xorcy _ | Mult_and _ | Buf _ | Inv _
+    ->
+    false
+
+let ff_kind_name = function
+  | Fd -> "FD"
+  | Fde -> "FDE"
+  | Fdce -> "FDCE"
+  | Fdre -> "FDRE"
+
+let kind_name = function
+  | Input -> "INPUT"
+  | Gnd -> "GND"
+  | Vcc -> "VCC"
+  | Lut { inputs; _ } -> Printf.sprintf "LUT%d" (Array.length inputs)
+  | Ff { kind; _ } -> ff_kind_name kind
+  | Muxcy _ -> "MUXCY"
+  | Xorcy _ -> "XORCY"
+  | Mult_and _ -> "MULT_AND"
+  | Srl16 _ -> "SRL16E"
+  | Ram16 _ -> "RAM16X1S"
+  | Buf _ -> "BUF"
+  | Inv _ -> "INV"
+
+let well_formed r =
+  let n = Array.length r.entries in
+  let fail i fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "entry %d: %s" i m)) fmt
+  in
+  if n = 0 then Error "recipe has no entries"
+  else begin
+    let rec check i =
+      if i >= n then Ok ()
+      else begin
+        let e = r.entries.(i) in
+        let bad_ref =
+          List.find_opt (fun x -> x < 0 || x >= i) (refs e.node)
+        in
+        match bad_ref with
+        | Some x -> fail i "reference %d is not strictly backward" x
+        | None ->
+          let shape_ok =
+            match e.node with
+            | Lut { inputs; init } ->
+              let w = Array.length inputs in
+              if w < 1 || w > 4 then
+                fail i "LUT arity %d outside 1..4" w
+              else if init < 0 || init >= 1 lsl (1 lsl w) then
+                fail i "LUT init %d outside its truth table" init
+              else Ok ()
+            | Ff { kind; ce; srst; _ } ->
+              (match kind, ce, srst with
+               | Fd, None, None
+               | Fde, Some _, None
+               | Fdce, Some _, Some _
+               | Fdre, Some _, Some _ ->
+                 Ok ()
+               | _ -> fail i "FF option pins do not match kind %s"
+                        (ff_kind_name kind))
+            | Srl16 { a; _ } | Ram16 { a; _ } ->
+              if Array.length a <> 4 then
+                fail i "memory address needs 4 refs, got %d" (Array.length a)
+              else Ok ()
+            | Input | Gnd | Vcc | Muxcy _ | Xorcy _ | Mult_and _ | Buf _
+            | Inv _ ->
+              Ok ()
+          in
+          (match shape_ok with
+           | Ok () -> check (i + 1)
+           | Error _ as e -> e)
+      end
+    in
+    check 0
+  end
+
+let truncate r n =
+  let n = max 1 (min n (Array.length r.entries)) in
+  { r with entries = Array.sub r.entries 0 n }
+
+let input_count r =
+  Array.fold_left
+    (fun acc e -> if e.node = Input then acc + 1 else acc)
+    0 r.entries
+
+let signal_uses r =
+  let use = Array.make (Array.length r.entries) 0 in
+  Array.iter
+    (fun e -> List.iter (fun x -> use.(x) <- use.(x) + 1) (refs e.node))
+    r.entries;
+  use
+
+type built = {
+  design : Design.t;
+  clock : Wire.t option;
+  input_ports : string list;
+  output_ports : string list;
+}
+
+(* Group ports reflect the actual cross-boundary signal flow: a formal
+   input per outside-produced signal read inside, a formal output per
+   inside-produced signal read outside (or exported as a top-level
+   port), plus the clock when the group holds sequential state. *)
+let group_ports r group uses clk_wire wires =
+  let n = Array.length r.entries in
+  let in_group i = r.entries.(i).group = Some group in
+  let in_refs = Hashtbl.create 8 in
+  let outs = ref [] in
+  for i = 0 to n - 1 do
+    if in_group i then
+      List.iter
+        (fun x -> if not (in_group x) then Hashtbl.replace in_refs x ())
+        (refs r.entries.(i).node)
+  done;
+  (* outputs: signal i produced in the group and consumed outside it,
+     or unconsumed (it becomes a top-level output port) *)
+  let consumed_outside = Array.make n false in
+  for j = 0 to n - 1 do
+    if not (in_group j) then
+      List.iter
+        (fun x -> if in_group x then consumed_outside.(x) <- true)
+        (refs r.entries.(j).node)
+  done;
+  for i = n - 1 downto 0 do
+    if in_group i && (consumed_outside.(i) || uses.(i) = 0) then
+      outs := i :: !outs
+  done;
+  let ins = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) in_refs []) in
+  let seq =
+    Array.exists (fun e -> e.group = Some group && is_sequential e.node)
+      r.entries
+  in
+  let clk_port =
+    match clk_wire with
+    | Some w when seq -> [ ("ck", Types.Input, w) ]
+    | _ -> []
+  in
+  clk_port
+  @ List.map (fun i -> (Printf.sprintf "i%d" i, Types.Input, wires.(i))) ins
+  @ List.map (fun i -> (Printf.sprintf "o%d" i, Types.Output, wires.(i))) !outs
+
+let build r =
+  (match well_formed r with
+   | Ok () -> ()
+   | Error m -> invalid_arg (Printf.sprintf "Recipe.build: %s" m));
+  let n = Array.length r.entries in
+  let top = Cell.root ~name:r.name () in
+  let has_seq = Array.exists (fun e -> is_sequential e.node) r.entries in
+  let clk = if has_seq then Some (Wire.create top ~name:"clk" 1) else None in
+  let clk_of () =
+    match clk with
+    | Some w -> w
+    | None -> assert false
+  in
+  let wires =
+    Array.init n (fun i ->
+      let name =
+        match r.entries.(i).node with
+        | Input -> Printf.sprintf "in%d" i
+        | _ -> Printf.sprintf "s%d" i
+      in
+      Wire.create top ~name 1)
+  in
+  let uses = signal_uses r in
+  (* composite cells, created on first member *)
+  let composites = Hashtbl.create 8 in
+  let parent_of i =
+    match r.entries.(i).group with
+    | None -> top
+    | Some g ->
+      (match Hashtbl.find_opt composites g with
+       | Some c -> c
+       | None ->
+         let ports = group_ports r g uses clk wires in
+         let c =
+           Cell.composite top ~name:(Printf.sprintf "m%d" g) ~ports ()
+         in
+         Hashtbl.replace composites g c;
+         c)
+  in
+  Array.iteri
+    (fun i e ->
+       let name = Printf.sprintf "n%d" i in
+       let w = wires.(i) in
+       let s x = wires.(x) in
+       match e.node with
+       | Input -> ()
+       | Gnd ->
+         ignore (Cell.prim (parent_of i) ~name Prim.Gnd ~conns:[ ("G", w) ])
+       | Vcc ->
+         ignore (Cell.prim (parent_of i) ~name Prim.Vcc ~conns:[ ("P", w) ])
+       | Lut { init; inputs } ->
+         let width = Array.length inputs in
+         let conns =
+           Array.to_list
+             (Array.mapi
+                (fun k x -> (Printf.sprintf "I%d" k, s x))
+                inputs)
+           @ [ ("O", w) ]
+         in
+         ignore
+           (Cell.prim (parent_of i) ~name
+              (Prim.Lut (Lut_init.of_int ~inputs:width init))
+              ~conns)
+       | Ff { kind; init; d; ce; srst } ->
+         let clock_enable = kind <> Fd in
+         let async_clear = kind = Fdce in
+         let sync_reset = kind = Fdre in
+         let conns =
+           [ ("C", clk_of ()); ("D", s d) ]
+           @ (match ce with
+              | Some x -> [ ("CE", s x) ]
+              | None -> [])
+           @ (match kind, srst with
+              | Fdce, Some x -> [ ("CLR", s x) ]
+              | Fdre, Some x -> [ ("R", s x) ]
+              | _ -> [])
+           @ [ ("Q", w) ]
+         in
+         ignore
+           (Cell.prim (parent_of i) ~name
+              (Prim.Ff { clock_enable; async_clear; sync_reset; init })
+              ~conns)
+       | Muxcy { s = sel; di; ci } ->
+         ignore
+           (Cell.prim (parent_of i) ~name Prim.Muxcy
+              ~conns:[ ("S", s sel); ("DI", s di); ("CI", s ci); ("O", w) ])
+       | Xorcy { li; ci } ->
+         ignore
+           (Cell.prim (parent_of i) ~name Prim.Xorcy
+              ~conns:[ ("LI", s li); ("CI", s ci); ("O", w) ])
+       | Mult_and { i0; i1 } ->
+         ignore
+           (Cell.prim (parent_of i) ~name Prim.Mult_and
+              ~conns:[ ("I0", s i0); ("I1", s i1); ("LO", w) ])
+       | Srl16 { init; ce; d; a } ->
+         ignore
+           (Cell.prim (parent_of i) ~name
+              (Prim.Srl16 { init })
+              ~conns:
+                [ ("CLK", clk_of ()); ("CE", s ce); ("D", s d);
+                  ("A0", s a.(0)); ("A1", s a.(1)); ("A2", s a.(2));
+                  ("A3", s a.(3)); ("Q", w) ])
+       | Ram16 { init; we; d; a } ->
+         ignore
+           (Cell.prim (parent_of i) ~name
+              (Prim.Ram16x1 { init })
+              ~conns:
+                [ ("WCLK", clk_of ()); ("WE", s we); ("D", s d);
+                  ("A0", s a.(0)); ("A1", s a.(1)); ("A2", s a.(2));
+                  ("A3", s a.(3)); ("O", w) ])
+       | Buf { i = x } ->
+         ignore
+           (Cell.prim (parent_of i) ~name Prim.Buf
+              ~conns:[ ("I", s x); ("O", w) ])
+       | Inv { i = x } ->
+         ignore
+           (Cell.prim (parent_of i) ~name Prim.Inv
+              ~conns:[ ("I", s x); ("O", w) ]))
+    r.entries;
+  let design = Design.create top in
+  (match clk with
+   | Some w -> Design.add_port design "clk" Types.Input w
+   | None -> ());
+  let input_ports = ref [] and output_ports = ref [] in
+  Array.iteri
+    (fun i e ->
+       match e.node with
+       | Input ->
+         let p = Printf.sprintf "in%d" i in
+         Design.add_port design p Types.Input wires.(i);
+         input_ports := p :: !input_ports
+       | _ ->
+         if uses.(i) = 0 then begin
+           let p = Printf.sprintf "out%d" i in
+           Design.add_port design p Types.Output wires.(i);
+           output_ports := p :: !output_ports
+         end)
+    r.entries;
+  { design;
+    clock = clk;
+    input_ports = List.rev !input_ports;
+    output_ports = List.rev !output_ports }
+
+let node_to_string = function
+  | Input -> "input"
+  | Gnd -> "gnd"
+  | Vcc -> "vcc"
+  | Lut { init; inputs } ->
+    Printf.sprintf "lut init=%d inputs=%s" init
+      (String.concat "," (List.map string_of_int (Array.to_list inputs)))
+  | Ff { kind; init; d; ce; srst } ->
+    Printf.sprintf "ff kind=%s init=%c d=%d%s%s"
+      (String.lowercase_ascii (ff_kind_name kind))
+      (Bit.to_char init) d
+      (match ce with
+       | Some x -> Printf.sprintf " ce=%d" x
+       | None -> "")
+      (match srst with
+       | Some x -> Printf.sprintf " srst=%d" x
+       | None -> "")
+  | Muxcy { s; di; ci } -> Printf.sprintf "muxcy s=%d di=%d ci=%d" s di ci
+  | Xorcy { li; ci } -> Printf.sprintf "xorcy li=%d ci=%d" li ci
+  | Mult_and { i0; i1 } -> Printf.sprintf "mult_and i0=%d i1=%d" i0 i1
+  | Srl16 { init; ce; d; a } ->
+    Printf.sprintf "srl16 init=%d ce=%d d=%d a=%d,%d,%d,%d" init ce d a.(0)
+      a.(1) a.(2) a.(3)
+  | Ram16 { init; we; d; a } ->
+    Printf.sprintf "ram16 init=%d we=%d d=%d a=%d,%d,%d,%d" init we d a.(0)
+      a.(1) a.(2) a.(3)
+  | Buf { i } -> Printf.sprintf "buf i=%d" i
+  | Inv { i } -> Printf.sprintf "inv i=%d" i
+
+let to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "recipe %s %d\n" r.name (Array.length r.entries));
+  Array.iteri
+    (fun i e ->
+       Buffer.add_string b
+         (Printf.sprintf "%d %s%s\n" i (node_to_string e.node)
+            (match e.group with
+             | Some g -> Printf.sprintf " group=%d" g
+             | None -> "")))
+    r.entries;
+  Buffer.contents b

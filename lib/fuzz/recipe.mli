@@ -1,0 +1,104 @@
+(** Reducible description of a randomly generated design.
+
+    A recipe is a flat, index-addressed list of entries; entry [i]
+    produces exactly one 1-bit signal, signal [i], and may reference
+    only strictly earlier signals. That single invariant gives DAG
+    wiring by construction — no combinational loop can be expressed —
+    and makes every structural edit the delta-debugging reducer wants
+    (drop a cell, substitute a simpler one, truncate to a prefix) a
+    pure array transformation that preserves validity.
+
+    {!build} turns a recipe into a real {!Jhdl_circuit.Design.t}:
+    one root-scope 1-bit wire per signal, one primitive instance per
+    non-input entry, a single dedicated clock input feeding every
+    sequential clock pin directly (legal clocking by construction),
+    every input entry bound as a top-level input port and every
+    unconsumed signal bound as a top-level output port (no dangling
+    drivers). Entries may carry a group id; each group becomes a
+    composite cell with ports computed from the actual cross-group
+    signal flow, so hierarchy-sensitive layers (netlist naming,
+    snapshot instance paths) see non-trivial trees. *)
+
+type ff_kind =
+  | Fd
+  | Fde
+  | Fdce
+  | Fdre
+
+type node =
+  | Input  (** a 1-bit top-level stimulus port *)
+  | Gnd
+  | Vcc
+  | Lut of {
+      init : int;  (** truth table, [2^(Array.length inputs)] bits *)
+      inputs : int array;  (** 1 to 4 signal refs, I0 first *)
+    }
+  | Ff of {
+      kind : ff_kind;
+      init : Jhdl_logic.Bit.t;
+      d : int;
+      ce : int option;  (** required for [Fde]/[Fdce]/[Fdre] *)
+      srst : int option;  (** CLR for [Fdce], R for [Fdre] *)
+    }
+  | Muxcy of { s : int; di : int; ci : int }
+  | Xorcy of { li : int; ci : int }
+  | Mult_and of { i0 : int; i1 : int }
+  | Srl16 of { init : int; ce : int; d : int; a : int array (** 4 refs *) }
+  | Ram16 of { init : int; we : int; d : int; a : int array (** 4 refs *) }
+  | Buf of { i : int }
+  | Inv of { i : int }
+
+type entry = {
+  node : node;
+  group : int option;
+      (** entries sharing a group id land in one composite cell *)
+}
+
+type t = {
+  name : string;  (** becomes the design name *)
+  entries : entry array;
+}
+
+(** [refs node] — the signal indices [node] reads, in port order. *)
+val refs : node -> int list
+
+(** [is_sequential node] — true for FF/SRL/RAM entries (need a clock). *)
+val is_sequential : node -> bool
+
+(** [kind_name node] — the library cell name ("LUT3", "FDCE", ...);
+    ["INPUT"] for input entries. Used for coverage accounting. *)
+val kind_name : node -> string
+
+(** [well_formed r] — checks every reference points strictly backward,
+    LUT/address arities are legal and FF option fields match the FF
+    kind. [Error message] pinpoints the first offending entry. *)
+val well_formed : t -> (unit, string) result
+
+(** [truncate r n] — the prefix of the first [n] entries (at least 1).
+    Backward-only references make any prefix well formed. *)
+val truncate : t -> int -> t
+
+(** [input_count r] / [signal_uses r] — stimulus port count and the
+    per-signal consumer counts. *)
+val input_count : t -> int
+
+val signal_uses : t -> int array
+
+type built = {
+  design : Jhdl_circuit.Design.t;
+  clock : Jhdl_circuit.Wire.t option;
+      (** present iff the recipe holds a sequential entry *)
+  input_ports : string list;
+      (** stimulus ports (clock excluded), in entry order *)
+  output_ports : string list;  (** unconsumed signals, in entry order *)
+}
+
+(** [build r] — elaborates the recipe into a fresh design. Raises
+    [Invalid_argument] if the recipe is not {!well_formed}. Two builds
+    of one recipe produce structurally identical designs (same ports,
+    instance paths and snapshot signature). *)
+val build : t -> built
+
+(** [to_string r] — canonical one-line-per-entry text rendering, used
+    for byte-identical replay checks and reproducer files. *)
+val to_string : t -> string

@@ -1,0 +1,177 @@
+type result = {
+  recipe : Recipe.t;
+  stimulus : Stimulus.t;
+  checks : int;
+}
+
+(* Rebuild a node with every signal reference pushed through [f]. *)
+let map_refs f node =
+  match node with
+  | Recipe.Input | Recipe.Gnd | Recipe.Vcc -> node
+  | Recipe.Lut { init; inputs } ->
+    Recipe.Lut { init; inputs = Array.map f inputs }
+  | Recipe.Ff { kind; init; d; ce; srst } ->
+    Recipe.Ff
+      { kind; init; d = f d; ce = Option.map f ce; srst = Option.map f srst }
+  | Recipe.Muxcy { s; di; ci } ->
+    Recipe.Muxcy { s = f s; di = f di; ci = f ci }
+  | Recipe.Xorcy { li; ci } -> Recipe.Xorcy { li = f li; ci = f ci }
+  | Recipe.Mult_and { i0; i1 } -> Recipe.Mult_and { i0 = f i0; i1 = f i1 }
+  | Recipe.Srl16 { init; ce; d; a } ->
+    Recipe.Srl16 { init; ce = f ce; d = f d; a = Array.map f a }
+  | Recipe.Ram16 { init; we; d; a } ->
+    Recipe.Ram16 { init; we = f we; d = f d; a = Array.map f a }
+  | Recipe.Buf { i } -> Recipe.Buf { i = f i }
+  | Recipe.Inv { i } -> Recipe.Inv { i = f i }
+
+(* [i] plus every transitive consumer of its signal. *)
+let forward_cone (r : Recipe.t) i =
+  let n = Array.length r.entries in
+  let in_cone = Array.make n false in
+  in_cone.(i) <- true;
+  for j = i + 1 to n - 1 do
+    if List.exists (fun x -> in_cone.(x)) (Recipe.refs r.entries.(j).node)
+    then in_cone.(j) <- true
+  done;
+  in_cone
+
+(* Remove the marked entries, re-indexing survivors and deleting the
+   stimulus columns of removed inputs. [None] when nothing survives. *)
+let drop (r : Recipe.t) stim in_cone =
+  let n = Array.length r.entries in
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for idx = 0 to n - 1 do
+    if not in_cone.(idx) then begin
+      map.(idx) <- !next;
+      incr next
+    end
+  done;
+  if !next = 0 then None
+  else begin
+    let entries = ref [] in
+    for idx = n - 1 downto 0 do
+      if not in_cone.(idx) then begin
+        let e = r.entries.(idx) in
+        entries :=
+          { e with Recipe.node = map_refs (fun x -> map.(x)) e.Recipe.node }
+          :: !entries
+      end
+    done;
+    let keep_col = ref [] in
+    for idx = n - 1 downto 0 do
+      if r.entries.(idx).Recipe.node = Recipe.Input then
+        keep_col := (not in_cone.(idx)) :: !keep_col
+    done;
+    let stim = Stimulus.keep_columns stim (Array.of_list !keep_col) in
+    Some ({ r with Recipe.entries = Array.of_list !entries }, stim)
+  end
+
+let replace_node (r : Recipe.t) i node =
+  let entries = Array.copy r.entries in
+  entries.(i) <- { (entries.(i)) with Recipe.node };
+  { r with Recipe.entries }
+
+exception Budget
+
+let minimize ?(max_checks = 2000) ~still_fails recipe stimulus =
+  let checks = ref 0 in
+  let fails r s =
+    if !checks >= max_checks then raise Budget;
+    incr checks;
+    match Recipe.well_formed r with
+    | Error _ -> false
+    | Ok () -> still_fails r s
+  in
+  let current = ref (recipe, stimulus) in
+  let try_commit candidate =
+    match candidate with
+    | Some (r, s) when fails r s ->
+      current := (r, s);
+      true
+    | _ -> false
+  in
+  (* one greedy sweep of each pass; returns whether anything shrank *)
+  let drop_pass () =
+    let improved = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let r, s = !current in
+      let n = Array.length r.Recipe.entries in
+      if n > 1 then begin
+        let i = ref (n - 1) in
+        while !i >= 0 && not !continue_ do
+          let cone = forward_cone r !i in
+          if try_commit (drop r s cone) then begin
+            improved := true;
+            continue_ := true
+          end;
+          decr i
+        done
+      end
+    done;
+    !improved
+  in
+  let simplify_pass () =
+    let improved = ref false in
+    let r0, _ = !current in
+    let n = Array.length r0.Recipe.entries in
+    for i = 0 to n - 1 do
+      let r, s = !current in
+      if i < Array.length r.Recipe.entries then begin
+        let e = r.Recipe.entries.(i) in
+        match e.Recipe.node with
+        | Recipe.Input | Recipe.Gnd | Recipe.Vcc | Recipe.Buf _ -> ()
+        | node ->
+          if try_commit (Some (replace_node r i Recipe.Gnd, s)) then
+            improved := true
+          else
+            (match Recipe.refs node with
+             | first :: _ ->
+               if
+                 try_commit
+                   (Some (replace_node r i (Recipe.Buf { i = first }), s))
+               then improved := true
+             | [] -> ())
+      end
+    done;
+    !improved
+  in
+  let shrink_stimulus_pass () =
+    let improved = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let r, s = !current in
+      let n = Stimulus.step_count s in
+      if n > 1 then begin
+        let half = Stimulus.truncate s (n / 2) in
+        if try_commit (Some (r, half)) then begin
+          improved := true;
+          continue_ := true
+        end
+        else begin
+          let trimmed = Stimulus.truncate s (n - 1) in
+          if try_commit (Some (r, trimmed)) then begin
+            improved := true;
+            continue_ := true
+          end
+        end
+      end
+    done;
+    !improved
+  in
+  (try
+     let rounds = ref 0 in
+     let progress = ref true in
+     while !progress && !rounds < 20 do
+       incr rounds;
+       let a = drop_pass () in
+       let b = simplify_pass () in
+       let c = shrink_stimulus_pass () in
+       progress := a || b || c
+     done
+   with Budget -> ());
+  let r, s = !current in
+  { recipe = r; stimulus = s; checks = !checks }

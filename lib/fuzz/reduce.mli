@@ -1,0 +1,32 @@
+(** Greedy delta-debugging reducer for failing fuzz cases.
+
+    Given a recipe+stimulus pair on which a failure predicate holds
+    (typically "oracle X still fails"), the reducer shrinks both while
+    preserving the failure:
+
+    - {e drop}: remove one entry together with its forward cone (every
+      transitive consumer), re-indexing the survivors — backward-only
+      references keep any such cut well formed;
+    - {e simplify}: replace a complex entry by [Gnd] or by a [Buf] of
+      its first source, freeing its other sources to be dropped;
+    - {e shrink}: halve, then trim, the stimulus step count.
+
+    Passes repeat until a fixpoint (or the attempt budget runs out);
+    the result is a locally-minimal reproducer. Deleting an input entry
+    also deletes its stimulus column, keeping the pair consistent. *)
+
+type result = {
+  recipe : Recipe.t;
+  stimulus : Stimulus.t;
+  checks : int;  (** failure-predicate evaluations spent *)
+}
+
+(** [minimize ~still_fails recipe stimulus] — [still_fails] must hold
+    on the initial pair; the returned pair still satisfies it.
+    [max_checks] (default 2000) bounds the predicate evaluations. *)
+val minimize :
+  ?max_checks:int ->
+  still_fails:(Recipe.t -> Stimulus.t -> bool) ->
+  Recipe.t ->
+  Stimulus.t ->
+  result

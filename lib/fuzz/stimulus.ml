@@ -1,0 +1,34 @@
+module Bits = Jhdl_logic.Bits
+
+type t = { steps : Bits.t array array }
+
+let step_count s = Array.length s.steps
+
+let truncate s n =
+  let n = max 1 (min n (Array.length s.steps)) in
+  { steps = Array.sub s.steps 0 n }
+
+let keep_columns s keep =
+  { steps =
+      Array.map
+        (fun row ->
+           let kept = ref [] in
+           Array.iteri
+             (fun k v -> if k < Array.length keep && keep.(k) then kept := v :: !kept)
+             row;
+           Array.of_list (List.rev !kept))
+        s.steps }
+
+let drop_column s k =
+  let width = match s.steps with [||] -> 0 | _ -> Array.length s.steps.(0) in
+  let keep = Array.init width (fun i -> i <> k) in
+  keep_columns s keep
+
+let to_string s =
+  let b = Buffer.create 128 in
+  Array.iter
+    (fun row ->
+       Array.iter (fun v -> Buffer.add_string b (Bits.to_string v)) row;
+       Buffer.add_char b '\n')
+    s.steps;
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** Replayable four-valued stimulus for a generated design.
+
+    A stimulus is a step matrix: row = one simulation step, column =
+    the k-th {!Recipe.Input} entry of the recipe (in entry order). Each
+    step drives every stimulus port, settles, then advances one clock
+    cycle. Keying columns by input {e order} rather than port name is
+    what keeps a stimulus meaningful while the reducer deletes input
+    entries: dropping input k deletes column k. *)
+
+type t = { steps : Jhdl_logic.Bits.t array array }
+
+val step_count : t -> int
+
+(** [truncate s n] — keep the first [n] steps (at least 1). *)
+val truncate : t -> int -> t
+
+(** [drop_column s k] — remove stimulus column [k] (when the k-th input
+    entry was deleted). *)
+val drop_column : t -> int -> t
+
+(** [keep_columns s keep] — retain the columns whose index is in
+    [keep], in order. *)
+val keep_columns : t -> bool array -> t
+
+(** [to_string s] — canonical text rendering ('0'/'1'/'x'/'z' per
+    column), for determinism checks and reproducer files. *)
+val to_string : t -> string

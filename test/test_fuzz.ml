@@ -1,0 +1,342 @@
+(* The fuzz layer's own contract: generated recipes are valid by
+   construction, campaigns are byte-identically replayable from one
+   seed, all five oracles hold on generated designs, and the reducer
+   converges onto an injected defect. *)
+
+module Prng = Jhdl_faults.Prng
+module Design = Jhdl_circuit.Design
+module Recipe = Jhdl_fuzz.Recipe
+module Gen = Jhdl_fuzz.Gen
+module Stimulus = Jhdl_fuzz.Stimulus
+module Oracle = Jhdl_fuzz.Oracle
+module Reduce = Jhdl_fuzz.Reduce
+module Fuzz = Jhdl_fuzz.Fuzz
+
+let small_params = { Gen.default_params with Gen.max_cells = 24 }
+
+(* ------------------------------------------------------------------ *)
+
+let test_generated_designs_are_valid () =
+  for seed = 0 to 39 do
+    let rng = Prng.create seed in
+    let recipe =
+      Gen.recipe rng ~name:(Printf.sprintf "valid_%d" seed) Gen.default_params
+    in
+    (match Recipe.well_formed recipe with
+     | Ok () -> ()
+     | Error m -> Alcotest.failf "seed %d: recipe not well-formed: %s" seed m);
+    let built = Recipe.build recipe in
+    match Design.errors built.Recipe.design with
+    | [] -> ()
+    | violations ->
+      Alcotest.failf "seed %d: %d design-rule error(s): %s" seed
+        (List.length violations)
+        (String.concat "; "
+           (List.map
+              (fun v -> Format.asprintf "%a" Design.pp_violation v)
+              violations))
+  done
+
+let test_every_unconsumed_signal_is_observable () =
+  let rng = Prng.create 11 in
+  let recipe = Gen.recipe rng ~name:"observable" Gen.default_params in
+  let built = Recipe.build recipe in
+  let uses = Recipe.signal_uses recipe in
+  let expected = ref 0 in
+  Array.iteri
+    (fun i e ->
+       if e.Recipe.node <> Recipe.Input && uses.(i) = 0 then incr expected)
+    recipe.Recipe.entries;
+  Alcotest.(check int) "one output port per unconsumed signal" !expected
+    (List.length built.Recipe.output_ports)
+
+(* ------------------------------------------------------------------ *)
+(* Seed-replay determinism (mirrors the PR 1 fault-matrix test): the
+   recipe, the stimulus and the whole campaign report must be
+   byte-identical across two runs from the same seed. *)
+
+let test_seed_replay_is_byte_identical () =
+  List.iter
+    (fun seed ->
+       let once () =
+         let gen_rng, stim_rng = Fuzz.case_rngs ~seed ~case:0 in
+         let recipe = Gen.recipe gen_rng ~name:"replay" Gen.default_params in
+         let stim = Gen.stimulus stim_rng recipe ~steps:10 in
+         (Recipe.to_string recipe, Stimulus.to_string stim)
+       in
+       let r1, s1 = once () in
+       let r2, s2 = once () in
+       Alcotest.(check string) "recipe bytes" r1 r2;
+       Alcotest.(check string) "stimulus bytes" s1 s2)
+    [ 0; 1; 42; 31337 ]
+
+let test_campaign_report_is_byte_identical () =
+  let config =
+    { Fuzz.default_config with
+      Fuzz.seed = 9;
+      count = 8;
+      params = small_params;
+      steps = 8 }
+  in
+  let a = Fuzz.summary (Fuzz.run config) in
+  let b = Fuzz.summary (Fuzz.run config) in
+  Alcotest.(check string) "campaign summaries" a b;
+  (* and the verdicts really ran: five oracles times eight cases *)
+  let outcome = Fuzz.run config in
+  List.iter
+    (fun (_, runs, _) -> Alcotest.(check int) "runs per oracle" 8 runs)
+    outcome.Fuzz.oracle_runs
+
+let test_case_rngs_replay_campaign_cases () =
+  (* regenerating case k from (seed, k) alone matches what the
+     campaign generated for that case *)
+  let seed = 23 in
+  let config =
+    { Fuzz.default_config with
+      Fuzz.seed;
+      count = 4;
+      params = small_params;
+      steps = 6;
+      oracles = [ Oracle.Lint_clean ] }
+  in
+  ignore (Fuzz.run config);
+  for case = 0 to 3 do
+    let once () =
+      let gen_rng, _ = Fuzz.case_rngs ~seed ~case in
+      Recipe.to_string
+        (Gen.recipe gen_rng
+           ~name:(Printf.sprintf "fuzz_c%d" case)
+           small_params)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d replays" case)
+      (once ()) (once ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracles. *)
+
+let test_all_oracles_green_on_generated_designs () =
+  let outcome =
+    Fuzz.run
+      { Fuzz.default_config with
+        Fuzz.seed = 2;
+        count = 12;
+        params = small_params;
+        steps = 10 }
+  in
+  Alcotest.(check int) "no failures" 0 (Fuzz.total_failures outcome);
+  Alcotest.(check int) "five oracles ran" 5
+    (List.length outcome.Fuzz.oracle_runs)
+
+let test_coverage_spans_the_primitive_set () =
+  let outcome =
+    Fuzz.run
+      { Fuzz.default_config with
+        Fuzz.seed = 3;
+        count = 60;
+        params = Gen.default_params;
+        steps = 2;
+        oracles = [ Oracle.Lint_clean ] }
+  in
+  let covered = List.map fst outcome.Fuzz.coverage in
+  List.iter
+    (fun kind ->
+       if not (List.mem kind covered) then
+         Alcotest.failf "primitive kind %s never generated" kind)
+    [ "INPUT"; "GND"; "VCC"; "LUT1"; "LUT2"; "LUT3"; "LUT4"; "FD"; "FDE";
+      "FDCE"; "FDRE"; "MUXCY"; "XORCY"; "MULT_AND"; "SRL16E"; "RAM16X1S";
+      "BUF"; "INV" ]
+
+let test_oracle_flags_a_broken_recipe () =
+  (* the lint oracle must fail loudly when handed an actually-broken
+     design, not only pass on valid ones: an FF clocked from a LUT
+     output is a gated clock, which builds fine but lints as an error *)
+  let recipe =
+    { Recipe.name = "gated";
+      entries =
+        [| { Recipe.node = Recipe.Input; group = None };
+           { Recipe.node = Recipe.Input; group = None };
+           { Recipe.node = Recipe.Lut { init = 0b1000; inputs = [| 0; 1 |] };
+             group = None }
+        |] }
+  in
+  let built = Recipe.build recipe in
+  (* rewire: drive the FF's clock from the LUT output via a raw prim *)
+  let top = Design.root built.Recipe.design in
+  let gated = Jhdl_circuit.Wire.create top ~name:"gated" 1 in
+  (match Design.find_port built.Recipe.design "out2" with
+   | None -> Alcotest.fail "expected the AND output to be exported"
+   | Some p ->
+     ignore
+       (Jhdl_circuit.Cell.prim top ~name:"gate" Jhdl_circuit.Prim.Buf
+          ~conns:[ ("I", p.Design.port_wire); ("O", gated) ]);
+     ignore
+       (Jhdl_circuit.Cell.prim top ~name:"bad_ff"
+          (Jhdl_circuit.Prim.Ff
+             { clock_enable = false;
+               async_clear = false;
+               sync_reset = false;
+               init = Jhdl_logic.Bit.Zero })
+          ~conns:[ ("C", gated); ("D", p.Design.port_wire); ("Q", Jhdl_circuit.Wire.create top ~name:"bad_q" 1) ]));
+  let report = Jhdl_lint.Lint.run built.Recipe.design in
+  Alcotest.(check bool) "gated clock caught" true
+    (List.exists
+       (fun d -> String.equal d.Jhdl_lint.Lint.rule_id "L101")
+       (Jhdl_lint.Lint.errors report))
+
+let test_estimate_monotone_over_prefixes () =
+  for seed = 50 to 58 do
+    let rng = Prng.create seed in
+    let recipe = Gen.recipe rng ~name:"mono" Gen.default_params in
+    let stim = { Stimulus.steps = [||] } in
+    match Oracle.run Oracle.Estimate_mono recipe stim with
+    | Oracle.Pass -> ()
+    | Oracle.Fail m -> Alcotest.failf "seed %d: %s" seed m
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reducer. *)
+
+let find_mult_and_case () =
+  (* campaign seed 42 generates MULT_AND-bearing designs (pinned by
+     the coverage test above); find one for the reducer to chew on *)
+  let rec go case =
+    if case > 50 then Alcotest.fail "no MULT_AND case within 50 seeds"
+    else begin
+      let gen_rng, stim_rng = Fuzz.case_rngs ~seed:42 ~case in
+      let recipe =
+        Gen.recipe gen_rng
+          ~name:(Printf.sprintf "fuzz_c%d" case)
+          small_params
+      in
+      if
+        Array.exists
+          (fun e ->
+             match e.Recipe.node with
+             | Recipe.Mult_and _ -> true
+             | _ -> false)
+          recipe.Recipe.entries
+      then (recipe, Gen.stimulus stim_rng recipe ~steps:8)
+      else go (case + 1)
+    end
+  in
+  go 0
+
+let test_reducer_converges_on_injected_bug () =
+  let recipe, stim = find_mult_and_case () in
+  let still_fails r s =
+    match Oracle.run ~inject_bug:true Oracle.Sim_vs_ref r s with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass -> false
+  in
+  Alcotest.(check bool) "original case fails under the injected bug" true
+    (still_fails recipe stim);
+  let result = Reduce.minimize ~still_fails recipe stim in
+  let n = Array.length result.Reduce.recipe.Recipe.entries in
+  if n > 4 then
+    Alcotest.failf "reducer stopped at %d entries (expected <= 4):\n%s" n
+      (Recipe.to_string result.Reduce.recipe);
+  Alcotest.(check bool) "reduced case still fails" true
+    (still_fails result.Reduce.recipe result.Reduce.stimulus);
+  Alcotest.(check bool) "reduced recipe still holds a MULT_AND" true
+    (Array.exists
+       (fun e ->
+          match e.Recipe.node with
+          | Recipe.Mult_and _ -> true
+          | _ -> false)
+       result.Reduce.recipe.Recipe.entries);
+  Alcotest.(check bool) "stimulus shrank to one step" true
+    (Stimulus.step_count result.Reduce.stimulus <= 1)
+
+let test_reducer_output_is_well_formed_and_buildable () =
+  let recipe, stim = find_mult_and_case () in
+  let still_fails r s =
+    match Oracle.run ~inject_bug:true Oracle.Sim_vs_ref r s with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass -> false
+  in
+  let result = Reduce.minimize ~still_fails recipe stim in
+  (match Recipe.well_formed result.Reduce.recipe with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "reduced recipe ill-formed: %s" m);
+  let built = Recipe.build result.Reduce.recipe in
+  Alcotest.(check int) "reduced design has no rule errors" 0
+    (List.length (Design.errors built.Recipe.design))
+
+let test_reducer_respects_check_budget () =
+  let recipe, stim = find_mult_and_case () in
+  let calls = ref 0 in
+  let still_fails r s =
+    incr calls;
+    match Oracle.run ~inject_bug:true Oracle.Sim_vs_ref r s with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass -> false
+  in
+  let result = Reduce.minimize ~max_checks:5 ~still_fails recipe stim in
+  Alcotest.(check bool) "stays within budget" true (result.Reduce.checks <= 5);
+  Alcotest.(check bool) "result still fails" true
+    (still_fails result.Reduce.recipe result.Reduce.stimulus)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign plumbing. *)
+
+let test_campaign_reports_injected_failures () =
+  let outcome =
+    Fuzz.run
+      { Fuzz.seed = 42;
+        count = 10;
+        params = { Gen.default_params with Gen.max_cells = 20 };
+        steps = 8;
+        oracles = [ Oracle.Sim_vs_ref ];
+        reduce = true;
+        inject_bug = true }
+  in
+  Alcotest.(check bool) "some cases trip the injected bug" true
+    (Fuzz.total_failures outcome > 0);
+  List.iter
+    (fun f ->
+       match f.Fuzz.reduced with
+       | None -> Alcotest.fail "reduce:true must minimize every failure"
+       | Some r ->
+         Alcotest.(check bool) "minimized below original" true
+           (Array.length r.Reduce.recipe.Recipe.entries
+            <= Array.length f.Fuzz.recipe.Recipe.entries))
+    outcome.Fuzz.failures;
+  (* the summary names the injected defect *)
+  Alcotest.(check bool) "summary carries the failure" true
+    (let s = Fuzz.summary outcome in
+     let needle = "injected defect" in
+     let n = String.length needle and len = String.length s in
+     let rec scan i =
+       i + n <= len && (String.sub s i n = needle || scan (i + 1))
+     in
+     scan 0)
+
+let suite =
+  [ Alcotest.test_case "generated designs pass validate" `Quick
+      test_generated_designs_are_valid;
+    Alcotest.test_case "unconsumed signals become output ports" `Quick
+      test_every_unconsumed_signal_is_observable;
+    Alcotest.test_case "seed replay is byte-identical" `Quick
+      test_seed_replay_is_byte_identical;
+    Alcotest.test_case "campaign report is byte-identical" `Quick
+      test_campaign_report_is_byte_identical;
+    Alcotest.test_case "case streams replay in isolation" `Quick
+      test_case_rngs_replay_campaign_cases;
+    Alcotest.test_case "all oracles green on generated designs" `Quick
+      test_all_oracles_green_on_generated_designs;
+    Alcotest.test_case "coverage spans the primitive set" `Quick
+      test_coverage_spans_the_primitive_set;
+    Alcotest.test_case "lint oracle catches a real gated clock" `Quick
+      test_oracle_flags_a_broken_recipe;
+    Alcotest.test_case "estimator monotone over prefixes" `Quick
+      test_estimate_monotone_over_prefixes;
+    Alcotest.test_case "reducer converges on injected bug" `Quick
+      test_reducer_converges_on_injected_bug;
+    Alcotest.test_case "reducer output is well-formed" `Quick
+      test_reducer_output_is_well_formed_and_buildable;
+    Alcotest.test_case "reducer respects its check budget" `Quick
+      test_reducer_respects_check_budget;
+    Alcotest.test_case "campaign reports injected failures" `Quick
+      test_campaign_reports_injected_failures ]

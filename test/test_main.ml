@@ -16,6 +16,7 @@ let () =
       ("lint", Test_lint.suite);
       ("equiv", Test_equiv.suite);
       ("differential", Test_differential.suite);
+      ("fuzz", Test_fuzz.suite);
       ("viewer", Test_viewer.suite);
       ("bundle", Test_bundle.suite);
       ("security", Test_security.suite);
