@@ -892,49 +892,89 @@ let sim_throughput () =
     "simulator throughput: compiled dense kernel vs reference interpreter";
   Printf.printf "%-20s %8s %7s %16s %16s %9s\n" "design" "prims" "levels"
     "kernel cyc/s" "reference cyc/s" "speedup";
-  let rows =
-    List.map
-      (fun (label, build) ->
-         let design, port, width = build () in
-         let clock =
-           Option.map
-             (fun p -> p.Design.port_wire)
-             (Design.find_port design "clk")
-         in
-         let mask = (1 lsl width) - 1 in
-         let kernel = Simulator.create ?clock design in
-         let kernel_rate =
-           steps_per_second ~min_seconds:0.3 (fun i ->
-             Simulator.set_input kernel port
-               (Bits.of_int ~width (i * 37 land mask));
-             Simulator.cycle kernel)
-         in
-         let reference = Reference.create ?clock design in
-         let reference_rate =
-           steps_per_second ~min_seconds:0.3 (fun i ->
-             Reference.set_input reference port
-               (Bits.of_int ~width (i * 37 land mask));
-             Reference.cycle reference)
-         in
-         let prims = Simulator.prim_count kernel in
-         let levels = Simulator.levels kernel in
-         (* why a throughput number moved: the kernel's own work counters,
-            normalised per cycle (evals = primitive settles, events = net
-            value changes) *)
-         let per_cycle count =
-           float_of_int count
-           /. float_of_int (max 1 (Simulator.cycle_count kernel))
-         in
-         let evals = per_cycle (Simulator.eval_count kernel) in
-         let events = per_cycle (Simulator.event_count kernel) in
-         Printf.printf "%-20s %8d %7d %16.0f %16.0f %8.1fx\n" label prims
-           levels kernel_rate reference_rate (kernel_rate /. reference_rate);
-         (label, prims, levels, kernel_rate, reference_rate, evals, events))
-      (s1_designs ())
-  in
-  (* machine-readable record for trajectory tracking *)
+  List.map
+    (fun (label, build) ->
+       let design, port, width = build () in
+       let clock =
+         Option.map
+           (fun p -> p.Design.port_wire)
+           (Design.find_port design "clk")
+       in
+       let mask = (1 lsl width) - 1 in
+       let kernel = Simulator.create ?clock design in
+       let kernel_rate =
+         steps_per_second ~min_seconds:0.3 (fun i ->
+           Simulator.set_input kernel port
+             (Bits.of_int ~width (i * 37 land mask));
+           Simulator.cycle kernel)
+       in
+       let reference = Reference.create ?clock design in
+       let reference_rate =
+         steps_per_second ~min_seconds:0.3 (fun i ->
+           Reference.set_input reference port
+             (Bits.of_int ~width (i * 37 land mask));
+           Reference.cycle reference)
+       in
+       let prims = Simulator.prim_count kernel in
+       let levels = Simulator.levels kernel in
+       (* why a throughput number moved: the kernel's own work counters,
+          normalised per cycle (evals = primitive settles, events = net
+          value changes) *)
+       let per_cycle count =
+         float_of_int count
+         /. float_of_int (max 1 (Simulator.cycle_count kernel))
+       in
+       let evals = per_cycle (Simulator.eval_count kernel) in
+       let events = per_cycle (Simulator.event_count kernel) in
+       Printf.printf "%-20s %8d %7d %16.0f %16.0f %8.1fx\n" label prims
+         levels kernel_rate reference_rate (kernel_rate /. reference_rate);
+       (label, prims, levels, kernel_rate, reference_rate, evals, events))
+    (s1_designs ())
+
+(* ------------------------------------------------------------------ *)
+(* S2: batch throughput - 63 packed lanes vs the scalar kernel         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same S1 designs, but the bit-parallel batch kernel carries 63
+   independent testbench lanes per machine word (two bit-planes for the
+   4-valued codes). Each step forces a distinct value into every lane,
+   so no lane degenerates into a constant, then clocks once; effective
+   throughput is batch cycles/s x 63 lanes against the scalar kernel's
+   cycles/s from S1. *)
+let batch_throughput s1_rows =
+  section "S2"
+    "batch throughput: 63-lane bit-parallel kernel vs scalar kernel";
+  Printf.printf "%-20s %8s %14s %16s %18s %10s\n" "design" "lanes"
+    "batch cyc/s" "kernel cyc/s" "effective cyc*ln/s" "speedup";
+  List.map2
+    (fun (label, build) (_, prims, _, kernel_rate, _, _, _) ->
+       let design, port, width = build () in
+       let clock =
+         Option.map
+           (fun p -> p.Design.port_wire)
+           (Design.find_port design "clk")
+       in
+       let mask = (1 lsl width) - 1 in
+       let lanes = Simulator.Batch.max_lanes in
+       let batch = Simulator.Batch.create ?clock ~lanes design in
+       let batch_rate =
+         steps_per_second ~min_seconds:0.3 (fun i ->
+           for lane = 0 to lanes - 1 do
+             Simulator.Batch.set_input batch ~lane port
+               (Bits.of_int ~width (((i * 37) + (lane * 17)) land mask))
+           done;
+           Simulator.Batch.cycle batch)
+       in
+       let effective = batch_rate *. float_of_int lanes in
+       let speedup = effective /. kernel_rate in
+       Printf.printf "%-20s %8d %14.0f %16.0f %18.0f %9.1fx\n" label lanes
+         batch_rate kernel_rate effective speedup;
+       (label, lanes, prims, batch_rate, kernel_rate, speedup))
+    (s1_designs ()) s1_rows
+
+let write_bench_sim s1_rows s2_rows =
   let oc = open_out "BENCH_sim.json" in
-  output_string oc "{\n  \"experiment\": \"S1 simulator throughput\",\n";
+  output_string oc "{\n  \"experiment\": \"S1/S2 simulator throughput\",\n";
   output_string oc "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
   List.iteri
     (fun i (label, prims, levels, kr, rr, evals, events) ->
@@ -943,16 +983,28 @@ let sim_throughput () =
           \"kernel\": %.0f, \"reference\": %.0f, \"speedup\": %.2f, \
           \"evals_per_cycle\": %.1f, \"events_per_cycle\": %.1f}%s\n"
          label prims levels kr rr (kr /. rr) evals events
-         (if i = List.length rows - 1 then "" else ","))
-    rows;
+         (if i = List.length s1_rows - 1 then "" else ","))
+    s1_rows;
+  output_string oc "  ],\n  \"batch\": [\n";
+  List.iteri
+    (fun i (label, lanes, prims, br, kr, speedup) ->
+       Printf.fprintf oc
+         "    {\"name\": \"%s\", \"lanes\": %d, \"prims\": %d, \
+          \"batch_cycles_per_s\": %.0f, \"kernel_cycles_per_s\": %.0f, \
+          \"effective_speedup\": %.2f}%s\n"
+         label lanes prims br kr speedup
+         (if i = List.length s2_rows - 1 then "" else ","))
+    s2_rows;
   output_string oc "  ]\n}\n";
   close_out oc;
   print_endline
-    "\nwrote BENCH_sim.json; the reference column is the pre-compilation \
-     interpreter retained";
+    "\nwrote BENCH_sim.json (S1 designs + S2 batch rows); the reference \
+     column is the";
   print_endline
-    "as the differential golden model, i.e. the before/after of the kernel \
-     rewrite."
+    "pre-compilation interpreter retained as the differential golden model, \
+     and the";
+  print_endline
+    "batch rows hold the 63-lane packed kernel's effective cycles*lanes/s."
 
 (* ------------------------------------------------------------------ *)
 (* FZ1: fuzzer throughput and oracle coverage                          *)
@@ -960,7 +1012,7 @@ let sim_throughput () =
 
 (* Two rates matter for nightly budget planning: raw generation
    (recipe + design build, what bounds corpus growth) and full
-   five-oracle validation (what bounds the differential campaign).
+   six-oracle validation (what bounds the differential campaign).
    Rates are designs/second over at least [min_seconds] of Sys.time. *)
 let fuzz_rate ~min_seconds f =
   let t0 = Sys.time () in
@@ -1005,7 +1057,7 @@ let fuzz_throughput () =
   Printf.printf "design params: max-cells=%d steps=%d\n" params.Fuzz_gen.max_cells
     steps;
   Printf.printf "%-28s %10.0f designs/s\n" "generation + build" gen_rate;
-  Printf.printf "%-28s %10.1f designs/s\n" "all five oracles" oracle_rate;
+  Printf.printf "%-28s %10.1f designs/s\n" "all six oracles" oracle_rate;
   Printf.printf "campaign: %d cases, %d failures, %d primitive kinds covered\n"
     outcome.Fuzz.cases
     (Fuzz.total_failures outcome)
@@ -1240,7 +1292,9 @@ let () =
   ablation_a3 ();
   ablation_a4 ();
   ablation_a5 ();
-  sim_throughput ();
+  let s1_rows = sim_throughput () in
+  let s2_rows = batch_throughput s1_rows in
+  write_bench_sim s1_rows s2_rows;
   fuzz_throughput ();
   observability_overhead ();
   bechamel_suite ();

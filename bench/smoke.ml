@@ -1,10 +1,10 @@
-(* Sub-second S1 smoke check, wired into `dune runtest` via the
+(* Sub-second S1/S2 smoke check, wired into `dune runtest` via the
    @bench-smoke alias: a short differential run of the compiled kernel
-   against the reference interpreter on the pipelined KCM, plus a
-   sanity floor on the kernel's measured throughput machinery (the full
-   measurement lives in the S1 section of bench/main.ml), plus a
-   snapshot/restore round-trip timing floor. Exits non-zero on any
-   divergence. *)
+   against the reference interpreter on the pipelined KCM, a
+   snapshot/restore round-trip timing floor, and the 63-lane batch
+   kernel pinned bit-identical to scalar runs plus a conservative
+   effective-throughput floor (the full measurement lives in the S1/S2
+   sections of bench/main.ml). Exits non-zero on any divergence. *)
 
 open Jhdl
 
@@ -71,4 +71,79 @@ let () =
   end;
   Printf.printf
     "bench-smoke: %d snapshot round-trips under a second (%d-byte blob)\n"
-    rounds (String.length !blob)
+    rounds (String.length !blob);
+  (* S2: the 63-lane batch kernel on the same KCM. Every lane gets its
+     own stimulus; after 300 cycles a lane's checkpoint blob must be
+     byte-identical to a scalar kernel run of that lane's testbench. *)
+  let lanes = Simulator.Batch.max_lanes in
+  let batch = Simulator.Batch.create ~clock:clk ~lanes d in
+  let lane_value i lane = ((i * 93) + (lane * 17)) land 0xFF in
+  for i = 0 to 299 do
+    for lane = 0 to lanes - 1 do
+      Simulator.Batch.set_input batch ~lane "multiplicand"
+        (Bits.of_int ~width:8 (lane_value i lane))
+    done;
+    Simulator.Batch.cycle batch
+  done;
+  List.iter
+    (fun lane ->
+       let scalar = Simulator.create ~clock:clk d in
+       for i = 0 to 299 do
+         Simulator.set_input scalar "multiplicand"
+           (Bits.of_int ~width:8 (lane_value i lane));
+         Simulator.cycle scalar
+       done;
+       if
+         not
+           (String.equal
+              (Simulator.Batch.snapshot_lane batch ~lane)
+              (Simulator.snapshot scalar))
+       then begin
+         Printf.eprintf
+           "bench-smoke: batch lane %d diverged from its scalar run\n" lane;
+         exit 1
+       end)
+    [ 0; 31; lanes - 1 ];
+  Printf.printf
+    "bench-smoke: batch lanes 0/31/%d byte-identical to scalar runs over \
+     300 cycles\n"
+    (lanes - 1);
+  (* effective-throughput floor: fixed work, generous margin (the full
+     S2 bench measures the real ratio; expected well above 10x) *)
+  let work = 2000 in
+  let time_scalar () =
+    let sim = Simulator.create ~clock:clk d in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to work - 1 do
+      Simulator.set_input sim "multiplicand"
+        (Bits.of_int ~width:8 (lane_value i 0));
+      Simulator.cycle sim
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let time_batch () =
+    let sim = Simulator.Batch.create ~clock:clk ~lanes d in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to work - 1 do
+      for lane = 0 to lanes - 1 do
+        Simulator.Batch.set_input sim ~lane "multiplicand"
+          (Bits.of_int ~width:8 (lane_value i lane))
+      done;
+      Simulator.Batch.cycle sim
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let scalar_s = time_scalar () and batch_s = time_batch () in
+  let effective =
+    float_of_int lanes *. scalar_s /. (if batch_s > 0.0 then batch_s else 1e-9)
+  in
+  if effective < 3.0 then begin
+    Printf.eprintf
+      "bench-smoke: batch effective throughput %.1fx scalar (floor 3.0x)\n"
+      effective;
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: batch effective throughput %.1fx scalar over %d cycles x \
+     %d lanes\n"
+    effective work lanes

@@ -29,7 +29,7 @@ let parse_oracles names =
          Error
            (Printf.sprintf
               "unknown oracle %s (try sim-vs-ref, snapshot, netlist, lint, \
-               estimate or all)"
+               estimate, batch or all)"
               name))
   in
   match names with
@@ -52,17 +52,28 @@ let write_reproducers dir seed failures =
     failures
 
 let run seed count max_cells max_inputs steps oracle_names reduce inject_bug
-    out list_only =
+    out metrics_format list_only =
   if list_only then begin
     list_oracles ();
     0
   end
   else
-    match parse_oracles oracle_names with
-    | Error m ->
+    let metrics_format =
+      match metrics_format with
+      | None | Some "text" | Some "json" -> Ok metrics_format
+      | Some other ->
+        Error (Printf.sprintf "--metrics formats: text, json (got %s)" other)
+    in
+    match (parse_oracles oracle_names, metrics_format) with
+    | Error m, _ | _, Error m ->
       Printf.eprintf "fuzz_tool: %s\n" m;
       2
-    | Ok oracles ->
+    | Ok oracles, Ok metrics_format ->
+      let module Metrics = Jhdl_metrics.Metrics in
+      let registry =
+        if Option.is_some metrics_format then Metrics.create "fuzz"
+        else Metrics.nil
+      in
       let config =
         { Fuzz.seed;
           count;
@@ -73,10 +84,14 @@ let run seed count max_cells max_inputs steps oracle_names reduce inject_bug
           reduce;
           inject_bug }
       in
-      let outcome = Fuzz.run config in
+      let outcome = Fuzz.run ~metrics:registry config in
       Printf.printf "fuzz: seed=%d max-cells=%d steps=%d\n" seed max_cells
         steps;
       print_string (Fuzz.summary outcome);
+      (match metrics_format with
+       | Some "json" -> print_string (Metrics.to_json registry)
+       | Some _ -> print_string (Metrics.to_text registry)
+       | None -> ());
       (match out with
        | Some dir when outcome.Fuzz.failures <> [] ->
          write_reproducers dir seed outcome.Fuzz.failures
@@ -110,7 +125,7 @@ let oracle_arg =
     & info [ "oracle" ]
         ~doc:
           "Oracle to run (repeatable): sim-vs-ref, snapshot, netlist, lint, \
-           estimate or all. Default: all.")
+           estimate, batch or all. Default: all.")
 
 let reduce_arg =
   Arg.(
@@ -132,6 +147,16 @@ let out_arg =
     & opt (some string) None
     & info [ "out" ] ~doc:"Directory for reproducer files of failing cases.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Dump campaign batch-kernel metrics after the summary: \
+           $(b,--metrics) for aligned text, $(b,--metrics=json) for one \
+           JSON object.")
+
 let list_arg =
   Arg.(value & flag & info [ "list-oracles" ] ~doc:"List the oracles and exit.")
 
@@ -141,6 +166,7 @@ let cmd =
     (Cmd.info "fuzz_tool" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ max_cells_arg $ max_inputs_arg
-      $ steps_arg $ oracle_arg $ reduce_arg $ inject_arg $ out_arg $ list_arg)
+      $ steps_arg $ oracle_arg $ reduce_arg $ inject_arg $ out_arg
+      $ metrics_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

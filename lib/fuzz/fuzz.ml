@@ -48,7 +48,7 @@ let case_rngs ~seed ~case =
   let stim_rng = Prng.split !case_rng in
   (gen_rng, stim_rng)
 
-let run config =
+let run ?metrics config =
   let coverage = Hashtbl.create 16 in
   let bump name =
     Hashtbl.replace coverage name
@@ -76,7 +76,10 @@ let run config =
     List.iter
       (fun kind ->
          bump_tbl runs kind;
-         match Oracle.run ~inject_bug:config.inject_bug kind recipe stimulus with
+         match
+           Oracle.run ~inject_bug:config.inject_bug ?metrics kind recipe
+             stimulus
+         with
          | Oracle.Pass -> ()
          | Oracle.Fail message ->
            bump_tbl fails kind;

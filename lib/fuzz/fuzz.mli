@@ -37,7 +37,9 @@ type outcome = {
   failures : failure list;
 }
 
-val run : config -> outcome
+(** [run ?metrics config] — [metrics], when a live registry, collects
+    campaign-wide batch-kernel instruments (see {!Oracle.run}). *)
+val run : ?metrics:Jhdl_metrics.Metrics.t -> config -> outcome
 
 val total_failures : outcome -> int
 

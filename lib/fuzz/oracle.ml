@@ -19,12 +19,15 @@ type kind =
   | Netlist_rt
   | Lint_clean
   | Estimate_mono
+  | Batch_equiv
 
 type verdict =
   | Pass
   | Fail of string
 
-let all = [ Sim_vs_ref; Snapshot_rt; Netlist_rt; Lint_clean; Estimate_mono ]
+let all =
+  [ Sim_vs_ref; Snapshot_rt; Netlist_rt; Lint_clean; Estimate_mono;
+    Batch_equiv ]
 
 let kind_to_string = function
   | Sim_vs_ref -> "sim-vs-ref"
@@ -32,6 +35,7 @@ let kind_to_string = function
   | Netlist_rt -> "netlist"
   | Lint_clean -> "lint"
   | Estimate_mono -> "estimate"
+  | Batch_equiv -> "batch"
 
 let kind_of_string = function
   | "sim-vs-ref" | "sim" -> Some Sim_vs_ref
@@ -39,6 +43,7 @@ let kind_of_string = function
   | "netlist" -> Some Netlist_rt
   | "lint" -> Some Lint_clean
   | "estimate" -> Some Estimate_mono
+  | "batch" -> Some Batch_equiv
   | _ -> None
 
 exception Divergence of string
@@ -323,15 +328,144 @@ let estimate_mono recipe =
   ignore (Estimate.of_design built.Recipe.design)
 
 (* ------------------------------------------------------------------ *)
+(* Batch_equiv                                                         *)
 
-let run ?(inject_bug = false) kind recipe stim =
+module Metrics = Jhdl_metrics.Metrics
+module Batch = Jhdl_sim.Simulator.Batch
+
+let lane_stimulus stim ~lane =
+  let steps = stim.Stimulus.steps in
+  let n = Array.length steps in
+  if lane = 0 || n = 0 then stim
+  else
+    { Stimulus.steps =
+        Array.init n (fun s ->
+          let row = steps.((s + lane) mod n) in
+          let w = Array.length row in
+          if w = 0 then [||]
+          else Array.init w (fun k -> row.((k + lane) mod w))) }
+
+(* Campaign-wide batch instruments, minted once per registry (duplicate
+   instrument names on a live registry raise): the per-sim counters of
+   every short-lived batch kernel aggregate into one set following the
+   [Batch.register_metrics] naming. *)
+type batch_instruments = {
+  bi_registry : Metrics.t;
+  bi_lanes : int ref;
+  bi_cases : Metrics.counter;
+  bi_lane_steps : Metrics.counter;
+  bi_evals : Metrics.counter;
+  bi_events : Metrics.counter;
+  bi_hist : Metrics.histogram;
+}
+
+let bi_cache = ref None
+
+let batch_instruments registry =
+  match !bi_cache with
+  | Some bi when bi.bi_registry == registry -> bi
+  | _ ->
+    let bi_lanes = ref 0 in
+    Metrics.probe registry "lanes_active" (fun () -> !bi_lanes);
+    let bi =
+      { bi_registry = registry;
+        bi_lanes;
+        bi_cases = Metrics.counter registry "batch_cases_total";
+        bi_lane_steps = Metrics.counter registry "batch_lane_steps_total";
+        bi_evals = Metrics.counter registry "batch_settle_evals_total";
+        bi_events = Metrics.counter registry "batch_net_events_total";
+        bi_hist = Metrics.histogram registry "words_per_settle" }
+    in
+    bi_cache := Some bi;
+    bi
+
+(* One batch kernel carrying [max_lanes] testbenches against as many
+   scalar golden-model runs: every output port of every lane after
+   every settle and every edge, shared cycle counter, then per-lane
+   extraction — each lane's snapshot blob must be byte-identical to its
+   reference's. Lane stimulus derives from the generated one by the
+   deterministic [lane_stimulus] rotation. *)
+let batch_equiv ?metrics recipe stim =
+  let built = Recipe.build recipe in
+  let clock = built.Recipe.clock in
+  let lanes = Batch.max_lanes in
+  let batch = Batch.create ?clock ~lanes built.Recipe.design in
+  let bi =
+    match metrics with
+    | Some reg when not (Metrics.is_nil reg) -> Some (batch_instruments reg)
+    | _ -> None
+  in
+  (match bi with
+   | Some bi ->
+     bi.bi_lanes := lanes;
+     Metrics.incr bi.bi_cases;
+     Batch.attach_settle_histogram batch bi.bi_hist
+   | None -> ());
+  let refs =
+    Array.init lanes (fun _ -> Reference.create ?clock built.Recipe.design)
+  in
+  let stims = Array.init lanes (fun l -> lane_stimulus stim ~lane:l) in
+  let check_lanes ctx =
+    for l = 0 to lanes - 1 do
+      List.iter
+        (fun port ->
+           let a = Batch.get_port batch ~lane:l port
+           and b = Reference.get_port refs.(l) port in
+           if not (Bits.equal a b) then
+             divergef "%s: lane %d port %s: batch=%s reference=%s" ctx l port
+               (Bits.to_string a) (Bits.to_string b))
+        built.Recipe.output_ports
+    done
+  in
+  check_lanes "initial";
+  let n_steps = Array.length stim.Stimulus.steps in
+  for step = 0 to n_steps - 1 do
+    for l = 0 to lanes - 1 do
+      let row = stims.(l).Stimulus.steps.(step) in
+      Batch.set_inputs batch ~lane:l (assignments built row);
+      List.iter
+        (fun (p, v) -> Reference.set_input refs.(l) p v)
+        (assignments built row)
+    done;
+    check_lanes (Printf.sprintf "step %d, after inputs" step);
+    Batch.cycle batch;
+    Array.iter (fun r -> Reference.cycle r) refs;
+    check_lanes (Printf.sprintf "step %d, after cycle" step)
+  done;
+  Array.iteri
+    (fun l r ->
+       if Reference.cycle_count r <> Batch.cycle_count batch then
+         divergef "lane %d cycle counters: batch=%d reference=%d" l
+           (Batch.cycle_count batch) (Reference.cycle_count r))
+    refs;
+  for l = 0 to lanes - 1 do
+    let blob_b = Batch.snapshot_lane batch ~lane:l in
+    let blob_r = Reference.snapshot refs.(l) in
+    if not (String.equal blob_b blob_r) then
+      divergef "lane %d snapshot differs from its reference (%d vs %d bytes)"
+        l (String.length blob_b) (String.length blob_r)
+  done;
+  Batch.reset batch;
+  Array.iter Reference.reset refs;
+  check_lanes "after reset";
+  match bi with
+  | Some bi ->
+    Metrics.add bi.bi_lane_steps (lanes * n_steps);
+    Metrics.add bi.bi_evals (Batch.eval_count batch);
+    Metrics.add bi.bi_events (Batch.event_count batch)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(inject_bug = false) ?metrics kind recipe stim =
   try
     (match kind with
      | Sim_vs_ref -> sim_vs_ref ~inject_bug recipe stim
      | Snapshot_rt -> snapshot_rt recipe stim
      | Netlist_rt -> netlist_rt recipe
      | Lint_clean -> lint_clean recipe
-     | Estimate_mono -> estimate_mono recipe);
+     | Estimate_mono -> estimate_mono recipe
+     | Batch_equiv -> batch_equiv ?metrics recipe stim);
     Pass
   with
   | Divergence m -> Fail m

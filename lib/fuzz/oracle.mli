@@ -23,6 +23,13 @@
     - [Estimate_mono] — area estimates over recipe prefixes: adding
       entries never shrinks any resource count (LUTs, FFs, carry muxes,
       RAM sites, slices), and the full combined estimate succeeds.
+    - [Batch_equiv] — one bit-parallel {!Jhdl_sim.Simulator.Batch}
+      kernel carrying 63 stimulus lanes (derived from the generated
+      stimulus by {!lane_stimulus}) against 63 scalar golden-model
+      runs: every output port of every lane after every settle and
+      every clock edge, the shared cycle counter, a per-lane
+      {!Jhdl_sim.Simulator.Batch.snapshot_lane} blob byte-identical to
+      the reference's snapshot, and agreement again after reset.
 
     [inject_bug] simulates a kernel defect behind a flag (any design
     containing a MULT_AND is reported divergent by [Sim_vs_ref]) so the
@@ -34,15 +41,33 @@ type kind =
   | Netlist_rt
   | Lint_clean
   | Estimate_mono
+  | Batch_equiv
 
 type verdict =
   | Pass
   | Fail of string
 
-(** All five oracles, in fixed order. *)
+(** All six oracles, in fixed order. *)
 val all : kind list
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
 
-val run : ?inject_bug:bool -> kind -> Recipe.t -> Stimulus.t -> verdict
+(** [lane_stimulus stim ~lane] — the deterministic per-lane variation
+    [Batch_equiv] drives: lane [l] takes, at step [s] for input [k],
+    the base value at step [(s+l) mod steps], input [(k+l) mod inputs].
+    63 distinct-but-reproducible testbenches from one generated
+    stimulus, no extra RNG draws — and reducing the base stimulus
+    reduces every lane with it. Lane 0 is the base stimulus itself. *)
+val lane_stimulus : Stimulus.t -> lane:int -> Stimulus.t
+
+(** [run ?inject_bug ?metrics kind recipe stim] — [metrics], when a
+    live registry, aggregates batch-kernel instruments across every
+    [Batch_equiv] case run under it ([lanes_active],
+    [batch_cases_total], [batch_lane_steps_total],
+    [batch_settle_evals_total], [batch_net_events_total] and the
+    [words_per_settle] histogram). *)
+val run :
+  ?inject_bug:bool ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  kind -> Recipe.t -> Stimulus.t -> verdict

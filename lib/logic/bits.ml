@@ -98,6 +98,24 @@ let to_codes v =
 let of_codes b =
   init (Bytes.length b) (fun i -> Bit.of_code (Char.code (Bytes.get b i)))
 
+let to_planes v =
+  let n = Array.length v in
+  if n > 63 then
+    invalid_arg (Printf.sprintf "Bits.to_planes: width %d exceeds 63" n);
+  let p0 = ref 0 and p1 = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Bit.to_code (Array.unsafe_get v i) in
+    p0 := !p0 lor ((c land 1) lsl i);
+    p1 := !p1 lor ((c lsr 1) lsl i)
+  done;
+  (!p0, !p1)
+
+let of_planes ~width p0 p1 =
+  if width < 0 || width > 63 then
+    invalid_arg (Printf.sprintf "Bits.of_planes: width %d out of 0..63" width);
+  init width (fun i ->
+    Bit.of_code (((p0 lsr i) land 1) lor (((p1 lsr i) land 1) lsl 1)))
+
 let slice v ~lo ~hi =
   if lo < 0 || hi >= Array.length v || lo > hi then
     invalid_arg

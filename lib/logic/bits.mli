@@ -66,6 +66,18 @@ val is_fully_defined : t -> bool
 val to_codes : t -> Bytes.t
 val of_codes : Bytes.t -> t
 
+(** {1 Packed plane view}
+
+    Exchange format with bit-parallel simulation kernels: the vector's
+    codes split into two machine-word planes, bit [i] of the first
+    (resp. second) word holding bit 0 (resp. bit 1) of
+    [Bit.to_code v.(i)] — so Zero=(0,0), One=(1,0), X=(0,1), Z=(1,1).
+    Widths are limited to 63 bits (one OCaml [int] per plane);
+    [to_planes] and [of_planes] raise [Invalid_argument] beyond that. *)
+
+val to_planes : t -> int * int
+val of_planes : width:int -> int -> int -> t
+
 (** [slice v ~lo ~hi] is bits [lo..hi] inclusive, LSB at [lo]. *)
 val slice : t -> lo:int -> hi:int -> t
 

@@ -1,0 +1,1011 @@
+(* Bit-parallel batch kernel: 63 testbench lanes per machine word.
+
+   Same compilation scheme as [Simulator] — dense net renumbering, CSR
+   fan-out, per-level dirty buckets drained in ascending level order —
+   but the per-net state is a pair of bit-plane words instead of one
+   code byte: bit [l] of plane 0 / plane 1 holds bit 0 / bit 1 of lane
+   [l]'s 2-bit code (Zero=00, One=01(+0), X=10, Z=11 in plane order
+   (p1,p0)). A node evaluation is then a handful of word-wise bitwise
+   operations covering every lane at once:
+
+   - INV/BUF/MULT_AND/XORCY are direct boolean-algebra translations of
+     the scalar code tables;
+   - MUXCY and the FF next-state chain use a word-wise [Bit.mux]
+     ([mux4] below);
+   - LUT1-4 build the 2^k per-lane address-possibility products with a
+     doubling tree over per-input could-be-0/could-be-1 words, then OR
+     the products into "can produce 0"/"can produce 1" accumulators:
+     exactly the scalar subset walk, all lanes at once;
+   - SRL16/RAM16X1 reads run the same product tree over the 4 address
+     bits, with an exact pass-through path (Z included) for lanes whose
+     address is fully defined;
+   - FF/SRL/RAM sequential state lives in per-node plane words with the
+     same two-phase compute/commit step as the scalar kernel.
+
+   Evaluation is change-tracked per word: a write marks consumers when
+   any lane changed, and re-evaluating an unchanged lane reproduces the
+   same value (node outputs are pure functions of the store), so lanes
+   are bit-identical to scalar [Simulator]/[Reference] runs — the fuzz
+   [batch] oracle and the qcheck lane suite pin this.
+
+   The hot loops allocate nothing: plane words are immediates, the mux
+   scratch and the product tree live on the sim record, and local
+   accumulators are unboxed refs. *)
+
+open Jhdl_circuit.Types
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+module Lut_init = Jhdl_logic.Lut_init
+module Prim = Jhdl_circuit.Prim
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Levelize = Jhdl_circuit.Levelize
+
+exception Combinational_cycle of string list
+
+let max_lanes = 63
+
+(* ------------------------------------------------------------------ *)
+(* Plane store: two words per dense net, CSR fan-out, level buckets.   *)
+
+type store = {
+  p0 : int array; (* plane 0 (code bit 0) per dense net *)
+  p1 : int array; (* plane 1 (code bit 1) per dense net *)
+  mask : int; (* low [lanes] bits set *)
+  row : int array; (* CSR offsets, length n_nets + 1 *)
+  col : int array; (* consumer node ranks *)
+  level_of : int array; (* per rank *)
+  dirty : Bytes.t; (* per-rank pending flag *)
+  level_pending : int array; (* dirty count per level *)
+  mutable pending_total : int;
+  mutable stat_evals : int; (* word-wise node evaluations *)
+  mutable stat_changes : int; (* plane writes that stuck *)
+}
+
+(* mux/product scratch shared by every closure of one sim; results land
+   in [m0]/[m1] because returning a tuple would allocate *)
+type scratch = {
+  mutable m0 : int;
+  mutable m1 : int;
+  prod : int array; (* 2^k address products, k <= 6 *)
+}
+
+let mark st rank =
+  if Bytes.unsafe_get st.dirty rank = '\000' then begin
+    Bytes.unsafe_set st.dirty rank '\001';
+    let lv = Array.unsafe_get st.level_of rank in
+    st.level_pending.(lv) <- st.level_pending.(lv) + 1;
+    st.pending_total <- st.pending_total + 1
+  end
+
+(* change-tracked plane write: any changed lane marks the net's CSR
+   consumers dirty (re-evaluating unchanged lanes is idempotent) *)
+let write st idx n0 n1 =
+  if
+    Array.unsafe_get st.p0 idx <> n0 || Array.unsafe_get st.p1 idx <> n1
+  then begin
+    Array.unsafe_set st.p0 idx n0;
+    Array.unsafe_set st.p1 idx n1;
+    st.stat_changes <- st.stat_changes + 1;
+    for k = st.row.(idx) to st.row.(idx + 1) - 1 do
+      mark st st.col.(k)
+    done
+  end
+
+(* word-wise Bit.mux: per lane [a] when sel=0, [b] when sel=1, else X
+   unless a and b agree on a defined value *)
+let mux4 sc mask s0 s1 a0 a1 b0 b1 =
+  let zs = lnot s0 land lnot s1 in
+  let os = s0 land lnot s1 in
+  let su = mask land lnot (zs lor os) in
+  let eq = lnot (a0 lxor b0) land lnot a1 land lnot b1 in
+  sc.m0 <- (zs land a0) lor (os land b0) lor (su land eq land a0);
+  sc.m1 <- (zs land a1) lor (os land b1) lor (su land lnot eq)
+
+(* Fill sc.prod.(0 .. 2^k-1) with the per-lane address-possibility
+   products over inputs [addrs]: bit [l] of prod.(j) is set when lane
+   [l]'s address can resolve to [j] — exactly one j for a fully defined
+   address, every j matching the defined bits otherwise (X and Z
+   address bits are both "unknown", as in the scalar [gather]). The
+   tree descends so slot writes never clobber unread parents, and
+   inputs are folded high-to-low so table bit [i] of [j] corresponds to
+   input [i]. [root] restricts all products to a lane subset. *)
+let build_products sc st addrs k root =
+  let prod = sc.prod in
+  Array.unsafe_set prod 0 root;
+  let width = ref 1 in
+  for i = k - 1 downto 0 do
+    let idx = Array.unsafe_get addrs i in
+    let v0 = Array.unsafe_get st.p0 idx
+    and v1 = Array.unsafe_get st.p1 idx in
+    let hi = v0 lor v1 and lo = lnot v0 lor v1 in
+    for j = !width - 1 downto 0 do
+      let t = Array.unsafe_get prod j in
+      Array.unsafe_set prod (2 * j) (t land lo);
+      Array.unsafe_set prod ((2 * j) + 1) (t land hi)
+    done;
+    width := !width * 2
+  done
+
+(* SRL16/RAM16X1 read port: one product tree over the 4 address bits,
+   then an exact pass-through path (X and Z cells included) for lanes
+   whose address is fully defined, and a reachable-cell possibility
+   analysis for the rest — mirroring the scalar [mem_code] base lookup
+   plus unknown-subset walk, all lanes at once. *)
+let mem_read_eval sc st a c0 c1 o () =
+  let mask = st.mask in
+  let au =
+    Array.unsafe_get st.p1 (Array.unsafe_get a 0)
+    lor Array.unsafe_get st.p1 (Array.unsafe_get a 1)
+    lor Array.unsafe_get st.p1 (Array.unsafe_get a 2)
+    lor Array.unsafe_get st.p1 (Array.unsafe_get a 3)
+  in
+  let da = mask land lnot au in
+  build_products sc st a 4 mask;
+  let ones = ref 0 and zeros = ref 0 and undef = ref 0 and zeds = ref 0 in
+  for j = 0 to 15 do
+    let p = Array.unsafe_get sc.prod j in
+    let v0 = Array.unsafe_get c0 j and v1 = Array.unsafe_get c1 j in
+    let pv0 = p land v0 and pv1 = p land v1 in
+    ones := !ones lor (pv0 land lnot v1);
+    zeros := !zeros lor (p land lnot (v0 lor v1));
+    undef := !undef lor pv1;
+    zeds := !zeds lor (pv0 land v1)
+  done;
+  (* defined address: exactly one hot product selects the cell, whose
+     code passes through untouched *)
+  let r0d = da land (!ones lor !zeds) and r1d = da land !undef in
+  (* unknown address: a defined result needs every reachable cell to
+     agree on that one defined value (X/Z cells spoil it via [undef]) *)
+  let u1 = au land !ones land lnot !zeros land lnot !undef in
+  let u0 = au land !zeros land lnot !ones land lnot !undef in
+  write st o (r0d lor u1) (r1d lor (au land lnot (u0 lor u1)))
+
+(* ------------------------------------------------------------------ *)
+(* Sequential nodes: per-lane state in plane words (FF) or plane-word
+   arrays (SRL/RAM cells), with preallocated next-state buffers.       *)
+
+type ff_node = {
+  ff_rank : int;
+  ff_d : int;
+  ff_ce : int; (* dense net index, -1 when the pin is absent *)
+  ff_clr : int;
+  ff_r : int;
+  mutable ff_cur0 : int;
+  mutable ff_cur1 : int;
+  mutable ff_next0 : int;
+  mutable ff_next1 : int;
+  ff_init : int; (* 2-bit code *)
+}
+
+type srl_node = {
+  srl_rank : int;
+  srl_d : int;
+  srl_ce : int;
+  srl_c0 : int array; (* 16 taps, plane words *)
+  srl_c1 : int array;
+  srl_n0 : int array;
+  srl_n1 : int array;
+  srl_init : int; (* 16 init bits *)
+}
+
+type ram_node = {
+  ram_rank : int;
+  ram_d : int;
+  ram_we : int;
+  ram_a : int array;
+  ram_c0 : int array; (* 16 cells, plane words *)
+  ram_c1 : int array;
+  ram_n0 : int array;
+  ram_n1 : int array;
+  ram_init : int;
+}
+
+type snode =
+  | S_ff of ff_node
+  | S_srl of srl_node
+  | S_ram of ram_node
+
+(* precompiled input-port target: dense index per bit, or the error a
+   forced write must raise (output direction, driven net) *)
+type force_target = {
+  ft_idx : int array;
+  ft_reject : string option;
+}
+
+type t = {
+  sim_design : Design.t;
+  net_idx : (int, int) Hashtbl.t; (* net_id -> dense index *)
+  st : store;
+  sc : scratch;
+  n_lanes : int;
+  eval : (unit -> unit) array; (* compiled per-node evaluators, by rank *)
+  level_lo : int array; (* first rank of each level *)
+  depth : int;
+  seq_all : snode array;
+  seq_clocked : snode array;
+  seq_by_path : (string, snode) Hashtbl.t;
+  in_targets : (string, force_target) Hashtbl.t;
+  out_ports : (string * int array) list; (* declaration order *)
+  mutable cycles : int;
+  mutable words_hist : Jhdl_metrics.Metrics.histogram option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Settle.                                                             *)
+
+let observe_settle b words =
+  match b.words_hist with
+  | None -> ()
+  | Some h -> Jhdl_metrics.Metrics.observe h words
+
+let propagate_full b =
+  let eval = b.eval in
+  for r = 0 to Array.length eval - 1 do
+    (Array.unsafe_get eval r) ()
+  done;
+  b.st.stat_evals <- b.st.stat_evals + Array.length eval;
+  Bytes.fill b.st.dirty 0 (Bytes.length b.st.dirty) '\000';
+  Array.fill b.st.level_pending 0 (Array.length b.st.level_pending) 0;
+  b.st.pending_total <- 0;
+  observe_settle b (Array.length eval)
+
+(* drain dirty levels in ascending order: combinational edges strictly
+   increase level, so one sweep reaches the all-lane fixpoint *)
+let propagate b =
+  let st = b.st in
+  if st.pending_total > 0 then begin
+    let before = st.stat_evals in
+    for lv = 0 to b.depth do
+      let cnt = st.level_pending.(lv) in
+      if cnt > 0 then begin
+        st.level_pending.(lv) <- 0;
+        st.pending_total <- st.pending_total - cnt;
+        st.stat_evals <- st.stat_evals + cnt;
+        let left = ref cnt in
+        let r = ref b.level_lo.(lv) in
+        while !left > 0 do
+          if Bytes.unsafe_get st.dirty !r <> '\000' then begin
+            Bytes.unsafe_set st.dirty !r '\000';
+            decr left;
+            (Array.unsafe_get b.eval !r) ()
+          end;
+          incr r
+        done
+      end
+    done;
+    observe_settle b (st.stat_evals - before)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase clock step (identical structure to the scalar kernel).    *)
+
+let compute_snode st sc = function
+  | S_ff f ->
+    let mask = st.mask in
+    let d0 = Array.unsafe_get st.p0 f.ff_d
+    and d1 = Array.unsafe_get st.p1 f.ff_d in
+    let ce0 = if f.ff_ce >= 0 then Array.unsafe_get st.p0 f.ff_ce else mask
+    and ce1 = if f.ff_ce >= 0 then Array.unsafe_get st.p1 f.ff_ce else 0 in
+    let clr0 = if f.ff_clr >= 0 then Array.unsafe_get st.p0 f.ff_clr else 0
+    and clr1 = if f.ff_clr >= 0 then Array.unsafe_get st.p1 f.ff_clr else 0 in
+    let r0 = if f.ff_r >= 0 then Array.unsafe_get st.p0 f.ff_r else 0
+    and r1 = if f.ff_r >= 0 then Array.unsafe_get st.p1 f.ff_r else 0 in
+    (* loaded = mux(R, D, 0); held = mux(CE, cur, loaded);
+       next = mux(CLR, held, 0) — each branch matches the scalar
+       [compute_snode] case analysis, CLR-unknown agreement included *)
+    mux4 sc mask r0 r1 d0 d1 0 0;
+    let l0 = sc.m0 and l1 = sc.m1 in
+    mux4 sc mask ce0 ce1 f.ff_cur0 f.ff_cur1 l0 l1;
+    let h0 = sc.m0 and h1 = sc.m1 in
+    mux4 sc mask clr0 clr1 h0 h1 0 0;
+    f.ff_next0 <- sc.m0;
+    f.ff_next1 <- sc.m1
+  | S_srl s ->
+    let mask = st.mask in
+    let ce0 = Array.unsafe_get st.p0 s.srl_ce
+    and ce1 = Array.unsafe_get st.p1 s.srl_ce in
+    let c0 = s.srl_c0 and c1 = s.srl_c1 in
+    (* per tap: next = mux(CE, cur, shifted) — hold when CE=0, shift
+       when CE=1, CE-unknown keeps a tap only where shifting would not
+       change a defined value (the scalar rule) *)
+    for i = 0 to 15 do
+      let sh0 =
+        if i = 0 then Array.unsafe_get st.p0 s.srl_d
+        else Array.unsafe_get c0 (i - 1)
+      and sh1 =
+        if i = 0 then Array.unsafe_get st.p1 s.srl_d
+        else Array.unsafe_get c1 (i - 1)
+      in
+      mux4 sc mask ce0 ce1 (Array.unsafe_get c0 i) (Array.unsafe_get c1 i)
+        sh0 sh1;
+      Array.unsafe_set s.srl_n0 i sc.m0;
+      Array.unsafe_set s.srl_n1 i sc.m1
+    done
+  | S_ram m ->
+    let mask = st.mask in
+    let we0 = Array.unsafe_get st.p0 m.ram_we
+    and we1 = Array.unsafe_get st.p1 m.ram_we in
+    let we_one = we0 land lnot we1 in
+    let a = m.ram_a in
+    let au =
+      Array.unsafe_get st.p1 (Array.unsafe_get a 0)
+      lor Array.unsafe_get st.p1 (Array.unsafe_get a 1)
+      lor Array.unsafe_get st.p1 (Array.unsafe_get a 2)
+      lor Array.unsafe_get st.p1 (Array.unsafe_get a 3)
+    in
+    (* WE unknown, or WE=1 at an unknown address: every cell of the
+       lane goes X; WE=1 at a defined address writes D (X/Z included)
+       to the decoded cell; WE=0 holds *)
+    let clobber = we1 lor (we_one land au) in
+    let wen = we_one land lnot au land mask in
+    build_products sc st a 4 wen;
+    let d0 = Array.unsafe_get st.p0 m.ram_d
+    and d1 = Array.unsafe_get st.p1 m.ram_d in
+    let prod = sc.prod in
+    for j = 0 to 15 do
+      let w = Array.unsafe_get prod j in
+      let keep = lnot (w lor clobber) in
+      Array.unsafe_set m.ram_n0 j
+        ((w land d0) lor (keep land Array.unsafe_get m.ram_c0 j));
+      Array.unsafe_set m.ram_n1 j
+        ((w land d1) lor clobber
+        lor (keep land Array.unsafe_get m.ram_c1 j))
+    done
+
+let commit_snode st = function
+  | S_ff f ->
+    if f.ff_cur0 <> f.ff_next0 || f.ff_cur1 <> f.ff_next1 then begin
+      f.ff_cur0 <- f.ff_next0;
+      f.ff_cur1 <- f.ff_next1;
+      mark st f.ff_rank
+    end
+  | S_srl s ->
+    let changed = ref false in
+    for i = 0 to 15 do
+      if
+        Array.unsafe_get s.srl_c0 i <> Array.unsafe_get s.srl_n0 i
+        || Array.unsafe_get s.srl_c1 i <> Array.unsafe_get s.srl_n1 i
+      then begin
+        changed := true;
+        Array.unsafe_set s.srl_c0 i (Array.unsafe_get s.srl_n0 i);
+        Array.unsafe_set s.srl_c1 i (Array.unsafe_get s.srl_n1 i)
+      end
+    done;
+    if !changed then mark st s.srl_rank
+  | S_ram m ->
+    let changed = ref false in
+    for i = 0 to 15 do
+      if
+        Array.unsafe_get m.ram_c0 i <> Array.unsafe_get m.ram_n0 i
+        || Array.unsafe_get m.ram_c1 i <> Array.unsafe_get m.ram_n1 i
+      then begin
+        changed := true;
+        Array.unsafe_set m.ram_c0 i (Array.unsafe_get m.ram_n0 i);
+        Array.unsafe_set m.ram_c1 i (Array.unsafe_get m.ram_n1 i)
+      end
+    done;
+    if !changed then mark st m.ram_rank
+
+(* ------------------------------------------------------------------ *)
+(* Compilation (mirrors [Simulator.create]).                           *)
+
+type proto = Levelize.source = {
+  inst : cell;
+  prim : Prim.t;
+  in_ports : (string * net array) list;
+  out_ports : (string * net array) list;
+}
+
+let make_proto inst =
+  match Levelize.source_of inst with
+  | None -> assert false
+  | Some s -> s
+
+let levelize nodes =
+  let kahn, kahn_levels, max_level =
+    try Levelize.levelize nodes
+    with Levelize.Cycle cells ->
+      raise (Combinational_cycle (List.map Cell.path cells))
+  in
+  let tagged = Array.mapi (fun i node -> (kahn_levels.(i), i, node)) kahn in
+  Array.sort
+    (fun (l1, i1, _) (l2, i2, _) ->
+       if l1 <> l2 then Int.compare l1 l2 else Int.compare i1 i2)
+    tagged;
+  let order = Array.map (fun (_, _, n) -> n) tagged in
+  let level_of = Array.map (fun (l, _, _) -> l) tagged in
+  (order, level_of, max_level)
+
+let port_idx ports name =
+  match List.assoc_opt name ports with
+  | Some arr -> arr
+  | None -> invalid_arg (Printf.sprintf "Simulator.Batch: no port %s" name)
+
+(* plane words of a broadcast 2-bit code *)
+let bcast0 mask c = if c land 1 = 1 then mask else 0
+let bcast1 mask c = if c land 2 = 2 then mask else 0
+
+let create ?clock ~lanes design =
+  if lanes < 1 || lanes > max_lanes then
+    invalid_arg
+      (Printf.sprintf
+         "Simulator.Batch.create: lanes must be within 1..%d (got %d)"
+         max_lanes lanes);
+  List.iter
+    (fun inst ->
+       match Cell.prim_of inst with
+       | Some (Prim.Black_box { model_name; _ }) ->
+         invalid_arg
+           (Printf.sprintf
+              "Simulator.Batch.create: behavioural black box %s (%s) cannot \
+               be lane-packed; use the scalar Simulator"
+              (Cell.path inst) model_name)
+       | _ -> ())
+    (Design.all_prims design);
+  (match
+     List.filter
+       (function Design.Combinational_loop _ -> false | _ -> true)
+       (Design.errors design)
+   with
+   | [] -> ()
+   | violation :: _ ->
+     invalid_arg
+       (Format.asprintf "Simulator.Batch.create: design-rule error: %a"
+          Design.pp_violation violation));
+  let clock_nets =
+    match clock with
+    | None -> None
+    | Some w ->
+      if Wire.width w <> 1 then
+        invalid_arg "Simulator.Batch.create: clock wire must be 1 bit wide";
+      let table = Hashtbl.create 4 in
+      Array.iter (fun n -> Hashtbl.replace table n.net_id ()) (Wire.nets w);
+      Some table
+  in
+  let mask = if lanes = max_lanes then -1 else (1 lsl lanes) - 1 in
+  let protos = List.map make_proto (Design.all_prims design) in
+  let order, level_of, depth = levelize protos in
+  let n_ranks = Array.length order in
+  let net_idx = Hashtbl.create 1024 in
+  let n_nets = ref 0 in
+  let index_net n =
+    if not (Hashtbl.mem net_idx n.net_id) then begin
+      Hashtbl.add net_idx n.net_id !n_nets;
+      incr n_nets
+    end
+  in
+  List.iter index_net (Design.all_nets design);
+  Array.iter
+    (fun p ->
+       List.iter (fun (_, nets) -> Array.iter index_net nets) p.in_ports;
+       List.iter (fun (_, nets) -> Array.iter index_net nets) p.out_ports)
+    order;
+  let n_nets = !n_nets in
+  let row = Array.make (n_nets + 1) 0 in
+  let iter_comb_nets p f =
+    List.iter
+      (fun port ->
+         match List.assoc_opt port p.in_ports with
+         | None -> ()
+         | Some nets ->
+           Array.iter (fun n -> f (Hashtbl.find net_idx n.net_id)) nets)
+      (Levelize.comb_inputs p)
+  in
+  Array.iter
+    (fun p -> iter_comb_nets p (fun idx -> row.(idx + 1) <- row.(idx + 1) + 1))
+    order;
+  for i = 1 to n_nets do
+    row.(i) <- row.(i) + row.(i - 1)
+  done;
+  let col = Array.make row.(n_nets) 0 in
+  let cursor = Array.sub row 0 n_nets in
+  Array.iteri
+    (fun rank p ->
+       iter_comb_nets p (fun idx ->
+         col.(cursor.(idx)) <- rank;
+         cursor.(idx) <- cursor.(idx) + 1))
+    order;
+  let level_lo = Array.make (depth + 1) n_ranks in
+  for r = n_ranks - 1 downto 0 do
+    level_lo.(level_of.(r)) <- r
+  done;
+  let st =
+    { p0 = Array.make n_nets 0;
+      p1 = Array.make n_nets mask (* everything starts X in every lane *);
+      mask;
+      row;
+      col;
+      level_of;
+      dirty = Bytes.make n_ranks '\000';
+      level_pending = Array.make (depth + 1) 0;
+      pending_total = 0;
+      stat_evals = 0;
+      stat_changes = 0 }
+  in
+  let sc = { m0 = 0; m1 = 0; prod = Array.make 64 0 } in
+  let in_domain p =
+    match clock_nets with
+    | None -> true
+    | Some table ->
+      (match Prim.clock_port p.prim with
+       | None -> true
+       | Some port ->
+         (match List.assoc_opt port p.in_ports with
+          | None -> false
+          | Some nets ->
+            Array.exists (fun n -> Hashtbl.mem table n.net_id) nets))
+  in
+  let eval = Array.make n_ranks (fun () -> ()) in
+  let seq_all = ref [] and seq_clocked = ref [] in
+  let seq_by_path = Hashtbl.create 64 in
+  Array.iteri
+    (fun rank p ->
+       let add_seq sn clocked =
+         seq_all := sn :: !seq_all;
+         Hashtbl.replace seq_by_path (Cell.path p.inst) sn;
+         if clocked then seq_clocked := sn :: !seq_clocked
+       in
+       let ins =
+         List.map
+           (fun (name, nets) ->
+              (name, Array.map (fun n -> Hashtbl.find net_idx n.net_id) nets))
+           p.in_ports
+       and outs =
+         List.map
+           (fun (name, nets) ->
+              (name, Array.map (fun n -> Hashtbl.find net_idx n.net_id) nets))
+           p.out_ports
+       in
+       let p1 ports name = (port_idx ports name).(0) in
+       match p.prim with
+       | Prim.Lut init ->
+         let k = Lut_init.inputs init in
+         let table = Lut_init.to_int init in
+         let addrs = Array.init k (fun i -> p1 ins (Printf.sprintf "I%d" i)) in
+         let o = p1 outs "O" in
+         let n_addr = 1 lsl k in
+         eval.(rank) <-
+           (fun () ->
+              build_products sc st addrs k mask;
+              (* possibility sets: can0/can1 collect the lanes that can
+                 reach a 0/1 table bit; both reachable = X, exactly the
+                 scalar unknown-subset walk *)
+              let can0 = ref 0 and can1 = ref 0 in
+              for j = 0 to n_addr - 1 do
+                let pr = Array.unsafe_get sc.prod j in
+                if (table lsr j) land 1 = 1 then can1 := !can1 lor pr
+                else can0 := !can0 lor pr
+              done;
+              write st o (!can1 land lnot !can0) (!can1 land !can0))
+       | Prim.Ff { clock_enable; async_clear; sync_reset; init } ->
+         let c = Bit.to_code init in
+         let f =
+           { ff_rank = rank;
+             ff_d = p1 ins "D";
+             ff_ce = (if clock_enable then p1 ins "CE" else -1);
+             ff_clr = (if async_clear then p1 ins "CLR" else -1);
+             ff_r = (if sync_reset then p1 ins "R" else -1);
+             ff_cur0 = bcast0 mask c;
+             ff_cur1 = bcast1 mask c;
+             ff_next0 = bcast0 mask c;
+             ff_next1 = bcast1 mask c;
+             ff_init = c }
+         in
+         let q = p1 outs "Q" in
+         eval.(rank) <-
+           (if async_clear then
+              let clr = f.ff_clr in
+              fun () ->
+                mux4 sc mask
+                  (Array.unsafe_get st.p0 clr)
+                  (Array.unsafe_get st.p1 clr)
+                  f.ff_cur0 f.ff_cur1 0 0;
+                write st q sc.m0 sc.m1
+            else fun () -> write st q f.ff_cur0 f.ff_cur1);
+         add_seq (S_ff f) (in_domain p)
+       | Prim.Muxcy ->
+         let s = p1 ins "S" and di = p1 ins "DI" and ci = p1 ins "CI" in
+         let o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () ->
+              mux4 sc mask
+                (Array.unsafe_get st.p0 s)
+                (Array.unsafe_get st.p1 s)
+                (Array.unsafe_get st.p0 di)
+                (Array.unsafe_get st.p1 di)
+                (Array.unsafe_get st.p0 ci)
+                (Array.unsafe_get st.p1 ci);
+              write st o sc.m0 sc.m1)
+       | Prim.Xorcy ->
+         let li = p1 ins "LI" and ci = p1 ins "CI" in
+         let o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () ->
+              let a1 = Array.unsafe_get st.p1 li
+              and b1 = Array.unsafe_get st.p1 ci in
+              let r1 = a1 lor b1 in
+              write st o
+                ((Array.unsafe_get st.p0 li lxor Array.unsafe_get st.p0 ci)
+                 land mask land lnot r1)
+                r1)
+       | Prim.Mult_and ->
+         let i0 = p1 ins "I0" and i1 = p1 ins "I1" in
+         let lo = p1 outs "LO" in
+         eval.(rank) <-
+           (fun () ->
+              let a0 = Array.unsafe_get st.p0 i0
+              and a1 = Array.unsafe_get st.p1 i0
+              and b0 = Array.unsafe_get st.p0 i1
+              and b1 = Array.unsafe_get st.p1 i1 in
+              let ones = a0 land lnot a1 land b0 land lnot b1 in
+              let zeros = lnot (a0 lor a1) lor lnot (b0 lor b1) in
+              write st lo ones (mask land lnot (zeros lor ones)))
+       | Prim.Srl16 { init } ->
+         let s =
+           { srl_rank = rank;
+             srl_d = p1 ins "D";
+             srl_ce = p1 ins "CE";
+             srl_c0 = Array.init 16 (fun i -> bcast0 mask ((init lsr i) land 1));
+             srl_c1 = Array.make 16 0;
+             srl_n0 = Array.make 16 0;
+             srl_n1 = Array.make 16 0;
+             srl_init = init }
+         in
+         let a = Array.init 4 (fun i -> p1 ins (Printf.sprintf "A%d" i)) in
+         let q = p1 outs "Q" in
+         let c0 = s.srl_c0 and c1 = s.srl_c1 in
+         eval.(rank) <- mem_read_eval sc st a c0 c1 q;
+         add_seq (S_srl s) (in_domain p)
+       | Prim.Ram16x1 { init } ->
+         let m =
+           { ram_rank = rank;
+             ram_d = p1 ins "D";
+             ram_we = p1 ins "WE";
+             ram_a = Array.init 4 (fun i -> p1 ins (Printf.sprintf "A%d" i));
+             ram_c0 = Array.init 16 (fun i -> bcast0 mask ((init lsr i) land 1));
+             ram_c1 = Array.make 16 0;
+             ram_n0 = Array.make 16 0;
+             ram_n1 = Array.make 16 0;
+             ram_init = init }
+         in
+         let o = p1 outs "O" in
+         eval.(rank) <- mem_read_eval sc st m.ram_a m.ram_c0 m.ram_c1 o;
+         add_seq (S_ram m) (in_domain p)
+       | Prim.Buf ->
+         let i = p1 ins "I" and o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () ->
+              write st o (Array.unsafe_get st.p0 i) (Array.unsafe_get st.p1 i))
+       | Prim.Inv ->
+         let i = p1 ins "I" and o = p1 outs "O" in
+         eval.(rank) <-
+           (fun () ->
+              let a0 = Array.unsafe_get st.p0 i
+              and a1 = Array.unsafe_get st.p1 i in
+              write st o (mask land lnot (a0 lor a1)) a1)
+       | Prim.Gnd ->
+         let g = p1 outs "G" in
+         eval.(rank) <- (fun () -> write st g 0 0)
+       | Prim.Vcc ->
+         let v = p1 outs "P" in
+         eval.(rank) <- (fun () -> write st v mask 0)
+       | Prim.Black_box _ -> assert false (* rejected above *))
+    order;
+  let in_targets = Hashtbl.create 16 in
+  List.iter
+    (fun port ->
+       let name = port.Design.port_name in
+       let nets = Wire.nets port.Design.port_wire in
+       let reject = ref None in
+       let idx =
+         Array.mapi
+           (fun i n ->
+              (match n.driver with
+               | Some term when !reject = None ->
+                 reject :=
+                   Some
+                     (Printf.sprintf
+                        "Simulator.Batch.set_input: net %s[%d] is driven by %s"
+                        (Wire.name port.Design.port_wire) i
+                        (Cell.path term.term_cell))
+               | _ -> ());
+              match Hashtbl.find_opt net_idx n.net_id with
+              | Some idx -> idx
+              | None -> -1)
+           nets
+       in
+       Hashtbl.replace in_targets name { ft_idx = idx; ft_reject = !reject })
+    (Design.inputs design);
+  let out_ports =
+    List.map
+      (fun port ->
+         ( port.Design.port_name,
+           Array.map
+             (fun n ->
+                match Hashtbl.find_opt net_idx n.net_id with
+                | Some idx -> idx
+                | None -> -1)
+             (Wire.nets port.Design.port_wire) ))
+      (Design.outputs design)
+  in
+  let b =
+    { sim_design = design;
+      net_idx;
+      st;
+      sc;
+      n_lanes = lanes;
+      eval;
+      level_lo;
+      depth;
+      seq_all = Array.of_list (List.rev !seq_all);
+      seq_clocked = Array.of_list (List.rev !seq_clocked);
+      seq_by_path;
+      in_targets;
+      out_ports;
+      cycles = 0;
+      words_hist = None }
+  in
+  propagate_full b;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Public API.                                                         *)
+
+let design b = b.sim_design
+let lanes b = b.n_lanes
+
+let check_lane b lane =
+  if lane < 0 || lane >= b.n_lanes then
+    invalid_arg
+      (Printf.sprintf "Simulator.Batch: lane %d out of range 0..%d" lane
+         (b.n_lanes - 1))
+
+(* lane-bit plane write without settling; marking is shared with the
+   word-wise [write] *)
+let write_lane st idx lane c0 c1 =
+  let bit = 1 lsl lane in
+  let o0 = Array.unsafe_get st.p0 idx
+  and o1 = Array.unsafe_get st.p1 idx in
+  let n0 = o0 land lnot bit lor (c0 land bit)
+  and n1 = o1 land lnot bit lor (c1 land bit) in
+  write st idx n0 n1
+
+let set_input b ~lane port bits =
+  check_lane b lane;
+  match Hashtbl.find_opt b.in_targets port with
+  | None ->
+    (match Design.find_port b.sim_design port with
+     | Some _ ->
+       invalid_arg
+         (Printf.sprintf "Simulator.Batch.set_input: %s is an output" port)
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Simulator.Batch.set_input: no port %s" port))
+  | Some ft ->
+    (match ft.ft_reject with
+     | Some msg -> invalid_arg msg
+     | None -> ());
+    let w = Array.length ft.ft_idx in
+    if Bits.width bits <> w then
+      invalid_arg
+        (Printf.sprintf "Simulator.Batch.set_input: %d bits for %d-bit port %s"
+           (Bits.width bits) w port);
+    let st = b.st in
+    if w <= 63 then begin
+      (* fast path: one packed-plane conversion, then per-net lane writes *)
+      let v0, v1 = Bits.to_planes bits in
+      for i = 0 to w - 1 do
+        let idx = Array.unsafe_get ft.ft_idx i in
+        if idx >= 0 then
+          write_lane st idx lane
+            (0 - ((v0 lsr i) land 1))
+            (0 - ((v1 lsr i) land 1))
+      done
+    end
+    else
+      for i = 0 to w - 1 do
+        let idx = Array.unsafe_get ft.ft_idx i in
+        if idx >= 0 then begin
+          let c = Bit.to_code (Bits.get bits i) in
+          write_lane st idx lane (0 - (c land 1)) (0 - ((c lsr 1) land 1))
+        end
+      done
+
+let set_inputs b ~lane assignments =
+  List.iter (fun (port, bits) -> set_input b ~lane port bits) assignments
+
+let lane_code st idx lane =
+  ((Array.unsafe_get st.p0 idx lsr lane) land 1)
+  lor (((Array.unsafe_get st.p1 idx lsr lane) land 1) lsl 1)
+
+let read_nets b ~lane nets =
+  Bits.init (Array.length nets) (fun i ->
+    match Hashtbl.find_opt b.net_idx nets.(i).net_id with
+    | None -> Bit.X
+    | Some idx -> Bit.of_code (lane_code b.st idx lane))
+
+let get b ~lane w =
+  check_lane b lane;
+  propagate b;
+  read_nets b ~lane (Wire.nets w)
+
+let get_port b ~lane port =
+  check_lane b lane;
+  propagate b;
+  match Design.find_port b.sim_design port with
+  | None ->
+    invalid_arg (Printf.sprintf "Simulator.Batch.get_port: no port %s" port)
+  | Some p -> read_nets b ~lane (Wire.nets p.Design.port_wire)
+
+let read_outputs b ~lane =
+  check_lane b lane;
+  propagate b;
+  List.map
+    (fun (name, idx) ->
+       ( name,
+         Bits.init (Array.length idx) (fun i ->
+           let ix = Array.unsafe_get idx i in
+           if ix < 0 then Bit.X else Bit.of_code (lane_code b.st ix lane)) ))
+    b.out_ports
+
+let cycle ?(n = 1) b =
+  propagate b (* settle deferred input forces before the edge *);
+  let st = b.st and sc = b.sc in
+  let seq = b.seq_clocked in
+  let k = Array.length seq in
+  for _ = 1 to n do
+    for i = 0 to k - 1 do
+      compute_snode st sc (Array.unsafe_get seq i)
+    done;
+    for i = 0 to k - 1 do
+      commit_snode st (Array.unsafe_get seq i)
+    done;
+    b.cycles <- b.cycles + 1;
+    propagate b
+  done
+
+let reset b =
+  let mask = b.st.mask in
+  Array.iter
+    (function
+      | S_ff f ->
+        f.ff_cur0 <- bcast0 mask f.ff_init;
+        f.ff_cur1 <- bcast1 mask f.ff_init
+      | S_srl s ->
+        for i = 0 to 15 do
+          s.srl_c0.(i) <- bcast0 mask ((s.srl_init lsr i) land 1);
+          s.srl_c1.(i) <- 0
+        done
+      | S_ram m ->
+        for i = 0 to 15 do
+          m.ram_c0.(i) <- bcast0 mask ((m.ram_init lsr i) land 1);
+          m.ram_c1.(i) <- 0
+        done)
+    b.seq_all;
+  b.cycles <- 0;
+  propagate_full b
+
+let cycle_count b = b.cycles
+let prim_count b = Array.length b.eval
+let levels b = b.depth
+let eval_count b = b.st.stat_evals
+let event_count b = b.st.stat_changes
+
+let attach_settle_histogram b h = b.words_hist <- Some h
+
+let register_metrics b registry =
+  let module M = Jhdl_metrics.Metrics in
+  M.probe registry "lanes_active" (fun () -> b.n_lanes);
+  M.probe registry "batch_cycles_total" (fun () -> b.cycles);
+  M.probe registry "batch_settle_evals_total" (fun () -> b.st.stat_evals);
+  M.probe registry "batch_net_events_total" (fun () -> b.st.stat_changes);
+  if not (M.is_nil registry) then
+    attach_settle_histogram b (M.histogram registry "words_per_settle")
+
+(* ------------------------------------------------------------------ *)
+(* Lane extraction: one lane's state as a standard [Snapshot] blob,
+   byte-identical to [Simulator.snapshot] of a watchless scalar sim in
+   the same state.                                                     *)
+
+let snapshot_lane b ~lane =
+  check_lane b lane;
+  propagate b;
+  let nets_list = Design.all_nets b.sim_design in
+  let image_nets = Bytes.create (List.length nets_list) in
+  List.iteri
+    (fun i n ->
+       let c =
+         match Hashtbl.find_opt b.net_idx n.net_id with
+         | Some idx -> lane_code b.st idx lane
+         | None -> 2
+       in
+       Bytes.set image_nets i (Char.chr c))
+    nets_list;
+  let lane_mem c0 c1 =
+    Bytes.init 16 (fun i ->
+      Char.chr
+        (((c0.(i) lsr lane) land 1) lor (((c1.(i) lsr lane) land 1) lsl 1)))
+  in
+  let image_seq =
+    List.filter_map
+      (fun inst ->
+         let path = Cell.path inst in
+         match Hashtbl.find_opt b.seq_by_path path with
+         | None -> None
+         | Some (S_ff f) ->
+           Some
+             ( path,
+               Snapshot.Flop
+                 (((f.ff_cur0 lsr lane) land 1)
+                  lor (((f.ff_cur1 lsr lane) land 1) lsl 1)) )
+         | Some (S_srl s) ->
+           Some (path, Snapshot.Mem (lane_mem s.srl_c0 s.srl_c1))
+         | Some (S_ram m) ->
+           Some (path, Snapshot.Mem (lane_mem m.ram_c0 m.ram_c1)))
+      (Design.all_prims b.sim_design)
+  in
+  Snapshot.encode
+    { Snapshot.image_signature = Snapshot.signature b.sim_design;
+      image_cycles = b.cycles;
+      image_nets;
+      image_seq;
+      image_watches = [] }
+
+let restore_lane b ~lane blob =
+  check_lane b lane;
+  let img = Snapshot.decode blob in
+  let expect = Snapshot.signature b.sim_design in
+  if img.Snapshot.image_signature <> expect then
+    raise
+      (Snapshot.Error
+         (Printf.sprintf
+            "snapshot: design signature mismatch (blob %08x, design %s is %08x)"
+            img.Snapshot.image_signature
+            (Design.name b.sim_design)
+            expect));
+  let nets_list = Design.all_nets b.sim_design in
+  if Bytes.length img.Snapshot.image_nets <> List.length nets_list then
+    raise (Snapshot.Error "snapshot: net count mismatch");
+  let bit = 1 lsl lane in
+  let put_plane arr i c_bit =
+    arr.(i) <- (if c_bit = 1 then arr.(i) lor bit else arr.(i) land lnot bit)
+  in
+  List.iteri
+    (fun i n ->
+       match Hashtbl.find_opt b.net_idx n.net_id with
+       | None -> ()
+       | Some idx ->
+         let c = Char.code (Bytes.get img.Snapshot.image_nets i) in
+         put_plane b.st.p0 idx (c land 1);
+         put_plane b.st.p1 idx ((c lsr 1) land 1))
+    nets_list;
+  List.iter
+    (fun (path, state) ->
+       match (Hashtbl.find_opt b.seq_by_path path, state) with
+       | Some (S_ff f), Snapshot.Flop c ->
+         f.ff_cur0 <-
+           (if c land 1 = 1 then f.ff_cur0 lor bit else f.ff_cur0 land lnot bit);
+         f.ff_cur1 <-
+           (if c land 2 = 2 then f.ff_cur1 lor bit else f.ff_cur1 land lnot bit)
+       | Some (S_srl s), Snapshot.Mem cells ->
+         for i = 0 to 15 do
+           let c = Char.code (Bytes.get cells i) in
+           put_plane s.srl_c0 i (c land 1);
+           put_plane s.srl_c1 i ((c lsr 1) land 1)
+         done
+       | Some (S_ram m), Snapshot.Mem cells ->
+         for i = 0 to 15 do
+           let c = Char.code (Bytes.get cells i) in
+           put_plane m.ram_c0 i (c land 1);
+           put_plane m.ram_c1 i ((c lsr 1) land 1)
+         done
+       | _ ->
+         raise
+           (Snapshot.Error
+              ("snapshot: state entry does not match the design at " ^ path)))
+    img.Snapshot.image_seq;
+  (* the shared cycle counter is deliberately left unchanged: lanes step
+     together, so the restored lane adopts the batch's clock position *)
+  propagate_full b

@@ -438,13 +438,17 @@ let clock_compute sim node =
        else
          Some
            (fun () ->
-              let changed = Array.exists Bit.is_defined cells in
+              let changed =
+                Array.exists (fun c -> not (Bit.equal c Bit.X)) cells
+              in
               Array.fill cells 0 16 Bit.X;
               changed)
      | None ->
        Some
          (fun () ->
-            let changed = Array.exists Bit.is_defined cells in
+            let changed =
+              Array.exists (fun c -> not (Bit.equal c Bit.X)) cells
+            in
             Array.fill cells 0 16 Bit.X;
             changed))
   | Prim.Black_box _, Bb_state behavior ->

@@ -355,9 +355,11 @@ let commit_snode st = function
       end
     end
     else if m.ram_wr = -2 then begin
+      (* any non-X cell (defined or Z) changes under the clobber and
+         must re-evaluate the read port *)
       let changed = ref false in
       for i = 0 to 15 do
-        if Char.code (Bytes.unsafe_get m.ram_cells i) < 2 then changed := true
+        if Char.code (Bytes.unsafe_get m.ram_cells i) <> 2 then changed := true
       done;
       Bytes.fill m.ram_cells 0 16 '\002';
       if !changed then mark st m.ram_rank
@@ -873,3 +875,8 @@ let restore sim blob =
           | None -> []))
     sim.watches;
   propagate_full sim
+
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel batch mode: 63 testbench lanes per machine word.       *)
+
+module Batch = Batch

@@ -143,3 +143,14 @@ val event_count : t -> int
     registry the hook's updates are allocation-free, so the pinned
     zero-allocation steady-state cycle is preserved. *)
 val register_metrics : t -> Jhdl_metrics.Metrics.t -> unit
+
+(** {1 Batch mode}
+
+    {!Batch} packs up to 63 independent testbench lanes into the bit
+    positions of one machine word per net plane, so a single settle
+    pass evaluates every lane at once — the data-parallel engine behind
+    the fuzz oracles, the differential corpus sweeps and multi-user
+    co-simulation. Each lane is bit-identical to a scalar run of this
+    simulator. *)
+
+module Batch = Batch

@@ -1,5 +1,5 @@
 The fuzzer generates valid-by-construction designs and drives each
-through all five differential oracles. Everything derives from the
+through all six differential oracles. Everything derives from the
 single --seed, so the whole report is byte-stable.
 
   $ jhdl-fuzz-tool --seed 1 --count 6 --max-cells 16 --steps 6
@@ -10,6 +10,7 @@ single --seed, so the whole report is byte-stable.
   oracle netlist       6 run, 0 failed
   oracle lint          6 run, 0 failed
   oracle estimate      6 run, 0 failed
+  oracle batch         6 run, 0 failed
   coverage: BUF=7 FDCE=3 FDRE=2 GND=2 INPUT=26 LUT1=5 LUT2=7 LUT3=11 LUT4=6 MULT_AND=1 MUXCY=3 RAM16X1S=5 SRL16E=3 XORCY=5
   result: PASS
 
@@ -21,10 +22,30 @@ The oracle set is selectable and enumerable:
   netlist
   lint
   estimate
+  batch
 
   $ jhdl-fuzz-tool --oracle bogus
-  fuzz_tool: unknown oracle bogus (try sim-vs-ref, snapshot, netlist, lint, estimate or all)
+  fuzz_tool: unknown oracle bogus (try sim-vs-ref, snapshot, netlist, lint, estimate, batch or all)
   [2]
+
+The batch oracle packs 63 derived testbench lanes into one
+bit-parallel kernel and pins it bit-identical to 63 scalar
+golden-model runs; --metrics surfaces the packed-kernel instruments
+(all deterministic from the seed):
+
+  $ jhdl-fuzz-tool --seed 1 --count 3 --max-cells 12 --steps 4 --oracle batch --metrics
+  fuzz: seed=1 max-cells=12 steps=4
+  cases: 3 (29 recipe entries)
+  oracle batch         3 run, 0 failed
+  coverage: BUF=2 FDRE=1 INPUT=11 LUT1=3 LUT2=1 LUT3=3 LUT4=3 MUXCY=1 SRL16E=2 VCC=1 XORCY=1
+  result: PASS
+  [fuzz] 6 metric(s)
+    counter   batch_cases_total                3
+    counter   batch_lane_steps_total           756
+    counter   batch_net_events_total           2120
+    counter   batch_settle_evals_total         114
+    counter   lanes_active                     63
+    histogram words_per_settle                 count=23 sum=96 p50=5 p95=10 max=9
 
 --inject-bug arms a simulated kernel defect (inverted MULT_AND
 partial product) to prove the failure path end to end: the sim-vs-ref

@@ -324,6 +324,250 @@ let test_fuzz_corpus_kernel_matches_reference () =
         seed seed m
   done
 
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel batch kernel (PR 7): N packed stimulus lanes against N
+   scalar kernel runs must agree on every port of every lane, cycle for
+   cycle — including X/Z-heavy stimulus, mid-run lane checkpointing and
+   the packed kernel's own allocation-free steady state. *)
+
+module Batch = Jhdl_sim.Simulator.Batch
+
+(* heavier than random_bits: 1/4 X, 1/4 Z, so the plane formulas see
+   undefined values on most words *)
+let xz_heavy_bits st width =
+  Bits.init width (fun _ ->
+    match Random.State.int st 4 with
+    | 0 -> Bit.X
+    | 1 -> Bit.Z
+    | _ -> Bit.of_bool (Random.State.bool st))
+
+let check_lanes ~ctx harness batch scalars =
+  Array.iteri
+    (fun lane dut ->
+       List.iter
+         (fun port ->
+            let a = Batch.get_port batch ~lane port
+            and b = Simulator.get_port dut port in
+            if not (Bits.equal a b) then
+              Alcotest.failf "%s: lane %d port %s: batch=%s kernel=%s" ctx
+                lane port (Bits.to_string a) (Bits.to_string b))
+         harness.outputs)
+    scalars
+
+let run_lane_differential ~seed ~lanes ~steps harness =
+  let st = Random.State.make [| seed |] in
+  let clock = harness.clock in
+  let batch = Batch.create ?clock ~lanes harness.design in
+  let scalars =
+    Array.init lanes (fun _ -> Simulator.create ?clock harness.design)
+  in
+  check_lanes ~ctx:"initial" harness batch scalars;
+  for step = 1 to steps do
+    Array.iteri
+      (fun lane dut ->
+         List.iter
+           (fun (port, w) ->
+              let v = xz_heavy_bits st w in
+              Batch.set_input batch ~lane port v;
+              Simulator.set_input dut port v)
+           harness.inputs)
+      scalars;
+    check_lanes ~ctx:(Printf.sprintf "step %d, after inputs" step) harness
+      batch scalars;
+    Batch.cycle batch;
+    Array.iter (fun dut -> Simulator.cycle dut) scalars;
+    check_lanes ~ctx:(Printf.sprintf "step %d, after cycle" step) harness
+      batch scalars
+  done;
+  Array.iter
+    (fun dut ->
+       Alcotest.(check int) "cycle counters" (Simulator.cycle_count dut)
+         (Batch.cycle_count batch))
+    scalars;
+  Batch.reset batch;
+  Array.iter Simulator.reset scalars;
+  check_lanes ~ctx:"after reset" harness batch scalars
+
+let prop_batch_lanes_match_kernel =
+  QCheck.Test.make ~name:"batch lanes = scalar kernels (X/Z-heavy)" ~count:15
+    QCheck.(pair (int_range 1 63) (int_bound 10000))
+    (fun (lanes, seed) ->
+       let lanes = max 1 (min 63 lanes) in
+       let signed_mode = seed land 1 = 1 in
+       let constant =
+         let c = (seed mod 63) - 31 in
+         if signed_mode then c else abs c
+       in
+       run_lane_differential ~seed ~lanes ~steps:8
+         (ram_harness ~init:(seed land 0xFFFF) ());
+       run_lane_differential ~seed:(seed + 1) ~lanes ~steps:8
+         (srl_harness ~init:(seed land 0xFFFF) ());
+       run_lane_differential ~seed:(seed + 2) ~lanes ~steps:6
+         (kcm_harness ~n:6 ~pw:10 ~signed_mode ~pipelined_mode:true
+            ~structure:`Chain ~constant ());
+       true)
+
+(* deterministic 4-valued stimulus so the snapshot test needs no RNG
+   bookkeeping: lane/step/index select the value *)
+let det_bit ~lane ~step ~port ~i =
+  match (lane * 7 + step * 13 + port * 3 + i) mod 6 with
+  | 0 -> Bit.X
+  | 1 -> Bit.Z
+  | k -> Bit.of_bool (k land 1 = 1)
+
+let det_stimulus harness ~lane ~step =
+  List.mapi
+    (fun port (name, w) ->
+       (name, Bits.init w (fun i -> det_bit ~lane ~step ~port ~i)))
+    harness.inputs
+
+let test_batch_snapshot_restore_mid_run () =
+  let harness = ram_harness ~init:0x5A5A () in
+  let lanes = 7 and target = 4 and total = 24 and mid = 11 in
+  let clock = harness.clock in
+  let batch = Batch.create ?clock ~lanes harness.design in
+  (* the scalar twin is watchless, so its blob and the lane blob must
+     be byte-identical *)
+  let scalar = Simulator.create ?clock harness.design in
+  let drive_step ~step =
+    for lane = 0 to lanes - 1 do
+      List.iter
+        (fun (name, v) -> Batch.set_input batch ~lane name v)
+        (det_stimulus harness ~lane ~step)
+    done;
+    List.iter
+      (fun (name, v) -> Simulator.set_input scalar name v)
+      (det_stimulus harness ~lane:target ~step);
+    Batch.cycle batch;
+    Simulator.cycle scalar
+  in
+  for step = 1 to mid do
+    drive_step ~step
+  done;
+  let blob = Batch.snapshot_lane batch ~lane:target in
+  Alcotest.(check string)
+    "lane blob byte-identical to the scalar snapshot"
+    (Simulator.snapshot scalar) blob;
+  (* restore the lane into a fresh batch sim and keep driving: the
+     restored lane must shadow the scalar run to the end *)
+  let batch2 = Batch.create ?clock ~lanes harness.design in
+  Batch.restore_lane batch2 ~lane:target blob;
+  for step = mid + 1 to total do
+    List.iter
+      (fun (name, v) ->
+         Batch.set_input batch2 ~lane:target name v;
+         Simulator.set_input scalar name v)
+      (det_stimulus harness ~lane:target ~step);
+    Batch.cycle batch2;
+    Simulator.cycle scalar;
+    List.iter
+      (fun port ->
+         let a = Batch.get_port batch2 ~lane:target port
+         and b = Simulator.get_port scalar port in
+         if not (Bits.equal a b) then
+           Alcotest.failf "step %d after restore: port %s: batch=%s kernel=%s"
+             step port (Bits.to_string a) (Bits.to_string b))
+      harness.outputs
+  done
+
+let test_batch_steady_state_allocates_nothing () =
+  let harness =
+    kcm_harness ~n:8 ~pw:16 ~signed_mode:true ~pipelined_mode:true
+      ~structure:`Chain ~constant:93 ()
+  in
+  let batch = Batch.create ?clock:harness.clock ~lanes:63 harness.design in
+  for lane = 0 to 62 do
+    Batch.set_input batch ~lane "m"
+      (Bits.of_int ~width:8 (((lane * 5) + 7) land 0xFF))
+  done;
+  Batch.cycle ~n:32 batch;
+  let before = Gc.minor_words () in
+  Batch.cycle ~n:1000 batch;
+  let after = Gc.minor_words () in
+  let per_cycle = (after -. before) /. 1000.0 in
+  if per_cycle > 0.26 then
+    Alcotest.failf "batch steady-state cycle allocates %.2f words/cycle"
+      per_cycle
+
+let test_batch_lane_bounds () =
+  let harness = ram_harness ~init:0 () in
+  Alcotest.check_raises "zero lanes"
+    (Invalid_argument
+       "Simulator.Batch.create: lanes must be within 1..63 (got 0)")
+    (fun () ->
+      ignore (Batch.create ?clock:harness.clock ~lanes:0 harness.design));
+  Alcotest.check_raises "64 lanes never silently truncate"
+    (Invalid_argument
+       "Simulator.Batch.create: lanes must be within 1..63 (got 64)")
+    (fun () ->
+      ignore (Batch.create ?clock:harness.clock ~lanes:64 harness.design));
+  let batch = Batch.create ?clock:harness.clock ~lanes:2 harness.design in
+  Alcotest.check_raises "lane index past the lane count"
+    (Invalid_argument "Simulator.Batch: lane 2 out of range 0..1") (fun () ->
+      Batch.set_input batch ~lane:2 "d" (Bits.of_int ~width:1 1));
+  Alcotest.check_raises "negative lane index"
+    (Invalid_argument "Simulator.Batch: lane -1 out of range 0..1") (fun () ->
+      ignore (Batch.get_port batch ~lane:(-1) "o"))
+
+(* the 200-seed corpus again (same seeds as the kernel-vs-reference
+   sweep above), now batch-vs-kernel: every generated design runs with
+   a seed-dependent lane count against that many scalar kernels, each
+   lane on its own rotated stimulus *)
+let test_fuzz_corpus_batch_matches_kernel () =
+  let module Fuzz = Jhdl_fuzz.Fuzz in
+  let module Gen = Jhdl_fuzz.Gen in
+  let module Oracle = Jhdl_fuzz.Oracle in
+  let module Recipe = Jhdl_fuzz.Recipe in
+  let module Stimulus = Jhdl_fuzz.Stimulus in
+  let params = { Gen.default_params with Gen.max_cells = 24 } in
+  for seed = 0 to 199 do
+    let gen_rng, stim_rng = Fuzz.case_rngs ~seed ~case:0 in
+    let recipe =
+      Gen.recipe gen_rng ~name:(Printf.sprintf "bcorpus_%d" seed) params
+    in
+    let stim = Gen.stimulus stim_rng recipe ~steps:8 in
+    let built = Recipe.build recipe in
+    let clock = built.Recipe.clock in
+    let lanes = 1 + (seed mod Batch.max_lanes) in
+    let batch = Batch.create ?clock ~lanes built.Recipe.design in
+    let scalars =
+      Array.init lanes (fun _ -> Simulator.create ?clock built.Recipe.design)
+    in
+    let lane_stims =
+      Array.init lanes (fun lane -> Oracle.lane_stimulus stim ~lane)
+    in
+    let check ctx =
+      Array.iteri
+        (fun lane dut ->
+           List.iter
+             (fun port ->
+                let a = Batch.get_port batch ~lane port
+                and b = Simulator.get_port dut port in
+                if not (Bits.equal a b) then
+                  Alcotest.failf
+                    "seed %d, %s: lane %d port %s: batch=%s kernel=%s" seed
+                    ctx lane port (Bits.to_string a) (Bits.to_string b))
+             built.Recipe.output_ports)
+        scalars
+    in
+    check "initial";
+    for s = 0 to Stimulus.step_count stim - 1 do
+      Array.iteri
+        (fun lane dut ->
+           let row = lane_stims.(lane).Stimulus.steps.(s) in
+           List.iteri
+             (fun k port ->
+                Batch.set_input batch ~lane port row.(k);
+                Simulator.set_input dut port row.(k))
+             built.Recipe.input_ports)
+        scalars;
+      check (Printf.sprintf "step %d after inputs" s);
+      Batch.cycle batch;
+      Array.iter (fun dut -> Simulator.cycle dut) scalars;
+      check (Printf.sprintf "step %d after cycle" s)
+    done
+  done
+
 let suite =
   [ Alcotest.test_case "shift-add vs reference" `Quick test_shift_add_differential;
     Alcotest.test_case "200-seed fuzz corpus: kernel = reference" `Quick
@@ -335,6 +579,16 @@ let suite =
     Alcotest.test_case "steady-state cycle is allocation-free" `Quick
       test_steady_state_cycle_allocates_nothing;
     Alcotest.test_case "instrumented cycle is allocation-free" `Quick
-      test_instrumented_cycle_allocates_nothing ]
+      test_instrumented_cycle_allocates_nothing;
+    Alcotest.test_case "batch lane snapshot/restore mid-run" `Quick
+      test_batch_snapshot_restore_mid_run;
+    Alcotest.test_case "batch steady-state cycle is allocation-free" `Quick
+      test_batch_steady_state_allocates_nothing;
+    Alcotest.test_case "batch lane counts 0 and 64 are rejected" `Quick
+      test_batch_lane_bounds;
+    Alcotest.test_case "200-seed fuzz corpus: batch = kernel" `Quick
+      test_fuzz_corpus_batch_matches_kernel ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_kcm_matches_reference; prop_memory_matches_reference ]
+      [ prop_kcm_matches_reference;
+        prop_memory_matches_reference;
+        prop_batch_lanes_match_kernel ]

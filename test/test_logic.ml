@@ -293,6 +293,45 @@ let prop_lut_eval_matches_function =
        in
        Bit.equal (Lut_init.eval t addr_bits) (Bit.of_bool (Lut_init.eval_int t addr)))
 
+(* {1 Packed plane view} *)
+
+let test_planes_roundtrip () =
+  let v = Bits.of_string "10xz01zx" in
+  let p0, p1 = Bits.to_planes v in
+  check_bits "roundtrip" v (Bits.of_planes ~width:8 p0 p1);
+  (* the encoding itself: Zero=(0,0) One=(1,0) X=(0,1) Z=(1,1); bit i
+     of each plane word is index i, and of_string is MSB-first, so the
+     string reads i7..i0 left to right *)
+  Alcotest.(check int) "plane0" 0b10010110 p0;
+  Alcotest.(check int) "plane1" 0b00110011 p1
+
+let test_planes_bounds () =
+  Alcotest.check_raises "to_planes over 63"
+    (Invalid_argument "Bits.to_planes: width 64 exceeds 63") (fun () ->
+      ignore (Bits.to_planes (Bits.zero 64)));
+  Alcotest.check_raises "of_planes over 63"
+    (Invalid_argument "Bits.of_planes: width 64 out of 0..63") (fun () ->
+      ignore (Bits.of_planes ~width:64 0 0));
+  Alcotest.check_raises "of_planes negative"
+    (Invalid_argument "Bits.of_planes: width -1 out of 0..63") (fun () ->
+      ignore (Bits.of_planes ~width:(-1) 0 0));
+  check_bits "empty ok" (Bits.zero 0) (Bits.of_planes ~width:0 0 0)
+
+let arb_xz_bits width =
+  QCheck.make
+    ~print:(fun v -> Bits.to_string v)
+    QCheck.Gen.(
+      map
+        (fun codes -> Bits.init width (fun i -> Bit.of_code codes.(i)))
+        (array_repeat width (int_bound 3)))
+
+let prop_planes_roundtrip =
+  QCheck.Test.make ~name:"to_planes/of_planes roundtrip over 4 values"
+    ~count:500 (arb_xz_bits 63) (fun v ->
+      Bits.equal (Bits.of_planes ~width:63 (fst (Bits.to_planes v))
+                    (snd (Bits.to_planes v)))
+        v)
+
 let suite =
   [ Alcotest.test_case "bit of_bool" `Quick test_bit_of_bool;
     Alcotest.test_case "bit to_bool" `Quick test_bit_to_bool;
@@ -321,7 +360,9 @@ let suite =
     Alcotest.test_case "lut eval x" `Quick test_lut_eval_x;
     Alcotest.test_case "lut hex roundtrip" `Quick test_lut_hex_roundtrip;
     Alcotest.test_case "lut passthrough" `Quick test_lut_passthrough;
-    Alcotest.test_case "lut bad inputs" `Quick test_lut_bad_inputs ]
+    Alcotest.test_case "lut bad inputs" `Quick test_lut_bad_inputs;
+    Alcotest.test_case "plane view roundtrip" `Quick test_planes_roundtrip;
+    Alcotest.test_case "plane view bounds" `Quick test_planes_bounds ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_add_matches_int;
         prop_sub_add_inverse;
@@ -332,4 +373,5 @@ let suite =
         prop_add_carry_is_wide_add;
         prop_shift_left_multiplies;
         prop_slice_concat_roundtrip;
-        prop_lut_eval_matches_function ]
+        prop_lut_eval_matches_function;
+        prop_planes_roundtrip ]
