@@ -146,4 +146,44 @@ let () =
   Printf.printf
     "bench-smoke: batch effective throughput %.1fx scalar over %d cycles x \
      %d lanes\n"
-    effective work lanes
+    effective work lanes;
+  (* AN1 floor: the chain-vs-tree KCM pair must close with a BDD proof
+     (not a vector sweep), and quickly — the full measurement lives in
+     the AN1 section of bench/main.ml *)
+  let kcm_variant structure =
+    let top = Cell.root ~name:"kcm_top" () in
+    let m = Wire.create top ~name:"m" 8 in
+    let p = Wire.create top ~name:"p" 16 in
+    let _ =
+      Kcm.create top ~adder_structure:structure ~multiplicand:m ~product:p
+        ~signed_mode:false ~pipelined_mode:false ~constant:0xAB ()
+    in
+    let d = Design.create top in
+    Design.add_port d "m" Types.Input m;
+    Design.add_port d "p" Types.Output p;
+    d
+  in
+  let chain = kcm_variant `Chain and tree = kcm_variant `Tree in
+  let t0 = Unix.gettimeofday () in
+  (match Equiv.check chain tree with
+   | Equiv.Proved { outputs; bdd_nodes; sequential } ->
+     let elapsed = Unix.gettimeofday () -. t0 in
+     if elapsed >= 2.0 then begin
+       Printf.eprintf
+         "bench-smoke: chain-vs-tree proof took %.2fs (budget 2s)\n" elapsed;
+       exit 1
+     end;
+     if sequential then begin
+       Printf.eprintf
+         "bench-smoke: combinational KCM pair proved as sequential\n";
+       exit 1
+     end;
+     Printf.printf
+       "bench-smoke: chain-vs-tree KCM proved equivalent (%d outputs, %d BDD \
+        nodes)\n"
+       outputs bdd_nodes
+   | other ->
+     Format.eprintf
+       "bench-smoke: expected a chain-vs-tree proof, got %a@." Equiv.pp_result
+       other;
+     exit 1)

@@ -29,7 +29,7 @@ let parse_oracles names =
          Error
            (Printf.sprintf
               "unknown oracle %s (try sim-vs-ref, snapshot, netlist, lint, \
-               estimate, batch or all)"
+               estimate, batch, absint or all)"
               name))
   in
   match names with
@@ -125,7 +125,7 @@ let oracle_arg =
     & info [ "oracle" ]
         ~doc:
           "Oracle to run (repeatable): sim-vs-ref, snapshot, netlist, lint, \
-           estimate, batch or all. Default: all.")
+           estimate, batch, absint or all. Default: all.")
 
 let reduce_arg =
   Arg.(

@@ -93,7 +93,7 @@ let print_rules () =
        Printf.printf "%s  %-9s %-24s %s\n" r.Lint.id
          (Lint.severity_to_string r.Lint.default_severity)
          r.Lint.name r.Lint.doc)
-    Lint.rules
+    (Lint.rules @ Deep_lint.rules)
 
 let load_baseline path =
   if not (Sys.file_exists path) then Error (Printf.sprintf "no such baseline file %s" path)
@@ -121,15 +121,24 @@ let apply_baseline baseline report =
           (fun d -> not (List.mem (Lint.key d) keys))
           report.Lint.diagnostics }
 
-let run_lint all broken ip_name params json rules_only fail_on disabled
-    fanout_threshold max_diagnostics baseline_path =
+let run_lint all broken ip_name params json rules_only deep fail_on disabled
+    fanout_threshold max_diagnostics baseline_path metrics_format =
   if rules_only then begin
     print_rules ();
     0
   end
   else begin
+    let module Metrics = Jhdl_metrics.Metrics in
+    let registry =
+      if Option.is_some metrics_format then Metrics.create "analysis"
+      else Metrics.nil
+    in
     let result =
-      match Lint.severity_of_string fail_on with
+      match metrics_format with
+      | Some f when f <> "text" && f <> "json" ->
+        Error (Printf.sprintf "--metrics formats: text, json (got %s)" f)
+      | _ ->
+        (match Lint.severity_of_string fail_on with
       | None -> Error (Printf.sprintf "--fail-on expects info, warning or error, got %s" fail_on)
       | Some fail_severity ->
         let baseline =
@@ -163,10 +172,15 @@ let run_lint all broken ip_name params json rules_only fail_on disabled
                   fanout_threshold;
                   max_diagnostics }
               in
+              let lint d =
+                let base = Lint.run ~config d in
+                if deep then
+                  Deep_lint.merge ~max_diagnostics base
+                    (Deep_lint.run ~config ~metrics:registry d)
+                else base
+              in
               let reports =
-                List.map
-                  (fun d -> apply_baseline baseline (Lint.run ~config d))
-                  designs
+                List.map (fun d -> apply_baseline baseline (lint d)) designs
               in
               List.iter
                 (fun r ->
@@ -181,13 +195,18 @@ let run_lint all broken ip_name params json rules_only fail_on disabled
                      | Some w -> Lint.compare_severity w fail_severity >= 0)
                   reports
               in
-              Ok failing))
+              Ok failing)))
     in
     match result with
     | Error message ->
       Printf.eprintf "lint_tool: %s\n" message;
       2
-    | Ok failing -> if failing then 1 else 0
+    | Ok failing ->
+      (match metrics_format with
+       | Some "json" -> print_string (Metrics.to_json registry)
+       | Some _ -> print_string (Metrics.to_text registry)
+       | None -> ());
+      if failing then 1 else 0
   end
 
 let all_arg =
@@ -216,6 +235,14 @@ let json_arg =
 
 let rules_arg =
   Arg.(value & flag & info [ "rules" ] ~doc:"List the rule registry and exit.")
+
+let deep_arg =
+  Arg.(
+    value & flag
+    & info [ "deep" ]
+        ~doc:"Also run the BDD-backed analysis rules (L5xx): provable \
+              constants the const-propagator misses, redundant cell \
+              pairs, unobservable cones.")
 
 let fail_on_arg =
   Arg.(
@@ -247,13 +274,24 @@ let baseline_arg =
         ~doc:"Suppress findings whose key (rule id + primary location) \
               appears in this file, one per line.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "With $(b,--deep), dump the BDD manager's counters (nodes \
+           allocated, apply/memo cache hits, budget cuts) after the \
+           reports: $(b,--metrics) for aligned text, $(b,--metrics=json) \
+           for one JSON object per metric.")
+
 let cmd =
   let doc = "rule-based lint over JHDL module-generator designs" in
   Cmd.v
     (Cmd.info "lint_tool" ~doc)
     Term.(
       const run_lint $ all_arg $ broken_arg $ ip_arg $ param_arg $ json_arg
-      $ rules_arg $ fail_on_arg $ disable_arg $ fanout_arg $ max_arg
-      $ baseline_arg)
+      $ rules_arg $ deep_arg $ fail_on_arg $ disable_arg $ fanout_arg
+      $ max_arg $ baseline_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

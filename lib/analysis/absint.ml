@@ -1,0 +1,208 @@
+(* Exact constant/X/observability analysis on top of the cone engine.
+   See absint.mli for the claim semantics. *)
+
+open Jhdl_circuit
+module B = Bdd
+module Bit = Jhdl_logic.Bit
+
+type claim =
+  | Always of Bit.t
+  | When_defined of Bit.t
+
+type claim_info = {
+  net : Types.net;
+  claim : claim;
+  gate : Cone.leaf list;
+}
+
+type t = {
+  tdesign : Design.t;
+  full : Cone.t;
+  defined : Cone.t;
+  nrounds : int;
+  claim_tbl : (int, claim) Hashtbl.t;
+  claim_list : claim_info list;
+  obs : (int, unit) Hashtbl.t;  (* net_id present = (possibly) observable *)
+}
+
+let design t = t.tdesign
+let cone_full t = t.full
+let cone_defined t = t.defined
+let rounds t = t.nrounds
+let claims t = t.claim_list
+let claim_of_net t (n : Types.net) = Hashtbl.find_opt t.claim_tbl n.Types.net_id
+let observable t (n : Types.net) = Hashtbl.mem t.obs n.Types.net_id
+
+let is_opaque = function Cone.Opaque _ -> true | _ -> false
+
+(* Reachable-state refinement: start from "every state cell forever
+   holds its INIT value", demote any cell whose next-state cone can
+   leave the hypothesis, repeat to fixpoint. Each round re-runs the
+   forward pass with the surviving constants baked in; the shared
+   manager's memo cache makes re-runs cheap. The fixpoint is what lets
+   the analysis dominate Const_prop on stuck registers and
+   never-written memories. *)
+let refine_states ~al ~state_key design seq =
+  let hyp = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Levelize.source) ->
+       Hashtbl.replace hyp s.Levelize.inst.Types.cell_id
+         (Array.map (fun b -> Some b) (Cone.init_bits s)))
+    seq;
+  let state_fn (s : Levelize.source) cell =
+    match (Hashtbl.find hyp s.Levelize.inst.Types.cell_id).(cell) with
+    | Some b -> Cone.State_const b
+    | None -> Cone.State_leaf (state_key s cell)
+  in
+  let rec loop n =
+    let c = Cone.analyze ~mode:Cone.Full ~alloc:al ~state:state_fn design in
+    let changed = ref false in
+    List.iter
+      (fun (s : Levelize.source) ->
+         let h = Hashtbl.find hyp s.Levelize.inst.Types.cell_id in
+         if Array.exists Option.is_some h then begin
+           let demote i =
+             if h.(i) <> None then begin
+               h.(i) <- None;
+               changed := true
+             end
+           in
+           match Cone.next_state c s with
+           | next ->
+             Array.iteri
+               (fun i p ->
+                  match h.(i) with
+                  | None -> ()
+                  | Some b ->
+                    (match Cone.pair_is_const p with
+                     | Some b' when Bit.equal b b' -> ()
+                     | _ -> demote i))
+               next
+           | exception B.Budget_exceeded ->
+             Array.iteri (fun i _ -> demote i) h
+         end)
+      seq;
+    if !changed then loop (n + 1) else (c, state_fn, n)
+  in
+  loop 1
+
+(* Backward observability: a net is marked when some output port can
+   see it. Combinational drivers get an exact local-relevance probe
+   (substitute a fresh variable for the input net, test the recomputed
+   output's support); sequential primitives, black boxes and contended
+   nets propagate pessimistically. *)
+let compute_observability defined_cone design sources =
+  let al = Cone.alloc defined_cone in
+  let src_of = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Levelize.source) ->
+       Hashtbl.replace src_of s.Levelize.inst.Types.cell_id s)
+    sources;
+  let probe = Cone.probe_pair al in
+  let probe_var =
+    match B.support probe.Cone.p0 with [ v ] -> v | _ -> assert false
+  in
+  let obs = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let mark (n : Types.net) =
+    if not (Hashtbl.mem obs n.Types.net_id) then begin
+      Hashtbl.replace obs n.Types.net_id ();
+      Queue.add n queue
+    end
+  in
+  List.iter
+    (fun (p : Design.port) ->
+       Array.iter mark p.Design.port_wire.Types.nets)
+    (Design.outputs design);
+  let input_nets (s : Levelize.source) =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (_, nets) ->
+         Array.iter
+           (fun (n : Types.net) -> Hashtbl.replace tbl n.Types.net_id n)
+           nets)
+      s.Levelize.in_ports;
+    Hashtbl.fold (fun _ n acc -> n :: acc) tbl []
+  in
+  let relevant s (target : Types.net) =
+    let subst (n : Types.net) =
+      if n.Types.net_id = target.Types.net_id then Some probe else None
+    in
+    match Cone.reeval_comb defined_cone s ~subst with
+    | Some p ->
+      let m = Cone.man al in
+      B.depends_on m p.Cone.p0 probe_var
+      || B.depends_on m p.Cone.p1 probe_var
+    | None -> true
+    | exception B.Budget_exceeded -> true
+  in
+  let visit_driver (n : Types.net) (term : Types.terminal) =
+    match Hashtbl.find_opt src_of term.Types.term_cell.Types.cell_id with
+    | None -> ()
+    | Some s ->
+      let comb =
+        match s.Levelize.prim with
+        | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Buf
+        | Prim.Inv | Prim.Gnd | Prim.Vcc ->
+          true
+        | _ -> false
+      in
+      let contended = n.Types.extra_drivers <> [] in
+      List.iter
+        (fun m -> if (not comb) || contended || relevant s m then mark m)
+        (input_nets s)
+  in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter (visit_driver n)
+      (match n.Types.driver with
+       | Some d -> d :: n.Types.extra_drivers
+       | None -> n.Types.extra_drivers)
+  done;
+  obs
+
+let analyze ?budget dsn =
+  let al = Cone.allocator (B.create ?budget ()) in
+  let sources = Levelize.sources_of_root (Design.root dsn) in
+  let seq =
+    List.filter (fun s -> Prim.is_sequential s.Levelize.prim) sources
+  in
+  let state_key (s : Levelize.source) cell =
+    Printf.sprintf "%s#%d" (Cell.path s.Levelize.inst) cell
+  in
+  let full, state_fn, nrounds = refine_states ~al ~state_key dsn seq in
+  let defined =
+    Cone.analyze ~mode:Cone.Defined ~alloc:al ~state:state_fn dsn
+  in
+  let claim_tbl = Hashtbl.create 64 in
+  let claim_list =
+    List.filter_map
+      (fun (n : Types.net) ->
+         if n.Types.driver = None || n.Types.extra_drivers <> [] then None
+         else begin
+           let pf = Cone.pair_of_net full n in
+           match Cone.pair_is_const pf with
+           | Some b ->
+             Hashtbl.replace claim_tbl n.Types.net_id (Always b);
+             Some { net = n; claim = Always b; gate = [] }
+           | None ->
+             (match Cone.pair_is_const (Cone.pair_of_net defined n) with
+              | None -> None
+              | Some b ->
+                let gate = Cone.pair_support_leaves full pf in
+                if List.exists is_opaque gate then None
+                else begin
+                  Hashtbl.replace claim_tbl n.Types.net_id (When_defined b);
+                  Some { net = n; claim = When_defined b; gate }
+                end)
+         end)
+      (Design.all_nets dsn)
+  in
+  let obs = compute_observability defined dsn sources in
+  { tdesign = dsn;
+    full;
+    defined;
+    nrounds;
+    claim_tbl;
+    claim_list;
+    obs }

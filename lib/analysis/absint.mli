@@ -1,0 +1,65 @@
+(** Bit-level abstract interpretation over the BDD cone engine.
+
+    The lattice is the one {!Jhdl_lint.Const_prop} approximates —
+    constant / unknown per net, extended with definedness and
+    observability — but evaluated exactly: every net's dual-rail cone
+    pair ({!Cone}) is inspected for constancy, a reachable-state
+    refinement turns stuck registers and never-written memory cells
+    into constants (so the result {e strictly dominates}
+    [Const_prop]: every net it proves constant is proved here too,
+    pinned by regression tests), and a backward pass proves nets
+    unobservable.
+
+    Two claim strengths:
+    - {!Always}[ b] — the net holds [b] under {e every} stimulus,
+      including X and Z inputs (the full-mode pair is constant).
+    - {!When_defined}[ b] — the net holds [b] whenever the leaves in
+      its {!claim_info.gate} list hold defined 0/1 values (the
+      defined-mode pair is constant). This is where [x XOR x = 0] and
+      equal-arm muxes land: their value is pinned even though an X
+      input still poisons them in 4-valued simulation.
+
+    Soundness of every claim is fuzz-checked by the [absint] oracle:
+    a claimed net must hold its value in simulation at every step
+    whose leaf values satisfy the gate. *)
+
+open Jhdl_circuit
+
+type claim =
+  | Always of Jhdl_logic.Bit.t
+  | When_defined of Jhdl_logic.Bit.t
+
+type claim_info = {
+  net : Types.net;
+  claim : claim;
+  gate : Cone.leaf list;
+      (** leaves that must be defined for a {!When_defined} claim;
+          empty for {!Always} *)
+}
+
+type t
+
+val analyze : ?budget:int -> Design.t -> t
+(** Runs the forward passes (full and defined mode, shared manager and
+    leaf allocator) with the reachable-state fixpoint in between.
+    Raises {!Levelize.Cycle} on combinational cycles. *)
+
+val design : t -> Design.t
+val cone_full : t -> Cone.t
+val cone_defined : t -> Cone.t
+
+val rounds : t -> int
+(** Reachable-state refinement rounds taken (≥ 1). *)
+
+val claims : t -> claim_info list
+(** Constancy claims for driven, uncontended nets, in
+    {!Design.all_nets} order. Claims whose gate would include an
+    opaque leaf are dropped — they could not be checked or acted on. *)
+
+val claim_of_net : t -> Types.net -> claim option
+
+val observable : t -> Types.net -> bool
+(** [false] means {e proved} unobservable: under defined leaf values,
+    no assignment to this net can change any output port. Contended
+    nets, black-box fan-in and budget-cut cones stay observable
+    (pessimistic). *)

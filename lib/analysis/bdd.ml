@@ -1,0 +1,205 @@
+(* Hash-consed ROBDDs. See bdd.mli for the design notes. *)
+
+type t =
+  | Leaf of bool
+  | Node of { id : int; var : int; lo : t; hi : t }
+
+type man = {
+  unique : (int * int * int, t) Hashtbl.t;
+  cache : (int * int * int, t) Hashtbl.t;
+  deps : (int * int, bool) Hashtbl.t;
+  budget : int;
+  mutable next_id : int;
+  mutable created : int;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+exception Budget_exceeded
+
+let zero = Leaf false
+let one = Leaf true
+
+let id = function
+  | Leaf false -> 0
+  | Leaf true -> 1
+  | Node n -> n.id
+
+let top_var = function
+  | Leaf _ -> max_int
+  | Node n -> n.var
+
+(* Shannon cofactors with respect to [v], which must be <= the node's
+   top variable. *)
+let cof v t =
+  match t with
+  | Node n when n.var = v -> (n.lo, n.hi)
+  | _ -> (t, t)
+
+let create ?(budget = max_int) () =
+  { unique = Hashtbl.create 1024;
+    cache = Hashtbl.create 1024;
+    deps = Hashtbl.create 1024;
+    budget;
+    next_id = 2;
+    created = 0;
+    lookups = 0;
+    hits = 0 }
+
+let mk ~checked m var lo hi =
+  if lo == hi then lo
+  else begin
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if checked && m.created >= m.budget then raise Budget_exceeded;
+      let n = Node { id = m.next_id; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      m.created <- m.created + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  mk ~checked:false m i zero one
+
+(* Binary apply with a shared memo cache. Operations are tagged so one
+   table serves them all; AND/OR/XOR are commutative, so operand ids
+   are normalized ascending to double the hit-rate. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let rec apply m op a b =
+  let terminal =
+    match op with
+    | 0 ->
+      if a == zero || b == zero then Some zero
+      else if a == one then Some b
+      else if b == one then Some a
+      else if a == b then Some a
+      else None
+    | 1 ->
+      if a == one || b == one then Some one
+      else if a == zero then Some b
+      else if b == zero then Some a
+      else if a == b then Some a
+      else None
+    | _ ->
+      if a == b then Some zero
+      else if a == zero then Some b
+      else if b == zero then Some a
+      else None
+  in
+  match terminal with
+  | Some r -> r
+  | None ->
+    let ia = id a and ib = id b in
+    let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
+    m.lookups <- m.lookups + 1;
+    (match Hashtbl.find_opt m.cache key with
+     | Some r ->
+       m.hits <- m.hits + 1;
+       r
+     | None ->
+       let v = min (top_var a) (top_var b) in
+       let a0, a1 = cof v a and b0, b1 = cof v b in
+       let lo = apply m op a0 b0 in
+       let hi = apply m op a1 b1 in
+       let r = mk ~checked:true m v lo hi in
+       Hashtbl.add m.cache key r;
+       r)
+
+let and_ m a b = apply m op_and a b
+let or_ m a b = apply m op_or a b
+let xor m a b = apply m op_xor a b
+let not_ m a = apply m op_xor one a
+
+let ite m s a b =
+  (* if s then a else b, via the cached binary ops: s&a | ~s&b *)
+  or_ m (and_ m s a) (and_ m (not_ m s) b)
+
+let equal a b = a == b
+
+let is_const = function
+  | Leaf b -> Some b
+  | Node _ -> None
+
+let rec eval t env =
+  match t with
+  | Leaf b -> b
+  | Node n -> if env n.var then eval n.hi env else eval n.lo env
+
+let support t =
+  let seen = Hashtbl.create 16 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Hashtbl.replace vars n.var ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+(* Ordered-BDD pruning (vars strictly increase along every path) plus a
+   persistent per-manager memo: across a whole observability pass each
+   distinct node is classified once per probe variable, so thousands of
+   probes against shared cones cost one walk of the live node set. *)
+let rec depends_on m t v =
+  match t with
+  | Leaf _ -> false
+  | Node n ->
+    if n.var = v then true
+    else if n.var > v then false
+    else begin
+      let key = (n.id, v) in
+      match Hashtbl.find_opt m.deps key with
+      | Some r -> r
+      | None ->
+        let r = depends_on m n.lo v || depends_on m n.hi v in
+        Hashtbl.add m.deps key r;
+        r
+    end
+
+let any_sat t =
+  (* every internal node of a reduced BDD has a path to [one] *)
+  let rec go acc = function
+    | Leaf true -> Some (List.rev acc)
+    | Leaf false -> None
+    | Node n ->
+      (match go ((n.var, false) :: acc) n.lo with
+       | Some _ as r -> r
+       | None -> go ((n.var, true) :: acc) n.hi)
+  in
+  go [] t
+
+let size t =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  Hashtbl.length seen
+
+let nodes_created m = m.created
+let cache_lookups m = m.lookups
+let cache_hits m = m.hits
+
+let register_metrics m registry =
+  let module M = Jhdl_metrics.Metrics in
+  M.probe registry "bdd_nodes_total" (fun () -> m.created);
+  M.probe registry "bdd_cache_lookups_total" (fun () -> m.lookups);
+  M.probe registry "bdd_cache_hits_total" (fun () -> m.hits)

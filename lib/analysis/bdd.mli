@@ -1,0 +1,91 @@
+(** Hash-consed reduced ordered binary decision diagrams.
+
+    A dependency-free BDD engine sized for netlist cones: one manager
+    owns a unique-node table and a memoized apply cache, so two
+    functions built in the same manager are equivalent iff they are
+    physically equal ([==]) — the property the equivalence prover, the
+    redundant-cell lint rule and the abstract interpreter all lean on.
+
+    Nodes are hash-consed on [(var, low, high)] with the standard
+    reduction rules (no node with [low == high], no duplicate
+    triples). Complement edges are intentionally left out: plain
+    hash-consing keeps negation a cached [xor] with {!one} and the
+    code auditable. Variables are plain [int]s ordered ascending from
+    the root; {!Cone} allocates them in {!Jhdl_circuit.Levelize} walk
+    order, two per leaf net (bit-plane pair).
+
+    Managers are not thread-safe; build one per analysis. *)
+
+type t
+(** A BDD node. Physical equality is semantic equality within one
+    manager. *)
+
+type man
+(** A manager: unique table, apply cache, allocation counters. *)
+
+exception Budget_exceeded
+(** Raised by the logical operations when the manager's node budget is
+    exhausted; see {!create}. The manager stays usable — {!var} and
+    already-built nodes keep working — so a caller can cut the current
+    cone (replace it by a fresh opaque leaf) and continue. *)
+
+val create : ?budget:int -> unit -> man
+(** [create ?budget ()] — a fresh manager. [budget] bounds the number
+    of internal nodes ever allocated by logical operations (default:
+    unbounded); crossing it raises {!Budget_exceeded}. *)
+
+val zero : t
+val one : t
+
+val var : man -> int -> t
+(** [var m i] — the function of variable [i]. Exempt from the budget so
+    opaque-leaf cuts always succeed after an overflow. *)
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Physical equality — constant time. *)
+
+val id : t -> int
+(** Stable node id within the owning manager ([0] and [1] are the
+    terminals) — usable as a perfect structural hash of the function. *)
+
+val is_const : t -> bool option
+(** [Some b] when the function is the constant [b], else [None]. *)
+
+val eval : t -> (int -> bool) -> bool
+(** [eval f env] — the value of [f] under the assignment [env]. *)
+
+val support : t -> int list
+(** Variables the function depends on, ascending. *)
+
+val depends_on : man -> t -> int -> bool
+(** [depends_on m f v] — does [f] depend on variable [v]? Equivalent to
+    [List.mem v (support f)] but memoized in the manager and pruned by
+    the variable order, so repeated probes against large shared cones
+    amortize to one walk of the live node set. *)
+
+val any_sat : t -> (int * bool) list option
+(** A satisfying partial assignment (variables absent from the result
+    are don't-cares), or [None] for {!zero}. *)
+
+val size : t -> int
+(** Distinct internal nodes reachable from a root (terminals excluded). *)
+
+(** {1 Counters}
+
+    Lifetime totals for the manager — deterministic for a fixed build
+    sequence, pinned by the node-table stress tests and exported
+    through {!register_metrics}. *)
+
+val nodes_created : man -> int
+val cache_lookups : man -> int
+val cache_hits : man -> int
+
+val register_metrics : man -> Jhdl_metrics.Metrics.t -> unit
+(** Probes [bdd_nodes_total], [bdd_cache_lookups_total] and
+    [bdd_cache_hits_total] on the registry. *)

@@ -1,0 +1,450 @@
+(* Dual-rail BDD cone extraction. The gate rules here mirror the batch
+   simulation kernel's word-wise plane rules operation for operation
+   (lib/sim/batch.ml) — that correspondence is what makes a pair an
+   exact closed form of the simulators' 4-valued semantics, and the
+   absint fuzz oracle checks it on every campaign. *)
+
+open Jhdl_circuit
+module B = Bdd
+module Bit = Jhdl_logic.Bit
+module Lut_init = Jhdl_logic.Lut_init
+
+type pair = { p0 : B.t; p1 : B.t }
+
+type leaf =
+  | Input of { port : string; bit : int }
+  | State of { key : string }
+  | Opaque of { net_id : int }
+
+type mode =
+  | Full
+  | Defined
+
+type state_spec =
+  | State_leaf of string
+  | State_const of Bit.t
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Leaf allocator                                                      *)
+
+type alloc = {
+  aman : B.man;
+  mutable leaf_rev : leaf list;
+  mutable n_leaves : int;
+  by_key : (string, int) Hashtbl.t;
+}
+
+let allocator aman =
+  { aman; leaf_rev = []; n_leaves = 0; by_key = Hashtbl.create 64 }
+
+let man al = al.aman
+let leaves al = Array.of_list (List.rev al.leaf_rev)
+
+let alloc_leaf al leaf =
+  let i = al.n_leaves in
+  al.n_leaves <- i + 1;
+  al.leaf_rev <- leaf :: al.leaf_rev;
+  i
+
+let intern al key leaf =
+  match Hashtbl.find_opt al.by_key key with
+  | Some i -> i
+  | None ->
+    let i = alloc_leaf al leaf in
+    Hashtbl.add al.by_key key i;
+    i
+
+(* [dual] selects both planes free (Full mode, and opaque leaves in
+   every mode) versus plane 1 pinned false (Defined mode). *)
+let pair_from_index al ~dual i =
+  let p0 = B.var al.aman (2 * i) in
+  let p1 = if dual then B.var al.aman ((2 * i) + 1) else B.zero in
+  { p0; p1 }
+
+(* ------------------------------------------------------------------ *)
+(* Constant pairs                                                      *)
+
+let const_pair b =
+  let code = Bit.to_code b in
+  { p0 = (if code land 1 = 1 then B.one else B.zero);
+    p1 = (if code land 2 <> 0 then B.one else B.zero) }
+
+let pair_is_const p =
+  match (B.is_const p.p0, B.is_const p.p1) with
+  | Some b0, Some b1 ->
+    Some (Bit.of_code ((if b0 then 1 else 0) lor (if b1 then 2 else 0)))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Gate rules (batch.ml plane rules, word ops replaced by BDD ops)     *)
+
+(* mux4 sel a b: a when sel=Zero, b when sel=One, X-or-agreement
+   otherwise — the kernel's universal selector. *)
+let mux4 m s a b =
+  let zs = B.and_ m (B.not_ m s.p0) (B.not_ m s.p1) in
+  let os = B.and_ m s.p0 (B.not_ m s.p1) in
+  let su = B.not_ m (B.or_ m zs os) in
+  let eq =
+    B.and_ m
+      (B.not_ m (B.xor m a.p0 b.p0))
+      (B.and_ m (B.not_ m a.p1) (B.not_ m b.p1))
+  in
+  let m0 =
+    B.or_ m
+      (B.or_ m (B.and_ m zs a.p0) (B.and_ m os b.p0))
+      (B.and_ m (B.and_ m su eq) a.p0)
+  in
+  let m1 =
+    B.or_ m
+      (B.or_ m (B.and_ m zs a.p1) (B.and_ m os b.p1))
+      (B.and_ m su (B.not_ m eq))
+  in
+  { p0 = m0; p1 = m1 }
+
+(* Possibility products: prod.(j) is "the inputs can select entry j",
+   with bit i of j owned by input i. *)
+let build_products m (ins : pair array) root =
+  let k = Array.length ins in
+  let prod = Array.make (1 lsl k) B.zero in
+  prod.(0) <- root;
+  let width = ref 1 in
+  for i = k - 1 downto 0 do
+    let v = ins.(i) in
+    let hi = B.or_ m v.p0 v.p1 in
+    let lo = B.or_ m (B.not_ m v.p0) v.p1 in
+    for j = !width - 1 downto 0 do
+      let t = prod.(j) in
+      prod.(2 * j) <- B.and_ m t lo;
+      prod.((2 * j) + 1) <- B.and_ m t hi
+    done;
+    width := !width * 2
+  done;
+  prod
+
+let lut_eval m init ins =
+  let tbl = Lut_init.to_int init in
+  let prod = build_products m ins B.one in
+  let can0 = ref B.zero and can1 = ref B.zero in
+  Array.iteri
+    (fun j p ->
+       if (tbl lsr j) land 1 = 1 then can1 := B.or_ m !can1 p
+       else can0 := B.or_ m !can0 p)
+    prod;
+  { p0 = B.and_ m !can1 (B.not_ m !can0); p1 = B.and_ m !can1 !can0 }
+
+let xorcy_eval m li ci =
+  let r1 = B.or_ m li.p1 ci.p1 in
+  { p0 = B.and_ m (B.xor m li.p0 ci.p0) (B.not_ m r1); p1 = r1 }
+
+let mult_and_eval m a b =
+  let def1 p = B.and_ m p.p0 (B.not_ m p.p1) in
+  let def0 p = B.not_ m (B.or_ m p.p0 p.p1) in
+  let ones = B.and_ m (def1 a) (def1 b) in
+  let zeros = B.or_ m (def0 a) (def0 b) in
+  { p0 = ones; p1 = B.not_ m (B.or_ m zeros ones) }
+
+let inv_eval m a =
+  { p0 = B.not_ m (B.or_ m a.p0 a.p1); p1 = a.p1 }
+
+(* 16-cell possibility-set read shared by SRL16E taps and RAM16X1S. *)
+let mem_read m (addrs : pair array) (cells : pair array) =
+  let au = Array.fold_left (fun acc a -> B.or_ m acc a.p1) B.zero addrs in
+  let da = B.not_ m au in
+  let prod = build_products m addrs B.one in
+  let ones = ref B.zero
+  and zeros = ref B.zero
+  and undef = ref B.zero
+  and zeds = ref B.zero in
+  Array.iteri
+    (fun j p ->
+       let v = cells.(j) in
+       let pv0 = B.and_ m p v.p0 and pv1 = B.and_ m p v.p1 in
+       ones := B.or_ m !ones (B.and_ m pv0 (B.not_ m v.p1));
+       zeros := B.or_ m !zeros (B.and_ m p (B.not_ m (B.or_ m v.p0 v.p1)));
+       undef := B.or_ m !undef pv1;
+       zeds := B.or_ m !zeds (B.and_ m pv0 v.p1))
+    prod;
+  let r0d = B.and_ m da (B.or_ m !ones !zeds) in
+  let r1d = B.and_ m da !undef in
+  let nu = B.not_ m !undef in
+  let u1 = B.and_ m au (B.and_ m !ones (B.and_ m (B.not_ m !zeros) nu)) in
+  let u0 = B.and_ m au (B.and_ m !zeros (B.and_ m (B.not_ m !ones) nu)) in
+  { p0 = B.or_ m r0d u1;
+    p1 = B.or_ m r1d (B.and_ m au (B.not_ m (B.or_ m u0 u1))) }
+
+(* ------------------------------------------------------------------ *)
+(* Analysis state                                                      *)
+
+type t = {
+  al : alloc;
+  tdesign : Design.t;
+  tmode : mode;
+  values : (int, pair) Hashtbl.t;
+  states : (int, pair array) Hashtbl.t;  (* cell_id -> current-state pairs *)
+  mutable n_cuts : int;
+  mutable n_opaque : int;
+}
+
+let design t = t.tdesign
+let alloc t = t.al
+let mode t = t.tmode
+let cuts t = t.n_cuts
+let opaque_leaves t = t.n_opaque
+
+let init_bits (s : Levelize.source) =
+  match s.Levelize.prim with
+  | Prim.Ff { init; _ } -> [| init |]
+  | Prim.Srl16 { init } | Prim.Ram16x1 { init } ->
+    Array.init 16 (fun i -> Bit.of_bool ((init lsr i) land 1 = 1))
+  | _ -> invalid_arg "Cone.init_bits: combinational source"
+
+let opaque_pair t (net : Types.net) =
+  t.n_opaque <- t.n_opaque + 1;
+  let i = alloc_leaf t.al (Opaque { net_id = net.Types.net_id }) in
+  pair_from_index t.al ~dual:true i
+
+let set_net t (net : Types.net) p = Hashtbl.replace t.values net.Types.net_id p
+let have_net t (net : Types.net) = Hashtbl.mem t.values net.Types.net_id
+
+let pair_of_net t (net : Types.net) =
+  match Hashtbl.find_opt t.values net.Types.net_id with
+  | Some v -> v
+  | None ->
+    (* undriven nets read as constant X, as in the simulators; a
+       driven-but-unvisited net would be a walk defect — cut it so the
+       result stays sound and the gap visible *)
+    let v =
+      if net.Types.driver = None && net.Types.extra_drivers = [] then
+        const_pair Bit.X
+      else begin
+        t.n_cuts <- t.n_cuts + 1;
+        opaque_pair t net
+      end
+    in
+    set_net t net v;
+    v
+
+let in_net (s : Levelize.source) port =
+  match List.assoc_opt port s.Levelize.in_ports with
+  | Some a when Array.length a > 0 -> a.(0)
+  | _ -> raise (Unsupported (Prim.name s.Levelize.prim ^ ": missing " ^ port))
+
+(* Single-output combinational gate evaluation, shared between the
+   forward pass and the observability re-evaluation probe. *)
+let eval_comb_prim m (s : Levelize.source) vf =
+  match s.Levelize.prim with
+  | Prim.Lut init ->
+    let k = Lut_init.inputs init in
+    let ins =
+      Array.init k (fun i -> vf (in_net s (Printf.sprintf "I%d" i)))
+    in
+    Some (lut_eval m init ins)
+  | Prim.Muxcy ->
+    Some (mux4 m (vf (in_net s "S")) (vf (in_net s "DI")) (vf (in_net s "CI")))
+  | Prim.Xorcy -> Some (xorcy_eval m (vf (in_net s "LI")) (vf (in_net s "CI")))
+  | Prim.Mult_and ->
+    Some (mult_and_eval m (vf (in_net s "I0")) (vf (in_net s "I1")))
+  | Prim.Buf -> Some (vf (in_net s "I"))
+  | Prim.Inv -> Some (inv_eval m (vf (in_net s "I")))
+  | Prim.Gnd -> Some (const_pair Bit.Zero)
+  | Prim.Vcc -> Some (const_pair Bit.One)
+  | Prim.Ff _ | Prim.Srl16 _ | Prim.Ram16x1 _ | Prim.Black_box _ -> None
+
+let addr_pairs t s =
+  Array.init 4 (fun i -> pair_of_net t (in_net s (Printf.sprintf "A%d" i)))
+
+let default_state s cell =
+  State_leaf (Printf.sprintf "%s#%d" (Cell.path s.Levelize.inst) cell)
+
+let analyze ?(mode = Full) ?budget ?alloc:al0 ?(state = default_state) dsn =
+  let al =
+    match al0 with Some a -> a | None -> allocator (B.create ?budget ())
+  in
+  let t =
+    { al;
+      tdesign = dsn;
+      tmode = mode;
+      values = Hashtbl.create 256;
+      states = Hashtbl.create 32;
+      n_cuts = 0;
+      n_opaque = 0 }
+  in
+  let m = al.aman in
+  let dual = mode = Full in
+  let sources = Levelize.sources_of_root (Design.root dsn) in
+  let order, _, _ = Levelize.levelize sources in
+  (* contended nets are pinned opaque before anything reads them,
+     mirroring Const_prop's pessimistic pinning *)
+  List.iter
+    (fun (n : Types.net) ->
+       if n.Types.extra_drivers <> [] then set_net t n (opaque_pair t n))
+    (Design.all_nets dsn);
+  (* input-port bits become shared leaves; a driven input net is
+     contention and stays opaque *)
+  List.iter
+    (fun (p : Design.port) ->
+       Array.iteri
+         (fun bit net ->
+            if not (have_net t net) then
+              if net.Types.driver <> None then set_net t net (opaque_pair t net)
+              else begin
+                let key = Printf.sprintf "in:%s:%d" p.Design.port_name bit in
+                let i =
+                  intern al key (Input { port = p.Design.port_name; bit })
+                in
+                set_net t net (pair_from_index al ~dual i)
+              end)
+         p.Design.port_wire.Types.nets)
+    (Design.inputs dsn);
+  let get_states s =
+    let cid = s.Levelize.inst.Types.cell_id in
+    match Hashtbl.find_opt t.states cid with
+    | Some a -> a
+    | None ->
+      let a =
+        Array.mapi
+          (fun cell _ ->
+             match state s cell with
+             | State_const b -> const_pair b
+             | State_leaf k ->
+               let i = intern al ("st:" ^ k) (State { key = k }) in
+               pair_from_index al ~dual i)
+          (init_bits s)
+      in
+      Hashtbl.add t.states cid a;
+      a
+  in
+  let czero = const_pair Bit.Zero in
+  let set_out s p =
+    match s.Levelize.out_ports with
+    | (_, nets) :: _ when Array.length nets > 0 ->
+      if not (have_net t nets.(0)) then set_net t nets.(0) p
+    | _ -> ()
+  in
+  let eval_source s =
+    match s.Levelize.prim with
+    | Prim.Ff { async_clear; _ } ->
+      let st = get_states s in
+      let q =
+        if async_clear then
+          mux4 m (pair_of_net t (in_net s "CLR")) st.(0) czero
+        else st.(0)
+      in
+      set_out s q
+    | Prim.Srl16 _ ->
+      let st = get_states s in
+      set_out s (mem_read m (addr_pairs t s) st)
+    | Prim.Ram16x1 _ ->
+      let st = get_states s in
+      set_out s (mem_read m (addr_pairs t s) st)
+    | Prim.Black_box _ ->
+      List.iter
+        (fun (_, nets) ->
+           Array.iter
+             (fun n -> if not (have_net t n) then set_net t n (opaque_pair t n))
+             nets)
+        s.Levelize.out_ports
+    | _ ->
+      (match eval_comb_prim m s (pair_of_net t) with
+       | Some p -> set_out s p
+       | None -> ())
+  in
+  Array.iter
+    (fun s ->
+       try eval_source s
+       with B.Budget_exceeded ->
+         (* cut the cone: this source's outputs become fresh opaque
+            leaves and the pass continues *)
+         t.n_cuts <- t.n_cuts + 1;
+         List.iter
+           (fun (_, nets) ->
+              Array.iter
+                (fun n ->
+                   if not (have_net t n) then set_net t n (opaque_pair t n))
+                nets)
+           s.Levelize.out_ports)
+    order;
+  t
+
+let output_pairs t =
+  List.map
+    (fun (p : Design.port) ->
+       ( p.Design.port_name,
+         Array.map (pair_of_net t) p.Design.port_wire.Types.nets ))
+    (Design.outputs t.tdesign)
+
+let state_pairs t (s : Levelize.source) =
+  match Hashtbl.find_opt t.states s.Levelize.inst.Types.cell_id with
+  | Some a -> a
+  | None -> raise Not_found
+
+let next_state t (s : Levelize.source) =
+  let m = t.al.aman in
+  let czero = const_pair Bit.Zero and cone_ = const_pair Bit.One in
+  match s.Levelize.prim with
+  | Prim.Ff { clock_enable; async_clear; sync_reset; _ } ->
+    let st = state_pairs t s in
+    let d = pair_of_net t (in_net s "D") in
+    let ce = if clock_enable then pair_of_net t (in_net s "CE") else cone_ in
+    let r = if sync_reset then pair_of_net t (in_net s "R") else czero in
+    let clr = if async_clear then pair_of_net t (in_net s "CLR") else czero in
+    let loaded = mux4 m r d czero in
+    let held = mux4 m ce st.(0) loaded in
+    [| mux4 m clr held czero |]
+  | Prim.Srl16 _ ->
+    let st = state_pairs t s in
+    let ce = pair_of_net t (in_net s "CE") in
+    let d = pair_of_net t (in_net s "D") in
+    Array.init 16 (fun i ->
+        let shifted = if i = 0 then d else st.(i - 1) in
+        mux4 m ce st.(i) shifted)
+  | Prim.Ram16x1 _ ->
+    let st = state_pairs t s in
+    let we = pair_of_net t (in_net s "WE") in
+    let d = pair_of_net t (in_net s "D") in
+    let addrs = addr_pairs t s in
+    let au = Array.fold_left (fun acc a -> B.or_ m acc a.p1) B.zero addrs in
+    let we_one = B.and_ m we.p0 (B.not_ m we.p1) in
+    let clobber = B.or_ m we.p1 (B.and_ m we_one au) in
+    let wen = B.and_ m we_one (B.not_ m au) in
+    let prod = build_products m addrs wen in
+    Array.init 16 (fun j ->
+        let w = prod.(j) in
+        let keep = B.not_ m (B.or_ m w clobber) in
+        { p0 = B.or_ m (B.and_ m w d.p0) (B.and_ m keep st.(j).p0);
+          p1 =
+            B.or_ m
+              (B.or_ m (B.and_ m w d.p1) clobber)
+              (B.and_ m keep st.(j).p1) })
+  | _ -> invalid_arg "Cone.next_state: combinational source"
+
+let probe_pair al =
+  let i = alloc_leaf al (Opaque { net_id = -1 }) in
+  { p0 = B.var al.aman (2 * i); p1 = B.zero }
+
+let pair_support_leaves t p =
+  let ls = leaves t.al in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun v -> Hashtbl.replace seen (v / 2) ())
+    (B.support p.p0 @ B.support p.p1);
+  Hashtbl.fold (fun i () acc -> i :: acc) seen []
+  |> List.sort compare
+  |> List.map (fun i -> ls.(i))
+
+let reeval_comb t (s : Levelize.source) ~subst =
+  let vf net =
+    match subst net with Some p -> p | None -> pair_of_net t net
+  in
+  eval_comb_prim t.al.aman s vf
+
+let eval_pair t p f =
+  let ls = leaves t.al in
+  let env v =
+    let code = Bit.to_code (f ls.(v / 2)) in
+    (code lsr (v land 1)) land 1 = 1
+  in
+  let b0 = B.eval p.p0 env and b1 = B.eval p.p1 env in
+  Bit.of_code ((if b0 then 1 else 0) lor (if b1 then 2 else 0))

@@ -1,0 +1,149 @@
+(** Cone extraction: a whole {!Jhdl_circuit.Design} as dual-rail BDDs.
+
+    Every net of the design gets a {e pair} of BDDs mirroring
+    {!Jhdl_sim.Simulator.Batch}'s two bit-plane encoding of the
+    4-valued codes: [(p0, p1)] with Zero=(0,0), One=(1,0), X=(0,1),
+    Z=(1,1). The forward pass walks the shared {!Levelize} order and
+    applies {e exactly} the batch kernel's word-wise gate rules —
+    possibility-set LUT lookup, the three-input [mux4], XORCY poison
+    planes, memory-read possibility products — so a cone pair is a
+    closed-form description of what the simulators compute, not an
+    approximation of it. The [absint] fuzz oracle holds the two
+    accountable to each other.
+
+    Leaves are the free inputs of the cone: top-level input-port bits,
+    sequential state cells, and {e opaque} cut-points (contended nets,
+    black-box outputs, and cones abandoned when the node budget
+    overflows). Leaf [i] owns BDD variables [2i] (plane 0) and
+    [2i + 1] (plane 1); inputs are allocated in port-declaration
+    order, then state and opaque leaves in Levelize-walk discovery
+    order.
+
+    Two modes select what the leaves range over:
+    - {!Full}: both planes free — pairs describe the exact 4-valued
+      function of arbitrary (even X/Z) leaf values.
+    - {!Defined}: input and state leaves get a single plane-0
+      variable with plane 1 pinned to false — pairs describe
+      behaviour when every leaf holds a defined 0/1 value, which is
+      what vector sweeps exercise and what defined-input equivalence
+      means. Opaque leaves stay dual-rail in both modes.
+
+    Sharing an {!alloc} between two analyses (same manager, same leaf
+    keys) makes their pairs directly comparable: physical equality of
+    pairs is functional equality — the basis of {!Jhdl_verify}'s
+    [Proved] result. *)
+
+open Jhdl_circuit
+
+type pair = { p0 : Bdd.t; p1 : Bdd.t }
+(** Plane 0 holds bit 0 of the {!Jhdl_logic.Bit.to_code}, plane 1 bit 1. *)
+
+type leaf =
+  | Input of { port : string; bit : int }
+  | State of { key : string }
+      (** one sequential state cell; [key] identifies it for sharing *)
+  | Opaque of { net_id : int }
+      (** cut-point: contended net, black-box output, or budget cut *)
+
+type mode =
+  | Full
+  | Defined
+
+type state_spec =
+  | State_leaf of string
+      (** free leaf under this sharing key (equal keys — even across
+          designs on a shared allocator — mean "assumed equal") *)
+  | State_const of Jhdl_logic.Bit.t
+      (** hypothesis: the cell always holds this value (the abstract
+          interpreter's reachable-state refinement supplies these) *)
+
+(** {1 Leaf allocator} *)
+
+type alloc
+
+val allocator : Bdd.man -> alloc
+val man : alloc -> Bdd.man
+
+val leaves : alloc -> leaf array
+(** Leaf [i] of the result owns variables [2i] and [2i + 1]. *)
+
+(** {1 Analysis} *)
+
+type t
+
+exception Unsupported of string
+(** Raised for designs outside the engine's scope (none currently —
+    black boxes degrade to opaque leaves — but callers must be ready). *)
+
+val analyze :
+  ?mode:mode ->
+  ?budget:int ->
+  ?alloc:alloc ->
+  ?state:(Levelize.source -> int -> state_spec) ->
+  Design.t ->
+  t
+(** [analyze design] runs the forward pass. [mode] defaults to {!Full}.
+    [budget] bounds BDD nodes when no [alloc] is supplied (a fresh
+    manager is created); overflowing cones are cut to opaque leaves
+    and counted in {!cuts}, and the pass continues. [state] chooses
+    per state cell (argument: its {!Levelize.source} and cell index)
+    between a shared leaf and a constant hypothesis; the default is a
+    design-local leaf per cell. Raises {!Levelize.Cycle} on
+    combinational cycles. *)
+
+val design : t -> Design.t
+val alloc : t -> alloc
+val mode : t -> mode
+
+val cuts : t -> int
+(** Budget (and defect) cut-points taken; [0] means every pair is
+    exact. Contended nets and black-box outputs are opaque by design
+    and not counted here. *)
+
+val opaque_leaves : t -> int
+(** Total opaque leaves this analysis introduced (cuts included). *)
+
+val pair_of_net : t -> Types.net -> pair
+(** Undriven nets read as constant X, exactly as in the simulators. *)
+
+val output_pairs : t -> (string * pair array) list
+(** Output ports in declaration order, pairs per bit (LSB first). *)
+
+val state_pairs : t -> Levelize.source -> pair array
+(** The {e current-state} pairs backing a sequential source's cells
+    (1 for FF, 16 for SRL16E/RAM16X1S), as chosen by [state]. Raises
+    [Not_found] for combinational sources. *)
+
+val next_state : t -> Levelize.source -> pair array
+(** Next-state pairs after one clock edge, mirroring the batch
+    kernel's edge rules (FD* load chain, SRL shift, RAM write). *)
+
+val init_bits : Levelize.source -> Jhdl_logic.Bit.t array
+(** INIT value per state cell of a sequential source. *)
+
+val probe_pair : alloc -> pair
+(** A fresh single-variable (defined) probe pair: substitute it for an
+    input net and test the recomputed output's support for its
+    variable — the observability pass's counterfactual relevance
+    check. *)
+
+val pair_support_leaves : t -> pair -> leaf list
+(** Distinct leaves in the support of either plane, ascending by
+    allocation index. *)
+
+val reeval_comb : t -> Levelize.source -> subst:(Types.net -> pair option) -> pair option
+(** [reeval_comb t s ~subst] recomputes a purely combinational
+    source's single output pair with [subst] overriding input-net
+    pairs — the observability pass's local-relevance probe. [None]
+    for sequential sources, black boxes, and multi-output prims. *)
+
+(** {1 Concrete evaluation} *)
+
+val eval_pair : t -> pair -> (leaf -> Jhdl_logic.Bit.t) -> Jhdl_logic.Bit.t
+(** Evaluate a pair under concrete leaf values ({!Full}-mode analyses
+    only — {!Defined} pairs assume defined leaves by construction). *)
+
+val const_pair : Jhdl_logic.Bit.t -> pair
+(** The constant pair of a bit ([Leaf] terminals only). *)
+
+val pair_is_const : pair -> Jhdl_logic.Bit.t option

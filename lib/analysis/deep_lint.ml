@@ -1,0 +1,254 @@
+(* Analysis-backed lint rules (L5xx). These live above Jhdl_lint — the
+   lint engine stays dependency-light, the BDD rules plug their
+   diagnostics into the same report/renderer conventions. *)
+
+open Jhdl_circuit
+module Lint = Jhdl_lint.Lint
+module Const_prop = Jhdl_lint.Const_prop
+module Bit = Jhdl_logic.Bit
+
+let l501 =
+  { Lint.id = "L501";
+    name = "provable-constant-net";
+    default_severity = Lint.Info;
+    doc =
+      "Net is provably constant by BDD cone analysis but invisible to \
+       constant propagation (e.g. x XOR x, a mux with equal arms)." }
+
+let l502 =
+  { Lint.id = "L502";
+    name = "redundant-cell-pair";
+    default_severity = Lint.Info;
+    doc =
+      "Two or more combinational cells compute the same 4-valued \
+       function of the same leaves (hash-consed cone pairs coincide); \
+       all but one can be removed." }
+
+let l503 =
+  { Lint.id = "L503";
+    name = "unobservable-cone";
+    default_severity = Lint.Info;
+    doc =
+      "Cell is structurally connected toward an output but provably \
+       cannot affect any output port for defined inputs." }
+
+let rules = [ l501; l502; l503 ]
+
+let net_label (n : Types.net) =
+  match n.Types.source_wire with
+  | Some w -> Printf.sprintf "%s[%d]" (Wire.full_name w) n.Types.source_bit
+  | None -> Printf.sprintf "net#%d" n.Types.net_id
+
+let diag (info : Lint.rule_info) ?(cells = []) ?(nets = []) message =
+  { Lint.rule_id = info.Lint.id;
+    rule_name = info.Lint.name;
+    severity = info.Lint.default_severity;
+    message;
+    cells;
+    nets }
+
+let driver_cell (n : Types.net) =
+  match n.Types.driver with
+  | Some t -> Some t.Types.term_cell
+  | None -> None
+
+let check_constants absint cp =
+  List.filter_map
+    (fun (c : Absint.claim_info) ->
+       let n = c.Absint.net in
+       let trivially_const =
+         match driver_cell n with
+         | Some cell ->
+           (match cell.Types.kind with
+            | Types.Primitive (Prim.Gnd | Prim.Vcc) -> true
+            | _ -> false)
+         | None -> true
+       in
+       if trivially_const then None
+       else
+         match (c.Absint.claim, Const_prop.net_value cp n) with
+         | _, Const_prop.Const _ -> None  (* const-prop sees it already *)
+         | Absint.Always b, _ when Bit.is_defined b ->
+           Some
+             (diag l501
+                ~cells:
+                  (match driver_cell n with
+                   | Some cell -> [ Cell.path cell ]
+                   | None -> [])
+                ~nets:[ net_label n ]
+                (Printf.sprintf
+                   "net %s is provably constant %c under every stimulus; \
+                    constant propagation reports it as varying"
+                   (net_label n) (Bit.to_char b)))
+         | Absint.When_defined b, _ when Bit.is_defined b ->
+           Some
+             (diag l501
+                ~cells:
+                  (match driver_cell n with
+                   | Some cell -> [ Cell.path cell ]
+                   | None -> [])
+                ~nets:[ net_label n ]
+                (Printf.sprintf
+                   "net %s is provably constant %c whenever its %d fan-in \
+                    leaves are defined; constant propagation reports it as \
+                    varying"
+                   (net_label n) (Bit.to_char b)
+                   (List.length c.Absint.gate)))
+         | _ -> None)
+    (Absint.claims absint)
+
+let check_redundant absint =
+  let full = Absint.cone_full absint in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Levelize.source) ->
+       let interesting =
+         match s.Levelize.prim with
+         | Prim.Lut _ | Prim.Muxcy | Prim.Xorcy | Prim.Mult_and | Prim.Inv ->
+           true
+         | _ -> false  (* BUFs copy their input; GND/VCC are L501's domain *)
+       in
+       if interesting then
+         match s.Levelize.out_ports with
+         | (_, nets) :: _ when Array.length nets > 0 ->
+           let n = nets.(0) in
+           if n.Types.extra_drivers = [] then begin
+             let p = Cone.pair_of_net full n in
+             if Cone.pair_is_const p = None then begin
+               let key = (Bdd.id p.Cone.p0, Bdd.id p.Cone.p1) in
+               let prev =
+                 Option.value ~default:[] (Hashtbl.find_opt groups key)
+               in
+               Hashtbl.replace groups key ((s, n) :: prev)
+             end
+           end
+         | _ -> ())
+    (Levelize.sources_of_root (Design.root (Absint.design absint)));
+  Hashtbl.fold (fun _ members acc -> members :: acc) groups []
+  |> List.filter (fun members -> List.length members >= 2)
+  |> List.map (fun members ->
+      let members = List.rev members in
+      let cells =
+        List.map
+          (fun ((s : Levelize.source), _) -> Cell.path s.Levelize.inst)
+          members
+      in
+      let nets = List.map (fun (_, n) -> net_label n) members in
+      diag l502 ~cells ~nets
+        (Printf.sprintf
+           "%d cells compute the same 4-valued function (BDD-proved): %s"
+           (List.length members)
+           (String.concat ", " cells)))
+  |> List.sort (fun a b -> compare a.Lint.cells b.Lint.cells)
+
+let check_unobservable absint =
+  let design = Absint.design absint in
+  (* structural liveness: nets on some undirected driver path from an
+     output port — cells outside it are plain dead logic (L008's
+     business), not an analysis result worth repeating *)
+  let live = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let mark (n : Types.net) =
+    if not (Hashtbl.mem live n.Types.net_id) then begin
+      Hashtbl.replace live n.Types.net_id ();
+      Queue.add n queue
+    end
+  in
+  let src_of = Hashtbl.create 64 in
+  let sources = Levelize.sources_of_root (Design.root design) in
+  List.iter
+    (fun (s : Levelize.source) ->
+       Hashtbl.replace src_of s.Levelize.inst.Types.cell_id s)
+    sources;
+  List.iter
+    (fun (p : Design.port) ->
+       Array.iter mark p.Design.port_wire.Types.nets)
+    (Design.outputs design);
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun (t : Types.terminal) ->
+         match Hashtbl.find_opt src_of t.Types.term_cell.Types.cell_id with
+         | None -> ()
+         | Some s ->
+           List.iter
+             (fun (_, nets) -> Array.iter mark nets)
+             s.Levelize.in_ports)
+      (match n.Types.driver with
+       | Some d -> d :: n.Types.extra_drivers
+       | None -> n.Types.extra_drivers)
+  done;
+  List.filter_map
+    (fun (s : Levelize.source) ->
+       let outs =
+         List.concat_map
+           (fun (_, nets) -> Array.to_list nets)
+           s.Levelize.out_ports
+       in
+       let structurally_live =
+         List.exists (fun n -> Hashtbl.mem live n.Types.net_id) outs
+       in
+       let unobservable =
+         outs <> []
+         && List.for_all (fun n -> not (Absint.observable absint n)) outs
+       in
+       if structurally_live && unobservable then
+         Some
+           (diag l503
+              ~cells:[ Cell.path s.Levelize.inst ]
+              ~nets:(List.map net_label outs)
+              (Printf.sprintf
+                 "cell %s reaches an output structurally but provably \
+                  cannot affect any output port for defined inputs"
+                 (Cell.path s.Levelize.inst)))
+       else None)
+    sources
+
+let apply_config (config : Lint.config) diags =
+  let enabled (d : Lint.diagnostic) =
+    (match config.Lint.only with
+     | Some ids -> List.mem d.Lint.rule_id ids
+     | None -> true)
+    && not (List.mem d.Lint.rule_id config.Lint.disabled)
+  in
+  let override (d : Lint.diagnostic) =
+    match List.assoc_opt d.Lint.rule_id config.Lint.overrides with
+    | Some sev -> { d with Lint.severity = sev }
+    | None -> d
+  in
+  let diags = List.map override (List.filter enabled diags) in
+  let n = List.length diags in
+  if n <= config.Lint.max_diagnostics then (diags, 0)
+  else
+    ( List.filteri (fun i _ -> i < config.Lint.max_diagnostics) diags,
+      n - config.Lint.max_diagnostics )
+
+let run ?(config = Lint.default_config) ?budget ?metrics design =
+  match
+    let absint = Absint.analyze ?budget design in
+    (match metrics with
+     | Some registry ->
+       Bdd.register_metrics (Cone.man (Cone.alloc (Absint.cone_full absint)))
+         registry
+     | None -> ());
+    let cp = Const_prop.analyze design in
+    check_constants absint cp @ check_redundant absint
+    @ check_unobservable absint
+  with
+  | diags ->
+    let diagnostics, dropped = apply_config config diags in
+    { Lint.design = Design.name design; diagnostics; dropped }
+  | exception Levelize.Cycle _ ->
+    (* the base engine reports combinational cycles; nothing sound to
+       analyse here *)
+    { Lint.design = Design.name design; diagnostics = []; dropped = 0 }
+
+let merge ?max_diagnostics (base : Lint.report) (deep : Lint.report) =
+  let diagnostics = base.Lint.diagnostics @ deep.Lint.diagnostics in
+  let dropped = base.Lint.dropped + deep.Lint.dropped in
+  match max_diagnostics with
+  | Some cap when List.length diagnostics > cap ->
+    { Lint.design = base.Lint.design;
+      diagnostics = List.filteri (fun i _ -> i < cap) diagnostics;
+      dropped = dropped + (List.length diagnostics - cap) }
+  | _ -> { Lint.design = base.Lint.design; diagnostics; dropped }

@@ -1,0 +1,45 @@
+(** Analysis-backed lint rules (the [L5xx] range).
+
+    These rules need the BDD cone engine, so they live here rather
+    than in {!Jhdl_lint.Lint} — the base engine stays dependency-light
+    while [lint_tool --deep] merges both reports through the same
+    text/JSON renderers:
+
+    - [L501] {e provable-constant-net} — a net the abstract
+      interpreter proves constant (always, or whenever its fan-in
+      leaves are defined) that {!Jhdl_lint.Const_prop} reports as
+      varying: [x XOR x], equal-arm muxes, cancelled carry chains.
+    - [L502] {e redundant-cell-pair} — combinational cells whose cone
+      pairs hash-cons to the same nodes: a BDD proof that they compute
+      identical 4-valued functions.
+    - [L503] {e unobservable-cone} — cells that structurally reach an
+      output but provably cannot affect any output port for defined
+      inputs (constant-selected muxes, masked logic).
+
+    All three default to [Info]: they are optimization opportunities,
+    not defects, and never fail an [--fail-on error] gate by default. *)
+
+val rules : Jhdl_lint.Lint.rule_info list
+(** The deep registry, id order — append to {!Jhdl_lint.Lint.rules}
+    for [--rules] listings. *)
+
+val run :
+  ?config:Jhdl_lint.Lint.config ->
+  ?budget:int ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  Jhdl_circuit.Design.t ->
+  Jhdl_lint.Lint.report
+(** Deep diagnostics only, honouring [config]'s only/disabled/override
+    /cap settings exactly like the base engine. [budget] bounds BDD
+    nodes (overflowing cones degrade to fewer findings, never wrong
+    ones). [metrics] registers the manager's node/cache probes.
+    Designs with combinational cycles yield an empty report — the base
+    engine already diagnoses those. *)
+
+val merge :
+  ?max_diagnostics:int ->
+  Jhdl_lint.Lint.report ->
+  Jhdl_lint.Lint.report ->
+  Jhdl_lint.Lint.report
+(** [merge base deep] — one report for the renderers: base rules
+    first, then deep, re-capped when [max_diagnostics] is given. *)

@@ -12,6 +12,10 @@
     - {!Estimate}: area and static-timing estimation.
     - {!Lint}, {!Const_prop}, {!Levelize}: the rule-based netlist lint
       engine and the analyses it shares with the simulators.
+    - {!Bdd}, {!Cone}, {!Absint}, {!Deep_lint}: the formal analysis
+      engine — hash-consed BDDs, dual-rail cone extraction, the
+      constancy/observability abstract interpreter and the
+      proof-backed lint rules it powers ([lint_tool --deep]).
     - {!Adders}, {!Kcm}, {!Fir}, {!Counter}, {!Datapath}, {!Multiplier},
       {!Modgen_util}: module generators.
     - {!Hierarchy}, {!Schematic}, {!Floorplan}, {!Waveform}, {!Vcd}:
@@ -53,6 +57,10 @@ module Estimate = Jhdl_estimate.Estimate
 module Levelize = Jhdl_circuit.Levelize
 module Lint = Jhdl_lint.Lint
 module Const_prop = Jhdl_lint.Const_prop
+module Bdd = Jhdl_analysis.Bdd
+module Cone = Jhdl_analysis.Cone
+module Absint = Jhdl_analysis.Absint
+module Deep_lint = Jhdl_analysis.Deep_lint
 module Adders = Jhdl_modgen.Adders
 module Kcm = Jhdl_modgen.Kcm
 module Fir = Jhdl_modgen.Fir

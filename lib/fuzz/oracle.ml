@@ -20,6 +20,7 @@ type kind =
   | Lint_clean
   | Estimate_mono
   | Batch_equiv
+  | Absint_sound
 
 type verdict =
   | Pass
@@ -27,7 +28,7 @@ type verdict =
 
 let all =
   [ Sim_vs_ref; Snapshot_rt; Netlist_rt; Lint_clean; Estimate_mono;
-    Batch_equiv ]
+    Batch_equiv; Absint_sound ]
 
 let kind_to_string = function
   | Sim_vs_ref -> "sim-vs-ref"
@@ -36,6 +37,7 @@ let kind_to_string = function
   | Lint_clean -> "lint"
   | Estimate_mono -> "estimate"
   | Batch_equiv -> "batch"
+  | Absint_sound -> "absint"
 
 let kind_of_string = function
   | "sim-vs-ref" | "sim" -> Some Sim_vs_ref
@@ -44,6 +46,7 @@ let kind_of_string = function
   | "lint" -> Some Lint_clean
   | "estimate" -> Some Estimate_mono
   | "batch" -> Some Batch_equiv
+  | "absint" -> Some Absint_sound
   | _ -> None
 
 exception Divergence of string
@@ -456,6 +459,178 @@ let batch_equiv ?metrics recipe stim =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Absint_sound                                                        *)
+
+module Bit = Jhdl_logic.Bit
+module Lut_init = Jhdl_logic.Lut_init
+module Types = Jhdl_circuit.Types
+module Wire = Jhdl_circuit.Wire
+module Cone = Jhdl_analysis.Cone
+module Absint = Jhdl_analysis.Absint
+module Equiv = Jhdl_verify.Equiv
+
+let net_name (n : Types.net) =
+  match n.Types.source_wire with
+  | Some w -> Printf.sprintf "%s[%d]" (Wire.full_name w) n.Types.source_bit
+  | None -> Printf.sprintf "net#%d" n.Types.net_id
+
+(* Address-bit reversal: bit [i] of the result is bit [k-1-i] of [j]. *)
+let rev_bits ~k j =
+  let r = ref 0 in
+  for i = 0 to k - 1 do
+    if (j lsr i) land 1 = 1 then r := !r lor (1 lsl (k - 1 - i))
+  done;
+  !r
+
+(* An equivalence-preserving rewrite of the combinational layer: every
+   LUT gets its input pins reversed (with the truth table permuted to
+   match), INV becomes LUT1 0b01 and BUF becomes LUT1 0b10. The result
+   is structurally different but functionally identical, so any
+   [Not_equivalent] verdict from {!Equiv.check} is an analysis bug. *)
+let comb_variant (recipe : Recipe.t) =
+  let rewrite (e : Recipe.entry) =
+    let node =
+      match e.Recipe.node with
+      | Recipe.Lut { init; inputs } ->
+        let k = Array.length inputs in
+        let tbl = Lut_init.of_int ~inputs:k init in
+        let init' =
+          Lut_init.to_int
+            (Lut_init.of_function ~inputs:k (fun j ->
+                 Lut_init.eval_int tbl (rev_bits ~k j)))
+        in
+        Recipe.Lut
+          { init = init';
+            inputs = Array.init k (fun i -> inputs.(k - 1 - i)) }
+      | Recipe.Inv { i } -> Recipe.Lut { init = 0b01; inputs = [| i |] }
+      | Recipe.Buf { i } -> Recipe.Lut { init = 0b10; inputs = [| i |] }
+      | n -> n
+    in
+    { e with Recipe.node }
+  in
+  { recipe with Recipe.entries = Array.map rewrite recipe.Recipe.entries }
+
+(* Soundness of the formal analysis layer against the simulators:
+
+   1. every {!Absint} constancy claim must hold at every observation
+      point of a simulated run ([Always] unconditionally, [When_defined]
+      whenever the claim's gate leaves hold defined values);
+   2. with no budget cuts, the Full-mode BDD cone evaluated under the
+      simulator's concrete leaf values must reproduce every output bit
+      exactly (4-valued, X and all);
+   3. {!Equiv.check} must never refute the [comb_variant] rewrite, and
+      a [Proved] verdict must additionally survive a differential
+      batch-kernel sweep of the same pair. *)
+let absint_sound ?metrics recipe stim =
+  let built = Recipe.build recipe in
+  let design = built.Recipe.design in
+  let absint = Absint.analyze design in
+  let full = Absint.cone_full absint in
+  let claims = Absint.claims absint in
+  let net_idx = Hashtbl.create 64 in
+  List.iteri
+    (fun i (n : Types.net) -> Hashtbl.replace net_idx n.Types.net_id i)
+    (Design.all_nets design);
+  let dut = Simulator.create ?clock:built.Recipe.clock design in
+  let inputs_tbl = Hashtbl.create 8 in
+  let leaf_value image = function
+    | Cone.Input { port; bit } ->
+      (match Hashtbl.find_opt inputs_tbl port with
+       | Some v when bit < Bits.width v -> Bits.get v bit
+       | _ -> Bit.X)
+    | Cone.State { key } ->
+      (match String.rindex_opt key '#' with
+       | None -> Bit.X
+       | Some i ->
+         let path = String.sub key 0 i in
+         let cell =
+           int_of_string (String.sub key (i + 1) (String.length key - i - 1))
+         in
+         (match List.assoc_opt path image.Snapshot.image_seq with
+          | Some (Snapshot.Flop code) when cell = 0 -> Bit.of_code code
+          | Some (Snapshot.Mem bytes) when cell < Bytes.length bytes ->
+            Bit.of_code (Char.code (Bytes.get bytes cell))
+          | _ -> Bit.X))
+    | Cone.Opaque _ -> Bit.X
+  in
+  let check_moment ctx =
+    let image = Snapshot.decode (Simulator.snapshot dut) in
+    let value_of_net (n : Types.net) =
+      match Hashtbl.find_opt net_idx n.Types.net_id with
+      | Some i ->
+        Bit.of_code (Char.code (Bytes.get image.Snapshot.image_nets i))
+      | None -> Bit.X
+    in
+    List.iter
+      (fun (c : Absint.claim_info) ->
+         let actual = value_of_net c.Absint.net in
+         match c.Absint.claim with
+         | Absint.Always b ->
+           if actual <> b then
+             divergef "%s: net %s proved always %c but simulates as %c" ctx
+               (net_name c.Absint.net) (Bit.to_char b) (Bit.to_char actual)
+         | Absint.When_defined b ->
+           let gated =
+             List.for_all
+               (fun l -> Bit.is_defined (leaf_value image l))
+               c.Absint.gate
+           in
+           if gated && actual <> b then
+             divergef
+               "%s: net %s proved %c under defined leaves but simulates \
+                as %c"
+               ctx (net_name c.Absint.net) (Bit.to_char b)
+               (Bit.to_char actual))
+      claims;
+    if Cone.opaque_leaves full = 0 then
+      List.iter
+        (fun (port, pairs) ->
+           match Design.find_port design port with
+           | None -> ()
+           | Some p ->
+             let sim = Simulator.get dut p.Design.port_wire in
+             Array.iteri
+               (fun bit pair ->
+                  let expect = Cone.eval_pair full pair (leaf_value image) in
+                  let actual = Bits.get sim bit in
+                  if expect <> actual then
+                    divergef
+                      "%s: output %s[%d]: BDD cone gives %c, kernel gives %c"
+                      ctx port bit (Bit.to_char expect) (Bit.to_char actual))
+               pairs)
+        (Cone.output_pairs full)
+  in
+  check_moment "initial";
+  Array.iteri
+    (fun step row ->
+       let stimulus = assignments built row in
+       Simulator.set_inputs dut stimulus;
+       List.iter (fun (p, v) -> Hashtbl.replace inputs_tbl p v) stimulus;
+       check_moment (Printf.sprintf "step %d, after inputs" step);
+       Simulator.cycle dut;
+       check_moment (Printf.sprintf "step %d, after cycle" step))
+    stim.Stimulus.steps;
+  let variant = Recipe.build (comb_variant recipe) in
+  let describe r = Format.asprintf "%a" Equiv.pp_result r in
+  let recheck strategy =
+    Equiv.check ~max_exhaustive_bits:10 ~random_vectors:64
+      ~cycles_per_vector:2 ~strategy ?metrics design variant.Recipe.design
+  in
+  match recheck `Auto with
+  | Equiv.Not_equivalent _ as r ->
+    divergef "equivalence-preserving rewrite refuted: %s" (describe r)
+  | Equiv.Interface_mismatch m ->
+    divergef "equivalence-preserving rewrite changed the interface: %s" m
+  | Equiv.Proved _ -> (
+      (* the issue's contract: every proof survives a differential
+         batch-kernel sweep of the same pair *)
+      match recheck `Sweep with
+      | Equiv.Not_equivalent _ as r ->
+        divergef "proved verdict refuted by batch sweep: %s" (describe r)
+      | _ -> ())
+  | Equiv.Equivalent _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(inject_bug = false) ?metrics kind recipe stim =
   try
@@ -465,7 +640,8 @@ let run ?(inject_bug = false) ?metrics kind recipe stim =
      | Netlist_rt -> netlist_rt recipe
      | Lint_clean -> lint_clean recipe
      | Estimate_mono -> estimate_mono recipe
-     | Batch_equiv -> batch_equiv ?metrics recipe stim);
+     | Batch_equiv -> batch_equiv ?metrics recipe stim
+     | Absint_sound -> absint_sound ?metrics recipe stim);
     Pass
   with
   | Divergence m -> Fail m

@@ -30,6 +30,16 @@
       every clock edge, the shared cycle counter, a per-lane
       {!Jhdl_sim.Simulator.Batch.snapshot_lane} blob byte-identical to
       the reference's snapshot, and agreement again after reset.
+    - [Absint_sound] — soundness of the formal analysis layer: every
+      {!Jhdl_analysis.Absint} constancy claim must hold at every
+      observation point of a simulated run ([Always] unconditionally,
+      [When_defined] whenever its gate leaves are defined), the
+      Full-mode BDD cone must reproduce every output bit exactly under
+      the simulator's concrete leaf values, and {!Jhdl_verify.Equiv}
+      must never refute an equivalence-preserving rewrite of the
+      design (LUT pin reversal with permuted INIT, INV/BUF folded to
+      LUT1) — with any [Proved] verdict re-validated by a differential
+      batch-kernel sweep.
 
     [inject_bug] simulates a kernel defect behind a flag (any design
     containing a MULT_AND is reported divergent by [Sim_vs_ref]) so the
@@ -42,12 +52,13 @@ type kind =
   | Lint_clean
   | Estimate_mono
   | Batch_equiv
+  | Absint_sound
 
 type verdict =
   | Pass
   | Fail of string
 
-(** All six oracles, in fixed order. *)
+(** All seven oracles, in fixed order. *)
 val all : kind list
 
 val kind_to_string : kind -> string
@@ -66,7 +77,9 @@ val lane_stimulus : Stimulus.t -> lane:int -> Stimulus.t
     [Batch_equiv] case run under it ([lanes_active],
     [batch_cases_total], [batch_lane_steps_total],
     [batch_settle_evals_total], [batch_net_events_total] and the
-    [words_per_settle] histogram). *)
+    [words_per_settle] histogram), plus {!Jhdl_verify.Equiv}'s
+    proof/fallback/sweep counters across every [Absint_sound] case's
+    re-proved rewrite. *)
 val run :
   ?inject_bug:bool ->
   ?metrics:Jhdl_metrics.Metrics.t ->

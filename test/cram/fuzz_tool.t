@@ -1,5 +1,5 @@
 The fuzzer generates valid-by-construction designs and drives each
-through all six differential oracles. Everything derives from the
+through all seven differential oracles. Everything derives from the
 single --seed, so the whole report is byte-stable.
 
   $ jhdl-fuzz-tool --seed 1 --count 6 --max-cells 16 --steps 6
@@ -11,6 +11,7 @@ single --seed, so the whole report is byte-stable.
   oracle lint          6 run, 0 failed
   oracle estimate      6 run, 0 failed
   oracle batch         6 run, 0 failed
+  oracle absint        6 run, 0 failed
   coverage: BUF=7 FDCE=3 FDRE=2 GND=2 INPUT=26 LUT1=5 LUT2=7 LUT3=11 LUT4=6 MULT_AND=1 MUXCY=3 RAM16X1S=5 SRL16E=3 XORCY=5
   result: PASS
 
@@ -23,9 +24,10 @@ The oracle set is selectable and enumerable:
   lint
   estimate
   batch
+  absint
 
   $ jhdl-fuzz-tool --oracle bogus
-  fuzz_tool: unknown oracle bogus (try sim-vs-ref, snapshot, netlist, lint, estimate, batch or all)
+  fuzz_tool: unknown oracle bogus (try sim-vs-ref, snapshot, netlist, lint, estimate, batch, absint or all)
   [2]
 
 The batch oracle packs 63 derived testbench lanes into one

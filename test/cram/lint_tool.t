@@ -59,6 +59,30 @@ The registry is self-describing.
   L002  error     undriven-net             A net with sinks but no driver and no top-level input binding.
   L003  warning   dangling-driver          A driven net that nothing reads and no output port exposes.
 
+--deep adds the BDD-backed analysis rules (L5xx): proof-backed
+findings the structural rules cannot see, reported at info severity
+through the same renderers.
+
+  $ jhdl-lint-tool --ip UpCounter --deep
+  warning L003 [dangling-driver] net counter_top/counter/inc_add/carry[8] is driven but read by nothing
+  warning L008 [dead-logic] 1 primitive(s) feed no design output (dead logic): counter_top/counter/inc_add/cy7
+  info    L502 [redundant-cell-pair] 2 cells compute the same 4-valued function (BDD-proved): counter_top/counter/inc_add/prop0, counter_top/counter/inc_add/sum0
+  counter_top: 0 error(s), 2 warning(s), 1 info
+
+The BDD manager's counters are deterministic, so the metrics dump is
+pinned byte-for-byte.
+
+  $ jhdl-lint-tool --ip UpCounter --deep --metrics | tail -4
+  [analysis] 3 metric(s)
+    counter   bdd_cache_hits_total             2146
+    counter   bdd_cache_lookups_total          3867
+    counter   bdd_nodes_total                  1098
+
+  $ jhdl-lint-tool --rules | tail -3
+  L501  info      provable-constant-net    Net is provably constant by BDD cone analysis but invisible to constant propagation (e.g. x XOR x, a mux with equal arms).
+  L502  info      redundant-cell-pair      Two or more combinational cells compute the same 4-valued function of the same leaves (hash-consed cone pairs coincide); all but one can be removed.
+  L503  info      unobservable-cone        Cell is structurally connected toward an output but provably cannot affect any output port for defined inputs.
+
 Stock catalog designs lint clean at error severity.
 
   $ jhdl-lint-tool --all > report.txt; echo "exit $?"

@@ -1,0 +1,385 @@
+(* Formal analysis engine tests: hash-consing invariants, budget
+   behaviour, the Const_prop pessimisms the BDD layer resolves, the
+   deep lint rules, and a seeded corpus pinning BDD cone evaluation to
+   the compiled simulation kernel. *)
+
+module Bit = Jhdl_logic.Bit
+module Bits = Jhdl_logic.Bits
+module Lut_init = Jhdl_logic.Lut_init
+module Types = Jhdl_circuit.Types
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Design = Jhdl_circuit.Design
+module Prim = Jhdl_circuit.Prim
+module Bdd = Jhdl_analysis.Bdd
+module Cone = Jhdl_analysis.Cone
+module Absint = Jhdl_analysis.Absint
+module Deep_lint = Jhdl_analysis.Deep_lint
+module Lint = Jhdl_lint.Lint
+module Const_prop = Jhdl_lint.Const_prop
+module Simulator = Jhdl_sim.Simulator
+module Snapshot = Jhdl_sim.Snapshot
+module Kcm = Jhdl_modgen.Kcm
+module Gen = Jhdl_fuzz.Gen
+module Recipe = Jhdl_fuzz.Recipe
+module Stimulus = Jhdl_fuzz.Stimulus
+module Fuzz = Jhdl_fuzz.Fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing and the node table                                     *)
+
+let test_hash_consing () =
+  let m = Bdd.create () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "x&y == y&x" true
+    (Bdd.equal (Bdd.and_ m x y) (Bdd.and_ m y x));
+  Alcotest.(check bool) "x^x == 0" true (Bdd.equal (Bdd.xor m x x) Bdd.zero);
+  Alcotest.(check bool) "~~x == x" true
+    (Bdd.equal (Bdd.not_ m (Bdd.not_ m x)) x);
+  Alcotest.(check bool) "ite(x,1,0) == x" true
+    (Bdd.equal (Bdd.ite m x Bdd.one Bdd.zero) x);
+  let before = Bdd.nodes_created m in
+  let a = Bdd.or_ m (Bdd.and_ m x y) (Bdd.xor m x y) in
+  let b = Bdd.or_ m (Bdd.and_ m x y) (Bdd.xor m x y) in
+  Alcotest.(check bool) "rebuilt expression is the same node" true
+    (Bdd.equal a b);
+  let after_first = Bdd.nodes_created m in
+  Alcotest.(check bool) "first build allocates" true (after_first > before);
+  (* everything the second build needs is already in the tables *)
+  Alcotest.(check int) "second build allocates nothing" after_first
+    (Bdd.nodes_created m)
+
+let test_memo_hit_rate_deterministic () =
+  (* an xor chain exercises the memo cache; counters must replay
+     exactly across fresh managers — CI pins determinism here *)
+  let build () =
+    let m = Bdd.create () in
+    let acc = ref Bdd.zero in
+    for i = 0 to 15 do
+      acc := Bdd.xor m !acc (Bdd.var m i)
+    done;
+    for i = 0 to 15 do
+      acc := Bdd.and_ m !acc (Bdd.or_ m (Bdd.var m i) (Bdd.var m ((i + 1) mod 16)))
+    done;
+    (Bdd.nodes_created m, Bdd.cache_lookups m, Bdd.cache_hits m)
+  in
+  let n1, l1, h1 = build () in
+  let n2, l2, h2 = build () in
+  Alcotest.(check int) "nodes replay" n1 n2;
+  Alcotest.(check int) "lookups replay" l1 l2;
+  Alcotest.(check int) "hits replay" h1 h2;
+  Alcotest.(check bool) "cache is doing work" true (h1 > 0)
+
+let test_budget_exceeded () =
+  let m = Bdd.create ~budget:8 () in
+  (* vars are budget-exempt (opaque cuts must always be expressible) *)
+  let vars = Array.init 16 (fun i -> Bdd.var m (2 * i)) in
+  Alcotest.check_raises "apply overflows the node budget"
+    Bdd.Budget_exceeded (fun () ->
+      ignore
+        (Array.fold_left
+           (fun acc v -> Bdd.or_ m (Bdd.and_ m acc v) (Bdd.xor m acc v))
+           (Bdd.var m 1) vars))
+
+let wide_xor_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 8 in
+  let o = Wire.create top ~name:"o" 1 in
+  let stage = Wire.create top ~name:"stage" 4 in
+  for i = 0 to 3 do
+    let _ =
+      Cell.prim top
+        ~name:(Printf.sprintf "x%d" i)
+        (Prim.Lut (Lut_init.xor_all ~inputs:2))
+        ~conns:
+          [ ("I0", Wire.bit a (2 * i));
+            ("I1", Wire.bit a ((2 * i) + 1));
+            ("O", Wire.bit stage i) ]
+    in
+    ()
+  done;
+  let _ =
+    Cell.prim top ~name:"fin"
+      (Prim.Lut (Lut_init.xor_all ~inputs:4))
+      ~conns:
+        [ ("I0", Wire.bit stage 0);
+          ("I1", Wire.bit stage 1);
+          ("I2", Wire.bit stage 2);
+          ("I3", Wire.bit stage 3);
+          ("O", o) ]
+  in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "o" Types.Output o;
+  d
+
+let test_budget_cuts_degrade_gracefully () =
+  let d = wide_xor_design () in
+  let tight = Cone.analyze ~budget:6 d in
+  Alcotest.(check bool) "tight budget cuts" true (Cone.cuts tight > 0);
+  Alcotest.(check bool) "cuts become opaque leaves" true
+    (Cone.opaque_leaves tight > 0);
+  let roomy = Cone.analyze d in
+  Alcotest.(check int) "no cuts with room" 0 (Cone.cuts roomy);
+  Alcotest.(check int) "no opaque leaves with room" 0
+    (Cone.opaque_leaves roomy)
+
+(* ------------------------------------------------------------------ *)
+(* The Const_prop pessimisms, resolved                                 *)
+
+let output_net d name =
+  match Design.find_port d name with
+  | Some p -> p.Design.port_wire.Types.nets.(0)
+  | None -> Alcotest.failf "design lost port %s" name
+
+let x_xor_x_design () =
+  let top = Cell.root ~name:"top" () in
+  let x = Wire.create top ~name:"x" 1 in
+  let o = Wire.create top ~name:"o" 1 in
+  let _ =
+    Cell.prim top ~name:"xx"
+      (Prim.Lut (Lut_init.xor_all ~inputs:2))
+      ~conns:[ ("I0", x); ("I1", x); ("O", o) ]
+  in
+  let d = Design.create top in
+  Design.add_port d "x" Types.Input x;
+  Design.add_port d "o" Types.Output o;
+  d
+
+let test_x_xor_x () =
+  let d = x_xor_x_design () in
+  let o = output_net d "o" in
+  (* pessimistic in the lint layer... *)
+  (match Const_prop.net_value (Const_prop.analyze d) o with
+   | Const_prop.Varies -> ()
+   | Const_prop.Const b ->
+     Alcotest.failf "Const_prop unexpectedly proves %c" (Bit.to_char b));
+  (* ...proved in the analysis layer: 0 whenever x is defined (an X
+     input still yields X, so the claim is the gated one) *)
+  let absint = Absint.analyze d in
+  (match Absint.claim_of_net absint o with
+   | Some (Absint.When_defined Bit.Zero) -> ()
+   | Some (Absint.Always b) ->
+     Alcotest.failf "claim too strong: always %c (X^X is X)" (Bit.to_char b)
+   | _ -> Alcotest.fail "no constancy claim for x XOR x");
+  (* and surfaced as L501 by the deep rules *)
+  let report = Deep_lint.run d in
+  Alcotest.(check bool) "L501 fires" true
+    (List.exists
+       (fun (di : Lint.diagnostic) -> di.Lint.rule_id = "L501")
+       report.Lint.diagnostics)
+
+let equal_arm_mux_design () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let s = Wire.create top ~name:"s" 1 in
+  let si = Wire.create top ~name:"si" 1 in
+  let o = Wire.create top ~name:"o" 1 in
+  let _ = Cell.prim top ~name:"inv_s" Prim.Inv ~conns:[ ("I", s); ("O", si) ] in
+  let _ =
+    Cell.prim top ~name:"mux" Prim.Muxcy
+      ~conns:[ ("S", si); ("DI", a); ("CI", a); ("O", o) ]
+  in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "s" Types.Input s;
+  Design.add_port d "o" Types.Output o;
+  d
+
+let test_equal_arm_mux () =
+  let d = equal_arm_mux_design () in
+  let o = output_net d "o" in
+  (* not constant, so Const_prop has nothing to say either way... *)
+  (match Const_prop.net_value (Const_prop.analyze d) o with
+   | Const_prop.Varies -> ()
+   | Const_prop.Const b ->
+     Alcotest.failf "Const_prop unexpectedly proves %c" (Bit.to_char b));
+  let absint = Absint.analyze d in
+  (* ...but the cone proves o IS a: the select leg cancels out *)
+  let defined = Absint.cone_defined absint in
+  let po = Cone.pair_of_net defined o in
+  let pa = Cone.pair_of_net defined (output_net d "a") in
+  Alcotest.(check bool) "mux(s,a,a) == a (plane 0)" true
+    (Bdd.equal po.Cone.p0 pa.Cone.p0);
+  Alcotest.(check bool) "mux(s,a,a) == a (plane 1)" true
+    (Bdd.equal po.Cone.p1 pa.Cone.p1);
+  (* the select inverter is provably unobservable *)
+  let report = Deep_lint.run d in
+  Alcotest.(check bool) "L503 flags the select leg" true
+    (List.exists
+       (fun (di : Lint.diagnostic) ->
+          di.Lint.rule_id = "L503"
+          && List.mem "top/inv_s" di.Lint.cells)
+       report.Lint.diagnostics)
+
+let test_redundant_pair_lint () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 1 in
+  let b = Wire.create top ~name:"b" 1 in
+  let o1 = Wire.create top ~name:"o1" 1 in
+  let o2 = Wire.create top ~name:"o2" 1 in
+  let and2 = Prim.Lut (Lut_init.and_all ~inputs:2) in
+  let _ =
+    Cell.prim top ~name:"g1" and2 ~conns:[ ("I0", a); ("I1", b); ("O", o1) ]
+  in
+  let _ =
+    (* same function, pins swapped — structurally different, BDD-equal *)
+    Cell.prim top ~name:"g2" and2 ~conns:[ ("I0", b); ("I1", a); ("O", o2) ]
+  in
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "o1" Types.Output o1;
+  Design.add_port d "o2" Types.Output o2;
+  let report = Deep_lint.run d in
+  match
+    List.find_opt
+      (fun (di : Lint.diagnostic) -> di.Lint.rule_id = "L502")
+      report.Lint.diagnostics
+  with
+  | Some di ->
+    Alcotest.(check (list string)) "both gates named"
+      [ "top/g1"; "top/g2" ] di.Lint.cells
+  | None -> Alcotest.fail "L502 did not fire on a redundant pair"
+
+(* ------------------------------------------------------------------ *)
+(* Absint dominates Const_prop on the KCM                              *)
+
+let kcm_design () =
+  let top = Cell.root ~name:"top" () in
+  let m = Wire.create top ~name:"m" 8 in
+  let p = Wire.create top ~name:"p" 15 in
+  let _ =
+    Kcm.create top ~multiplicand:m ~product:p ~signed_mode:true
+      ~pipelined_mode:false ~constant:(-56) ()
+  in
+  let d = Design.create top in
+  Design.add_port d "m" Types.Input m;
+  Design.add_port d "p" Types.Output p;
+  d
+
+let test_absint_dominates_const_prop () =
+  let d = kcm_design () in
+  let cp = Const_prop.analyze d in
+  let absint = Absint.analyze d in
+  let cp_consts = ref 0 and extra = ref 0 in
+  List.iter
+    (fun (n : Types.net) ->
+       if n.Types.driver <> None && n.Types.extra_drivers = [] then
+         match (Const_prop.net_value cp n, Absint.claim_of_net absint n) with
+         | Const_prop.Const b, claim ->
+           incr cp_consts;
+           (* strict domination: everything Const_prop proves, the
+              abstract interpreter proves too (possibly gated) *)
+           (match claim with
+            | Some (Absint.Always b') | Some (Absint.When_defined b') ->
+              if not (Bit.equal b b') then
+                Alcotest.failf "net %d: Const_prop %c vs claim %c"
+                  n.Types.net_id (Bit.to_char b) (Bit.to_char b')
+            | None ->
+              Alcotest.failf "net %d: Const_prop proves %c, no claim"
+                n.Types.net_id (Bit.to_char b))
+         | Const_prop.Varies, Some _ -> incr extra
+         | Const_prop.Varies, None -> ())
+    (Design.all_nets d);
+  Alcotest.(check bool) "Const_prop proves something here" true
+    (!cp_consts > 0);
+  Alcotest.(check bool) "and the BDD layer strictly more" true (!extra > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cone evaluation vs the compiled kernel, over a seeded corpus        *)
+
+let leaf_env design image inputs_tbl =
+  ignore design;
+  fun leaf ->
+    match leaf with
+    | Cone.Input { port; bit } ->
+      (match Hashtbl.find_opt inputs_tbl port with
+       | Some v when bit < Bits.width v -> Bits.get v bit
+       | _ -> Bit.X)
+    | Cone.State { key } ->
+      (match String.rindex_opt key '#' with
+       | None -> Bit.X
+       | Some i ->
+         let path = String.sub key 0 i in
+         let cell =
+           int_of_string (String.sub key (i + 1) (String.length key - i - 1))
+         in
+         (match List.assoc_opt path image.Snapshot.image_seq with
+          | Some (Snapshot.Flop code) when cell = 0 -> Bit.of_code code
+          | Some (Snapshot.Mem bytes) when cell < Bytes.length bytes ->
+            Bit.of_code (Char.code (Bytes.get bytes cell))
+          | _ -> Bit.X))
+    | Cone.Opaque _ -> Bit.X
+
+let check_cone_vs_kernel ~seed =
+  let rng_gen, rng_stim = Fuzz.case_rngs ~seed:90125 ~case:seed in
+  let params = { Gen.default_params with Gen.max_cells = 12; max_inputs = 4 } in
+  let recipe = Gen.recipe rng_gen ~name:(Printf.sprintf "corpus%d" seed) params in
+  let stim = Gen.stimulus rng_stim recipe ~steps:3 in
+  let built = Recipe.build recipe in
+  let design = built.Recipe.design in
+  let cone = Cone.analyze ~mode:Cone.Full design in
+  if Cone.opaque_leaves cone > 0 then
+    Alcotest.failf "seed %d: unexpected opaque leaves" seed;
+  let dut = Simulator.create ?clock:built.Recipe.clock design in
+  let inputs_tbl = Hashtbl.create 8 in
+  let compare_moment ctx =
+    let image = Snapshot.decode (Simulator.snapshot dut) in
+    let env = leaf_env design image inputs_tbl in
+    List.iter
+      (fun (port, pairs) ->
+         match Design.find_port design port with
+         | None -> ()
+         | Some p ->
+           let sim = Simulator.get dut p.Design.port_wire in
+           Array.iteri
+             (fun bit pair ->
+                let expect = Cone.eval_pair cone pair env in
+                let actual = Bits.get sim bit in
+                if expect <> actual then
+                  Alcotest.failf "seed %d %s: %s[%d] cone=%c kernel=%c" seed
+                    ctx port bit (Bit.to_char expect) (Bit.to_char actual))
+             pairs)
+      (Cone.output_pairs cone)
+  in
+  compare_moment "initial";
+  Array.iteri
+    (fun step row ->
+       let stimulus =
+         List.mapi (fun k port -> (port, row.(k))) built.Recipe.input_ports
+       in
+       Simulator.set_inputs dut stimulus;
+       List.iter (fun (p, v) -> Hashtbl.replace inputs_tbl p v) stimulus;
+       compare_moment (Printf.sprintf "step %d settle" step);
+       Simulator.cycle dut;
+       compare_moment (Printf.sprintf "step %d edge" step))
+    stim.Stimulus.steps
+
+let corpus_property =
+  QCheck.Test.make ~count:200 ~name:"cone eval = kernel (200-seed corpus)"
+    (QCheck.make (QCheck.Gen.int_bound 199))
+    (fun seed ->
+       check_cone_vs_kernel ~seed;
+       true)
+
+let test_corpus_exhaustive () =
+  (* qcheck samples the space; this sweeps it — all 200 seeds, fixed *)
+  for seed = 0 to 199 do
+    check_cone_vs_kernel ~seed
+  done
+
+let suite =
+  [ Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "memo counters deterministic" `Quick
+      test_memo_hit_rate_deterministic;
+    Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
+    Alcotest.test_case "budget cuts degrade" `Quick
+      test_budget_cuts_degrade_gracefully;
+    Alcotest.test_case "x xor x" `Quick test_x_xor_x;
+    Alcotest.test_case "equal-arm mux" `Quick test_equal_arm_mux;
+    Alcotest.test_case "redundant pair lint" `Quick test_redundant_pair_lint;
+    Alcotest.test_case "absint dominates const_prop" `Quick
+      test_absint_dominates_const_prop;
+    QCheck_alcotest.to_alcotest corpus_property;
+    Alcotest.test_case "corpus sweep" `Slow test_corpus_exhaustive ]

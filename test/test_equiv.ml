@@ -32,7 +32,14 @@ let test_equivalent_adders () =
   let carry =
     adder_design (fun top ~a ~b ~sum -> Adders.carry_chain top ~a ~b ~sum ())
   in
-  match Equiv.check ripple carry with
+  (* the proof path settles it without a single vector *)
+  (match Equiv.check ripple carry with
+   | Equiv.Proved { outputs; sequential; _ } ->
+     Alcotest.(check int) "6 output bits" 6 outputs;
+     Alcotest.(check bool) "combinational proof" false sequential
+   | other -> Alcotest.failf "%a" (fun fmt -> Equiv.pp_result fmt) other);
+  (* and the exhaustive batch sweep, forced, agrees *)
+  match Equiv.check ~strategy:`Sweep ripple carry with
   | Equiv.Equivalent { vectors; exhaustive } ->
     Alcotest.(check bool) "exhaustive at 12 bits" true exhaustive;
     Alcotest.(check int) "4096 vectors" 4096 vectors
@@ -81,7 +88,14 @@ let kcm_design ~structure () =
   d
 
 let test_kcm_chain_tree_equivalent () =
-  match Equiv.check (kcm_design ~structure:`Chain ()) (kcm_design ~structure:`Tree ()) with
+  (* the flagship: chain-structured vs tree-structured KCM, PROVED *)
+  (match Equiv.check (kcm_design ~structure:`Chain ()) (kcm_design ~structure:`Tree ()) with
+   | Equiv.Proved { outputs = 15; sequential = false; _ } -> ()
+   | other -> Alcotest.failf "%a" (fun fmt -> Equiv.pp_result fmt) other);
+  match
+    Equiv.check ~strategy:`Sweep (kcm_design ~structure:`Chain ())
+      (kcm_design ~structure:`Tree ())
+  with
   | Equiv.Equivalent { vectors = 256; exhaustive = true } -> ()
   | other -> Alcotest.failf "%a" (fun fmt -> Equiv.pp_result fmt) other
 
@@ -113,7 +127,7 @@ let test_sequential_equivalence () =
       (counter_design ~width:4 ())
       (counter_design ~width:4 ())
   with
-  | Equiv.Equivalent _ -> ()
+  | Equiv.Proved { sequential = true; _ } -> ()
   | other -> Alcotest.failf "%a" (fun fmt -> Equiv.pp_result fmt) other
 
 let test_sequential_divergence_found () =
@@ -141,7 +155,7 @@ let test_random_sweep_on_wide_inputs () =
     d
   in
   match
-    Equiv.check ~random_vectors:200
+    Equiv.check ~strategy:`Sweep ~random_vectors:200
       (wide (fun top ~a ~b ~sum -> Adders.ripple_carry top ~a ~b ~sum ()))
       (wide (fun top ~a ~b ~sum -> Adders.carry_chain top ~a ~b ~sum ()))
   with

@@ -1,6 +1,6 @@
 (* The fuzz layer's own contract: generated recipes are valid by
    construction, campaigns are byte-identically replayable from one
-   seed, all six oracles hold on generated designs, and the reducer
+   seed, all seven oracles hold on generated designs, and the reducer
    converges onto an injected defect. *)
 
 module Prng = Jhdl_faults.Prng
@@ -81,7 +81,7 @@ let test_campaign_report_is_byte_identical () =
   let a = Fuzz.summary (Fuzz.run config) in
   let b = Fuzz.summary (Fuzz.run config) in
   Alcotest.(check string) "campaign summaries" a b;
-  (* and the verdicts really ran: six oracles times eight cases *)
+  (* and the verdicts really ran: seven oracles times eight cases *)
   let outcome = Fuzz.run config in
   List.iter
     (fun (_, runs, _) -> Alcotest.(check int) "runs per oracle" 8 runs)
@@ -126,7 +126,7 @@ let test_all_oracles_green_on_generated_designs () =
         steps = 10 }
   in
   Alcotest.(check int) "no failures" 0 (Fuzz.total_failures outcome);
-  Alcotest.(check int) "six oracles ran" 6
+  Alcotest.(check int) "seven oracles ran" 7
     (List.length outcome.Fuzz.oracle_runs)
 
 let test_coverage_spans_the_primitive_set () =

@@ -15,6 +15,7 @@ let () =
       ("placer", Test_placer.suite);
       ("lint", Test_lint.suite);
       ("equiv", Test_equiv.suite);
+      ("analysis", Test_analysis.suite);
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite);
       ("viewer", Test_viewer.suite);
