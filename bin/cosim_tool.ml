@@ -67,9 +67,45 @@ let write_binary path contents =
     Ok ()
   with Sys_error m -> Error m
 
+(* --chaos: play one named scenario (co-simulation link, breakers and
+   all) against a fresh delivery stack and exit. Exit 0 only when every
+   recovery invariant held; 1 on a failed invariant; 2 for an unknown
+   scenario. *)
+let run_chaos name seed metrics_format =
+  match metrics_format with
+  | Some other when other <> "text" && other <> "json" ->
+    Printf.eprintf "cosim_tool: --metrics formats: text, json (got %s)\n" other;
+    2
+  | _ ->
+    (match Chaos.find_scenario name with
+     | None ->
+       Printf.eprintf "unknown scenario %s; choices: %s\n" name
+         (String.concat ", " (Chaos.scenario_names ()));
+       2
+     | Some scenario ->
+       let registry =
+         if Option.is_some metrics_format then Metrics.create "chaos"
+         else Metrics.nil
+       in
+       let report = Chaos.run ~metrics:registry ~seed scenario in
+       print_string (Chaos.report_to_text report);
+       (match metrics_format with
+        | Some "json" -> print_string (Metrics.all_to_json [ registry ])
+        | Some _ -> print_string (Metrics.all_to_text [ registry ])
+        | None -> ());
+       if Chaos.passed report then 0 else 1)
+
 let run ip_name params binds tb_path network_name fault_name fault_rate retries
-    seed crash_at checkpoint_every resume_path checkpoint_path metrics_format
-    trace_last =
+    seed crash_at checkpoint_every resume_path checkpoint_path chaos
+    metrics_format trace_last =
+  match chaos with
+  | Some name -> run_chaos name seed metrics_format
+  | None ->
+  match tb_path with
+  | None ->
+    Printf.eprintf "cosim_tool: --tb is required (unless running --chaos)\n";
+    2
+  | Some tb_path ->
   let ( let* ) = Result.bind in
   let result =
     let* () =
@@ -267,9 +303,11 @@ let bind_arg =
 
 let tb_arg =
   Arg.(
-    required
+    value
     & opt (some file) None
-    & info [ "tb" ] ~doc:"Verilog testbench file.")
+    & info [ "tb" ]
+        ~doc:"Verilog testbench file (required unless $(b,--chaos) runs a \
+              scenario instead).")
 
 let network_arg =
   Arg.(
@@ -334,6 +372,16 @@ let checkpoint_arg =
     & info [ "checkpoint" ]
         ~doc:"Write the endpoint's final state to this file after the run.")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ]
+        ~doc:"Run one chaos scenario (deterministic under $(b,--seed)) \
+              instead of a testbench: smoke, crash-burst, loss-spike, \
+              slow-clients, quota-storm, republish-load. Exit 0 when every \
+              recovery invariant holds.")
+
 let metrics_format_arg =
   Arg.(
     value
@@ -357,7 +405,7 @@ let cmd =
     Term.(
       const run $ ip_arg $ param_arg $ bind_arg $ tb_arg $ network_arg
       $ fault_arg $ fault_rate_arg $ retries_arg $ seed_arg $ crash_at_arg
-      $ checkpoint_every_arg $ resume_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ checkpoint_arg $ chaos_arg
       $ metrics_format_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

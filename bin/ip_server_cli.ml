@@ -11,7 +11,14 @@
      get <user> <ip> [link]         serve the IP page (link: modem|isdn|dsl|lan10|lan100)
      secure <user> <ip>             serve with encrypted jars
      log                            access log
-     quit                                                            *)
+     quit
+
+   `get` runs through the overload-aware path: an admission controller
+   and a download circuit breaker front the server, and rejections
+   carry retry-after hints. The console clock is deterministic (one
+   second per command). `--chaos SCENARIO` skips the console entirely
+   and plays a seeded fault storm against a fresh delivery stack,
+   exiting 0 only when every recovery invariant holds.              *)
 
 open Jhdl
 
@@ -54,7 +61,11 @@ type delivery = {
   policy : Download.fetch_policy;
 }
 
-let handle server delivery registry tracer line =
+(* the console's deterministic clock: one second per command, so the
+   breaker's probe schedule and retry-after hints replay exactly *)
+let console_clock = ref 0.0
+
+let handle server admission delivery registry tracer line =
   let trace ?value label =
     match tracer with
     | Some tr -> Metrics.trace tr ?value label
@@ -94,16 +105,21 @@ let handle server delivery registry tracer line =
     (match link_of link_name with
      | None -> print_endline "links: modem, isdn, dsl, lan10, lan100"
      | Some link ->
+       let now = !console_clock in
+       console_clock := now +. 1.0;
        (match
-          Server.request server ~user ~ip_name ~link ?faults:delivery.faults
-            ~policy:delivery.policy ()
+          Server.user_request server ~admission ~now ~user ~ip_name ~link
+            ?faults:delivery.faults ~policy:delivery.policy ()
         with
         | Ok session ->
           trace "request_ok" ~value:(List.length session.Server.fetched);
           show_session session
-        | Error message ->
+        | Error rejection ->
           trace "request_error";
-          print_endline ("ERROR: " ^ message)))
+          print_endline ("ERROR: " ^ rejection.Server.rej_reason);
+          (match rejection.Server.rej_retry_after_s with
+           | Some s -> Printf.printf "retry after %.1f s\n" s
+           | None -> ())))
   | [ "secure"; user; ip_name ] ->
     (match
        Server.secure_request server ~user ~ip_name ~link:Download.dsl_1m
@@ -166,7 +182,30 @@ let seed_arg =
     value & opt int 0
     & info [ "seed" ] ~doc:"Fault-stream seed (same seed, same faults).")
 
-let run vendor fault_name fault_rate retries seed metrics_format trace_last =
+(* --chaos: play one named scenario against a fresh stack and exit.
+   Exit 0 only when every recovery invariant held; 1 on a failed
+   invariant; 2 for an unknown scenario. *)
+let run_chaos name seed metrics_format =
+  match Chaos.find_scenario name with
+  | None ->
+    Printf.eprintf "unknown scenario %s; choices: %s\n" name
+      (String.concat ", " (Chaos.scenario_names ()));
+    2
+  | Some scenario ->
+    let registry =
+      if Option.is_some metrics_format then Metrics.create "chaos"
+      else Metrics.nil
+    in
+    let report = Chaos.run ~metrics:registry ~seed scenario in
+    print_string (Chaos.report_to_text report);
+    (match metrics_format with
+     | Some "json" -> print_string (Metrics.all_to_json [ registry ])
+     | Some _ -> print_string (Metrics.all_to_text [ registry ])
+     | None -> ());
+    if Chaos.passed report then 0 else 1
+
+let run vendor fault_name fault_rate retries seed chaos metrics_format
+    trace_last =
   match Fault.kind_of_string fault_name with
   | None ->
     prerr_endline "faults: drop, corrupt, duplicate, latency, disconnect";
@@ -177,6 +216,8 @@ let run vendor fault_name fault_rate retries seed metrics_format trace_last =
           | Some _ -> true) ->
     prerr_endline "--metrics formats: text, json";
     2
+  | Some _ when Option.is_some chaos ->
+    run_chaos (Option.get chaos) seed metrics_format
   | Some kind when fault_rate >= 0.0 && fault_rate < 1.0 && retries >= 1
                 && trace_last >= 0 ->
     let delivery =
@@ -198,7 +239,14 @@ let run vendor fault_name fault_rate retries seed metrics_format trace_last =
              (Metrics.create "trace"))
       else None
     in
-    let server = Server.create ~vendor ~metrics:registry () in
+    (* the overload-aware front door: breaker + admission share the
+       registry, so --metrics dumps fold in their counters *)
+    let breaker =
+      Breaker.create ~metrics:registry ~name:"download" ~seed ()
+    in
+    let server = Server.create ~vendor ~breaker ~metrics:registry () in
+    let admission = Admission.create ~metrics:registry () in
+    console_clock := 0.0;
     List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
     Printf.printf "IP delivery server for %s (type `help`)\n" vendor;
     (match delivery.faults with
@@ -222,7 +270,7 @@ let run vendor fault_name fault_rate retries seed metrics_format trace_last =
       | exception End_of_file -> finish ()
       | "quit" | "exit" -> finish ()
       | line ->
-        handle server delivery registry tracer line;
+        handle server admission delivery registry tracer line;
         loop ()
     in
     loop ()
@@ -231,6 +279,16 @@ let run vendor fault_name fault_rate retries seed metrics_format trace_last =
       "--fault-rate must be in [0,1), --retries at least 1, --trace \
        non-negative";
     2
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ]
+        ~doc:"Run one chaos scenario (deterministic under $(b,--seed)) \
+              instead of the console: smoke, crash-burst, loss-spike, \
+              slow-clients, quota-storm, republish-load. Exit 0 when every \
+              recovery invariant holds.")
 
 let metrics_format_arg =
   Arg.(
@@ -253,6 +311,6 @@ let cmd =
   Cmd.v (Cmd.info "ip_server_cli" ~doc)
     Term.(
       const run $ vendor_arg $ fault_arg $ fault_rate_arg $ retries_arg
-      $ seed_arg $ metrics_format_arg $ trace_arg)
+      $ seed_arg $ chaos_arg $ metrics_format_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

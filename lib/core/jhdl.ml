@@ -25,6 +25,9 @@
     - {!Feature}, {!License}, {!Ip_module}, {!Applet}, {!Catalog}: the IP
       delivery applets.
     - {!Server}: the vendor web server.
+    - {!Admission}, {!Breaker}, {!Chaos}: overload control — admission
+      queues with deadlines and tier-aware shedding, circuit breakers,
+      and the chaos scenario scheduler that audits recovery.
     - {!Prng}, {!Fault}: seeded fault injection for lossy consumer links.
     - {!Network}, {!Protocol}, {!Endpoint}, {!Cosim}: black-box
       co-simulation.
@@ -98,6 +101,9 @@ module Suite = Jhdl_applet.Suite
 module Server = Jhdl_webserver.Server
 module Secure_channel = Jhdl_webserver.Secure_channel
 module Session_manager = Jhdl_webserver.Session_manager
+module Admission = Jhdl_resilience.Admission
+module Breaker = Jhdl_resilience.Breaker
+module Chaos = Jhdl_chaos.Chaos
 module Prng = Jhdl_faults.Prng
 module Fault = Jhdl_faults.Fault
 module Network = Jhdl_netproto.Network

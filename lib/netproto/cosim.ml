@@ -1,6 +1,7 @@
 module Bits = Jhdl_logic.Bits
 module Fault = Jhdl_faults.Fault
 module Metrics = Jhdl_metrics.Metrics
+module Breaker = Jhdl_resilience.Breaker
 
 (* ------------------------------------------------------------------ *)
 (* retry policy and the reliable-exchange engine                       *)
@@ -176,6 +177,7 @@ type link = {
   endpoint : Endpoint.t;
   wire : wire;
   session : link_session option;
+  lk_breaker : Breaker.t option;
   lm : link_metrics;
   mutable crash_at : int option;  (* one-shot: crash at the Nth exchange *)
   mutable exchanges : int;
@@ -244,8 +246,28 @@ let resume link ls =
     raise (Exchange_failed ("resume rejected: " ^ reason))
   | _ -> raise (Exchange_failed "resume: unexpected reply")
 
+(* The breaker's clock is the channel's simulated clock, which only
+   advances through traffic and stalls — so an open breaker must not
+   fast-fail (time would freeze and the probe would never come due).
+   Instead the client stalls until the probe is scheduled, then proceeds
+   as the probe. The stall is charged to the simulated clock like any
+   other wait, so seeded replays are bit-identical. *)
+let breaker_gate link =
+  match link.lk_breaker with
+  | None -> ()
+  | Some b ->
+    let now = Network.elapsed_seconds link.wire.channel in
+    if not (Breaker.allow b ~now) then begin
+      (match Breaker.retry_after_s b ~now with
+       | Some wait when wait > 0.0 -> Network.stall link.wire.channel wait
+       | _ -> ());
+      ignore
+        (Breaker.allow b ~now:(Network.elapsed_seconds link.wire.channel))
+    end
+
 let exchange link message =
   let name = Endpoint.name link.endpoint in
+  breaker_gate link;
   let t0 = Network.elapsed_seconds link.wire.channel in
   Metrics.incr link.lm.lm_exchanges;
   let seq = begin_exchange link in
@@ -256,7 +278,7 @@ let exchange link message =
       ~session_armed:(Option.is_some link.session)
       ~on_crash:(link_on_crash link) message
   in
-  let reply =
+  let run () =
     match link.session with
     | None ->
       (try send ()
@@ -287,6 +309,25 @@ let exchange link message =
           end
       in
       go ls.ls_policy.resume_attempts
+  in
+  (* every exchange is a breaker sample: exhausted recovery opens it,
+     a completed exchange feeds the half-open success count *)
+  let reply =
+    match run () with
+    | reply ->
+      (match link.lk_breaker with
+       | Some b ->
+         Breaker.on_success b
+           ~now:(Network.elapsed_seconds link.wire.channel)
+       | None -> ());
+      reply
+    | exception (Exchange_failed _ as failure) ->
+      (match link.lk_breaker with
+       | Some b ->
+         Breaker.on_failure b
+           ~now:(Network.elapsed_seconds link.wire.channel)
+       | None -> ());
+      raise failure
   in
   (match link.session with
    | Some ls -> ls.last_acked <- seq
@@ -330,8 +371,8 @@ let data_exchange link message =
   maintenance link;
   reply
 
-let attach t ?faults ?retry ?session ?(metrics = Metrics.nil) ?tracer endpoint
-    params =
+let attach t ?faults ?retry ?session ?breaker ?(metrics = Metrics.nil) ?tracer
+    endpoint params =
   let name = Endpoint.name endpoint in
   if List.exists (fun l -> Endpoint.name l.endpoint = name) t.links then
     invalid_arg (Printf.sprintf "Cosim.attach: duplicate endpoint %s" name);
@@ -378,6 +419,7 @@ let attach t ?faults ?retry ?session ?(metrics = Metrics.nil) ?tracer endpoint
     { endpoint;
       wire;
       session;
+      lk_breaker = breaker;
       lm;
       crash_at = None;
       exchanges = 0 }

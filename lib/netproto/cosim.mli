@@ -84,6 +84,13 @@ val create : unit -> t
     (the endpoint checkpoints and starts journaling). Endpoint names
     must be unique.
 
+    [breaker] guards the link's exchanges: exhausted recovery counts as
+    a failure, a completed exchange as a success. Because this channel's
+    clock only advances through traffic, an {e open} breaker does not
+    fast-fail — the client stalls (on the simulated clock) until the
+    probe is due and proceeds as the probe, so the circuit always gets
+    its chance to close again.
+
     With a live [metrics] registry the link registers, under
     [<name>.] prefixes: an [exchanges_total] / [resume_handshakes_total]
     counter pair, an [rtt_us] round-trip histogram fed from the
@@ -98,6 +105,7 @@ val attach :
   ?faults:Jhdl_faults.Fault.config ->
   ?retry:retry_policy ->
   ?session:session_policy ->
+  ?breaker:Jhdl_resilience.Breaker.t ->
   ?metrics:Jhdl_metrics.Metrics.t ->
   ?tracer:Jhdl_metrics.Metrics.tracer ->
   Endpoint.t ->

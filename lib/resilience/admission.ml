@@ -1,0 +1,392 @@
+module License = Jhdl_applet.License
+module Metrics = Jhdl_metrics.Metrics
+
+type request_class =
+  | Browse
+  | Jar_download
+  | Elaborate
+  | Cosim_exchange
+
+let all_classes = [ Browse; Jar_download; Elaborate; Cosim_exchange ]
+
+let class_name = function
+  | Browse -> "browse"
+  | Jar_download -> "download"
+  | Elaborate -> "elaborate"
+  | Cosim_exchange -> "cosim"
+
+type brownout_level =
+  | Full_service
+  | Serve_stale
+  | Catalog_only
+  | Reject_all
+
+let brownout_name = function
+  | Full_service -> "full-service"
+  | Serve_stale -> "serve-stale"
+  | Catalog_only -> "catalog-only"
+  | Reject_all -> "reject-all"
+
+type shed_reason =
+  | Queue_full
+  | Deadline_expired
+  | Brownout_rejected
+  | Tier_shed
+  | Breaker_open
+
+let all_reasons =
+  [ Queue_full; Deadline_expired; Brownout_rejected; Tier_shed; Breaker_open ]
+
+let shed_reason_name = function
+  | Queue_full -> "queue-full"
+  | Deadline_expired -> "deadline-expired"
+  | Brownout_rejected -> "brownout-rejected"
+  | Tier_shed -> "tier-shed"
+  | Breaker_open -> "breaker-open"
+
+type class_config = {
+  queue_cap : int;
+  deadline_budget_s : float;
+}
+
+type config = {
+  browse : class_config;
+  download : class_config;
+  elaborate : class_config;
+  cosim : class_config;
+  max_inflight : int;
+  serve_stale_at : float;
+  catalog_only_at : float;
+  reject_at : float;
+  retry_after_s : float;
+}
+
+let default_config =
+  { browse = { queue_cap = 64; deadline_budget_s = 5.0 };
+    download = { queue_cap = 32; deadline_budget_s = 30.0 };
+    elaborate = { queue_cap = 8; deadline_budget_s = 60.0 };
+    cosim = { queue_cap = 32; deadline_budget_s = 10.0 };
+    max_inflight = 16;
+    serve_stale_at = 0.5;
+    catalog_only_at = 0.75;
+    reject_at = 0.9;
+    retry_after_s = 1.0 }
+
+let class_config config = function
+  | Browse -> config.browse
+  | Jar_download -> config.download
+  | Elaborate -> config.elaborate
+  | Cosim_exchange -> config.cosim
+
+type ticket = {
+  id : int;
+  cls : request_class;
+  tier : License.tier;
+  user : string;
+  submitted_at : float;
+  deadline : float;
+}
+
+type shed = {
+  shed_ticket : ticket;
+  shed_reason : shed_reason;
+  retry_after_s : float option;
+}
+
+(* Passive customers brown out first, the vendor last. *)
+let tier_rank = function
+  | License.Passive -> 0
+  | License.Evaluator -> 1
+  | License.Licensed -> 2
+  | License.Vendor -> 3
+
+type am = {
+  am_admitted : Metrics.counter;
+  am_shed : Metrics.counter;
+  am_shed_reason : (shed_reason * Metrics.counter) list;
+  am_queue_wait_ms : Metrics.histogram;
+}
+
+type t = {
+  cfg : config;
+  (* one FIFO per class, head = oldest *)
+  mutable queues : (request_class * ticket list) list;
+  mutable next_id : int;
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable started : int;
+  mutable completed : int;
+  mutable inflight : ticket list;
+  mutable sheds : shed list; (* newest first *)
+  am : am;
+}
+
+let create ?(config = default_config) ?(metrics = Metrics.nil) () =
+  List.iter
+    (fun cls ->
+       if (class_config config cls).queue_cap < 1 then
+         invalid_arg
+           (Printf.sprintf "Admission.create: %s queue_cap must be positive"
+              (class_name cls)))
+    all_classes;
+  if config.max_inflight < 1 then
+    invalid_arg "Admission.create: max_inflight must be positive";
+  if
+    not
+      (config.serve_stale_at <= config.catalog_only_at
+      && config.catalog_only_at <= config.reject_at)
+  then
+    invalid_arg "Admission.create: brownout ladder thresholds must be ordered";
+  let am =
+    { am_admitted = Metrics.counter metrics "admitted_total";
+      am_shed = Metrics.counter metrics "shed_total";
+      am_shed_reason =
+        List.map
+          (fun r ->
+             ( r,
+               Metrics.counter metrics
+                 ("shed_" ^ shed_reason_name r ^ "_total") ))
+          all_reasons;
+      am_queue_wait_ms = Metrics.histogram metrics "queue_wait_ms" }
+  in
+  let t =
+    { cfg = config;
+      queues = List.map (fun c -> (c, [])) all_classes;
+      next_id = 0;
+      submitted = 0;
+      admitted = 0;
+      started = 0;
+      completed = 0;
+      inflight = [];
+      sheds = [];
+      am }
+  in
+  List.iter
+    (fun cls ->
+       Metrics.probe metrics ("queue_depth_" ^ class_name cls) (fun () ->
+           List.length (List.assoc cls t.queues)))
+    all_classes;
+  Metrics.probe metrics "inflight" (fun () -> List.length t.inflight);
+  Metrics.probe metrics "brownout_level" (fun () ->
+      let occupied =
+        List.fold_left (fun acc (_, q) -> acc + List.length q) 0 t.queues
+      in
+      let cap =
+        List.fold_left
+          (fun acc c -> acc + (class_config t.cfg c).queue_cap)
+          0 all_classes
+      in
+      let f = float_of_int occupied /. float_of_int cap in
+      if f >= t.cfg.reject_at then 3
+      else if f >= t.cfg.catalog_only_at then 2
+      else if f >= t.cfg.serve_stale_at then 1
+      else 0);
+  t
+
+let config t = t.cfg
+let queue t cls = List.assoc cls t.queues
+
+let set_queue t cls q =
+  t.queues <- List.map (fun (c, old) -> (c, if c = cls then q else old)) t.queues
+
+let queue_depth t cls = List.length (queue t cls)
+
+let occupancy t =
+  let occupied =
+    List.fold_left (fun acc (_, q) -> acc + List.length q) 0 t.queues
+  in
+  let cap =
+    List.fold_left
+      (fun acc c -> acc + (class_config t.cfg c).queue_cap)
+      0 all_classes
+  in
+  float_of_int occupied /. float_of_int cap
+
+let brownout t =
+  let f = occupancy t in
+  if f >= t.cfg.reject_at then Reject_all
+  else if f >= t.cfg.catalog_only_at then Catalog_only
+  else if f >= t.cfg.serve_stale_at then Serve_stale
+  else Full_service
+
+let record_shed t ticket reason retry_after_s =
+  let shed = { shed_ticket = ticket; shed_reason = reason; retry_after_s } in
+  t.sheds <- shed :: t.sheds;
+  Metrics.incr t.am.am_shed;
+  Metrics.incr (List.assoc reason t.am.am_shed_reason);
+  shed
+
+let mint t ~now ~cls ~tier ~user ?deadline_s () =
+  let deadline =
+    match deadline_s with
+    | Some s -> now +. s
+    | None ->
+      let budget = (class_config t.cfg cls).deadline_budget_s in
+      if budget <= 0.0 then infinity else now +. budget
+  in
+  let ticket =
+    { id = t.next_id; cls; tier; user; submitted_at = now; deadline }
+  in
+  t.next_id <- t.next_id + 1;
+  t.submitted <- t.submitted + 1;
+  ticket
+
+(* the gate every submission passes: ladder first, then the explicit
+   deadline, then queue capacity with tier preemption *)
+let gate t ~now ticket =
+  let retry = Some t.cfg.retry_after_s in
+  let level = brownout t in
+  let browned_out =
+    match (level, ticket.cls) with
+    | Reject_all, _ -> true
+    | Catalog_only, (Jar_download | Elaborate | Cosim_exchange) -> true
+    | Catalog_only, Browse -> false
+    | (Full_service | Serve_stale), _ -> false
+  in
+  if browned_out then Error (record_shed t ticket Brownout_rejected retry)
+  else if ticket.deadline <= now then
+    Error (record_shed t ticket Deadline_expired None)
+  else Ok ()
+
+let enqueue t ~now ticket =
+  match gate t ~now ticket with
+  | Error _ as e -> e
+  | Ok () ->
+    let q = queue t ticket.cls in
+    let cap = (class_config t.cfg ticket.cls).queue_cap in
+    if List.length q < cap then begin
+      set_queue t ticket.cls (q @ [ ticket ]);
+      t.admitted <- t.admitted + 1;
+      Metrics.incr t.am.am_admitted;
+      Ok ticket
+    end
+    else begin
+      (* full queue: preempt the lowest-tier (oldest among ties) queued
+         request if it ranks strictly below the newcomer *)
+      let victim =
+        List.fold_left
+          (fun acc candidate ->
+             match acc with
+             | None -> Some candidate
+             | Some best ->
+               if tier_rank candidate.tier < tier_rank best.tier then
+                 Some candidate
+               else acc)
+          None q
+      in
+      match victim with
+      | Some victim when tier_rank victim.tier < tier_rank ticket.tier ->
+        let _ =
+          record_shed t victim Tier_shed (Some t.cfg.retry_after_s)
+        in
+        set_queue t ticket.cls
+          (List.filter (fun tk -> tk.id <> victim.id) q @ [ ticket ]);
+        t.admitted <- t.admitted + 1;
+        Metrics.incr t.am.am_admitted;
+        Ok ticket
+      | _ ->
+        Error (record_shed t ticket Queue_full (Some t.cfg.retry_after_s))
+    end
+
+let submit t ~now ~cls ~tier ~user ?deadline_s () =
+  enqueue t ~now (mint t ~now ~cls ~tier ~user ?deadline_s ())
+
+let begin_service t ~now ticket =
+  t.started <- t.started + 1;
+  t.inflight <- ticket :: t.inflight;
+  Metrics.observe t.am.am_queue_wait_ms
+    (int_of_float ((now -. ticket.submitted_at) *. 1e3))
+
+let start t ~now =
+  if List.length t.inflight >= t.cfg.max_inflight then None
+  else begin
+    (* global submission order: the oldest head across every class *)
+    let rec pick () =
+      let head =
+        List.fold_left
+          (fun acc (_, q) ->
+             match (q, acc) with
+             | [], _ -> acc
+             | tk :: _, None -> Some tk
+             | tk :: _, Some best -> if tk.id < best.id then Some tk else acc)
+          None t.queues
+      in
+      match head with
+      | None -> None
+      | Some tk ->
+        set_queue t tk.cls (List.tl (queue t tk.cls));
+        if tk.deadline <= now then begin
+          let _ = record_shed t tk Deadline_expired None in
+          pick ()
+        end
+        else begin
+          begin_service t ~now tk;
+          Some tk
+        end
+    in
+    pick ()
+  end
+
+let admit_now t ~now ~cls ~tier ~user ?deadline_s () =
+  let ticket = mint t ~now ~cls ~tier ~user ?deadline_s () in
+  let retry = Some t.cfg.retry_after_s in
+  match gate t ~now ticket with
+  | Error _ as e -> e
+  | Ok () ->
+    if queue_depth t cls > 0 || List.length t.inflight >= t.cfg.max_inflight
+    then Error (record_shed t ticket Queue_full retry)
+    else begin
+      t.admitted <- t.admitted + 1;
+      Metrics.incr t.am.am_admitted;
+      begin_service t ~now ticket;
+      Ok ticket
+    end
+
+let take_inflight t ticket what =
+  if List.exists (fun tk -> tk.id = ticket.id) t.inflight then
+    t.inflight <- List.filter (fun tk -> tk.id <> ticket.id) t.inflight
+  else
+    invalid_arg
+      (Printf.sprintf "Admission.%s: ticket %d is not in flight" what
+         ticket.id)
+
+let complete t ~now:_ ticket =
+  take_inflight t ticket "complete";
+  t.completed <- t.completed + 1
+
+let give_up t ~now:_ ticket reason ?retry_after_s () =
+  take_inflight t ticket "give_up";
+  ignore (record_shed t ticket reason retry_after_s)
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  started : int;
+  completed : int;
+  queued : int;
+  inflight : int;
+  shed_by_reason : (shed_reason * int) list;
+}
+
+let shed_log t = List.rev t.sheds
+let shed_total t = List.length t.sheds
+
+let stats (t : t) =
+  { submitted = t.submitted;
+    admitted = t.admitted;
+    started = t.started;
+    completed = t.completed;
+    queued =
+      List.fold_left (fun acc (_, q) -> acc + List.length q) 0 t.queues;
+    inflight = List.length t.inflight;
+    shed_by_reason =
+      List.map
+        (fun r ->
+           ( r,
+             List.length
+               (List.filter (fun s -> s.shed_reason = r) t.sheds) ))
+        all_reasons }
+
+let accounting_closes t =
+  let s = stats t in
+  s.submitted = s.queued + s.inflight + s.completed + shed_total t

@@ -7,6 +7,8 @@ module Jar = Jhdl_bundle.Jar
 module Download = Jhdl_bundle.Download
 module Lint = Jhdl_lint.Lint
 module Metrics = Jhdl_metrics.Metrics
+module Admission = Jhdl_resilience.Admission
+module Breaker = Jhdl_resilience.Breaker
 
 let log_src = Logs.Src.create "jhdl.webserver" ~doc:"IP delivery server"
 
@@ -44,10 +46,11 @@ type t = {
   component_versions : (Partition.component, int) Hashtbl.t;
   mutable evictions : int;
   mutable log : string list; (* newest first *)
+  breaker : Breaker.t option; (* guards the jar download path *)
   sm : server_metrics;
 }
 
-let create ~vendor ?cache_cap ?(metrics = Metrics.nil) () =
+let create ~vendor ?cache_cap ?breaker ?(metrics = Metrics.nil) () =
   let cache_cap =
     match cache_cap with
     | None -> List.length Partition.all_components
@@ -70,7 +73,7 @@ let create ~vendor ?cache_cap ?(metrics = Metrics.nil) () =
   in
   let server =
     { vendor; cache_cap; entries = []; accounts = Hashtbl.create 8;
-      component_versions; evictions = 0; log = []; sm }
+      component_versions; evictions = 0; log = []; breaker; sm }
   in
   Metrics.probe metrics "cache_evictions_total" (fun () -> server.evictions);
   Metrics.probe metrics "catalog_entries" (fun () ->
@@ -173,7 +176,8 @@ let component_of_jar jar =
     (fun c -> (Partition.jar_of c).Jar.jar_name = jar.Jar.jar_name)
     Partition.all_components
 
-let request_inner server ~user ~ip_name ~link ?faults ?policy () =
+let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
+    ?policy () =
   match Hashtbl.find_opt server.accounts user with
   | None -> Error (Printf.sprintf "unknown user %s" user)
   | Some account ->
@@ -191,17 +195,25 @@ let request_inner server ~user ~ip_name ~link ?faults ?policy () =
          List.filter
            (fun component ->
               let current = Hashtbl.find server.component_versions component in
-              let miss =
+              (* under the serve-stale brownout rung, any cached version
+                 answers the request — the customer gets a possibly
+                 outdated jar instantly instead of queueing on a
+                 saturated download path *)
+              let miss, record_version =
                 match List.assoc_opt component account.cache with
-                | Some cached when cached = current -> false
-                | Some _ | None -> true
+                | Some cached when cached = current -> (false, current)
+                | Some cached when stale_ok -> (false, cached)
+                | Some _ | None -> (true, current)
               in
               Metrics.incr
                 (if miss then server.sm.sm_cache_misses
                  else server.sm.sm_cache_hits);
-              (* hits refresh recency; misses enter at the front, and a
-                 full cache drops its least recently used entry *)
-              evicted := !evicted @ cache_touch server account component current;
+              (* hits refresh recency (stale hits keep their stale
+                 version, so full service refetches later); misses enter
+                 at the front, and a full cache drops its least recently
+                 used entry *)
+              evicted :=
+                !evicted @ cache_touch server account component record_version;
               miss)
            components
        in
@@ -262,6 +274,108 @@ let request server ~user ~ip_name ~link ?faults ?policy () =
    | Ok _ -> ());
   result
 
+(* ------------------------------------------------------------------ *)
+(* overload-aware request path                                         *)
+(* ------------------------------------------------------------------ *)
+
+type rejection = {
+  rej_reason : string;
+  rej_retry_after_s : float option;
+  rej_shed : Admission.shed_reason option;
+}
+
+let breaker server = server.breaker
+
+let reject ?(count = true) server ?retry_after_s ?shed reason =
+  if count then Metrics.incr server.sm.sm_request_failures;
+  Error
+    { rej_reason = reason;
+      rej_retry_after_s = retry_after_s;
+      rej_shed = shed }
+
+(* The post-admission service path, shared by the synchronous front
+   door ({!user_request}) and the queued dispatcher
+   ({!serve_admitted}). [adm_ticket] is an already-admitted ticket
+   whose accounting this function closes (complete, or give up as
+   [Breaker_open] when the circuit refuses the call). *)
+let serve_with server ?adm_ticket ~now ~user ~ip_name ~link ?faults ?policy
+    () =
+  let stale_ok =
+    match adm_ticket with
+    | Some (adm, _) -> Admission.brownout adm = Admission.Serve_stale
+    | None -> false
+  in
+  (* the breaker guards the whole download path: while open, the
+     request fails fast without touching the link *)
+  match server.breaker with
+  | Some b when not (Breaker.allow b ~now) ->
+    (match adm_ticket with
+     | Some (adm, tk) ->
+       Admission.give_up adm ~now tk Admission.Breaker_open
+         ?retry_after_s:(Breaker.retry_after_s b ~now) ()
+     | None -> ());
+    reject server ?retry_after_s:(Breaker.retry_after_s b ~now)
+      ~shed:Admission.Breaker_open
+      (Printf.sprintf "downloads suspended (circuit %s open)"
+         (Breaker.name b))
+  | _ ->
+    let result =
+      request_inner server ~stale_ok ~user ~ip_name ~link ?faults ?policy ()
+    in
+    (match adm_ticket with
+     | Some (adm, tk) -> Admission.complete adm ~now tk
+     | None -> ());
+    (match result with
+     | Ok session ->
+       (match server.breaker with
+        | Some b ->
+          (* lost optional jars already degrade the page; only a
+             failed page (essential loss) trips the breaker *)
+          Breaker.on_success b ~now
+        | None -> ());
+       Ok session
+     | Error reason ->
+       (match server.breaker with
+        | Some b -> Breaker.on_failure b ~now
+        | None -> ());
+       reject server reason)
+
+let user_request server ?admission ~now ~user ~ip_name ~link ?deadline_s
+    ?faults ?policy () =
+  Metrics.incr server.sm.sm_requests;
+  match Hashtbl.find_opt server.accounts user with
+  | None -> reject server (Printf.sprintf "unknown user %s" user)
+  | Some account ->
+    let tier = account.tier in
+    (* admission first: shedding must cost nothing downstream *)
+    (match admission with
+     | None -> serve_with server ~now ~user ~ip_name ~link ?faults ?policy ()
+     | Some adm ->
+       (match
+          Admission.admit_now adm ~now ~cls:Admission.Jar_download ~tier
+            ~user ?deadline_s ()
+        with
+        | Error shed ->
+          reject server ?retry_after_s:shed.Admission.retry_after_s
+            ~shed:shed.Admission.shed_reason
+            (Printf.sprintf "overload: request shed (%s)"
+               (Admission.shed_reason_name shed.Admission.shed_reason))
+        | Ok ticket ->
+          serve_with server ~adm_ticket:(adm, ticket) ~now ~user ~ip_name
+            ~link ?faults ?policy ()))
+
+let serve_admitted server ~admission ~ticket ~now ~ip_name ~link ?faults
+    ?policy () =
+  Metrics.incr server.sm.sm_requests;
+  let user = ticket.Admission.user in
+  match Hashtbl.find_opt server.accounts user with
+  | None ->
+    Admission.complete admission ~now ticket;
+    reject server (Printf.sprintf "unknown user %s" user)
+  | Some _ ->
+    serve_with server ~adm_ticket:(admission, ticket) ~now ~user ~ip_name
+      ~link ?faults ?policy ()
+
 let access_log server = List.rev server.log
 
 let server_secret server = "vendor-secret/" ^ server.vendor
@@ -277,7 +391,10 @@ let secure_request server ~user ~ip_name ~link ?faults ?policy () =
   | Error message -> Error message
   | Ok session ->
     (match user_token server ~user with
-     | None -> Error (Printf.sprintf "no token for %s" user)
+     | None ->
+       (* this denial used to skip the failure counter *)
+       Metrics.incr server.sm.sm_request_failures;
+       Error (Printf.sprintf "no token for %s" user)
      | Some token ->
        (* only what actually arrived gets sealed and handed over *)
        let delivered =
@@ -291,3 +408,43 @@ let secure_request server ~user ~ip_name ~link ?faults ?policy () =
        in
        let sealed = List.map (Secure_channel.seal ~token) delivered in
        Ok (session, sealed))
+
+(* Canonical rendering of every piece of durable server state. The
+   atomic-admission property pins it: a shed or expired request must
+   leave the digest byte-identical to never having arrived. Accounts
+   are sorted by user so the hashtable's iteration order cannot leak
+   into the digest. *)
+let state_digest server =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("vendor " ^ server.vendor ^ "\n");
+  List.iter
+    (fun (name, (e : entry)) ->
+       Buffer.add_string buf (Printf.sprintf "catalog %s v%d\n" name e.version))
+    server.entries;
+  List.iter
+    (fun c ->
+       Buffer.add_string buf
+         (Printf.sprintf "component %s v%d\n" (Partition.component_name c)
+            (Hashtbl.find server.component_versions c)))
+    Partition.all_components;
+  let accounts =
+    Hashtbl.fold (fun user account acc -> (user, account) :: acc)
+      server.accounts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (user, account) ->
+       Buffer.add_string buf
+         (Printf.sprintf "account %s %s cache=[%s]\n" user
+            (License.tier_name account.tier)
+            (String.concat "; "
+               (List.map
+                  (fun (c, v) ->
+                     Printf.sprintf "%s v%d" (Partition.component_name c) v)
+                  account.cache))))
+    accounts;
+  Buffer.add_string buf (Printf.sprintf "evictions %d\n" server.evictions);
+  List.iter
+    (fun line -> Buffer.add_string buf ("log " ^ line ^ "\n"))
+    (List.rev server.log);
+  Buffer.contents buf

@@ -16,6 +16,10 @@ type t
     component, reproducing an unbounded cache. Raises
     [Invalid_argument] when the cap is not positive.
 
+    [breaker] guards the jar download path of {!user_request}: requests
+    fail fast with a retry-after hint while it is open; an essential
+    download failure counts against it and a served page closes it.
+
     A live [metrics] registry gains the request-path instruments:
     [requests_total] / [request_failures_total],
     [cache_hits_total] / [cache_misses_total], a [download_ms]
@@ -23,8 +27,13 @@ type t
     [catalog_entries], and the jar-level {!Jhdl_bundle.Download.metrics}
     counters. *)
 val create :
-  vendor:string -> ?cache_cap:int -> ?metrics:Jhdl_metrics.Metrics.t ->
+  vendor:string -> ?cache_cap:int ->
+  ?breaker:Jhdl_resilience.Breaker.t ->
+  ?metrics:Jhdl_metrics.Metrics.t ->
   unit -> t
+
+(** [breaker server] — the download-path breaker, when one was armed. *)
+val breaker : t -> Jhdl_resilience.Breaker.t option
 
 (** [cache_evictions server] — total LRU evictions across all user
     caches since the server started. *)
@@ -90,6 +99,73 @@ val request :
 
 (** [access_log server] — one line per request, oldest first. *)
 val access_log : t -> string list
+
+(** {1 Overload-aware request path}
+
+    The front door for the "millions of users" regime: the same page
+    service as {!request}, behind admission control and the download
+    breaker, with every refusal typed and counted. *)
+
+(** A typed refusal. Overload rejections (admission sheds, open
+    breaker) carry both a retry-after hint and the
+    {!Jhdl_resilience.Admission.shed_reason} they were accounted
+    under; plain failures (unknown user or IP, essential download
+    loss) carry neither. *)
+type rejection = {
+  rej_reason : string;
+  rej_retry_after_s : float option;
+  rej_shed : Jhdl_resilience.Admission.shed_reason option;
+}
+
+(** [user_request server ?admission ~now ~user ~ip_name ~link
+    ?deadline_s ?faults ?policy ()] — serve the IP page under overload
+    control. With [admission], the request is admitted as a
+    [Jar_download] (shed requests are refused before costing
+    anything, with the controller's retry-after hint); under the
+    [Serve_stale] brownout rung a stale browser-cache entry answers
+    instead of re-fetching. With a download breaker armed
+    ({!create}'s [breaker]), an open circuit fails the request fast —
+    and, when admitted, the ticket is given up as [Breaker_open] so
+    the typed accounting still closes. Every early-return branch
+    counts in [request_failures_total]. *)
+val user_request :
+  t ->
+  ?admission:Jhdl_resilience.Admission.t ->
+  now:float ->
+  user:string ->
+  ip_name:string ->
+  link:Jhdl_bundle.Download.link ->
+  ?deadline_s:float ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?policy:Jhdl_bundle.Download.fetch_policy ->
+  unit ->
+  (session, rejection) result
+
+(** [serve_admitted server ~admission ~ticket ~now ~ip_name ~link
+    ?faults ?policy ()] — serve a download ticket that a queued
+    dispatcher already admitted ({!Jhdl_resilience.Admission.start}).
+    Same semantics as the admitted arm of {!user_request} — serve-stale
+    under brownout, breaker fast-fail with the ticket given up as
+    [Breaker_open] — and the ticket's accounting is always closed. The
+    chaos load scheduler drives this path. *)
+val serve_admitted :
+  t ->
+  admission:Jhdl_resilience.Admission.t ->
+  ticket:Jhdl_resilience.Admission.ticket ->
+  now:float ->
+  ip_name:string ->
+  link:Jhdl_bundle.Download.link ->
+  ?faults:Jhdl_faults.Fault.config ->
+  ?policy:Jhdl_bundle.Download.fetch_policy ->
+  unit ->
+  (session, rejection) result
+
+(** [state_digest server] — canonical rendering of all durable server
+    state (catalog and component versions, accounts with their cache
+    contents, eviction count, access log), accounts sorted by user.
+    The atomic-admission property test pins that shed requests leave
+    it byte-identical. *)
+val state_digest : t -> string
 
 (** {1 Encrypted delivery (Section 4.3 hardening)} *)
 

@@ -53,6 +53,11 @@ type stats = {
   reaped_idle : int;
 }
 
+type rejection = {
+  rej_reason : string;
+  rej_retry_after_s : float option;
+}
+
 type t = {
   config : config;
   mutable sessions : session list; (* open order *)
@@ -61,6 +66,7 @@ type t = {
   mutable quota_count : int;
   mutable heartbeat_reaps : int;
   mutable idle_reaps : int;
+  mutable reap_log : reaped list; (* newest first *)
 }
 
 let create ?(config = default_config) ?(metrics = Metrics.nil) () =
@@ -73,7 +79,8 @@ let create ?(config = default_config) ?(metrics = Metrics.nil) () =
       opened_count = 0;
       quota_count = 0;
       heartbeat_reaps = 0;
-      idle_reaps = 0 }
+      idle_reaps = 0;
+      reap_log = [] }
   in
   (* the supervisor already tracks everything worth exporting in its own
      mutable fields; sample them as probes *)
@@ -86,30 +93,6 @@ let create ?(config = default_config) ?(metrics = Metrics.nil) () =
 
 let user_load t user =
   List.length (List.filter (fun s -> String.equal s.user user) t.sessions)
-
-let open_session t ~user ~now endpoint =
-  if user_load t user >= t.config.max_sessions_per_user then begin
-    t.quota_count <- t.quota_count + 1;
-    Log.warn (fun m ->
-      m "refused session for %s: quota of %d reached" user
-        t.config.max_sessions_per_user);
-    Error
-      (Printf.sprintf "quota: %s already has %d live session(s)" user
-         t.config.max_sessions_per_user)
-  end
-  else begin
-    let key =
-      Printf.sprintf "%s/%s#%d" user (Endpoint.name endpoint) t.next_id
-    in
-    t.next_id <- t.next_id + 1;
-    t.opened_count <- t.opened_count + 1;
-    t.sessions <-
-      t.sessions
-      @ [ { key; user; endpoint; opened_at = now; last_heartbeat = now;
-            last_activity = now } ];
-    Log.info (fun m -> m "opened %s" key);
-    Ok key
-  end
 
 let find t key =
   List.find_opt (fun s -> String.equal s.key key) t.sessions
@@ -150,22 +133,97 @@ let expiry t ~now s =
   then Some Idle
   else None
 
-let tick t ~now =
+(* one supervision pass: reap everything expired, checkpointing each on
+   the way out and appending to the durable reap log (the chaos
+   invariants audit it — a session may never vanish unreported) *)
+let reap_expired t ~now =
   let expired, live =
     List.partition (fun s -> expiry t ~now s <> None) t.sessions
   in
   t.sessions <- live;
-  List.map
-    (fun s ->
-       let reason =
-         match expiry t ~now s with Some r -> r | None -> assert false
-       in
-       (match reason with
-        | Heartbeat_lost -> t.heartbeat_reaps <- t.heartbeat_reaps + 1
-        | Idle -> t.idle_reaps <- t.idle_reaps + 1);
-       Log.info (fun m -> m "reaped %s (%s)" s.key (reap_reason_name reason));
-       { reaped_key = s.key; reason; checkpoint = final_checkpoint s })
-    expired
+  let reaped =
+    List.map
+      (fun s ->
+         let reason =
+           match expiry t ~now s with Some r -> r | None -> assert false
+         in
+         (match reason with
+          | Heartbeat_lost -> t.heartbeat_reaps <- t.heartbeat_reaps + 1
+          | Idle -> t.idle_reaps <- t.idle_reaps + 1);
+         Log.info (fun m -> m "reaped %s (%s)" s.key (reap_reason_name reason));
+         { reaped_key = s.key; reason; checkpoint = final_checkpoint s })
+      expired
+  in
+  t.reap_log <- List.rev_append reaped t.reap_log;
+  reaped
+
+let tick t ~now = reap_expired t ~now
+
+let reap_report t = List.rev t.reap_log
+
+let try_open_session t ~user ~now endpoint =
+  (* reap first: a dead session must never hold a live user's quota
+     slot — expired peers free their slots before the check *)
+  let _ = reap_expired t ~now in
+  if user_load t user >= t.config.max_sessions_per_user then begin
+    t.quota_count <- t.quota_count + 1;
+    Log.warn (fun m ->
+      m "refused session for %s: quota of %d reached" user
+        t.config.max_sessions_per_user);
+    (* the soonest this user's slot can free up without traffic: the
+       earliest heartbeat or idle expiry among their live sessions *)
+    let expiry_at s =
+      let hb =
+        if t.config.heartbeat_timeout_s > 0.0 then
+          Some (s.last_heartbeat +. t.config.heartbeat_timeout_s)
+        else None
+      in
+      let idle =
+        if t.config.idle_timeout_s > 0.0 then
+          Some (s.last_activity +. t.config.idle_timeout_s)
+        else None
+      in
+      match (hb, idle) with
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as x), None | None, (Some _ as x) -> x
+      | None, None -> None
+    in
+    let retry_after =
+      List.fold_left
+        (fun acc s ->
+           if not (String.equal s.user user) then acc
+           else
+             match (expiry_at s, acc) with
+             | Some e, Some best -> Some (Float.min e best)
+             | (Some _ as x), None -> x
+             | None, acc -> acc)
+        None t.sessions
+      |> Option.map (fun e -> Float.max 0.0 (e -. now))
+    in
+    Error
+      { rej_reason =
+          Printf.sprintf "quota: %s already has %d live session(s)" user
+            t.config.max_sessions_per_user;
+        rej_retry_after_s = retry_after }
+  end
+  else begin
+    let key =
+      Printf.sprintf "%s/%s#%d" user (Endpoint.name endpoint) t.next_id
+    in
+    t.next_id <- t.next_id + 1;
+    t.opened_count <- t.opened_count + 1;
+    t.sessions <-
+      t.sessions
+      @ [ { key; user; endpoint; opened_at = now; last_heartbeat = now;
+            last_activity = now } ];
+    Log.info (fun m -> m "opened %s" key);
+    Ok key
+  end
+
+let open_session t ~user ~now endpoint =
+  Result.map_error
+    (fun r -> r.rej_reason)
+    (try_open_session t ~user ~now endpoint)
 
 let shutdown t =
   let preserved, lost =

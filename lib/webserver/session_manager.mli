@@ -32,12 +32,30 @@ type t
     [reaped_heartbeat_total], [reaped_idle_total]. *)
 val create : ?config:config -> ?metrics:Jhdl_metrics.Metrics.t -> unit -> t
 
+(** A typed refusal: the reason plus, when the server can predict it,
+    how long until retrying is worthwhile. *)
+type rejection = {
+  rej_reason : string;
+  rej_retry_after_s : float option;
+      (** for quota refusals: seconds until the user's soonest session
+          expires on its own ([None] when both timeouts are off) *)
+}
+
 (** [open_session t ~user ~now endpoint] — register a live endpoint
-    under [user]. [Error _] (counted in {!stats}) when the user's quota
-    is full. Returns the session key. *)
+    under [user]. Heartbeat- and idle-expired sessions are reaped
+    {e before} the quota check (and land in {!reap_report}), so a dead
+    session can never block a live user's admission. [Error _] (counted
+    in {!stats}) when the user's quota is genuinely full. Returns the
+    session key. *)
 val open_session :
   t -> user:string -> now:float -> Jhdl_netproto.Endpoint.t ->
   (string, string) result
+
+(** [try_open_session] — {!open_session} with the typed rejection:
+    quota refusals carry a [rej_retry_after_s] hint. *)
+val try_open_session :
+  t -> user:string -> now:float -> Jhdl_netproto.Endpoint.t ->
+  (string, rejection) result
 
 (** [heartbeat t ~now key] — the client pinged: refreshes both the
     heartbeat and activity clocks. [Error _] for unknown keys. *)
@@ -68,6 +86,12 @@ type reaped = {
     heartbeat or idle clock has expired, checkpointing each. Reaped
     sessions leave the registry. *)
 val tick : t -> now:float -> reaped list
+
+(** [reap_report t] — every session ever reaped (by {!tick} or by the
+    pre-admission pass inside {!open_session}), oldest first. Together
+    with {!shutdown}'s report this accounts for every session that ever
+    left the registry — the chaos suite's conservation invariant. *)
+val reap_report : t -> reaped list
 
 type shutdown_report = {
   preserved : (string * string) list;  (** (session key, snapshot blob) *)

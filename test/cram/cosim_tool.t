@@ -211,3 +211,15 @@ Unknown metric formats are rejected.
   $ jhdl-cosim-tool --tb bench.v --metrics=xml
   cosim_tool: --metrics formats: text, json (got xml)
   [2]
+
+The same chaos scenarios run from the co-simulation tool (no
+testbench needed), and both CLIs replay a seed byte-identically.
+
+  $ jhdl-cosim-tool --chaos smoke --seed 42 > chaos_cosim.txt
+  $ jhdl-ip-server --chaos smoke --seed 42 > chaos_server.txt && diff chaos_cosim.txt chaos_server.txt
+
+Without a scenario, a testbench is still required.
+
+  $ jhdl-cosim-tool --ip VirtexKCMMultiplier
+  cosim_tool: --tb is required (unless running --chaos)
+  [2]

@@ -17,20 +17,68 @@ misses, jar bytes, per-jar fetch latency) and dumps them on exit; the
 
   $ printf 'register pat licensed\nget pat FirFilter dsl\nget pat FirFilter dsl\nget pat NoSuchIP dsl\nquit\n' \
   >   | jhdl-ip-server --metrics --trace 3 | grep -vE '^server> *$' | grep -v '^server>\|^IP delivery\|^served\|^fetched\|^registered\|^ERROR'
+    counter   admitted_total                   3
+    counter   brownout_level                   0
     counter   cache_evictions_total            0
     counter   cache_hits_total                 4
     counter   cache_misses_total               4
     counter   catalog_entries                  4
+    counter   download.breaker_opened_total    0
+    counter   download.breaker_probes_total    0
+    counter   download.breaker_state           0
+    counter   download.breaker_transitions_total 0
     histogram download_ms                      count=2 sum=6976 p50=1 p95=10000 max=6976
     counter   fetch_attempts_total             4
     counter   fetch_bytes_total                812075
+    counter   inflight                         0
     histogram jar_fetch_ms                     count=4 sum=6976 p50=2000 p95=5000 max=2952
     counter   jars_delivered_total             4
     counter   jars_failed_total                0
     counter   jars_fetched_total               4
+    counter   queue_depth_browse               0
+    counter   queue_depth_cosim                0
+    counter   queue_depth_download             0
+    counter   queue_depth_elaborate            0
+    histogram queue_wait_ms                    count=3 sum=0 p50=1 p95=1 max=0
     counter   request_failures_total           1
     counter   requests_total                   3
+    counter   shed_breaker-open_total          0
+    counter   shed_brownout-rejected_total     0
+    counter   shed_deadline-expired_total      0
+    counter   shed_queue-full_total            0
+    counter   shed_tier-shed_total             0
+    counter   shed_total                       0
   trace: 3 event(s) recorded, showing last 3
     [     0] point request_ok                   4
     [     1] point request_ok                   0
     [     2] point request_error                0
+
+A chaos scenario replaces the console: a seeded fault storm plays
+against a fresh delivery stack and the exit code says whether every
+recovery invariant held. Same seed, same report, byte for byte.
+
+  $ jhdl-ip-server --chaos smoke --seed 42
+  chaos smoke (seed 42)
+    offered 109 | ok 57 | failed 6 | shed 46
+      shed deadline-expired  8
+      shed breaker-open      38
+    phase baseline   offered  17 | ok  17 | shed   0 | failed   0
+    phase storm      offered  60 | ok  15 | shed  39 | failed   6
+    phase recovery   offered  32 | ok  25 | shed   7 | failed   0
+    goodput baseline 1.000 -> recovery 1.000 | p95 queue wait 600.0 ms
+    breaker: download opened 2, cosim opened 0 | crashes 2, resumes 2
+    sessions: opened 8, reaped 6, preserved 2, lost 0, quota-rejected 3
+    PASS accounting-closes    submitted=109 ok=57 failed=6 shed=46 queued=0 inflight=0
+    PASS sessions-conserved   opened=8 reaped=6 preserved=2 lost=0
+    PASS breaker-download-recovers opened=2 final=closed budget=3.25s
+    PASS breaker-cosim-recovers opened=0 final=closed budget=4.50s
+    PASS goodput-recovered    baseline=1.000 recovery=1.000 floor=0.900
+
+  $ jhdl-ip-server --chaos smoke --seed 42 > replay_a.txt
+  $ jhdl-ip-server --chaos smoke --seed 42 > replay_b.txt && diff replay_a.txt replay_b.txt
+
+Unknown scenarios are refused with the choices.
+
+  $ jhdl-ip-server --chaos typhoon
+  unknown scenario typhoon; choices: smoke, crash-burst, loss-spike, slow-clients, quota-storm, republish-load
+  [2]

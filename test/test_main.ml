@@ -23,6 +23,7 @@ let () =
       ("security", Test_security.suite);
       ("applet", Test_applet.suite);
       ("webserver", Test_webserver.suite);
+      ("resilience", Test_resilience.suite);
       ("netproto", Test_netproto.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
