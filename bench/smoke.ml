@@ -187,3 +187,67 @@ let () =
        "bench-smoke: expected a chain-vs-tree proof, got %a@." Equiv.pp_result
        other;
      exit 1)
+
+(* C3 floor: a delivery-cache hit (elaborated design + EDIF export,
+   both content-addressed) must beat fresh re-elaboration by 10x
+   across the whole modgen catalog at defaults - the property the
+   server's delivery path depends on; the full capacity x zipf sweep
+   lives in the C3 section of bench/main.ml *)
+let () =
+  let delivery =
+    Delivery_cache.create ~cap_entries:16 ~cap_bytes:(16 * 1024 * 1024) ()
+  in
+  let serve ip =
+    let assignment = Ip_module.defaults ip in
+    let descriptor =
+      Delivery_cache.generator_descriptor ~generator:ip.Ip_module.ip_name
+        ~params:
+          (List.map
+             (fun (k, v) -> (k, Ip_module.param_to_string v))
+             assignment)
+    in
+    let built =
+      Cache_store.find_or_add delivery.Delivery_cache.designs ~now:0.
+        ~descriptor
+        ~bytes:(fun b -> String.length (Snapshot.descriptor b.Ip_module.design))
+        (fun () -> ip.Ip_module.build assignment)
+    in
+    ignore
+      (Delivery_cache.netlist_keyed delivery ~now:0. ~kind:"edif" ~descriptor
+         (fun () -> Edif.of_design built.Ip_module.design)
+        : string)
+  in
+  List.iter serve Catalog.all;
+  let rounds = 10 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    List.iter serve Catalog.all
+  done;
+  let hit_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun ip ->
+         let built = ip.Ip_module.build (Ip_module.defaults ip) in
+         ignore (Edif.of_design built.Ip_module.design : string))
+      Catalog.all
+  done;
+  let fresh_s = Unix.gettimeofday () -. t0 in
+  let ratio = fresh_s /. (if hit_s > 0.0 then hit_s else 1e-9) in
+  if ratio < 10.0 then begin
+    Printf.eprintf
+      "bench-smoke: cache hit path only %.1fx faster than re-elaboration \
+       (floor 10x)\n"
+      ratio;
+    exit 1
+  end;
+  let stats = Delivery_cache.combined_stats delivery in
+  if stats.Cache_store.verify_rejects > 0 then begin
+    Printf.eprintf "bench-smoke: %d unexpected cache verify reject(s)\n"
+      stats.Cache_store.verify_rejects;
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: delivery-cache hits %.0fx faster than re-elaboration \
+     over %d catalog passes\n"
+    ratio rounds

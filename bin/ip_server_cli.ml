@@ -205,7 +205,7 @@ let run_chaos name seed metrics_format =
     if Chaos.passed report then 0 else 1
 
 let run vendor fault_name fault_rate retries seed chaos metrics_format
-    trace_last =
+    trace_last cache_cap =
   match Fault.kind_of_string fault_name with
   | None ->
     prerr_endline "faults: drop, corrupt, duplicate, latency, disconnect";
@@ -218,6 +218,9 @@ let run vendor fault_name fault_rate retries seed chaos metrics_format
     2
   | Some _ when Option.is_some chaos ->
     run_chaos (Option.get chaos) seed metrics_format
+  | Some _ when cache_cap < 1 ->
+    prerr_endline "--cache-cap must be at least 1";
+    2
   | Some kind when fault_rate >= 0.0 && fault_rate < 1.0 && retries >= 1
                 && trace_last >= 0 ->
     let delivery =
@@ -244,7 +247,10 @@ let run vendor fault_name fault_rate retries seed chaos metrics_format
     let breaker =
       Breaker.create ~metrics:registry ~name:"download" ~seed ()
     in
-    let server = Server.create ~vendor ~breaker ~metrics:registry () in
+    let server =
+      Server.create ~vendor ~delivery_cap:cache_cap ~breaker
+        ~metrics:registry ()
+    in
     let admission = Admission.create ~metrics:registry () in
     console_clock := 0.0;
     List.iter (fun ip -> ignore (Server.publish server ip)) Catalog.all;
@@ -306,11 +312,21 @@ let trace_arg =
         ~doc:"Record request events in a bounded ring buffer and print the \
               last N on exit; 0 disables tracing.")
 
+let cache_cap_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-cap" ]
+        ~doc:"Entry capacity of the server's content-addressed delivery \
+              cache (elaborated designs, lint verdicts, netlists, jar \
+              bundles). With $(b,--metrics), its counters dump as the \
+              $(b,delivery.cache_*) rows.")
+
 let cmd =
   let doc = "run the vendor's IP delivery web server console" in
   Cmd.v (Cmd.info "ip_server_cli" ~doc)
     Term.(
       const run $ vendor_arg $ fault_arg $ fault_rate_arg $ retries_arg
-      $ seed_arg $ chaos_arg $ metrics_format_arg $ trace_arg)
+      $ seed_arg $ chaos_arg $ metrics_format_arg $ trace_arg
+      $ cache_cap_arg)
 
 let () = exit (Cmd.eval' cmd)

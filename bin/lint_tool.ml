@@ -122,7 +122,7 @@ let apply_baseline baseline report =
           report.Lint.diagnostics }
 
 let run_lint all broken ip_name params json rules_only deep fail_on disabled
-    fanout_threshold max_diagnostics baseline_path metrics_format =
+    fanout_threshold max_diagnostics baseline_path metrics_format cache_cap =
   if rules_only then begin
     print_rules ();
     0
@@ -132,6 +132,21 @@ let run_lint all broken ip_name params json rules_only deep fail_on disabled
     let registry =
       if Option.is_some metrics_format then Metrics.create "analysis"
       else Metrics.nil
+    in
+    (* the verdict cache only answers for runs at the default analysis
+       configuration — a verdict computed under different rule settings
+       must never be served for another *)
+    let cacheable =
+      (not deep) && disabled = []
+      && fanout_threshold = Lint.default_config.Lint.fanout_threshold
+      && max_diagnostics = Lint.default_config.Lint.max_diagnostics
+    in
+    let cache =
+      if cache_cap > 0 && cacheable then
+        Some
+          (Cache_store.create ~metrics:registry ~name:"lint"
+             ~cap_entries:cache_cap ~cap_bytes:max_int ())
+      else None
     in
     let result =
       match metrics_format with
@@ -149,39 +164,53 @@ let run_lint all broken ip_name params json rules_only deep fail_on disabled
         (match baseline with
          | Error message -> Error message
          | Ok baseline ->
-           let designs =
-             if broken then Ok [ broken_design () ]
+           let config =
+             { Lint.default_config with
+               Lint.disabled;
+               fanout_threshold;
+               max_diagnostics }
+           in
+           let lint d =
+             let base = Lint.run ~config d in
+             if deep then
+               Deep_lint.merge ~max_diagnostics base
+                 (Deep_lint.run ~config ~metrics:registry d)
+             else base
+           in
+           let raw_reports =
+             if broken then Ok [ lint (broken_design ()) ]
              else if all then
-               Ok
-                 (List.map
-                    (fun ip ->
-                       (ip.Ip_module.build (Ip_module.defaults ip))
-                         .Ip_module.design)
-                    Catalog.all)
+               (match cache with
+                | Some store ->
+                  (* content-addressed by generator invocation: the
+                     verdict store skips elaboration on a repeat *)
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | ip :: rest ->
+                      (match Catalog.lint_verdict ~cache:store ip with
+                       | Ok r -> go (r :: acc) rest
+                       | Error e ->
+                         Error (Catalog.elaboration_error_to_string e))
+                  in
+                  go [] Catalog.all
+                | None ->
+                  Ok
+                    (List.map
+                       (fun ip ->
+                          lint
+                            (ip.Ip_module.build (Ip_module.defaults ip))
+                              .Ip_module.design)
+                       Catalog.all))
              else
                (match Catalog.find ip_name with
                 | None -> Error (Printf.sprintf "unknown IP %s" ip_name)
-                | Some ip -> Result.map (fun d -> [ d ]) (build_design ip params))
+                | Some ip ->
+                  Result.map (fun d -> [ lint d ]) (build_design ip params))
            in
-           (match designs with
+           (match raw_reports with
             | Error message -> Error message
-            | Ok designs ->
-              let config =
-                { Lint.default_config with
-                  Lint.disabled;
-                  fanout_threshold;
-                  max_diagnostics }
-              in
-              let lint d =
-                let base = Lint.run ~config d in
-                if deep then
-                  Deep_lint.merge ~max_diagnostics base
-                    (Deep_lint.run ~config ~metrics:registry d)
-                else base
-              in
-              let reports =
-                List.map (fun d -> apply_baseline baseline (lint d)) designs
-              in
+            | Ok raw_reports ->
+              let reports = List.map (apply_baseline baseline) raw_reports in
               List.iter
                 (fun r ->
                    if json then print_string (Lint.to_json r)
@@ -280,10 +309,20 @@ let metrics_arg =
     & opt ~vopt:(Some "text") (some string) None
     & info [ "metrics" ]
         ~doc:
-          "With $(b,--deep), dump the BDD manager's counters (nodes \
-           allocated, apply/memo cache hits, budget cuts) after the \
-           reports: $(b,--metrics) for aligned text, $(b,--metrics=json) \
-           for one JSON object per metric.")
+          "Dump analysis counters after the reports: with $(b,--deep) the \
+           BDD manager's (nodes allocated, apply/memo cache hits, budget \
+           cuts), with $(b,--cache-cap) the verdict store's \
+           $(b,lint.cache_*) rows. $(b,--metrics) for aligned text, \
+           $(b,--metrics=json) for one JSON object per metric.")
+
+let cache_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-cap" ]
+        ~doc:"With $(b,--all), serve verdicts through a bounded \
+              content-addressed store of this many entries (0 disables). \
+              Only runs at the default analysis configuration are \
+              cacheable.")
 
 let cmd =
   let doc = "rule-based lint over JHDL module-generator designs" in
@@ -292,6 +331,6 @@ let cmd =
     Term.(
       const run_lint $ all_arg $ broken_arg $ ip_arg $ param_arg $ json_arg
       $ rules_arg $ deep_arg $ fail_on_arg $ disable_arg $ fanout_arg
-      $ max_arg $ baseline_arg $ metrics_arg)
+      $ max_arg $ baseline_arg $ metrics_arg $ cache_cap_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,11 @@ module Kcm = Jhdl_modgen.Kcm
 module Fir = Jhdl_modgen.Fir
 module Counter = Jhdl_modgen.Counter
 module Cordic = Jhdl_modgen.Cordic
+module Wallace = Jhdl_modgen.Wallace
+module Divider = Jhdl_modgen.Divider
 module Testbench = Jhdl_sim.Testbench
+module Store = Jhdl_cache.Store
+module Delivery = Jhdl_cache.Delivery
 
 let vendor = "BYU Configurable Computing Lab"
 
@@ -291,7 +295,123 @@ let cordic =
     reference = None;
     shipped_bench = Some cordic_bench }
 
-let all = [ kcm; fir; counter; cordic ]
+let wallace_build assignment =
+  let aw = Ip_module.int_param assignment "a_width" in
+  let bw = Ip_module.int_param assignment "b_width" in
+  let pw = Ip_module.int_param assignment "product_width" in
+  let top = Cell.root ~name:"wallace_top" () in
+  let a = Wire.create top ~name:"a" aw in
+  let b = Wire.create top ~name:"b" bw in
+  let product = Wire.create top ~name:"product" pw in
+  let w = Wallace.create top ~a ~b ~product () in
+  let design = Design.create top in
+  Design.add_port design "a" Types.Input a;
+  Design.add_port design "b" Types.Input b;
+  Design.add_port design "product" Types.Output product;
+  { Ip_module.design;
+    clock_port = None;
+    latency = 0;
+    notes =
+      [ Printf.sprintf
+          "%d reduction stage(s), %d full + %d half adders, full width %d"
+          w.Wallace.stages w.Wallace.full_adders w.Wallace.half_adders
+          w.Wallace.full_width ] }
+
+let wallace_bench assignment (_ : Ip_module.built) =
+  let aw = Ip_module.int_param assignment "a_width" in
+  let bw = Ip_module.int_param assignment "b_width" in
+  let pw = Ip_module.int_param assignment "product_width" in
+  List.concat_map
+    (fun i ->
+       let x = (i * 37) land ((1 lsl aw) - 1) in
+       let y = (i * 23) land ((1 lsl bw) - 1) in
+       [ Testbench.Drive ("a", Bits.of_int ~width:aw x);
+         Testbench.Drive ("b", Bits.of_int ~width:bw y);
+         Testbench.Settle;
+         Testbench.Expect
+           ("product",
+            Wallace.expected_product ~a_width:aw ~b_width:bw ~product_width:pw
+              x y) ])
+    (List.init 12 (fun i -> i))
+
+let wallace =
+  { Ip_module.ip_name = "WallaceTreeMultiplier";
+    vendor;
+    description =
+      "Variable-by-variable unsigned multiplier with column-compressed \
+       Wallace-tree reduction";
+    params =
+      [ ("a_width",
+         Ip_module.Int_param { min_value = 2; max_value = 12; default = 8 });
+        ("b_width",
+         Ip_module.Int_param { min_value = 2; max_value = 12; default = 8 });
+        ("product_width",
+         Ip_module.Int_param { min_value = 2; max_value = 24; default = 16 }) ];
+    build = wallace_build;
+    reference = None;
+    shipped_bench = Some wallace_bench }
+
+let divider_build assignment =
+  let n = Ip_module.int_param assignment "dividend_width" in
+  let m = Ip_module.int_param assignment "divisor_width" in
+  let pipelined = Ip_module.bool_param assignment "pipelined" in
+  let top = Cell.root ~name:"divider_top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let dividend = Wire.create top ~name:"dividend" n in
+  let divisor = Wire.create top ~name:"divisor" m in
+  let quotient = Wire.create top ~name:"quotient" n in
+  let remainder = Wire.create top ~name:"remainder" m in
+  let div =
+    Divider.create top ~clk ~dividend ~divisor ~quotient ~remainder
+      ~pipelined ()
+  in
+  let design = Design.create top in
+  Design.add_port design "clk" Types.Input clk;
+  Design.add_port design "dividend" Types.Input dividend;
+  Design.add_port design "divisor" Types.Input divisor;
+  Design.add_port design "quotient" Types.Output quotient;
+  Design.add_port design "remainder" Types.Output remainder;
+  { Ip_module.design;
+    clock_port = Some "clk";
+    latency = div.Divider.latency;
+    notes =
+      [ Printf.sprintf "%d restoring stage(s), one division per cycle"
+          div.Divider.stages ] }
+
+let divider_bench assignment (built : Ip_module.built) =
+  let n = Ip_module.int_param assignment "dividend_width" in
+  let m = Ip_module.int_param assignment "divisor_width" in
+  let latency = built.Ip_module.latency in
+  List.concat_map
+    (fun i ->
+       let x = (i * 41) land ((1 lsl n) - 1) in
+       let y = (i * 13) land ((1 lsl m) - 1) in
+       let q, r = Divider.reference ~dividend_width:n ~divisor_width:m x y in
+       [ Testbench.Drive ("dividend", Bits.of_int ~width:n x);
+         Testbench.Drive ("divisor", Bits.of_int ~width:m y) ]
+       @ (if latency = 0 then [ Testbench.Settle ]
+          else [ Testbench.Step latency ])
+       @ [ Testbench.Expect ("quotient", Bits.of_int ~width:n q);
+           Testbench.Expect ("remainder", Bits.of_int ~width:m r) ])
+    (List.init 10 (fun i -> i + 1))
+
+let divider =
+  { Ip_module.ip_name = "PipelinedDivider";
+    vendor;
+    description =
+      "Unsigned restoring-array divider, one stage per dividend bit, \
+       optionally fully pipelined";
+    params =
+      [ ("dividend_width",
+         Ip_module.Int_param { min_value = 2; max_value = 12; default = 8 });
+        ("divisor_width",
+         Ip_module.Int_param { min_value = 2; max_value = 8; default = 4 });
+        ("pipelined", Ip_module.Bool_param { default = true }) ];
+    build = divider_build;
+    reference = None;
+    shipped_bench = Some divider_bench }
+
+let all = [ kcm; fir; counter; cordic; wallace; divider ]
 
 let find name =
   let lower = String.lowercase_ascii name in
@@ -299,10 +419,58 @@ let find name =
     (fun ip -> String.lowercase_ascii ip.Ip_module.ip_name = lower)
     all
 
-(* catalog-facing lint summary: elaborate at the defaults, run the rule
-   engine, report counts only (the full report is the lint tool's job) *)
-let lint_summary ip =
-  match ip.Ip_module.build (Ip_module.defaults ip) with
-  | built -> Jhdl_lint.Lint.(summary (run built.Ip_module.design))
-  | exception e ->
-    Printf.sprintf "failed to elaborate: %s" (Printexc.to_string e)
+type elaboration_error = {
+  failed_ip : string;
+  exception_name : string;
+  detail : string;
+}
+
+let elaboration_error_to_string e =
+  Printf.sprintf "failed to elaborate %s: %s" e.failed_ip e.detail
+
+(* the verdict cache is keyed by the generator invocation — name,
+   canonicalized default parameters, tech-library version — so a hit
+   skips elaboration entirely; elaboration is deterministic in exactly
+   those inputs, which is what makes the address honest *)
+let lint_descriptor ip =
+  Delivery.generator_descriptor
+    ~generator:("lint:" ^ ip.Ip_module.ip_name)
+    ~params:
+      (List.map
+         (fun (k, v) -> (k, Ip_module.param_to_string v))
+         (Ip_module.defaults ip))
+
+let lint_verdict ?cache ?(now = 0.) ip =
+  let descriptor = lint_descriptor ip in
+  let cached =
+    match cache with
+    | Some store -> Store.find store ~now ~descriptor
+    | None -> None
+  in
+  match cached with
+  | Some report -> Ok report
+  | None ->
+    (match ip.Ip_module.build (Ip_module.defaults ip) with
+     | exception e ->
+       Error
+         { failed_ip = ip.Ip_module.ip_name;
+           exception_name = Printexc.exn_slot_name e;
+           detail = Printexc.to_string e }
+     | built ->
+       let report = Jhdl_lint.Lint.run built.Ip_module.design in
+       (match cache with
+        | Some store ->
+          ignore
+            (Store.add store ~now ~descriptor
+               ~bytes:(String.length (Jhdl_lint.Lint.to_json report))
+               report
+             : string list)
+        | None -> ());
+       Ok report)
+
+(* catalog-facing lint summary: counts only (the full report is the
+   lint tool's job) *)
+let lint_summary ?cache ?now ip =
+  match lint_verdict ?cache ?now ip with
+  | Ok report -> Jhdl_lint.Lint.summary report
+  | Error e -> elaboration_error_to_string e

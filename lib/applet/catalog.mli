@@ -23,6 +23,15 @@ val counter : Ip_module.t
     Ports: [angle], [cos], [sin], [clk]. *)
 val cordic : Ip_module.t
 
+(** Parameters: [a_width] (2..12), [b_width] (2..12), [product_width]
+    (2..24). Ports: [a], [b], [product] — combinational. *)
+val wallace : Ip_module.t
+
+(** Parameters: [dividend_width] (2..12), [divisor_width] (2..8),
+    [pipelined]. Ports: [dividend], [divisor], [quotient], [remainder],
+    [clk]. *)
+val divider : Ip_module.t
+
 val all : Ip_module.t list
 
 (** [find name] — case-insensitive catalog lookup. *)
@@ -31,7 +40,33 @@ val find : string -> Ip_module.t option
 (** [fir_coefficient_sets] — the named presets the [taps] choice offers. *)
 val fir_coefficient_sets : (string * int list) list
 
-(** [lint_summary ip] — one-line lint count summary for [ip] elaborated
-    at its default parameters (e.g. ["0 error(s), 14 warning(s), 0 info"]),
-    or an elaboration-failure note. Shown next to catalog entries. *)
-val lint_summary : Ip_module.t -> string
+(** Why an [ip]'s default-parameter elaboration failed — a typed
+    verdict, not a swallowed exception string. *)
+type elaboration_error = {
+  failed_ip : string;
+  exception_name : string;  (** exception constructor, e.g.
+                                ["Invalid_argument"] *)
+  detail : string;  (** [Printexc] rendering of the payload *)
+}
+
+val elaboration_error_to_string : elaboration_error -> string
+
+(** [lint_verdict ?cache ?now ip] — the lint report for [ip] elaborated
+    at its default parameters. With [cache] the verdict is served
+    content-addressed (key: generator name, canonical defaults,
+    tech-library version — all the elaboration depends on), so a hit
+    skips elaboration entirely; misses populate the store at [now]. *)
+val lint_verdict :
+  ?cache:Jhdl_lint.Lint.report Jhdl_cache.Store.t ->
+  ?now:float ->
+  Ip_module.t ->
+  (Jhdl_lint.Lint.report, elaboration_error) result
+
+(** [lint_summary ?cache ?now ip] — one-line count summary of
+    {!lint_verdict} (e.g. ["0 error(s), 14 warning(s), 0 info"]), or the
+    elaboration-failure note. Shown next to catalog entries. *)
+val lint_summary :
+  ?cache:Jhdl_lint.Lint.report Jhdl_cache.Store.t ->
+  ?now:float ->
+  Ip_module.t ->
+  string

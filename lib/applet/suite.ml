@@ -18,9 +18,11 @@ type entry = {
 type t = {
   entries : entry list;
   mutable active : entry;
+  lint_cache : Jhdl_lint.Lint.report Jhdl_cache.Store.t option;
+  clock : unit -> float;
 }
 
-let create ~ips ~license ~user () =
+let create ?lint_cache ?(clock = fun () -> 0.) ~ips ~license ~user () =
   match ips with
   | [] -> invalid_arg "Suite.create: no IP modules"
   | _ :: _ ->
@@ -31,7 +33,7 @@ let create ~ips ~license ~user () =
         ips
     in
     (match entries with
-     | first :: _ -> { entries; active = first }
+     | first :: _ -> { entries; active = first; lint_cache; clock }
      | [] -> assert false)
 
 let selected t = t.active.ip
@@ -53,7 +55,8 @@ let exec t command =
            Printf.sprintf "%s %-24s %s [lint: %s]"
              (if e == t.active then "*" else " ")
              e.ip.Ip_module.ip_name e.ip.Ip_module.description
-             (Catalog.lint_summary e.ip))
+             (Catalog.lint_summary ?cache:t.lint_cache ~now:(t.clock ())
+                e.ip))
         t.entries
     in
     Ok (String.concat "\n" lines)

@@ -15,10 +15,20 @@ type command =
 
 val command_to_string : command -> string
 
-(** [create ~ips ~license ~user ()] — one shared license and meter; the
-    first IP is initially selected. [ips] must be non-empty. *)
+(** [create ?lint_cache ?clock ~ips ~license ~user ()] — one shared
+    license and meter; the first IP is initially selected. [ips] must be
+    non-empty. With [lint_cache], catalog listings serve each entry's
+    lint verdict content-addressed instead of re-elaborating per
+    listing; [clock] timestamps cache recency (defaults to a constant —
+    LRU order is maintained structurally either way). *)
 val create :
-  ips:Ip_module.t list -> license:License.t -> user:string -> unit -> t
+  ?lint_cache:Jhdl_lint.Lint.report Jhdl_cache.Store.t ->
+  ?clock:(unit -> float) ->
+  ips:Ip_module.t list ->
+  license:License.t ->
+  user:string ->
+  unit ->
+  t
 
 val selected : t -> Ip_module.t
 

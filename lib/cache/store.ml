@@ -1,0 +1,219 @@
+module Metrics = Jhdl_metrics.Metrics
+
+(* the one FNV-1a/64, shared with the design signature *)
+let fnv1a64 = Jhdl_sim.Snapshot.fnv1a64
+
+type 'a node = {
+  n_key : int64 * int;
+  n_descriptor : string;
+  n_value : 'a;
+  n_bytes : int;
+  mutable n_last_used : float;
+  (* intrusive doubly-linked recency list, MRU at the head *)
+  mutable n_prev : 'a node option;
+  mutable n_next : 'a node option;
+}
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  verify_rejects : int;
+  inserted : int;
+  evicted : int;
+  replaced : int;
+  removed : int;
+  live_entries : int;
+  live_bytes : int;
+}
+
+let accounting_closes s =
+  s.inserted = s.live_entries + s.evicted + s.replaced + s.removed
+
+type 'a t = {
+  cap_entries : int;
+  cap_bytes : int;
+  table : (int64 * int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable live_bytes : int;
+  (* counters double as the metric instruments: minted from [nil] they
+     are live unregistered records, so stats read one source of truth *)
+  c_lookups : Metrics.counter;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_verify_rejects : Metrics.counter;
+  c_inserted : Metrics.counter;
+  c_evicted : Metrics.counter;
+  c_replaced : Metrics.counter;
+  c_removed : Metrics.counter;
+}
+
+let create ?(metrics = Metrics.nil) ?name ~cap_entries ~cap_bytes () =
+  if cap_entries < 1 then
+    invalid_arg
+      (Printf.sprintf "Store.create: cap_entries %d must be positive"
+         cap_entries);
+  if cap_bytes < 1 then
+    invalid_arg
+      (Printf.sprintf "Store.create: cap_bytes %d must be positive" cap_bytes);
+  let prefix = match name with None -> "" | Some n -> n ^ "." in
+  let counter suffix = Metrics.counter metrics (prefix ^ "cache_" ^ suffix) in
+  let t =
+    { cap_entries; cap_bytes; table = Hashtbl.create 64; head = None;
+      tail = None; live_bytes = 0;
+      c_lookups = counter "lookups_total";
+      c_hits = counter "hits_total";
+      c_misses = counter "misses_total";
+      c_verify_rejects = counter "verify_rejects_total";
+      c_inserted = counter "insertions_total";
+      c_evicted = counter "evictions_total";
+      c_replaced = counter "replacements_total";
+      c_removed = counter "removals_total" }
+  in
+  Metrics.probe metrics (prefix ^ "cache_entries") (fun () ->
+      Hashtbl.length t.table);
+  Metrics.probe metrics (prefix ^ "cache_bytes") (fun () -> t.live_bytes);
+  t
+
+let cap_entries t = t.cap_entries
+let cap_bytes t = t.cap_bytes
+
+let key_of descriptor = (fnv1a64 descriptor, String.length descriptor)
+
+(* ------------------------------------------------------------------ *)
+(* recency list surgery                                                *)
+
+let unlink t node =
+  (match node.n_prev with
+   | Some p -> p.n_next <- node.n_next
+   | None -> t.head <- node.n_next);
+  (match node.n_next with
+   | Some n -> n.n_prev <- node.n_prev
+   | None -> t.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front t node =
+  node.n_prev <- None;
+  node.n_next <- t.head;
+  (match t.head with
+   | Some h -> h.n_prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let drop t node =
+  unlink t node;
+  Hashtbl.remove t.table node.n_key;
+  t.live_bytes <- t.live_bytes - node.n_bytes
+
+(* ------------------------------------------------------------------ *)
+
+let lookup t ~descriptor =
+  Metrics.incr t.c_lookups;
+  match Hashtbl.find_opt t.table (key_of descriptor) with
+  | None ->
+    Metrics.incr t.c_misses;
+    None
+  | Some node when not (String.equal node.n_descriptor descriptor) ->
+    (* hash collision: verify-on-hit failed, degrade to a miss *)
+    Metrics.incr t.c_verify_rejects;
+    Metrics.incr t.c_misses;
+    None
+  | Some node ->
+    Metrics.incr t.c_hits;
+    Some node
+
+let find t ~now ~descriptor =
+  match lookup t ~descriptor with
+  | None -> None
+  | Some node ->
+    node.n_last_used <- now;
+    unlink t node;
+    push_front t node;
+    Some node.n_value
+
+let peek t ~descriptor =
+  match lookup t ~descriptor with
+  | None -> None
+  | Some node -> Some node.n_value
+
+let add t ~now ~descriptor ~bytes value =
+  if bytes > t.cap_bytes then []
+  else begin
+    let key = key_of descriptor in
+    (match Hashtbl.find_opt t.table key with
+     | Some old ->
+       (* same key: a genuine re-insert, or a colliding descriptor whose
+          entry the honest newcomer displaces — either way replacement,
+          never two entries under one key *)
+       Metrics.incr t.c_replaced;
+       drop t old
+     | None -> ());
+    let node =
+      { n_key = key; n_descriptor = descriptor; n_value = value;
+        n_bytes = max 0 bytes; n_last_used = now; n_prev = None;
+        n_next = None }
+    in
+    Hashtbl.replace t.table key node;
+    push_front t node;
+    t.live_bytes <- t.live_bytes + node.n_bytes;
+    Metrics.incr t.c_inserted;
+    let evicted = ref [] in
+    while
+      Hashtbl.length t.table > t.cap_entries || t.live_bytes > t.cap_bytes
+    do
+      match t.tail with
+      | None -> assert false (* a live entry is always listed *)
+      | Some lru ->
+        Metrics.incr t.c_evicted;
+        evicted := lru.n_descriptor :: !evicted;
+        drop t lru
+    done;
+    List.rev !evicted
+  end
+
+let find_or_add t ~now ~descriptor ~bytes build =
+  match find t ~now ~descriptor with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    let _ = add t ~now ~descriptor ~bytes:(bytes v) v in
+    v
+
+let remove t ~descriptor =
+  match Hashtbl.find_opt t.table (key_of descriptor) with
+  | Some node when String.equal node.n_descriptor descriptor ->
+    Metrics.incr t.c_removed;
+    drop t node;
+    true
+  | Some _ | None -> false
+
+let mem t ~descriptor =
+  match Hashtbl.find_opt t.table (key_of descriptor) with
+  | Some node -> String.equal node.n_descriptor descriptor
+  | None -> false
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go ((node.n_descriptor, node.n_value) :: acc) node.n_next
+  in
+  go [] t.head
+
+let stats t =
+  { lookups = Metrics.count t.c_lookups;
+    hits = Metrics.count t.c_hits;
+    misses = Metrics.count t.c_misses;
+    verify_rejects = Metrics.count t.c_verify_rejects;
+    inserted = Metrics.count t.c_inserted;
+    evicted = Metrics.count t.c_evicted;
+    replaced = Metrics.count t.c_replaced;
+    removed = Metrics.count t.c_removed;
+    live_entries = Hashtbl.length t.table;
+    live_bytes = t.live_bytes }
+
+let hit_rate t =
+  let lookups = Metrics.count t.c_lookups in
+  if lookups = 0 then 0.0
+  else float_of_int (Metrics.count t.c_hits) /. float_of_int lookups

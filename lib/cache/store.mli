@@ -1,0 +1,101 @@
+(** A generic content-addressed LRU artifact store.
+
+    Entries are keyed by a descriptor string — the canonical spelling
+    of everything the cached artifact is a pure function of (for
+    elaborated designs, {!Jhdl_sim.Snapshot.descriptor}; for generator
+    outputs, the (generator, parameters, tech-library version) tuple).
+    Internally the key is the FNV-1a/64 hash of the descriptor plus the
+    descriptor's length, and every entry retains its full descriptor:
+    a lookup whose hash matches but whose descriptor differs is a
+    {e verify reject} — counted, treated as a miss, never served — so
+    even a 64-bit hash collision degrades to a miss, not a wrong
+    artifact.
+
+    Capacity is bounded in both entries and bytes (caller-sized, since
+    artifact types are opaque here); eviction is least-recently-used.
+    Time is the caller's ([~now], seconds on any consistent clock), the
+    same discipline as {!Jhdl_resilience.Admission}, so cached runs
+    replay deterministically.
+
+    Accounting is closed: [inserted = live + evicted + replaced] at
+    every step — {!accounting_closes} checks the identity and the
+    property suite asserts it after every operation. *)
+
+type 'a t
+
+(** Running totals; [live_entries]/[live_bytes] are the current
+    residency, everything else is monotonic. *)
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;  (** includes verify rejects *)
+  verify_rejects : int;  (** hash matched, descriptor differed *)
+  inserted : int;
+  evicted : int;  (** pushed out by the LRU bound *)
+  replaced : int;  (** overwritten by an insert under the same key *)
+  removed : int;  (** explicitly {!remove}d *)
+  live_entries : int;
+  live_bytes : int;
+}
+
+(** [inserted = live + evicted + replaced + removed] — the closed
+    eviction accounting every store must satisfy. *)
+val accounting_closes : stats -> bool
+
+(** [create ?metrics ?name ~cap_entries ~cap_bytes ()] — an empty
+    store. A live [metrics] registry gains [<name>cache_lookups_total],
+    [<name>cache_hits_total], [<name>cache_misses_total],
+    [<name>cache_evictions_total], [<name>cache_insertions_total],
+    [<name>cache_verify_rejects_total] counters and
+    [<name>cache_entries] / [<name>cache_bytes] probes, where [<name>]
+    is ["name."] when a name is given. Raises [Invalid_argument] when
+    either capacity is not positive. *)
+val create :
+  ?metrics:Jhdl_metrics.Metrics.t ->
+  ?name:string ->
+  cap_entries:int ->
+  cap_bytes:int ->
+  unit ->
+  'a t
+
+val cap_entries : 'a t -> int
+val cap_bytes : 'a t -> int
+
+(** [find t ~now ~descriptor] — the artifact stored under [descriptor],
+    bumping its recency; [None] (a counted miss) when absent or when
+    the stored descriptor fails verification. *)
+val find : 'a t -> now:float -> descriptor:string -> 'a option
+
+(** [peek t ~descriptor] — {!find} without the recency bump (still a
+    counted lookup). *)
+val peek : 'a t -> descriptor:string -> 'a option
+
+(** [add t ~now ~descriptor ~bytes v] — insert [v] under [descriptor],
+    charging [bytes] against the byte capacity, evicting
+    least-recently-used entries until both bounds hold. An insert under
+    an existing key replaces that entry (counted in [replaced], not
+    [evicted]). Returns the descriptors evicted, LRU first. Artifacts
+    larger than [cap_bytes] are refused (returns [[]], nothing
+    counted as inserted). *)
+val add : 'a t -> now:float -> descriptor:string -> bytes:int -> 'a -> string list
+
+(** [find_or_add t ~now ~descriptor ~bytes build] — {!find}, building
+    and inserting on a miss. [bytes] sizes the built artifact. *)
+val find_or_add :
+  'a t -> now:float -> descriptor:string -> bytes:('a -> int) ->
+  (unit -> 'a) -> 'a
+
+(** [remove t ~descriptor] — drop the entry if present; [true] when one
+    was dropped. *)
+val remove : 'a t -> descriptor:string -> bool
+
+val mem : 'a t -> descriptor:string -> bool
+
+(** [to_list t] — live [(descriptor, value)] pairs, most recently used
+    first. *)
+val to_list : 'a t -> (string * 'a) list
+
+val stats : 'a t -> stats
+
+(** [hit_rate t] — hits over lookups, 0 when never consulted. *)
+val hit_rate : 'a t -> float

@@ -22,6 +22,9 @@
       viewers.
     - {!Class_file}, {!Jar}, {!Partition}, {!Download}: delivery bundles.
     - {!Obfuscator}, {!Crypto}, {!Watermark}, {!Metering}: IP protection.
+    - {!Cache_store}, {!Delivery_cache}: the content-addressed artifact
+      cache for the delivery path (collision-safe 64-bit signatures,
+      verify-on-hit, closed LRU accounting).
     - {!Feature}, {!License}, {!Ip_module}, {!Applet}, {!Catalog}: the IP
       delivery applets.
     - {!Server}: the vendor web server.
@@ -92,6 +95,8 @@ module Obfuscator = Jhdl_security.Obfuscator
 module Crypto = Jhdl_security.Crypto
 module Watermark = Jhdl_security.Watermark
 module Metering = Jhdl_security.Metering
+module Cache_store = Jhdl_cache.Store
+module Delivery_cache = Jhdl_cache.Delivery
 module Feature = Jhdl_applet.Feature
 module License = Jhdl_applet.License
 module Ip_module = Jhdl_applet.Ip_module

@@ -1,0 +1,125 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  stages : int;
+}
+
+let reference ~dividend_width ~divisor_width a b =
+  if b = 0 then
+    (* what the restoring array does on a zero divisor: every trial
+       subtract succeeds, so the quotient saturates and the remainder
+       column shifts the dividend through *)
+    ((1 lsl dividend_width) - 1, a land ((1 lsl divisor_width) - 1))
+  else (a / b, a mod b)
+
+let create parent ?(name = "divider") ?clk ~dividend ~divisor ~quotient
+    ~remainder ~pipelined () =
+  let n = Wire.width dividend and m = Wire.width divisor in
+  if Wire.width quotient <> n then
+    invalid_arg "Divider.create: quotient width must match dividend";
+  if Wire.width remainder <> m then
+    invalid_arg "Divider.create: remainder width must match divisor";
+  let clk =
+    match clk, pipelined with
+    | Some c, _ -> Some c
+    | None, false -> None
+    | None, true -> invalid_arg "Divider.create: pipelined mode requires a clock"
+  in
+  let cell =
+    Cell.composite parent ~name ~type_name:"RestoringDivider"
+      ~ports:
+        ([ ("dividend", Types.Input, dividend);
+           ("divisor", Types.Input, divisor);
+           ("quotient", Types.Output, quotient);
+           ("remainder", Types.Output, remainder) ]
+         @ (match clk with Some c -> [ ("clk", Types.Input, c) ] | None -> []))
+      ()
+  in
+  let zero = Virtex.gnd cell in
+  let one = Virtex.vcc cell in
+  let acc0 = Util.fanout_bit zero ~width:m in
+  (* Stage k peels the next dividend bit, MSB first. The shifted partial
+     remainder 2*acc + bit is m+1 bits wide, but the top bit is just the
+     accumulator's old MSB, so the trial subtract runs on the low m bits
+     (inverted divisor, carry-in 1) and the stage's quotient bit — "the
+     divisor fit" — is (old MSB) | (carry out): a shifted-out MSB alone
+     already exceeds any m-bit divisor. The restore plane muxes the
+     shift back in on a miss. Every net is consumed; no dead logic. *)
+  let stage k (acc, div_p, rest, q_sofar) =
+    let sname s = Printf.sprintf "st%d_%s" k s in
+    let rest_w = Wire.width rest in
+    let div_bit = Wire.bit rest (rest_w - 1) in
+    let shifted_low =
+      if m = 1 then div_bit
+      else Wire.concat (Wire.slice acc ~lo:0 ~hi:(m - 2)) div_bit
+    in
+    let shifted_msb = Wire.bit acc (m - 1) in
+    let div_inv = Wire.create cell ~name:(sname "dinv") m in
+    for i = 0 to m - 1 do
+      let _ =
+        Virtex.inv cell ~name:(sname (Printf.sprintf "inv%d" i))
+          (Wire.bit div_p i) (Wire.bit div_inv i)
+      in
+      ()
+    done;
+    let diff = Wire.create cell ~name:(sname "diff") m in
+    let no_borrow = Wire.create cell ~name:(sname "noborrow") 1 in
+    let _ =
+      Adders.carry_chain cell ~name:(sname "trial") ~a:shifted_low ~b:div_inv
+        ~sum:diff ~cin:one ~cout:no_borrow ()
+    in
+    let q_bit = Wire.create cell ~name:(sname "q") 1 in
+    let _ = Virtex.or2 cell ~name:(sname "fit") shifted_msb no_borrow q_bit in
+    let kept = Wire.create cell ~name:(sname "kept") m in
+    for i = 0 to m - 1 do
+      let _ =
+        Virtex.mux2 cell ~name:(sname (Printf.sprintf "keep%d" i)) ~sel:q_bit
+          (Wire.bit shifted_low i) (Wire.bit diff i) (Wire.bit kept i)
+      in
+      ()
+    done;
+    let q_next =
+      match q_sofar with
+      | None -> q_bit
+      | Some q -> Wire.concat q q_bit
+    in
+    let rest_next =
+      if rest_w > 1 then Some (Wire.slice rest ~lo:0 ~hi:(rest_w - 2))
+      else None
+    in
+    match clk with
+    | Some clk when pipelined ->
+      let reg w label =
+        let out =
+          Wire.create cell ~name:(sname (label ^ "_r")) (Wire.width w)
+        in
+        Util.register_vector cell ~name:(sname (label ^ "_reg")) ~clk ~d:w
+          ~q:out ();
+        out
+      in
+      let last = k = n - 1 in
+      (* the divisor and leftover dividend bits only ride the pipe while
+         a later stage still reads them *)
+      (reg kept "acc",
+       (if last then div_p else reg div_p "div"),
+       Option.map (fun r -> reg r "divd") rest_next,
+       Some (reg q_next "qv"))
+    | Some _ | None -> (kept, div_p, rest_next, Some q_next)
+  in
+  let rec run k (acc, div_p, rest, q_sofar) =
+    if k = n then (acc, q_sofar)
+    else
+      match rest with
+      | None -> assert false (* n dividend bits feed n stages *)
+      | Some rest -> run (k + 1) (stage k (acc, div_p, rest, q_sofar))
+  in
+  let acc_f, q_f = run 0 (acc0, divisor, Some dividend, None) in
+  let q_f = match q_f with Some q -> q | None -> assert false in
+  Util.buffer cell ~name:"quot" ~from:q_f ~into:quotient ();
+  Util.buffer cell ~name:"rem" ~from:acc_f ~into:remainder ();
+  { cell; latency = (if pipelined then n else 0); stages = n }

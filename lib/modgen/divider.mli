@@ -1,0 +1,43 @@
+(** Restoring-array divider module generator.
+
+    An unsigned divider unrolled one stage per dividend bit, MSB first:
+    each stage shifts the next dividend bit into the partial remainder,
+    trial-subtracts the divisor on the carry chain (inverted operand,
+    carry-in 1, so the chain's carry out is the no-borrow flag), and a
+    mux plane restores the pre-subtract value when the divisor did not
+    fit. The no-borrow flag is that stage's quotient bit. In pipelined
+    mode a register plane follows every stage — latency [width dividend]
+    cycles, one division per cycle — the throughput shape a served
+    divider IP wants. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  latency : int;  (** [width dividend] when pipelined, else 0 *)
+  stages : int;
+}
+
+(** [create parent ?clk ~dividend ~divisor ~quotient ~remainder
+    ~pipelined ()]. [quotient] must match the dividend's width,
+    [remainder] the divisor's. [clk] required when pipelined. A zero
+    divisor yields the all-ones quotient (every trial subtract
+    "succeeds") — see {!reference}. *)
+val create :
+  Cell.t ->
+  ?name:string ->
+  ?clk:Wire.t ->
+  dividend:Wire.t ->
+  divisor:Wire.t ->
+  quotient:Wire.t ->
+  remainder:Wire.t ->
+  pipelined:bool ->
+  unit ->
+  t
+
+(** [reference ~dividend_width ~divisor_width a b] — golden
+    [(quotient, remainder)], matching the hardware bit-for-bit
+    including the zero-divisor case. *)
+val reference :
+  dividend_width:int -> divisor_width:int -> int -> int -> int * int

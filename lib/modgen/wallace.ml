@@ -1,0 +1,129 @@
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+module Types = Jhdl_circuit.Types
+module Virtex = Jhdl_virtex.Virtex
+module Bits = Jhdl_logic.Bits
+
+type t = {
+  cell : Cell.t;
+  latency : int;
+  full_width : int;
+  stages : int;
+  full_adders : int;
+  half_adders : int;
+}
+
+let expected_product ~a_width ~b_width ~product_width a b =
+  let full_width = a_width + b_width in
+  let full = a * b in
+  if product_width <= full_width then
+    Bits.of_int ~width:product_width (full lsr (full_width - product_width))
+  else Bits.of_int ~width:product_width full
+
+let create parent ?(name = "wallace") ~a ~b ~product () =
+  let wa = Wire.width a and wb = Wire.width b in
+  let full_width = wa + wb in
+  let cell =
+    Cell.composite parent ~name ~type_name:"WallaceTreeMultiplier"
+      ~ports:
+        [ ("a", Types.Input, a); ("b", Types.Input, b);
+          ("product", Types.Output, product) ]
+      ()
+  in
+  let zero = Virtex.gnd cell in
+  (* partial-product matrix, bucketed by output column *)
+  let columns = Array.make full_width [] in
+  for j = 0 to wb - 1 do
+    for i = 0 to wa - 1 do
+      let pp = Wire.create cell ~name:(Printf.sprintf "pp%d_%d" j i) 1 in
+      let _ =
+        Virtex.and2 cell
+          ~name:(Printf.sprintf "ppand%d_%d" j i)
+          (Wire.bit a i) (Wire.bit b j) pp
+      in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  let full_adders = ref 0 and half_adders = ref 0 and stages = ref 0 in
+  (* one Wallace stage: every 3 bits of a column fold into a (3,2)
+     counter, a leftover pair into a (2,2); carries land one column up *)
+  let reduce_once cols =
+    let stage = !stages in
+    let next = Array.make full_width [] in
+    let fresh k tag idx =
+      Wire.create cell ~name:(Printf.sprintf "s%d_c%d_%s%d" stage k tag idx) 1
+    in
+    Array.iteri
+      (fun k bits ->
+         let rec go idx = function
+           | x :: y :: z :: rest ->
+             let s = fresh k "s" idx and c = fresh k "co" idx in
+             let _ =
+               Adders.full_adder cell
+                 ~name:(Printf.sprintf "s%d_c%d_fa%d" stage k idx)
+                 ~a:x ~b:y ~ci:z ~s ~co:c ()
+             in
+             incr full_adders;
+             next.(k) <- s :: next.(k);
+             if k + 1 < full_width then next.(k + 1) <- c :: next.(k + 1);
+             go (idx + 1) rest
+           | [ x; y ] ->
+             let s = fresh k "hs" idx and c = fresh k "hc" idx in
+             let _ =
+               Virtex.xor2 cell
+                 ~name:(Printf.sprintf "s%d_c%d_hx%d" stage k idx)
+                 x y s
+             in
+             let _ =
+               Virtex.and2 cell
+                 ~name:(Printf.sprintf "s%d_c%d_ha%d" stage k idx)
+                 x y c
+             in
+             incr half_adders;
+             next.(k) <- s :: next.(k);
+             if k + 1 < full_width then next.(k + 1) <- c :: next.(k + 1)
+           | [ x ] -> next.(k) <- x :: next.(k)
+           | [] -> ()
+         in
+         go 0 bits)
+      cols;
+    incr stages;
+    next
+  in
+  let rec reduce cols =
+    if Array.for_all (fun c -> List.length c <= 2) cols then cols
+    else reduce (reduce_once cols)
+  in
+  let cols = reduce columns in
+  (* final two rows, vector-assembled LSB up; empty slots ride the
+     shared ground net *)
+  let row pick label =
+    let bits =
+      List.init full_width (fun k ->
+          match pick cols.(k) with Some w -> w | None -> zero)
+    in
+    match bits with
+    | [] -> invalid_arg ("Wallace.create: empty " ^ label)
+    | lsb :: rest -> List.fold_left (fun acc w -> Wire.concat w acc) lsb rest
+  in
+  let row_a =
+    row (function x :: _ -> Some x | [] -> None) "row_a"
+  in
+  let row_b =
+    row (function _ :: y :: _ -> Some y | _ -> None) "row_b"
+  in
+  let full = Wire.create cell ~name:"full" full_width in
+  let _ =
+    Adders.carry_chain cell ~name:"final_add" ~a:row_a ~b:row_b ~sum:full ()
+  in
+  (* same delivery semantics as the KCM: top bits of the full product
+     when the product wire is narrower, zero-extension when wider *)
+  let pw = Wire.width product in
+  let view =
+    if pw <= full_width then
+      Wire.slice full ~lo:(full_width - pw) ~hi:(full_width - 1)
+    else Wire.concat (Util.fanout_bit zero ~width:(pw - full_width)) full
+  in
+  Util.buffer cell ~name:"prod" ~from:view ~into:product ();
+  { cell; latency = 0; full_width; stages = !stages;
+    full_adders = !full_adders; half_adders = !half_adders }

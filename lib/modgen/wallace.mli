@@ -1,0 +1,35 @@
+(** Wallace-tree multiplier module generator.
+
+    A variable-by-variable unsigned multiplier in the ArithsGen style:
+    the AND-gate partial-product matrix is reduced column-wise with
+    (3,2) and (2,2) counters — full and half adders — until every
+    column holds at most two bits, then one carry-chain adder produces
+    the product. Against {!Multiplier.array_mult}'s row of [wb - 1]
+    chained adders, the tree's depth grows with [log] of the operand
+    width, the classic area/delay trade the catalog lets customers
+    compare parameter-by-parameter. *)
+
+module Wire = Jhdl_circuit.Wire
+module Cell = Jhdl_circuit.Cell
+
+type t = {
+  cell : Cell.t;
+  latency : int;  (** always 0: combinational *)
+  full_width : int;  (** [width a + width b] *)
+  stages : int;  (** reduction stages instanced *)
+  full_adders : int;
+  half_adders : int;
+}
+
+(** [create parent ~a ~b ~product ()] — unsigned product. Delivery
+    follows {!Kcm.create}: the top bits of the full product when
+    [product] is narrower than [width a + width b], zero-extension when
+    wider. *)
+val create :
+  Cell.t -> ?name:string -> a:Wire.t -> b:Wire.t -> product:Wire.t -> unit -> t
+
+(** [expected_product ~a_width ~b_width ~product_width a b] — golden
+    model with the same delivery truncation. *)
+val expected_product :
+  a_width:int -> b_width:int -> product_width:int -> int -> int ->
+  Jhdl_logic.Bits.t

@@ -61,6 +61,19 @@ let fnv1a32 s =
     s;
   !h
 
+(* FNV-1a/64 in Int64 arithmetic: OCaml's native int is 63 bits, one
+   short of the hash width *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h :=
+         Int64.mul
+           (Int64.logxor !h (Int64.of_int (Char.code c)))
+           0x100000001b3L)
+    s;
+  !h
+
 (* [Prim.name] alone would collide distinct parameterizations (it drops
    INIT values), so the descriptor spells them out. *)
 let describe_prim = function
@@ -74,7 +87,7 @@ let describe_prim = function
   | Prim.Black_box { model_name; _ } -> "BB:" ^ model_name
   | p -> Prim.name p
 
-let signature design =
+let descriptor design =
   let b = Buffer.create 1024 in
   Buffer.add_string b (Design.name design);
   List.iter
@@ -99,7 +112,10 @@ let signature design =
          Buffer.add_char b '=';
          Buffer.add_string b (describe_prim prim))
     (Design.all_prims design);
-  fnv1a32 (Buffer.contents b)
+  Buffer.contents b
+
+let signature design = fnv1a32 (descriptor design)
+let signature64 design = fnv1a64 (descriptor design)
 
 let check_design design =
   List.iter

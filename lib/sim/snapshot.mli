@@ -37,12 +37,31 @@ type image = {
       (** per watch label, samples oldest first (the [history] shape) *)
 }
 
-(** [signature design] — a 32-bit hash of the design's identity:
-    name, ports (name/direction/width), net count, and each primitive
-    instance's path and full descriptor (LUT truth tables, FF pin
-    configuration and INIT, SRL/RAM INIT contents). Two designs restore
-    into each other iff their signatures match. *)
+(** [descriptor design] — the canonical identity string the signatures
+    hash: name, ports (name/direction/width), net count, and each
+    primitive instance's path and full descriptor (LUT truth tables, FF
+    pin configuration and INIT, SRL/RAM INIT contents). Two designs are
+    snapshot-compatible iff their descriptors are byte-equal — the
+    content-address the delivery cache verifies against on a hit. *)
+val descriptor : Jhdl_circuit.Design.t -> string
+
+(** [signature design] — FNV-1a/32 over {!descriptor}. Kept at 32 bits
+    for [JSNP] blob format compatibility; collision-unsafe as a cache
+    key (birthday bound ~77k designs), use {!signature64} for content
+    addressing. *)
 val signature : Jhdl_circuit.Design.t -> int
+
+(** [signature64 design] — FNV-1a/64 over {!descriptor}, the
+    collision-safe cache key ({!Jhdl_cache} additionally stores the
+    descriptor length and verifies the full descriptor on a hit, so
+    even a 64-bit collision degrades to a miss). *)
+val signature64 : Jhdl_circuit.Design.t -> int64
+
+(** The raw hashes, exposed for cache-key derivation over non-design
+    descriptors and for collision-regression tests. *)
+val fnv1a32 : string -> int
+
+val fnv1a64 : string -> int64
 
 (** [check_design design] raises {!Error} when [design] cannot be
     snapshotted — behavioural black boxes carry opaque closure state the

@@ -1,5 +1,6 @@
 module Applet = Jhdl_applet.Applet
 module Ip_module = Jhdl_applet.Ip_module
+module Catalog = Jhdl_applet.Catalog
 module License = Jhdl_applet.License
 module Feature = Jhdl_applet.Feature
 module Partition = Jhdl_bundle.Partition
@@ -9,6 +10,10 @@ module Lint = Jhdl_lint.Lint
 module Metrics = Jhdl_metrics.Metrics
 module Admission = Jhdl_resilience.Admission
 module Breaker = Jhdl_resilience.Breaker
+module Store = Jhdl_cache.Store
+module Delivery = Jhdl_cache.Delivery
+module Snapshot = Jhdl_sim.Snapshot
+module Edif = Jhdl_netlist.Edif
 
 let log_src = Logs.Src.create "jhdl.webserver" ~doc:"IP delivery server"
 
@@ -21,9 +26,9 @@ type entry = {
 
 type account = {
   tier : License.tier;
-  (* browser cache: bounded LRU of (component, version downloaded),
-     most recently used first *)
-  mutable cache : (Partition.component * int) list;
+  (* browser cache: a bounded LRU store of downloaded component
+     versions, keyed by component name *)
+  cache : int Store.t;
 }
 
 (* request-path instruments; nil unless [create] got a live registry *)
@@ -32,6 +37,8 @@ type server_metrics = {
   sm_request_failures : Metrics.counter;
   sm_cache_hits : Metrics.counter;
   sm_cache_misses : Metrics.counter;
+  sm_cache_evictions : Metrics.counter;
+      (* browser-cache LRU drops, across every account *)
   sm_download_ms : Metrics.histogram; (* per-request download time *)
   sm_download : Download.metrics; (* jar-level counters, same registry *)
 }
@@ -44,13 +51,17 @@ type t = {
   (* component versions: base libraries move slowly, applet jars bump
      with each publication *)
   component_versions : (Partition.component, int) Hashtbl.t;
-  mutable evictions : int;
+  (* the content-addressed delivery cache: elaborated designs, lint
+     verdicts, exported netlists and jar bundles *)
+  delivery : Ip_module.built Delivery.t;
   mutable log : string list; (* newest first *)
   breaker : Breaker.t option; (* guards the jar download path *)
   sm : server_metrics;
 }
 
-let create ~vendor ?cache_cap ?breaker ?(metrics = Metrics.nil) () =
+let create ~vendor ?cache_cap ?(delivery_cap = 256)
+    ?(delivery_bytes = 64 * 1024 * 1024) ?breaker ?(metrics = Metrics.nil) ()
+    =
   let cache_cap =
     match cache_cap with
     | None -> List.length Partition.all_components
@@ -68,19 +79,25 @@ let create ~vendor ?cache_cap ?breaker ?(metrics = Metrics.nil) () =
       sm_request_failures = Metrics.counter metrics "request_failures_total";
       sm_cache_hits = Metrics.counter metrics "cache_hits_total";
       sm_cache_misses = Metrics.counter metrics "cache_misses_total";
+      sm_cache_evictions = Metrics.counter metrics "cache_evictions_total";
       sm_download_ms = Metrics.histogram metrics "download_ms";
       sm_download = Download.metrics metrics }
   in
+  let delivery =
+    Delivery.create ~metrics ~name:"delivery" ~cap_entries:delivery_cap
+      ~cap_bytes:delivery_bytes ()
+  in
   let server =
     { vendor; cache_cap; entries = []; accounts = Hashtbl.create 8;
-      component_versions; evictions = 0; log = []; breaker; sm }
+      component_versions; delivery; log = []; breaker; sm }
   in
-  Metrics.probe metrics "cache_evictions_total" (fun () -> server.evictions);
   Metrics.probe metrics "catalog_entries" (fun () ->
       List.length server.entries);
   server
 
-let cache_evictions server = server.evictions
+let cache_evictions server = Metrics.count server.sm.sm_cache_evictions
+
+let delivery_cache server = server.delivery
 
 let publish_unchecked server ip =
   let name = ip.Ip_module.ip_name in
@@ -96,18 +113,13 @@ let publish_unchecked server ip =
     1
 
 (* publication gate: a module whose default elaboration carries
-   error-severity lint findings never reaches the catalog *)
-let publish_checked server ip =
-  let report =
-    match ip.Ip_module.build (Ip_module.defaults ip) with
-    | built -> Ok (Lint.run built.Ip_module.design)
-    | exception e ->
-      Error
-        (Printf.sprintf "%s failed to elaborate: %s" ip.Ip_module.ip_name
-           (Printexc.to_string e))
-  in
-  match report with
-  | Error message -> Error message
+   error-severity lint findings never reaches the catalog. The verdict
+   is content-addressed through the delivery cache, so republishing an
+   unchanged generator (or publishing one a catalog listing already
+   linted) skips re-elaboration. *)
+let publish_checked server ?(now = 0.) ip =
+  match Catalog.lint_verdict ~cache:server.delivery.Delivery.verdicts ~now ip with
+  | Error e -> Error (Catalog.elaboration_error_to_string e)
   | Ok report ->
     (match Lint.errors report with
      | [] -> Ok (publish_unchecked server ip)
@@ -132,28 +144,22 @@ let register_user server ~user ~tier =
   let account =
     match Hashtbl.find_opt server.accounts user with
     | Some account -> { account with tier }
-    | None -> { tier; cache = [] }
+    | None ->
+      { tier;
+        (* per-account browser cache; the shared server-level counters
+           do the metric accounting, so the store itself stays
+           unregistered *)
+        cache =
+          Store.create ~cap_entries:server.cache_cap ~cap_bytes:max_int () }
   in
   Hashtbl.replace server.accounts user account
 
-(* Move [component] to the front of the account's LRU at [version] and
-   trim past the cap; trimmed components must be transferred again next
-   time they are needed. Returns the components trimmed out. *)
-let cache_touch server account component version =
-  let cache =
-    (component, version) :: List.remove_assoc component account.cache
-  in
-  let rec split n = function
-    | [] -> ([], [])
-    | entry :: rest when n > 0 ->
-      let keep, drop = split (n - 1) rest in
-      (entry :: keep, drop)
-    | overflow -> ([], overflow)
-  in
-  let keep, drop = split server.cache_cap cache in
-  account.cache <- keep;
-  server.evictions <- server.evictions + List.length drop;
-  List.map fst drop
+let component_descriptor = Partition.component_name
+
+let component_of_name name =
+  List.find
+    (fun c -> String.equal (Partition.component_name c) name)
+    Partition.all_components
 
 type session = {
   applet : Applet.t;
@@ -163,6 +169,9 @@ type session = {
   failed : Jar.t list;
   unavailable : Feature.t list;
   evicted : Partition.component list;
+  elaborated : (Ip_module.built * string) option;
+      (* server-side build + EDIF export, when the request carried
+         parameters; both served from the delivery cache *)
   fetch_attempts : int;
   download_seconds : float;
 }
@@ -176,8 +185,47 @@ let component_of_jar jar =
     (fun c -> (Partition.jar_of c).Jar.jar_name = jar.Jar.jar_name)
     Partition.all_components
 
-let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
-    ?policy () =
+(* parse and validate form-field parameter strings against the IP's
+   schema; the result is the complete canonical assignment [build]
+   expects *)
+let parse_params ip fields =
+  let rec go acc = function
+    | [] -> Ip_module.validate ip (List.rev acc)
+    | (pname, text) :: rest ->
+      (match List.assoc_opt pname ip.Ip_module.params with
+       | None -> Error (Printf.sprintf "unknown parameter %s" pname)
+       | Some kind ->
+         (match Ip_module.parse_param kind text with
+          | Error message -> Error (Printf.sprintf "%s: %s" pname message)
+          | Ok value -> go ((pname, value) :: acc) rest))
+  in
+  go [] fields
+
+(* server-side elaboration of a parameterized request: the built module
+   and its EDIF export are both content-addressed by the generator
+   invocation, so repeat requests at the same parameter point skip
+   elaboration and export entirely *)
+let elaborate_cached server ~now entry assignment =
+  let descriptor =
+    Delivery.generator_descriptor ~generator:entry.ip.Ip_module.ip_name
+      ~params:
+        (List.map
+           (fun (k, v) -> (k, Ip_module.param_to_string v))
+           assignment)
+  in
+  let built =
+    Store.find_or_add server.delivery.Delivery.designs ~now ~descriptor
+      ~bytes:(fun b -> String.length (Snapshot.descriptor b.Ip_module.design))
+      (fun () -> entry.ip.Ip_module.build assignment)
+  in
+  let netlist =
+    Delivery.netlist_keyed server.delivery ~now ~kind:"edif" ~descriptor
+      (fun () -> Edif.of_design built.Ip_module.design)
+  in
+  (built, netlist)
+
+let request_inner server ?(stale_ok = false) ?(now = 0.) ?params ~user
+    ~ip_name ~link ?faults ?policy () =
   match Hashtbl.find_opt server.accounts user with
   | None -> Error (Printf.sprintf "unknown user %s" user)
   | Some account ->
@@ -188,19 +236,54 @@ let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
        let applet =
          Applet.create ~ip:entry.ip ~license ~user ()
        in
+       (* parameterized requests elaborate server-side before anything
+          ships; both the build and its export come from the delivery
+          cache *)
+       let elaborated_result =
+         match params with
+         | None -> Ok None
+         | Some fields ->
+           (match parse_params entry.ip fields with
+            | Error message ->
+              Error
+                (Printf.sprintf "bad parameters for %s: %s" ip_name message)
+            | Ok assignment ->
+              Ok (Some (elaborate_cached server ~now entry assignment)))
+       in
+       match elaborated_result with
+       | Error message -> Error message
+       | Ok elaborated ->
        let components = Applet.jar_components applet in
-       let jars = Partition.jars_for components in
+       (* the jar set for a component/version mix is itself a delivery
+          artifact: repeat sessions share one bundle entry *)
+       let bundle_descriptor =
+         "bundle:"
+         ^ String.concat ","
+             (List.map
+                (fun c ->
+                   Printf.sprintf "%s@v%d" (Partition.component_name c)
+                     (Hashtbl.find server.component_versions c))
+                components)
+       in
+       let jars =
+         Store.find_or_add server.delivery.Delivery.bundles ~now
+           ~descriptor:bundle_descriptor
+           ~bytes:(fun jars ->
+             List.fold_left (fun acc j -> acc + Jar.compressed_size j) 0 jars)
+           (fun () -> Partition.jars_for components)
+       in
        let evicted = ref [] in
        let fetched_components =
          List.filter
            (fun component ->
               let current = Hashtbl.find server.component_versions component in
+              let descriptor = component_descriptor component in
               (* under the serve-stale brownout rung, any cached version
                  answers the request — the customer gets a possibly
                  outdated jar instantly instead of queueing on a
                  saturated download path *)
               let miss, record_version =
-                match List.assoc_opt component account.cache with
+                match Store.peek account.cache ~descriptor with
                 | Some cached when cached = current -> (false, current)
                 | Some cached when stale_ok -> (false, cached)
                 | Some _ | None -> (true, current)
@@ -212,8 +295,17 @@ let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
                  version, so full service refetches later); misses enter
                  at the front, and a full cache drops its least recently
                  used entry *)
-              evicted :=
-                !evicted @ cache_touch server account component record_version;
+              if miss then begin
+                let dropped =
+                  Store.add account.cache ~now ~descriptor ~bytes:0
+                    record_version
+                in
+                Metrics.add server.sm.sm_cache_evictions
+                  (List.length dropped);
+                evicted := !evicted @ List.map component_of_name dropped
+              end
+              else
+                ignore (Store.find account.cache ~now ~descriptor : int option);
               miss)
            components
        in
@@ -226,10 +318,13 @@ let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
        let failed_components = List.filter_map component_of_jar failed in
        (* a failed transfer must not poison the cache: the revisit
           re-fetches the component instead of assuming it is present *)
-       account.cache <-
-         List.filter
-           (fun (c, _) -> not (List.mem c failed_components))
-           account.cache;
+       List.iter
+         (fun c ->
+            ignore
+              (Store.remove account.cache
+                 ~descriptor:(component_descriptor c)
+                : bool))
+         failed_components;
        let download_seconds = Download.fetch_total_seconds fetches in
        let fetch_attempts = Download.fetch_attempts fetches in
        Metrics.observe server.sm.sm_download_ms
@@ -262,13 +357,15 @@ let request_inner server ?(stale_ok = false) ~user ~ip_name ~link ?faults
            :: server.log;
          Ok
            { applet; version = entry.version; jars; fetched; failed;
-             unavailable; evicted = !evicted; fetch_attempts;
+             unavailable; evicted = !evicted; elaborated; fetch_attempts;
              download_seconds }
        end)
 
-let request server ~user ~ip_name ~link ?faults ?policy () =
+let request server ?now ?params ~user ~ip_name ~link ?faults ?policy () =
   Metrics.incr server.sm.sm_requests;
-  let result = request_inner server ~user ~ip_name ~link ?faults ?policy () in
+  let result =
+    request_inner server ?now ?params ~user ~ip_name ~link ?faults ?policy ()
+  in
   (match result with
    | Error _ -> Metrics.incr server.sm.sm_request_failures
    | Ok _ -> ());
@@ -298,8 +395,8 @@ let reject ?(count = true) server ?retry_after_s ?shed reason =
    ({!serve_admitted}). [adm_ticket] is an already-admitted ticket
    whose accounting this function closes (complete, or give up as
    [Breaker_open] when the circuit refuses the call). *)
-let serve_with server ?adm_ticket ~now ~user ~ip_name ~link ?faults ?policy
-    () =
+let serve_with server ?adm_ticket ?params ~now ~user ~ip_name ~link ?faults
+    ?policy () =
   let stale_ok =
     match adm_ticket with
     | Some (adm, _) -> Admission.brownout adm = Admission.Serve_stale
@@ -320,7 +417,8 @@ let serve_with server ?adm_ticket ~now ~user ~ip_name ~link ?faults ?policy
          (Breaker.name b))
   | _ ->
     let result =
-      request_inner server ~stale_ok ~user ~ip_name ~link ?faults ?policy ()
+      request_inner server ~stale_ok ~now ?params ~user ~ip_name ~link ?faults
+        ?policy ()
     in
     (match adm_ticket with
      | Some (adm, tk) -> Admission.complete adm ~now tk
@@ -340,8 +438,8 @@ let serve_with server ?adm_ticket ~now ~user ~ip_name ~link ?faults ?policy
         | None -> ());
        reject server reason)
 
-let user_request server ?admission ~now ~user ~ip_name ~link ?deadline_s
-    ?faults ?policy () =
+let user_request server ?admission ?params ~now ~user ~ip_name ~link
+    ?deadline_s ?faults ?policy () =
   Metrics.incr server.sm.sm_requests;
   match Hashtbl.find_opt server.accounts user with
   | None -> reject server (Printf.sprintf "unknown user %s" user)
@@ -349,7 +447,8 @@ let user_request server ?admission ~now ~user ~ip_name ~link ?deadline_s
     let tier = account.tier in
     (* admission first: shedding must cost nothing downstream *)
     (match admission with
-     | None -> serve_with server ~now ~user ~ip_name ~link ?faults ?policy ()
+     | None ->
+       serve_with server ?params ~now ~user ~ip_name ~link ?faults ?policy ()
      | Some adm ->
        (match
           Admission.admit_now adm ~now ~cls:Admission.Jar_download ~tier
@@ -361,8 +460,8 @@ let user_request server ?admission ~now ~user ~ip_name ~link ?deadline_s
             (Printf.sprintf "overload: request shed (%s)"
                (Admission.shed_reason_name shed.Admission.shed_reason))
         | Ok ticket ->
-          serve_with server ~adm_ticket:(adm, ticket) ~now ~user ~ip_name
-            ~link ?faults ?policy ()))
+          serve_with server ~adm_ticket:(adm, ticket) ?params ~now ~user
+            ~ip_name ~link ?faults ?policy ()))
 
 let serve_admitted server ~admission ~ticket ~now ~ip_name ~link ?faults
     ?policy () =
@@ -439,11 +538,12 @@ let state_digest server =
             (License.tier_name account.tier)
             (String.concat "; "
                (List.map
-                  (fun (c, v) ->
-                     Printf.sprintf "%s v%d" (Partition.component_name c) v)
-                  account.cache))))
+                  (fun (descriptor, v) ->
+                     Printf.sprintf "%s v%d" descriptor v)
+                  (Store.to_list account.cache)))))
     accounts;
-  Buffer.add_string buf (Printf.sprintf "evictions %d\n" server.evictions);
+  Buffer.add_string buf
+    (Printf.sprintf "evictions %d\n" (cache_evictions server));
   List.iter
     (fun line -> Buffer.add_string buf ("log " ^ line ^ "\n"))
     (List.rev server.log);

@@ -16,18 +16,28 @@ type t
     component, reproducing an unbounded cache. Raises
     [Invalid_argument] when the cap is not positive.
 
+    [delivery_cap] / [delivery_bytes] bound the server-side
+    content-addressed delivery cache ({!delivery_cache}): elaborated
+    designs, lint verdicts, exported netlists and jar bundles, each
+    keyed by collision-safe descriptors
+    ({!Jhdl_sim.Snapshot.signature64} discipline — hits are
+    descriptor-verified, so a hash collision degrades to a miss, never
+    a wrong artifact).
+
     [breaker] guards the jar download path of {!user_request}: requests
     fail fast with a retry-after hint while it is open; an essential
     download failure counts against it and a served page closes it.
 
     A live [metrics] registry gains the request-path instruments:
     [requests_total] / [request_failures_total],
-    [cache_hits_total] / [cache_misses_total], a [download_ms]
-    per-request histogram, probes [cache_evictions_total] and
-    [catalog_entries], and the jar-level {!Jhdl_bundle.Download.metrics}
-    counters. *)
+    [cache_hits_total] / [cache_misses_total] /
+    [cache_evictions_total], a [download_ms] per-request histogram,
+    the [catalog_entries] probe, the aggregate [delivery.cache_*]
+    rows of the delivery cache, and the jar-level
+    {!Jhdl_bundle.Download.metrics} counters. *)
 val create :
   vendor:string -> ?cache_cap:int ->
+  ?delivery_cap:int -> ?delivery_bytes:int ->
   ?breaker:Jhdl_resilience.Breaker.t ->
   ?metrics:Jhdl_metrics.Metrics.t ->
   unit -> t
@@ -39,17 +49,25 @@ val breaker : t -> Jhdl_resilience.Breaker.t option
     caches since the server started. *)
 val cache_evictions : t -> int
 
+(** [delivery_cache server] — the server-side content-addressed
+    delivery cache, for inspection and for sharing its verdict store
+    with catalog listings ({!Jhdl_applet.Catalog.lint_verdict}). *)
+val delivery_cache : t -> Jhdl_applet.Ip_module.built Jhdl_cache.Delivery.t
+
 (** [publish server ip] — put an IP on the catalog (version 1), or bump
     its version (and the applet jar's) when already present. Returns the
     new version. The lint gate applies: raises [Invalid_argument] when
     the IP's default elaboration has error-severity lint findings. *)
 val publish : t -> Jhdl_applet.Ip_module.t -> int
 
-(** [publish_checked server ip] — like {!publish}, but the lint gate's
-    refusal (error-severity findings at the default parameters, or an
-    elaboration failure) comes back as [Error message] instead of an
-    exception. *)
-val publish_checked : t -> Jhdl_applet.Ip_module.t -> (int, string) result
+(** [publish_checked server ?now ip] — like {!publish}, but the lint
+    gate's refusal (error-severity findings at the default parameters,
+    or an elaboration failure) comes back as [Error message] instead of
+    an exception. The verdict is served from the delivery cache when a
+    catalog listing (or earlier publication) already linted the same
+    generator invocation; [now] stamps the cache recency. *)
+val publish_checked :
+  t -> ?now:float -> Jhdl_applet.Ip_module.t -> (int, string) result
 
 val catalog : t -> (string * int) list
 (** [(ip name, current version)] *)
@@ -71,6 +89,9 @@ type session = {
   evicted : Jhdl_bundle.Partition.component list;
       (** components this request's cache traffic pushed out of the
           bounded LRU (empty with the default cap) *)
+  elaborated : (Jhdl_applet.Ip_module.built * string) option;
+      (** when the request carried parameters: the server-side build
+          and its EDIF export, both served from the delivery cache *)
   fetch_attempts : int;  (** total transfer attempts across all jars *)
   download_seconds : float;  (** includes retries, backoff and dead bytes *)
 }
@@ -86,9 +107,18 @@ type session = {
     (the viewer classes) is lost, the applet still launches and
     [unavailable] lists the greyed-out tools; losing an essential jar
     (base / technology / applet glue) is an [Error]. Failed components
-    are evicted from the browser cache so a revisit re-fetches them. *)
+    are evicted from the browser cache so a revisit re-fetches them.
+
+    [params] requests a server-side elaboration at the given
+    (name, form-field string) parameter point; the build and its EDIF
+    export land in [session.elaborated], served from the delivery
+    cache on repeats. Malformed or out-of-range parameters are an
+    [Error]. [now] stamps cache recency (defaults to 0 — LRU order is
+    structural either way). *)
 val request :
   t ->
+  ?now:float ->
+  ?params:(string * string) list ->
   user:string ->
   ip_name:string ->
   link:Jhdl_bundle.Download.link ->
@@ -131,6 +161,7 @@ type rejection = {
 val user_request :
   t ->
   ?admission:Jhdl_resilience.Admission.t ->
+  ?params:(string * string) list ->
   now:float ->
   user:string ->
   ip_name:string ->

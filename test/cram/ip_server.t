@@ -12,8 +12,12 @@ The vendor server serves per-license applets with browser caching.
     pat GET /applets/FirFilter v1 (licensed license, 0 jar(s), 0.0 s)
 
 With --metrics the console collects server counters (cache hits and
-misses, jar bytes, per-jar fetch latency) and dumps them on exit; the
-`metrics` command shows them live.
+misses, jar bytes, per-jar fetch latency, the content-addressed
+delivery cache's delivery.cache_* traffic — its entry capacity is
+--cache-cap) and dumps them on exit; the `metrics` command shows them
+live. The delivery rows already see traffic here: publishing the
+catalog at startup lints six generators (six verdict misses), and the
+two served pages share one cached jar bundle (a miss, then a hit).
 
   $ printf 'register pat licensed\nget pat FirFilter dsl\nget pat FirFilter dsl\nget pat NoSuchIP dsl\nquit\n' \
   >   | jhdl-ip-server --metrics --trace 3 | grep -vE '^server> *$' | grep -v '^server>\|^IP delivery\|^served\|^fetched\|^registered\|^ERROR'
@@ -22,7 +26,15 @@ misses, jar bytes, per-jar fetch latency) and dumps them on exit; the
     counter   cache_evictions_total            0
     counter   cache_hits_total                 4
     counter   cache_misses_total               4
-    counter   catalog_entries                  4
+    counter   catalog_entries                  6
+    counter   delivery.cache_bytes             836461
+    counter   delivery.cache_entries           7
+    counter   delivery.cache_evictions_total   0
+    counter   delivery.cache_hits_total        1
+    counter   delivery.cache_insertions_total  7
+    counter   delivery.cache_lookups_total     8
+    counter   delivery.cache_misses_total      7
+    counter   delivery.cache_verify_rejects_total 0
     counter   download.breaker_opened_total    0
     counter   download.breaker_probes_total    0
     counter   download.breaker_state           0

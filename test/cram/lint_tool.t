@@ -88,7 +88,27 @@ Stock catalog designs lint clean at error severity.
   $ jhdl-lint-tool --all > report.txt; echo "exit $?"
   exit 0
   $ grep -c "0 error(s)" report.txt
-  4
+  6
+
+With --cache-cap the verdicts go through a bounded content-addressed
+store; one cold pass over the catalog is all misses, and the traffic
+counters land in the metrics dump.
+
+  $ jhdl-lint-tool --all --cache-cap 8 --metrics > cached.txt; echo "exit $?"
+  exit 0
+  $ grep "error(s)" report.txt > plain.sum; grep "error(s)" cached.txt > cached.sum
+  $ diff plain.sum cached.sum
+  $ grep "lint.cache" cached.txt
+    counter   lint.cache_bytes                 24386
+    counter   lint.cache_entries               6
+    counter   lint.cache_evictions_total       0
+    counter   lint.cache_hits_total            0
+    counter   lint.cache_insertions_total      6
+    counter   lint.cache_lookups_total         6
+    counter   lint.cache_misses_total          6
+    counter   lint.cache_removals_total        0
+    counter   lint.cache_replacements_total    0
+    counter   lint.cache_verify_rejects_total  0
 
 Unknown IP names are rejected.
 

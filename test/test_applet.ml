@@ -201,7 +201,11 @@ let test_catalog_lookup () =
     (Catalog.find "virtexkcmmultiplier" <> None);
   Alcotest.(check bool) "missing" true (Catalog.find "Booth" = None);
   Alcotest.(check bool) "cordic found" true (Catalog.find "CordicRotator" <> None);
-  Alcotest.(check int) "four entries" 4 (List.length Catalog.all)
+  Alcotest.(check bool) "wallace found" true
+    (Catalog.find "WallaceTreeMultiplier" <> None);
+  Alcotest.(check bool) "divider found" true
+    (Catalog.find "PipelinedDivider" <> None);
+  Alcotest.(check int) "six entries" 6 (List.length Catalog.all)
 
 let test_self_test_kcm () =
   List.iter

@@ -22,6 +22,7 @@ let () =
       ("bundle", Test_bundle.suite);
       ("security", Test_security.suite);
       ("applet", Test_applet.suite);
+      ("cache", Test_cache.suite);
       ("webserver", Test_webserver.suite);
       ("resilience", Test_resilience.suite);
       ("netproto", Test_netproto.suite);

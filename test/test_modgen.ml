@@ -15,6 +15,8 @@ module Adders = Jhdl_modgen.Adders
 module Counter = Jhdl_modgen.Counter
 module Datapath = Jhdl_modgen.Datapath
 module Multiplier = Jhdl_modgen.Multiplier
+module Wallace = Jhdl_modgen.Wallace
+module Divider = Jhdl_modgen.Divider
 module Util = Jhdl_modgen.Util
 module Estimate = Jhdl_estimate.Estimate
 
@@ -469,6 +471,136 @@ let test_array_mult () =
     done
   done
 
+let test_wallace_exhaustive () =
+  let sim =
+    two_in_one_out ~wa:5 ~wb:4 ~wout:9 (fun top ~a ~b ~out ->
+      ignore (Wallace.create top ~a ~b ~product:out ()))
+  in
+  for x = 0 to 31 do
+    for y = 0 to 15 do
+      Simulator.set_input sim "a" (Bits.of_int ~width:5 x);
+      Simulator.set_input sim "b" (Bits.of_int ~width:4 y);
+      Alcotest.check bits
+        (Printf.sprintf "%d*%d" x y)
+        (Wallace.expected_product ~a_width:5 ~b_width:4 ~product_width:9 x y)
+        (Simulator.get_port sim "out")
+    done
+  done
+
+let test_wallace_truncated_and_counts () =
+  let top = Cell.root ~name:"top" () in
+  let a = Wire.create top ~name:"a" 6 in
+  let b = Wire.create top ~name:"b" 6 in
+  let out = Wire.create top ~name:"out" 8 in
+  let w = Wallace.create top ~a ~b ~product:out () in
+  Alcotest.(check int) "full width" 12 w.Wallace.full_width;
+  Alcotest.(check bool) "tree is staged" true (w.Wallace.stages >= 2);
+  Alcotest.(check bool) "uses full adders" true (w.Wallace.full_adders > 0);
+  let d = Design.create top in
+  Design.add_port d "a" Types.Input a;
+  Design.add_port d "b" Types.Input b;
+  Design.add_port d "out" Types.Output out;
+  let sim = Simulator.create d in
+  List.iter
+    (fun (x, y) ->
+       Simulator.set_input sim "a" (Bits.of_int ~width:6 x);
+       Simulator.set_input sim "b" (Bits.of_int ~width:6 y);
+       Alcotest.check bits
+         (Printf.sprintf "%d*%d (truncated)" x y)
+         (Wallace.expected_product ~a_width:6 ~b_width:6 ~product_width:8 x y)
+         (Simulator.get_port sim "out"))
+    [ (0, 0); (63, 63); (17, 42); (31, 2); (55, 9); (1, 1) ]
+
+let divider_sim ~n ~m ~pipelined =
+  let top = Cell.root ~name:"top" () in
+  let clk = Wire.create top ~name:"clk" 1 in
+  let dividend = Wire.create top ~name:"dividend" n in
+  let divisor = Wire.create top ~name:"divisor" m in
+  let quotient = Wire.create top ~name:"quotient" n in
+  let remainder = Wire.create top ~name:"remainder" m in
+  let div =
+    Divider.create top ~clk ~dividend ~divisor ~quotient ~remainder
+      ~pipelined ()
+  in
+  let d = Design.create top in
+  Design.add_port d "clk" Types.Input clk;
+  Design.add_port d "dividend" Types.Input dividend;
+  Design.add_port d "divisor" Types.Input divisor;
+  Design.add_port d "quotient" Types.Output quotient;
+  Design.add_port d "remainder" Types.Output remainder;
+  (Simulator.create ~clock:clk d, div)
+
+let test_divider_exhaustive () =
+  let n = 5 and m = 3 in
+  let sim, div = divider_sim ~n ~m ~pipelined:false in
+  Alcotest.(check int) "combinational" 0 div.Divider.latency;
+  for x = 0 to (1 lsl n) - 1 do
+    for y = 0 to (1 lsl m) - 1 do
+      Simulator.set_input sim "dividend" (Bits.of_int ~width:n x);
+      Simulator.set_input sim "divisor" (Bits.of_int ~width:m y);
+      let q, r = Divider.reference ~dividend_width:n ~divisor_width:m x y in
+      Alcotest.check bits
+        (Printf.sprintf "%d/%d quotient" x y)
+        (Bits.of_int ~width:n q)
+        (Simulator.get_port sim "quotient");
+      Alcotest.check bits
+        (Printf.sprintf "%d mod %d" x y)
+        (Bits.of_int ~width:m r)
+        (Simulator.get_port sim "remainder")
+    done
+  done
+
+let test_divider_pipelined_throughput () =
+  let n = 6 and m = 4 in
+  let sim, div = divider_sim ~n ~m ~pipelined:true in
+  Alcotest.(check int) "latency = dividend width" n div.Divider.latency;
+  (* one new division issued per cycle, answers emerge latency later *)
+  let jobs = [ (63, 7); (40, 5); (9, 15); (1, 1); (62, 3); (0, 9) ] in
+  let fill = List.init div.Divider.latency (fun _ -> (0, 1)) in
+  let issued = jobs @ fill in
+  let answered = ref [] in
+  List.iteri
+    (fun i (x, y) ->
+       Simulator.set_input sim "dividend" (Bits.of_int ~width:n x);
+       Simulator.set_input sim "divisor" (Bits.of_int ~width:m y);
+       Simulator.cycle sim;
+       if i >= div.Divider.latency - 1 then
+         answered :=
+           (Simulator.get_port sim "quotient",
+            Simulator.get_port sim "remainder")
+           :: !answered)
+    issued;
+  let answered = List.rev !answered in
+  List.iteri
+    (fun i (x, y) ->
+       let q, r = Divider.reference ~dividend_width:n ~divisor_width:m x y in
+       let got_q, got_r = List.nth answered i in
+       Alcotest.check bits (Printf.sprintf "piped %d/%d q" x y)
+         (Bits.of_int ~width:n q) got_q;
+       Alcotest.check bits (Printf.sprintf "piped %d/%d r" x y)
+         (Bits.of_int ~width:m r) got_r)
+    jobs
+
+let test_divider_rejects_bad_args () =
+  let top = Cell.root ~name:"top" () in
+  let dividend = Wire.create top ~name:"dividend" 4 in
+  let divisor = Wire.create top ~name:"divisor" 3 in
+  let quotient = Wire.create top ~name:"quotient" 3 in
+  let remainder = Wire.create top ~name:"remainder" 3 in
+  Alcotest.check_raises "quotient width"
+    (Invalid_argument "Divider.create: quotient width must match dividend")
+    (fun () ->
+       ignore
+         (Divider.create top ~dividend ~divisor ~quotient ~remainder
+            ~pipelined:false ()));
+  let quotient = Wire.create top ~name:"quotient4" 4 in
+  Alcotest.check_raises "pipelined needs clock"
+    (Invalid_argument "Divider.create: pipelined mode requires a clock")
+    (fun () ->
+       ignore
+         (Divider.create top ~dividend ~divisor ~quotient ~remainder
+            ~pipelined:true ()))
+
 let test_signed_mult () =
   let sim =
     two_in_one_out ~wa:5 ~wb:4 ~wout:9 (fun top ~a ~b ~out ->
@@ -812,6 +944,15 @@ let suite =
       test_shift_add_constant;
     Alcotest.test_case "csd adder count" `Quick test_adder_count_for;
     Alcotest.test_case "array multiplier" `Quick test_array_mult;
+    Alcotest.test_case "wallace tree exhaustive" `Quick test_wallace_exhaustive;
+    Alcotest.test_case "wallace tree truncated" `Quick
+      test_wallace_truncated_and_counts;
+    Alcotest.test_case "restoring divider exhaustive" `Quick
+      test_divider_exhaustive;
+    Alcotest.test_case "divider pipelined throughput" `Quick
+      test_divider_pipelined_throughput;
+    Alcotest.test_case "divider rejects bad args" `Quick
+      test_divider_rejects_bad_args;
     Alcotest.test_case "signed multiplier" `Quick test_signed_mult;
     Alcotest.test_case "signed multiplier truncated" `Quick
       test_signed_mult_truncated;
